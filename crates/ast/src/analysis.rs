@@ -1,0 +1,410 @@
+//! Program analysis: dependency graphs, recursion structure, and extraction
+//! of the paper's assumed program shape.
+//!
+//! Section 2 of the paper considers a recursive predicate `t` defined by one
+//! or more *linear* recursive rules plus nonrecursive (exit) rules, where the
+//! other predicates do not depend on `t`. [`RecursiveDef::extract`] validates
+//! exactly these assumptions for a given predicate, and
+//! [`DependencyGraph`] provides the general machinery (edges, strongly
+//! connected components, stratification order) used by the evaluators.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::AstError;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::symbol::{Interner, Sym};
+
+/// Classification of a predicate within a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateInfo {
+    /// The predicate.
+    pub pred: Sym,
+    /// Its arity.
+    pub arity: usize,
+    /// Whether it appears in some rule head (IDB) — facts do not count as
+    /// rule heads for this purpose unless the predicate also heads a proper
+    /// rule.
+    pub is_idb: bool,
+    /// Whether it is recursive (reaches itself in the dependency graph).
+    pub is_recursive: bool,
+}
+
+/// The predicate dependency graph of a program: an edge `p -> q` exists when
+/// `q` appears in the body of a rule whose head is `p`.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    preds: Vec<Sym>,
+    index: BTreeMap<Sym, usize>,
+    edges: Vec<BTreeSet<usize>>,
+    /// For each node, its strongly connected component id; components are
+    /// numbered in reverse topological order (callees before callers).
+    scc_of: Vec<usize>,
+    scc_count: usize,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `program`.
+    pub fn build(program: &Program) -> Self {
+        let preds = program.predicates();
+        let index: BTreeMap<Sym, usize> =
+            preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut edges = vec![BTreeSet::new(); preds.len()];
+        for rule in &program.rules {
+            let from = index[&rule.head.pred];
+            for atom in rule.body_atoms() {
+                edges[from].insert(index[&atom.pred]);
+            }
+        }
+        let (scc_of, scc_count) = tarjan(&edges);
+        DependencyGraph { preds, index, edges, scc_of, scc_count }
+    }
+
+    /// The predicates, in first-occurrence order.
+    pub fn predicates(&self) -> &[Sym] {
+        &self.preds
+    }
+
+    /// Whether `p` depends (directly or transitively) on `q`.
+    pub fn depends_on(&self, p: Sym, q: Sym) -> bool {
+        let (Some(&pi), Some(&qi)) = (self.index.get(&p), self.index.get(&q)) else {
+            return false;
+        };
+        // DFS from p.
+        let mut seen = vec![false; self.preds.len()];
+        let mut stack = vec![pi];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if n == qi && n != pi {
+                return true;
+            }
+            for &m in &self.edges[n] {
+                if m == qi {
+                    return true;
+                }
+                if !seen[m] {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `p` is recursive (possibly through other predicates).
+    pub fn is_recursive(&self, p: Sym) -> bool {
+        self.depends_on(p, p)
+    }
+
+    /// Whether `p` and `q` are mutually recursive (same nontrivial SCC).
+    pub fn mutually_recursive(&self, p: Sym, q: Sym) -> bool {
+        let (Some(&pi), Some(&qi)) = (self.index.get(&p), self.index.get(&q)) else {
+            return false;
+        };
+        self.scc_of[pi] == self.scc_of[qi] && (pi == qi || self.is_recursive(p))
+    }
+
+    /// Groups predicates into strongly connected components, returned in
+    /// dependency order (a component only depends on earlier components).
+    /// This is the evaluation order used by the bottom-up engine.
+    pub fn strata(&self) -> Vec<Vec<Sym>> {
+        let mut groups: Vec<Vec<Sym>> = vec![Vec::new(); self.scc_count];
+        for (i, &scc) in self.scc_of.iter().enumerate() {
+            groups[scc].push(self.preds[i]);
+        }
+        groups
+    }
+
+    /// Classifies every predicate of `program`.
+    pub fn classify(&self, program: &Program) -> Vec<PredicateInfo> {
+        let mut arities: BTreeMap<Sym, usize> = BTreeMap::new();
+        let mut idb: BTreeSet<Sym> = BTreeSet::new();
+        for rule in &program.rules {
+            arities.entry(rule.head.pred).or_insert_with(|| rule.head.arity());
+            if !rule.is_fact() {
+                idb.insert(rule.head.pred);
+            }
+            for atom in rule.body_atoms() {
+                arities.entry(atom.pred).or_insert_with(|| atom.arity());
+            }
+        }
+        self.preds
+            .iter()
+            .map(|&p| PredicateInfo {
+                pred: p,
+                arity: arities.get(&p).copied().unwrap_or(0),
+                is_idb: idb.contains(&p),
+                is_recursive: self.is_recursive(p),
+            })
+            .collect()
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// Returns `(scc_of, count)` where components are numbered in reverse
+/// topological order: if `p` depends on `q` (and they are in different
+/// components), then `scc_of[q] < scc_of[p]`.
+fn tarjan(edges: &[BTreeSet<usize>]) -> (Vec<usize>, usize) {
+    let n = edges.len();
+    let mut index_of = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS frames: (node, neighbor iterator position).
+    for root in 0..n {
+        if index_of[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let neighbors: Vec<usize> = edges[root].iter().copied().collect();
+        index_of[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, neighbors, 0));
+
+        while let Some((node, neighbors, pos)) = frames.last_mut() {
+            if let Some(&next) = neighbors.get(*pos) {
+                *pos += 1;
+                if index_of[next] == usize::MAX {
+                    index_of[next] = next_index;
+                    low[next] = next_index;
+                    next_index += 1;
+                    stack.push(next);
+                    on_stack[next] = true;
+                    let next_neighbors: Vec<usize> = edges[next].iter().copied().collect();
+                    frames.push((next, next_neighbors, 0));
+                } else if on_stack[next] {
+                    let node = *node;
+                    low[node] = low[node].min(index_of[next]);
+                }
+            } else {
+                let node = *node;
+                frames.pop();
+                if let Some((parent, _, _)) = frames.last() {
+                    let parent = *parent;
+                    low[parent] = low[parent].min(low[node]);
+                }
+                if low[node] == index_of[node] {
+                    // node is the root of an SCC.
+                    loop {
+                        let member = stack.pop().expect("scc stack underflow");
+                        on_stack[member] = false;
+                        scc_of[member] = scc_count;
+                        if member == node {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+/// A recursive definition in the paper's shape (Section 2): a predicate `t`
+/// defined by linear recursive rules `r_1..r_n` and nonrecursive exit rules,
+/// where no other predicate is mutually recursive with `t`.
+#[derive(Debug, Clone)]
+pub struct RecursiveDef {
+    /// The recursive predicate `t`.
+    pub pred: Sym,
+    /// Arity of `t`.
+    pub arity: usize,
+    /// The linear recursive rules, in source order.
+    pub recursive_rules: Vec<Rule>,
+    /// The nonrecursive (exit) rules, in source order. The paper assumes a
+    /// single exit rule `t :- t0.`; we allow any number of nonrecursive
+    /// rules and treat them as a union.
+    pub exit_rules: Vec<Rule>,
+}
+
+impl RecursiveDef {
+    /// Extracts and validates the definition of `pred` from `program`.
+    ///
+    /// Fails when `pred` has a non-linear recursive rule, is mutually
+    /// recursive with another predicate, or has no exit rule.
+    pub fn extract(
+        program: &Program,
+        pred: Sym,
+        interner: &Interner,
+    ) -> Result<RecursiveDef, AstError> {
+        let graph = DependencyGraph::build(program);
+        let name = || interner.resolve(pred).to_string();
+        let def: Vec<&Rule> = program.definition_of(pred);
+        if def.is_empty() {
+            return Err(AstError::UnsupportedProgram {
+                msg: format!("predicate `{}` has no defining rules", name()),
+            });
+        }
+        let arity = def[0].head.arity();
+        // Mutual recursion through other predicates.
+        for other in graph.predicates() {
+            if *other != pred && graph.depends_on(pred, *other) && graph.depends_on(*other, pred) {
+                return Err(AstError::UnsupportedProgram {
+                    msg: format!(
+                        "`{}` is mutually recursive with `{}`; the paper's class excludes \
+                         mutually recursive predicates",
+                        name(),
+                        interner.resolve(*other)
+                    ),
+                });
+            }
+        }
+        let mut recursive_rules = Vec::new();
+        let mut exit_rules = Vec::new();
+        for rule in def {
+            if rule.is_recursive_in(pred) {
+                if !rule.is_linear_recursive_in(pred) {
+                    return Err(AstError::UnsupportedProgram {
+                        msg: format!(
+                            "rule `{}` is non-linear in `{}`",
+                            crate::pretty::rule_to_string(rule, interner),
+                            name()
+                        ),
+                    });
+                }
+                recursive_rules.push(rule.clone());
+            } else {
+                exit_rules.push(rule.clone());
+            }
+        }
+        if exit_rules.is_empty() {
+            return Err(AstError::UnsupportedProgram {
+                msg: format!("`{}` has no nonrecursive (exit) rule", name()),
+            });
+        }
+        Ok(RecursiveDef { pred, arity, recursive_rules, exit_rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn graph_of(src: &str) -> (Program, DependencyGraph, Interner) {
+        let mut i = Interner::new();
+        let p = parse_program(src, &mut i).unwrap();
+        let g = DependencyGraph::build(&p);
+        (p, g, i)
+    }
+
+    #[test]
+    fn simple_recursion_is_detected() {
+        let (_, g, mut i) = graph_of(
+            "t(X, Y) :- a(X, W), t(W, Y).\n\
+             t(X, Y) :- t0(X, Y).\n",
+        );
+        let t = i.intern("t");
+        let a = i.intern("a");
+        assert!(g.is_recursive(t));
+        assert!(!g.is_recursive(a));
+        assert!(g.depends_on(t, a));
+        assert!(!g.depends_on(a, t));
+    }
+
+    #[test]
+    fn mutual_recursion_is_detected() {
+        let (_, g, mut i) = graph_of(
+            "p(X) :- e(X, Y), q(Y).\n\
+             q(X) :- f(X, Y), p(Y).\n\
+             p(X) :- b(X).\n\
+             q(X) :- c(X).\n",
+        );
+        let p = i.intern("p");
+        let q = i.intern("q");
+        assert!(g.is_recursive(p));
+        assert!(g.mutually_recursive(p, q));
+    }
+
+    #[test]
+    fn strata_respect_dependencies() {
+        let (prog, g, mut i) = graph_of(
+            "t(X, Y) :- a(X, W), t(W, Y).\n\
+             t(X, Y) :- base(X, Y).\n\
+             top(X) :- t(X, X).\n",
+        );
+        let strata = g.strata();
+        let t = i.intern("t");
+        let top = i.intern("top");
+        let a = i.intern("a");
+        let pos = |p: Sym| strata.iter().position(|s| s.contains(&p)).unwrap();
+        assert!(pos(a) < pos(t));
+        assert!(pos(t) < pos(top));
+        let info = g.classify(&prog);
+        let t_info = info.iter().find(|x| x.pred == t).unwrap();
+        assert!(t_info.is_idb && t_info.is_recursive);
+        let a_info = info.iter().find(|x| x.pred == a).unwrap();
+        assert!(!a_info.is_idb && !a_info.is_recursive);
+    }
+
+    #[test]
+    fn extract_accepts_the_paper_shape() {
+        let (prog, _, mut i) = graph_of(
+            "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+             buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+             buys(X, Y) :- perfectFor(X, Y).\n",
+        );
+        let buys = i.intern("buys");
+        let def = RecursiveDef::extract(&prog, buys, &i).unwrap();
+        assert_eq!(def.recursive_rules.len(), 2);
+        assert_eq!(def.exit_rules.len(), 1);
+        assert_eq!(def.arity, 2);
+    }
+
+    #[test]
+    fn extract_rejects_nonlinear() {
+        let (prog, _, mut i) = graph_of(
+            "t(X, Y) :- t(X, Z), t(Z, Y).\n\
+             t(X, Y) :- e(X, Y).\n",
+        );
+        let t = i.intern("t");
+        let err = RecursiveDef::extract(&prog, t, &i).unwrap_err();
+        assert!(matches!(err, AstError::UnsupportedProgram { .. }), "{err}");
+    }
+
+    #[test]
+    fn extract_rejects_mutual_recursion() {
+        let (prog, _, mut i) = graph_of(
+            "p(X) :- e(X, Y), q(Y).\n\
+             q(X) :- f(X, Y), p(Y).\n\
+             p(X) :- b(X).\n\
+             q(X) :- c(X).\n",
+        );
+        let p = i.intern("p");
+        let err = RecursiveDef::extract(&prog, p, &i).unwrap_err();
+        assert!(matches!(err, AstError::UnsupportedProgram { .. }), "{err}");
+    }
+
+    #[test]
+    fn extract_rejects_missing_exit() {
+        let (prog, _, mut i) = graph_of("t(X, Y) :- a(X, W), t(W, Y).\na(u, v).\n");
+        let t = i.intern("t");
+        assert!(RecursiveDef::extract(&prog, t, &i).is_err());
+    }
+
+    #[test]
+    fn tarjan_handles_self_loop_and_chain() {
+        // p -> p, p -> q, q -> r
+        let edges = vec![
+            BTreeSet::from([0usize, 1]),
+            BTreeSet::from([2usize]),
+            BTreeSet::new(),
+        ];
+        let (scc_of, count) = tarjan(&edges);
+        assert_eq!(count, 3);
+        // reverse topological: r before q before p
+        assert!(scc_of[2] < scc_of[1]);
+        assert!(scc_of[1] < scc_of[0]);
+    }
+}

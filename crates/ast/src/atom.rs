@@ -1,0 +1,136 @@
+//! Atoms: predicate instances over terms.
+
+use crate::symbol::Sym;
+use crate::term::Term;
+
+/// A predicate instance, e.g. `buys(X, Y)` or `friend(tom, W)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: Sym,
+    /// The argument terms, in order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate and its arguments.
+    pub fn new(pred: Sym, terms: Vec<Term>) -> Self {
+        Atom { pred, terms }
+    }
+
+    /// The number of arguments.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the distinct variables of this atom, in first-occurrence
+    /// order.
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `var` occurs among the arguments.
+    pub fn contains_var(&self, var: Sym) -> bool {
+        self.terms.iter().any(|t| t.as_var() == Some(var))
+    }
+
+    /// All argument positions (0-based) at which `var` occurs.
+    pub fn positions_of(&self, var: Sym) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.as_var() == Some(var)).then_some(i))
+            .collect()
+    }
+
+    /// Whether the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_const)
+    }
+
+    /// Whether two atoms share at least one variable.
+    pub fn shares_var_with(&self, other: &Atom) -> bool {
+        self.terms.iter().any(|t| match t {
+            Term::Var(v) => other.contains_var(*v),
+            Term::Const(_) => false,
+        })
+    }
+
+    /// Applies a variable substitution to every argument.
+    pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self.terms.iter().map(|t| t.substitute(subst)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Interner;
+
+    fn setup() -> (Interner, Atom) {
+        let mut i = Interner::new();
+        let p = i.intern("p");
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        let tom = i.intern("tom");
+        let atom = Atom::new(p, vec![Term::Var(x), Term::sym(tom), Term::Var(y), Term::Var(x)]);
+        (i, atom)
+    }
+
+    #[test]
+    fn vars_are_deduplicated_in_order() {
+        let (mut i, atom) = setup();
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        assert_eq!(atom.vars(), vec![x, y]);
+    }
+
+    #[test]
+    fn positions_of_finds_all_occurrences() {
+        let (mut i, atom) = setup();
+        let x = i.intern("X");
+        assert_eq!(atom.positions_of(x), vec![0, 3]);
+        let z = i.intern("Z");
+        assert!(atom.positions_of(z).is_empty());
+        assert!(atom.contains_var(x));
+        assert!(!atom.contains_var(z));
+    }
+
+    #[test]
+    fn ground_and_sharing() {
+        let mut i = Interner::new();
+        let p = i.intern("p");
+        let q = i.intern("q");
+        let x = i.intern("X");
+        let a = i.intern("a");
+        let ground = Atom::new(p, vec![Term::sym(a), Term::int(1)]);
+        assert!(ground.is_ground());
+        let with_x = Atom::new(q, vec![Term::Var(x)]);
+        assert!(!with_x.is_ground());
+        assert!(!ground.shares_var_with(&with_x));
+        let also_x = Atom::new(p, vec![Term::Var(x), Term::sym(a)]);
+        assert!(with_x.shares_var_with(&also_x));
+    }
+
+    #[test]
+    fn substitute_rewrites_arguments() {
+        let (mut i, atom) = setup();
+        let x = i.intern("X");
+        let bob = i.intern("bob");
+        let out = atom.substitute(&|v| (v == x).then_some(Term::sym(bob)));
+        assert_eq!(out.terms[0], Term::sym(bob));
+        assert_eq!(out.terms[3], Term::sym(bob));
+        assert_eq!(out.terms[2], atom.terms[2]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Frontend errors.
+
+use std::fmt;
+
+/// Errors produced by the Datalog frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstError {
+    /// A syntax error with line/column (1-based) and message.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// The predicate's name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A rule whose head variables are not covered by its body.
+    UnsafeRule {
+        /// Rendered rule text.
+        rule: String,
+    },
+    /// The program shape does not match the paper's assumptions
+    /// (e.g. non-linear recursion where linearity is required).
+    UnsupportedProgram {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for AstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            AstError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate `{pred}` used with arity {found}, but earlier with arity {expected}"
+            ),
+            AstError::UnsafeRule { rule } => {
+                write!(f, "unsafe rule (head variable not bound in body): {rule}")
+            }
+            AstError::UnsupportedProgram { msg } => write!(f, "unsupported program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AstError {}

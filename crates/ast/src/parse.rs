@@ -1,0 +1,565 @@
+//! A hand-written recursive-descent parser for Prolog-style Datalog.
+//!
+//! Grammar (whitespace and `%`-to-end-of-line comments are skipped):
+//!
+//! ```text
+//! program  := clause*
+//! clause   := atom ( ":-" body )? "."
+//! body     := literal ( "," literal )*     // "&" also accepted, as in the paper
+//! literal  := atom | term "=" term
+//! atom     := IDENT ( "(" term ( "," term )* ")" )?
+//! term     := VARIABLE | IDENT | INTEGER
+//! query    := "?-" atom "." | atom "?"
+//! ```
+//!
+//! Identifiers starting with a lowercase letter are predicate/constant
+//! symbols; identifiers starting with an uppercase letter or `_` are
+//! variables, matching the paper's Prolog syntax.
+
+use crate::atom::Atom;
+use crate::error::AstError;
+use crate::program::{Program, Query};
+use crate::rule::{Literal, Rule};
+use crate::symbol::Interner;
+use crate::term::Term;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile,      // :-
+    QueryTurnstile, // ?-
+    Question,       // ?
+    Eq,
+    Amp, // & — the paper writes conjunction with `&`
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Var(s) => format!("variable `{s}`"),
+            Tok::Int(n) => format!("integer `{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Turnstile => "`:-`".into(),
+            Tok::QueryTurnstile => "`?-`".into(),
+            Tok::Question => "`?`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> AstError {
+        AstError::Parse { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    /// Lexes the next token, returning its start position too.
+    fn next_tok(&mut self) -> Result<(Tok, usize, usize), AstError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match b {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'=' => {
+                self.bump();
+                Tok::Eq
+            }
+            b'&' => {
+                self.bump();
+                Tok::Amp
+            }
+            b':' => {
+                self.bump();
+                if self.peek_byte() == Some(b'-') {
+                    self.bump();
+                    Tok::Turnstile
+                } else {
+                    return Err(self.error("expected `-` after `:`"));
+                }
+            }
+            b'?' => {
+                self.bump();
+                if self.peek_byte() == Some(b'-') {
+                    self.bump();
+                    Tok::QueryTurnstile
+                } else {
+                    Tok::Question
+                }
+            }
+            b'-' | b'0'..=b'9' => {
+                let negative = b == b'-';
+                if negative {
+                    self.bump();
+                    if !self.peek_byte().is_some_and(|c| c.is_ascii_digit()) {
+                        return Err(self.error("expected digit after `-`"));
+                    }
+                }
+                let mut value: i64 = 0;
+                while let Some(c) = self.peek_byte() {
+                    if !c.is_ascii_digit() {
+                        break;
+                    }
+                    self.bump();
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(c - b'0')))
+                        .ok_or_else(|| self.error("integer literal overflows i64"))?;
+                }
+                Tok::Int(if negative { -value } else { value })
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii ident bytes")
+                    .to_string();
+                if b.is_ascii_uppercase() || b == b'_' {
+                    Tok::Var(text)
+                } else {
+                    Tok::Ident(text)
+                }
+            }
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+/// A parser over a source string, interning names into a caller-provided
+/// [`Interner`] so programs, queries, and databases share one symbol space.
+pub struct Parser<'a> {
+    lexer: Lexer<'a>,
+    interner: &'a mut Interner,
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `src`.
+    pub fn new(src: &'a str, interner: &'a mut Interner) -> Result<Self, AstError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next_tok()?;
+        Ok(Parser { lexer, interner, tok, line, col })
+    }
+
+    fn advance(&mut self) -> Result<(), AstError> {
+        let (tok, line, col) = self.lexer.next_tok()?;
+        self.tok = tok;
+        self.line = line;
+        self.col = col;
+        Ok(())
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> AstError {
+        AstError::Parse { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), AstError> {
+        if &self.tok == want {
+            self.advance()
+        } else {
+            Err(self.error_here(format!("expected {}, found {}", want.describe(), self.tok.describe())))
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.tok == Tok::Eof
+    }
+
+    fn parse_term(&mut self) -> Result<Term, AstError> {
+        let term = match &self.tok {
+            Tok::Var(name) => Term::Var(self.interner.intern(&name.clone())),
+            Tok::Ident(name) => Term::sym(self.interner.intern(&name.clone())),
+            Tok::Int(n) => Term::int(*n),
+            other => {
+                return Err(self.error_here(format!(
+                    "expected a term (variable, symbol, or integer), found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.advance()?;
+        Ok(term)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, AstError> {
+        let Tok::Ident(name) = &self.tok else {
+            return Err(self
+                .error_here(format!("expected a predicate name, found {}", self.tok.describe())));
+        };
+        let pred = self.interner.intern(&name.clone());
+        self.advance()?;
+        let mut terms = Vec::new();
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            loop {
+                terms.push(self.parse_term()?);
+                match self.tok {
+                    Tok::Comma => self.advance()?,
+                    Tok::RParen => {
+                        self.advance()?;
+                        break;
+                    }
+                    _ => {
+                        return Err(self.error_here(format!(
+                            "expected `,` or `)` in argument list, found {}",
+                            self.tok.describe()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(Atom::new(pred, terms))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, AstError> {
+        // A literal starting with a variable or integer must be an equality.
+        if matches!(self.tok, Tok::Var(_) | Tok::Int(_)) {
+            let left = self.parse_term()?;
+            self.expect(&Tok::Eq)?;
+            let right = self.parse_term()?;
+            return Ok(Literal::Eq(left, right));
+        }
+        // An identifier might start `p(...)` or `c = t`.
+        let atom = self.parse_atom()?;
+        if self.tok == Tok::Eq {
+            if !atom.terms.is_empty() {
+                return Err(self.error_here("`=` cannot follow a compound atom"));
+            }
+            self.advance()?;
+            let right = self.parse_term()?;
+            return Ok(Literal::Eq(Term::sym(atom.pred), right));
+        }
+        Ok(Literal::Atom(atom))
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Literal>, AstError> {
+        let mut body = vec![self.parse_literal()?];
+        while matches!(self.tok, Tok::Comma | Tok::Amp) {
+            self.advance()?;
+            body.push(self.parse_literal()?);
+        }
+        Ok(body)
+    }
+
+    /// Parses one clause `head.` or `head :- body.`
+    pub fn parse_clause(&mut self) -> Result<Rule, AstError> {
+        let head = self.parse_atom()?;
+        let body = if self.tok == Tok::Turnstile {
+            self.advance()?;
+            self.parse_body()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::Dot)?;
+        Ok(Rule::new(head, body))
+    }
+
+    /// Parses a whole program (a sequence of clauses) to end of input.
+    pub fn parse_program(&mut self) -> Result<Program, AstError> {
+        let mut rules = Vec::new();
+        while !self.at_eof() {
+            rules.push(self.parse_clause()?);
+        }
+        Ok(Program::new(rules))
+    }
+
+    /// Parses a query: either `?- atom.` or `atom?` (the paper writes
+    /// `buys(tom, Y)?`).
+    pub fn parse_query_clause(&mut self) -> Result<Query, AstError> {
+        if self.tok == Tok::QueryTurnstile {
+            self.advance()?;
+            let atom = self.parse_atom()?;
+            self.expect(&Tok::Dot)?;
+            return Ok(Query::new(atom));
+        }
+        let atom = self.parse_atom()?;
+        match self.tok {
+            Tok::Question => {
+                self.advance()?;
+                // Optional trailing dot.
+                if self.tok == Tok::Dot {
+                    self.advance()?;
+                }
+            }
+            Tok::Dot => self.advance()?,
+            Tok::Eof => {}
+            _ => {
+                return Err(self.error_here(format!(
+                    "expected `?` or `.` after query atom, found {}",
+                    self.tok.describe()
+                )))
+            }
+        }
+        Ok(Query::new(atom))
+    }
+}
+
+/// Parses a program from source text.
+///
+/// Also validates that every predicate is used with a consistent arity and
+/// that every rule is safe.
+///
+/// ```
+/// use sepra_ast::{parse_program, Interner};
+///
+/// let mut interner = Interner::new();
+/// let program = parse_program(
+///     "t(X, Y) :- e(X, W), t(W, Y).\n t(X, Y) :- e(X, Y).\n",
+///     &mut interner,
+/// )
+/// .unwrap();
+/// let t = interner.intern("t");
+/// assert_eq!(program.definition_of(t).len(), 2);
+/// assert!(program.rules[0].is_linear_recursive_in(t));
+/// ```
+pub fn parse_program(src: &str, interner: &mut Interner) -> Result<Program, AstError> {
+    let mut parser = Parser::new(src, interner)?;
+    let program = parser.parse_program()?;
+    validate(&program, interner)?;
+    Ok(program)
+}
+
+/// Parses a single query such as `buys(tom, Y)?` or `?- buys(tom, Y).`
+pub fn parse_query(src: &str, interner: &mut Interner) -> Result<Query, AstError> {
+    let mut parser = Parser::new(src, interner)?;
+    let query = parser.parse_query_clause()?;
+    if !parser.at_eof() {
+        return Err(AstError::Parse {
+            line: parser.line,
+            col: parser.col,
+            msg: "trailing input after query".into(),
+        });
+    }
+    Ok(query)
+}
+
+/// Checks arity consistency and rule safety for a parsed program.
+pub fn validate(program: &Program, interner: &Interner) -> Result<(), AstError> {
+    let mut arities: std::collections::HashMap<crate::symbol::Sym, usize> =
+        std::collections::HashMap::new();
+    let mut check = |atom: &Atom| -> Result<(), AstError> {
+        match arities.get(&atom.pred) {
+            Some(&expected) if expected != atom.arity() => Err(AstError::ArityMismatch {
+                pred: interner.resolve(atom.pred).to_string(),
+                expected,
+                found: atom.arity(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                arities.insert(atom.pred, atom.arity());
+                Ok(())
+            }
+        }
+    };
+    for rule in &program.rules {
+        check(&rule.head)?;
+        for atom in rule.body_atoms() {
+            check(atom)?;
+        }
+        if !rule.is_safe() {
+            return Err(AstError::UnsafeRule {
+                rule: crate::pretty::rule_to_string(rule, interner),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Const;
+
+    fn parse_ok(src: &str) -> (Program, Interner) {
+        let mut i = Interner::new();
+        let p = parse_program(src, &mut i).expect("program should parse");
+        (p, i)
+    }
+
+    #[test]
+    fn parses_the_buys_program() {
+        let (p, mut i) = parse_ok(
+            "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+             buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+             buys(X, Y) :- perfectFor(X, Y).\n",
+        );
+        assert_eq!(p.rules.len(), 3);
+        let buys = i.intern("buys");
+        assert!(p.rules[0].is_linear_recursive_in(buys));
+        assert!(p.rules[1].is_linear_recursive_in(buys));
+        assert!(!p.rules[2].is_recursive_in(buys));
+    }
+
+    #[test]
+    fn accepts_paper_style_ampersand() {
+        let (p, _) = parse_ok("t(X, Y) :- a(X, W) & t(W, Y).\nt(X, Y) :- t0(X, Y).\n");
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn parses_facts_and_comments() {
+        let (p, mut i) = parse_ok(
+            "% the social graph\n\
+             friend(tom, sue).  % tom's friend\n\
+             friend(sue, joe).\n",
+        );
+        assert_eq!(p.facts().count(), 2);
+        let tom = i.intern("tom");
+        assert_eq!(p.rules[0].head.terms[0], Term::sym(tom));
+    }
+
+    #[test]
+    fn parses_integers_and_negatives() {
+        let (p, _) = parse_ok("age(tom, 42).\ntemp(lab, -3).\n");
+        assert_eq!(p.rules[0].head.terms[1], Term::int(42));
+        assert_eq!(p.rules[1].head.terms[1], Term::int(-3));
+    }
+
+    #[test]
+    fn parses_equality_literals() {
+        let (p, mut i) = parse_ok("p(X, Y) :- q(X), Y = tom.\n");
+        let tom = i.intern("tom");
+        assert_eq!(p.rules[0].body.len(), 2);
+        assert!(matches!(
+            &p.rules[0].body[1],
+            Literal::Eq(Term::Var(_), Term::Const(Const::Sym(s))) if *s == tom
+        ));
+    }
+
+    #[test]
+    fn parses_queries_in_both_styles() {
+        let mut i = Interner::new();
+        let q1 = parse_query("buys(tom, Y)?", &mut i).unwrap();
+        let q2 = parse_query("?- buys(tom, Y).", &mut i).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(q1.adornment(), "bf");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut i = Interner::new();
+        let err = parse_program("p(a, b).\np(c).\n", &mut i).unwrap_err();
+        assert!(matches!(err, AstError::ArityMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let mut i = Interner::new();
+        let err = parse_program("p(X, Y) :- q(X).\n", &mut i).unwrap_err();
+        assert!(matches!(err, AstError::UnsafeRule { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut i = Interner::new();
+        for bad in ["p(X) :- .", "p(X", "p(X))", ":- p(X).", "p(X) q(X).", "p(#).", "p(X) :- q(X),."] {
+            assert!(
+                parse_program(bad, &mut i).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let mut i = Interner::new();
+        let err = parse_program("p(a).\nq(", &mut i).unwrap_err();
+        match err {
+            AstError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn underscore_starts_a_variable() {
+        let (p, mut i) = parse_ok("p(X) :- q(X, _any).\n");
+        let underscore = i.intern("_any");
+        let q_atom = p.rules[0].body_atoms().next().unwrap();
+        assert_eq!(q_atom.terms[1], Term::Var(underscore));
+    }
+}

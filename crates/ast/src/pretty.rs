@@ -1,0 +1,144 @@
+//! Rendering AST nodes back to source text.
+//!
+//! Because [`Sym`](crate::symbol::Sym) handles are only meaningful relative
+//! to an [`Interner`], display goes through free functions (or the
+//! [`Pretty`] adapter) that carry the interner.
+
+use std::fmt::Write as _;
+
+use crate::atom::Atom;
+use crate::program::{Program, Query};
+use crate::rule::{Literal, Rule};
+use crate::symbol::Interner;
+use crate::term::{Const, Term};
+
+/// Renders a term.
+pub fn term_to_string(term: &Term, interner: &Interner) -> String {
+    match term {
+        Term::Var(v) => interner.resolve(*v).to_string(),
+        Term::Const(Const::Sym(s)) => interner.resolve(*s).to_string(),
+        Term::Const(Const::Int(n)) => n.to_string(),
+    }
+}
+
+/// Renders an atom, e.g. `buys(tom, Y)`.
+pub fn atom_to_string(atom: &Atom, interner: &Interner) -> String {
+    let mut out = interner.resolve(atom.pred).to_string();
+    if !atom.terms.is_empty() {
+        out.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&term_to_string(t, interner));
+        }
+        out.push(')');
+    }
+    out
+}
+
+/// Renders a body literal.
+pub fn literal_to_string(literal: &Literal, interner: &Interner) -> String {
+    match literal {
+        Literal::Atom(a) => atom_to_string(a, interner),
+        Literal::Eq(l, r) => format!(
+            "{} = {}",
+            term_to_string(l, interner),
+            term_to_string(r, interner)
+        ),
+    }
+}
+
+/// Renders a rule, e.g. `buys(X, Y) :- friend(X, W), buys(W, Y).`
+pub fn rule_to_string(rule: &Rule, interner: &Interner) -> String {
+    let mut out = atom_to_string(&rule.head, interner);
+    if !rule.body.is_empty() {
+        out.push_str(" :- ");
+        for (i, lit) in rule.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&literal_to_string(lit, interner));
+        }
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a whole program, one rule per line.
+pub fn program_to_string(program: &Program, interner: &Interner) -> String {
+    let mut out = String::new();
+    for rule in &program.rules {
+        let _ = writeln!(out, "{}", rule_to_string(rule, interner));
+    }
+    out
+}
+
+/// Renders a query, e.g. `buys(tom, Y)?`.
+pub fn query_to_string(query: &Query, interner: &Interner) -> String {
+    format!("{}?", atom_to_string(&query.atom, interner))
+}
+
+/// A display adapter pairing an AST node with its interner, so nodes can be
+/// used directly in `format!` strings.
+pub struct Pretty<'a, T>(pub &'a T, pub &'a Interner);
+
+macro_rules! impl_pretty {
+    ($ty:ty, $func:ident) => {
+        impl std::fmt::Display for Pretty<'_, $ty> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(&$func(self.0, self.1))
+            }
+        }
+    };
+}
+
+impl_pretty!(Term, term_to_string);
+impl_pretty!(Atom, atom_to_string);
+impl_pretty!(Literal, literal_to_string);
+impl_pretty!(Rule, rule_to_string);
+impl_pretty!(Program, program_to_string);
+impl_pretty!(Query, query_to_string);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_program, parse_query};
+
+    #[test]
+    fn roundtrips_a_program() {
+        let src = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                   buys(X, Y) :- perfectFor(X, Y).\n\
+                   friend(tom, sue).\n";
+        let mut i = Interner::new();
+        let p = parse_program(src, &mut i).unwrap();
+        let rendered = program_to_string(&p, &i);
+        assert_eq!(rendered, src);
+        // Re-parsing the rendering yields the same AST.
+        let p2 = parse_program(&rendered, &mut i).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn renders_equalities_and_integers() {
+        let mut i = Interner::new();
+        let p = parse_program("p(X, Y) :- q(X), Y = 7.\n", &mut i).unwrap();
+        assert_eq!(rule_to_string(&p.rules[0], &i), "p(X, Y) :- q(X), Y = 7.");
+    }
+
+    #[test]
+    fn renders_queries() {
+        let mut i = Interner::new();
+        let q = parse_query("buys(tom, Y)?", &mut i).unwrap();
+        assert_eq!(query_to_string(&q, &i), "buys(tom, Y)?");
+        assert_eq!(format!("{}", Pretty(&q, &i)), "buys(tom, Y)?");
+    }
+
+    #[test]
+    fn renders_zero_arity_atoms() {
+        let mut i = Interner::new();
+        let p = parse_program("rain :- cloudy.\ncloudy.\n", &mut i).unwrap();
+        assert_eq!(rule_to_string(&p.rules[0], &i), "rain :- cloudy.");
+        assert_eq!(rule_to_string(&p.rules[1], &i), "cloudy.");
+    }
+}

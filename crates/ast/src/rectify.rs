@@ -1,0 +1,272 @@
+//! Rule rectification and head standardization.
+//!
+//! The paper (Section 3.3, following Ullman) assumes *rectified* rules: all
+//! rule heads of a definition are identical and contain no repeated
+//! variables and no constants. [`rectify_rule`] removes head constants and
+//! repeated head variables by introducing fresh variables constrained with
+//! body equalities; [`standardize_head`] alpha-renames a rectified rule so
+//! its head uses a caller-chosen canonical variable vector.
+
+use crate::atom::Atom;
+use crate::rule::{Literal, Rule};
+use crate::symbol::{Interner, Sym};
+use crate::term::Term;
+
+/// Whether a rule head is rectified: every argument is a variable and no
+/// variable repeats.
+pub fn is_head_rectified(rule: &Rule) -> bool {
+    let mut seen = Vec::new();
+    for t in &rule.head.terms {
+        match t {
+            Term::Var(v) => {
+                if seen.contains(v) {
+                    return false;
+                }
+                seen.push(*v);
+            }
+            Term::Const(_) => return false,
+        }
+    }
+    true
+}
+
+/// Rectifies a rule: head constants become fresh variables equated to the
+/// constant in the body, and repeated head variables become fresh variables
+/// equated to the first occurrence.
+///
+/// `t(X, X) :- b(X).` becomes `t(X, V) :- b(X), V = X.`
+/// `t(tom, Y) :- b(Y).` becomes `t(V, Y) :- b(Y), V = tom.`
+///
+/// Already-rectified rules are returned unchanged (no fresh symbols are
+/// interned).
+pub fn rectify_rule(rule: &Rule, interner: &mut Interner) -> Rule {
+    if is_head_rectified(rule) {
+        return rule.clone();
+    }
+    let mut seen: Vec<Sym> = Vec::new();
+    let mut new_terms = Vec::with_capacity(rule.head.arity());
+    let mut extra: Vec<Literal> = Vec::new();
+    for t in &rule.head.terms {
+        match t {
+            Term::Var(v) if !seen.contains(v) => {
+                seen.push(*v);
+                new_terms.push(*t);
+            }
+            Term::Var(v) => {
+                let fresh = fresh_var(interner, rule, &seen);
+                seen.push(fresh);
+                new_terms.push(Term::Var(fresh));
+                extra.push(Literal::Eq(Term::Var(fresh), Term::Var(*v)));
+            }
+            Term::Const(c) => {
+                let fresh = fresh_var(interner, rule, &seen);
+                seen.push(fresh);
+                new_terms.push(Term::Var(fresh));
+                extra.push(Literal::Eq(Term::Var(fresh), Term::Const(*c)));
+            }
+        }
+    }
+    let mut body = rule.body.clone();
+    body.extend(extra);
+    Rule::new(Atom::new(rule.head.pred, new_terms), body)
+}
+
+/// Rectifies every rule of a program.
+pub fn rectify_program(
+    program: &crate::program::Program,
+    interner: &mut Interner,
+) -> crate::program::Program {
+    crate::program::Program::new(
+        program.rules.iter().map(|r| rectify_rule(r, interner)).collect(),
+    )
+}
+
+fn fresh_var(interner: &mut Interner, rule: &Rule, also_avoid: &[Sym]) -> Sym {
+    let used = rule.vars();
+    let mut i = 0u64;
+    loop {
+        let name = format!("V_{i}");
+        let sym = interner.intern(&name);
+        if !used.contains(&sym) && !also_avoid.contains(&sym) {
+            return sym;
+        }
+        i += 1;
+    }
+}
+
+/// Alpha-renames a rectified rule so its head argument vector is exactly
+/// `canon` (one distinct variable per position).
+///
+/// Body-only variables that collide with a canonical name are first renamed
+/// to fresh variables so no capture occurs. The result's head is
+/// `pred(canon[0], ..., canon[k-1])`.
+///
+/// # Panics
+/// Panics if the rule head is not rectified or if `canon` has the wrong
+/// length or repeated names.
+pub fn standardize_head(rule: &Rule, canon: &[Sym], interner: &mut Interner) -> Rule {
+    assert!(is_head_rectified(rule), "standardize_head requires a rectified head");
+    assert_eq!(canon.len(), rule.head.arity(), "canonical vector arity mismatch");
+    assert!(
+        (1..canon.len()).all(|i| !canon[..i].contains(&canon[i])),
+        "canonical vector must have distinct variables"
+    );
+    let head_vars: Vec<Sym> = rule
+        .head
+        .terms
+        .iter()
+        .map(|t| t.as_var().expect("rectified head has only variables"))
+        .collect();
+
+    // Step 1: move colliding body-only variables out of the way.
+    let all_vars = rule.vars();
+    let mut working = rule.clone();
+    for &c in canon {
+        if all_vars.contains(&c) && !head_vars.contains(&c) {
+            let fresh = interner.fresh(&format!("{}_r", interner_name(interner, c)));
+            working = working.substitute(&|v| (v == c).then_some(Term::Var(fresh)));
+        }
+    }
+
+    // Step 2: also protect head variables that appear in `canon` at a
+    // *different* position (a swap like head (X, Y) -> canon (Y, X) must not
+    // collapse variables). Rename each head var to a unique placeholder
+    // first, then to its canonical name.
+    let placeholders: Vec<Sym> = head_vars
+        .iter()
+        .map(|&v| interner.fresh(&format!("{}_p", interner_name(interner, v))))
+        .collect();
+    let head_vars2: Vec<Sym> = working
+        .head
+        .terms
+        .iter()
+        .map(|t| t.as_var().expect("rectified head"))
+        .collect();
+    working = working.substitute(&|v| {
+        head_vars2
+            .iter()
+            .position(|&h| h == v)
+            .map(|i| Term::Var(placeholders[i]))
+    });
+    working = working.substitute(&|v| {
+        placeholders
+            .iter()
+            .position(|&p| p == v)
+            .map(|i| Term::Var(canon[i]))
+    });
+    working
+}
+
+fn interner_name(interner: &Interner, sym: Sym) -> String {
+    interner.resolve(sym).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use crate::pretty::rule_to_string;
+
+    fn first_rule(src: &str, i: &mut Interner) -> Rule {
+        parse_program(src, i).unwrap().rules.remove(0)
+    }
+
+    #[test]
+    fn already_rectified_is_unchanged() {
+        let mut i = Interner::new();
+        let r = first_rule("t(X, Y) :- a(X, W), t(W, Y).\n", &mut i);
+        assert!(is_head_rectified(&r));
+        assert_eq!(rectify_rule(&r, &mut i), r);
+    }
+
+    #[test]
+    fn repeated_head_var_gets_equality() {
+        let mut i = Interner::new();
+        let r = first_rule("t(X, X) :- b(X).\n", &mut i);
+        assert!(!is_head_rectified(&r));
+        let rect = rectify_rule(&r, &mut i);
+        assert!(is_head_rectified(&rect));
+        assert_eq!(rect.body.len(), 2);
+        assert!(matches!(rect.body[1], Literal::Eq(..)));
+        assert!(rect.is_safe());
+    }
+
+    #[test]
+    fn head_constant_gets_equality() {
+        let mut i = Interner::new();
+        let r = first_rule("t(tom, Y) :- b(Y).\n", &mut i);
+        let rect = rectify_rule(&r, &mut i);
+        assert!(is_head_rectified(&rect));
+        let rendered = rule_to_string(&rect, &i);
+        assert!(rendered.contains("= tom"), "{rendered}");
+    }
+
+    #[test]
+    fn fresh_vars_avoid_rule_vars() {
+        let mut i = Interner::new();
+        // V_0 already used in the body; the fresh variable must differ.
+        let r = first_rule("t(X, X) :- b(X, V_0).\n", &mut i);
+        let rect = rectify_rule(&r, &mut i);
+        let head_vars = rect.head.vars();
+        let v0 = i.intern("V_0");
+        assert!(!head_vars.contains(&v0) || r.head.vars().contains(&v0));
+        assert!(is_head_rectified(&rect));
+    }
+
+    #[test]
+    fn standardize_renames_head_and_body() {
+        let mut i = Interner::new();
+        let r = first_rule("t(A, B) :- a(A, W), t(W, B).\n", &mut i);
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        let std = standardize_head(&r, &[x, y], &mut i);
+        assert_eq!(std.head.terms, vec![Term::Var(x), Term::Var(y)]);
+        // Body occurrences renamed consistently.
+        let a_atom = std.body_atoms().next().unwrap();
+        assert_eq!(a_atom.terms[0], Term::Var(x));
+        let rec = std.body_atoms().nth(1).unwrap();
+        assert_eq!(rec.terms[1], Term::Var(y));
+    }
+
+    #[test]
+    fn standardize_handles_collisions() {
+        let mut i = Interner::new();
+        // Body uses Y for something else; canon head is (Y, X): both a swap
+        // and a collision at once.
+        let r = first_rule("t(X, Z) :- a(X, Y), b(Y, Z).\n", &mut i);
+        let y = i.intern("Y");
+        let x = i.intern("X");
+        let std = standardize_head(&r, &[y, x], &mut i);
+        assert_eq!(std.head.terms, vec![Term::Var(y), Term::Var(x)]);
+        // The old body Y must have been renamed away from Y.
+        let a_atom = std.body_atoms().next().unwrap();
+        assert_eq!(a_atom.terms[0], Term::Var(y)); // old X -> Y
+        assert_ne!(a_atom.terms[1], Term::Var(y)); // old Y moved aside
+        assert_ne!(a_atom.terms[1], Term::Var(x));
+        // Joins remain intact: a.1 == b.0.
+        let b_atom = std.body_atoms().nth(1).unwrap();
+        assert_eq!(a_atom.terms[1], b_atom.terms[0]);
+        assert_eq!(b_atom.terms[1], Term::Var(x)); // old Z -> X
+    }
+
+    #[test]
+    fn standardize_swap_does_not_collapse() {
+        let mut i = Interner::new();
+        let r = first_rule("t(X, Y) :- e(X, Y).\n", &mut i);
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        let std = standardize_head(&r, &[y, x], &mut i);
+        assert_eq!(std.head.terms, vec![Term::Var(y), Term::Var(x)]);
+        let e_atom = std.body_atoms().next().unwrap();
+        assert_eq!(e_atom.terms, vec![Term::Var(y), Term::Var(x)]);
+    }
+
+    #[test]
+    fn rectify_program_covers_all_rules() {
+        let mut i = Interner::new();
+        let p = parse_program("t(X, X) :- b(X).\nt(a, Y) :- c(Y).\n", &mut i).unwrap();
+        let rect = rectify_program(&p, &mut i);
+        assert!(rect.rules.iter().all(is_head_rectified));
+        assert_eq!(rect.rules.len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Rules and body literals.
+
+use crate::atom::Atom;
+use crate::symbol::Sym;
+use crate::term::Term;
+
+/// A body literal: a positive atom or an equality constraint.
+///
+/// Equality literals arise from rectification (Section 3.3 of the paper
+/// assumes rectified rules; repeated head variables and head constants are
+/// compiled away into body equalities) and may also be written directly in
+/// source as `X = Y` or `X = tom`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// A positive predicate instance.
+    Atom(Atom),
+    /// An equality constraint between two terms.
+    Eq(Term, Term),
+}
+
+impl Literal {
+    /// The atom, if this literal is one.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Atom(a) => Some(a),
+            Literal::Eq(..) => None,
+        }
+    }
+
+    /// Distinct variables of this literal in first-occurrence order.
+    pub fn vars(&self) -> Vec<Sym> {
+        match self {
+            Literal::Atom(a) => a.vars(),
+            Literal::Eq(l, r) => {
+                let mut out = Vec::new();
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether `var` occurs in this literal.
+    pub fn contains_var(&self, var: Sym) -> bool {
+        match self {
+            Literal::Atom(a) => a.contains_var(var),
+            Literal::Eq(l, r) => l.as_var() == Some(var) || r.as_var() == Some(var),
+        }
+    }
+
+    /// Applies a variable substitution.
+    pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Literal {
+        match self {
+            Literal::Atom(a) => Literal::Atom(a.substitute(subst)),
+            Literal::Eq(l, r) => Literal::Eq(l.substitute(subst), r.substitute(subst)),
+        }
+    }
+}
+
+/// A Horn clause `head :- body.` (a fact when the body is empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals, in source order (the paper's algorithms evaluate
+    /// bodies left to right).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Creates a fact (a rule with an empty body).
+    pub fn fact(head: Atom) -> Self {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// Whether this rule is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Iterates over the body atoms (skipping equality literals).
+    pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(Literal::as_atom)
+    }
+
+    /// Positions in `body` holding atoms whose predicate is `pred`.
+    pub fn body_positions_of(&self, pred: Sym) -> Vec<usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Literal::Atom(a) if a.pred == pred => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of body atoms whose predicate is `pred`.
+    pub fn count_pred(&self, pred: Sym) -> usize {
+        self.body_atoms().filter(|a| a.pred == pred).count()
+    }
+
+    /// Whether this rule is recursive in `pred`: `pred` is the head predicate
+    /// and occurs at least once in the body.
+    pub fn is_recursive_in(&self, pred: Sym) -> bool {
+        self.head.pred == pred && self.count_pred(pred) > 0
+    }
+
+    /// Whether this rule is *linear* recursive in `pred`: the head predicate
+    /// occurs exactly once in the body (Section 2 of the paper).
+    pub fn is_linear_recursive_in(&self, pred: Sym) -> bool {
+        self.head.pred == pred && self.count_pred(pred) == 1
+    }
+
+    /// The single recursive body atom, if this rule is linear recursive.
+    pub fn recursive_atom(&self, pred: Sym) -> Option<&Atom> {
+        if !self.is_linear_recursive_in(pred) {
+            return None;
+        }
+        self.body_atoms().find(|a| a.pred == pred)
+    }
+
+    /// The body atoms other than the (single) occurrence of `pred`.
+    ///
+    /// For linear rules this is the paper's `a_ij`, the conjunction of
+    /// nonrecursive predicate instances.
+    pub fn nonrecursive_atoms(&self, pred: Sym) -> Vec<&Atom> {
+        self.body_atoms().filter(|a| a.pred != pred).collect()
+    }
+
+    /// Distinct variables of head and body, in first-occurrence order
+    /// (head first).
+    pub fn vars(&self) -> Vec<Sym> {
+        let mut out = self.head.vars();
+        for lit in &self.body {
+            for v in lit.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks *safety*: every head variable must occur in some body literal
+    /// (facts must be ground). Equality literals count: `X = tom` grounds
+    /// `X`; safety of chained equalities is validated more precisely by the
+    /// evaluator's planner.
+    pub fn is_safe(&self) -> bool {
+        if self.body.is_empty() {
+            return self.head.is_ground();
+        }
+        self.head
+            .vars()
+            .into_iter()
+            .all(|v| self.body.iter().any(|l| l.contains_var(v)))
+    }
+
+    /// Applies a variable substitution to head and body.
+    pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Rule {
+        Rule {
+            head: self.head.substitute(subst),
+            body: self.body.iter().map(|l| l.substitute(subst)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Interner;
+
+    /// Builds `buys(X, Y) :- friend(X, W), buys(W, Y).`
+    fn buys_rule(i: &mut Interner) -> (Rule, Sym) {
+        let buys = i.intern("buys");
+        let friend = i.intern("friend");
+        let (x, y, w) = (i.intern("X"), i.intern("Y"), i.intern("W"));
+        let rule = Rule::new(
+            Atom::new(buys, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Literal::Atom(Atom::new(friend, vec![Term::Var(x), Term::Var(w)])),
+                Literal::Atom(Atom::new(buys, vec![Term::Var(w), Term::Var(y)])),
+            ],
+        );
+        (rule, buys)
+    }
+
+    #[test]
+    fn linear_recursion_detection() {
+        let mut i = Interner::new();
+        let (rule, buys) = buys_rule(&mut i);
+        assert!(rule.is_recursive_in(buys));
+        assert!(rule.is_linear_recursive_in(buys));
+        let rec = rule.recursive_atom(buys).unwrap();
+        assert_eq!(rec.pred, buys);
+        assert_eq!(rule.nonrecursive_atoms(buys).len(), 1);
+    }
+
+    #[test]
+    fn nonlinear_rule_is_not_linear() {
+        let mut i = Interner::new();
+        let p = i.intern("p");
+        let (x, y, z) = (i.intern("X"), i.intern("Y"), i.intern("Z"));
+        let rule = Rule::new(
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Literal::Atom(Atom::new(p, vec![Term::Var(x), Term::Var(z)])),
+                Literal::Atom(Atom::new(p, vec![Term::Var(z), Term::Var(y)])),
+            ],
+        );
+        assert!(rule.is_recursive_in(p));
+        assert!(!rule.is_linear_recursive_in(p));
+        assert!(rule.recursive_atom(p).is_none());
+    }
+
+    #[test]
+    fn safety() {
+        let mut i = Interner::new();
+        let (rule, _) = buys_rule(&mut i);
+        assert!(rule.is_safe());
+        let p = i.intern("p");
+        let q = i.intern("q");
+        let (x, y) = (i.intern("X"), i.intern("Y"));
+        let unsafe_rule = Rule::new(
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+            vec![Literal::Atom(Atom::new(q, vec![Term::Var(x)]))],
+        );
+        assert!(!unsafe_rule.is_safe());
+        let tom = i.intern("tom");
+        let ground_fact = Rule::fact(Atom::new(p, vec![Term::sym(tom)]));
+        assert!(ground_fact.is_safe());
+        let open_fact = Rule::fact(Atom::new(p, vec![Term::Var(x)]));
+        assert!(!open_fact.is_safe());
+    }
+
+    #[test]
+    fn eq_literal_grounds_head_var() {
+        let mut i = Interner::new();
+        let p = i.intern("p");
+        let q = i.intern("q");
+        let (x, y) = (i.intern("X"), i.intern("Y"));
+        let tom = i.intern("tom");
+        let rule = Rule::new(
+            Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+            vec![
+                Literal::Atom(Atom::new(q, vec![Term::Var(x)])),
+                Literal::Eq(Term::Var(y), Term::sym(tom)),
+            ],
+        );
+        assert!(rule.is_safe());
+        assert_eq!(rule.body_atoms().count(), 1);
+    }
+
+    #[test]
+    fn vars_ordering() {
+        let mut i = Interner::new();
+        let (rule, _) = buys_rule(&mut i);
+        let (x, y, w) = (i.intern("X"), i.intern("Y"), i.intern("W"));
+        assert_eq!(rule.vars(), vec![x, y, w]);
+    }
+}

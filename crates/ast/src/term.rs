@@ -1,0 +1,116 @@
+//! Terms: variables and constants.
+
+use crate::symbol::Sym;
+
+/// A constant appearing in a program, query, or fact.
+///
+/// The paper's programs are function-free, so constants are either symbolic
+/// (`tom`, `widget_9`) or integer literals. Integers are kept distinct from
+/// symbols so the Counting baseline can manipulate its `(I, J, K)` counters
+/// without interning astronomically many strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// An interned symbolic constant.
+    Sym(Sym),
+    /// An integer literal.
+    Int(i64),
+}
+
+/// A term: either a variable or a constant.
+///
+/// Variables are identified by their interned name and are scoped to the
+/// rule (or query) in which they appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable, e.g. `X`.
+    Var(Sym),
+    /// A constant, e.g. `tom` or `42`.
+    Const(Const),
+}
+
+impl Term {
+    /// Convenience constructor for a symbolic constant term.
+    pub fn sym(s: Sym) -> Self {
+        Term::Const(Const::Sym(s))
+    }
+
+    /// Convenience constructor for an integer constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Const::Int(i))
+    }
+
+    /// Returns the variable name if this term is a variable.
+    pub fn as_var(&self) -> Option<Sym> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is a constant.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Whether this term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Applies a variable substitution, leaving constants untouched and
+    /// variables not in the substitution unchanged.
+    pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Term {
+        match self {
+            Term::Var(v) => subst(*v).unwrap_or(*self),
+            Term::Const(_) => *self,
+        }
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Interner;
+
+    #[test]
+    fn accessors() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let tom = i.intern("tom");
+        let v = Term::Var(x);
+        let c = Term::sym(tom);
+        let n = Term::int(7);
+        assert_eq!(v.as_var(), Some(x));
+        assert!(v.as_const().is_none());
+        assert_eq!(c.as_const(), Some(Const::Sym(tom)));
+        assert_eq!(n.as_const(), Some(Const::Int(7)));
+        assert!(v.is_var() && !v.is_const());
+        assert!(c.is_const() && !c.is_var());
+    }
+
+    #[test]
+    fn substitute_replaces_only_mapped_vars() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        let tom = i.intern("tom");
+        let subst = |v: Sym| if v == x { Some(Term::sym(tom)) } else { None };
+        assert_eq!(Term::Var(x).substitute(&subst), Term::sym(tom));
+        assert_eq!(Term::Var(y).substitute(&subst), Term::Var(y));
+        assert_eq!(Term::int(3).substitute(&subst), Term::int(3));
+    }
+}

@@ -1,0 +1,46 @@
+//! E10 — engineering ablation on the Magic Sets baseline itself: basic vs
+//! supplementary rewriting on recursions with multi-atom rule bodies. The
+//! supplementary variant shares each rule-body prefix between the magic
+//! rule and the guarded rule, trading join re-computation (rows scanned)
+//! for materialized `sup` relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_ast::{parse_program, parse_query};
+use sepra_gen::paper::Instance;
+use sepra_rewrite::{magic_evaluate, magic_evaluate_supplementary};
+use sepra_storage::Database;
+
+fn long_body_instance(n: usize) -> Instance {
+    let mut db = Database::new();
+    sepra_gen::graphs::add_chain(&mut db, "hop", "n", n);
+    db.insert_named("goal", &[&format!("n{n}"), "finish"]).expect("fact");
+    db.insert_named("goal", &[&format!("n{}", n / 2), "half"]).expect("fact");
+    Instance {
+        program: "reach(X, Y) :- hop(X, A), hop(A, B), hop(B, W), reach(W, Y).\n\
+                  reach(X, Y) :- goal(X, Y).\n"
+            .to_string(),
+        query: "reach(n0, Y)?".to_string(),
+        db,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_supplementary_magic");
+    group.sample_size(10);
+    for n in [120usize, 480, 960] {
+        let inst = long_body_instance(n);
+        let mut db = inst.db.clone();
+        let program = parse_program(&inst.program, db.interner_mut()).expect("parses");
+        let query = parse_query(&inst.query, db.interner_mut()).expect("parses");
+        group.bench_with_input(BenchmarkId::new("basic", n), &n, |b, _| {
+            b.iter(|| magic_evaluate(&program, &query, &db).expect("basic magic"));
+        });
+        group.bench_with_input(BenchmarkId::new("supplementary", n), &n, |b, _| {
+            b.iter(|| magic_evaluate_supplementary(&program, &query, &db).expect("sup magic"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E11 — cost of why-provenance: evaluating with justification tracking
+//! (the Lemma 3.1 `J(a)` strings) vs plain evaluation, on chain and random
+//! workloads. Tracking widens every carry-extension plan's output by the
+//! parent tuple and records one origin per new tuple.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_ast::{parse_program, parse_query, Query};
+use sepra_core::detect::detect_in_program;
+use sepra_core::evaluate::SeparableEvaluator;
+use sepra_gen::graphs::add_random_digraph;
+use sepra_gen::paper::magic_worst_buys;
+use sepra_storage::Database;
+
+fn prepared(n_kind: &str, n: usize) -> (SeparableEvaluator, Query, Database) {
+    let (mut db, program_src, query_src) = match n_kind {
+        "chain" => {
+            let inst = magic_worst_buys(n);
+            (inst.db, inst.program, inst.query)
+        }
+        _ => {
+            let mut db = Database::new();
+            add_random_digraph(&mut db, "friend", "p", n, n * 2, 5);
+            db.insert_named("perfectFor", &["p1", "prod"]).expect("fact");
+            (
+                db,
+                "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                 buys(X, Y) :- perfectFor(X, Y).\n"
+                    .to_string(),
+                "buys(p0, Y)?".to_string(),
+            )
+        }
+    };
+    let program = parse_program(&program_src, db.interner_mut()).expect("parses");
+    let query = parse_query(&query_src, db.interner_mut()).expect("parses");
+    let sep = detect_in_program(&program, query.atom.pred, db.interner_mut()).expect("separable");
+    (SeparableEvaluator::new(sep), query, db)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_provenance_overhead");
+    group.sample_size(10);
+    for (kind, n) in [("chain", 200usize), ("random", 400)] {
+        let (evaluator, query, db) = prepared(kind, n);
+        group.bench_with_input(
+            BenchmarkId::new("plain", format!("{kind}_{n}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    evaluator
+                        .evaluate(&query, &db, &Default::default())
+                        .expect("evaluates")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tracked", format!("{kind}_{n}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    evaluator
+                        .evaluate_with_justifications(&query, &db, &Default::default())
+                        .expect("evaluates")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E1 — Section 4's worked example on Example 1.2: query `buys(tom, Y)?`
+//! over a friend chain and a cheaper chain. Generalized Magic Sets
+//! materializes Θ(n²) `buys` tuples; Separable stays O(n).
+//!
+//! Run `cargo run -p sepra-bench --bin paper-tables --release` for the
+//! relation-size table; this bench times both algorithms across n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::{run_magic, run_separable};
+use sepra_gen::paper::magic_worst_buys;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_magic_vs_separable");
+    group.sample_size(10);
+    for n in [25usize, 50, 100, 200] {
+        let inst = magic_worst_buys(n);
+        group.bench_with_input(BenchmarkId::new("separable", n), &inst, |b, inst| {
+            b.iter(|| run_separable(inst).expect("separable run"));
+        });
+        group.bench_with_input(BenchmarkId::new("magic", n), &inst, |b, inst| {
+            b.iter(|| run_magic(inst).expect("magic run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

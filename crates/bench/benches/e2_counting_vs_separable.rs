@@ -1,0 +1,29 @@
+//! E2 — Section 4's worked example on Example 1.1: query `buys(tom, Y)?`
+//! where `friend` and `idol` are the same chain. Generalized Counting's
+//! `count` relation is Θ(2ⁿ) (the paper notes a 30-tuple database can
+//! generate gigabytes); Separable stays O(n). Depths are capped at 16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::{run_counting, run_hn, run_separable};
+use sepra_gen::paper::counting_worst_buys;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_counting_vs_separable");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let inst = counting_worst_buys(n);
+        group.bench_with_input(BenchmarkId::new("separable", n), &inst, |b, inst| {
+            b.iter(|| run_separable(inst).expect("separable run"));
+        });
+        group.bench_with_input(BenchmarkId::new("counting", n), &inst, |b, inst| {
+            b.iter(|| run_counting(inst).expect("counting run"));
+        });
+        group.bench_with_input(BenchmarkId::new("hn", n), &inst, |b, inst| {
+            b.iter(|| run_hn(inst).expect("hn run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

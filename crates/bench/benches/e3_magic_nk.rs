@@ -1,0 +1,27 @@
+//! E3 — Lemma 4.2: on the `S_p^k` witness (a₁ = chain, t0 = full k-ary
+//! relation), Generalized Magic Sets constructs Ω(nᵏ) tuples while
+//! Separable constructs O(n^{max(w, k-w)}) = O(n^{k-1}) (w = 1 here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::{run_magic, run_separable};
+use sepra_gen::paper::spk_magic_witness;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_magic_nk");
+    group.sample_size(10);
+    // (k, p, n) triples keeping t0 = n^k modest.
+    for (k, p, n) in [(1usize, 2usize, 200usize), (2, 2, 60), (3, 2, 16), (2, 4, 60)] {
+        let inst = spk_magic_witness(k, p, n);
+        let label = format!("k{k}_p{p}_n{n}");
+        group.bench_with_input(BenchmarkId::new("separable", &label), &inst, |b, inst| {
+            b.iter(|| run_separable(inst).expect("separable run"));
+        });
+        group.bench_with_input(BenchmarkId::new("magic", &label), &inst, |b, inst| {
+            b.iter(|| run_magic(inst).expect("magic run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4 — Lemma 4.3: on the `S_p^k` witness with p identical chains,
+//! Generalized Counting constructs Ω(pⁿ) count tuples; Separable is O(n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::{run_counting, run_separable};
+use sepra_gen::paper::spk_counting_witness;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_counting_pn");
+    group.sample_size(10);
+    for (p, n) in [(1usize, 14usize), (2, 14), (3, 10)] {
+        let inst = spk_counting_witness(2, p, n);
+        let label = format!("p{p}_n{n}");
+        group.bench_with_input(BenchmarkId::new("separable", &label), &inst, |b, inst| {
+            b.iter(|| run_separable(inst).expect("separable run"));
+        });
+        group.bench_with_input(BenchmarkId::new("counting", &label), &inst, |b, inst| {
+            b.iter(|| run_counting(inst).expect("counting run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — Lemma 4.1: Separable never constructs a relation larger than
+//! n^{max(w(e₁), k − w(e₁))}. This bench times Separable across the S_p^k
+//! family as k and w vary; the matching size assertions are in
+//! `paper-tables` (and in `tests/section4_laws.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::run_separable;
+use sepra_gen::paper::{spk_counting_witness, spk_magic_witness};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_separable_bound");
+    group.sample_size(10);
+    for (k, n) in [(1usize, 400usize), (2, 60), (3, 16)] {
+        let inst = spk_magic_witness(k, 2, n);
+        group.bench_with_input(
+            BenchmarkId::new("full_t0", format!("k{k}_n{n}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| run_separable(inst).expect("separable run"));
+            },
+        );
+    }
+    for (p, n) in [(1usize, 200usize), (3, 200)] {
+        let inst = spk_counting_witness(2, p, n);
+        group.bench_with_input(
+            BenchmarkId::new("chains", format!("p{p}_n{n}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| run_separable(inst).expect("separable run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

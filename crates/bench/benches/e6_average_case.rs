@@ -1,0 +1,80 @@
+//! E6 — average-case comparison on representative recursions (the paper
+//! defers empirical averages to [Nau88]; these are the workload shapes its
+//! introduction motivates): transitive closure and the two `buys` programs
+//! over random digraphs and layered DAGs, Separable vs Magic Sets vs
+//! semi-naive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_bench::{run_magic, run_seminaive, run_separable};
+use sepra_gen::graphs::{add_layered_dag, add_random_digraph};
+use sepra_gen::paper::Instance;
+use sepra_gen::programs::{buys_one_class, buys_two_class, transitive_closure};
+use sepra_storage::Database;
+
+fn tc_random(n: usize, m: usize, seed: u64) -> Instance {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "e", "v", n, m, seed);
+    Instance {
+        program: transitive_closure().to_string(),
+        query: "t(v0, Y)?".to_string(),
+        db,
+    }
+}
+
+fn buys_social(n: usize, seed: u64) -> Instance {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "friend", "p", n, n * 2, seed);
+    add_random_digraph(&mut db, "idol", "p", n, n, seed ^ 0xabcd);
+    // Products: each of the last few people has a perfect product.
+    for i in 0..(n / 4).max(1) {
+        db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")])
+            .expect("fact");
+    }
+    Instance {
+        program: buys_one_class().to_string(),
+        query: "buys(p0, Y)?".to_string(),
+        db,
+    }
+}
+
+fn buys_catalog(n: usize, seed: u64) -> Instance {
+    let mut db = Database::new();
+    add_layered_dag(&mut db, "friend", "s", 4, n / 4, 2, seed);
+    for i in 0..(n / 4).max(1) {
+        db.insert_named("perfectFor", &[&format!("sl3n{i}"), &format!("prod{i}")])
+            .expect("fact");
+        db.insert_named("cheaper", &[&format!("prod{}", i + 1), &format!("prod{i}")])
+            .expect("fact");
+    }
+    Instance {
+        program: buys_two_class().to_string(),
+        query: "buys(sl0n0, Y)?".to_string(),
+        db,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_average_case");
+    group.sample_size(10);
+    let workloads: Vec<(&str, Instance)> = vec![
+        ("tc_random_200", tc_random(200, 600, 1)),
+        ("tc_random_800", tc_random(800, 2400, 2)),
+        ("buys_social_200", buys_social(200, 3)),
+        ("buys_catalog_200", buys_catalog(200, 4)),
+    ];
+    for (name, inst) in &workloads {
+        group.bench_with_input(BenchmarkId::new("separable", name), inst, |b, inst| {
+            b.iter(|| run_separable(inst).expect("separable run"));
+        });
+        group.bench_with_input(BenchmarkId::new("magic", name), inst, |b, inst| {
+            b.iter(|| run_magic(inst).expect("magic run"));
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", name), inst, |b, inst| {
+            b.iter(|| run_seminaive(inst).expect("seminaive run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

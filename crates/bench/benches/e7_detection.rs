@@ -1,0 +1,40 @@
+//! E7 — Section 3.1: detecting separability costs a small polynomial in
+//! the *rule* size (r rules, arity k, body length l) and is independent of
+//! the database. This bench times `RecursiveDef::extract` + `detect` on
+//! synthetic wide programs; compare the microseconds here against the
+//! milliseconds-to-seconds evaluation times in E1–E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_ast::{parse_program, Interner};
+use sepra_core::detect::detect_in_program;
+use sepra_gen::programs::wide_program;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_detection");
+    for (r, k, l) in [
+        (2usize, 2usize, 1usize),
+        (8, 2, 2),
+        (8, 8, 4),
+        (32, 4, 4),
+        (32, 8, 8),
+    ] {
+        let src = wide_program(r, k, l);
+        let mut interner = Interner::new();
+        let program = parse_program(&src, &mut interner).expect("wide program parses");
+        let t = interner.intern("t");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{r}_k{k}_l{l}")),
+            &(program, interner, t),
+            |b, (program, interner, t)| {
+                b.iter(|| {
+                    let mut i = interner.clone();
+                    detect_in_program(program, *t, &mut i).expect("wide program is separable")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! E8 — ablations on the design choices DESIGN.md calls out:
+//!
+//! * **(a) Lemma 2.1 decomposition** — a partial selection on the
+//!   Example 2.4 three-ary recursion, evaluated via the t_part/t_full
+//!   decomposition vs falling back to Magic Sets;
+//! * **(b) dedup (`carry - seen`)** — Figure 2's line 5 on vs off on
+//!   acyclic data (off diverges on cyclic data; the wall-clock cost of the
+//!   difference is measured here);
+//! * **(c) hash indexes** — index-nested-loop joins vs filtered full scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepra_ast::{parse_program, parse_query};
+use sepra_bench::{run_magic, run_separable};
+use sepra_core::detect::detect_in_program;
+use sepra_core::evaluate::SeparableEvaluator;
+use sepra_core::exec::{ExecOptions, ExtraRelations};
+use sepra_gen::graphs::add_chain;
+use sepra_gen::paper::{magic_worst_buys, Instance};
+use sepra_storage::Database;
+
+fn example_2_4_instance(n: usize) -> Instance {
+    let mut db = Database::new();
+    // a(X, Y, U, V): pairs walk a chain two-at-a-time.
+    for i in 0..n {
+        db.insert_named(
+            "a",
+            &[
+                &format!("c{i}"),
+                &format!("d{i}"),
+                &format!("c{}", i + 1),
+                &format!("d{}", i + 1),
+            ],
+        )
+        .expect("fact");
+    }
+    for i in 0..=n {
+        db.insert_named("t0", &[&format!("c{i}"), &format!("d{i}"), "w0"])
+            .expect("fact");
+    }
+    add_chain(&mut db, "b", "w", n);
+    Instance {
+        program: "t(X, Y, Z) :- a(X, Y, U, V), t(U, V, Z).\n\
+                  t(X, Y, Z) :- t(X, Y, W), b(W, Z).\n\
+                  t(X, Y, Z) :- t0(X, Y, Z).\n"
+            .to_string(),
+        query: "t(c0, Y, Z)?".to_string(),
+        db,
+    }
+}
+
+fn run_with_options(inst: &Instance, opts: ExecOptions) -> usize {
+    let mut db = inst.db.clone();
+    let program = parse_program(&inst.program, db.interner_mut()).expect("parses");
+    let query = parse_query(&inst.query, db.interner_mut()).expect("parses");
+    let sep = detect_in_program(&program, query.atom.pred, db.interner_mut()).expect("separable");
+    let evaluator = SeparableEvaluator::with_options(sep, opts);
+    evaluator
+        .evaluate(&query, &db, &ExtraRelations::default())
+        .expect("evaluates")
+        .answers
+        .len()
+}
+
+fn bench(c: &mut Criterion) {
+    // (a) Partial selection: decomposition vs Magic Sets.
+    {
+        let mut group = c.benchmark_group("e8a_partial_selection");
+        group.sample_size(10);
+        for n in [20usize, 60] {
+            let inst = example_2_4_instance(n);
+            group.bench_with_input(
+                BenchmarkId::new("separable_lemma21", n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_separable(inst).expect("separable run"));
+                },
+            );
+            group.bench_with_input(BenchmarkId::new("magic", n), &inst, |b, inst| {
+                b.iter(|| run_magic(inst).expect("magic run"));
+            });
+        }
+        group.finish();
+    }
+    // (b) Dedup on/off on acyclic data.
+    {
+        let mut group = c.benchmark_group("e8b_dedup");
+        group.sample_size(10);
+        let inst = magic_worst_buys(100);
+        group.bench_function("dedup_on", |b| {
+            b.iter(|| run_with_options(&inst, ExecOptions::default()));
+        });
+        group.bench_function("dedup_off", |b| {
+            b.iter(|| {
+                run_with_options(
+                    &inst,
+                    ExecOptions { dedup: false, ..ExecOptions::default() },
+                )
+            });
+        });
+        group.finish();
+    }
+    // (c) Indexes on/off.
+    {
+        let mut group = c.benchmark_group("e8c_indexes");
+        group.sample_size(10);
+        let inst = magic_worst_buys(300);
+        group.bench_function("indexes_on", |b| {
+            b.iter(|| run_with_options(&inst, ExecOptions::default()));
+        });
+        group.bench_function("indexes_off", |b| {
+            b.iter(|| {
+                run_with_options(
+                    &inst,
+                    ExecOptions { use_indexes: false, ..ExecOptions::default() },
+                )
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,540 @@
+//! The carry/seen loop executor for compiled separable plans.
+//!
+//! Executes the schema of Figure 2 directly over storage relations:
+//!
+//! ```text
+//! 1) init carry_1;                     (caller-provided seeds)
+//! 2) seen_1 := carry_1;
+//! 3) while carry_1 not empty do
+//! 4)   carry_1 := f_1(carry_1);        (union of per-rule join plans)
+//! 5)   carry_1 := carry_1 - seen_1;    (the dedup Lemma 3.4 needs)
+//! 6)   seen_1 := seen_1 u carry_1;
+//! 7) endwhile;
+//! 8) carry_2 := g_2(seen_1);           (seed plans over the exit rules)
+//! ...                                  (the same loop for carry_2/seen_2)
+//! 15) ans := seen_2;
+//! ```
+//!
+//! [`ExecOptions::dedup`] can disable line 5 for the termination ablation
+//! (E8b in EXPERIMENTS.md): without the difference, cyclic data keeps the
+//! carry nonempty forever and the executor reports divergence at
+//! `max_iterations` instead of looping — demonstrating that the `seen`
+//! difference is exactly what Lemma 3.4's termination proof uses.
+
+use sepra_ast::Sym;
+use sepra_eval::{ConjPlan, EvalError, IndexCache, RelKey, RelStore};
+use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
+
+use crate::justify::{JustificationTracker, Origin};
+use crate::plan::{SeparablePlan, AUX_CARRY1, AUX_CARRY2, AUX_SEEN1};
+
+/// Execution knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Apply `carry := carry - seen` each iteration (line 5 / line 12 of
+    /// Figure 2). Disabling this is unsound on cyclic data — kept only for
+    /// the ablation benchmark.
+    pub dedup: bool,
+    /// Abort with [`EvalError::Diverged`] after this many loop iterations.
+    pub max_iterations: usize,
+    /// Build and probe hash indexes for keyed scans. Disabling falls back
+    /// to filtered full scans — the index ablation (E8c), isolating how
+    /// much of the algorithm's speed comes from the storage layer rather
+    /// than from the compilation itself.
+    pub use_indexes: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { dedup: true, max_iterations: 1_000_000, use_indexes: true }
+    }
+}
+
+/// The raw result of running a plan: the two `seen` relations.
+#[derive(Debug)]
+pub struct RawOutcome {
+    /// `seen_1` (over the phase-1 class columns); `None` for persistent
+    /// selections.
+    pub seen1: Option<Relation>,
+    /// `seen_2` (over the phase-2 columns) — the answers before
+    /// re-attaching the fixed columns.
+    pub seen2: Relation,
+}
+
+/// Extra relations visible to plan execution in addition to the EDB —
+/// used by the engine to supply materialized non-recursive IDB predicates.
+pub type ExtraRelations = FxHashMap<Sym, Relation>;
+
+/// Executes a compiled plan.
+///
+/// `init1` supplies the initial `carry_1` contents (the selection-constant
+/// vector, or a seed set from the Lemma 2.1 decomposition) and must be
+/// `Some` exactly when the plan has a phase 1.
+pub fn execute_plan(
+    plan: &SeparablePlan,
+    db: &Database,
+    extra: &ExtraRelations,
+    init1: Option<Relation>,
+    opts: &ExecOptions,
+    stats: &mut EvalStats,
+) -> Result<RawOutcome, EvalError> {
+    let mut indexes = IndexCache::new();
+
+    // Phase 1: downward closure over the selected class.
+    let seen1 = match (&plan.phase1, init1) {
+        (Some(p1), Some(init)) => {
+            if init.arity() != p1.columns.len() {
+                return Err(EvalError::Planning(format!(
+                    "carry_1 seed arity {} does not match class width {}",
+                    init.arity(),
+                    p1.columns.len()
+                )));
+            }
+            let plans: Vec<&ConjPlan> = p1.steps.iter().map(|(_, p)| p).collect();
+            let seen = run_closure(
+                &plans,
+                AUX_CARRY1,
+                init,
+                db,
+                extra,
+                &mut indexes,
+                opts,
+                ("carry_1", "seen_1"),
+                stats,
+            )?;
+            Some(seen)
+        }
+        (None, None) => None,
+        (Some(_), None) => {
+            return Err(EvalError::Planning("phase 1 requires initial carry_1 contents".into()))
+        }
+        (None, Some(_)) => {
+            return Err(EvalError::Planning(
+                "persistent-selection plan takes no carry_1 seeds".into(),
+            ))
+        }
+    };
+
+    let seen2 = run_seed_and_phase2(plan, db, extra, seen1.as_ref(), &mut indexes, opts, stats)?;
+    Ok(RawOutcome { seen1, seen2 })
+}
+
+/// Runs the seed join (line 8 of Figure 2) and the phase-2 closure of a
+/// compiled plan, given an already-computed `seen_1` (or `None` for
+/// persistent-selection plans whose constants are baked into the seeds).
+///
+/// Exposed separately so alternative descent strategies — notably the
+/// Generalized Counting baseline, whose descent materializes the `count`
+/// relation instead of `seen_1` — can share the exit-join and upward
+/// closure.
+pub fn run_seed_and_phase2(
+    plan: &SeparablePlan,
+    db: &Database,
+    extra: &ExtraRelations,
+    seen1: Option<&Relation>,
+    indexes: &mut IndexCache,
+    opts: &ExecOptions,
+    stats: &mut EvalStats,
+) -> Result<Relation, EvalError> {
+    // Seed: carry_2 := g_2(seen_1) over the exit rules.
+    let mut carry2_init = Relation::new(plan.phase2.columns.len());
+    {
+        let mut store = base_store(db, extra);
+        if let Some(seen1) = seen1 {
+            store.bind(RelKey::Aux(AUX_SEEN1), seen1);
+        }
+        let mut scanned = 0u64;
+        for seed_plan in &plan.seed {
+            if opts.use_indexes {
+                indexes.prepare(seed_plan, &store);
+            }
+            seed_plan.execute_counted(
+                &store,
+                indexes,
+                &[],
+                &mut |row| {
+                    let was_new = carry2_init.insert(Tuple::new(row.to_vec()));
+                    stats.record_insert(was_new);
+                },
+                &mut scanned,
+            );
+        }
+        stats.record_scanned(scanned as usize);
+    }
+    indexes.invalidate(RelKey::Aux(AUX_SEEN1));
+
+    // Phase 2: upward closure over the remaining classes.
+    let plans: Vec<&ConjPlan> = plan.phase2.steps.iter().map(|(_, p)| p).collect();
+    run_closure(
+        &plans,
+        AUX_CARRY2,
+        carry2_init,
+        db,
+        extra,
+        indexes,
+        opts,
+        ("carry_2", "seen_2"),
+        stats,
+    )
+}
+
+/// Executes a compiled plan while recording tuple origins, so answers can
+/// be justified (the paper's `J(a)` construction from Lemma 3.1). Behaves
+/// exactly like [`execute_plan`] otherwise.
+pub fn execute_plan_tracked(
+    plan: &SeparablePlan,
+    db: &Database,
+    extra: &ExtraRelations,
+    init1: Option<Relation>,
+    opts: &ExecOptions,
+    stats: &mut EvalStats,
+    tracker: &mut JustificationTracker,
+) -> Result<RawOutcome, EvalError> {
+    let mut indexes = IndexCache::new();
+
+    let seen1 = match (&plan.phase1, init1) {
+        (Some(p1), Some(init)) => {
+            if init.arity() != p1.columns.len() {
+                return Err(EvalError::Planning(format!(
+                    "carry_1 seed arity {} does not match class width {}",
+                    init.arity(),
+                    p1.columns.len()
+                )));
+            }
+            for t in init.iter() {
+                tracker.record_phase1(t.clone(), Origin::Root);
+            }
+            let seen = run_closure_tracked(
+                &p1.tracked_steps,
+                AUX_CARRY1,
+                init,
+                db,
+                extra,
+                &mut indexes,
+                opts,
+                ("carry_1", "seen_1"),
+                stats,
+                &mut |child, parent, rule, tr: &mut JustificationTracker| {
+                    tr.record_phase1(child, Origin::Phase1 { parent, rule });
+                },
+                tracker,
+            )?;
+            Some(seen)
+        }
+        (None, None) => None,
+        (Some(_), None) => {
+            return Err(EvalError::Planning("phase 1 requires initial carry_1 contents".into()))
+        }
+        (None, Some(_)) => {
+            return Err(EvalError::Planning(
+                "persistent-selection plan takes no carry_1 seeds".into(),
+            ))
+        }
+    };
+
+    // Tracked seed: rows are (seen_1 tuple ++ carry_2 tuple), or just the
+    // carry_2 tuple for persistent selections.
+    let seen1_width = plan.phase1.as_ref().map_or(0, |p1| p1.columns.len());
+    let mut carry2_init = Relation::new(plan.phase2.columns.len());
+    {
+        let mut store = base_store(db, extra);
+        if let Some(seen1) = &seen1 {
+            store.bind(RelKey::Aux(AUX_SEEN1), seen1);
+        }
+        for (exit_idx, seed_plan) in plan.tracked_seed.iter().enumerate() {
+            if opts.use_indexes {
+                indexes.prepare(seed_plan, &store);
+            }
+            seed_plan.execute(&store, &indexes, &[], &mut |row| {
+                let seen1_tuple = (seen1_width > 0)
+                    .then(|| Tuple::new(row[..seen1_width].to_vec()));
+                let child = Tuple::new(row[seen1_width..].to_vec());
+                let was_new = carry2_init.insert(child.clone());
+                stats.record_insert(was_new);
+                tracker.record_phase2(child, Origin::Seed { seen1: seen1_tuple, exit_rule: exit_idx });
+            });
+        }
+    }
+    indexes.invalidate(RelKey::Aux(AUX_SEEN1));
+
+    let seen2 = run_closure_tracked(
+        &plan.phase2.tracked_steps,
+        AUX_CARRY2,
+        carry2_init,
+        db,
+        extra,
+        &mut indexes,
+        opts,
+        ("carry_2", "seen_2"),
+        stats,
+        &mut |child, parent, rule, tr: &mut JustificationTracker| {
+            tr.record_phase2(child, Origin::Phase2 { parent, rule });
+        },
+        tracker,
+    )?;
+
+    Ok(RawOutcome { seen1, seen2 })
+}
+
+/// The tracked twin of [`run_closure`]: step plans emit
+/// `(parent ++ child)` rows; `record` is invoked for every produced
+/// child with its parent and the rule index.
+#[allow(clippy::too_many_arguments)]
+fn run_closure_tracked(
+    tracked_steps: &[(usize, ConjPlan)],
+    carry_key_id: u32,
+    init: Relation,
+    db: &Database,
+    extra: &ExtraRelations,
+    indexes: &mut IndexCache,
+    opts: &ExecOptions,
+    names: (&str, &str),
+    stats: &mut EvalStats,
+    record: &mut dyn FnMut(Tuple, Tuple, usize, &mut JustificationTracker),
+    tracker: &mut JustificationTracker,
+) -> Result<Relation, EvalError> {
+    let arity = init.arity();
+    let (carry_name, seen_name) = names;
+    let mut seen = init.clone();
+    let mut carry = init;
+    stats.record_size(carry_name, carry.len());
+    stats.record_size(seen_name, seen.len());
+
+    let mut iterations = 0usize;
+    while !carry.is_empty() {
+        iterations += 1;
+        stats.record_iteration();
+        if iterations > opts.max_iterations {
+            return Err(EvalError::Diverged {
+                what: format!("{carry_name} loop"),
+                bound: opts.max_iterations,
+            });
+        }
+        let mut produced = Relation::new(arity);
+        {
+            let mut store = base_store(db, extra);
+            store.bind(RelKey::Aux(carry_key_id), &carry);
+            for (rule, plan) in tracked_steps {
+                if opts.use_indexes {
+                    indexes.prepare(plan, &store);
+                }
+                plan.execute(&store, indexes, &[], &mut |row| {
+                    let parent = Tuple::new(row[..arity].to_vec());
+                    let child = Tuple::new(row[arity..].to_vec());
+                    let was_new = produced.insert(child.clone());
+                    stats.record_insert(was_new);
+                    if !seen.contains(&child) {
+                        record(child, parent, *rule, tracker);
+                    }
+                });
+            }
+        }
+        indexes.invalidate(RelKey::Aux(carry_key_id));
+        let mut next_carry = Relation::new(arity);
+        for t in produced.iter() {
+            let is_new = !seen.contains(t);
+            if is_new {
+                seen.insert(t.clone());
+            }
+            if is_new || !opts.dedup {
+                next_carry.insert(t.clone());
+            }
+        }
+        stats.record_size(carry_name, next_carry.len());
+        stats.record_size(seen_name, seen.len());
+        carry = next_carry;
+    }
+    Ok(seen)
+}
+
+fn base_store<'a>(db: &'a Database, extra: &'a ExtraRelations) -> RelStore<'a> {
+    let mut store = RelStore::new();
+    for (p, r) in db.relations() {
+        store.bind(RelKey::Pred(p), r);
+    }
+    for (&p, r) in extra {
+        store.bind(RelKey::Pred(p), r);
+    }
+    store
+}
+
+/// Runs one carry/seen closure (lines 1–7 or 10–14 of Figure 2) and returns
+/// the final `seen` relation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closure(
+    step_plans: &[&ConjPlan],
+    carry_key_id: u32,
+    init: Relation,
+    db: &Database,
+    extra: &ExtraRelations,
+    indexes: &mut IndexCache,
+    opts: &ExecOptions,
+    names: (&str, &str),
+    stats: &mut EvalStats,
+) -> Result<Relation, EvalError> {
+    let arity = init.arity();
+    let (carry_name, seen_name) = names;
+    let mut seen = init.clone();
+    let mut carry = init;
+    stats.record_size(carry_name, carry.len());
+    stats.record_size(seen_name, seen.len());
+
+    let mut iterations = 0usize;
+    while !carry.is_empty() {
+        iterations += 1;
+        stats.record_iteration();
+        if iterations > opts.max_iterations {
+            return Err(EvalError::Diverged {
+                what: format!("{carry_name} loop"),
+                bound: opts.max_iterations,
+            });
+        }
+        // carry := f(carry) — the union of the per-rule join plans.
+        let mut produced = Relation::new(arity);
+        {
+            let mut store = base_store(db, extra);
+            store.bind(RelKey::Aux(carry_key_id), &carry);
+            let mut scanned = 0u64;
+            for plan in step_plans {
+                if opts.use_indexes {
+                    indexes.prepare(plan, &store);
+                }
+                plan.execute_counted(
+                    &store,
+                    indexes,
+                    &[],
+                    &mut |row| {
+                        let was_new = produced.insert(Tuple::new(row.to_vec()));
+                        stats.record_insert(was_new);
+                    },
+                    &mut scanned,
+                );
+            }
+            stats.record_scanned(scanned as usize);
+        }
+        indexes.invalidate(RelKey::Aux(carry_key_id));
+        // carry := carry - seen (line 5); seen := seen u carry (line 6).
+        let mut next_carry = Relation::new(arity);
+        for t in produced.iter() {
+            let is_new = !seen.contains(t);
+            if is_new {
+                seen.insert(t.clone());
+            }
+            if is_new || !opts.dedup {
+                next_carry.insert(t.clone());
+            }
+        }
+        stats.record_size(carry_name, next_carry.len());
+        stats.record_size(seen_name, seen.len());
+        carry = next_carry;
+    }
+    Ok(seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_in_program;
+    use crate::plan::{build_plan, PlanSelection};
+    use sepra_ast::parse_program;
+    use sepra_storage::Value;
+
+    fn chain_db(n: u32) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert_named("e", &[&format!("n{i}"), &format!("n{}", i + 1)])
+                .unwrap();
+        }
+        db
+    }
+
+    /// Transitive closure t(X, Y) with query t(n0, Y): phase 1 walks the
+    /// chain, the seed joins e as exit, no phase 2.
+    #[test]
+    fn closure_walks_a_chain() {
+        let mut db = chain_db(5);
+        let program = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
+            db.interner_mut(),
+        )
+        .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+
+        let mut init = Relation::new(1);
+        let n0 = db.intern("n0");
+        init.insert(Tuple::from([Value::sym(n0)]));
+        let mut stats = EvalStats::new();
+        let out = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &ExecOptions::default(), &mut stats)
+            .unwrap();
+        // seen_1 = {n0..n5} reachable along e (n5 has no outgoing edge but
+        // is reached as a body value... n5 enters carry_1 via e(n4, n5)).
+        assert_eq!(out.seen1.as_ref().unwrap().len(), 6);
+        // seen_2 = everything reachable from seen_1 in one e step: n1..n5.
+        assert_eq!(out.seen2.len(), 5);
+        assert!(stats.relation_sizes["seen_1"] == 6);
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn closure_terminates_on_cycles_with_dedup() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c). e(c, a).").unwrap();
+        let program = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
+            db.interner_mut(),
+        )
+        .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+        let mut init = Relation::new(1);
+        let a = db.intern("a");
+        init.insert(Tuple::from([Value::sym(a)]));
+        let mut stats = EvalStats::new();
+        let out = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &ExecOptions::default(), &mut stats)
+            .unwrap();
+        assert_eq!(out.seen1.as_ref().unwrap().len(), 3);
+        assert_eq!(out.seen2.len(), 3);
+    }
+
+    #[test]
+    fn disabling_dedup_diverges_on_cycles() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, a).").unwrap();
+        let program = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
+            db.interner_mut(),
+        )
+        .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+        let mut init = Relation::new(1);
+        let a = db.intern("a");
+        init.insert(Tuple::from([Value::sym(a)]));
+        let opts = ExecOptions { dedup: false, max_iterations: 50, ..ExecOptions::default() };
+        let mut stats = EvalStats::new();
+        let err = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &opts, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_seeds_are_rejected() {
+        let mut db = chain_db(2);
+        let program = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
+            db.interner_mut(),
+        )
+        .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+        let mut stats = EvalStats::new();
+        let err = execute_plan(&plan, &db, &ExtraRelations::default(), None, &ExecOptions::default(), &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Planning(_)));
+    }
+}

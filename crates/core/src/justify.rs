@@ -1,0 +1,206 @@
+//! Answer justifications — the paper's `J(a)` strings.
+//!
+//! The proof of Lemma 3.1 associates with every answer `a` a
+//! *justification*: the sequence of rule applications through which `a`
+//! entered the `ans` relation — first the `e_1` rules that extended
+//! `carry_1` from the selection constants, then the exit rule whose join
+//! seeded `carry_2`, then the remaining-class rules that extended
+//! `carry_2`. The justification is precisely a derivation `D(s)` of an
+//! expansion string that produces `a`, which is what makes the algorithm
+//! sound.
+//!
+//! [`JustificationTracker`] materializes these strings during execution
+//! (using the plans' tracked variants, whose output rows carry the parent
+//! tuple), turning the proof construction into a *why-provenance* feature:
+//! `sepra`'s `:why` command prints, for any answer, one derivation that
+//! produces it, and the test suite replays justifications step by step to
+//! validate them — a constructive check of Lemma 3.1.
+
+use sepra_ast::Interner;
+use sepra_storage::{FxHashMap, Tuple};
+
+use crate::detect::SeparableRecursion;
+
+/// How a tuple entered a carry/seen relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// A phase-1 root: the selection constants (or a decomposition seed).
+    Root,
+    /// Produced in phase 1 by applying `rule` to `parent`.
+    Phase1 {
+        /// The parent `carry_1` tuple.
+        parent: Tuple,
+        /// Index into [`SeparableRecursion::recursive_rules`].
+        rule: usize,
+    },
+    /// Seeded into `carry_2` by exit rule `exit_rule`, joined with the
+    /// given `seen_1` tuple (absent for persistent selections).
+    Seed {
+        /// The contributing `seen_1` tuple, if phase 1 ran.
+        seen1: Option<Tuple>,
+        /// Index into [`SeparableRecursion::exit_rules`].
+        exit_rule: usize,
+    },
+    /// Produced in phase 2 by applying `rule` to `parent`.
+    Phase2 {
+        /// The parent `carry_2` tuple.
+        parent: Tuple,
+        /// Index into [`SeparableRecursion::recursive_rules`].
+        rule: usize,
+    },
+}
+
+/// One answer's justification: a derivation `D(s)` (Definition 2.5) split
+/// into the three stages of the algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Justification {
+    /// Rules of the selected class applied downward from the selection
+    /// constants, in application order (`D_1(s)`).
+    pub phase1_rules: Vec<usize>,
+    /// The `seen_1` tuple that met the exit rule (absent for persistent
+    /// selections).
+    pub seen1_tuple: Option<Tuple>,
+    /// The exit rule used.
+    pub exit_rule: usize,
+    /// Remaining-class rules applied upward, in application order
+    /// (`D(s) - D_1(s)`, reversed to expansion order by the caller if
+    /// needed).
+    pub phase2_rules: Vec<usize>,
+}
+
+impl Justification {
+    /// Renders the justification as the paper would write the derivation,
+    /// e.g. `r_1 r_1 r_2 · exit_0 · r_3`.
+    pub fn render(&self, sep: &SeparableRecursion, interner: &Interner) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &r in &self.phase1_rules {
+            let _ = write!(out, "{} ", rule_label(sep, interner, r));
+        }
+        let _ = write!(out, "[exit {}]", self.exit_rule);
+        for &r in &self.phase2_rules {
+            let _ = write!(out, " {}", rule_label(sep, interner, r));
+        }
+        out
+    }
+}
+
+fn rule_label(sep: &SeparableRecursion, interner: &Interner, rule: usize) -> String {
+    // Label by the first nonrecursive predicate of the rule, the most
+    // recognizable handle for a human.
+    let r = &sep.recursive_rules[rule];
+    let name = r
+        .nonrecursive_atoms(sep.pred)
+        .first()
+        .map(|a| interner.resolve(a.pred).to_string())
+        .unwrap_or_else(|| format!("r{rule}"));
+    format!("r{rule}({name})")
+}
+
+/// Records one origin per tuple per phase (first derivation wins, as in
+/// the paper's justification definition — any one derivation suffices).
+#[derive(Debug, Default)]
+pub struct JustificationTracker {
+    /// Origins of `seen_1` tuples.
+    pub phase1: FxHashMap<Tuple, Origin>,
+    /// Origins of `seen_2` tuples.
+    pub phase2: FxHashMap<Tuple, Origin>,
+}
+
+impl JustificationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an origin if the tuple has none yet.
+    pub fn record_phase1(&mut self, tuple: Tuple, origin: Origin) {
+        self.phase1.entry(tuple).or_insert(origin);
+    }
+
+    /// Records an origin if the tuple has none yet.
+    pub fn record_phase2(&mut self, tuple: Tuple, origin: Origin) {
+        self.phase2.entry(tuple).or_insert(origin);
+    }
+
+    /// Reconstructs the justification of a `seen_2` tuple by walking parent
+    /// chains back to the roots.
+    pub fn justify(&self, seen2_tuple: &Tuple) -> Option<Justification> {
+        let mut phase2_rules = Vec::new();
+        let mut current = seen2_tuple.clone();
+        let (seen1_tuple, exit_rule) = loop {
+            match self.phase2.get(&current)? {
+                Origin::Phase2 { parent, rule } => {
+                    phase2_rules.push(*rule);
+                    current = parent.clone();
+                }
+                Origin::Seed { seen1, exit_rule } => break (seen1.clone(), *exit_rule),
+                Origin::Root | Origin::Phase1 { .. } => return None,
+            }
+        };
+        phase2_rules.reverse();
+        let mut phase1_rules = Vec::new();
+        if let Some(seen1) = &seen1_tuple {
+            let mut current = seen1.clone();
+            loop {
+                match self.phase1.get(&current)? {
+                    Origin::Phase1 { parent, rule } => {
+                        phase1_rules.push(*rule);
+                        current = parent.clone();
+                    }
+                    Origin::Root => break,
+                    Origin::Seed { .. } | Origin::Phase2 { .. } => return None,
+                }
+            }
+            phase1_rules.reverse();
+        }
+        Some(Justification { phase1_rules, seen1_tuple, exit_rule, phase2_rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::Sym;
+    use sepra_storage::Value;
+
+    fn t1(v: u32) -> Tuple {
+        Tuple::from([Value::sym(Sym(v))])
+    }
+
+    #[test]
+    fn justify_walks_both_chains() {
+        let mut tracker = JustificationTracker::new();
+        // phase1: 0 -(r0)-> 1 -(r1)-> 2
+        tracker.record_phase1(t1(0), Origin::Root);
+        tracker.record_phase1(t1(1), Origin::Phase1 { parent: t1(0), rule: 0 });
+        tracker.record_phase1(t1(2), Origin::Phase1 { parent: t1(1), rule: 1 });
+        // seed from seen1 tuple 2 via exit 0: carry2 tuple 10.
+        tracker.record_phase2(
+            t1(10),
+            Origin::Seed { seen1: Some(t1(2)), exit_rule: 0 },
+        );
+        // phase2: 10 -(r2)-> 11.
+        tracker.record_phase2(t1(11), Origin::Phase2 { parent: t1(10), rule: 2 });
+
+        let j = tracker.justify(&t1(11)).expect("justified");
+        assert_eq!(j.phase1_rules, vec![0, 1]);
+        assert_eq!(j.exit_rule, 0);
+        assert_eq!(j.phase2_rules, vec![2]);
+        assert_eq!(j.seen1_tuple, Some(t1(2)));
+    }
+
+    #[test]
+    fn first_origin_wins() {
+        let mut tracker = JustificationTracker::new();
+        tracker.record_phase1(t1(1), Origin::Root);
+        tracker.record_phase1(t1(1), Origin::Phase1 { parent: t1(0), rule: 5 });
+        assert_eq!(tracker.phase1[&t1(1)], Origin::Root);
+    }
+
+    #[test]
+    fn unknown_tuple_is_none() {
+        let tracker = JustificationTracker::new();
+        assert!(tracker.justify(&t1(9)).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! `sepra` — a small CLI for the separable-recursion query processor.
+//!
+//! ```text
+//! sepra [OPTIONS] [FILE...]
+//!
+//! Options:
+//!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
+//!   -s, --strategy NAME     force a strategy: separable|magic|magic-sup|counting|hn|seminaive|naive
+//!   -f, --format FMT        answer output format: text (default) | csv | json
+//!       --stats             print relation-size statistics after each query
+//!       --explain           print the evaluation plan instead of running
+//!       --check             print a separability report for every predicate
+//!       --repl              start an interactive session (default if no -q)
+//!   -h, --help              this message
+//! ```
+//!
+//! In the REPL, clauses ending in `.` extend the program/database, atoms
+//! ending in `?` are queries, and commands start with `:` (`:help`).
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use sepra_engine::{render_answers, render_answers_csv, render_answers_json, QueryProcessor, Strategy, StrategyChoice};
+
+struct Options {
+    files: Vec<String>,
+    query: Option<String>,
+    strategy: StrategyChoice,
+    stats: bool,
+    explain: bool,
+    check: bool,
+    repl: bool,
+    format: Format,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        query: None,
+        strategy: StrategyChoice::Auto,
+        stats: false,
+        explain: false,
+        check: false,
+        repl: false,
+        format: Format::Text,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-q" | "--query" => {
+                opts.query = Some(args.next().ok_or("missing argument for --query")?);
+            }
+            "-s" | "--strategy" => {
+                let name = args.next().ok_or("missing argument for --strategy")?;
+                opts.strategy = StrategyChoice::Force(name.parse::<Strategy>()?);
+            }
+            "--stats" => opts.stats = true,
+            "--explain" => opts.explain = true,
+            "--check" => opts.check = true,
+            "-f" | "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("csv") => Format::Csv,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects text|csv|json, got {:?}",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                };
+            }
+            "--repl" => opts.repl = true,
+            "-h" | "--help" => {
+                print!("{}", HELP);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "\
+sepra — deductive database engine with compiled separable recursions
+
+Usage: sepra [OPTIONS] [FILE...]
+
+Options:
+  -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
+  -s, --strategy NAME   separable|magic|magic-sup|counting|hn|seminaive|naive
+      --stats           print relation-size statistics after each query
+      --explain         print the evaluation plan instead of running
+      --check           print a separability report for every predicate
+  -f, --format FMT      answer output format: text (default) | csv | json
+      --repl            interactive session (default when no --query)
+  -h, --help            this message
+";
+
+const REPL_HELP: &str = "\
+Clauses ending in `.` extend the program or database.
+Atoms ending in `?` run as queries.
+Commands:
+  :strategy NAME   force a strategy (auto|separable|magic|magic-sup|counting|hn|seminaive|naive)
+  :explain QUERY   show the evaluation plan for QUERY
+  :why QUERY       answer QUERY and show one derivation per answer
+  :stats on|off    toggle statistics output
+  :check           separability report for every predicate
+  :program         list loaded rules
+  :help            this message
+  :quit            exit
+";
+
+fn run_query(
+    qp: &mut QueryProcessor,
+    src: &str,
+    strategy: StrategyChoice,
+    stats: bool,
+    format: Format,
+) {
+    let query = match qp.parse_query(src) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return;
+        }
+    };
+    match qp.run_query(&query, strategy) {
+        Ok(result) => {
+            match format {
+                Format::Text => {
+                    print!("{}", render_answers(&result.answers, qp.db().interner()));
+                    println!(
+                        "-- {} answers in {:.3?} via {}",
+                        result.answers.len(),
+                        result.elapsed,
+                        result.strategy
+                    );
+                    if stats {
+                        print!("{}", result.stats);
+                    }
+                }
+                Format::Csv => print!("{}", render_answers_csv(&result.answers, qp.db().interner())),
+                Format::Json => print!("{}", render_answers_json(&result.answers, qp.db().interner())),
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut qp = QueryProcessor::new();
+    for file in &opts.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = qp.load(&text) {
+            eprintln!("error in {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if opts.check {
+        print!("{}", qp.check_report());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(query) = &opts.query {
+        if opts.explain {
+            match qp.explain(query) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            run_query(&mut qp, query, opts.strategy, opts.stats, opts.format);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // REPL.
+    println!("sepra — type :help for commands");
+    let stdin = std::io::stdin();
+    let mut strategy = opts.strategy;
+    let mut stats = opts.stats;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("sepra> ");
+        } else {
+            print!("   ... ");
+        }
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() && line.starts_with(':') {
+            let mut parts = line.splitn(2, ' ');
+            let cmd = parts.next().unwrap_or_default();
+            let rest = parts.next().unwrap_or("").trim();
+            match cmd {
+                ":quit" | ":q" | ":exit" => break,
+                ":help" | ":h" => print!("{REPL_HELP}"),
+                ":stats" => {
+                    stats = rest != "off";
+                    println!("stats {}", if stats { "on" } else { "off" });
+                }
+                ":strategy" => {
+                    if rest == "auto" {
+                        strategy = StrategyChoice::Auto;
+                        println!("strategy auto");
+                    } else {
+                        match rest.parse::<Strategy>() {
+                            Ok(s) => {
+                                strategy = StrategyChoice::Force(s);
+                                println!("strategy {s}");
+                            }
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                }
+                ":explain" => match qp.explain(rest) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ":why" => match qp.why(rest) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ":check" => print!("{}", qp.check_report()),
+                ":program" => {
+                    print!(
+                        "{}",
+                        sepra_ast::pretty::program_to_string(qp.program(), qp.db().interner())
+                    );
+                }
+                other => eprintln!("error: unknown command {other} (try :help)"),
+            }
+            continue;
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // A statement is complete at a trailing `.` or `?`.
+        let complete = line.ends_with('.') || line.ends_with('?');
+        if !complete {
+            continue;
+        }
+        let stmt = buffer.trim().to_string();
+        buffer.clear();
+        if stmt.ends_with('?') {
+            run_query(&mut qp, &stmt, strategy, stats, opts.format);
+        } else if let Err(e) = qp.load(&stmt) {
+            eprintln!("error: {e}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,720 @@
+//! Strategy selection and query execution.
+
+use std::time::{Duration, Instant};
+
+use sepra_ast::{parse_program, parse_query, AstError, DependencyGraph, Program, Query, RecursiveDef, Sym};
+use sepra_core::detect::detect;
+use sepra_core::evaluate::SeparableEvaluator;
+use sepra_core::exec::{ExecOptions, ExtraRelations};
+use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
+use sepra_eval::{naive::naive, query_answers, seminaive, EvalError};
+use sepra_rewrite::{counting_evaluate, hn_evaluate, magic_evaluate, magic_evaluate_supplementary, CountingOptions, HnOptions};
+use sepra_storage::{Database, EvalStats, Relation};
+
+/// The evaluation strategies the processor can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's specialized algorithm (requires a separable recursion
+    /// and a selection).
+    Separable,
+    /// Generalized Magic Sets.
+    MagicSets,
+    /// Magic Sets with supplementary predicates (shares rule-body prefixes).
+    MagicSupplementary,
+    /// The Generalized Counting Method (requires a full class selection and
+    /// acyclic data).
+    Counting,
+    /// The Henschen-Naqvi iterative algorithm (string-at-a-time; requires
+    /// a full class selection and acyclic data).
+    HenschenNaqvi,
+    /// Stratified semi-naive bottom-up evaluation.
+    SemiNaive,
+    /// Naive bottom-up evaluation (for comparisons only).
+    Naive,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::Separable => "separable",
+            Strategy::MagicSets => "magic",
+            Strategy::MagicSupplementary => "magic-sup",
+            Strategy::Counting => "counting",
+            Strategy::HenschenNaqvi => "hn",
+            Strategy::SemiNaive => "seminaive",
+            Strategy::Naive => "naive",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "separable" | "sep" => Ok(Strategy::Separable),
+            "magic" | "magic-sets" | "magicsets" => Ok(Strategy::MagicSets),
+            "magic-sup" | "supplementary" => Ok(Strategy::MagicSupplementary),
+            "counting" | "count" => Ok(Strategy::Counting),
+            "hn" | "henschen-naqvi" => Ok(Strategy::HenschenNaqvi),
+            "seminaive" | "semi-naive" => Ok(Strategy::SemiNaive),
+            "naive" => Ok(Strategy::Naive),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected separable|magic|magic-sup|counting|hn|seminaive|naive)"
+            )),
+        }
+    }
+}
+
+/// Either a caller-forced strategy or automatic selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyChoice {
+    /// Let the processor pick (Separable when it applies, else Magic Sets,
+    /// else semi-naive).
+    #[default]
+    Auto,
+    /// Force a specific strategy (fails if it does not apply).
+    Force(Strategy),
+}
+
+/// The result of running one query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Answers as full tuples of the query predicate.
+    pub answers: Relation,
+    /// Which strategy actually ran.
+    pub strategy: Strategy,
+    /// The paper's relation-size statistics for the run.
+    pub stats: EvalStats,
+    /// Wall-clock evaluation time (excludes parsing).
+    pub elapsed: Duration,
+}
+
+/// Errors from the processor.
+#[derive(Debug)]
+pub enum ProcessorError {
+    /// Program or query text failed to parse/validate.
+    Ast(AstError),
+    /// Evaluation failed.
+    Eval(EvalError),
+    /// Facts failed to load.
+    Facts(String),
+    /// A forced strategy does not apply to this query.
+    StrategyUnavailable(String),
+}
+
+impl std::fmt::Display for ProcessorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessorError::Ast(e) => write!(f, "{e}"),
+            ProcessorError::Eval(e) => write!(f, "{e}"),
+            ProcessorError::Facts(e) => write!(f, "{e}"),
+            ProcessorError::StrategyUnavailable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessorError {}
+
+impl From<AstError> for ProcessorError {
+    fn from(e: AstError) -> Self {
+        ProcessorError::Ast(e)
+    }
+}
+
+impl From<EvalError> for ProcessorError {
+    fn from(e: EvalError) -> Self {
+        ProcessorError::Eval(e)
+    }
+}
+
+/// A program + database pair that answers queries.
+#[derive(Debug, Default)]
+pub struct QueryProcessor {
+    db: Database,
+    program: Program,
+    exec_options: ExecOptions,
+}
+
+impl QueryProcessor {
+    /// Creates an empty processor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads source text: proper rules extend the program, facts go to the
+    /// database.
+    pub fn load(&mut self, src: &str) -> Result<(), ProcessorError> {
+        let parsed = parse_program(src, self.db.interner_mut())?;
+        let mut rules = Vec::new();
+        for rule in parsed.rules {
+            if rule.is_fact() {
+                self.db
+                    .insert_atom(&rule.head)
+                    .map_err(|e| ProcessorError::Facts(e.to_string()))?;
+            } else {
+                rules.push(rule);
+            }
+        }
+        self.program.rules.extend(rules);
+        Ok(())
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (for programmatic fact loading).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The loaded rules.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Overrides executor options (dedup / iteration bound).
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.exec_options = opts;
+    }
+
+    /// Parses a query in this processor's symbol space.
+    pub fn parse_query(&mut self, src: &str) -> Result<Query, ProcessorError> {
+        Ok(parse_query(src, self.db.interner_mut())?)
+    }
+
+    /// Runs a query with automatic strategy selection.
+    pub fn query(&mut self, src: &str) -> Result<QueryResult, ProcessorError> {
+        self.query_with(src, StrategyChoice::Auto)
+    }
+
+    /// Runs a query with a forced or automatic strategy.
+    pub fn query_with(
+        &mut self,
+        src: &str,
+        choice: StrategyChoice,
+    ) -> Result<QueryResult, ProcessorError> {
+        let query = self.parse_query(src)?;
+        self.run_query(&query, choice)
+    }
+
+    /// Runs an already-parsed query.
+    pub fn run_query(
+        &mut self,
+        query: &Query,
+        choice: StrategyChoice,
+    ) -> Result<QueryResult, ProcessorError> {
+        match choice {
+            StrategyChoice::Force(s) => self.run_forced(query, s),
+            StrategyChoice::Auto => self.run_auto(query),
+        }
+    }
+
+    /// Materializes every IDB predicate other than `pred` (the supporting
+    /// strata), so the specialized evaluators can treat them as base
+    /// relations.
+    fn materialize_support(&self, pred: Sym) -> Result<ExtraRelations, ProcessorError> {
+        let mut rules = Vec::new();
+        for rule in &self.program.rules {
+            if rule.head.pred != pred {
+                rules.push(rule.clone());
+            }
+        }
+        if rules.is_empty() {
+            return Ok(ExtraRelations::default());
+        }
+        let sub = Program::new(rules);
+        let derived = seminaive(&sub, &self.db)?;
+        Ok(derived.relations)
+    }
+
+    fn try_separable(
+        &mut self,
+        query: &Query,
+    ) -> Result<Result<QueryResult, String>, ProcessorError> {
+        let pred = query.atom.pred;
+        let graph = DependencyGraph::build(&self.program);
+        if !graph.is_recursive(pred) {
+            return Ok(Err("query predicate is not recursive".into()));
+        }
+        let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+            Ok(def) => def,
+            Err(e) => return Ok(Err(e.to_string())),
+        };
+        let sep = match detect(&def, self.db.interner_mut()) {
+            Ok(sep) => sep,
+            Err(ns) => return Ok(Err(ns.to_string())),
+        };
+        if matches!(classify_selection(&sep, query), SelectionKind::NoSelection) {
+            return Ok(Err("query has no selection constants".into()));
+        }
+        let extra = self.materialize_support(pred)?;
+        let evaluator = SeparableEvaluator::with_options(sep, self.exec_options.clone());
+        let start = Instant::now();
+        let outcome = evaluator.evaluate(query, &self.db, &extra)?;
+        Ok(Ok(QueryResult {
+            answers: outcome.answers,
+            strategy: Strategy::Separable,
+            stats: outcome.stats,
+            elapsed: start.elapsed(),
+        }))
+    }
+
+    fn run_auto(&mut self, query: &Query) -> Result<QueryResult, ProcessorError> {
+        let pred = query.atom.pred;
+        let is_idb = self.program.rules.iter().any(|r| r.head.pred == pred);
+        if is_idb {
+            match self.try_separable(query)? {
+                Ok(result) => return Ok(result),
+                Err(_reason) => {}
+            }
+            if query.has_selection() {
+                return self.run_forced(query, Strategy::MagicSets);
+            }
+        }
+        self.run_forced(query, Strategy::SemiNaive)
+    }
+
+    fn run_forced(&mut self, query: &Query, strategy: Strategy) -> Result<QueryResult, ProcessorError> {
+        match strategy {
+            Strategy::Separable => match self.try_separable(query)? {
+                Ok(r) => Ok(r),
+                Err(reason) => Err(ProcessorError::StrategyUnavailable(format!(
+                    "separable algorithm unavailable: {reason}"
+                ))),
+            },
+            Strategy::MagicSets => {
+                let start = Instant::now();
+                let out = magic_evaluate(&self.program, query, &self.db)?;
+                Ok(QueryResult {
+                    answers: out.answers,
+                    strategy: Strategy::MagicSets,
+                    stats: out.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+            Strategy::MagicSupplementary => {
+                let start = Instant::now();
+                let out = magic_evaluate_supplementary(&self.program, query, &self.db)?;
+                Ok(QueryResult {
+                    answers: out.answers,
+                    strategy: Strategy::MagicSupplementary,
+                    stats: out.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+            Strategy::Counting => {
+                let pred = query.atom.pred;
+                let def = RecursiveDef::extract(&self.program, pred, self.db.interner())
+                    .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+                let sep = detect(&def, self.db.interner_mut())
+                    .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+                let start = Instant::now();
+                let out = counting_evaluate(&sep, query, &self.db, &CountingOptions::default())?;
+                Ok(QueryResult {
+                    answers: out.answers,
+                    strategy: Strategy::Counting,
+                    stats: out.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+            Strategy::HenschenNaqvi => {
+                let pred = query.atom.pred;
+                let def = RecursiveDef::extract(&self.program, pred, self.db.interner())
+                    .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+                let sep = detect(&def, self.db.interner_mut())
+                    .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+                let start = Instant::now();
+                let out = hn_evaluate(&sep, query, &self.db, &HnOptions::default())?;
+                Ok(QueryResult {
+                    answers: out.answers,
+                    strategy: Strategy::HenschenNaqvi,
+                    stats: out.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+            Strategy::SemiNaive => {
+                let start = Instant::now();
+                let derived = seminaive(&self.program, &self.db)?;
+                let answers = query_answers(query, &self.db, Some(&derived))?;
+                Ok(QueryResult {
+                    answers,
+                    strategy: Strategy::SemiNaive,
+                    stats: derived.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+            Strategy::Naive => {
+                let start = Instant::now();
+                let derived = naive(&self.program, &self.db)?;
+                let answers = query_answers(query, &self.db, Some(&derived))?;
+                Ok(QueryResult {
+                    answers,
+                    strategy: Strategy::Naive,
+                    stats: derived.stats,
+                    elapsed: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Produces a detection report for every IDB predicate: whether it is
+    /// recursive, whether its definition fits the paper's shape, and either
+    /// the separable class structure or the violated conditions. This is
+    /// what `sepra --check` prints.
+    pub fn check_report(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut preds: Vec<Sym> = Vec::new();
+        for rule in &self.program.rules {
+            if !preds.contains(&rule.head.pred) {
+                preds.push(rule.head.pred);
+            }
+        }
+        if preds.is_empty() {
+            return "no rules loaded\n".to_string();
+        }
+        let graph = DependencyGraph::build(&self.program);
+        for pred in preds {
+            let name = self.db.interner().resolve(pred).to_string();
+            if !graph.is_recursive(pred) {
+                let _ = writeln!(out, "{name}: non-recursive ({} rules)", self.program.definition_of(pred).len());
+                continue;
+            }
+            match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+                Err(e) => {
+                    let _ = writeln!(out, "{name}: recursive, outside the paper's shape: {e}");
+                }
+                Ok(def) => match detect(&def, self.db.interner_mut()) {
+                    Ok(sep) => {
+                        let classes: Vec<String> = sep
+                            .classes
+                            .iter()
+                            .map(|c| format!("{:?}", c.columns))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{name}: SEPARABLE — {} recursive rule(s), {} exit rule(s), \
+                             classes {} , persistent {:?}",
+                            sep.recursive_rules.len(),
+                            sep.exit_rules.len(),
+                            classes.join(" "),
+                            sep.persistent
+                        );
+                    }
+                    Err(ns) => {
+                        let _ = writeln!(out, "{name}: recursive but not separable:");
+                        for v in &ns.violations {
+                            let _ = writeln!(out, "  - {v}");
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Answers `query` with the Separable algorithm and renders, for every
+    /// answer, one justification — the derivation `J(a)` of Lemma 3.1
+    /// (why-provenance). Requires a separable recursion and a full
+    /// selection.
+    pub fn why(&mut self, src: &str) -> Result<String, ProcessorError> {
+        use std::fmt::Write as _;
+        let query = self.parse_query(src)?;
+        let pred = query.atom.pred;
+        let def = RecursiveDef::extract(&self.program, pred, self.db.interner())
+            .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+        let sep = detect(&def, self.db.interner_mut())
+            .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
+        let extra = self.materialize_support(pred)?;
+        let evaluator = SeparableEvaluator::with_options(sep, self.exec_options.clone());
+        let (outcome, justifications) = evaluator
+            .evaluate_with_justifications(&query, &self.db, &extra)?;
+        let mut lines: Vec<(String, String)> = justifications
+            .iter()
+            .map(|(t, j)| {
+                (
+                    t.display(self.db.interner()).to_string(),
+                    j.render(evaluator.recursion(), self.db.interner()),
+                )
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::new();
+        let _ = writeln!(out, "{} answers:", outcome.answers.len());
+        for (tuple, derivation) in lines {
+            let _ = writeln!(out, "  {tuple}  because  {derivation}");
+        }
+        Ok(out)
+    }
+
+    /// Explains how a query would be evaluated, without evaluating it. For
+    /// separable recursions this includes the detected classes and the
+    /// instantiated Figure 2 schema (compare the paper's Figures 3 and 4).
+    pub fn explain(&mut self, src: &str) -> Result<String, ProcessorError> {
+        use std::fmt::Write as _;
+        let query = self.parse_query(src)?;
+        let pred = query.atom.pred;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query: {}",
+            sepra_ast::pretty::query_to_string(&query, self.db.interner())
+        );
+        let is_idb = self.program.rules.iter().any(|r| r.head.pred == pred);
+        if !is_idb {
+            let _ = writeln!(out, "strategy: direct EDB scan (predicate has no rules)");
+            return Ok(out);
+        }
+        let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+            Ok(def) => def,
+            Err(e) => {
+                let _ = writeln!(out, "not in the paper's shape: {e}");
+                let _ = writeln!(
+                    out,
+                    "strategy: {}",
+                    if query.has_selection() { "magic sets" } else { "semi-naive" }
+                );
+                return Ok(out);
+            }
+        };
+        match detect(&def, self.db.interner_mut()) {
+            Err(ns) => {
+                let _ = writeln!(out, "{ns}");
+                let _ = writeln!(
+                    out,
+                    "strategy: {}",
+                    if query.has_selection() { "magic sets" } else { "semi-naive" }
+                );
+            }
+            Ok(sep) => {
+                let _ = writeln!(out, "separable recursion detected:");
+                for (i, class) in sep.classes.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  class e{}: columns {:?}, rules {:?}",
+                        i + 1,
+                        class.columns,
+                        class.rules
+                    );
+                }
+                let _ = writeln!(out, "  persistent columns: {:?}", sep.persistent);
+                match classify_selection(&sep, &query) {
+                    SelectionKind::NoSelection => {
+                        let _ = writeln!(out, "no selection constants; strategy: semi-naive");
+                    }
+                    SelectionKind::Partial { class } => {
+                        let _ = writeln!(
+                            out,
+                            "partial selection on class e{} -> Lemma 2.1 decomposition \
+                             (t_part u t_full)",
+                            class + 1
+                        );
+                        let _ = writeln!(out, "strategy: separable");
+                    }
+                    kind => {
+                        let selection = match &kind {
+                            SelectionKind::FullClass { class } => {
+                                let _ = writeln!(out, "full selection on class e{}", class + 1);
+                                PlanSelection::Class(*class)
+                            }
+                            SelectionKind::Persistent { bound } => {
+                                let _ = writeln!(
+                                    out,
+                                    "full selection on persistent columns {bound:?}"
+                                );
+                                let consts = bound
+                                    .iter()
+                                    .map(|&c|
+
+                                        match query.atom.terms[c] {
+                                            sepra_ast::Term::Const(k) => Ok((
+                                                c,
+                                                sepra_storage::Value::from_const(k)
+                                                    .map_err(EvalError::from)?,
+                                            )),
+                                            _ => Err(EvalError::Planning("not const".into())),
+                                        })
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                PlanSelection::Persistent(consts)
+                            }
+                            _ => unreachable!(),
+                        };
+                        let plan = build_plan(&sep, &selection)?;
+                        let _ = writeln!(out, "strategy: separable; compiled schema:");
+                        for line in plan.render(&sep, self.db.interner()).lines() {
+                            let _ = writeln!(out, "  {line}");
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Re-export for convenience in match arms.
+pub use sepra_core::evaluate::StrategyNote as SeparableStrategyNote;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX_1_2: &str = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                          buys(X, Y) :- buys(X, W), cheaper(Y, W).\n\
+                          buys(X, Y) :- perfectFor(X, Y).\n\
+                          friend(tom, sue). friend(sue, joe).\n\
+                          perfectFor(joe, widget).\n\
+                          cheaper(bargain, widget).\n";
+
+    #[test]
+    fn auto_picks_separable() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let r = qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::Separable);
+        assert_eq!(r.answers.len(), 2); // widget and bargain
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        for strategy in [
+            Strategy::Separable,
+            Strategy::MagicSets,
+            Strategy::Counting,
+            Strategy::SemiNaive,
+            Strategy::Naive,
+        ] {
+            let mut qp = QueryProcessor::new();
+            qp.load(EX_1_2).unwrap();
+            let r = qp
+                .query_with("buys(tom, Y)?", StrategyChoice::Force(strategy))
+                .unwrap_or_else(|e| panic!("{strategy} failed: {e}"));
+            assert_eq!(r.answers.len(), 2, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_magic_on_nonseparable() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "sg(X, Y) :- flat(X, Y).\n\
+             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+             up(a, p). flat(p, q). down(q, b).\n",
+        )
+        .unwrap();
+        let r = qp.query("sg(a, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::MagicSets);
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn auto_uses_seminaive_without_selection() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let r = qp.query("buys(X, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::SemiNaive);
+        assert!(!r.answers.is_empty());
+    }
+
+    #[test]
+    fn edb_queries_work() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let r = qp.query("friend(tom, W)?").unwrap();
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn support_predicates_are_materialized() {
+        // `knows` is a non-recursive IDB predicate used by the recursion.
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "knows(X, Y) :- friend(X, Y).\n\
+             knows(X, Y) :- colleague(X, Y).\n\
+             reach(X, Y) :- knows(X, W), reach(W, Y).\n\
+             reach(X, Y) :- knows(X, Y).\n\
+             friend(a, b). colleague(b, c).\n",
+        )
+        .unwrap();
+        let r = qp.query("reach(a, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::Separable);
+        assert_eq!(r.answers.len(), 2); // b and c
+    }
+
+    #[test]
+    fn forced_separable_fails_gracefully() {
+        let mut qp = QueryProcessor::new();
+        qp.load("p(X) :- e(X).\ne(a).\n").unwrap();
+        let err = qp
+            .query_with("p(a)?", StrategyChoice::Force(Strategy::Separable))
+            .unwrap_err();
+        assert!(matches!(err, ProcessorError::StrategyUnavailable(_)));
+    }
+
+    #[test]
+    fn explain_renders_schema() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let text = qp.explain("buys(tom, Y)?").unwrap();
+        assert!(text.contains("separable recursion detected"), "{text}");
+        assert!(text.contains("carry_1"), "{text}");
+        assert!(text.contains("strategy: separable"), "{text}");
+        let text2 = qp.explain("buys(X, Y)?").unwrap();
+        assert!(text2.contains("semi-naive"), "{text2}");
+    }
+
+    #[test]
+    fn explain_persistent_selection() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+             buys(X, Y) :- perfectFor(X, Y).\n\
+             friend(a, b). perfectFor(b, w).\n",
+        )
+        .unwrap();
+        let text = qp.explain("buys(X, w)?").unwrap();
+        assert!(text.contains("persistent columns"), "{text}");
+        assert!(text.contains("full selection on persistent columns"), "{text}");
+        assert!(text.contains("seen_1("), "{text}");
+    }
+
+    #[test]
+    fn why_requires_full_selection() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "t(X, Y, Z) :- a(X, Y, U, V), t(U, V, Z).\n\
+             t(X, Y, Z) :- t0(X, Y, Z).\n\
+             a(c, d, e, f). t0(e, f, w).\n",
+        )
+        .unwrap();
+        let err = qp.why("t(c, Y, Z)?").unwrap_err();
+        assert!(matches!(err, ProcessorError::Eval(_)), "{err}");
+        // And works on a full selection.
+        let text = qp.why("t(c, d, Z)?").unwrap();
+        assert!(text.contains("because"), "{text}");
+    }
+
+    #[test]
+    fn program_facts_for_recursive_pred_become_exit_rules() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "t(X, Y) :- e(X, W), t(W, Y).\n\
+             e(a, b). e(b, c). t(c, goal).\n",
+        )
+        .unwrap();
+        let r = qp.query("t(a, Y)?").unwrap();
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn query_on_unknown_predicate_is_empty() {
+        let mut qp = QueryProcessor::new();
+        qp.load("e(a, b).\n").unwrap();
+        let r = qp.query("ghost(a, Y)?").unwrap();
+        assert!(r.answers.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Smoke tests for the `sepra` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("buys.dl");
+    std::fs::write(
+        &path,
+        "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+         buys(X, Y) :- perfectFor(X, Y).\n\
+         friend(tom, sue). friend(sue, joe).\n\
+         perfectFor(joe, widget).\n",
+    )
+    .expect("fixture writes");
+    path
+}
+
+#[test]
+fn one_shot_query() {
+    let dir = std::env::temp_dir().join("sepra_cli_test1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "--stats"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(tom, widget)"), "{stdout}");
+    assert!(stdout.contains("via separable"), "{stdout}");
+    assert!(stdout.contains("seen_1"), "{stdout}");
+}
+
+#[test]
+fn explain_flag() {
+    let dir = std::env::temp_dir().join("sepra_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "--explain"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("separable recursion detected"), "{stdout}");
+    assert!(stdout.contains("carry_1"), "{stdout}");
+}
+
+#[test]
+fn forced_strategy() {
+    let dir = std::env::temp_dir().join("sepra_cli_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "-s", "magic"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("via magic"), "{stdout}");
+}
+
+#[test]
+fn repl_session() {
+    let dir = std::env::temp_dir().join("sepra_cli_test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            b"friend(joe, ann).\n\
+              perfectFor(ann, gadget).\n\
+              buys(tom, Y)?\n\
+              :program\n\
+              :quit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(tom, widget)"), "{stdout}");
+    assert!(stdout.contains("(tom, gadget)"), "{stdout}");
+    assert!(stdout.contains("buys(X, Y) :- friend(X, W), buys(W, Y)."), "{stdout}");
+}
+
+#[test]
+fn repl_why_command() {
+    let dir = std::env::temp_dir().join("sepra_cli_test5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b":why buys(tom, Y)?\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("because"), "{stdout}");
+    assert!(stdout.contains("friend"), "{stdout}");
+    assert!(stdout.contains("[exit 0]"), "{stdout}");
+}
+
+#[test]
+fn check_flag_reports_separability() {
+    let dir = std::env::temp_dir().join("sepra_cli_test6");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mixed.dl");
+    std::fs::write(
+        &path,
+        "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+         buys(X, Y) :- perfectFor(X, Y).\n\
+         sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+         sg(X, Y) :- flat(X, Y).\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&path)
+        .arg("--check")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("buys: SEPARABLE"), "{stdout}");
+    assert!(stdout.contains("sg: recursive but not separable"), "{stdout}");
+    assert!(stdout.contains("connected components"), "{stdout}");
+}
+
+#[test]
+fn format_flag_outputs_csv_and_json() {
+    let dir = std::env::temp_dir().join("sepra_cli_test7");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = write_fixture(&dir);
+    let csv = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "-f", "csv"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(String::from_utf8_lossy(&csv.stdout), "tom,widget\n");
+    let json = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(String::from_utf8_lossy(&json.stdout), "[[\"tom\",\"widget\"]]\n");
+    let bad = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&file)
+        .args(["-q", "buys(tom, Y)?", "-f", "yaml"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg("/nonexistent/path.dl")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,46 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+use sepra_storage::value::ValueError;
+
+/// Errors raised while planning or running an evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A body could not be compiled into an executable plan.
+    Planning(String),
+    /// A constant could not be represented as a runtime value.
+    Value(ValueError),
+    /// A fixpoint failed to terminate within a configured bound
+    /// (only possible when deduplication is disabled, or for the Counting
+    /// method on cyclic data).
+    Diverged {
+        /// Which loop diverged.
+        what: String,
+        /// The iteration bound that was exceeded.
+        bound: usize,
+    },
+    /// The program shape is outside what this algorithm supports.
+    Unsupported(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Planning(msg) => write!(f, "planning error: {msg}"),
+            EvalError::Value(e) => write!(f, "value error: {e}"),
+            EvalError::Diverged { what, bound } => {
+                write!(f, "{what} exceeded {bound} iterations without converging")
+            }
+            EvalError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> Self {
+        EvalError::Value(e)
+    }
+}

@@ -1,0 +1,29 @@
+//! Bottom-up Datalog evaluation.
+//!
+//! This crate is the generic evaluation substrate shared by every algorithm
+//! in the workspace (semi-naive, Magic Sets, Counting, and the paper's
+//! Separable algorithm):
+//!
+//! * [`plan`] — compilation of rule bodies (conjunctions of atoms and
+//!   equality literals) into executable left-to-right index-nested-loop
+//!   join plans over abstract relation keys;
+//! * [`store`] — the [`RelStore`] name→relation binding used during one
+//!   execution round, and the [`IndexCache`] of lazily built, incrementally
+//!   extended hash indexes;
+//! * [`naive`] — naive fixpoint iteration (kept as a baseline and for the
+//!   dedup ablation);
+//! * [`mod seminaive`](mod@crate::seminaive) — stratified semi-naive evaluation with delta rules;
+//! * [`answers`] — extraction of query answers from an evaluated database.
+
+pub mod answers;
+pub mod error;
+pub mod naive;
+pub mod plan;
+pub mod seminaive;
+pub mod store;
+
+pub use answers::{filter_by_query, query_answers};
+pub use error::EvalError;
+pub use plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey, Step, TermSpec};
+pub use seminaive::{seminaive, Derived};
+pub use store::{IndexCache, RelStore};

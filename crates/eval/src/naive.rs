@@ -1,0 +1,147 @@
+//! Naive fixpoint evaluation.
+//!
+//! Re-derives every rule against the full relations each iteration until no
+//! new tuple appears. Quadratically slower than [`seminaive`](crate::seminaive::seminaive) on
+//! deep recursions; kept as the simplest possible ground truth for
+//! cross-validation and as the baseline in the iteration-strategy ablation.
+
+use sepra_ast::{DependencyGraph, Literal, Program, Sym};
+use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
+
+use crate::error::EvalError;
+use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
+use crate::seminaive::Derived;
+use crate::store::{IndexCache, RelStore};
+
+/// Evaluates `program` over `db` naively.
+pub fn naive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
+    let mut stats = EvalStats::new();
+    let graph = DependencyGraph::build(program);
+
+    let mut derived: FxHashMap<Sym, Relation> = FxHashMap::default();
+    for rule in &program.rules {
+        let pred = rule.head.pred;
+        derived.entry(pred).or_insert_with(|| {
+            db.relation(pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(rule.head.arity()))
+        });
+    }
+
+    for stratum in graph.strata() {
+        let stratum_idb: Vec<Sym> = stratum
+            .iter()
+            .copied()
+            .filter(|p| derived.contains_key(p))
+            .collect();
+        if stratum_idb.is_empty() {
+            continue;
+        }
+        let mut plans = Vec::new();
+        for rule in program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)) {
+            let body: Vec<PlanLiteral> = rule
+                .body
+                .iter()
+                .map(|lit| match lit {
+                    Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
+                        rel: RelKey::Pred(a.pred),
+                        terms: a.terms.clone(),
+                    }),
+                    Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+                })
+                .collect();
+            plans.push((rule.head.pred, ConjPlan::compile(&[], &body, &rule.head.terms)?));
+        }
+        let mut indexes = IndexCache::new();
+        loop {
+            stats.record_iteration();
+            let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
+            {
+                let mut store = RelStore::new();
+                for (p, r) in db.relations() {
+                    store.bind(RelKey::Pred(p), r);
+                }
+                for (&p, r) in &derived {
+                    store.bind(RelKey::Pred(p), r);
+                }
+                for (head, plan) in &plans {
+                    indexes.prepare(plan, &store);
+                    let buf = buffers.entry(*head).or_default();
+                    plan.execute(&store, &indexes, &[], &mut |row| {
+                        buf.push(Tuple::new(row.to_vec()));
+                    });
+                }
+            }
+            let mut any_new = false;
+            for (pred, tuples) in buffers {
+                let rel = derived.get_mut(&pred).expect("derived exists");
+                for t in tuples {
+                    let was_new = rel.insert(t);
+                    stats.record_insert(was_new);
+                    any_new |= was_new;
+                }
+            }
+            if !any_new {
+                break;
+            }
+        }
+    }
+    for (&pred, rel) in &derived {
+        stats.record_size(db.interner().resolve(pred), rel.len());
+    }
+    Ok(Derived { relations: derived, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seminaive::seminaive;
+    use sepra_ast::parse_program;
+
+    fn both(program_src: &str, facts: &str) -> (Derived, Derived, Database) {
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(program_src, db.interner_mut()).unwrap();
+        let n = naive(&program, &db).unwrap();
+        let s = seminaive(&program, &db).unwrap();
+        (n, s, db)
+    }
+
+    #[test]
+    fn naive_matches_seminaive_on_closure() {
+        let (n, s, mut db) = both(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "e(a, b). e(b, c). e(c, a). e(c, d).",
+        );
+        let t = db.intern("t");
+        assert_eq!(n.relation(t).unwrap(), s.relation(t).unwrap());
+    }
+
+    #[test]
+    fn naive_matches_seminaive_on_same_generation() {
+        let (n, s, mut db) = both(
+            "sg(X, Y) :- flat(X, Y).\n\
+             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n",
+            "up(a, p). up(b, p). up(c, q). flat(p, q). down(p, d). down(q, e).",
+        );
+        let sg = db.intern("sg");
+        assert_eq!(n.relation(sg).unwrap(), s.relation(sg).unwrap());
+    }
+
+    #[test]
+    fn naive_does_more_redundant_work() {
+        let chain: String = (0..30)
+            .map(|i| format!("e(n{}, n{}). ", i, i + 1))
+            .collect();
+        let (n, s, _) = both(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            &chain,
+        );
+        assert!(
+            n.stats.insert_attempts > s.stats.insert_attempts,
+            "naive {} vs semi-naive {}",
+            n.stats.insert_attempts,
+            s.stats.insert_attempts
+        );
+    }
+}

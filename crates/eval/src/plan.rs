@@ -1,0 +1,791 @@
+//! Compilation of conjunctions into executable join plans.
+//!
+//! A [`ConjPlan`] evaluates a conjunction of atoms (plus equality literals)
+//! left to right, exactly as the paper's algorithms describe: each atom is
+//! scanned with whatever columns are already bound used as an index key, and
+//! unbound columns bind new variable slots. The same machinery drives
+//! ordinary rule bodies in the semi-naive engine, the magic-rewritten rules,
+//! and the carry-extension operators `f_1`/`f_2` of the Separable algorithm
+//! (Figure 2), which are compiled as conjunctions whose first atom is a
+//! synthetic `carry` relation.
+
+use sepra_ast::{Literal, Sym, Term};
+use sepra_storage::{tuple::Tuple, Value};
+
+use crate::error::EvalError;
+use crate::store::{IndexCache, RelStore};
+
+/// An abstract name for a relation consulted during execution; resolved to a
+/// concrete [`sepra_storage::Relation`] through a [`RelStore`] at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelKey {
+    /// The current value of a predicate (derived if present, else EDB).
+    Pred(Sym),
+    /// The semi-naive delta of a predicate.
+    Delta(Sym),
+    /// An auxiliary working relation (carry/seen/magic seeds and the like),
+    /// identified by a small integer chosen by the evaluator.
+    Aux(u32),
+}
+
+/// What a column of a scanned atom (or an output column) refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermSpec {
+    /// A fixed constant value.
+    Const(Value),
+    /// A variable slot.
+    Slot(usize),
+}
+
+/// One step of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Scan (or index-probe) a relation.
+    Scan {
+        /// Which relation to consult.
+        rel: RelKey,
+        /// Per-column specification.
+        cols: Vec<TermSpec>,
+        /// Columns statically known to be bound before this step, in
+        /// ascending order — used as the index key.
+        key_cols: Vec<usize>,
+        /// Slot-boundness before this step (`bound_before[s]` is true when
+        /// slot `s` has a value when the step starts).
+        bound_before: Vec<bool>,
+    },
+    /// Bind a currently-unbound slot from a bound spec.
+    EqBind {
+        /// Destination slot (unbound before this step).
+        slot: usize,
+        /// Source (bound) specification.
+        from: TermSpec,
+    },
+    /// Check two bound specifications for equality.
+    EqCheck {
+        /// Left operand.
+        a: TermSpec,
+        /// Right operand.
+        b: TermSpec,
+    },
+}
+
+/// An atom to be compiled: an abstract relation key plus argument terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanAtom {
+    /// Which relation the atom scans.
+    pub rel: RelKey,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+/// A literal to be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanLiteral {
+    /// A positive atom.
+    Atom(PlanAtom),
+    /// An equality constraint.
+    Eq(Term, Term),
+}
+
+impl PlanLiteral {
+    /// Lifts an AST literal, mapping its predicate through `key_of`.
+    pub fn from_literal(lit: &Literal, key_of: &impl Fn(Sym) -> RelKey) -> Self {
+        match lit {
+            Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
+                rel: key_of(a.pred),
+                terms: a.terms.clone(),
+            }),
+            Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+        }
+    }
+}
+
+/// A compiled conjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjPlan {
+    /// The execution steps, in order.
+    pub steps: Vec<Step>,
+    /// Total number of variable slots.
+    pub n_slots: usize,
+    /// Number of leading slots that must be supplied by the caller at
+    /// execution time (the pre-bound input variables).
+    pub n_inputs: usize,
+    /// Output row specification.
+    pub output: Vec<TermSpec>,
+    /// Slot → variable name, for diagnostics.
+    pub var_names: Vec<Sym>,
+}
+
+impl ConjPlan {
+    /// Compiles `body` into a plan.
+    ///
+    /// * `inputs` — variables bound by the caller before execution (slots
+    ///   `0..inputs.len()` in input order);
+    /// * `body` — literals, evaluated in the given order (equalities are
+    ///   hoisted to the earliest point at which they are executable);
+    /// * `output` — terms (variables or constants) forming the emitted row.
+    ///
+    /// Fails if an output variable is never bound, or an equality involves
+    /// variables bound by no atom.
+    pub fn compile(
+        inputs: &[Sym],
+        body: &[PlanLiteral],
+        output: &[Term],
+    ) -> Result<ConjPlan, EvalError> {
+        let mut builder = Builder::new(inputs)?;
+        let mut pending: Vec<(Term, Term)> = Vec::new();
+        builder.flush_eqs(&mut pending)?;
+        for lit in body {
+            match lit {
+                PlanLiteral::Atom(atom) => {
+                    builder.push_scan(atom)?;
+                    builder.flush_eqs(&mut pending)?;
+                }
+                PlanLiteral::Eq(l, r) => {
+                    pending.push((*l, *r));
+                    builder.flush_eqs(&mut pending)?;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(EvalError::Planning(
+                "equality literal over variables that are never bound".into(),
+            ));
+        }
+        builder.finish(output)
+    }
+
+    /// Compiles `body` like [`ConjPlan::compile`], but first greedily
+    /// reorders the atoms *bound-first*: at each step the executable literal
+    /// binding the most columns (constants or already-bound variables) is
+    /// chosen, which turns accidental cartesian prefixes into indexable
+    /// probes. Equality literals keep their hoisting behavior. The paper's
+    /// algorithms assume source order, so the engine uses this only where
+    /// order is not semantically meaningful.
+    pub fn compile_reordered(
+        inputs: &[Sym],
+        body: &[PlanLiteral],
+        output: &[Term],
+    ) -> Result<ConjPlan, EvalError> {
+        let reordered = reorder_bound_first(inputs, body);
+        ConjPlan::compile(inputs, &reordered, output)
+    }
+
+    /// Executes the plan, calling `emit` once per result row.
+    ///
+    /// `init` supplies values for the input slots (`init.len()` must equal
+    /// [`ConjPlan::n_inputs`]). Indexes for every keyed scan must have been
+    /// prepared via [`IndexCache::prepare`].
+    pub fn execute(
+        &self,
+        store: &RelStore<'_>,
+        indexes: &IndexCache,
+        init: &[Value],
+        emit: &mut dyn FnMut(&[Value]),
+    ) {
+        let mut scanned = 0u64;
+        self.execute_counted(store, indexes, init, emit, &mut scanned);
+    }
+
+    /// [`ConjPlan::execute`], additionally counting every tuple considered
+    /// by a scan or index probe into `scanned` (the join-work metric).
+    pub fn execute_counted(
+        &self,
+        store: &RelStore<'_>,
+        indexes: &IndexCache,
+        init: &[Value],
+        emit: &mut dyn FnMut(&[Value]),
+        scanned: &mut u64,
+    ) {
+        assert_eq!(init.len(), self.n_inputs, "wrong number of input values");
+        let mut slots = vec![Value::sym(sepra_ast::Sym(0)); self.n_slots];
+        slots[..init.len()].copy_from_slice(init);
+        let mut out_row = vec![Value::sym(sepra_ast::Sym(0)); self.output.len()];
+        self.run_step(0, store, indexes, &mut slots, &mut out_row, emit, scanned);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_step(
+        &self,
+        step_idx: usize,
+        store: &RelStore<'_>,
+        indexes: &IndexCache,
+        slots: &mut [Value],
+        out_row: &mut [Value],
+        emit: &mut dyn FnMut(&[Value]),
+        scanned: &mut u64,
+    ) {
+        let Some(step) = self.steps.get(step_idx) else {
+            for (i, spec) in self.output.iter().enumerate() {
+                out_row[i] = match spec {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+            }
+            emit(out_row);
+            return;
+        };
+        match step {
+            Step::EqBind { slot, from } => {
+                slots[*slot] = match from {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                self.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+            }
+            Step::EqCheck { a, b } => {
+                let va = match a {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                let vb = match b {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                if va == vb {
+                    self.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+                }
+            }
+            Step::Scan { rel, cols, key_cols, bound_before } => {
+                let Some(relation) = store.get(*rel) else {
+                    return; // absent relation: no tuples
+                };
+                // Assemble the index key.
+                let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+                for &c in key_cols {
+                    key.push(match &cols[c] {
+                        TermSpec::Const(v) => *v,
+                        TermSpec::Slot(s) => slots[*s],
+                    });
+                }
+                let mut newly: Vec<usize> = Vec::new();
+                let mut consider = |tuple: &Tuple,
+                                    slots: &mut [Value],
+                                    newly: &mut Vec<usize>,
+                                    this: &ConjPlan,
+                                    emit: &mut dyn FnMut(&[Value]),
+                                    scanned: &mut u64| {
+                    *scanned += 1;
+                    newly.clear();
+                    let mut ok = true;
+                    for (c, spec) in cols.iter().enumerate() {
+                        match spec {
+                            TermSpec::Const(v) => {
+                                if tuple[c] != *v {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            TermSpec::Slot(s) => {
+                                if bound_before[*s] || newly.contains(s) {
+                                    if slots[*s] != tuple[c] {
+                                        ok = false;
+                                        break;
+                                    }
+                                } else {
+                                    slots[*s] = tuple[c];
+                                    newly.push(*s);
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        this.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+                    }
+                };
+                if key_cols.is_empty() {
+                    for tuple in relation.iter() {
+                        consider(tuple, slots, &mut newly, self, emit, scanned);
+                    }
+                } else if let Some(index) = indexes.get(*rel, key_cols) {
+                    for tuple in index.probe(relation, &key) {
+                        consider(tuple, slots, &mut newly, self, emit, scanned);
+                    }
+                } else {
+                    // Fallback: filter a full scan (index not prepared).
+                    for tuple in relation.iter() {
+                        if key_cols.iter().zip(&key).all(|(&c, v)| &tuple[c] == v) {
+                            consider(tuple, slots, &mut newly, self, emit, scanned);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The keyed scans of this plan, for index preparation:
+    /// `(relation, key columns)` pairs.
+    pub fn keyed_scans(&self) -> impl Iterator<Item = (RelKey, &[usize])> {
+        self.steps.iter().filter_map(|s| match s {
+            Step::Scan { rel, key_cols, .. } if !key_cols.is_empty() => {
+                Some((*rel, key_cols.as_slice()))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Greedily reorders literals bound-first (see
+/// [`ConjPlan::compile_reordered`]). Equality literals are left interleaved
+/// relative to the atoms they follow; only atoms are reordered.
+pub fn reorder_bound_first(inputs: &[Sym], body: &[PlanLiteral]) -> Vec<PlanLiteral> {
+    let mut bound: Vec<Sym> = inputs.to_vec();
+    let mut remaining: Vec<&PlanLiteral> = body.iter().collect();
+    let mut out: Vec<PlanLiteral> = Vec::with_capacity(body.len());
+    while !remaining.is_empty() {
+        // Pick the best-scoring atom; an executable equality always goes
+        // first (it is a filter or a free binding).
+        let mut best: Option<(usize, i64)> = None;
+        for (i, lit) in remaining.iter().enumerate() {
+            let score = match lit {
+                PlanLiteral::Eq(l, r) => {
+                    let is_bound = |t: &Term| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    };
+                    if is_bound(l) || is_bound(r) {
+                        i64::MAX
+                    } else {
+                        i64::MIN // not yet executable
+                    }
+                }
+                PlanLiteral::Atom(atom) => {
+                    let mut bound_cols = 0i64;
+                    for t in &atom.terms {
+                        match t {
+                            Term::Const(_) => bound_cols += 1,
+                            Term::Var(v) if bound.contains(v) => bound_cols += 1,
+                            Term::Var(_) => {}
+                        }
+                    }
+                    // Prefer more bound columns; among ties prefer fewer
+                    // free columns (smaller expected fanout).
+                    bound_cols * 16 - atom.terms.len() as i64
+                }
+            };
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+            }
+        }
+        let (idx, _) = best.expect("remaining non-empty");
+        let lit = remaining.remove(idx);
+        for v in lit.vars_for_reorder() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        out.push(lit.clone());
+    }
+    out
+}
+
+impl PlanLiteral {
+    fn vars_for_reorder(&self) -> Vec<Sym> {
+        match self {
+            PlanLiteral::Atom(a) => a
+                .terms
+                .iter()
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(*v),
+                    Term::Const(_) => None,
+                })
+                .collect(),
+            PlanLiteral::Eq(l, r) => [l, r]
+                .iter()
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(*v),
+                    Term::Const(_) => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+struct Builder {
+    steps: Vec<Step>,
+    var_names: Vec<Sym>,
+    bound: Vec<bool>,
+    n_inputs: usize,
+}
+
+impl Builder {
+    fn new(inputs: &[Sym]) -> Result<Self, EvalError> {
+        let mut b = Builder {
+            steps: Vec::new(),
+            var_names: Vec::new(),
+            bound: Vec::new(),
+            n_inputs: inputs.len(),
+        };
+        for &v in inputs {
+            if b.var_names.contains(&v) {
+                return Err(EvalError::Planning(format!(
+                    "duplicate input variable slot for {v}"
+                )));
+            }
+            b.var_names.push(v);
+            b.bound.push(true);
+        }
+        Ok(b)
+    }
+
+    fn slot_of(&mut self, v: Sym) -> usize {
+        if let Some(i) = self.var_names.iter().position(|&n| n == v) {
+            return i;
+        }
+        self.var_names.push(v);
+        self.bound.push(false);
+        self.var_names.len() - 1
+    }
+
+    fn term_spec(&mut self, t: &Term) -> Result<TermSpec, EvalError> {
+        Ok(match t {
+            Term::Var(v) => TermSpec::Slot(self.slot_of(*v)),
+            Term::Const(c) => TermSpec::Const(Value::from_const(*c)?),
+        })
+    }
+
+    fn push_scan(&mut self, atom: &PlanAtom) -> Result<(), EvalError> {
+        let cols: Vec<TermSpec> = atom
+            .terms
+            .iter()
+            .map(|t| self.term_spec(t))
+            .collect::<Result<_, _>>()?;
+        let bound_before = self.bound.clone();
+        let mut key_cols = Vec::new();
+        for (c, spec) in cols.iter().enumerate() {
+            match spec {
+                TermSpec::Const(_) => key_cols.push(c),
+                TermSpec::Slot(s) => {
+                    if *self.bound.get(*s).unwrap_or(&false) {
+                        key_cols.push(c);
+                    }
+                }
+            }
+        }
+        // Every slot mentioned becomes bound after the scan.
+        for spec in &cols {
+            if let TermSpec::Slot(s) = spec {
+                self.bound[*s] = true;
+            }
+        }
+        // Pad bound_before to current slot count (new slots are unbound).
+        let mut bb = bound_before;
+        bb.resize(self.bound.len(), false);
+        self.steps.push(Step::Scan { rel: atom.rel, cols, key_cols, bound_before: bb });
+        Ok(())
+    }
+
+    /// Emits every pending equality that has become executable; loops until
+    /// a fixpoint since one equality can enable another.
+    fn flush_eqs(&mut self, pending: &mut Vec<(Term, Term)>) -> Result<(), EvalError> {
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (l, r) = pending[i];
+                let l_spec = self.term_spec(&l)?;
+                let r_spec = self.term_spec(&r)?;
+                let is_bound = |spec: &TermSpec, b: &Builder| match spec {
+                    TermSpec::Const(_) => true,
+                    TermSpec::Slot(s) => b.bound[*s],
+                };
+                let lb = is_bound(&l_spec, self);
+                let rb = is_bound(&r_spec, self);
+                if lb && rb {
+                    self.steps.push(Step::EqCheck { a: l_spec, b: r_spec });
+                } else if lb {
+                    let TermSpec::Slot(s) = r_spec else { unreachable!("unbound const") };
+                    self.bound[s] = true;
+                    self.steps.push(Step::EqBind { slot: s, from: l_spec });
+                } else if rb {
+                    let TermSpec::Slot(s) = l_spec else { unreachable!("unbound const") };
+                    self.bound[s] = true;
+                    self.steps.push(Step::EqBind { slot: s, from: r_spec });
+                } else {
+                    i += 1;
+                    continue;
+                }
+                pending.remove(i);
+                progressed = true;
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn finish(mut self, output: &[Term]) -> Result<ConjPlan, EvalError> {
+        let mut out = Vec::with_capacity(output.len());
+        for t in output {
+            let spec = self.term_spec(t)?;
+            if let TermSpec::Slot(s) = spec {
+                if !self.bound[s] {
+                    return Err(EvalError::Planning(format!(
+                        "output variable {} is never bound by the body",
+                        self.var_names[s]
+                    )));
+                }
+            }
+            out.push(spec);
+        }
+        Ok(ConjPlan {
+            steps: self.steps,
+            n_slots: self.var_names.len(),
+            n_inputs: self.n_inputs,
+            output: out,
+            var_names: self.var_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::{parse_program, Interner};
+    use sepra_storage::{Database, Relation};
+
+    /// Compiles the body of the first rule of `src` with the head terms as
+    /// output and no inputs.
+    fn compile_first_rule(src: &str, i: &mut Interner) -> (ConjPlan, sepra_ast::Rule) {
+        let p = parse_program(src, i).unwrap();
+        let rule = p.rules[0].clone();
+        let body: Vec<PlanLiteral> = rule
+            .body
+            .iter()
+            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
+            .collect();
+        let plan = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
+        (plan, rule)
+    }
+
+    fn run_collect(plan: &ConjPlan, db: &Database, init: &[Value]) -> Vec<Vec<Value>> {
+        let mut store = RelStore::new();
+        for (p, r) in db.relations() {
+            store.bind(RelKey::Pred(p), r);
+        }
+        let mut indexes = IndexCache::new();
+        indexes.prepare(plan, &store);
+        let mut rows = Vec::new();
+        plan.execute(&store, &indexes, init, &mut |row| rows.push(row.to_vec()));
+        rows.sort();
+        rows.dedup();
+        rows
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(X, Y) :- e(X, Y).", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn two_way_join_chains_bindings() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c). e(c, d). e(x, y).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(X, Z) :- e(X, Y), e(Y, Z).", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        // (a,c), (b,d), (x,?): x->y has no continuation.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(Y) :- e(a, Y).", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows.len(), 1);
+        let b = i.intern("b");
+        assert_eq!(rows[0][0], Value::sym(b));
+    }
+
+    #[test]
+    fn repeated_var_in_one_atom_filters_within_tuple() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, a). e(a, b). e(c, c).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(X) :- e(X, X).", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows.len(), 2); // a and c
+    }
+
+    #[test]
+    fn eq_literal_binds_and_checks() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(X, Y) :- e(X, W), Y = W.", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows.len(), 2);
+        // And a filtering equality:
+        let (plan2, _) = compile_first_rule("t(X) :- e(X, W), W = b.", &mut i);
+        let rows2 = run_collect(&plan2, &db, &[]);
+        assert_eq!(rows2.len(), 1);
+    }
+
+    #[test]
+    fn inputs_prebind_slots() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c).").unwrap();
+        let mut i = db.interner().clone();
+        let p = parse_program("t(X, Y) :- e(X, Y).", &mut i).unwrap();
+        let rule = &p.rules[0];
+        let x = i.intern("X");
+        let body: Vec<PlanLiteral> = rule
+            .body
+            .iter()
+            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
+            .collect();
+        let plan = ConjPlan::compile(&[x], &body, &rule.head.terms).unwrap();
+        assert_eq!(plan.n_inputs, 1);
+        let a = i.intern("a");
+        let rows = run_collect(&plan, &db, &[Value::sym(a)]);
+        assert_eq!(rows.len(), 1);
+        let b = i.intern("b");
+        assert_eq!(rows[0][1], Value::sym(b));
+    }
+
+    #[test]
+    fn output_constants_are_emitted() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b).").unwrap();
+        let mut i = db.interner().clone();
+        let p = parse_program("t(X, marker) :- e(X, _w).", &mut i).unwrap();
+        let rule = &p.rules[0];
+        let body: Vec<PlanLiteral> = rule
+            .body
+            .iter()
+            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
+            .collect();
+        let plan = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
+        let rows = run_collect(&plan, &db, &[]);
+        let marker = i.intern("marker");
+        assert_eq!(rows[0][1], Value::sym(marker));
+    }
+
+    #[test]
+    fn unbound_output_is_a_planning_error() {
+        let mut i = Interner::new();
+        let p = parse_program("t(X) :- e(X, Y).", &mut i).unwrap();
+        let rule = &p.rules[0];
+        let z = i.intern("Z");
+        let body: Vec<PlanLiteral> = rule
+            .body
+            .iter()
+            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
+            .collect();
+        let err = ConjPlan::compile(&[], &body, &[Term::Var(z)]).unwrap_err();
+        assert!(matches!(err, EvalError::Planning(_)));
+    }
+
+    #[test]
+    fn dangling_equality_is_a_planning_error() {
+        let mut i = Interner::new();
+        let a = i.intern("A");
+        let b = i.intern("B");
+        let err = ConjPlan::compile(&[], &[PlanLiteral::Eq(Term::Var(a), Term::Var(b))], &[])
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Planning(_)));
+    }
+
+    #[test]
+    fn empty_body_emits_one_row() {
+        let plan = ConjPlan::compile(&[], &[], &[]).unwrap();
+        let store = RelStore::new();
+        let indexes = IndexCache::new();
+        let mut count = 0;
+        plan.execute(&store, &indexes, &[], &mut |_| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn missing_relation_yields_no_rows() {
+        let mut i = Interner::new();
+        let (plan, _) = compile_first_rule("t(X) :- ghost(X).", &mut i);
+        let db = Database::new();
+        assert!(run_collect(&plan, &db, &[]).is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_works_without_keys() {
+        let mut db = Database::new();
+        db.load_fact_text("p(a). p(b). q(x). q(y).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("t(X, Y) :- p(X), q(Y).", &mut i);
+        assert_eq!(run_collect(&plan, &db, &[]).len(), 4);
+    }
+
+    #[test]
+    fn reordering_moves_bound_atoms_first() {
+        let mut db = Database::new();
+        // big is large and unconstrained; probe is tiny and keyed by the
+        // constant. Source order scans big first (cartesian); reordered
+        // order probes first.
+        for i in 0..200 {
+            db.insert_named("big", &[&format!("u{i}"), &format!("v{i}")]).unwrap();
+        }
+        db.load_fact_text("probe(a, u5). q(v5, done).").unwrap();
+        let mut i = db.interner().clone();
+        let p = parse_program("t(Y) :- big(W, Z), probe(a, W), q(Z, Y).\n", &mut i).unwrap();
+        let rule = &p.rules[0];
+        let body: Vec<PlanLiteral> = rule
+            .body
+            .iter()
+            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
+            .collect();
+        let source_order = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
+        let reordered = ConjPlan::compile_reordered(&[], &body, &rule.head.terms).unwrap();
+        let run = |plan: &ConjPlan| -> (usize, u64) {
+            let mut store = RelStore::new();
+            for (pred, r) in db.relations() {
+                store.bind(RelKey::Pred(pred), r);
+            }
+            let mut indexes = IndexCache::new();
+            indexes.prepare(plan, &store);
+            let mut rows = 0usize;
+            let mut scanned = 0u64;
+            plan.execute_counted(&store, &indexes, &[], &mut |_| rows += 1, &mut scanned);
+            (rows, scanned)
+        };
+        let (rows_a, scanned_a) = run(&source_order);
+        let (rows_b, scanned_b) = run(&reordered);
+        assert_eq!(rows_a, rows_b, "reordering must not change results");
+        assert_eq!(rows_a, 1);
+        assert!(
+            scanned_b < scanned_a,
+            "reordered {scanned_b} should scan fewer rows than source order {scanned_a}"
+        );
+        // The reordered plan's first scan is the constant-keyed probe.
+        let Step::Scan { rel, .. } = &reordered.steps[0] else {
+            panic!("first step is a scan")
+        };
+        let probe = i.intern("probe");
+        assert_eq!(*rel, RelKey::Pred(probe));
+    }
+
+    #[test]
+    fn aux_relations_resolve_through_store() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let body = vec![PlanLiteral::Atom(PlanAtom {
+            rel: RelKey::Aux(7),
+            terms: vec![Term::Var(x)],
+        })];
+        let plan = ConjPlan::compile(&[], &body, &[Term::Var(x)]).unwrap();
+        let mut carry = Relation::new(1);
+        let v = Value::sym(i.intern("seed"));
+        carry.insert(Tuple::from([v]));
+        let mut store = RelStore::new();
+        store.bind(RelKey::Aux(7), &carry);
+        let indexes = IndexCache::new();
+        let mut rows = Vec::new();
+        plan.execute(&store, &indexes, &[], &mut |r| rows.push(r.to_vec()));
+        assert_eq!(rows, vec![vec![v]]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Stratified semi-naive evaluation.
+//!
+//! The general-purpose bottom-up engine: predicates are evaluated one
+//! strongly connected component at a time in dependency order; within a
+//! recursive component, delta rules ensure each join only considers tuples
+//! produced in the previous iteration. This engine evaluates ordinary
+//! programs, the Magic-Sets-rewritten programs, and serves as the ground
+//! truth against which the specialized Separable algorithm is validated.
+
+use sepra_ast::{DependencyGraph, Literal, Program, Rule, Sym};
+use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
+
+use crate::error::EvalError;
+use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
+use crate::store::{IndexCache, RelStore};
+
+/// The result of a bottom-up evaluation: one relation per IDB predicate,
+/// plus the cost statistics the paper compares algorithms by.
+#[derive(Debug)]
+pub struct Derived {
+    /// Final contents of every IDB predicate.
+    pub relations: FxHashMap<Sym, Relation>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl Derived {
+    /// The derived relation for `pred`, if it was computed.
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+}
+
+/// Evaluates `program` over `db` with semi-naive iteration.
+///
+/// ```
+/// use sepra_eval::seminaive;
+/// use sepra_storage::Database;
+///
+/// let mut db = Database::new();
+/// db.load_fact_text("e(a, b). e(b, c).").unwrap();
+/// let program = sepra_ast::parse_program(
+///     "t(X, Y) :- e(X, Y).\n t(X, Y) :- e(X, W), t(W, Y).\n",
+///     db.interner_mut(),
+/// )
+/// .unwrap();
+/// let derived = seminaive(&program, &db).unwrap();
+/// let t = db.intern("t");
+/// assert_eq!(derived.relation(t).unwrap().len(), 3); // ab, bc, ac
+/// ```
+pub fn seminaive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
+    let mut stats = EvalStats::new();
+    let relations = run(program, db, &mut stats)?;
+    // Record final sizes under the predicates' display names.
+    for (&pred, rel) in &relations {
+        stats.record_size(db.interner().resolve(pred), rel.len());
+    }
+    Ok(Derived { relations, stats })
+}
+
+/// One compiled delta-rule variant.
+struct Variant {
+    head: Sym,
+    plan: ConjPlan,
+}
+
+fn run(
+    program: &Program,
+    db: &Database,
+    stats: &mut EvalStats,
+) -> Result<FxHashMap<Sym, Relation>, EvalError> {
+    let graph = DependencyGraph::build(program);
+    // Arity of every predicate (head first, then body, then EDB).
+    let mut arity: FxHashMap<Sym, usize> = FxHashMap::default();
+    for rule in &program.rules {
+        arity.entry(rule.head.pred).or_insert_with(|| rule.head.arity());
+        for atom in rule.body_atoms() {
+            arity.entry(atom.pred).or_insert_with(|| atom.arity());
+        }
+    }
+
+    // IDB predicates: anything heading a rule (facts included — a ground
+    // fact seeds its predicate's derived relation).
+    let mut derived: FxHashMap<Sym, Relation> = FxHashMap::default();
+    for rule in &program.rules {
+        let pred = rule.head.pred;
+        derived.entry(pred).or_insert_with(|| {
+            // If the program derives into a predicate that also has EDB
+            // facts, start from those facts.
+            db.relation(pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(arity[&pred]))
+        });
+    }
+
+    for stratum in graph.strata() {
+        let stratum_idb: Vec<Sym> = stratum
+            .iter()
+            .copied()
+            .filter(|p| derived.contains_key(p))
+            .collect();
+        if stratum_idb.is_empty() {
+            continue;
+        }
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| stratum_idb.contains(&r.head.pred))
+            .collect();
+
+        let mut base_plans: Vec<Variant> = Vec::new();
+        let mut rec_plans: Vec<Variant> = Vec::new();
+        for rule in &rules {
+            let occurrences: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| match l {
+                    Literal::Atom(a) if stratum_idb.contains(&a.pred) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            if occurrences.is_empty() {
+                base_plans.push(compile_variant(rule, None)?);
+            } else {
+                for &occ in &occurrences {
+                    rec_plans.push(compile_variant(rule, Some(occ))?);
+                }
+            }
+        }
+
+        let mut indexes = IndexCache::new();
+
+        // Evaluate base rules once.
+        let empty_delta = FxHashMap::default();
+        {
+            let store = build_store(db, &derived, &empty_delta);
+            let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
+            let mut scanned = 0u64;
+            for variant in &base_plans {
+                indexes.prepare(&variant.plan, &store);
+                let buf = buffers.entry(variant.head).or_default();
+                variant.plan.execute_counted(
+                    &store,
+                    &indexes,
+                    &[],
+                    &mut |row| {
+                        buf.push(Tuple::new(row.to_vec()));
+                    },
+                    &mut scanned,
+                );
+            }
+            stats.record_scanned(scanned as usize);
+            drop(store);
+            merge_buffers(&mut derived, buffers, stats, None);
+        }
+
+        // Initial deltas = everything known so far for the stratum.
+        let mut delta: FxHashMap<Sym, Relation> = stratum_idb
+            .iter()
+            .map(|&p| (p, derived[&p].clone()))
+            .collect();
+
+        if rec_plans.is_empty() {
+            continue;
+        }
+
+        loop {
+            stats.record_iteration();
+            let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
+            {
+                let store = build_store(db, &derived, &delta);
+                let mut scanned = 0u64;
+                for variant in &rec_plans {
+                    indexes.prepare(&variant.plan, &store);
+                    let buf = buffers.entry(variant.head).or_default();
+                    variant.plan.execute_counted(
+                        &store,
+                        &indexes,
+                        &[],
+                        &mut |row| {
+                            buf.push(Tuple::new(row.to_vec()));
+                        },
+                        &mut scanned,
+                    );
+                }
+                stats.record_scanned(scanned as usize);
+            }
+            let mut new_delta: FxHashMap<Sym, Relation> = FxHashMap::default();
+            merge_buffers(&mut derived, buffers, stats, Some(&mut new_delta));
+            for &p in &stratum_idb {
+                indexes.invalidate(RelKey::Delta(p));
+            }
+            if new_delta.values().all(Relation::is_empty) {
+                break;
+            }
+            delta = new_delta;
+        }
+    }
+    Ok(derived)
+}
+
+/// Compiles one rule with body-atom occurrence `delta_occ` (a body index)
+/// reading the delta relation instead of the full one.
+fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, EvalError> {
+    let body: Vec<PlanLiteral> = rule
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, lit)| match lit {
+            Literal::Atom(a) => {
+                let key = if Some(i) == delta_occ {
+                    RelKey::Delta(a.pred)
+                } else {
+                    RelKey::Pred(a.pred)
+                };
+                PlanLiteral::Atom(PlanAtom { rel: key, terms: a.terms.clone() })
+            }
+            Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+        })
+        .collect();
+    let plan = ConjPlan::compile(&[], &body, &rule.head.terms)?;
+    Ok(Variant { head: rule.head.pred, plan })
+}
+
+fn build_store<'a>(
+    db: &'a Database,
+    derived: &'a FxHashMap<Sym, Relation>,
+    delta: &'a FxHashMap<Sym, Relation>,
+) -> RelStore<'a> {
+    let mut store = RelStore::new();
+    for (p, r) in db.relations() {
+        store.bind(RelKey::Pred(p), r);
+    }
+    // Derived shadows EDB.
+    for (&p, r) in derived {
+        store.bind(RelKey::Pred(p), r);
+    }
+    for (&p, r) in delta {
+        store.bind(RelKey::Delta(p), r);
+    }
+    store
+}
+
+fn merge_buffers(
+    derived: &mut FxHashMap<Sym, Relation>,
+    buffers: FxHashMap<Sym, Vec<Tuple>>,
+    stats: &mut EvalStats,
+    mut new_delta: Option<&mut FxHashMap<Sym, Relation>>,
+) {
+    for (pred, tuples) in buffers {
+        let rel = derived.get_mut(&pred).expect("derived relation exists");
+        for t in tuples {
+            let arity = t.arity();
+            let was_new = rel.insert(t.clone());
+            stats.record_insert(was_new);
+            if was_new {
+                if let Some(nd) = new_delta.as_deref_mut() {
+                    nd.entry(pred)
+                        .or_insert_with(|| Relation::new(arity))
+                        .insert(t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::parse_program;
+
+    fn eval(program_src: &str, facts: &str) -> (Derived, Database) {
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(program_src, db.interner_mut()).unwrap();
+        let derived = seminaive(&program, &db).unwrap();
+        (derived, db)
+    }
+
+    #[test]
+    fn transitive_closure_on_a_chain() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "e(a, b). e(b, c). e(c, d).",
+        );
+        let t = db.intern("t");
+        // Closure of a 3-edge chain has 3+2+1 = 6 pairs.
+        assert_eq!(d.relation(t).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn transitive_closure_terminates_on_cycles() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "e(a, b). e(b, c). e(c, a).",
+        );
+        let t = db.intern("t");
+        assert_eq!(d.relation(t).unwrap().len(), 9); // complete on {a,b,c}
+    }
+
+    #[test]
+    fn nonlinear_recursion_is_supported() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y).\n",
+            "e(a, b). e(b, c). e(c, d). e(d, e).",
+        );
+        let t = db.intern("t");
+        assert_eq!(d.relation(t).unwrap().len(), 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn multi_stratum_programs() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             pair(X, Y) :- t(X, Y), t(Y, X).\n",
+            "e(a, b). e(b, a). e(b, c).",
+        );
+        let pair = db.intern("pair");
+        let rel = d.relation(pair).unwrap();
+        // a<->b loop: pairs (a,a),(a,b),(b,a),(b,b).
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn program_facts_seed_idb() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, W), t(W, Y).\nt(seed, goal).\n",
+            "e(a, seed).",
+        );
+        let t = db.intern("t");
+        assert_eq!(d.relation(t).unwrap().len(), 2); // (seed,goal), (a,goal)
+    }
+
+    #[test]
+    fn idb_on_top_of_edb_same_predicate() {
+        // `e` has EDB facts AND a rule deriving into it.
+        let (d, mut db) = eval("e(X, Y) :- extra(X, Y).\n", "e(a, b). extra(c, d).");
+        let e = db.intern("e");
+        assert_eq!(d.relation(e).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_same_stratum() {
+        let (d, mut db) = eval(
+            "even(X) :- zero(X).\n\
+             even(X) :- succ(Y, X), odd(Y).\n\
+             odd(X) :- succ(Y, X), even(Y).\n",
+            "zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3).",
+        );
+        let even = db.intern("even");
+        let odd = db.intern("odd");
+        assert_eq!(d.relation(even).unwrap().len(), 2); // n0, n2
+        assert_eq!(d.relation(odd).unwrap().len(), 2); // n1, n3
+    }
+
+    #[test]
+    fn same_generation() {
+        let (d, mut db) = eval(
+            "sg(X, Y) :- flat(X, Y).\n\
+             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n",
+            "up(a, p). up(b, q). flat(p, q). down(p, a2). down(q, b2).",
+        );
+        let sg = db.intern("sg");
+        let rel = d.relation(sg).unwrap();
+        // flat(p,q) plus derived sg(a, b2).
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (d, _) = eval(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "e(a, b). e(b, c).",
+        );
+        assert!(d.stats.iterations >= 2);
+        assert!(d.stats.tuples_inserted >= 3);
+        assert_eq!(d.stats.relation_sizes["t"], 3);
+    }
+
+    #[test]
+    fn empty_edb_yields_empty_idb() {
+        let (d, mut db) = eval("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", "other(a).");
+        let t = db.intern("t");
+        assert!(d.relation(t).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generators for the separable-recursion engine.
+//!
+//! * [`graphs`] — synthetic EDB relations: chains, cycles, complete trees,
+//!   layered DAGs, and seeded Erdős–Rényi random digraphs;
+//! * [`programs`] — program-text builders for the recursions used across
+//!   benchmarks and tests (the paper's Example 1.1 / 1.2 `buys` programs,
+//!   transitive closure, the `S_p^k` family of Definition 4.1, and the
+//!   synthetic wide programs used to benchmark detection cost);
+//! * [`paper`] — the Section 4 witness constructions: the database on which
+//!   Generalized Magic Sets is `Ω(n²)` for Example 1.2, the one on which
+//!   Generalized Counting is `Ω(2ⁿ)` for Example 1.1, and the Lemma 4.2 /
+//!   4.3 `S_p^k` witnesses;
+//! * [`random`] — seeded random separable programs and databases for
+//!   property-based cross-validation of the evaluators.
+
+pub mod graphs;
+pub mod paper;
+pub mod programs;
+pub mod random;

@@ -1,0 +1,189 @@
+//! The Section 4 witness constructions.
+//!
+//! Each function builds exactly the database the paper uses to prove a
+//! lower bound, and returns it together with the matching program source
+//! and query text.
+
+use sepra_storage::Database;
+
+use crate::graphs::add_chain;
+use crate::programs::{buys_one_class, buys_two_class, spk_program};
+
+/// A generated experiment instance.
+#[derive(Debug)]
+pub struct Instance {
+    /// Program source text.
+    pub program: String,
+    /// Query text.
+    pub query: String,
+    /// The extensional database.
+    pub db: Database,
+}
+
+/// Section 4's Magic Sets worst case on Example 1.2:
+/// `friend` = chain `tom = a0 -> a1 -> ... -> a{n}`,
+/// `cheaper` = chain `(b_{j-1} cheaper than b_j)` for `j = 1..n`,
+/// `perfectFor(a_n, b_n)`; query `buys(tom, Y)?`.
+///
+/// Magic Sets materializes the Θ(n²) tuples `buys(a_i, b_j)`; Separable
+/// stays monadic (`O(n)`).
+pub fn magic_worst_buys(n: usize) -> Instance {
+    assert!(n >= 1);
+    let mut db = Database::new();
+    // a0 is tom.
+    db.insert_named("friend", &["tom", "a1"]).expect("fact");
+    for i in 1..n {
+        db.insert_named("friend", &[&format!("a{i}"), &format!("a{}", i + 1)])
+            .expect("fact");
+    }
+    for j in 1..n {
+        db.insert_named("cheaper", &[&format!("b{j}"), &format!("b{}", j + 1)])
+            .expect("fact");
+    }
+    db.insert_named("perfectFor", &[&format!("a{n}"), &format!("b{n}")])
+        .expect("fact");
+    Instance {
+        program: buys_two_class().to_string(),
+        query: "buys(tom, Y)?".to_string(),
+        db,
+    }
+}
+
+/// Section 4's Counting worst case on Example 1.1: `friend` and `idol` both
+/// the chain `tom = a0 -> ... -> a{n}`, `perfectFor(a_n, widget)`; query
+/// `buys(tom, Y)?`.
+///
+/// Counting's `count` relation holds one tuple per rule sequence — Θ(2ⁿ);
+/// Separable stays `O(n)`. Keep `n ≤ ~22`.
+pub fn counting_worst_buys(n: usize) -> Instance {
+    assert!(n >= 1);
+    let mut db = Database::new();
+    db.insert_named("friend", &["tom", "a1"]).expect("fact");
+    db.insert_named("idol", &["tom", "a1"]).expect("fact");
+    for i in 1..n {
+        let from = format!("a{i}");
+        let to = format!("a{}", i + 1);
+        db.insert_named("friend", &[&from, &to]).expect("fact");
+        db.insert_named("idol", &[&from, &to]).expect("fact");
+    }
+    db.insert_named("perfectFor", &[&format!("a{n}"), "widget"])
+        .expect("fact");
+    Instance {
+        program: buys_one_class().to_string(),
+        query: "buys(tom, Y)?".to_string(),
+        db,
+    }
+}
+
+/// Lemma 4.2's witness in `S_p^k`: `a_1` is the chain `c1 -> ... -> cn`,
+/// `a_i` is empty for `i > 1`, and `t0` is the full k-ary relation over
+/// `{c1..cn}` (`n^k` tuples); query `t(c1, Y2, ..., Yk)?`.
+///
+/// Magic Sets re-derives all of `t0` into `t` (Θ(n^k)); Separable builds
+/// relations of size `max(n, n^{k-1})`.
+pub fn spk_magic_witness(k: usize, p: usize, n: usize) -> Instance {
+    assert!(k >= 1 && p >= 1 && n >= 1);
+    let mut db = Database::new();
+    add_chain(&mut db, "a1", "c", n.saturating_sub(1));
+    // Ensure a_i for i > 1 exist as empty relations by interning only; the
+    // evaluators treat missing relations as empty, so nothing to insert.
+    // t0 = all k-tuples over c0..c{n-1} (n^k tuples, decoded from a base-n
+    // counter).
+    let total = (n as u128).pow(u32::try_from(k).expect("small k"));
+    assert!(total <= 50_000_000, "t0 would have {total} tuples; lower n or k");
+    for mut code in 0..total {
+        let mut names = Vec::with_capacity(k);
+        for _ in 0..k {
+            names.push(format!("c{}", code % n as u128));
+            code /= n as u128;
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        db.insert_named("t0", &refs).expect("fact");
+    }
+    let free_vars: Vec<String> = (2..=k).map(|i| format!("Y{i}")).collect();
+    let query = if k > 1 {
+        format!("t(c0, {})?", free_vars.join(", "))
+    } else {
+        "t(c0)?".to_string()
+    };
+    Instance { program: spk_program(k, p), query, db }
+}
+
+/// Lemma 4.3's witness in `S_p^k`: all `a_i` are the *same* chain
+/// `c0 -> ... -> c{n-1}`; `t0` holds the single tuple `(c{n-1}, c0, ...,
+/// c0)`; query `t(c0, Y2, ..., Yk)?`.
+///
+/// Counting's `count` relation reaches Θ(p^n); Separable is `O(n)`.
+pub fn spk_counting_witness(k: usize, p: usize, n: usize) -> Instance {
+    assert!(k >= 1 && p >= 1 && n >= 2);
+    let mut db = Database::new();
+    for i in 1..=p {
+        add_chain(&mut db, &format!("a{i}"), "c", n - 1);
+    }
+    let mut t0: Vec<String> = vec![format!("c{}", n - 1)];
+    t0.extend((1..k).map(|_| "c0".to_string()));
+    let refs: Vec<&str> = t0.iter().map(String::as_str).collect();
+    db.insert_named("t0", &refs).expect("fact");
+    let free_vars: Vec<String> = (2..=k).map(|i| format!("Y{i}")).collect();
+    let query = if k > 1 {
+        format!("t(c0, {})?", free_vars.join(", "))
+    } else {
+        "t(c0)?".to_string()
+    };
+    Instance { program: spk_program(k, p), query, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_worst_shapes() {
+        let inst = magic_worst_buys(5);
+        let mut db = inst.db;
+        let friend = db.intern("friend");
+        let cheaper = db.intern("cheaper");
+        assert_eq!(db.relation(friend).unwrap().len(), 5);
+        assert_eq!(db.relation(cheaper).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn counting_worst_shapes() {
+        let inst = counting_worst_buys(4);
+        let mut db = inst.db;
+        let friend = db.intern("friend");
+        let idol = db.intern("idol");
+        assert_eq!(db.relation(friend).unwrap().len(), 4);
+        assert_eq!(db.relation(idol).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn spk_magic_witness_t0_is_full() {
+        let inst = spk_magic_witness(2, 2, 4);
+        let mut db = inst.db;
+        let t0 = db.intern("t0");
+        assert_eq!(db.relation(t0).unwrap().len(), 16);
+        assert_eq!(inst.query, "t(c0, Y2)?");
+    }
+
+    #[test]
+    fn spk_magic_witness_k1() {
+        let inst = spk_magic_witness(1, 1, 3);
+        let mut db = inst.db;
+        let t0 = db.intern("t0");
+        assert_eq!(db.relation(t0).unwrap().len(), 3);
+        assert_eq!(inst.query, "t(c0)?");
+    }
+
+    #[test]
+    fn spk_counting_witness_shapes() {
+        let inst = spk_counting_witness(2, 3, 5);
+        let mut db = inst.db;
+        for i in 1..=3 {
+            let a = db.intern(&format!("a{i}"));
+            assert_eq!(db.relation(a).unwrap().len(), 4);
+        }
+        let t0 = db.intern("t0");
+        assert_eq!(db.relation(t0).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Program-text builders.
+
+use std::fmt::Write as _;
+
+/// Example 1.1: `buys` with two recursive rules in one equivalence class
+/// (column 0) and a persistent column 1.
+pub fn buys_one_class() -> &'static str {
+    "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+     buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+     buys(X, Y) :- perfectFor(X, Y).\n"
+}
+
+/// Example 1.2: `buys` with two equivalence classes (columns 0 and 1).
+pub fn buys_two_class() -> &'static str {
+    "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+     buys(X, Y) :- buys(X, W), cheaper(Y, W).\n\
+     buys(X, Y) :- perfectFor(X, Y).\n"
+}
+
+/// Left-linear transitive closure over `e`.
+pub fn transitive_closure() -> &'static str {
+    "t(X, Y) :- e(X, W), t(W, Y).\n\
+     t(X, Y) :- e(X, Y).\n"
+}
+
+/// The same-generation program — NOT separable (condition 4 fails); used to
+/// exercise the Magic Sets fallback.
+pub fn same_generation() -> &'static str {
+    "sg(X, Y) :- flat(X, Y).\n\
+     sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n"
+}
+
+/// A member of `S_p^k` (Definition 4.1): `p` recursive rules of the form
+/// `t(X1, ..., Xk) :- a_i(X1, W), t(W, X2, ..., Xk)` plus the exit rule
+/// `t(X1, ..., Xk) :- t0(X1, ..., Xk)` — the recursion used by Lemmas 4.2
+/// and 4.3.
+pub fn spk_program(k: usize, p: usize) -> String {
+    assert!(k >= 1 && p >= 1);
+    let head_vars: Vec<String> = (1..=k).map(|i| format!("X{i}")).collect();
+    let head = head_vars.join(", ");
+    let tail = if k > 1 {
+        format!(", {}", head_vars[1..].join(", "))
+    } else {
+        String::new()
+    };
+    let mut out = String::new();
+    for i in 1..=p {
+        let _ = writeln!(out, "t({head}) :- a{i}(X1, W), t(W{tail}).");
+    }
+    let _ = writeln!(out, "t({head}) :- t0({head}).");
+    out
+}
+
+/// A wide separable recursion for the detection-cost benchmark (E7):
+/// `r` rules, recursive predicate of arity `k`, each rule body a chain of
+/// `l` distinct base predicates connecting column 1 of the head to column 1
+/// of the recursive instance.
+pub fn wide_program(r: usize, k: usize, l: usize) -> String {
+    assert!(r >= 1 && k >= 1 && l >= 1);
+    let head_vars: Vec<String> = (1..=k).map(|i| format!("X{i}")).collect();
+    let head = head_vars.join(", ");
+    let tail = if k > 1 {
+        format!(", {}", head_vars[1..].join(", "))
+    } else {
+        String::new()
+    };
+    let mut out = String::new();
+    for i in 1..=r {
+        let mut body = String::new();
+        let mut prev = "X1".to_string();
+        for j in 1..=l {
+            let next = if j == l { "W".to_string() } else { format!("V{j}") };
+            let _ = write!(body, "u{i}_{j}({prev}, {next}), ");
+            prev = next;
+        }
+        let _ = writeln!(out, "t({head}) :- {body}t(W{tail}).");
+    }
+    let _ = writeln!(out, "t({head}) :- t0({head}).");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::{parse_program, Interner};
+
+    #[test]
+    fn spk_parses_for_various_shapes() {
+        let mut i = Interner::new();
+        for k in 1..=4 {
+            for p in 1..=3 {
+                let src = spk_program(k, p);
+                let prog = parse_program(&src, &mut i).unwrap_or_else(|e| panic!("{src}: {e}"));
+                assert_eq!(prog.rules.len(), p + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_program_parses() {
+        let mut i = Interner::new();
+        let src = wide_program(5, 3, 4);
+        let prog = parse_program(&src, &mut i).unwrap();
+        assert_eq!(prog.rules.len(), 6);
+        // Each recursive body: l base atoms + 1 recursive atom.
+        assert_eq!(prog.rules[0].body.len(), 5);
+    }
+
+    #[test]
+    fn fixture_programs_parse() {
+        let mut i = Interner::new();
+        for src in [buys_one_class(), buys_two_class(), transitive_closure(), same_generation()] {
+            parse_program(src, &mut i).unwrap();
+        }
+    }
+}

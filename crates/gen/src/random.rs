@@ -1,0 +1,229 @@
+//! Seeded random separable programs and databases for property-based
+//! cross-validation.
+//!
+//! The generator draws a recursion that is separable *by construction*:
+//! it partitions a random subset of the columns into equivalence classes,
+//! then emits 1–3 rules per class whose nonrecursive body is a connected
+//! chain through that class's columns. Databases are random digraphs /
+//! k-ary relations over a small constant pool, so fixpoints stay tiny and
+//! cyclic data is common (exercising termination).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sepra_storage::Database;
+
+/// A generated random scenario: program text, query text, database.
+#[derive(Debug)]
+pub struct RandomScenario {
+    /// Program source.
+    pub program: String,
+    /// Query source (binds at least one argument).
+    pub query: String,
+    /// The database.
+    pub db: Database,
+    /// Arity of the recursive predicate.
+    pub arity: usize,
+}
+
+/// Generates a random separable scenario from `seed`.
+pub fn random_separable_scenario(seed: u64) -> RandomScenario {
+    random_scenario_inner(seed, false)
+}
+
+/// Like [`random_separable_scenario`], but the base relations are
+/// *acyclic* (every tuple strictly increases the constant index column by
+/// column) and the query fully binds the first equivalence class — the
+/// preconditions of the Counting and Henschen-Naqvi baselines.
+pub fn random_acyclic_full_selection_scenario(seed: u64) -> RandomScenario {
+    random_scenario_inner(seed, true)
+}
+
+/// Generates a random *general linear* scenario: like
+/// [`random_separable_scenario`], but with probability ~1/2 the recursive
+/// atom's arguments are randomly permuted, introducing shifting variables
+/// (violating Condition 1) while keeping the program valid, safe Datalog.
+/// Used to cross-validate the general algorithms beyond the separable
+/// class.
+pub fn random_linear_scenario(seed: u64) -> RandomScenario {
+    use rand::seq::SliceRandom;
+    let mut scenario = random_scenario_inner(seed, false);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    if rng.gen_bool(0.5) {
+        // Permute the recursive atom's argument order in every recursive
+        // rule, textually: t(A, B, C) -> t(<permuted>). The generator
+        // always emits the recursive atom as the final body literal
+        // `t(...).` on its own line ending.
+        let mut perm: Vec<usize> = (0..scenario.arity).collect();
+        perm.shuffle(&mut rng);
+        let mut out = String::new();
+        for line in scenario.program.lines() {
+            if let Some(idx) = line.rfind(" t(") {
+                let (head, tail) = line.split_at(idx + 3);
+                let args_end = tail.find(')').expect("recursive atom closes");
+                let args: Vec<&str> = tail[..args_end].split(", ").collect();
+                if args.len() == scenario.arity {
+                    let permuted: Vec<&str> = perm.iter().map(|&i| args[i]).collect();
+                    out.push_str(head);
+                    out.push_str(&permuted.join(", "));
+                    out.push_str(&tail[args_end..]);
+                    out.push('\n');
+                    continue;
+                }
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        scenario.program = out;
+    }
+    scenario
+}
+
+fn random_scenario_inner(seed: u64, acyclic: bool) -> RandomScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arity = rng.gen_range(2..=3usize);
+    // Partition columns: each column joins class 0, class 1, or persistent.
+    let n_classes = rng.gen_range(1..=2usize).min(arity);
+    let mut class_cols: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for col in 0..arity {
+        let choice = rng.gen_range(0..=n_classes); // == n_classes => persistent
+        if choice < n_classes {
+            class_cols[choice].push(col);
+        }
+    }
+    // Every class needs at least one column; put leftovers in class 0.
+    if class_cols.iter().any(Vec::is_empty) {
+        class_cols = vec![(0..arity.min(1 + arity / 2)).collect()];
+    }
+
+    let head_vars: Vec<String> = (0..arity).map(|i| format!("X{i}")).collect();
+    let mut program = String::new();
+    let mut base_preds: Vec<(String, usize)> = Vec::new();
+    for (ci, cols) in class_cols.iter().enumerate() {
+        let n_rules = rng.gen_range(1..=2usize);
+        for ri in 0..n_rules {
+            // Body: chain of 1..=2 base atoms carrying the class columns
+            // from head vars to body vars.
+            let chain_len = rng.gen_range(1..=2usize);
+            let mut body = String::new();
+            let mut current: Vec<String> = cols.iter().map(|&c| head_vars[c].clone()).collect();
+            for step in 0..chain_len {
+                let next: Vec<String> = if step + 1 == chain_len {
+                    cols.iter().map(|&c| format!("W{c}")).collect()
+                } else {
+                    cols.iter().map(|&c| format!("V{ci}_{ri}_{step}_{c}")).collect()
+                };
+                let pred = format!("b{ci}_{ri}_{step}");
+                base_preds.push((pred.clone(), cols.len() * 2));
+                body.push_str(&format!(
+                    "{pred}({}, {}), ",
+                    current.join(", "),
+                    next.join(", ")
+                ));
+                current = next;
+            }
+            // Recursive atom: class columns replaced by body vars.
+            let rec_args: Vec<String> = (0..arity)
+                .map(|c| {
+                    if cols.contains(&c) {
+                        format!("W{c}")
+                    } else {
+                        head_vars[c].clone()
+                    }
+                })
+                .collect();
+            program.push_str(&format!(
+                "t({}) :- {}t({}).\n",
+                head_vars.join(", "),
+                body,
+                rec_args.join(", ")
+            ));
+        }
+    }
+    program.push_str(&format!(
+        "t({}) :- t0({}).\n",
+        head_vars.join(", "),
+        head_vars.join(", ")
+    ));
+
+    // Database: small constant pool, random tuples. In acyclic mode every
+    // base tuple's second half strictly dominates its first half in the
+    // constant ordering, so class descents cannot revisit a vector.
+    let mut db = Database::new();
+    let pool = if acyclic { rng.gen_range(5..=8usize) } else { rng.gen_range(3..=6usize) };
+    let constant = |i: usize| format!("k{i}");
+    for (pred, pred_arity) in &base_preds {
+        let tuples = rng.gen_range(2..=8usize);
+        for _ in 0..tuples {
+            let names: Vec<String> = if acyclic {
+                let half = pred_arity / 2;
+                let mut v = Vec::with_capacity(*pred_arity);
+                for _ in 0..half {
+                    v.push(rng.gen_range(0..pool - 1));
+                }
+                for i in 0..half {
+                    v.push(rng.gen_range(v[i] + 1..pool));
+                }
+                v.into_iter().map(constant).collect()
+            } else {
+                (0..*pred_arity).map(|_| constant(rng.gen_range(0..pool))).collect()
+            };
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            db.insert_named(pred, &refs).expect("fact");
+        }
+    }
+    for _ in 0..rng.gen_range(1..=6usize) {
+        let names: Vec<String> = (0..arity).map(|_| constant(rng.gen_range(0..pool))).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        db.insert_named("t0", &refs).expect("fact");
+    }
+
+    // Query: in acyclic mode, fully bind the first class (the baselines'
+    // precondition); otherwise bind a random nonempty subset of columns.
+    let mut terms: Vec<String> = (0..arity).map(|i| format!("Q{i}")).collect();
+    if acyclic {
+        for &col in &class_cols[0] {
+            terms[col] = constant(rng.gen_range(0..pool));
+        }
+    } else {
+        let n_bound = rng.gen_range(1..=arity);
+        for _ in 0..n_bound {
+            let col = rng.gen_range(0..arity);
+            terms[col] = constant(rng.gen_range(0..pool));
+        }
+    }
+    if terms.iter().all(|t| t.starts_with('Q')) {
+        terms[0] = constant(0);
+    }
+    let query = format!("t({})?", terms.join(", "));
+
+    RandomScenario { program, query, db, arity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::parse_program;
+
+    #[test]
+    fn scenarios_parse_and_have_selections() {
+        for seed in 0..50 {
+            let mut scenario = random_separable_scenario(seed);
+            let program =
+                parse_program(&scenario.program, scenario.db.interner_mut()).unwrap_or_else(|e| {
+                    panic!("seed {seed}: {e}\n{}", scenario.program)
+                });
+            assert!(program.rules.len() >= 2, "seed {seed}");
+            let query =
+                sepra_ast::parse_query(&scenario.query, scenario.db.interner_mut()).unwrap();
+            assert!(query.has_selection(), "seed {seed}: {}", scenario.query);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = random_separable_scenario(42);
+        let b = random_separable_scenario(42);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.query, b.query);
+    }
+}

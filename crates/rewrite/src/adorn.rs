@@ -1,0 +1,225 @@
+//! Program adornment by left-to-right sideways information passing.
+//!
+//! An *adornment* marks each argument position of an IDB predicate
+//! occurrence as bound (`b`) or free (`f`) given the query's binding
+//! pattern. Starting from the query, each reachable `(predicate,
+//! adornment)` pair produces adorned versions of that predicate's rules:
+//! the rule body is walked left to right, every literal binds its variables
+//! once evaluated, and each IDB body atom is renamed to its own adorned
+//! version (`p@bf`), scheduling it for processing. This is the standard
+//! full left-to-right SIP of \[BR87\], which is also the information-passing
+//! order the paper's algorithms assume.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use sepra_ast::{Atom, Interner, Literal, Program, Query, Rule, Sym, Term};
+
+/// A binding pattern: `true` = bound.
+pub type Adornment = Vec<bool>;
+
+/// Renders an adornment as the conventional `bf` string.
+pub fn adornment_string(a: &Adornment) -> String {
+    a.iter().map(|&b| if b { 'b' } else { 'f' }).collect()
+}
+
+/// The adorned name for `pred` under `adornment`, e.g. `buys@bf`.
+///
+/// The `@` separator cannot appear in source identifiers, so adorned names
+/// never collide with user predicates.
+pub fn adorned_name(pred: Sym, adornment: &Adornment, interner: &mut Interner) -> Sym {
+    let name = format!("{}@{}", interner.resolve(pred), adornment_string(adornment));
+    interner.intern(&name)
+}
+
+/// An adorned program, ready for the magic rewrite.
+#[derive(Debug, Clone)]
+pub struct AdornedProgram {
+    /// The adorned rules (IDB predicates renamed to `p@ad` versions).
+    pub program: Program,
+    /// The query, renamed to its adorned predicate.
+    pub query: Query,
+    /// The adorned query predicate.
+    pub query_pred: Sym,
+    /// The adornment of the query predicate.
+    pub query_adornment: Adornment,
+    /// For each adorned rule, the bound head positions (used by the magic
+    /// rewrite to form magic-predicate arguments).
+    pub bound_head_positions: Vec<Vec<usize>>,
+}
+
+/// Adorns `program` for `query`.
+///
+/// `is_idb` decides which predicates are rewritten (typically: predicates
+/// with at least one proper rule). EDB predicates are left untouched.
+pub fn adorn_program(
+    program: &Program,
+    query: &Query,
+    interner: &mut Interner,
+    is_idb: &impl Fn(Sym) -> bool,
+) -> AdornedProgram {
+    let query_adornment: Adornment = query.atom.terms.iter().map(Term::is_const).collect();
+    let mut out_rules: Vec<Rule> = Vec::new();
+    let mut bound_head_positions: Vec<Vec<usize>> = Vec::new();
+    let mut seen: BTreeSet<(Sym, Adornment)> = BTreeSet::new();
+    let mut work: VecDeque<(Sym, Adornment)> = VecDeque::new();
+
+    let start = (query.atom.pred, query_adornment.clone());
+    seen.insert(start.clone());
+    work.push_back(start);
+
+    while let Some((pred, adornment)) = work.pop_front() {
+        for rule in program.definition_of(pred) {
+            if rule.is_fact() {
+                // Facts of IDB predicates are hoisted by the caller; skip.
+                continue;
+            }
+            let mut bound: BTreeSet<Sym> = rule
+                .head
+                .terms
+                .iter()
+                .zip(&adornment)
+                .filter_map(|(t, &b)| if b { t.as_var() } else { None })
+                .collect();
+            let mut new_body: Vec<Literal> = Vec::new();
+            for lit in &rule.body {
+                match lit {
+                    Literal::Atom(atom) if is_idb(atom.pred) => {
+                        let sub_ad: Adornment = atom
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(_) => true,
+                                Term::Var(v) => bound.contains(v),
+                            })
+                            .collect();
+                        let key = (atom.pred, sub_ad.clone());
+                        if seen.insert(key.clone()) {
+                            work.push_back(key);
+                        }
+                        let renamed = adorned_name(atom.pred, &sub_ad, interner);
+                        new_body.push(Literal::Atom(Atom::new(renamed, atom.terms.clone())));
+                        bound.extend(atom.vars());
+                    }
+                    Literal::Atom(atom) => {
+                        new_body.push(lit.clone());
+                        bound.extend(atom.vars());
+                    }
+                    Literal::Eq(l, r) => {
+                        new_body.push(lit.clone());
+                        let l_bound = matches!(l, Term::Const(_))
+                            || l.as_var().is_some_and(|v| bound.contains(&v));
+                        let r_bound = matches!(r, Term::Const(_))
+                            || r.as_var().is_some_and(|v| bound.contains(&v));
+                        if l_bound || r_bound {
+                            for t in [l, r] {
+                                if let Term::Var(v) = t {
+                                    bound.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let head_pred = adorned_name(pred, &adornment, interner);
+            out_rules.push(Rule::new(Atom::new(head_pred, rule.head.terms.clone()), new_body));
+            bound_head_positions.push(
+                adornment
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &b)| b.then_some(i))
+                    .collect(),
+            );
+        }
+    }
+
+    let query_pred = adorned_name(query.atom.pred, &query_adornment, interner);
+    let adorned_query = Query::new(Atom::new(query_pred, query.atom.terms.clone()));
+    AdornedProgram {
+        program: Program::new(out_rules),
+        query: adorned_query,
+        query_pred,
+        query_adornment,
+        bound_head_positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::{parse_program, parse_query, pretty};
+
+    fn adorn(src: &str, query_src: &str) -> (AdornedProgram, Interner) {
+        let mut i = Interner::new();
+        let program = parse_program(src, &mut i).unwrap();
+        let query = parse_query(query_src, &mut i).unwrap();
+        let idb: Vec<Sym> = program
+            .rules
+            .iter()
+            .filter(|r| !r.is_fact())
+            .map(|r| r.head.pred)
+            .collect();
+        let adorned = adorn_program(&program, &query, &mut i, &|p| idb.contains(&p));
+        (adorned, i)
+    }
+
+    #[test]
+    fn transitive_closure_bf() {
+        let (ad, i) = adorn(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "t(a, Y)?",
+        );
+        assert_eq!(i.resolve(ad.query_pred), "t@bf");
+        assert_eq!(ad.program.rules.len(), 2);
+        let rendered = pretty::program_to_string(&ad.program, &i);
+        // The recursive call is also bf: e(X, W) binds W before t(W, Y).
+        assert!(rendered.contains("t@bf(W, Y)"), "{rendered}");
+        assert!(rendered.contains("t@bf(X, Y) :- e(X, Y)."), "{rendered}");
+    }
+
+    #[test]
+    fn right_linear_produces_fb_via_persistence() {
+        // t(X, Y) :- t(X, W), c(Y, W): with t(X, b)? the head binds Y;
+        // walking left to right, the recursive t(X, W) sees X free, W free.
+        let (ad, i) = adorn(
+            "t(X, Y) :- t(X, W), c(Y, W).\nt(X, Y) :- p(X, Y).\n",
+            "t(X, b)?",
+        );
+        assert_eq!(i.resolve(ad.query_pred), "t@fb");
+        let rendered = pretty::program_to_string(&ad.program, &i);
+        assert!(rendered.contains("t@ff"), "{rendered}");
+    }
+
+    #[test]
+    fn multiple_adornments_generate_multiple_versions() {
+        let (ad, i) = adorn(
+            "s(X, Y) :- t(X, Y).\n\
+             s(X, Y) :- t(Y, X).\n\
+             t(X, Y) :- e(X, Y).\n",
+            "s(a, Y)?",
+        );
+        let rendered = pretty::program_to_string(&ad.program, &i);
+        assert!(rendered.contains("t@bf"), "{rendered}");
+        assert!(rendered.contains("t@fb"), "{rendered}");
+    }
+
+    #[test]
+    fn eq_literals_propagate_bindings() {
+        let (ad, i) = adorn(
+            "t(X, Y) :- q(X, W), Y2 = W, t(Y2, Y).\nt(X, Y) :- p(X, Y).\n",
+            "t(a, Y)?",
+        );
+        let rendered = pretty::program_to_string(&ad.program, &i);
+        assert!(rendered.contains("t@bf(Y2, Y)"), "{rendered}");
+    }
+
+    #[test]
+    fn bound_head_positions_follow_adornment() {
+        let (ad, _) = adorn(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
+            "t(a, Y)?",
+        );
+        for positions in &ad.bound_head_positions {
+            assert_eq!(positions, &vec![0]);
+        }
+    }
+}

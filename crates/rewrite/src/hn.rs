@@ -1,0 +1,257 @@
+//! The Henschen–Naqvi iterative algorithm \[HN84\].
+//!
+//! Henschen and Naqvi compile a recursive query into an iterative program
+//! that enumerates the *expansion strings* of the recursion one at a time:
+//! each sequence of recursive-rule applications is evaluated as its own
+//! relational expression, with no memoization across strings. The paper's
+//! Section 1 makes two observations about it, both reproduced here:
+//!
+//! * with several recursive rules in a class, the number of strings of
+//!   length `i` is `pⁱ`, so the total work is `Ω(2ⁿ)` on Example 1.1 —
+//!   even though most strings reach exactly the same values (which the
+//!   Separable algorithm's shared `seen_1` exploits);
+//! * there is no `seen` set at all, so **cyclic data never converges**;
+//!   the implementation bounds the descent depth and reports divergence.
+//!
+//! The exit join and the upward closure through the remaining equivalence
+//! classes reuse the shared plan machinery, exactly as the Counting
+//! baseline does — the measured object is the per-string descent.
+
+use sepra_ast::Query;
+use sepra_core::detect::SeparableRecursion;
+use sepra_core::exec::{run_seed_and_phase2, ExecOptions, ExtraRelations};
+use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1};
+use sepra_eval::{filter_by_query, EvalError, IndexCache, RelKey, RelStore};
+use sepra_storage::{Database, EvalStats, Relation, Tuple, Value};
+
+/// Options for the Henschen–Naqvi evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct HnOptions {
+    /// Maximum string length. Defaults to the number of distinct constants
+    /// (longer strings must repeat a value, i.e. the data is cyclic and the
+    /// enumeration does not terminate).
+    pub max_depth: Option<usize>,
+    /// Execution options for the answer phase.
+    pub exec: ExecOptions,
+}
+
+/// The result of a Henschen–Naqvi evaluation.
+#[derive(Debug)]
+pub struct HnOutcome {
+    /// Answers as full tuples of the query predicate.
+    pub answers: Relation,
+    /// Statistics; headline entries are `hn_work` (total frontier tuples
+    /// across all strings and levels) and `hn_strings` (peak live strings).
+    pub stats: EvalStats,
+}
+
+/// Evaluates `query` with the Henschen–Naqvi string-at-a-time strategy.
+///
+/// Requires a full selection on one equivalence class, like the Counting
+/// baseline.
+pub fn hn_evaluate(
+    sep: &SeparableRecursion,
+    query: &Query,
+    db: &Database,
+    opts: &HnOptions,
+) -> Result<HnOutcome, EvalError> {
+    let SelectionKind::FullClass { class } = classify_selection(sep, query) else {
+        return Err(EvalError::Unsupported(
+            "the Henschen-Naqvi baseline supports selections that fully bind one class".into(),
+        ));
+    };
+    let plan = build_plan(sep, &PlanSelection::Class(class))?;
+    let phase1 = plan.phase1.as_ref().expect("class plan has phase 1");
+    let width = phase1.columns.len();
+    let max_depth = opts
+        .max_depth
+        .unwrap_or_else(|| db.distinct_constant_count().max(1));
+
+    let mut stats = EvalStats::new();
+    let extra = ExtraRelations::default();
+
+    // The seed string: the selection constants.
+    let mut seed_vals: Vec<Value> = Vec::with_capacity(width);
+    for &c in &phase1.columns {
+        let sepra_ast::Term::Const(konst) = query.atom.terms[c] else {
+            return Err(EvalError::Planning("full class selection expected constants".into()));
+        };
+        seed_vals.push(Value::from_const(konst)?);
+    }
+    let mut seed = Relation::new(width);
+    seed.insert(Tuple::new(seed_vals));
+
+    // Every value vector reached by any string (fed to the answer phase).
+    let mut reached = seed.clone();
+    // Active strings: each is just its current frontier relation.
+    let mut active: Vec<Relation> = vec![seed];
+    let mut work: usize = 1;
+    let mut peak_strings = 1usize;
+    stats.record_size("hn_work", work);
+    stats.record_size("hn_strings", peak_strings);
+
+    let mut indexes = IndexCache::new();
+    let mut level = 0usize;
+    while !active.is_empty() {
+        stats.record_iteration();
+        level += 1;
+        if level > max_depth {
+            return Err(EvalError::Diverged {
+                what: "Henschen-Naqvi string enumeration (cyclic data or depth bound exceeded)"
+                    .into(),
+                bound: max_depth,
+            });
+        }
+        let mut next: Vec<Relation> = Vec::with_capacity(active.len() * phase1.steps.len());
+        for frontier in &active {
+            for (_, step) in &phase1.steps {
+                let mut store = RelStore::new();
+                for (p, r) in db.relations() {
+                    store.bind(RelKey::Pred(p), r);
+                }
+                store.bind(RelKey::Aux(AUX_CARRY1), frontier);
+                if opts.exec.use_indexes {
+                    indexes.prepare(step, &store);
+                }
+                let mut out = Relation::new(width);
+                step.execute(&store, &indexes, &[], &mut |row| {
+                    let was_new = out.insert(Tuple::new(row.to_vec()));
+                    stats.record_insert(was_new);
+                });
+                if !out.is_empty() {
+                    work += out.len();
+                    for t in out.iter() {
+                        reached.insert(t.clone());
+                    }
+                    next.push(out);
+                }
+            }
+        }
+        indexes.invalidate(RelKey::Aux(AUX_CARRY1));
+        peak_strings = peak_strings.max(next.len());
+        stats.record_size("hn_work", work);
+        stats.record_size("hn_strings", peak_strings);
+        active = next;
+    }
+
+    // Answer phase: shared exit join + upward closure over `reached`.
+    stats.record_size("seen_1", reached.len());
+    let seen2 =
+        run_seed_and_phase2(&plan, db, &extra, Some(&reached), &mut indexes, &opts.exec, &mut stats)?;
+
+    let fixed: Vec<(usize, Value)> = phase1
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let sepra_ast::Term::Const(konst) = query.atom.terms[c] else {
+                unreachable!("validated above");
+            };
+            let _ = i;
+            Ok((c, Value::from_const(konst)?))
+        })
+        .collect::<Result<_, EvalError>>()?;
+    let mut full = Relation::new(sep.arity);
+    for row in seen2.iter() {
+        let mut values = vec![Value::int(0).expect("zero fits"); sep.arity];
+        for &(pos, v) in &fixed {
+            values[pos] = v;
+        }
+        for (i, &pos) in plan.phase2.columns.iter().enumerate() {
+            values[pos] = row[i];
+        }
+        full.insert(Tuple::from(values));
+    }
+    let answers = filter_by_query(query, &full)?;
+    stats.record_size("ans", answers.len());
+    Ok(HnOutcome { answers, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::{parse_program, parse_query};
+    use sepra_core::detect::detect_in_program;
+    use sepra_eval::{query_answers, seminaive};
+
+    const EX_1_1: &str = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                          buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+                          buys(X, Y) :- perfectFor(X, Y).\n";
+
+    fn setup(
+        program_src: &str,
+        facts: &str,
+        pred: &str,
+        query_src: &str,
+    ) -> (SeparableRecursion, Query, Database, sepra_ast::Program) {
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(program_src, db.interner_mut()).unwrap();
+        let p = db.intern(pred);
+        let sep = detect_in_program(&program, p, db.interner_mut()).unwrap();
+        let query = parse_query(query_src, db.interner_mut()).unwrap();
+        (sep, query, db, program)
+    }
+
+    #[test]
+    fn hn_matches_seminaive_on_acyclic_data() {
+        let facts = "friend(a, b). friend(b, c). idol(a, c). idol(c, d).\n\
+                     perfectFor(d, widget). perfectFor(b, gadget).";
+        let (sep, query, db, program) = setup(EX_1_1, facts, "buys", "buys(a, Y)?");
+        let out = hn_evaluate(&sep, &query, &db, &HnOptions::default()).unwrap();
+        let derived = seminaive(&program, &db).unwrap();
+        let expected = query_answers(&query, &db, Some(&derived)).unwrap();
+        assert_eq!(out.answers, expected);
+    }
+
+    #[test]
+    fn hn_work_is_exponential_on_example_1_1() {
+        // friend = idol = chain: 2^i strings alive at level i, so total
+        // work is 2^(n+1) - 1 frontier tuples.
+        let n = 10;
+        let mut facts = String::new();
+        for i in 0..n {
+            facts.push_str(&format!("friend(v{i}, v{}). idol(v{i}, v{}). ", i + 1, i + 1));
+        }
+        facts.push_str(&format!("perfectFor(v{n}, widget)."));
+        let (sep, query, db, _) = setup(EX_1_1, &facts, "buys", "buys(v0, Y)?");
+        let out = hn_evaluate(&sep, &query, &db, &HnOptions::default()).unwrap();
+        assert_eq!(out.stats.relation_sizes["hn_work"], (1 << (n + 1)) - 1);
+        assert_eq!(out.stats.relation_sizes["hn_strings"], 1 << n);
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn hn_diverges_on_cyclic_data() {
+        let facts = "friend(a, b). friend(b, a). perfectFor(a, w).";
+        let (sep, query, db, _) = setup(EX_1_1, facts, "buys", "buys(a, Y)?");
+        let err = hn_evaluate(&sep, &query, &db, &HnOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn hn_single_rule_is_linear() {
+        let tc = "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n";
+        let mut facts = String::new();
+        for i in 0..30 {
+            facts.push_str(&format!("e(v{i}, v{}). ", i + 1));
+        }
+        let (sep, query, db, program) = setup(tc, &facts, "t", "t(v0, Y)?");
+        let out = hn_evaluate(&sep, &query, &db, &HnOptions::default()).unwrap();
+        assert_eq!(out.stats.relation_sizes["hn_work"], 31);
+        assert_eq!(out.stats.relation_sizes["hn_strings"], 1);
+        let derived = seminaive(&program, &db).unwrap();
+        let expected = query_answers(&query, &db, Some(&derived)).unwrap();
+        assert_eq!(out.answers, expected);
+    }
+
+    #[test]
+    fn hn_rejects_persistent_selection() {
+        let facts = "friend(a, b). perfectFor(b, w).";
+        let (sep, query, db, _) = setup(EX_1_1, facts, "buys", "buys(X, w)?");
+        assert!(matches!(
+            hn_evaluate(&sep, &query, &db, &HnOptions::default()),
+            Err(EvalError::Unsupported(_))
+        ));
+    }
+}

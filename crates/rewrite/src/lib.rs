@@ -1,0 +1,30 @@
+//! Baseline evaluation algorithms for recursive queries.
+//!
+//! The paper (Section 4) compares its Separable algorithm against the two
+//! popular general-purpose strategies of the time; both are implemented
+//! here from scratch on top of the shared evaluation substrate:
+//!
+//! * [`adorn`] / [`magic`] — the **Generalized Magic Sets** rewrite
+//!   \[BMSU86, BR87\]: adorn the program by sideways information passing from
+//!   the query's binding pattern, guard every rule with a `magic` predicate,
+//!   and evaluate the rewritten program semi-naively. On the paper's
+//!   Lemma 4.2 family this materializes `Ω(n^k)` tuples where Separable
+//!   stays at `O(n^{max(w, k-w)})`.
+//! * [`counting`] — the **Generalized Counting Method** \[BMSU86, SZ86\]:
+//!   descend from the selection constants recording `(level, path-code)`
+//!   indexes exactly as the paper's `count` rules do. Because the path code
+//!   distinguishes every rule sequence, `count` reaches `Ω(p^n)` tuples on
+//!   the Lemma 4.3 family (and `Ω(2^n)` on Example 1.1). Counting also
+//!   diverges on cyclic data, which the implementation detects and reports.
+
+pub mod adorn;
+pub mod counting;
+pub mod hn;
+pub mod magic;
+pub mod magic_sup;
+
+pub use adorn::{adorn_program, AdornedProgram};
+pub use counting::{counting_evaluate, CountingOptions, CountingOutcome};
+pub use hn::{hn_evaluate, HnOptions, HnOutcome};
+pub use magic::{magic_evaluate, MagicOutcome};
+pub use magic_sup::magic_evaluate_supplementary;

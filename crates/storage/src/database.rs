@@ -1,0 +1,238 @@
+//! The extensional database.
+//!
+//! A [`Database`] owns the symbol [`Interner`] shared by programs, queries,
+//! and data, plus one [`Relation`] per extensional predicate. Convenience
+//! constructors accept facts as strings, AST facts, or raw tuples, so tests,
+//! examples, and generators can all build databases tersely.
+
+use sepra_ast::{Atom, Interner, Program, Sym, Term};
+
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueError};
+
+/// Errors loading facts into a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatabaseError {
+    /// A fact contained a variable.
+    NonGroundFact(String),
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// Previously seen arity.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A value was unrepresentable.
+    Value(ValueError),
+}
+
+impl std::fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatabaseError::NonGroundFact(s) => write!(f, "fact is not ground: {s}"),
+            DatabaseError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate `{pred}` loaded with arity {found}, previously {expected}"
+            ),
+            DatabaseError::Value(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+impl From<ValueError> for DatabaseError {
+    fn from(e: ValueError) -> Self {
+        DatabaseError::Value(e)
+    }
+}
+
+/// An extensional database: named relations over a shared interner.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    interner: Interner,
+    relations: FxHashMap<Sym, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interner (shared symbol space).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner, for parsing programs and queries in
+    /// this database's symbol space.
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Interns a name.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        self.interner.intern(name)
+    }
+
+    /// The relation for `pred`, if any facts were loaded.
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// The relation for `pred`, creating an empty one of `arity` if absent.
+    pub fn relation_mut(&mut self, pred: Sym, arity: usize) -> &mut Relation {
+        self.relations.entry(pred).or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Iterates over `(predicate, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Total number of stored tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The number of distinct constants appearing in all relations — the
+    /// paper's `n` in its `O(f(n))` statements.
+    pub fn distinct_constant_count(&self) -> usize {
+        let mut seen = crate::hasher::FxHashSet::default();
+        for r in self.relations.values() {
+            for t in r.iter() {
+                for &v in t.values() {
+                    seen.insert(v);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Inserts one tuple for `pred`.
+    pub fn insert(&mut self, pred: Sym, tuple: Tuple) -> Result<bool, DatabaseError> {
+        if let Some(existing) = self.relations.get(&pred) {
+            if existing.arity() != tuple.arity() {
+                return Err(DatabaseError::ArityMismatch {
+                    pred: self.interner.resolve(pred).to_string(),
+                    expected: existing.arity(),
+                    found: tuple.arity(),
+                });
+            }
+        }
+        let arity = tuple.arity();
+        Ok(self.relation_mut(pred, arity).insert(tuple))
+    }
+
+    /// Inserts a fact given as symbolic constant names, interning them,
+    /// e.g. `db.insert_named("friend", &["tom", "sue"])`.
+    pub fn insert_named(&mut self, pred: &str, args: &[&str]) -> Result<bool, DatabaseError> {
+        let p = self.intern(pred);
+        let values: Vec<Value> = args
+            .iter()
+            .map(|a| Value::sym(self.interner.intern(a)))
+            .collect();
+        self.insert(p, Tuple::from(values))
+    }
+
+    /// Loads a ground AST atom as a fact.
+    pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, DatabaseError> {
+        let mut values = Vec::with_capacity(atom.arity());
+        for term in &atom.terms {
+            match term {
+                Term::Const(c) => values.push(Value::from_const(*c)?),
+                Term::Var(v) => {
+                    return Err(DatabaseError::NonGroundFact(
+                        self.interner.resolve(*v).to_string(),
+                    ))
+                }
+            }
+        }
+        self.insert(atom.pred, Tuple::from(values))
+    }
+
+    /// Loads every fact of a parsed program (rules with empty bodies).
+    pub fn load_facts(&mut self, program: &Program) -> Result<usize, DatabaseError> {
+        let mut added = 0;
+        for fact in program.facts() {
+            if self.insert_atom(&fact.head)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Parses fact text (e.g. `"friend(tom, sue). friend(sue, joe)."`) and
+    /// loads every fact.
+    pub fn load_fact_text(&mut self, text: &str) -> Result<usize, Box<dyn std::error::Error>> {
+        let program = sepra_ast::parse::parse_program(text, &mut self.interner)?;
+        Ok(self.load_facts(&program)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_named_and_lookup() {
+        let mut db = Database::new();
+        db.insert_named("friend", &["tom", "sue"]).unwrap();
+        db.insert_named("friend", &["sue", "joe"]).unwrap();
+        db.insert_named("friend", &["tom", "sue"]).unwrap(); // dup
+        let friend = db.intern("friend");
+        assert_eq!(db.relation(friend).unwrap().len(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        assert_eq!(db.distinct_constant_count(), 3);
+    }
+
+    #[test]
+    fn load_fact_text() {
+        let mut db = Database::new();
+        let n = db
+            .load_fact_text("friend(tom, sue). age(tom, 42). friend(sue, joe).")
+            .unwrap();
+        assert_eq!(n, 3);
+        let age = db.intern("age");
+        let rel = db.relation(age).unwrap();
+        let t = rel.iter().next().unwrap();
+        assert_eq!(t[1].as_int(), Some(42));
+    }
+
+    #[test]
+    fn rejects_non_ground_fact() {
+        let mut db = Database::new();
+        let p = db.intern("p");
+        let x = db.interner_mut().intern("X");
+        let atom = Atom::new(p, vec![Term::Var(x)]);
+        assert!(matches!(
+            db.insert_atom(&atom),
+            Err(DatabaseError::NonGroundFact(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut db = Database::new();
+        db.insert_named("p", &["a", "b"]).unwrap();
+        let err = db.insert_named("p", &["a"]).unwrap_err();
+        assert!(matches!(err, DatabaseError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn load_facts_skips_rules() {
+        let mut db = Database::new();
+        let text = "t(X, Y) :- e(X, Y).\ne(a, b).\n";
+        let program =
+            sepra_ast::parse::parse_program(text, db.interner_mut()).unwrap();
+        let n = db.load_facts(&program).unwrap();
+        assert_eq!(n, 1);
+        let t = db.intern("t");
+        assert!(db.relation(t).is_none());
+    }
+}

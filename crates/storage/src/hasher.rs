@@ -1,0 +1,138 @@
+//! A fast, non-cryptographic hasher for integer-heavy keys.
+//!
+//! Tuple hashing is the hot path of every join and dedup in this engine, and
+//! the standard library's SipHash is unnecessarily slow for short integer
+//! keys. This is the Fx multiply-xor hash used by rustc (reimplemented here
+//! rather than pulling in `rustc-hash`, which is not on the workspace's
+//! approved dependency list). HashDoS resistance is irrelevant: all hashed
+//! data is interned handles and tuple words produced by the engine itself.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived odd multiplier (same constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a slice of `u64` words directly (used by the open-addressing
+/// table in [`crate::relation`]).
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    // Seed with the length so all-zero inputs of different arities differ
+    // (an unseeded Fx state maps any run of zero words to zero).
+    h.add_to_hash(words.len() as u64 ^ SEED);
+    for &w in words {
+        h.add_to_hash(w);
+    }
+    // Finalize: Fx's raw state is weak in its low bits for short inputs;
+    // one xor-shift-multiply scramble spreads entropy before masking.
+    let x = h.finish();
+    let x = (x ^ (x >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    x ^ (x >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 3]));
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[3, 2, 1]));
+        assert_ne!(hash_words(&[0]), hash_words(&[0, 0]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(7, 42);
+        assert_eq!(m.get(&7), Some(&42));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn low_bits_are_spread() {
+        // Sequential keys must not collide in their low bits (they are used
+        // as table masks). Check a crude distribution property.
+        let mut buckets = [0u32; 16];
+        for i in 0..1024u64 {
+            buckets[(hash_words(&[i]) & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 16, "bucket badly underfull: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn write_bytes_path_matches_chunking() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

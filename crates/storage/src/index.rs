@@ -1,0 +1,145 @@
+//! Hash indexes on column subsets.
+//!
+//! An [`Index`] maps each distinct key (the projection of a tuple onto a
+//! fixed set of columns) to the dense positions of the matching tuples in a
+//! [`Relation`]. Relations only grow, so an index built earlier can be
+//! brought up to date incrementally with [`Index::extend_to`]; evaluators
+//! refresh indexes at iteration boundaries instead of rebuilding them.
+
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A hash index of a relation on a fixed set of key columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// The key columns, in key order.
+    columns: Vec<usize>,
+    /// Key projection → dense tuple positions (ascending).
+    map: FxHashMap<Box<[Value]>, Vec<u32>>,
+    /// Number of relation tuples already indexed.
+    covered: usize,
+}
+
+impl Index {
+    /// Builds an index of `relation` on `columns`.
+    pub fn build(relation: &Relation, columns: Vec<usize>) -> Self {
+        let mut index = Index { columns, map: FxHashMap::default(), covered: 0 };
+        index.extend_to(relation);
+        index
+    }
+
+    /// The key columns.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Number of tuples covered so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Indexes any tuples appended to `relation` since the last call.
+    ///
+    /// # Panics
+    /// Panics if a key column is out of range for the relation's arity.
+    pub fn extend_to(&mut self, relation: &Relation) {
+        for (i, tuple) in relation.as_slice()[self.covered..].iter().enumerate() {
+            let pos = u32::try_from(self.covered + i).expect("index overflow");
+            let key: Box<[Value]> = self.columns.iter().map(|&c| tuple[c]).collect();
+            self.map.entry(key).or_default().push(pos);
+        }
+        self.covered = relation.len();
+    }
+
+    /// The dense positions of tuples whose key columns equal `key`, among
+    /// the covered prefix.
+    pub fn lookup(&self, key: &[Value]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.columns.len());
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over the matching tuples of `relation` for `key`.
+    ///
+    /// The relation passed must be the one the index was built over (same
+    /// insertion order); only the covered prefix is consulted.
+    pub fn probe<'r>(
+        &'r self,
+        relation: &'r Relation,
+        key: &[Value],
+    ) -> impl Iterator<Item = &'r Tuple> + 'r {
+        self.lookup(key)
+            .iter()
+            .map(move |&pos| relation.get(pos as usize).expect("index within relation"))
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::Sym;
+
+    fn v(n: u32) -> Value {
+        Value::sym(Sym(n))
+    }
+
+    fn t2(a: u32, b: u32) -> Tuple {
+        Tuple::from([v(a), v(b)])
+    }
+
+    fn sample() -> Relation {
+        Relation::from_tuples(2, vec![t2(1, 10), t2(1, 11), t2(2, 20), t2(3, 30)])
+    }
+
+    #[test]
+    fn lookup_on_first_column() {
+        let r = sample();
+        let idx = Index::build(&r, vec![0]);
+        let hits: Vec<&Tuple> = idx.probe(&r, &[v(1)]).collect();
+        assert_eq!(hits, vec![&t2(1, 10), &t2(1, 11)]);
+        assert!(idx.probe(&r, &[v(9)]).next().is_none());
+        assert_eq!(idx.key_count(), 3);
+    }
+
+    #[test]
+    fn lookup_on_second_column() {
+        let r = sample();
+        let idx = Index::build(&r, vec![1]);
+        let hits: Vec<&Tuple> = idx.probe(&r, &[v(20)]).collect();
+        assert_eq!(hits, vec![&t2(2, 20)]);
+    }
+
+    #[test]
+    fn composite_key() {
+        let r = sample();
+        let idx = Index::build(&r, vec![0, 1]);
+        assert_eq!(idx.probe(&r, &[v(1), v(11)]).count(), 1);
+        assert_eq!(idx.probe(&r, &[v(1), v(20)]).count(), 0);
+    }
+
+    #[test]
+    fn incremental_extension() {
+        let mut r = sample();
+        let mut idx = Index::build(&r, vec![0]);
+        assert_eq!(idx.covered(), 4);
+        r.insert(t2(1, 12));
+        // Not yet visible.
+        assert_eq!(idx.probe(&r, &[v(1)]).count(), 2);
+        idx.extend_to(&r);
+        assert_eq!(idx.covered(), 5);
+        assert_eq!(idx.probe(&r, &[v(1)]).count(), 3);
+    }
+
+    #[test]
+    fn empty_key_indexes_everything() {
+        let r = sample();
+        let idx = Index::build(&r, vec![]);
+        assert_eq!(idx.probe(&r, &[]).count(), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! Storage engine for the separable-recursion engine.
+//!
+//! This crate is the in-memory relational substrate on which every
+//! evaluation algorithm in the workspace runs:
+//!
+//! * [`value`] — the compact [`Value`] word (interned symbol or 63-bit
+//!   integer);
+//! * [`mod tuple`](mod@crate::tuple) — fixed-arity tuples of values;
+//! * [`hasher`] — a fast Fx-style hasher for integer-heavy keys;
+//! * [`relation`] — [`Relation`], an insertion-ordered deduplicating tuple
+//!   set built on a dense open-addressing table, with the delta slices
+//!   needed by semi-naive evaluation;
+//! * [`index`] — hash indexes on column subsets, built and extended lazily;
+//! * [`database`] — the extensional database: named relations plus the
+//!   shared symbol interner;
+//! * [`stats`] — the cost metric the paper uses to compare algorithms
+//!   (sizes of the relations each algorithm constructs).
+
+pub mod database;
+pub mod hasher;
+pub mod index;
+pub mod relation;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use index::Index;
+pub use relation::Relation;
+pub use stats::EvalStats;
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,357 @@
+//! Deduplicating, insertion-ordered relations.
+//!
+//! [`Relation`] is the workhorse of every evaluator in this workspace. It
+//! stores tuples densely in insertion order (so semi-naive deltas are just
+//! index ranges) and deduplicates through a private open-addressing table of
+//! indexes into the dense vector. Tuples are never removed; fixpoint
+//! evaluation only ever adds.
+
+use std::fmt;
+
+use sepra_ast::Interner;
+
+use crate::hasher::hash_words;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+const EMPTY: u32 = u32::MAX;
+/// Grow when the table is 7/8 full.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+/// A set of same-arity tuples with O(1) membership and stable insertion
+/// order.
+///
+/// ```
+/// use sepra_ast::Sym;
+/// use sepra_storage::{Relation, Tuple, Value};
+///
+/// let mut rel = Relation::new(2);
+/// let t = Tuple::from([Value::sym(Sym(1)), Value::sym(Sym(2))]);
+/// assert!(rel.insert(t.clone()));  // new
+/// assert!(!rel.insert(t.clone())); // duplicate
+/// assert!(rel.contains(&t));
+/// assert_eq!(rel.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    /// Open-addressing table of indexes into `tuples`; length is a power of
+    /// two, `EMPTY` marks free slots.
+    table: Vec<u32>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: Vec::new(), table: vec![EMPTY; 8] }
+    }
+
+    /// Creates an empty relation sized for roughly `capacity` tuples.
+    pub fn with_capacity(arity: usize, capacity: usize) -> Self {
+        let slots = (capacity * LOAD_DEN / LOAD_NUM + 1)
+            .next_power_of_two()
+            .max(8);
+        Relation { arity, tuples: Vec::with_capacity(capacity), table: vec![EMPTY; slots] }
+    }
+
+    /// The arity every tuple must have.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of distinct tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn hash_tuple(t: &Tuple) -> u64 {
+        // Values are transparent u64 words.
+        let words: Vec<u64> = t.values().iter().map(|v| v.raw()).collect();
+        hash_words(&words)
+    }
+
+    /// Inserts a tuple, returning `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity differs from the relation's.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            tuple.arity(),
+            self.arity
+        );
+        if self.tuples.len() + 1 > self.table.len() * LOAD_NUM / LOAD_DEN {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (Self::hash_tuple(&tuple) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => {
+                    let idx = u32::try_from(self.tuples.len()).expect("relation overflow");
+                    self.table[slot] = idx;
+                    self.tuples.push(tuple);
+                    return true;
+                }
+                idx if self.tuples[idx as usize] == tuple => return false,
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// Whether `tuple` is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        if tuple.arity() != self.arity {
+            return false;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = (Self::hash_tuple(tuple) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return false,
+                idx if &self.tuples[idx as usize] == tuple => return true,
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.table.len() * 2).max(8);
+        let mut table = vec![EMPTY; new_len];
+        let mask = new_len - 1;
+        for (i, t) in self.tuples.iter().enumerate() {
+            let mut slot = (Self::hash_tuple(t) as usize) & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = u32::try_from(i).expect("relation overflow");
+        }
+        self.table = table;
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples inserted at or after position `from` — a semi-naive delta
+    /// slice.
+    pub fn since(&self, from: usize) -> &[Tuple] {
+        &self.tuples[from.min(self.tuples.len())..]
+    }
+
+    /// All tuples as a slice (insertion order).
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple at dense position `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Tuple> {
+        self.tuples.get(idx)
+    }
+
+    /// Inserts every tuple of `other` (arity must match), returning how many
+    /// were new.
+    pub fn union_in_place(&mut self, other: &Relation) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert(t.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Builds a relation from an iterator of tuples.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::new(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Collects the distinct values appearing anywhere in the relation.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        let mut seen = crate::hasher::FxHashSet::default();
+        let mut out = Vec::new();
+        for t in self.iter() {
+            for &v in t.values() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the relation as `{(a, b), (c, d)}` (insertion order).
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayRelation<'a> {
+        DisplayRelation { relation: self, interner }
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Relation")
+            .field("arity", &self.arity)
+            .field("len", &self.tuples.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality (order-insensitive).
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.len() == other.len()
+            && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Display adapter for [`Relation`].
+pub struct DisplayRelation<'a> {
+    relation: &'a Relation,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayRelation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.relation.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.display(self.interner))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::Sym;
+
+    fn t2(a: u32, b: u32) -> Tuple {
+        Tuple::from([Value::sym(Sym(a)), Value::sym(Sym(b))])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t2(1, 2)));
+        assert!(!r.insert(t2(1, 2)));
+        assert!(r.insert(t2(2, 1)));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t2(1, 2)));
+        assert!(!r.contains(&t2(9, 9)));
+    }
+
+    #[test]
+    fn insertion_order_is_stable() {
+        let mut r = Relation::new(2);
+        let tuples: Vec<Tuple> = (0..100).map(|i| t2(i, i + 1)).collect();
+        for t in &tuples {
+            r.insert(t.clone());
+        }
+        let collected: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(collected, tuples);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut r = Relation::new(2);
+        for i in 0..10_000 {
+            r.insert(t2(i, i * 7));
+        }
+        assert_eq!(r.len(), 10_000);
+        for i in 0..10_000 {
+            assert!(r.contains(&t2(i, i * 7)), "missing tuple {i}");
+        }
+        assert!(!r.contains(&t2(10_000, 70_000)));
+    }
+
+    #[test]
+    fn delta_slices() {
+        let mut r = Relation::new(2);
+        r.insert(t2(1, 1));
+        r.insert(t2(2, 2));
+        let mark = r.len();
+        r.insert(t2(2, 2)); // duplicate, no growth
+        r.insert(t2(3, 3));
+        assert_eq!(r.since(mark), &[t2(3, 3)]);
+        assert_eq!(r.since(99).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::from([Value::sym(Sym(1))]));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut a = Relation::new(2);
+        a.insert(t2(1, 2));
+        a.insert(t2(3, 4));
+        let mut b = Relation::new(2);
+        b.insert(t2(3, 4));
+        b.insert(t2(1, 2));
+        assert_eq!(a, b);
+        b.insert(t2(5, 6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn union_in_place_counts_new() {
+        let mut a = Relation::new(2);
+        a.insert(t2(1, 2));
+        let mut b = Relation::new(2);
+        b.insert(t2(1, 2));
+        b.insert(t2(3, 4));
+        assert_eq!(a.union_in_place(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn distinct_values() {
+        let mut r = Relation::new(2);
+        r.insert(t2(1, 2));
+        r.insert(t2(2, 3));
+        let vals = r.distinct_values();
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn zero_arity_relation() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(Tuple::unit()));
+        assert!(!r.insert(Tuple::unit()));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixed-arity tuples of values.
+
+use std::fmt;
+use std::ops::Deref;
+
+use sepra_ast::Interner;
+
+use crate::value::Value;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Tuples are boxed slices: two words on the stack, one allocation, cheap to
+/// hash and compare. Zero-arity tuples (for propositional predicates) are
+/// legal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (zero-arity) tuple.
+    pub fn unit() -> Self {
+        Tuple(Box::new([]))
+    }
+
+    /// The arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projects onto `columns` (0-based, may repeat or reorder).
+    ///
+    /// # Panics
+    /// Panics if any column is out of range.
+    pub fn project(&self, columns: &[usize]) -> Tuple {
+        Tuple(columns.iter().map(|&c| self.0[c]).collect())
+    }
+
+    /// Renders the tuple, e.g. `(tom, 3)`.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTuple<'a> {
+        DisplayTuple { tuple: self, interner }
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(v: [Value; N]) -> Self {
+        Tuple(Box::new(v))
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Display adapter for [`Tuple`].
+pub struct DisplayTuple<'a> {
+    tuple: &'a Tuple,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayTuple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.tuple.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.display(self.interner))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::Sym;
+
+    fn v(n: u32) -> Value {
+        Value::sym(Sym(n))
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from(vec![v(1), v(2), v(3)]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[1], v(2));
+        assert_eq!(Tuple::unit().arity(), 0);
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = Tuple::from([v(10), v(20), v(30)]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([v(30), v(10)]));
+        assert_eq!(t.project(&[1, 1]), Tuple::from([v(20), v(20)]));
+        assert_eq!(t.project(&[]), Tuple::unit());
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = Tuple::from([v(1), v(2)]);
+        let b = Tuple::from(vec![v(1), v(2)]);
+        assert_eq!(a, b);
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn display() {
+        let mut i = Interner::new();
+        let tom = i.intern("tom");
+        let t = Tuple::from([Value::sym(tom), Value::int(5).unwrap()]);
+        assert_eq!(t.display(&i).to_string(), "(tom, 5)");
+    }
+}

@@ -1,0 +1,185 @@
+//! The runtime value word.
+//!
+//! A [`Value`] packs either an interned symbol or a signed integer into one
+//! `u64`. The tag lives in the top bit:
+//!
+//! * `0` — a symbol: the low 32 bits are the [`Sym`] index;
+//! * `1` — an integer: the low 63 bits are a sign-extended two's-complement
+//!   integer in `[-2^62, 2^62)`.
+//!
+//! The integer space exists for the Counting baseline, whose `(I, J, K)`
+//! bookkeeping columns hold path codes that grow like `(p+1)^depth` — far
+//! too many distinct values to intern. Codes that leave the representable
+//! range are reported as [`ValueError::IntOutOfRange`], which the Counting
+//! evaluator surfaces as the paper's exponential blowup rather than silently
+//! wrapping.
+
+use std::fmt;
+
+use sepra_ast::{Const, Interner, Sym};
+
+const TAG_INT: u64 = 1 << 63;
+/// Largest magnitude storable: integers live in `[-2^62, 2^62)`.
+pub const INT_MIN: i64 = -(1 << 62);
+/// Exclusive upper bound of the integer space.
+pub const INT_MAX_EXCLUSIVE: i64 = 1 << 62;
+
+/// Errors converting to/from [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueError {
+    /// An integer outside `[-2^62, 2^62)`.
+    IntOutOfRange(i64),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::IntOutOfRange(n) => {
+                write!(f, "integer {n} is outside the representable range [-2^62, 2^62)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// A single column value: an interned symbol or a small integer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(u64);
+
+impl Value {
+    /// Wraps an interned symbol.
+    #[inline]
+    pub fn sym(s: Sym) -> Self {
+        Value(u64::from(s.0))
+    }
+
+    /// Wraps an integer, failing outside the 63-bit range.
+    #[inline]
+    pub fn int(n: i64) -> Result<Self, ValueError> {
+        if !(INT_MIN..INT_MAX_EXCLUSIVE).contains(&n) {
+            return Err(ValueError::IntOutOfRange(n));
+        }
+        Ok(Value(TAG_INT | (n as u64 & !TAG_INT)))
+    }
+
+    /// Converts an AST constant.
+    #[inline]
+    pub fn from_const(c: Const) -> Result<Self, ValueError> {
+        match c {
+            Const::Sym(s) => Ok(Value::sym(s)),
+            Const::Int(n) => Value::int(n),
+        }
+    }
+
+    /// The symbol, if this value is one.
+    #[inline]
+    pub fn as_sym(self) -> Option<Sym> {
+        (self.0 & TAG_INT == 0).then_some(Sym(self.0 as u32))
+    }
+
+    /// The integer, if this value is one.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        if self.0 & TAG_INT == 0 {
+            return None;
+        }
+        // Sign-extend the low 63 bits.
+        Some(((self.0 << 1) as i64) >> 1)
+    }
+
+    /// The raw word (used for hashing).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Renders this value using `interner` for symbols.
+    pub fn display<'a>(self, interner: &'a Interner) -> DisplayValue<'a> {
+        DisplayValue { value: self, interner }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = self.as_int() {
+            write!(f, "Int({n})")
+        } else {
+            write!(f, "Sym({})", self.0)
+        }
+    }
+}
+
+/// Display adapter for [`Value`].
+pub struct DisplayValue<'a> {
+    value: Value,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = self.value.as_int() {
+            write!(f, "{n}")
+        } else {
+            let sym = self.value.as_sym().expect("value is sym or int");
+            write!(f, "{}", self.interner.resolve(sym))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_roundtrip() {
+        let s = Sym(12345);
+        let v = Value::sym(s);
+        assert_eq!(v.as_sym(), Some(s));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn int_roundtrip_including_negatives() {
+        for n in [0i64, 1, -1, 42, -42, INT_MIN, INT_MAX_EXCLUSIVE - 1] {
+            let v = Value::int(n).unwrap();
+            assert_eq!(v.as_int(), Some(n), "roundtrip of {n}");
+            assert_eq!(v.as_sym(), None);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ints_are_rejected() {
+        assert!(Value::int(INT_MAX_EXCLUSIVE).is_err());
+        assert!(Value::int(i64::MAX).is_err());
+        assert!(Value::int(INT_MIN - 1).is_err());
+        assert!(Value::int(i64::MIN).is_err());
+    }
+
+    #[test]
+    fn ints_and_syms_never_collide() {
+        // Integer 5 and symbol #5 are different values.
+        let i5 = Value::int(5).unwrap();
+        let s5 = Value::sym(Sym(5));
+        assert_ne!(i5, s5);
+    }
+
+    #[test]
+    fn display_uses_interner() {
+        let mut i = Interner::new();
+        let tom = i.intern("tom");
+        assert_eq!(Value::sym(tom).display(&i).to_string(), "tom");
+        assert_eq!(Value::int(-7).unwrap().display(&i).to_string(), "-7");
+    }
+
+    #[test]
+    fn from_const_converts_both_kinds() {
+        let mut i = Interner::new();
+        let tom = i.intern("tom");
+        assert_eq!(Value::from_const(Const::Sym(tom)).unwrap(), Value::sym(tom));
+        assert_eq!(
+            Value::from_const(Const::Int(9)).unwrap(),
+            Value::int(9).unwrap()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! A three-ary separable recursion (the paper's Example 2.4) and the
+//! Lemma 2.1 decomposition of a partial selection.
+//!
+//! `approved(Dept, Mgr, Item)`: a (department, manager) pair approves an
+//! item if an `escalation` step leads to a pair that approves it, or if the
+//! pair approves a `pricier` item, or if the item is on the pair's
+//! `baseline` list.
+//!
+//! The first two columns form one equivalence class, the third another.
+//! `approved(sales, Mgr, Item)?` binds only *half* of class 1 — a partial
+//! selection — so the engine applies the Lemma 2.1 rewrite: it splits the
+//! recursion into `t_part` (no escalation rules; `sales` becomes a
+//! persistent constant) and `t_full` (full selections seeded through the
+//! escalation relation).
+//!
+//! ```sh
+//! cargo run --example product_catalog
+//! ```
+
+use separable::engine::render_answers;
+use separable::QueryProcessor;
+
+const PROGRAM: &str = "\
+approved(D, M, I) :- escalation(D, M, D2, M2), approved(D2, M2, I).\n\
+approved(D, M, I) :- approved(D, M, J), pricier(J, I).\n\
+approved(D, M, I) :- baseline(D, M, I).\n";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut qp = QueryProcessor::new();
+    qp.load(PROGRAM)?;
+    qp.load(
+        "escalation(sales, ann, regional, bo).\n\
+         escalation(sales, cy, regional, bo).\n\
+         escalation(regional, bo, hq, dee).\n\
+         escalation(support, ed, hq, dee).\n\
+         baseline(hq, dee, laptop).\n\
+         baseline(regional, bo, desk).\n\
+         baseline(sales, ann, phone).\n\
+         pricier(laptop, workstation).\n\
+         pricier(desk, standing_desk).\n\
+         pricier(phone, tablet).\n",
+    )?;
+
+    // Fully bound class: (sales, ann).
+    println!("=== explain approved(sales, ann, I)? (full selection) ===");
+    println!("{}", qp.explain("approved(sales, ann, I)?")?);
+    let full = qp.query("approved(sales, ann, I)?")?;
+    print!("{}", render_answers(&full.answers, qp.db().interner()));
+
+    // Partially bound class: only the department.
+    println!("\n=== explain approved(sales, M, I)? (partial selection) ===");
+    println!("{}", qp.explain("approved(sales, M, I)?")?);
+    let partial = qp.query("approved(sales, M, I)?")?;
+    println!("answers via {}:", partial.strategy);
+    print!("{}", render_answers(&partial.answers, qp.db().interner()));
+
+    // Selection on the other class: who can approve a workstation?
+    println!("\n=== approved(D, M, workstation)? ===");
+    let by_item = qp.query("approved(D, M, workstation)?")?;
+    print!("{}", render_answers(&by_item.answers, qp.db().interner()));
+    Ok(())
+}

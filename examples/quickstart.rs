@@ -1,0 +1,41 @@
+//! Quickstart: load the paper's Example 1.1 program, run a selection, and
+//! look at the compiled plan.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use separable::engine::render_answers;
+use separable::QueryProcessor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut qp = QueryProcessor::new();
+
+    // Example 1.1 from the paper: a person buys a product if it is perfect
+    // for them, or if a friend or idol bought it.
+    qp.load(
+        "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+         buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+         buys(X, Y) :- perfectFor(X, Y).\n\
+         \n\
+         friend(tom, sue). friend(sue, joe). friend(joe, ann).\n\
+         idol(tom, liz).   idol(liz, joe).\n\
+         perfectFor(ann, surfboard).\n\
+         perfectFor(joe, gadget).\n\
+         perfectFor(liz, tonic).\n",
+    )?;
+
+    // How will the engine evaluate this selection?
+    println!("=== explain buys(tom, Y)? ===");
+    println!("{}", qp.explain("buys(tom, Y)?")?);
+
+    // Run it.
+    let result = qp.query("buys(tom, Y)?")?;
+    println!("=== answers ({} via {}) ===", result.answers.len(), result.strategy);
+    print!("{}", render_answers(&result.answers, qp.db().interner()));
+
+    // The paper's cost metric: sizes of the relations constructed.
+    println!("\n=== statistics ===");
+    print!("{}", result.stats);
+    Ok(())
+}

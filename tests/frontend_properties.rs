@@ -1,0 +1,155 @@
+//! Property tests for the Datalog frontend: the pretty-printer/parser
+//! round trip, and semantic preservation of rectification.
+
+use proptest::prelude::*;
+
+use separable::ast::pretty::program_to_string;
+use separable::ast::rectify::{is_head_rectified, rectify_program};
+use separable::ast::{parse_program, Atom, Interner, Literal, Program, Rule, Sym, Term};
+use separable::eval::seminaive;
+use separable::storage::Database;
+
+/// A strategy producing a random *safe* program over a tiny vocabulary.
+///
+/// Heads may contain repeated variables and constants (exercising
+/// rectification); bodies are 1–3 atoms over variables/constants chosen so
+/// that every head variable also appears in the body (safety).
+fn arb_program() -> impl Strategy<Value = (Program, Interner)> {
+    // Encode choices as plain integers so shrinking stays meaningful.
+    let rule = (
+        0..3usize,                                // head predicate
+        proptest::collection::vec(0..6usize, 1..3), // head terms (0-3 var, 4-5 const)
+        proptest::collection::vec((0..3usize, proptest::collection::vec(0..6usize, 1..3)), 1..4), // body
+    );
+    proptest::collection::vec(rule, 1..5).prop_map(|raw_rules| {
+        let mut interner = Interner::new();
+        let preds: Vec<Sym> = (0..3).map(|i| interner.intern(&format!("p{i}"))).collect();
+        let vars: Vec<Sym> = (0..4).map(|i| interner.intern(&format!("V{i}"))).collect();
+        let consts: Vec<Sym> = (0..2).map(|i| interner.intern(&format!("c{i}"))).collect();
+        let term = |code: usize| -> Term {
+            if code < 4 {
+                Term::Var(vars[code])
+            } else {
+                Term::sym(consts[code - 4])
+            }
+        };
+        let mut rules = Vec::new();
+        for (head_pred, head_terms, body) in raw_rules {
+            // Arity consistency: force every predicate to arity 2 by
+            // padding/truncating to exactly 2 terms.
+            let fix = |mut ts: Vec<usize>| -> Vec<Term> {
+                ts.resize(2, 4);
+                ts.into_iter().map(term).collect()
+            };
+            let head = Atom::new(preds[head_pred], fix(head_terms));
+            let mut body_lits: Vec<Literal> = body
+                .into_iter()
+                .map(|(p, ts)| Literal::Atom(Atom::new(preds[p], fix(ts))))
+                .collect();
+            // Safety: append one atom containing every head variable.
+            let head_vars = head.vars();
+            if !head_vars.is_empty() {
+                let mut ts: Vec<Term> = head_vars.iter().map(|&v| Term::Var(v)).collect();
+                ts.resize(2, Term::sym(consts[0]));
+                ts.truncate(2);
+                // Ensure truly all head vars (arity 2 suffices since heads
+                // have at most 2 distinct vars).
+                body_lits.push(Literal::Atom(Atom::new(preds[0], ts)));
+            }
+            rules.push(Rule::new(head, body_lits));
+        }
+        (Program::new(rules), interner)
+    })
+}
+
+proptest! {
+    /// Pretty-printing a program and reparsing it yields the same AST.
+    #[test]
+    fn pretty_parse_roundtrip((program, interner) in arb_program()) {
+        let rendered = program_to_string(&program, &interner);
+        let mut interner2 = interner.clone();
+        let reparsed = parse_program(&rendered, &mut interner2)
+            .unwrap_or_else(|e| panic!("rendering failed to reparse: {e}\n{rendered}"));
+        prop_assert_eq!(program, reparsed, "roundtrip mismatch for:\n{}", rendered);
+    }
+
+    /// Rectification produces rectified heads and preserves the semantics
+    /// of the program under bottom-up evaluation.
+    #[test]
+    fn rectification_preserves_semantics((program, interner) in arb_program()) {
+        let mut interner = interner;
+        let rectified = rectify_program(&program, &mut interner);
+        for rule in &rectified.rules {
+            prop_assert!(is_head_rectified(rule));
+        }
+        // Evaluate both over a small fixed EDB.
+        let mut db = Database::new();
+        db.interner_mut().clone_from(&interner);
+        db.load_fact_text(
+            "p0(c0, c1). p0(c1, c0). p1(c0, c0). p2(c1, c1). p2(c0, c1).",
+        )
+        .expect("facts load");
+        let before = seminaive(&program, &db).expect("original evaluates");
+        let after = seminaive(&rectified, &db).expect("rectified evaluates");
+        for (&pred, rel) in &before.relations {
+            let rel2 = after
+                .relations
+                .get(&pred)
+                .unwrap_or_else(|| panic!("missing relation after rectification"));
+            prop_assert_eq!(rel, rel2, "pred {:?} differs after rectification", pred);
+        }
+    }
+}
+
+proptest! {
+    /// The parser never panics: arbitrary byte soup either parses or
+    /// returns a structured error with a 1-based position.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let mut interner = Interner::new();
+        match parse_program(&input, &mut interner) {
+            Ok(_) => {}
+            Err(separable::ast::AstError::Parse { line, col, .. }) => {
+                prop_assert!(line >= 1 && col >= 1);
+            }
+            Err(_) => {}
+        }
+        let mut interner2 = Interner::new();
+        let _ = separable::ast::parse_query(&input, &mut interner2);
+    }
+
+    /// Datalog-looking fragments with random punctuation also never panic.
+    #[test]
+    fn parser_never_panics_on_near_datalog(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "p", "q", "X", "Y", "(", ")", ",", ".", ":-", "=", "&", "?",
+                "?-", "42", "-7", "_w", "%c\n",
+            ]),
+            0..30,
+        )
+    ) {
+        let input: String = tokens.join(" ");
+        let mut interner = Interner::new();
+        let _ = parse_program(&input, &mut interner);
+        let _ = separable::ast::parse_query(&input, &mut interner);
+    }
+}
+
+/// Deterministic spot checks of the round trip on tricky syntax.
+#[test]
+fn roundtrip_spot_checks() {
+    let cases = [
+        "p(X, Y) :- q(X, W), Y = W.\n",
+        "p(X, Y) :- q(X, Y), X = c.\n",
+        "zero.\np(X, X) :- q(X, X).\n",
+        "p(X, -42) :- q(X, 7).\n",
+    ];
+    for src in cases {
+        let mut i = Interner::new();
+        let p1 = parse_program(src, &mut i).unwrap();
+        let rendered = program_to_string(&p1, &i);
+        let p2 = parse_program(&rendered, &mut i).unwrap();
+        assert_eq!(p1, p2, "roundtrip of {src:?} via {rendered:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Golden tests tying code artifacts back to the paper's figures and
+//! worked examples:
+//!
+//! * Figure 1 — Procedure Expand (Example 2.1's expansion prefix);
+//! * Figures 3 and 4 — the instantiated Separable schemas for Examples 1.1
+//!   and 1.2;
+//! * Example 2.3 — the detected class structure of both `buys` programs;
+//! * Example 2.4 — the full-selection classification of the three-ary
+//!   recursion;
+//! * Theorem 2.1 — containment-mapping equivalence of expansion strings
+//!   with equal per-class derivation projections.
+
+use separable::ast::expand::{equivalent, Expansion};
+use separable::ast::{parse_program, parse_query, Interner, RecursiveDef};
+use separable::core::detect::detect_in_program;
+use separable::core::plan::{
+    build_plan, classify_selection, PlanSelection, SelectionKind,
+};
+
+const EX_1_1: &str = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                      buys(X, Y) :- idol(X, W), buys(W, Y).\n\
+                      buys(X, Y) :- perfectFor(X, Y).\n";
+
+const EX_1_2: &str = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+                      buys(X, Y) :- buys(X, W), cheaper(Y, W).\n\
+                      buys(X, Y) :- perfectFor(X, Y).\n";
+
+/// Figure 1 / Example 2.1: the expansion of Example 1.1 begins with the
+/// seven strings through depth 2 listed in the paper.
+#[test]
+fn figure_1_expand_example_2_1() {
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_1, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let def = RecursiveDef::extract(&program, buys, &i).unwrap();
+    let strings = Expansion::new(&def, &mut i).strings_to_depth(2);
+    assert_eq!(strings.len(), 7, "p, f p, i p, ff p, fi p, if p, ii p");
+    // Depth histogram 1 / 2 / 4.
+    for (depth, expected) in [(0usize, 1usize), (1, 2), (2, 4)] {
+        assert_eq!(
+            strings.iter().filter(|s| s.derivation.len() == depth).count(),
+            expected
+        );
+    }
+    // Every string ends with the exit body (perfectFor).
+    let p = i.intern("perfectFor");
+    for s in &strings {
+        assert_eq!(s.atoms.last().unwrap().pred, p);
+    }
+}
+
+/// Figure 3: the instantiated algorithm for Example 1.1 has one while loop
+/// with a two-member union (friend, idol), a direct seen_2 assignment, and
+/// no second loop.
+#[test]
+fn figure_3_schema() {
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_1, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let sep = detect_in_program(&program, buys, &mut i).unwrap();
+    let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+    let rendered = plan.render(&sep, &i);
+    let expected_shape = [
+        "carry_1(",
+        "seen_1 := carry_1;",
+        "while carry_1 not empty do",
+        "carry_1 := carry_1 & friend",
+        "u carry_1 & idol",
+        "carry_1 := carry_1 - seen_1;",
+        "seen_1 := seen_1 u carry_1;",
+        "endwhile;",
+        "carry_2(",
+        ":= seen_1 & perfectFor",
+        "ans := seen_2;",
+    ];
+    for fragment in expected_shape {
+        assert!(rendered.contains(fragment), "missing `{fragment}` in:\n{rendered}");
+    }
+    assert!(!rendered.contains("while carry_2"), "Figure 3 has a single loop:\n{rendered}");
+}
+
+/// Figure 4: Example 1.2's schema has both loops — friend downward,
+/// cheaper upward.
+#[test]
+fn figure_4_schema() {
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_2, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let sep = detect_in_program(&program, buys, &mut i).unwrap();
+    let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+    let rendered = plan.render(&sep, &i);
+    for fragment in [
+        "while carry_1 not empty do",
+        "carry_1 := carry_1 & friend",
+        "while carry_2 not empty do",
+        "carry_2 := carry_2 & cheaper",
+        "carry_2 := carry_2 - seen_2;",
+        "ans := seen_2;",
+    ] {
+        assert!(rendered.contains(fragment), "missing `{fragment}` in:\n{rendered}");
+    }
+    assert!(
+        !rendered.contains("carry_1 & cheaper"),
+        "cheaper belongs to phase 2 only:\n{rendered}"
+    );
+}
+
+/// Example 2.3: the class structure of both `buys` recursions exactly as
+/// the paper describes.
+#[test]
+fn example_2_3_class_structure() {
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_1, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let sep = detect_in_program(&program, buys, &mut i).unwrap();
+    assert_eq!(sep.classes.len(), 1);
+    assert_eq!(sep.classes[0].columns, vec![0]);
+    assert_eq!(sep.classes[0].rules, vec![0, 1]);
+    assert_eq!(sep.persistent, vec![1]);
+
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_2, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let sep = detect_in_program(&program, buys, &mut i).unwrap();
+    assert_eq!(sep.classes.len(), 2);
+    assert_eq!(sep.classes[0].columns, vec![0]);
+    assert_eq!(sep.classes[1].columns, vec![1]);
+    assert!(sep.persistent.is_empty());
+}
+
+/// Example 2.4: `t(c, Y, Z)?` is not a full selection (binds half of class
+/// e1); `t(c, d, Z)?` and `t(X, Y, w)?` are.
+#[test]
+fn example_2_4_full_selection_classification() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "t(X, Y, Z) :- a(X, Y, U, V), t(U, V, Z).\n\
+         t(X, Y, Z) :- t(X, Y, W), b(W, Z).\n\
+         t(X, Y, Z) :- t0(X, Y, Z).\n",
+        &mut i,
+    )
+    .unwrap();
+    let t = i.intern("t");
+    let sep = detect_in_program(&program, t, &mut i).unwrap();
+    let q = parse_query("t(c, Y, Z)?", &mut i).unwrap();
+    assert!(matches!(classify_selection(&sep, &q), SelectionKind::Partial { class: 0 }));
+    let q = parse_query("t(c, d, Z)?", &mut i).unwrap();
+    assert!(matches!(classify_selection(&sep, &q), SelectionKind::FullClass { class: 0 }));
+    let q = parse_query("t(X, Y, w)?", &mut i).unwrap();
+    assert!(matches!(classify_selection(&sep, &q), SelectionKind::FullClass { class: 1 }));
+}
+
+/// Theorem 2.1 on real expansions: for the two-class Example 1.2, any two
+/// strings whose derivations have equal projections onto both classes
+/// define the same relation (containment mappings both ways); strings with
+/// different projections generally do not.
+#[test]
+fn theorem_2_1_on_example_1_2_expansion() {
+    let mut i = Interner::new();
+    let program = parse_program(EX_1_2, &mut i).unwrap();
+    let buys = i.intern("buys");
+    let def = RecursiveDef::extract(&program, buys, &i).unwrap();
+    let strings = Expansion::new(&def, &mut i).strings_to_depth(4);
+    // Classes: rule 0 (friend) and rule 1 (cheaper).
+    let class_f = [0usize];
+    let class_c = [1usize];
+    let mut checked_equal = 0;
+    let mut checked_diff = 0;
+    for a in &strings {
+        for b in &strings {
+            if a.derivation.len() + b.derivation.len() > 6 {
+                continue; // keep the O(n²) containment checks fast
+            }
+            let same_projections = a.derivation_projected(&class_f)
+                == b.derivation_projected(&class_f)
+                && a.derivation_projected(&class_c) == b.derivation_projected(&class_c);
+            if same_projections {
+                assert!(
+                    equivalent(&a.atoms, &b.atoms, &a.distinguished),
+                    "Theorem 2.1 violated for {:?} vs {:?}",
+                    a.derivation,
+                    b.derivation
+                );
+                checked_equal += 1;
+            } else if a.derivation.len() != b.derivation.len() {
+                // Different lengths => different class projections => the
+                // strings are generally inequivalent (they are for this
+                // program, where each application adds one distinct atom).
+                assert!(
+                    !equivalent(&a.atoms, &b.atoms, &a.distinguished),
+                    "unexpected equivalence for {:?} vs {:?}",
+                    a.derivation,
+                    b.derivation
+                );
+                checked_diff += 1;
+            }
+        }
+    }
+    assert!(checked_equal > 10, "interleavings compared: {checked_equal}");
+    assert!(checked_diff > 10, "length-mismatched pairs compared: {checked_diff}");
+}

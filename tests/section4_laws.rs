@@ -1,0 +1,143 @@
+//! Quantitative checks of Section 4's complexity claims at concrete sizes:
+//! the *growth rates* (not absolute constants) of the relations each
+//! algorithm constructs.
+
+use separable::gen::paper::{
+    counting_worst_buys, magic_worst_buys, spk_counting_witness, spk_magic_witness,
+};
+use sepra_bench::{run_counting, run_magic, run_separable};
+
+/// Example 1.2 worked example: Magic constructs exactly the n² `buys@bf`
+/// tuples (plus smaller relations); Separable stays ≤ n + 1 and monadic.
+#[test]
+fn magic_is_quadratic_separable_linear_on_example_1_2() {
+    let mut magic_sizes = Vec::new();
+    let mut sep_sizes = Vec::new();
+    for n in [20usize, 40, 80] {
+        let inst = magic_worst_buys(n);
+        let magic = run_magic(&inst).expect("magic");
+        let sep = run_separable(&inst).expect("separable");
+        assert_eq!(magic.answers, sep.answers);
+        assert_eq!(magic.answers, n, "all n products are bought");
+        magic_sizes.push(magic.max_relation);
+        sep_sizes.push(sep.max_relation);
+    }
+    // Exact counts: magic's largest relation is the (n+1) x n buys@bf grid
+    // (n+1 people including tom, n products).
+    assert_eq!(magic_sizes, vec![21 * 20, 41 * 40, 81 * 80]);
+    // Separable: seen_1 = n people (+1 for the b-side chain is separate).
+    for (i, &n) in [20usize, 40, 80].iter().enumerate() {
+        assert!(
+            sep_sizes[i] <= n + 1,
+            "separable should be O(n): n={n} size={}",
+            sep_sizes[i]
+        );
+    }
+    // Doubling n roughly quadruples magic's relation but only doubles
+    // separable's.
+    assert!(magic_sizes[1] >= 3 * magic_sizes[0]);
+    assert!(sep_sizes[1] <= 2 * sep_sizes[0] + 2);
+}
+
+/// Example 1.1 worked example: Counting's count relation has exactly
+/// 2^(n+1) - 1 tuples (every rule sequence of length ≤ n); Separable ≤ n+1.
+#[test]
+fn counting_is_exponential_separable_linear_on_example_1_1() {
+    for n in [6usize, 8, 10] {
+        let inst = counting_worst_buys(n);
+        let counting = run_counting(&inst).expect("counting");
+        let sep = run_separable(&inst).expect("separable");
+        assert_eq!(counting.answers, sep.answers);
+        assert_eq!(
+            counting.stats.relation_sizes["count"],
+            (1usize << (n + 1)) - 1,
+            "count size at n={n}"
+        );
+        assert!(sep.max_relation <= n + 1);
+    }
+}
+
+/// Lemma 4.2: on the S_p^k witness Magic materializes all n^k t0 tuples
+/// into the rewritten t; Separable's largest relation is n^{k-1}.
+#[test]
+fn lemma_4_2_magic_nk() {
+    for (k, n) in [(2usize, 12usize), (2, 24), (3, 8)] {
+        let inst = spk_magic_witness(k, 2, n);
+        let magic = run_magic(&inst).expect("magic");
+        let sep = run_separable(&inst).expect("separable");
+        assert_eq!(magic.answers, sep.answers);
+        assert!(
+            magic.max_relation >= n.pow(k as u32),
+            "magic should reach n^k = {} at k={k} n={n}, got {}",
+            n.pow(k as u32),
+            magic.max_relation
+        );
+        let bound = n.pow((k - 1).max(1) as u32);
+        assert!(
+            sep.max_relation <= bound + 1,
+            "separable should stay at n^max(w,k-w) = {bound} at k={k} n={n}, got {}",
+            sep.max_relation
+        );
+    }
+}
+
+/// Lemma 4.3: on the all-identical-chains witness, Counting's count
+/// relation sums p^i over levels 0..n-1; Separable stays ≤ n.
+#[test]
+fn lemma_4_3_counting_pn() {
+    for (p, n) in [(2usize, 8usize), (3, 6)] {
+        let inst = spk_counting_witness(2, p, n);
+        let counting = run_counting(&inst).expect("counting");
+        let sep = run_separable(&inst).expect("separable");
+        assert_eq!(counting.answers, sep.answers);
+        // Levels 0..n-1 over an (n-1)-edge chain: sum_{i=0}^{n-1} p^i.
+        let expected: usize = (0..n).map(|i| p.pow(i as u32)).sum();
+        assert_eq!(
+            counting.stats.relation_sizes["count"], expected,
+            "count size at p={p} n={n}"
+        );
+        assert!(sep.max_relation <= n, "separable O(n) at p={p} n={n}");
+    }
+}
+
+/// Lemma 4.1: across the S_p^k family, every relation Separable constructs
+/// is within n^max(w, k-w) (+1 slack for the chain's extra endpoint).
+#[test]
+fn lemma_4_1_separable_bound() {
+    for (k, p, n) in [(1usize, 1usize, 50usize), (1, 3, 50), (2, 2, 16), (3, 2, 8), (4, 1, 5)] {
+        let inst = spk_magic_witness(k, p, n);
+        let sep = run_separable(&inst).expect("separable");
+        let w = 1usize;
+        let bound = n.pow(w.max(k - w) as u32) + 1;
+        assert!(
+            sep.max_relation <= bound,
+            "k={k} p={p} n={n}: {} > {bound}",
+            sep.max_relation
+        );
+    }
+}
+
+/// The focusing property: Separable never touches constants unreachable
+/// from the selection (same "focus" as Magic, unlike plain semi-naive).
+#[test]
+fn separable_is_focused() {
+    use separable::gen::paper::Instance;
+    use separable::storage::Database;
+    use sepra_bench::run_seminaive;
+
+    let mut db = Database::new();
+    // Two disconnected components; query from the small one.
+    separable::gen::graphs::add_chain(&mut db, "e", "x", 3);
+    separable::gen::graphs::add_chain(&mut db, "e", "y", 500);
+    let inst = Instance {
+        program: separable::gen::programs::transitive_closure().to_string(),
+        query: "t(x0, Y)?".to_string(),
+        db,
+    };
+    let sep = run_separable(&inst).expect("separable");
+    let semi = run_seminaive(&inst).expect("seminaive");
+    assert_eq!(sep.answers, semi.answers);
+    assert_eq!(sep.answers, 3);
+    assert!(sep.max_relation <= 5, "focused: {}", sep.max_relation);
+    assert!(semi.max_relation > 100_000, "unfocused baseline: {}", semi.max_relation);
+}

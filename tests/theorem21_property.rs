@@ -1,0 +1,110 @@
+//! Theorem 2.1 as a property over *random* separable recursions: any two
+//! expansion strings whose derivations project identically onto every
+//! equivalence class define the same relation (containment mappings both
+//! ways). This is the semantic foundation the Separable algorithm rests on
+//! — phase 1 and phase 2 may interleave rule applications in any order.
+
+use separable::ast::expand::{equivalent, Expansion};
+use separable::ast::{parse_program, RecursiveDef};
+use separable::core::detect::detect_in_program;
+use separable::gen::random::random_separable_scenario;
+
+#[test]
+fn equal_class_projections_imply_equivalence_on_random_programs() {
+    let mut checked_pairs = 0usize;
+    for seed in 0..80 {
+        let mut scenario = random_separable_scenario(seed);
+        let interner = scenario.db.interner_mut();
+        let program = parse_program(&scenario.program, interner).expect("parses");
+        let t = interner.intern("t");
+        // Class structure (rule index sets) from the detector.
+        let sep = detect_in_program(&program, t, interner).expect("separable");
+        let classes: Vec<Vec<usize>> = sep.classes.iter().map(|c| c.rules.clone()).collect();
+        // Expansion over the *normalized* rules so indices line up with the
+        // detector's classes.
+        let def = RecursiveDef {
+            pred: sep.pred,
+            arity: sep.arity,
+            recursive_rules: sep.recursive_rules.clone(),
+            exit_rules: sep.exit_rules.clone(),
+        };
+        let depth = if sep.recursive_rules.len() > 2 { 2 } else { 3 };
+        let strings = Expansion::new(&def, interner).strings_to_depth(depth);
+        for (i, a) in strings.iter().enumerate() {
+            for b in strings.iter().skip(i + 1) {
+                if a.exit_rule != b.exit_rule {
+                    continue; // Theorem 2.1 fixes the nonrecursive rule
+                }
+                if a.atoms.len() + b.atoms.len() > 14 {
+                    continue; // keep containment search fast
+                }
+                let same_projections = classes
+                    .iter()
+                    .all(|c| a.derivation_projected(c) == b.derivation_projected(c));
+                if same_projections {
+                    assert!(
+                        equivalent(&a.atoms, &b.atoms, &a.distinguished),
+                        "seed {seed}: Theorem 2.1 violated for derivations {:?} vs {:?}\n{}",
+                        a.derivation,
+                        b.derivation,
+                        scenario.program
+                    );
+                    checked_pairs += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        checked_pairs > 30,
+        "expected to exercise many interleaving pairs, got {checked_pairs}"
+    );
+}
+
+/// The converse direction is not a theorem, but the *algorithm's* view is:
+/// reordering a derivation into phase-1-then-phase-2 canonical order (as
+/// Lemma 3.3 does) preserves the relation.
+#[test]
+fn canonical_reordering_preserves_relations() {
+    for seed in 0..25 {
+        let mut scenario = random_separable_scenario(seed);
+        let interner = scenario.db.interner_mut();
+        let program = parse_program(&scenario.program, interner).expect("parses");
+        let t = interner.intern("t");
+        let sep = detect_in_program(&program, t, interner).expect("separable");
+        if sep.classes.len() < 2 {
+            continue;
+        }
+        let classes: Vec<Vec<usize>> = sep.classes.iter().map(|c| c.rules.clone()).collect();
+        let def = RecursiveDef {
+            pred: sep.pred,
+            arity: sep.arity,
+            recursive_rules: sep.recursive_rules.clone(),
+            exit_rules: sep.exit_rules.clone(),
+        };
+        let strings = Expansion::new(&def, interner).strings_to_depth(3);
+        for s in &strings {
+            if s.derivation.len() < 2 || s.atoms.len() > 6 {
+                continue;
+            }
+            // Canonical order: class-0 applications first, then the rest,
+            // preserving relative order (D_1(s) D_2(s) ... as in Lemma 3.3).
+            let mut canonical: Vec<usize> = Vec::new();
+            for c in &classes {
+                canonical.extend(s.derivation.iter().copied().filter(|r| c.contains(r)));
+            }
+            if canonical == s.derivation {
+                continue;
+            }
+            let twin = strings
+                .iter()
+                .find(|x| x.derivation == canonical && x.exit_rule == s.exit_rule)
+                .expect("canonical twin exists at same depth");
+            assert!(
+                equivalent(&s.atoms, &twin.atoms, &s.distinguished),
+                "seed {seed}: canonical reordering changed the relation ({:?} vs {:?})",
+                s.derivation,
+                canonical
+            );
+        }
+    }
+}
