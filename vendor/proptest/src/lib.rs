@@ -1,0 +1,496 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the property tests
+//! run against this vendored harness instead of upstream proptest. It
+//! keeps the same surface the tests are written against — the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! attribute, `prop_assert!`/`prop_assert_eq!`, integer-range and tuple
+//! strategies, [`collection::vec`], [`sample::select`],
+//! [`sample::subsequence`], [`strategy::Just`], and `prop_map` — with two
+//! deliberate simplifications:
+//!
+//! * **No shrinking.** A failing case panics with its values' `Debug`
+//!   output; cases are seeded deterministically from the test's module
+//!   path, so every failure reproduces exactly under `cargo test`.
+//! * **String "regex" strategies are approximate.** A `&str` strategy
+//!   generates unstructured character soup rather than matching the
+//!   pattern; the only pattern in use (`"\\PC*"`) wants exactly that.
+//!
+//! Case counts honour `ProptestConfig { cases }` and the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range_i128(self.start as i128, self.end as i128 - 1)
+                        as $ty
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range_i128(*self.start() as i128, *self.end() as i128)
+                        as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Characters the `&str` strategy draws from: ASCII identifier and
+    /// punctuation characters the parsers care about, plus whitespace and a
+    /// few multi-byte code points to exercise UTF-8 handling.
+    const STR_POOL: &[char] = &[
+        'a', 'b', 'p', 'q', 'z', 'A', 'X', 'Y', 'Z', '0', '1', '7', '9', '(', ')', ',', '.', ':',
+        '-', '?', '_', '%', '=', '&', '"', '\'', ' ', '\t', '\n', '±', 'λ', '素', '🦀',
+    ];
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.gen_range_i128(0, 48) as usize;
+            (0..len)
+                .map(|_| STR_POOL[rng.gen_range_i128(0, STR_POOL.len() as i128 - 1) as usize])
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(self, rng: &mut TestRng) -> usize {
+            rng.gen_range_i128(self.min as i128, self.max as i128) as usize
+        }
+
+        pub(crate) fn clamp_to(self, limit: usize) -> SizeRange {
+            SizeRange { min: self.min.min(limit), max: self.max.min(limit) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy yielding one element of `items`, uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires at least one item");
+        Select { items }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range_i128(0, self.items.len() as i128 - 1) as usize;
+            self.items[i].clone()
+        }
+    }
+
+    /// A strategy yielding an order-preserving subsequence of `items`
+    /// whose length lies in `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence { size: size.into().clamp_to(items.len()), items }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let count = self.size.pick(rng);
+            let mut chosen: Vec<usize> = Vec::with_capacity(count);
+            while chosen.len() < count {
+                let i = rng.gen_range_i128(0, self.items.len() as i128 - 1) as usize;
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration. Only `cases` is honoured; the remaining
+    /// fields exist so `ProptestConfig { cases, ..Default::default() }`
+    /// struct-update syntax from upstream-flavoured tests compiles.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; failures always print their inputs.
+        pub verbose: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases, max_shrink_iters: 0, verbose: 0 }
+        }
+    }
+
+    /// A failed `prop_assert!`-style check.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-case random source handed to strategies.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        fn new(seed: u64) -> Self {
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Draws uniformly from the inclusive range `[lo, hi]`.
+        pub fn gen_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo <= hi, "empty range");
+            let width = (hi - lo) as u128 + 1;
+            lo + (self.inner.next_u64() as u128 % width) as i128
+        }
+    }
+
+    /// Drives the cases of one property.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed_base: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose case seeds derive from `name`, so each
+        /// property sees a distinct but reproducible stream.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner { config, seed_base: h }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The random source for case number `case`.
+        pub fn rng_for_case(&self, case: u32) -> TestRng {
+            TestRng::new(self.seed_base ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+    }
+
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated
+/// inputs. An optional leading `#![proptest_config(expr)]` overrides the
+/// configuration for every property in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($config) $($rest)*);
+    };
+    (@body ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut proptest_case_rng = runner.rng_for_case(case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut proptest_case_rng,
+                    );
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!(
+                        "proptest {}: case {} of {} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current proptest case (by early-returning an error) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_stay_in_bounds(n in 3u32..17, m in -4i64..=4) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-4..=4).contains(&m));
+        }
+
+        #[test]
+        fn vec_sizes_honour_range(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            s in crate::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4)
+        ) {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn prop_map_and_tuples_compose(
+            (a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x + 1, y + 1))
+        ) {
+            prop_assert!((1..=10).contains(&a) && (1..=10).contains(&b));
+        }
+
+        #[test]
+        fn just_yields_its_value(x in Just(41usize)) {
+            prop_assert_eq!(x, 41);
+        }
+    }
+
+    #[test]
+    fn same_seed_means_same_cases() {
+        use crate::strategy::Strategy;
+        let runner = crate::test_runner::TestRunner::new(ProptestConfig::default(), "fixed");
+        let strat = crate::collection::vec(0u64..1000, 0..20);
+        let a: Vec<Vec<u64>> =
+            (0..10).map(|c| strat.generate(&mut runner.rng_for_case(c))).collect();
+        let b: Vec<Vec<u64>> =
+            (0..10).map(|c| strat.generate(&mut runner.rng_for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}
