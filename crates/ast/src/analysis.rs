@@ -47,8 +47,7 @@ impl DependencyGraph {
     /// Builds the dependency graph of `program`.
     pub fn build(program: &Program) -> Self {
         let preds = program.predicates();
-        let index: BTreeMap<Sym, usize> =
-            preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let index: BTreeMap<Sym, usize> = preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let mut edges = vec![BTreeSet::new(); preds.len()];
         for rule in &program.rules {
             let from = index[&rule.head.pred];
@@ -396,11 +395,7 @@ mod tests {
     #[test]
     fn tarjan_handles_self_loop_and_chain() {
         // p -> p, p -> q, q -> r
-        let edges = vec![
-            BTreeSet::from([0usize, 1]),
-            BTreeSet::from([2usize]),
-            BTreeSet::new(),
-        ];
+        let edges = vec![BTreeSet::from([0usize, 1]), BTreeSet::from([2usize]), BTreeSet::new()];
         let (scc_of, count) = tarjan(&edges);
         assert_eq!(count, 3);
         // reverse topological: r before q before p

@@ -66,10 +66,7 @@ impl Atom {
 
     /// Applies a variable substitution to every argument.
     pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Atom {
-        Atom {
-            pred: self.pred,
-            terms: self.terms.iter().map(|t| t.substitute(subst)).collect(),
-        }
+        Atom { pred: self.pred, terms: self.terms.iter().map(|t| t.substitute(subst)).collect() }
     }
 }
 

@@ -40,11 +40,7 @@ impl ExpansionString {
     /// The subsequence of the derivation using only rules in `class`
     /// (`D_i(s)`, Definition 2.5).
     pub fn derivation_projected(&self, class: &[usize]) -> Vec<usize> {
-        self.derivation
-            .iter()
-            .copied()
-            .filter(|r| class.contains(r))
-            .collect()
+        self.derivation.iter().copied().filter(|r| class.contains(r)).collect()
     }
 }
 
@@ -67,16 +63,12 @@ impl<'a> Expansion<'a> {
     /// recursive rule applications (Figure 1, truncated).
     pub fn strings_to_depth(&mut self, max_depth: usize) -> Vec<ExpansionString> {
         // Distinguished variables: fresh names for the initial t-instance.
-        let distinguished: Vec<Sym> = (0..self.def.arity)
-            .map(|i| self.interner.fresh(&format!("D{i}")))
-            .collect();
+        let distinguished: Vec<Sym> =
+            (0..self.def.arity).map(|i| self.interner.fresh(&format!("D{i}"))).collect();
         let mut out = Vec::new();
         // Fringe elements: (prefix atoms, terms of the current t instance, derivation).
-        let mut fringe: Vec<(Vec<Atom>, Vec<Term>, Vec<usize>)> = vec![(
-            Vec::new(),
-            distinguished.iter().map(|&v| Term::Var(v)).collect(),
-            Vec::new(),
-        )];
+        let mut fringe: Vec<(Vec<Atom>, Vec<Term>, Vec<usize>)> =
+            vec![(Vec::new(), distinguished.iter().map(|&v| Term::Var(v)).collect(), Vec::new())];
         for depth in 0..=max_depth {
             let mut next = Vec::new();
             for (prefix, t_terms, derivation) in &fringe {
@@ -108,11 +100,8 @@ impl<'a> Expansion<'a> {
                             atoms.push(atom.substitute(&|v| subst(v)));
                         }
                     }
-                    let new_t_terms: Vec<Term> = rec_atom
-                        .terms
-                        .iter()
-                        .map(|t| t.substitute(&subst))
-                        .collect();
+                    let new_t_terms: Vec<Term> =
+                        rec_atom.terms.iter().map(|t| t.substitute(&subst)).collect();
                     let mut d = derivation.clone();
                     d.push(ri);
                     next.push((atoms, new_t_terms, d));
@@ -134,23 +123,14 @@ impl<'a> Expansion<'a> {
         iteration: usize,
         rule_idx: usize,
     ) -> impl Fn(Sym) -> Option<Term> {
-        let head_vars: Vec<Sym> = rule
-            .head
-            .terms
-            .iter()
-            .map(|t| t.as_var().expect("rectified head"))
-            .collect();
-        let mut map: Vec<(Sym, Term)> = head_vars
-            .iter()
-            .zip(t_terms)
-            .map(|(&v, &t)| (v, t))
-            .collect();
+        let head_vars: Vec<Sym> =
+            rule.head.terms.iter().map(|t| t.as_var().expect("rectified head")).collect();
+        let mut map: Vec<(Sym, Term)> =
+            head_vars.iter().zip(t_terms).map(|(&v, &t)| (v, t)).collect();
         for v in rule.vars() {
             if !head_vars.contains(&v) {
                 let name = self.interner.resolve(v).to_string();
-                let fresh = self
-                    .interner
-                    .intern(&format!("{name}_i{iteration}_r{rule_idx}"));
+                let fresh = self.interner.intern(&format!("{name}_i{iteration}_r{rule_idx}"));
                 map.push((v, Term::Var(fresh)));
             }
         }
@@ -165,9 +145,7 @@ impl<'a> Expansion<'a> {
         rule_idx: usize,
     ) -> Vec<Atom> {
         let subst = self.rule_substitution(rule, t_terms, iteration, rule_idx);
-        rule.body_atoms()
-            .map(|a| a.substitute(&|v| subst(v)))
-            .collect()
+        rule.body_atoms().map(|a| a.substitute(&|v| subst(v))).collect()
     }
 }
 
@@ -319,10 +297,7 @@ mod tests {
         let mut i = Interner::new();
         let def = buys_def(&mut i);
         let strings = Expansion::new(&def, &mut i).strings_to_depth(2);
-        let s = strings
-            .iter()
-            .find(|s| s.derivation == vec![0, 1])
-            .unwrap();
+        let s = strings.iter().find(|s| s.derivation == vec![0, 1]).unwrap();
         // f(D0, W0) g(W0, W1) p(W1, D1): adjacent atoms share a variable.
         assert_eq!(s.atoms.len(), 3);
         for pair in s.atoms.windows(2) {
@@ -344,10 +319,7 @@ mod tests {
         let mut i = Interner::new();
         let def = buys_def(&mut i);
         let strings = Expansion::new(&def, &mut i).strings_to_depth(3);
-        let s = strings
-            .iter()
-            .find(|s| s.derivation == vec![0, 1, 0])
-            .unwrap();
+        let s = strings.iter().find(|s| s.derivation == vec![0, 1, 0]).unwrap();
         assert_eq!(s.derivation_projected(&[0]), vec![0, 0]);
         assert_eq!(s.derivation_projected(&[1]), vec![1]);
         assert_eq!(s.derivation_projected(&[0, 1]), vec![0, 1, 0]);
@@ -447,11 +419,8 @@ mod tests {
     #[test]
     fn minimize_result_is_equivalent() {
         let mut i = Interner::new();
-        let p = parse_program(
-            "q(X) :- e(X, Y), e(X, Z), f(Z, W), f(Z, W2), e(X, c).\n",
-            &mut i,
-        )
-        .unwrap();
+        let p = parse_program("q(X) :- e(X, Y), e(X, Z), f(Z, W), f(Z, W2), e(X, c).\n", &mut i)
+            .unwrap();
         let atoms: Vec<Atom> = p.rules[0].body_atoms().cloned().collect();
         let x = i.intern("X");
         let min = minimize(&atoms, &[x]);

@@ -242,7 +242,11 @@ impl<'a> Parser<'a> {
         if &self.tok == want {
             self.advance()
         } else {
-            Err(self.error_here(format!("expected {}, found {}", want.describe(), self.tok.describe())))
+            Err(self.error_here(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.tok.describe()
+            )))
         }
     }
 
@@ -537,11 +541,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let mut i = Interner::new();
-        for bad in ["p(X) :- .", "p(X", "p(X))", ":- p(X).", "p(X) q(X).", "p(#).", "p(X) :- q(X),."] {
-            assert!(
-                parse_program(bad, &mut i).is_err(),
-                "should reject {bad:?}"
-            );
+        for bad in
+            ["p(X) :- .", "p(X", "p(X))", ":- p(X).", "p(X) q(X).", "p(#).", "p(X) :- q(X),."]
+        {
+            assert!(parse_program(bad, &mut i).is_err(), "should reject {bad:?}");
         }
     }
 

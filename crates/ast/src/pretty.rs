@@ -41,11 +41,9 @@ pub fn atom_to_string(atom: &Atom, interner: &Interner) -> String {
 pub fn literal_to_string(literal: &Literal, interner: &Interner) -> String {
     match literal {
         Literal::Atom(a) => atom_to_string(a, interner),
-        Literal::Eq(l, r) => format!(
-            "{} = {}",
-            term_to_string(l, interner),
-            term_to_string(r, interner)
-        ),
+        Literal::Eq(l, r) => {
+            format!("{} = {}", term_to_string(l, interner), term_to_string(r, interner))
+        }
     }
 }
 

@@ -76,22 +76,12 @@ impl Query {
 
     /// 0-based argument positions holding constants.
     pub fn bound_positions(&self) -> Vec<usize> {
-        self.atom
-            .terms
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.is_const().then_some(i))
-            .collect()
+        self.atom.terms.iter().enumerate().filter_map(|(i, t)| t.is_const().then_some(i)).collect()
     }
 
     /// 0-based argument positions holding variables.
     pub fn free_positions(&self) -> Vec<usize> {
-        self.atom
-            .terms
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.is_var().then_some(i))
-            .collect()
+        self.atom.terms.iter().enumerate().filter_map(|(i, t)| t.is_var().then_some(i)).collect()
     }
 
     /// Whether at least one argument is bound (the class of queries the
@@ -102,11 +92,7 @@ impl Query {
 
     /// The adornment string of the query: `b` for bound, `f` for free.
     pub fn adornment(&self) -> String {
-        self.atom
-            .terms
-            .iter()
-            .map(|t| if t.is_const() { 'b' } else { 'f' })
-            .collect()
+        self.atom.terms.iter().map(|t| if t.is_const() { 'b' } else { 'f' }).collect()
     }
 
     /// The distinct output variables in argument order; repeated variables

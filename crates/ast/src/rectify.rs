@@ -76,9 +76,7 @@ pub fn rectify_program(
     program: &crate::program::Program,
     interner: &mut Interner,
 ) -> crate::program::Program {
-    crate::program::Program::new(
-        program.rules.iter().map(|r| rectify_rule(r, interner)).collect(),
-    )
+    crate::program::Program::new(program.rules.iter().map(|r| rectify_rule(r, interner)).collect())
 }
 
 fn fresh_var(interner: &mut Interner, rule: &Rule, also_avoid: &[Sym]) -> Sym {
@@ -136,24 +134,13 @@ pub fn standardize_head(rule: &Rule, canon: &[Sym], interner: &mut Interner) -> 
         .iter()
         .map(|&v| interner.fresh(&format!("{}_p", interner_name(interner, v))))
         .collect();
-    let head_vars2: Vec<Sym> = working
-        .head
-        .terms
-        .iter()
-        .map(|t| t.as_var().expect("rectified head"))
-        .collect();
+    let head_vars2: Vec<Sym> =
+        working.head.terms.iter().map(|t| t.as_var().expect("rectified head")).collect();
     working = working.substitute(&|v| {
-        head_vars2
-            .iter()
-            .position(|&h| h == v)
-            .map(|i| Term::Var(placeholders[i]))
+        head_vars2.iter().position(|&h| h == v).map(|i| Term::Var(placeholders[i]))
     });
-    working = working.substitute(&|v| {
-        placeholders
-            .iter()
-            .position(|&p| p == v)
-            .map(|i| Term::Var(canon[i]))
-    });
+    working = working
+        .substitute(&|v| placeholders.iter().position(|&p| p == v).map(|i| Term::Var(canon[i])));
     working
 }
 

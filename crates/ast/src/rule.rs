@@ -160,10 +160,7 @@ impl Rule {
         if self.body.is_empty() {
             return self.head.is_ground();
         }
-        self.head
-            .vars()
-            .into_iter()
-            .all(|v| self.body.iter().any(|l| l.contains_var(v)))
+        self.head.vars().into_iter().all(|v| self.body.iter().any(|l| l.contains_var(v)))
     }
 
     /// Applies a variable substitution to head and body.

@@ -41,28 +41,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (kind, n) in [("chain", 200usize), ("random", 400)] {
         let (evaluator, query, db) = prepared(kind, n);
-        group.bench_with_input(
-            BenchmarkId::new("plain", format!("{kind}_{n}")),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    evaluator
-                        .evaluate(&query, &db, &Default::default())
-                        .expect("evaluates")
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("tracked", format!("{kind}_{n}")),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    evaluator
-                        .evaluate_with_justifications(&query, &db, &Default::default())
-                        .expect("evaluates")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("plain", format!("{kind}_{n}")), &n, |b, _| {
+            b.iter(|| evaluator.evaluate(&query, &db, &Default::default()).expect("evaluates"));
+        });
+        group.bench_with_input(BenchmarkId::new("tracked", format!("{kind}_{n}")), &n, |b, _| {
+            b.iter(|| {
+                evaluator
+                    .evaluate_with_justifications(&query, &db, &Default::default())
+                    .expect("evaluates")
+            });
+        });
     }
     group.finish();
 }

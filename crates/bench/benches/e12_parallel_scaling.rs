@@ -1,0 +1,162 @@
+//! E12 — parallel scaling of the sharded fixpoint engine: speedup at
+//! 1/2/4/8 worker threads on the `S_p^k` family and the E6 average-case
+//! graphs, for both the semi-naive engine and the Separable closures.
+//!
+//! Unlike the other `e*` benches this one hand-rolls its measurement loop
+//! (the vendored criterion harness does not expose per-benchmark stats to
+//! the caller): under `cargo bench` (`--bench` in the arguments) every
+//! (workload, threads) pair is timed for a fixed number of samples and the
+//! medians are printed *and* written to `BENCH_parallel_scaling.json` at
+//! the repository root, so successive PRs accumulate a perf trajectory.
+//! Without `--bench` each configuration runs once as a silent smoke test.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sepra_ast::{parse_program, parse_query, Program, Query};
+use sepra_core::detect::detect_in_program;
+use sepra_core::evaluate::SeparableEvaluator;
+use sepra_core::exec::{ExecOptions, ExtraRelations};
+use sepra_eval::{seminaive_with_options, EvalOptions};
+use sepra_gen::graphs::add_random_digraph;
+use sepra_gen::paper::{spk_magic_witness, Instance};
+use sepra_gen::programs::{buys_one_class, transitive_closure};
+use sepra_storage::Database;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 5;
+
+fn tc_random(n: usize, m: usize, seed: u64) -> Instance {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "e", "v", n, m, seed);
+    Instance { program: transitive_closure().to_string(), query: "t(v0, Y)?".to_string(), db }
+}
+
+fn buys_social(n: usize, seed: u64) -> Instance {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "friend", "p", n, n * 2, seed);
+    add_random_digraph(&mut db, "idol", "p", n, n, seed ^ 0xabcd);
+    for i in 0..(n / 4).max(1) {
+        db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")]).expect("fact");
+    }
+    Instance { program: buys_one_class().to_string(), query: "buys(p0, Y)?".to_string(), db }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Separable,
+    Seminaive,
+}
+
+struct Prepared {
+    db: Database,
+    program: Program,
+    query: Query,
+}
+
+fn prepare(inst: &Instance) -> Prepared {
+    let mut db = inst.db.clone();
+    let program = parse_program(&inst.program, db.interner_mut()).expect("program parses");
+    let query = parse_query(&inst.query, db.interner_mut()).expect("query parses");
+    Prepared { db, program, query }
+}
+
+/// One full evaluation; returns the answer count so the optimizer cannot
+/// discard the run.
+fn run_once(prep: &Prepared, engine: Engine, threads: usize) -> usize {
+    match engine {
+        Engine::Seminaive => {
+            let derived = seminaive_with_options(&prep.program, &prep.db, &EvalOptions { threads })
+                .expect("semi-naive evaluates");
+            derived.relations.values().map(|r| r.len()).sum()
+        }
+        Engine::Separable => {
+            let mut db = prep.db.clone();
+            let sep = detect_in_program(&prep.program, prep.query.atom.pred, db.interner_mut())
+                .expect("workload is separable");
+            let evaluator = SeparableEvaluator::with_options(
+                sep,
+                ExecOptions { threads, ..ExecOptions::default() },
+            );
+            let out = evaluator
+                .evaluate(&prep.query, &db, &ExtraRelations::default())
+                .expect("separable evaluates");
+            out.answers.len()
+        }
+    }
+}
+
+/// Times `SAMPLES` runs (after one warmup) and returns the median in ns.
+fn median_ns(prep: &Prepared, engine: Engine, threads: usize) -> u64 {
+    black_box(run_once(prep, engine, threads));
+    let mut samples: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_once(prep, engine, threads));
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let workloads: Vec<(&str, &str, Instance)> = vec![
+        ("seminaive", "tc_random_400", tc_random(400, 1200, 1)),
+        ("seminaive", "buys_social_400", buys_social(400, 3)),
+        ("separable", "buys_social_2000", buys_social(2000, 3)),
+        ("separable", "spk_k2_p2_n160", spk_magic_witness(2, 2, 160)),
+    ];
+
+    if !measure {
+        // Smoke mode (`cargo test` builds benches): one tiny parallel run
+        // per engine, nothing printed.
+        let tiny = tc_random(40, 120, 1);
+        let prep = prepare(&tiny);
+        black_box(run_once(&prep, Engine::Seminaive, 2));
+        black_box(run_once(&prep, Engine::Separable, 2));
+        return;
+    }
+
+    let mut rows: Vec<(String, usize, u64)> = Vec::new();
+    for (engine_name, workload, inst) in &workloads {
+        let engine = match *engine_name {
+            "seminaive" => Engine::Seminaive,
+            _ => Engine::Separable,
+        };
+        let prep = prepare(inst);
+        let serial = median_ns(&prep, engine, 1);
+        for &threads in &THREADS {
+            let ns = if threads == 1 { serial } else { median_ns(&prep, engine, threads) };
+            let name = format!("e12_parallel_scaling/{engine_name}/{workload}");
+            println!(
+                "{:<55} threads {threads}  median {ns:>12} ns  speedup {:>5.2}x",
+                name,
+                serial as f64 / ns as f64
+            );
+            rows.push((format!("{engine_name}/{workload}"), threads, ns));
+        }
+    }
+
+    // Machine-readable artifact at the repository root. The host's core
+    // count is recorded because it determines what the numbers mean: on a
+    // single-core container the workers time-slice one CPU, so the medians
+    // measure sharding overhead (expect ≤ 1x); genuine scaling needs
+    // available_parallelism >= threads.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n  \"experiment\": \"e12_parallel_scaling\",\n");
+    json.push_str(&format!(
+        "  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n  \"results\": [\n"
+    ));
+    for (i, (name, threads, ns)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{name}\", \"threads\": {threads}, \"median_ns\": {ns} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_scaling.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel_scaling.json");
+    println!("\nwrote {path}");
+}

@@ -14,11 +14,7 @@ use sepra_storage::Database;
 fn tc_random(n: usize, m: usize, seed: u64) -> Instance {
     let mut db = Database::new();
     add_random_digraph(&mut db, "e", "v", n, m, seed);
-    Instance {
-        program: transitive_closure().to_string(),
-        query: "t(v0, Y)?".to_string(),
-        db,
-    }
+    Instance { program: transitive_closure().to_string(), query: "t(v0, Y)?".to_string(), db }
 }
 
 fn buys_social(n: usize, seed: u64) -> Instance {
@@ -27,30 +23,20 @@ fn buys_social(n: usize, seed: u64) -> Instance {
     add_random_digraph(&mut db, "idol", "p", n, n, seed ^ 0xabcd);
     // Products: each of the last few people has a perfect product.
     for i in 0..(n / 4).max(1) {
-        db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")])
-            .expect("fact");
+        db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")]).expect("fact");
     }
-    Instance {
-        program: buys_one_class().to_string(),
-        query: "buys(p0, Y)?".to_string(),
-        db,
-    }
+    Instance { program: buys_one_class().to_string(), query: "buys(p0, Y)?".to_string(), db }
 }
 
 fn buys_catalog(n: usize, seed: u64) -> Instance {
     let mut db = Database::new();
     add_layered_dag(&mut db, "friend", "s", 4, n / 4, 2, seed);
     for i in 0..(n / 4).max(1) {
-        db.insert_named("perfectFor", &[&format!("sl3n{i}"), &format!("prod{i}")])
-            .expect("fact");
+        db.insert_named("perfectFor", &[&format!("sl3n{i}"), &format!("prod{i}")]).expect("fact");
         db.insert_named("cheaper", &[&format!("prod{}", i + 1), &format!("prod{i}")])
             .expect("fact");
     }
-    Instance {
-        program: buys_two_class().to_string(),
-        query: "buys(sl0n0, Y)?".to_string(),
-        db,
-    }
+    Instance { program: buys_two_class().to_string(), query: "buys(sl0n0, Y)?".to_string(), db }
 }
 
 fn bench(c: &mut Criterion) {

@@ -11,13 +11,7 @@ use sepra_gen::programs::wide_program;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_detection");
-    for (r, k, l) in [
-        (2usize, 2usize, 1usize),
-        (8, 2, 2),
-        (8, 8, 4),
-        (32, 4, 4),
-        (32, 8, 8),
-    ] {
+    for (r, k, l) in [(2usize, 2usize, 1usize), (8, 2, 2), (8, 8, 4), (32, 4, 4), (32, 8, 8)] {
         let src = wide_program(r, k, l);
         let mut interner = Interner::new();
         let program = parse_program(&src, &mut interner).expect("wide program parses");

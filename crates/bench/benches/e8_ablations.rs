@@ -24,18 +24,12 @@ fn example_2_4_instance(n: usize) -> Instance {
     for i in 0..n {
         db.insert_named(
             "a",
-            &[
-                &format!("c{i}"),
-                &format!("d{i}"),
-                &format!("c{}", i + 1),
-                &format!("d{}", i + 1),
-            ],
+            &[&format!("c{i}"), &format!("d{i}"), &format!("c{}", i + 1), &format!("d{}", i + 1)],
         )
         .expect("fact");
     }
     for i in 0..=n {
-        db.insert_named("t0", &[&format!("c{i}"), &format!("d{i}"), "w0"])
-            .expect("fact");
+        db.insert_named("t0", &[&format!("c{i}"), &format!("d{i}"), "w0"]).expect("fact");
     }
     add_chain(&mut db, "b", "w", n);
     Instance {
@@ -54,11 +48,7 @@ fn run_with_options(inst: &Instance, opts: ExecOptions) -> usize {
     let query = parse_query(&inst.query, db.interner_mut()).expect("parses");
     let sep = detect_in_program(&program, query.atom.pred, db.interner_mut()).expect("separable");
     let evaluator = SeparableEvaluator::with_options(sep, opts);
-    evaluator
-        .evaluate(&query, &db, &ExtraRelations::default())
-        .expect("evaluates")
-        .answers
-        .len()
+    evaluator.evaluate(&query, &db, &ExtraRelations::default()).expect("evaluates").answers.len()
 }
 
 fn bench(c: &mut Criterion) {
@@ -68,13 +58,9 @@ fn bench(c: &mut Criterion) {
         group.sample_size(10);
         for n in [20usize, 60] {
             let inst = example_2_4_instance(n);
-            group.bench_with_input(
-                BenchmarkId::new("separable_lemma21", n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| run_separable(inst).expect("separable run"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("separable_lemma21", n), &inst, |b, inst| {
+                b.iter(|| run_separable(inst).expect("separable run"));
+            });
             group.bench_with_input(BenchmarkId::new("magic", n), &inst, |b, inst| {
                 b.iter(|| run_magic(inst).expect("magic run"));
             });
@@ -91,10 +77,7 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_function("dedup_off", |b| {
             b.iter(|| {
-                run_with_options(
-                    &inst,
-                    ExecOptions { dedup: false, ..ExecOptions::default() },
-                )
+                run_with_options(&inst, ExecOptions { dedup: false, ..ExecOptions::default() })
             });
         });
         group.finish();

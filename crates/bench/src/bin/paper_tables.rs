@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 use sepra_ast::{parse_program, Interner};
-use sepra_bench::{print_table, run_counting, run_hn, run_magic, run_seminaive, run_separable, Measurement};
+use sepra_bench::{
+    print_table, run_counting, run_hn, run_magic, run_seminaive, run_separable, Measurement,
+};
 use sepra_core::detect::detect_in_program;
 use sepra_gen::paper::{
     counting_worst_buys, magic_worst_buys, spk_counting_witness, spk_magic_witness, Instance,
@@ -46,11 +48,7 @@ fn e1(quick: bool) {
         assert_eq!(sep.answers, magic.answers, "E1 n={n}: answer mismatch");
         push_rows(&mut rows, &n.to_string(), &[sep, magic]);
     }
-    print_table(
-        "E1 — Example 1.2, buys(tom, Y)?: Magic Ω(n²) vs Separable O(n)",
-        &header(),
-        &rows,
-    );
+    print_table("E1 — Example 1.2, buys(tom, Y)?: Magic Ω(n²) vs Separable O(n)", &header(), &rows);
 }
 
 fn e2(quick: bool) {
@@ -94,7 +92,8 @@ fn e3(quick: bool) {
 }
 
 fn e4(quick: bool) {
-    let shapes: &[(usize, usize)] = if quick { &[(1, 12), (2, 12)] } else { &[(1, 14), (2, 14), (3, 10), (4, 8)] };
+    let shapes: &[(usize, usize)] =
+        if quick { &[(1, 12), (2, 12)] } else { &[(1, 14), (2, 14), (3, 10), (4, 8)] };
     let mut rows = Vec::new();
     for &(p, n) in shapes {
         let inst = spk_counting_witness(2, p, n);
@@ -113,7 +112,8 @@ fn e4(quick: bool) {
 fn e5(quick: bool) {
     // Validate Lemma 4.1's bound: max relation <= n^max(w, k-w) (+ slack
     // for the seed constants).
-    let shapes: &[(usize, usize)] = if quick { &[(1, 100), (2, 30)] } else { &[(1, 400), (2, 60), (3, 16)] };
+    let shapes: &[(usize, usize)] =
+        if quick { &[(1, 100), (2, 30)] } else { &[(1, 400), (2, 60), (3, 16)] };
     let mut rows = Vec::new();
     for &(k, n) in shapes {
         let inst = spk_magic_witness(k, 2, n);
@@ -155,8 +155,7 @@ fn e6(quick: bool) {
         add_random_digraph(&mut db, "friend", "p", n, n * 2, 2);
         add_random_digraph(&mut db, "idol", "p", n, n, 3);
         for i in 0..(n / 4).max(1) {
-            db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")])
-                .expect("fact");
+            db.insert_named("perfectFor", &[&format!("p{i}"), &format!("prod{i}")]).expect("fact");
         }
         workloads.push((
             format!("buys_social_{n}"),
@@ -312,7 +311,11 @@ fn e8(quick: bool) {
             format!("{:.3?}", start.elapsed()),
         ]);
     }
-    print_table("E8c — hash indexes vs filtered full scans", &["variant", "answers", "time"], &rows);
+    print_table(
+        "E8c — hash indexes vs filtered full scans",
+        &["variant", "answers", "time"],
+        &rows,
+    );
 }
 
 fn e8_instance(n: usize) -> Instance {
@@ -322,12 +325,7 @@ fn e8_instance(n: usize) -> Instance {
     for i in 0..n {
         db.insert_named(
             "a",
-            &[
-                &format!("c{i}"),
-                &format!("d{i}"),
-                &format!("c{}", i + 1),
-                &format!("d{}", i + 1),
-            ],
+            &[&format!("c{i}"), &format!("d{i}"), &format!("c{}", i + 1), &format!("d{}", i + 1)],
         )
         .expect("fact");
     }
@@ -381,13 +379,11 @@ fn e9(quick: bool) {
         .expect("accepted with relaxation");
         let evaluator = SeparableEvaluator::new(sep);
         let start = Instant::now();
-        let out = evaluator
-            .evaluate(&query, &db, &ExtraRelations::default())
-            .expect("still correct");
+        let out =
+            evaluator.evaluate(&query, &db, &ExtraRelations::default()).expect("still correct");
         // Cross-check against semi-naive.
         let derived = sepra_eval::seminaive(&program, &db).expect("seminaive");
-        let expected =
-            sepra_eval::query_answers(&query, &db, Some(&derived)).expect("answers");
+        let expected = sepra_eval::query_answers(&query, &db, Some(&derived)).expect("answers");
         assert_eq!(out.answers, expected, "E9 n={n}");
         let seeds = match out.strategy {
             sepra_core::evaluate::StrategyNote::Decomposed { distinct_seeds, .. } => distinct_seeds,

@@ -61,7 +61,9 @@ fn prepared(inst: &Instance) -> (Database, sepra_ast::Program, sepra_ast::Query)
 
 /// Detects the instance's recursion (panics if not separable — instances
 /// are separable by construction).
-pub fn detect_instance(inst: &Instance) -> (Database, sepra_ast::Program, sepra_ast::Query, SeparableRecursion) {
+pub fn detect_instance(
+    inst: &Instance,
+) -> (Database, sepra_ast::Program, sepra_ast::Query, SeparableRecursion) {
     let (mut db, program, query) = prepared(inst);
     let sep = detect_in_program(&program, query.atom.pred, db.interner_mut())
         .expect("instance recursion is separable");
@@ -143,11 +145,7 @@ mod tests {
         let magic = run_magic(&inst).unwrap();
         assert_eq!(sep.answers, magic.answers, "answer sets must agree in size");
         assert!(sep.max_relation <= 21, "separable stays O(n): {}", sep.max_relation);
-        assert!(
-            magic.max_relation >= 20 * 20,
-            "magic is Ω(n²): {}",
-            magic.max_relation
-        );
+        assert!(magic.max_relation >= 20 * 20, "magic is Ω(n²): {}", magic.max_relation);
     }
 
     #[test]

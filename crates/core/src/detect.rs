@@ -204,9 +204,7 @@ pub fn detect_with_options(
     let arity = def.arity;
 
     // Canonical head variables C0..C{k-1}.
-    let canon_vars: Vec<Sym> = (0..arity)
-        .map(|i| interner.fresh(&format!("C{i}")))
-        .collect();
+    let canon_vars: Vec<Sym> = (0..arity).map(|i| interner.fresh(&format!("C{i}"))).collect();
 
     let normalize = |rule: &Rule, interner: &mut Interner| -> Rule {
         let rect = rectify_rule(rule, interner);
@@ -219,21 +217,15 @@ pub fn detect_with_options(
         // Drop tautologies (t :- t with identical instances): they derive
         // nothing and have no nonrecursive body to classify.
         if let Some(rec) = norm.recursive_atom(pred) {
-            let nonrec_empty = norm
-                .body
-                .iter()
-                .all(|l| matches!(l, Literal::Atom(a) if a.pred == pred));
+            let nonrec_empty =
+                norm.body.iter().all(|l| matches!(l, Literal::Atom(a) if a.pred == pred));
             if nonrec_empty && rec.terms == norm.head.terms {
                 continue;
             }
         }
         recursive_rules.push(norm);
     }
-    let exit_rules: Vec<Rule> = def
-        .exit_rules
-        .iter()
-        .map(|r| normalize(r, interner))
-        .collect();
+    let exit_rules: Vec<Rule> = def.exit_rules.iter().map(|r| normalize(r, interner)).collect();
 
     let mut violations = Vec::new();
     let mut rule_cols: Vec<Vec<usize>> = Vec::new();
@@ -270,21 +262,13 @@ pub fn detect_with_options(
             .terms
             .iter()
             .enumerate()
-            .filter_map(|(i, t)| {
-                t.as_var()
-                    .filter(|v| unit_vars.contains(v))
-                    .map(|_| i)
-            })
+            .filter_map(|(i, t)| t.as_var().filter(|v| unit_vars.contains(v)).map(|_| i))
             .collect();
         let body_cols: Vec<usize> = rec_atom
             .terms
             .iter()
             .enumerate()
-            .filter_map(|(i, t)| {
-                t.as_var()
-                    .filter(|v| unit_vars.contains(v))
-                    .map(|_| i)
-            })
+            .filter_map(|(i, t)| t.as_var().filter(|v| unit_vars.contains(v)).map(|_| i))
             .collect();
         if head_cols != body_cols {
             violations.push(Violation::HeadBodyMismatch {
@@ -332,7 +316,8 @@ pub fn detect_with_options(
             classes.push(EquivClass { columns: cols.clone(), rules: vec![ri] });
         }
     }
-    let in_class: BTreeSet<usize> = classes.iter().flat_map(|c| c.columns.iter().copied()).collect();
+    let in_class: BTreeSet<usize> =
+        classes.iter().flat_map(|c| c.columns.iter().copied()).collect();
     let persistent: Vec<usize> = (0..arity).filter(|p| !in_class.contains(p)).collect();
 
     Ok(SeparableRecursion {
@@ -500,13 +485,8 @@ mod tests {
             "t",
         )
         .unwrap_err();
-        let DetectError::NotSeparable(ns) = err else {
-            panic!("expected NotSeparable")
-        };
-        assert!(ns
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::ShiftingVariable { .. })));
+        let DetectError::NotSeparable(ns) = err else { panic!("expected NotSeparable") };
+        assert!(ns.violations.iter().any(|v| matches!(v, Violation::ShiftingVariable { .. })));
     }
 
     #[test]
@@ -519,13 +499,9 @@ mod tests {
             "t",
         )
         .unwrap_err();
-        let DetectError::NotSeparable(ns) = err else {
-            panic!("expected NotSeparable")
-        };
+        let DetectError::NotSeparable(ns) = err else { panic!("expected NotSeparable") };
         assert!(
-            ns.violations
-                .iter()
-                .any(|v| matches!(v, Violation::HeadBodyMismatch { .. })),
+            ns.violations.iter().any(|v| matches!(v, Violation::HeadBodyMismatch { .. })),
             "{ns}"
         );
     }
@@ -540,13 +516,9 @@ mod tests {
             "t",
         )
         .unwrap_err();
-        let DetectError::NotSeparable(ns) = err else {
-            panic!("expected NotSeparable")
-        };
+        let DetectError::NotSeparable(ns) = err else { panic!("expected NotSeparable") };
         assert!(
-            ns.violations
-                .iter()
-                .any(|v| matches!(v, Violation::OverlappingClasses { .. })),
+            ns.violations.iter().any(|v| matches!(v, Violation::OverlappingClasses { .. })),
             "{ns}"
         );
     }
@@ -561,9 +533,7 @@ mod tests {
             "t",
         )
         .unwrap_err();
-        let DetectError::NotSeparable(ns) = err else {
-            panic!("expected NotSeparable")
-        };
+        let DetectError::NotSeparable(ns) = err else { panic!("expected NotSeparable") };
         assert!(ns
             .violations
             .iter()
@@ -674,12 +644,9 @@ mod tests {
         let t = i.intern("t");
         let def = sepra_ast::RecursiveDef::extract(&program, t, &i).unwrap();
         assert!(detect(&def, &mut i).is_err());
-        let sep = detect_with_options(
-            &def,
-            &mut i,
-            DetectOptions { allow_disconnected_bodies: true },
-        )
-        .unwrap();
+        let sep =
+            detect_with_options(&def, &mut i, DetectOptions { allow_disconnected_bodies: true })
+                .unwrap();
         assert_eq!(sep.classes.len(), 1);
         assert_eq!(sep.classes[0].columns, vec![0, 1]);
         assert!(sep.persistent.is_empty());

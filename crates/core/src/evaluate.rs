@@ -204,8 +204,12 @@ fn evaluate_inner(
         SelectionKind::NoSelection => Err(EvalError::Unsupported(
             "the Separable algorithm requires at least one selection constant".into(),
         )),
-        SelectionKind::FullClass { class } => evaluate_full_class(sep, query, class, db, extra, opts),
-        SelectionKind::Persistent { bound } => evaluate_persistent(sep, query, &bound, db, extra, opts),
+        SelectionKind::FullClass { class } => {
+            evaluate_full_class(sep, query, class, db, extra, opts)
+        }
+        SelectionKind::Persistent { bound } => {
+            evaluate_persistent(sep, query, &bound, db, extra, opts)
+        }
         SelectionKind::Partial { class } => {
             evaluate_partial(sep, query, class, db, extra, opts, depth)
         }
@@ -215,20 +219,15 @@ fn evaluate_inner(
 fn query_value_at(query: &Query, pos: usize) -> Result<Value, EvalError> {
     match &query.atom.terms[pos] {
         Term::Const(c) => Ok(Value::from_const(*c)?),
-        Term::Var(_) => Err(EvalError::Planning(format!(
-            "query position {pos} expected to be a constant"
-        ))),
+        Term::Var(_) => {
+            Err(EvalError::Planning(format!("query position {pos} expected to be a constant")))
+        }
     }
 }
 
 /// Builds a full tuple from fixed `(position, value)` pairs plus the
 /// phase-2 row at `rest_cols`.
-fn assemble(
-    arity: usize,
-    fixed: &[(usize, Value)],
-    rest_cols: &[usize],
-    row: &Tuple,
-) -> Tuple {
+fn assemble(arity: usize, fixed: &[(usize, Value)], rest_cols: &[usize], row: &Tuple) -> Tuple {
     debug_assert_eq!(fixed.len() + rest_cols.len(), arity);
     let placeholder = fixed
         .first()
@@ -260,9 +259,7 @@ fn evaluate_full_class(
         .map(|&c| Ok((c, query_value_at(query, c)?)))
         .collect::<Result<_, EvalError>>()?;
     let mut init = Relation::new(cols.len());
-    init.insert(Tuple::from(
-        fixed.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
-    ));
+    init.insert(Tuple::from(fixed.iter().map(|&(_, v)| v).collect::<Vec<_>>()));
     let mut stats = EvalStats::new();
     let raw = execute_plan(&plan, db, extra, Some(init), opts, &mut stats)?;
     let mut full = Relation::new(sep.arity);
@@ -363,11 +360,8 @@ fn evaluate_partial(
     // t|e_1 by sideways information passing; each distinct binding vector is
     // a full selection on t_full (the original recursion).
     let cols = sep.classes[class].columns.clone();
-    let bound_cols: Vec<usize> = cols
-        .iter()
-        .copied()
-        .filter(|c| query.atom.terms[*c].is_const())
-        .collect();
+    let bound_cols: Vec<usize> =
+        cols.iter().copied().filter(|c| query.atom.terms[*c].is_const()).collect();
     let full_plan = build_plan(sep, &PlanSelection::Class(class))?;
     let mut seed_cache: FxHashMap<Tuple, Relation> = FxHashMap::default();
     let mut distinct_seeds = 0usize;
@@ -401,11 +395,8 @@ fn evaluate_partial(
                 seed_cache.insert(body_vals.clone(), raw.seen2);
             }
             let seen2 = &seed_cache[&body_vals];
-            let fixed: Vec<(usize, Value)> = cols
-                .iter()
-                .zip(head_vals.values())
-                .map(|(&c, &v)| (c, v))
-                .collect();
+            let fixed: Vec<(usize, Value)> =
+                cols.iter().zip(head_vals.values()).map(|(&c, &v)| (c, v)).collect();
             for row in seen2.iter() {
                 answers.insert(assemble(sep.arity, &fixed, &full_plan.phase2.columns, row));
             }
@@ -585,9 +576,8 @@ mod tests {
         let buys = db.intern("buys");
         let sep = detect_in_program(&program, buys, db.interner_mut()).unwrap();
         let query = parse_query("buys(tom, Y)?", db.interner_mut()).unwrap();
-        let outcome = SeparableEvaluator::new(sep)
-            .evaluate(&query, &db, &ExtraRelations::default())
-            .unwrap();
+        let outcome =
+            SeparableEvaluator::new(sep).evaluate(&query, &db, &ExtraRelations::default()).unwrap();
         assert!(outcome.answers.is_empty());
     }
 
@@ -621,9 +611,8 @@ mod tests {
         let buys = db.intern("buys");
         let sep = detect_in_program(&program, buys, db.interner_mut()).unwrap();
         let query = parse_query("buys(p0, Y)?", db.interner_mut()).unwrap();
-        let outcome = SeparableEvaluator::new(sep)
-            .evaluate(&query, &db, &ExtraRelations::default())
-            .unwrap();
+        let outcome =
+            SeparableEvaluator::new(sep).evaluate(&query, &db, &ExtraRelations::default()).unwrap();
         assert_eq!(outcome.answers.len(), 1);
         assert!(
             outcome.stats.max_relation_size() <= n + 1,

@@ -22,7 +22,9 @@
 //! difference is exactly what Lemma 3.4's termination proof uses.
 
 use sepra_ast::Sym;
-use sepra_eval::{ConjPlan, EvalError, IndexCache, RelKey, RelStore};
+use sepra_eval::{
+    sharded_delta_round, ConjPlan, EvalError, IndexCache, RelKey, RelStore, MIN_SHARD_TUPLES,
+};
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
 use crate::justify::{JustificationTracker, Origin};
@@ -42,11 +44,19 @@ pub struct ExecOptions {
     /// much of the algorithm's speed comes from the storage layer rather
     /// than from the compilation itself.
     pub use_indexes: bool,
+    /// Number of worker threads used to expand each iteration's carry (and
+    /// the seed join over `seen_1`). `1` (the default) runs the exact
+    /// serial Figure 2 loop; higher values shard the carry across that
+    /// many workers at each iteration barrier, which preserves the answer
+    /// set because one iteration's expansions are independent. The index
+    /// ablation (`use_indexes: false`) always runs serially, since
+    /// workers index their shards and that would confound the ablation.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { dedup: true, max_iterations: 1_000_000, use_indexes: true }
+        ExecOptions { dedup: true, max_iterations: 1_000_000, use_indexes: true, threads: 1 }
     }
 }
 
@@ -144,20 +154,48 @@ pub fn run_seed_and_phase2(
             store.bind(RelKey::Aux(AUX_SEEN1), seen1);
         }
         let mut scanned = 0u64;
-        for seed_plan in &plan.seed {
-            if opts.use_indexes {
-                indexes.prepare(seed_plan, &store);
+        if opts.threads > 1 && opts.use_indexes && seen1.is_some() {
+            // Shard the seed join over seen_1, exactly as the closure
+            // loops shard over the carry.
+            let seen1_key = RelKey::Aux(AUX_SEEN1);
+            for seed_plan in &plan.seed {
+                indexes.prepare_where(seed_plan, &store, |k| k != seen1_key);
             }
-            seed_plan.execute_counted(
+            let seed_refs: Vec<&ConjPlan> = plan.seed.iter().collect();
+            let merged = sharded_delta_round(
+                &seed_refs,
+                seen1_key,
                 &store,
                 indexes,
+                opts.threads,
+                MIN_SHARD_TUPLES,
                 &[],
-                &mut |row| {
-                    let was_new = carry2_init.insert(Tuple::new(row.to_vec()));
-                    stats.record_insert(was_new);
-                },
                 &mut scanned,
             );
+            for worker_bufs in merged {
+                for buf in worker_bufs {
+                    for t in buf {
+                        let was_new = carry2_init.insert(t);
+                        stats.record_insert(was_new);
+                    }
+                }
+            }
+        } else {
+            for seed_plan in &plan.seed {
+                if opts.use_indexes {
+                    indexes.prepare(seed_plan, &store);
+                }
+                seed_plan.execute_counted(
+                    &store,
+                    indexes,
+                    &[],
+                    &mut |row| {
+                        let was_new = carry2_init.insert(Tuple::new(row.to_vec()));
+                        stats.record_insert(was_new);
+                    },
+                    &mut scanned,
+                );
+            }
         }
         stats.record_scanned(scanned as usize);
     }
@@ -246,12 +284,13 @@ pub fn execute_plan_tracked(
                 indexes.prepare(seed_plan, &store);
             }
             seed_plan.execute(&store, &indexes, &[], &mut |row| {
-                let seen1_tuple = (seen1_width > 0)
-                    .then(|| Tuple::new(row[..seen1_width].to_vec()));
+                let seen1_tuple =
+                    (seen1_width > 0).then(|| Tuple::new(row[..seen1_width].to_vec()));
                 let child = Tuple::new(row[seen1_width..].to_vec());
                 let was_new = carry2_init.insert(child.clone());
                 stats.record_insert(was_new);
-                tracker.record_phase2(child, Origin::Seed { seen1: seen1_tuple, exit_rule: exit_idx });
+                tracker
+                    .record_phase2(child, Origin::Seed { seen1: seen1_tuple, exit_rule: exit_idx });
             });
         }
     }
@@ -393,22 +432,51 @@ pub fn run_closure(
         let mut produced = Relation::new(arity);
         {
             let mut store = base_store(db, extra);
-            store.bind(RelKey::Aux(carry_key_id), &carry);
+            let carry_key = RelKey::Aux(carry_key_id);
+            store.bind(carry_key, &carry);
             let mut scanned = 0u64;
-            for plan in step_plans {
-                if opts.use_indexes {
-                    indexes.prepare(plan, &store);
+            if opts.threads > 1 && opts.use_indexes {
+                // Shared cache: every keyed scan except the carry, which
+                // each worker indexes over its own shard.
+                for plan in step_plans {
+                    indexes.prepare_where(plan, &store, |k| k != carry_key);
                 }
-                plan.execute_counted(
+                let merged = sharded_delta_round(
+                    step_plans,
+                    carry_key,
                     &store,
                     indexes,
+                    opts.threads,
+                    MIN_SHARD_TUPLES,
                     &[],
-                    &mut |row| {
-                        let was_new = produced.insert(Tuple::new(row.to_vec()));
-                        stats.record_insert(was_new);
-                    },
                     &mut scanned,
                 );
+                // Plan-major, worker-minor: a fixed interleaving of the
+                // serial production order, deterministic per thread count.
+                for worker_bufs in merged {
+                    for buf in worker_bufs {
+                        for t in buf {
+                            let was_new = produced.insert(t);
+                            stats.record_insert(was_new);
+                        }
+                    }
+                }
+            } else {
+                for plan in step_plans {
+                    if opts.use_indexes {
+                        indexes.prepare(plan, &store);
+                    }
+                    plan.execute_counted(
+                        &store,
+                        indexes,
+                        &[],
+                        &mut |row| {
+                            let was_new = produced.insert(Tuple::new(row.to_vec()));
+                            stats.record_insert(was_new);
+                        },
+                        &mut scanned,
+                    );
+                }
             }
             stats.record_scanned(scanned as usize);
         }
@@ -442,8 +510,7 @@ mod tests {
     fn chain_db(n: u32) -> Database {
         let mut db = Database::new();
         for i in 0..n {
-            db.insert_named("e", &[&format!("n{i}"), &format!("n{}", i + 1)])
-                .unwrap();
+            db.insert_named("e", &[&format!("n{i}"), &format!("n{}", i + 1)]).unwrap();
         }
         db
     }
@@ -453,11 +520,9 @@ mod tests {
     #[test]
     fn closure_walks_a_chain() {
         let mut db = chain_db(5);
-        let program = parse_program(
-            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
-            db.interner_mut(),
-        )
-        .unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
         let t = db.intern("t");
         let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
         let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
@@ -466,8 +531,15 @@ mod tests {
         let n0 = db.intern("n0");
         init.insert(Tuple::from([Value::sym(n0)]));
         let mut stats = EvalStats::new();
-        let out = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &ExecOptions::default(), &mut stats)
-            .unwrap();
+        let out = execute_plan(
+            &plan,
+            &db,
+            &ExtraRelations::default(),
+            Some(init),
+            &ExecOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
         // seen_1 = {n0..n5} reachable along e (n5 has no outgoing edge but
         // is reached as a body value... n5 enters carry_1 via e(n4, n5)).
         assert_eq!(out.seen1.as_ref().unwrap().len(), 6);
@@ -481,11 +553,9 @@ mod tests {
     fn closure_terminates_on_cycles_with_dedup() {
         let mut db = Database::new();
         db.load_fact_text("e(a, b). e(b, c). e(c, a).").unwrap();
-        let program = parse_program(
-            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
-            db.interner_mut(),
-        )
-        .unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
         let t = db.intern("t");
         let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
         let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
@@ -493,8 +563,15 @@ mod tests {
         let a = db.intern("a");
         init.insert(Tuple::from([Value::sym(a)]));
         let mut stats = EvalStats::new();
-        let out = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &ExecOptions::default(), &mut stats)
-            .unwrap();
+        let out = execute_plan(
+            &plan,
+            &db,
+            &ExtraRelations::default(),
+            Some(init),
+            &ExecOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(out.seen1.as_ref().unwrap().len(), 3);
         assert_eq!(out.seen2.len(), 3);
     }
@@ -503,11 +580,9 @@ mod tests {
     fn disabling_dedup_diverges_on_cycles() {
         let mut db = Database::new();
         db.load_fact_text("e(a, b). e(b, a).").unwrap();
-        let program = parse_program(
-            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
-            db.interner_mut(),
-        )
-        .unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
         let t = db.intern("t");
         let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
         let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
@@ -516,25 +591,64 @@ mod tests {
         init.insert(Tuple::from([Value::sym(a)]));
         let opts = ExecOptions { dedup: false, max_iterations: 50, ..ExecOptions::default() };
         let mut stats = EvalStats::new();
-        let err = execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &opts, &mut stats)
-            .unwrap_err();
+        let err =
+            execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &opts, &mut stats)
+                .unwrap_err();
         assert!(matches!(err, EvalError::Diverged { .. }), "{err}");
+    }
+
+    #[test]
+    fn parallel_closure_matches_serial() {
+        let mut db = chain_db(64);
+        // Add a back edge so phase 1 revisits seen classes.
+        db.insert_named("e", &["n40", "n3"]).unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+        let n0 = db.intern("n0");
+        let run = |threads: usize| {
+            let mut init = Relation::new(1);
+            init.insert(Tuple::from([Value::sym(n0)]));
+            let opts = ExecOptions { threads, ..ExecOptions::default() };
+            let mut stats = EvalStats::new();
+            execute_plan(&plan, &db, &ExtraRelations::default(), Some(init), &opts, &mut stats)
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            assert_eq!(par.seen1, serial.seen1, "seen_1 diverged at {threads} threads");
+            assert_eq!(par.seen2, serial.seen2, "seen_2 diverged at {threads} threads");
+        }
+        // Determinism: two runs at the same thread count produce the same
+        // insertion order, not just the same set.
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.seen2.as_slice(), b.seen2.as_slice());
     }
 
     #[test]
     fn missing_seeds_are_rejected() {
         let mut db = chain_db(2);
-        let program = parse_program(
-            "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
-            db.interner_mut(),
-        )
-        .unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
         let t = db.intern("t");
         let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
         let plan = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
         let mut stats = EvalStats::new();
-        let err = execute_plan(&plan, &db, &ExtraRelations::default(), None, &ExecOptions::default(), &mut stats)
-            .unwrap_err();
+        let err = execute_plan(
+            &plan,
+            &db,
+            &ExtraRelations::default(),
+            None,
+            &ExecOptions::default(),
+            &mut stats,
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::Planning(_)));
     }
 }

@@ -176,10 +176,7 @@ mod tests {
         tracker.record_phase1(t1(1), Origin::Phase1 { parent: t1(0), rule: 0 });
         tracker.record_phase1(t1(2), Origin::Phase1 { parent: t1(1), rule: 1 });
         // seed from seen1 tuple 2 via exit 0: carry2 tuple 10.
-        tracker.record_phase2(
-            t1(10),
-            Origin::Seed { seen1: Some(t1(2)), exit_rule: 0 },
-        );
+        tracker.record_phase2(t1(10), Origin::Seed { seen1: Some(t1(2)), exit_rule: 0 });
         // phase2: 10 -(r2)-> 11.
         tracker.record_phase2(t1(11), Origin::Phase2 { parent: t1(10), rule: 2 });
 

@@ -31,7 +31,10 @@ pub mod exec;
 pub mod justify;
 pub mod plan;
 
-pub use detect::{detect, detect_with_options, DetectOptions, EquivClass, NotSeparable, SeparableRecursion, Violation};
+pub use detect::{
+    detect, detect_with_options, DetectOptions, EquivClass, NotSeparable, SeparableRecursion,
+    Violation,
+};
 pub use evaluate::{SeparableEvaluator, SeparableOutcome};
 pub use exec::ExecOptions;
 pub use justify::{Justification, JustificationTracker};

@@ -69,11 +69,8 @@ pub fn classify_selection(sep: &SeparableRecursion, query: &Query) -> SelectionK
     if bound.is_empty() {
         return SelectionKind::NoSelection;
     }
-    let bound_pers: Vec<usize> = bound
-        .iter()
-        .copied()
-        .filter(|p| sep.persistent.contains(p))
-        .collect();
+    let bound_pers: Vec<usize> =
+        bound.iter().copied().filter(|p| sep.persistent.contains(p)).collect();
     if !bound_pers.is_empty() {
         return SelectionKind::Persistent { bound: bound_pers };
     }
@@ -233,10 +230,8 @@ fn phase2_step(
 ) -> Result<ConjPlan, EvalError> {
     let rule = &sep.recursive_rules[rule_idx];
     let carry_terms = body_terms_at(sep, rule, cols)?;
-    let mut body = vec![PlanLiteral::Atom(PlanAtom {
-        rel: RelKey::Aux(AUX_CARRY2),
-        terms: carry_terms,
-    })];
+    let mut body =
+        vec![PlanLiteral::Atom(PlanAtom { rel: RelKey::Aux(AUX_CARRY2), terms: carry_terms })];
     body.extend(nonrecursive_literals(sep, rule));
     let output = head_terms_at(sep, rule, cols);
     ConjPlan::compile(&[], &body, &output)
@@ -270,10 +265,9 @@ fn seed_step(
         }
     }
     body.extend(rule.body.iter().map(|lit| match lit {
-        Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
-            rel: RelKey::Pred(a.pred),
-            terms: a.terms.clone(),
-        }),
+        Literal::Atom(a) => {
+            PlanLiteral::Atom(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
+        }
         Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
     }));
     let output = head_terms_at(sep, rule, rest_cols);
@@ -345,10 +339,9 @@ fn seed_step_tracked(
         }
     }
     body.extend(rule.body.iter().map(|lit| match lit {
-        Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
-            rel: RelKey::Pred(a.pred),
-            terms: a.terms.clone(),
-        }),
+        Literal::Atom(a) => {
+            PlanLiteral::Atom(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
+        }
         Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
     }));
     output.extend(head_terms_at(sep, rule, rest_cols));
@@ -363,7 +356,10 @@ fn value_to_term(value: Value) -> Term {
     }
 }
 
-fn build_class_plan(sep: &SeparableRecursion, class_idx: usize) -> Result<SeparablePlan, EvalError> {
+fn build_class_plan(
+    sep: &SeparableRecursion,
+    class_idx: usize,
+) -> Result<SeparablePlan, EvalError> {
     let class = sep
         .classes
         .get(class_idx)
@@ -426,9 +422,7 @@ fn build_persistent_plan(
     }
     for &(pos, _) in bound {
         if !sep.persistent.contains(&pos) {
-            return Err(EvalError::Planning(format!(
-                "column {pos} is not persistent"
-            )));
+            return Err(EvalError::Planning(format!("column {pos} is not persistent")));
         }
     }
     let fixed_cols: Vec<usize> = bound.iter().map(|&(p, _)| p).collect();
@@ -571,10 +565,7 @@ mod tests {
         assert_eq!(classify_selection(&sep, &q1), SelectionKind::FullClass { class: 0 });
         // Column 1 is persistent in Example 1.1.
         let q2 = parse_query("buys(X, widget)?", &mut i).unwrap();
-        assert_eq!(
-            classify_selection(&sep, &q2),
-            SelectionKind::Persistent { bound: vec![1] }
-        );
+        assert_eq!(classify_selection(&sep, &q2), SelectionKind::Persistent { bound: vec![1] });
         let q3 = parse_query("buys(X, Y)?", &mut i).unwrap();
         assert_eq!(classify_selection(&sep, &q3), SelectionKind::NoSelection);
     }
@@ -642,11 +633,8 @@ mod tests {
     fn persistent_plan_has_no_phase1() {
         let (sep, mut i) = setup(EX_1_1, "buys");
         let widget = i.intern("widget");
-        let plan = build_plan(
-            &sep,
-            &PlanSelection::Persistent(vec![(1, Value::sym(widget))]),
-        )
-        .unwrap();
+        let plan =
+            build_plan(&sep, &PlanSelection::Persistent(vec![(1, Value::sym(widget))])).unwrap();
         assert!(plan.phase1.is_none());
         assert_eq!(plan.fixed_cols, vec![1]);
         assert_eq!(plan.phase2.columns, vec![0]);

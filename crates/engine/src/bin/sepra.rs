@@ -7,6 +7,8 @@
 //!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
 //!   -s, --strategy NAME     force a strategy: separable|magic|magic-sup|counting|hn|seminaive|naive
 //!   -f, --format FMT        answer output format: text (default) | csv | json
+//!   -t, --threads N         worker threads for fixpoint iterations
+//!                           (default: available parallelism; 1 = serial)
 //!       --stats             print relation-size statistics after each query
 //!       --explain           print the evaluation plan instead of running
 //!       --check             print a separability report for every predicate
@@ -20,7 +22,11 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-use sepra_engine::{render_answers, render_answers_csv, render_answers_json, QueryProcessor, Strategy, StrategyChoice};
+use sepra_core::exec::ExecOptions;
+use sepra_engine::{
+    render_answers, render_answers_csv, render_answers_json, QueryProcessor, Strategy,
+    StrategyChoice,
+};
 
 struct Options {
     files: Vec<String>,
@@ -31,6 +37,12 @@ struct Options {
     check: bool,
     repl: bool,
     format: Format,
+    threads: usize,
+}
+
+/// Default worker count: whatever the OS reports, falling back to serial.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -50,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
         check: false,
         repl: false,
         format: Format::Text,
+        threads: default_threads(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +90,13 @@ fn parse_args() -> Result<Options, String> {
                     }
                 };
             }
+            "-t" | "--threads" => {
+                let n = args.next().ok_or("missing argument for --threads")?;
+                opts.threads =
+                    n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got `{n}`")
+                    })?;
+            }
             "--repl" => opts.repl = true,
             "-h" | "--help" => {
                 print!("{}", HELP);
@@ -99,6 +119,8 @@ Usage: sepra [OPTIONS] [FILE...]
 Options:
   -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
   -s, --strategy NAME   separable|magic|magic-sup|counting|hn|seminaive|naive
+  -t, --threads N       worker threads for fixpoint iterations
+                        (default: available parallelism; 1 = serial)
       --stats           print relation-size statistics after each query
       --explain         print the evaluation plan instead of running
       --check           print a separability report for every predicate
@@ -136,24 +158,22 @@ fn run_query(
         }
     };
     match qp.run_query(&query, strategy) {
-        Ok(result) => {
-            match format {
-                Format::Text => {
-                    print!("{}", render_answers(&result.answers, qp.db().interner()));
-                    println!(
-                        "-- {} answers in {:.3?} via {}",
-                        result.answers.len(),
-                        result.elapsed,
-                        result.strategy
-                    );
-                    if stats {
-                        print!("{}", result.stats);
-                    }
+        Ok(result) => match format {
+            Format::Text => {
+                print!("{}", render_answers(&result.answers, qp.db().interner()));
+                println!(
+                    "-- {} answers in {:.3?} via {}",
+                    result.answers.len(),
+                    result.elapsed,
+                    result.strategy
+                );
+                if stats {
+                    print!("{}", result.stats);
                 }
-                Format::Csv => print!("{}", render_answers_csv(&result.answers, qp.db().interner())),
-                Format::Json => print!("{}", render_answers_json(&result.answers, qp.db().interner())),
             }
-        }
+            Format::Csv => print!("{}", render_answers_csv(&result.answers, qp.db().interner())),
+            Format::Json => print!("{}", render_answers_json(&result.answers, qp.db().interner())),
+        },
         Err(e) => eprintln!("error: {e}"),
     }
 }
@@ -167,6 +187,7 @@ fn main() -> ExitCode {
         }
     };
     let mut qp = QueryProcessor::new();
+    qp.set_exec_options(ExecOptions { threads: opts.threads, ..ExecOptions::default() });
     for file in &opts.files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,

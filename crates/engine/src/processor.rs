@@ -2,13 +2,18 @@
 
 use std::time::{Duration, Instant};
 
-use sepra_ast::{parse_program, parse_query, AstError, DependencyGraph, Program, Query, RecursiveDef, Sym};
+use sepra_ast::{
+    parse_program, parse_query, AstError, DependencyGraph, Program, Query, RecursiveDef, Sym,
+};
 use sepra_core::detect::detect;
 use sepra_core::evaluate::SeparableEvaluator;
 use sepra_core::exec::{ExecOptions, ExtraRelations};
 use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
-use sepra_eval::{naive::naive, query_answers, seminaive, EvalError};
-use sepra_rewrite::{counting_evaluate, hn_evaluate, magic_evaluate, magic_evaluate_supplementary, CountingOptions, HnOptions};
+use sepra_eval::{naive::naive, query_answers, seminaive_with_options, EvalError, EvalOptions};
+use sepra_rewrite::{
+    counting_evaluate, hn_evaluate, magic_evaluate_supplementary_with_options,
+    magic_evaluate_with_options, CountingOptions, HnOptions,
+};
 use sepra_storage::{Database, EvalStats, Relation};
 
 /// The evaluation strategies the processor can run.
@@ -176,9 +181,15 @@ impl QueryProcessor {
         &self.program
     }
 
-    /// Overrides executor options (dedup / iteration bound).
+    /// Overrides executor options (dedup / iteration bound / threads).
     pub fn set_exec_options(&mut self, opts: ExecOptions) {
         self.exec_options = opts;
+    }
+
+    /// The [`EvalOptions`] mirroring this processor's executor options, for
+    /// the strategies that run on the semi-naive engine.
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions { threads: self.exec_options.threads }
     }
 
     /// Parses a query in this processor's symbol space.
@@ -227,7 +238,7 @@ impl QueryProcessor {
             return Ok(ExtraRelations::default());
         }
         let sub = Program::new(rules);
-        let derived = seminaive(&sub, &self.db)?;
+        let derived = seminaive_with_options(&sub, &self.db, &self.eval_options())?;
         Ok(derived.relations)
     }
 
@@ -278,7 +289,11 @@ impl QueryProcessor {
         self.run_forced(query, Strategy::SemiNaive)
     }
 
-    fn run_forced(&mut self, query: &Query, strategy: Strategy) -> Result<QueryResult, ProcessorError> {
+    fn run_forced(
+        &mut self,
+        query: &Query,
+        strategy: Strategy,
+    ) -> Result<QueryResult, ProcessorError> {
         match strategy {
             Strategy::Separable => match self.try_separable(query)? {
                 Ok(r) => Ok(r),
@@ -288,7 +303,12 @@ impl QueryProcessor {
             },
             Strategy::MagicSets => {
                 let start = Instant::now();
-                let out = magic_evaluate(&self.program, query, &self.db)?;
+                let out = magic_evaluate_with_options(
+                    &self.program,
+                    query,
+                    &self.db,
+                    &self.eval_options(),
+                )?;
                 Ok(QueryResult {
                     answers: out.answers,
                     strategy: Strategy::MagicSets,
@@ -298,7 +318,12 @@ impl QueryProcessor {
             }
             Strategy::MagicSupplementary => {
                 let start = Instant::now();
-                let out = magic_evaluate_supplementary(&self.program, query, &self.db)?;
+                let out = magic_evaluate_supplementary_with_options(
+                    &self.program,
+                    query,
+                    &self.db,
+                    &self.eval_options(),
+                )?;
                 Ok(QueryResult {
                     answers: out.answers,
                     strategy: Strategy::MagicSupplementary,
@@ -313,7 +338,11 @@ impl QueryProcessor {
                 let sep = detect(&def, self.db.interner_mut())
                     .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
                 let start = Instant::now();
-                let out = counting_evaluate(&sep, query, &self.db, &CountingOptions::default())?;
+                let opts = CountingOptions {
+                    exec: self.exec_options.clone(),
+                    ..CountingOptions::default()
+                };
+                let out = counting_evaluate(&sep, query, &self.db, &opts)?;
                 Ok(QueryResult {
                     answers: out.answers,
                     strategy: Strategy::Counting,
@@ -328,7 +357,8 @@ impl QueryProcessor {
                 let sep = detect(&def, self.db.interner_mut())
                     .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
                 let start = Instant::now();
-                let out = hn_evaluate(&sep, query, &self.db, &HnOptions::default())?;
+                let opts = HnOptions { exec: self.exec_options.clone(), ..HnOptions::default() };
+                let out = hn_evaluate(&sep, query, &self.db, &opts)?;
                 Ok(QueryResult {
                     answers: out.answers,
                     strategy: Strategy::HenschenNaqvi,
@@ -338,7 +368,8 @@ impl QueryProcessor {
             }
             Strategy::SemiNaive => {
                 let start = Instant::now();
-                let derived = seminaive(&self.program, &self.db)?;
+                let derived =
+                    seminaive_with_options(&self.program, &self.db, &self.eval_options())?;
                 let answers = query_answers(query, &self.db, Some(&derived))?;
                 Ok(QueryResult {
                     answers,
@@ -381,7 +412,11 @@ impl QueryProcessor {
         for pred in preds {
             let name = self.db.interner().resolve(pred).to_string();
             if !graph.is_recursive(pred) {
-                let _ = writeln!(out, "{name}: non-recursive ({} rules)", self.program.definition_of(pred).len());
+                let _ = writeln!(
+                    out,
+                    "{name}: non-recursive ({} rules)",
+                    self.program.definition_of(pred).len()
+                );
                 continue;
             }
             match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
@@ -390,11 +425,8 @@ impl QueryProcessor {
                 }
                 Ok(def) => match detect(&def, self.db.interner_mut()) {
                     Ok(sep) => {
-                        let classes: Vec<String> = sep
-                            .classes
-                            .iter()
-                            .map(|c| format!("{:?}", c.columns))
-                            .collect();
+                        let classes: Vec<String> =
+                            sep.classes.iter().map(|c| format!("{:?}", c.columns)).collect();
                         let _ = writeln!(
                             out,
                             "{name}: SEPARABLE — {} recursive rule(s), {} exit rule(s), \
@@ -431,8 +463,8 @@ impl QueryProcessor {
             .map_err(|e| ProcessorError::StrategyUnavailable(e.to_string()))?;
         let extra = self.materialize_support(pred)?;
         let evaluator = SeparableEvaluator::with_options(sep, self.exec_options.clone());
-        let (outcome, justifications) = evaluator
-            .evaluate_with_justifications(&query, &self.db, &extra)?;
+        let (outcome, justifications) =
+            evaluator.evaluate_with_justifications(&query, &self.db, &extra)?;
         let mut lines: Vec<(String, String)> = justifications
             .iter()
             .map(|(t, j)| {
@@ -522,22 +554,18 @@ impl QueryProcessor {
                                 PlanSelection::Class(*class)
                             }
                             SelectionKind::Persistent { bound } => {
-                                let _ = writeln!(
-                                    out,
-                                    "full selection on persistent columns {bound:?}"
-                                );
+                                let _ =
+                                    writeln!(out, "full selection on persistent columns {bound:?}");
                                 let consts = bound
                                     .iter()
-                                    .map(|&c|
-
-                                        match query.atom.terms[c] {
-                                            sepra_ast::Term::Const(k) => Ok((
-                                                c,
-                                                sepra_storage::Value::from_const(k)
-                                                    .map_err(EvalError::from)?,
-                                            )),
-                                            _ => Err(EvalError::Planning("not const".into())),
-                                        })
+                                    .map(|&c| match query.atom.terms[c] {
+                                        sepra_ast::Term::Const(k) => Ok((
+                                            c,
+                                            sepra_storage::Value::from_const(k)
+                                                .map_err(EvalError::from)?,
+                                        )),
+                                        _ => Err(EvalError::Planning("not const".into())),
+                                    })
                                     .collect::<Result<Vec<_>, _>>()?;
                                 PlanSelection::Persistent(consts)
                             }
@@ -649,9 +677,7 @@ mod tests {
     fn forced_separable_fails_gracefully() {
         let mut qp = QueryProcessor::new();
         qp.load("p(X) :- e(X).\ne(a).\n").unwrap();
-        let err = qp
-            .query_with("p(a)?", StrategyChoice::Force(Strategy::Separable))
-            .unwrap_err();
+        let err = qp.query_with("p(a)?", StrategyChoice::Force(Strategy::Separable)).unwrap_err();
         assert!(matches!(err, ProcessorError::StrategyUnavailable(_)));
     }
 

@@ -7,10 +7,7 @@ use sepra_storage::Relation;
 /// lexicographically by rendered text (deterministic output for the CLI and
 /// golden tests).
 pub fn render_answers(answers: &Relation, interner: &Interner) -> String {
-    let mut lines: Vec<String> = answers
-        .iter()
-        .map(|t| t.display(interner).to_string())
-        .collect();
+    let mut lines: Vec<String> = answers.iter().map(|t| t.display(interner).to_string()).collect();
     lines.sort();
     let mut out = String::new();
     for line in &lines {

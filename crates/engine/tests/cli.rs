@@ -107,12 +107,7 @@ fn repl_why_command() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b":why buys(tom, Y)?\n:quit\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b":why buys(tom, Y)?\n:quit\n").unwrap();
     let out = child.wait_with_output().expect("binary exits");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("because"), "{stdout}");

@@ -19,9 +19,8 @@ pub fn query_answers(
 ) -> Result<Relation, EvalError> {
     let pred = query.atom.pred;
     let arity = query.atom.arity();
-    let source: Option<&Relation> = derived
-        .and_then(|d| d.relation(pred))
-        .or_else(|| db.relation(pred));
+    let source: Option<&Relation> =
+        derived.and_then(|d| d.relation(pred)).or_else(|| db.relation(pred));
     let Some(source) = source else {
         return Ok(Relation::new(arity));
     };
@@ -93,11 +92,9 @@ mod tests {
     fn filters_constants() {
         let mut db = Database::new();
         db.load_fact_text("e(a, b). e(a, c). e(b, c).").unwrap();
-        let program = parse_program(
-            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
-            db.interner_mut(),
-        )
-        .unwrap();
+        let program =
+            parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", db.interner_mut())
+                .unwrap();
         let derived = seminaive(&program, &db).unwrap();
         let q = parse_query("t(a, Y)?", db.interner_mut()).unwrap();
         let ans = query_answers(&q, &db, Some(&derived)).unwrap();

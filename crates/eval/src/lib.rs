@@ -12,18 +12,23 @@
 //!   extended hash indexes;
 //! * [`naive`] — naive fixpoint iteration (kept as a baseline and for the
 //!   dedup ablation);
+//! * [`parallel`] — work-sharded parallel expansion of one iteration's
+//!   deltas across OS threads, used by the semi-naive loop below and by the
+//!   Separable closure loops in `sepra-core`;
 //! * [`mod seminaive`](mod@crate::seminaive) — stratified semi-naive evaluation with delta rules;
 //! * [`answers`] — extraction of query answers from an evaluated database.
 
 pub mod answers;
 pub mod error;
 pub mod naive;
+pub mod parallel;
 pub mod plan;
 pub mod seminaive;
 pub mod store;
 
 pub use answers::{filter_by_query, query_answers};
 pub use error::EvalError;
+pub use parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 pub use plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey, Step, TermSpec};
-pub use seminaive::{seminaive, Derived};
-pub use store::{IndexCache, RelStore};
+pub use seminaive::{seminaive, seminaive_with_options, Derived, EvalOptions};
+pub use store::{IndexCache, IndexSource, LayeredIndexes, RelStore};

@@ -22,18 +22,13 @@ pub fn naive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
     for rule in &program.rules {
         let pred = rule.head.pred;
         derived.entry(pred).or_insert_with(|| {
-            db.relation(pred)
-                .cloned()
-                .unwrap_or_else(|| Relation::new(rule.head.arity()))
+            db.relation(pred).cloned().unwrap_or_else(|| Relation::new(rule.head.arity()))
         });
     }
 
     for stratum in graph.strata() {
-        let stratum_idb: Vec<Sym> = stratum
-            .iter()
-            .copied()
-            .filter(|p| derived.contains_key(p))
-            .collect();
+        let stratum_idb: Vec<Sym> =
+            stratum.iter().copied().filter(|p| derived.contains_key(p)).collect();
         if stratum_idb.is_empty() {
             continue;
         }
@@ -130,13 +125,8 @@ mod tests {
 
     #[test]
     fn naive_does_more_redundant_work() {
-        let chain: String = (0..30)
-            .map(|i| format!("e(n{}, n{}). ", i, i + 1))
-            .collect();
-        let (n, s, _) = both(
-            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
-            &chain,
-        );
+        let chain: String = (0..30).map(|i| format!("e(n{}, n{}). ", i, i + 1)).collect();
+        let (n, s, _) = both("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", &chain);
         assert!(
             n.stats.insert_attempts > s.stats.insert_attempts,
             "naive {} vs semi-naive {}",

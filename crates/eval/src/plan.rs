@@ -13,7 +13,7 @@ use sepra_ast::{Literal, Sym, Term};
 use sepra_storage::{tuple::Tuple, Value};
 
 use crate::error::EvalError;
-use crate::store::{IndexCache, RelStore};
+use crate::store::{IndexSource, RelStore};
 
 /// An abstract name for a relation consulted during execution; resolved to a
 /// concrete [`sepra_storage::Relation`] through a [`RelStore`] at run time.
@@ -91,10 +91,9 @@ impl PlanLiteral {
     /// Lifts an AST literal, mapping its predicate through `key_of`.
     pub fn from_literal(lit: &Literal, key_of: &impl Fn(Sym) -> RelKey) -> Self {
         match lit {
-            Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
-                rel: key_of(a.pred),
-                terms: a.terms.clone(),
-            }),
+            Literal::Atom(a) => {
+                PlanLiteral::Atom(PlanAtom { rel: key_of(a.pred), terms: a.terms.clone() })
+            }
             Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
         }
     }
@@ -175,11 +174,13 @@ impl ConjPlan {
     ///
     /// `init` supplies values for the input slots (`init.len()` must equal
     /// [`ConjPlan::n_inputs`]). Indexes for every keyed scan must have been
-    /// prepared via [`IndexCache::prepare`].
-    pub fn execute(
+    /// prepared via [`crate::store::IndexCache::prepare`]; any
+    /// [`IndexSource`] works, so parallel workers can pass layered
+    /// shard-local indexes.
+    pub fn execute<I: IndexSource + ?Sized>(
         &self,
         store: &RelStore<'_>,
-        indexes: &IndexCache,
+        indexes: &I,
         init: &[Value],
         emit: &mut dyn FnMut(&[Value]),
     ) {
@@ -189,10 +190,10 @@ impl ConjPlan {
 
     /// [`ConjPlan::execute`], additionally counting every tuple considered
     /// by a scan or index probe into `scanned` (the join-work metric).
-    pub fn execute_counted(
+    pub fn execute_counted<I: IndexSource + ?Sized>(
         &self,
         store: &RelStore<'_>,
-        indexes: &IndexCache,
+        indexes: &I,
         init: &[Value],
         emit: &mut dyn FnMut(&[Value]),
         scanned: &mut u64,
@@ -201,17 +202,21 @@ impl ConjPlan {
         let mut slots = vec![Value::sym(sepra_ast::Sym(0)); self.n_slots];
         slots[..init.len()].copy_from_slice(init);
         let mut out_row = vec![Value::sym(sepra_ast::Sym(0)); self.output.len()];
-        self.run_step(0, store, indexes, &mut slots, &mut out_row, emit, scanned);
+        // One key buffer shared by every scan step of this execution; each
+        // step rebuilds it, so probing allocates nothing per delta tuple.
+        let mut key_scratch: Vec<Value> = Vec::new();
+        self.run_step(0, store, indexes, &mut slots, &mut out_row, &mut key_scratch, emit, scanned);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_step(
+    fn run_step<I: IndexSource + ?Sized>(
         &self,
         step_idx: usize,
         store: &RelStore<'_>,
-        indexes: &IndexCache,
+        indexes: &I,
         slots: &mut [Value],
         out_row: &mut [Value],
+        key_scratch: &mut Vec<Value>,
         emit: &mut dyn FnMut(&[Value]),
         scanned: &mut u64,
     ) {
@@ -231,7 +236,16 @@ impl ConjPlan {
                     TermSpec::Const(v) => *v,
                     TermSpec::Slot(s) => slots[*s],
                 };
-                self.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+                self.run_step(
+                    step_idx + 1,
+                    store,
+                    indexes,
+                    slots,
+                    out_row,
+                    key_scratch,
+                    emit,
+                    scanned,
+                );
             }
             Step::EqCheck { a, b } => {
                 let va = match a {
@@ -243,17 +257,29 @@ impl ConjPlan {
                     TermSpec::Slot(s) => slots[*s],
                 };
                 if va == vb {
-                    self.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+                    self.run_step(
+                        step_idx + 1,
+                        store,
+                        indexes,
+                        slots,
+                        out_row,
+                        key_scratch,
+                        emit,
+                        scanned,
+                    );
                 }
             }
             Step::Scan { rel, cols, key_cols, bound_before } => {
                 let Some(relation) = store.get(*rel) else {
                     return; // absent relation: no tuples
                 };
-                // Assemble the index key.
-                let mut key: Vec<Value> = Vec::with_capacity(key_cols.len());
+                // Assemble the index key in the shared scratch buffer.
+                // Deeper scan steps clobber it, which is fine: the indexed
+                // path only needs the key for the initial lookup, and the
+                // fallback path takes a private copy.
+                key_scratch.clear();
                 for &c in key_cols {
-                    key.push(match &cols[c] {
+                    key_scratch.push(match &cols[c] {
                         TermSpec::Const(v) => *v,
                         TermSpec::Slot(s) => slots[*s],
                     });
@@ -263,6 +289,7 @@ impl ConjPlan {
                                     slots: &mut [Value],
                                     newly: &mut Vec<usize>,
                                     this: &ConjPlan,
+                                    key_scratch: &mut Vec<Value>,
                                     emit: &mut dyn FnMut(&[Value]),
                                     scanned: &mut u64| {
                     *scanned += 1;
@@ -290,22 +317,36 @@ impl ConjPlan {
                         }
                     }
                     if ok {
-                        this.run_step(step_idx + 1, store, indexes, slots, out_row, emit, scanned);
+                        this.run_step(
+                            step_idx + 1,
+                            store,
+                            indexes,
+                            slots,
+                            out_row,
+                            key_scratch,
+                            emit,
+                            scanned,
+                        );
                     }
                 };
                 if key_cols.is_empty() {
                     for tuple in relation.iter() {
-                        consider(tuple, slots, &mut newly, self, emit, scanned);
+                        consider(tuple, slots, &mut newly, self, key_scratch, emit, scanned);
                     }
-                } else if let Some(index) = indexes.get(*rel, key_cols) {
-                    for tuple in index.probe(relation, &key) {
-                        consider(tuple, slots, &mut newly, self, emit, scanned);
+                } else if let Some(index) = indexes.get_index(*rel, key_cols) {
+                    // `lookup` returns positions borrowed from the index,
+                    // not from the key, so the scratch buffer is free for
+                    // reuse by deeper steps during iteration.
+                    for &pos in index.lookup(key_scratch) {
+                        let tuple = relation.get(pos as usize).expect("index within relation");
+                        consider(tuple, slots, &mut newly, self, key_scratch, emit, scanned);
                     }
                 } else {
                     // Fallback: filter a full scan (index not prepared).
+                    let key: Vec<Value> = key_scratch.clone();
                     for tuple in relation.iter() {
                         if key_cols.iter().zip(&key).all(|(&c, v)| &tuple[c] == v) {
-                            consider(tuple, slots, &mut newly, self, emit, scanned);
+                            consider(tuple, slots, &mut newly, self, key_scratch, emit, scanned);
                         }
                     }
                 }
@@ -322,6 +363,16 @@ impl ConjPlan {
             }
             _ => None,
         })
+    }
+
+    /// Number of `Scan` steps consulting `rel`.
+    ///
+    /// Parallel rounds shard a plan over a relation only when the plan scans
+    /// it exactly once: with one occurrence, partitioning the relation
+    /// partitions the plan's result rows, whereas a self-join of the sharded
+    /// relation would lose the cross-shard pairs.
+    pub fn scans_of(&self, rel: RelKey) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Scan { rel: r, .. } if *r == rel)).count()
     }
 }
 
@@ -418,9 +469,7 @@ impl Builder {
         };
         for &v in inputs {
             if b.var_names.contains(&v) {
-                return Err(EvalError::Planning(format!(
-                    "duplicate input variable slot for {v}"
-                )));
+                return Err(EvalError::Planning(format!("duplicate input variable slot for {v}")));
             }
             b.var_names.push(v);
             b.bound.push(true);
@@ -445,11 +494,8 @@ impl Builder {
     }
 
     fn push_scan(&mut self, atom: &PlanAtom) -> Result<(), EvalError> {
-        let cols: Vec<TermSpec> = atom
-            .terms
-            .iter()
-            .map(|t| self.term_spec(t))
-            .collect::<Result<_, _>>()?;
+        let cols: Vec<TermSpec> =
+            atom.terms.iter().map(|t| self.term_spec(t)).collect::<Result<_, _>>()?;
         let bound_before = self.bound.clone();
         let mut key_cols = Vec::new();
         for (c, spec) in cols.iter().enumerate() {
@@ -541,6 +587,7 @@ impl Builder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::IndexCache;
     use sepra_ast::{parse_program, Interner};
     use sepra_storage::{Database, Relation};
 
@@ -549,11 +596,8 @@ mod tests {
     fn compile_first_rule(src: &str, i: &mut Interner) -> (ConjPlan, sepra_ast::Rule) {
         let p = parse_program(src, i).unwrap();
         let rule = p.rules[0].clone();
-        let body: Vec<PlanLiteral> = rule
-            .body
-            .iter()
-            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
-            .collect();
+        let body: Vec<PlanLiteral> =
+            rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
         let plan = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
         (plan, rule)
     }
@@ -637,11 +681,8 @@ mod tests {
         let p = parse_program("t(X, Y) :- e(X, Y).", &mut i).unwrap();
         let rule = &p.rules[0];
         let x = i.intern("X");
-        let body: Vec<PlanLiteral> = rule
-            .body
-            .iter()
-            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
-            .collect();
+        let body: Vec<PlanLiteral> =
+            rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
         let plan = ConjPlan::compile(&[x], &body, &rule.head.terms).unwrap();
         assert_eq!(plan.n_inputs, 1);
         let a = i.intern("a");
@@ -658,11 +699,8 @@ mod tests {
         let mut i = db.interner().clone();
         let p = parse_program("t(X, marker) :- e(X, _w).", &mut i).unwrap();
         let rule = &p.rules[0];
-        let body: Vec<PlanLiteral> = rule
-            .body
-            .iter()
-            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
-            .collect();
+        let body: Vec<PlanLiteral> =
+            rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
         let plan = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
         let rows = run_collect(&plan, &db, &[]);
         let marker = i.intern("marker");
@@ -675,11 +713,8 @@ mod tests {
         let p = parse_program("t(X) :- e(X, Y).", &mut i).unwrap();
         let rule = &p.rules[0];
         let z = i.intern("Z");
-        let body: Vec<PlanLiteral> = rule
-            .body
-            .iter()
-            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
-            .collect();
+        let body: Vec<PlanLiteral> =
+            rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
         let err = ConjPlan::compile(&[], &body, &[Term::Var(z)]).unwrap_err();
         assert!(matches!(err, EvalError::Planning(_)));
     }
@@ -734,11 +769,8 @@ mod tests {
         let mut i = db.interner().clone();
         let p = parse_program("t(Y) :- big(W, Z), probe(a, W), q(Z, Y).\n", &mut i).unwrap();
         let rule = &p.rules[0];
-        let body: Vec<PlanLiteral> = rule
-            .body
-            .iter()
-            .map(|l| PlanLiteral::from_literal(l, &RelKey::Pred))
-            .collect();
+        let body: Vec<PlanLiteral> =
+            rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
         let source_order = ConjPlan::compile(&[], &body, &rule.head.terms).unwrap();
         let reordered = ConjPlan::compile_reordered(&[], &body, &rule.head.terms).unwrap();
         let run = |plan: &ConjPlan| -> (usize, u64) {
@@ -762,9 +794,7 @@ mod tests {
             "reordered {scanned_b} should scan fewer rows than source order {scanned_a}"
         );
         // The reordered plan's first scan is the constant-keyed probe.
-        let Step::Scan { rel, .. } = &reordered.steps[0] else {
-            panic!("first step is a scan")
-        };
+        let Step::Scan { rel, .. } = &reordered.steps[0] else { panic!("first step is a scan") };
         let probe = i.intern("probe");
         assert_eq!(*rel, RelKey::Pred(probe));
     }
@@ -773,10 +803,8 @@ mod tests {
     fn aux_relations_resolve_through_store() {
         let mut i = Interner::new();
         let x = i.intern("X");
-        let body = vec![PlanLiteral::Atom(PlanAtom {
-            rel: RelKey::Aux(7),
-            terms: vec![Term::Var(x)],
-        })];
+        let body =
+            vec![PlanLiteral::Atom(PlanAtom { rel: RelKey::Aux(7), terms: vec![Term::Var(x)] })];
         let plan = ConjPlan::compile(&[], &body, &[Term::Var(x)]).unwrap();
         let mut carry = Relation::new(1);
         let v = Value::sym(i.intern("seed"));

@@ -11,8 +11,25 @@ use sepra_ast::{DependencyGraph, Literal, Program, Rule, Sym};
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
 use crate::error::EvalError;
+use crate::parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
 use crate::store::{IndexCache, RelStore};
+
+/// Tuning knobs for the semi-naive engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Number of worker threads used to expand each iteration's deltas.
+    /// `1` (the default) runs the exact serial algorithm; higher values
+    /// shard every delta across that many workers at each iteration
+    /// barrier. Answer sets are identical either way.
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { threads: 1 }
+    }
+}
 
 /// The result of a bottom-up evaluation: one relation per IDB predicate,
 /// plus the cost statistics the paper compares algorithms by.
@@ -49,8 +66,17 @@ impl Derived {
 /// assert_eq!(derived.relation(t).unwrap().len(), 3); // ab, bc, ac
 /// ```
 pub fn seminaive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
+    seminaive_with_options(program, db, &EvalOptions::default())
+}
+
+/// [`seminaive`] with explicit [`EvalOptions`] (notably the thread count).
+pub fn seminaive_with_options(
+    program: &Program,
+    db: &Database,
+    options: &EvalOptions,
+) -> Result<Derived, EvalError> {
     let mut stats = EvalStats::new();
-    let relations = run(program, db, &mut stats)?;
+    let relations = run(program, db, options, &mut stats)?;
     // Record final sizes under the predicates' display names.
     for (&pred, rel) in &relations {
         stats.record_size(db.interner().resolve(pred), rel.len());
@@ -61,14 +87,24 @@ pub fn seminaive(program: &Program, db: &Database) -> Result<Derived, EvalError>
 /// One compiled delta-rule variant.
 struct Variant {
     head: Sym,
+    /// The predicate whose delta this variant reads (`None` for base rules).
+    delta: Option<Sym>,
     plan: ConjPlan,
+    /// Delta-first reordering of `plan`, used by the parallel path: with
+    /// the delta atom as the outermost scan, sharding the delta partitions
+    /// the whole join's work, whereas sharding an inner delta scan would
+    /// leave every worker repeating the full outer scan. `None` for base
+    /// rules.
+    par_plan: Option<ConjPlan>,
 }
 
 fn run(
     program: &Program,
     db: &Database,
+    options: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<FxHashMap<Sym, Relation>, EvalError> {
+    let threads = options.threads.max(1);
     let graph = DependencyGraph::build(program);
     // Arity of every predicate (head first, then body, then EDB).
     let mut arity: FxHashMap<Sym, usize> = FxHashMap::default();
@@ -87,26 +123,18 @@ fn run(
         derived.entry(pred).or_insert_with(|| {
             // If the program derives into a predicate that also has EDB
             // facts, start from those facts.
-            db.relation(pred)
-                .cloned()
-                .unwrap_or_else(|| Relation::new(arity[&pred]))
+            db.relation(pred).cloned().unwrap_or_else(|| Relation::new(arity[&pred]))
         });
     }
 
     for stratum in graph.strata() {
-        let stratum_idb: Vec<Sym> = stratum
-            .iter()
-            .copied()
-            .filter(|p| derived.contains_key(p))
-            .collect();
+        let stratum_idb: Vec<Sym> =
+            stratum.iter().copied().filter(|p| derived.contains_key(p)).collect();
         if stratum_idb.is_empty() {
             continue;
         }
-        let rules: Vec<&Rule> = program
-            .rules
-            .iter()
-            .filter(|r| stratum_idb.contains(&r.head.pred))
-            .collect();
+        let rules: Vec<&Rule> =
+            program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)).collect();
 
         let mut base_plans: Vec<Variant> = Vec::new();
         let mut rec_plans: Vec<Variant> = Vec::new();
@@ -156,10 +184,8 @@ fn run(
         }
 
         // Initial deltas = everything known so far for the stratum.
-        let mut delta: FxHashMap<Sym, Relation> = stratum_idb
-            .iter()
-            .map(|&p| (p, derived[&p].clone()))
-            .collect();
+        let mut delta: FxHashMap<Sym, Relation> =
+            stratum_idb.iter().map(|&p| (p, derived[&p].clone())).collect();
 
         if rec_plans.is_empty() {
             continue;
@@ -171,18 +197,64 @@ fn run(
             {
                 let store = build_store(db, &derived, &delta);
                 let mut scanned = 0u64;
-                for variant in &rec_plans {
-                    indexes.prepare(&variant.plan, &store);
-                    let buf = buffers.entry(variant.head).or_default();
-                    variant.plan.execute_counted(
-                        &store,
-                        &indexes,
-                        &[],
-                        &mut |row| {
-                            buf.push(Tuple::new(row.to_vec()));
-                        },
-                        &mut scanned,
-                    );
+                if threads == 1 {
+                    for variant in &rec_plans {
+                        indexes.prepare(&variant.plan, &store);
+                        let buf = buffers.entry(variant.head).or_default();
+                        variant.plan.execute_counted(
+                            &store,
+                            &indexes,
+                            &[],
+                            &mut |row| {
+                                buf.push(Tuple::new(row.to_vec()));
+                            },
+                            &mut scanned,
+                        );
+                    }
+                } else {
+                    // Shared cache: every keyed scan of the delta-first
+                    // plans except deltas themselves, which each worker
+                    // indexes over its own shard (usually not even that —
+                    // the rotated plans full-scan the delta keylessly).
+                    for variant in &rec_plans {
+                        let plan = variant.par_plan.as_ref().unwrap_or(&variant.plan);
+                        indexes.prepare_where(plan, &store, |k| !matches!(k, RelKey::Delta(_)));
+                    }
+                    // One sharded round per delta predicate, in stable
+                    // stratum order; variant and worker order fix the merge
+                    // order, so results are deterministic for a given
+                    // thread count.
+                    for &p in &stratum_idb {
+                        let group: Vec<usize> = rec_plans
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, v)| v.delta == Some(p))
+                            .map(|(i, _)| i)
+                            .collect();
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let plans: Vec<&ConjPlan> = group
+                            .iter()
+                            .map(|&i| rec_plans[i].par_plan.as_ref().unwrap_or(&rec_plans[i].plan))
+                            .collect();
+                        let merged = sharded_delta_round(
+                            &plans,
+                            RelKey::Delta(p),
+                            &store,
+                            &indexes,
+                            threads,
+                            MIN_SHARD_TUPLES,
+                            &[],
+                            &mut scanned,
+                        );
+                        for (gi, worker_bufs) in merged.into_iter().enumerate() {
+                            let buf = buffers.entry(rec_plans[group[gi]].head).or_default();
+                            for wb in worker_bufs {
+                                buf.extend(wb);
+                            }
+                        }
+                    }
                 }
                 stats.record_scanned(scanned as usize);
             }
@@ -203,6 +275,7 @@ fn run(
 /// Compiles one rule with body-atom occurrence `delta_occ` (a body index)
 /// reading the delta relation instead of the full one.
 fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, EvalError> {
+    let mut delta = None;
     let body: Vec<PlanLiteral> = rule
         .body
         .iter()
@@ -210,6 +283,7 @@ fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, Eva
         .map(|(i, lit)| match lit {
             Literal::Atom(a) => {
                 let key = if Some(i) == delta_occ {
+                    delta = Some(a.pred);
                     RelKey::Delta(a.pred)
                 } else {
                     RelKey::Pred(a.pred)
@@ -220,7 +294,19 @@ fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, Eva
         })
         .collect();
     let plan = ConjPlan::compile(&[], &body, &rule.head.terms)?;
-    Ok(Variant { head: rule.head.pred, plan })
+    // Parallel variant: rotate the delta occurrence to the front. Every
+    // other literal keeps its relative order, so the set of variables
+    // bound at each literal only grows and compilation cannot newly fail.
+    let par_plan = delta_occ
+        .map(|occ| {
+            let mut rotated = Vec::with_capacity(body.len());
+            rotated.push(body[occ].clone());
+            rotated
+                .extend(body.iter().enumerate().filter(|&(i, _)| i != occ).map(|(_, l)| l.clone()));
+            ConjPlan::compile(&[], &rotated, &rule.head.terms)
+        })
+        .transpose()?;
+    Ok(Variant { head: rule.head.pred, delta, plan, par_plan })
 }
 
 fn build_store<'a>(
@@ -256,9 +342,7 @@ fn merge_buffers(
             stats.record_insert(was_new);
             if was_new {
                 if let Some(nd) = new_delta.as_deref_mut() {
-                    nd.entry(pred)
-                        .or_insert_with(|| Relation::new(arity))
-                        .insert(t);
+                    nd.entry(pred).or_insert_with(|| Relation::new(arity)).insert(t);
                 }
             }
         }
@@ -325,10 +409,7 @@ mod tests {
 
     #[test]
     fn program_facts_seed_idb() {
-        let (d, mut db) = eval(
-            "t(X, Y) :- e(X, W), t(W, Y).\nt(seed, goal).\n",
-            "e(a, seed).",
-        );
+        let (d, mut db) = eval("t(X, Y) :- e(X, W), t(W, Y).\nt(seed, goal).\n", "e(a, seed).");
         let t = db.intern("t");
         assert_eq!(d.relation(t).unwrap().len(), 2); // (seed,goal), (a,goal)
     }
@@ -370,13 +451,46 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let (d, _) = eval(
-            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
-            "e(a, b). e(b, c).",
-        );
+        let (d, _) =
+            eval("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", "e(a, b). e(b, c).");
         assert!(d.stats.iterations >= 2);
         assert!(d.stats.tuples_inserted >= 3);
         assert_eq!(d.stats.relation_sizes["t"], 3);
+    }
+
+    #[test]
+    fn parallel_threads_match_serial_answers() {
+        let src = "t(X, Y) :- e(X, Y).\n\
+                   t(X, Y) :- e(X, W), t(W, Y).\n\
+                   pair(X, Y) :- t(X, Y), t(Y, X).\n";
+        let facts = "e(a, b). e(b, c). e(c, a). e(c, d). e(d, e). e(e, f).";
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(src, db.interner_mut()).unwrap();
+        let serial = seminaive(&program, &db).unwrap();
+        for threads in [2, 4, 8] {
+            let par = seminaive_with_options(&program, &db, &EvalOptions { threads }).unwrap();
+            for (pred, rel) in &serial.relations {
+                assert_eq!(par.relations.get(pred), Some(rel), "threads={threads} diverged");
+            }
+            assert_eq!(par.relations.len(), serial.relations.len());
+        }
+    }
+
+    #[test]
+    fn parallel_nonlinear_recursion_matches_serial() {
+        // Non-linear rules make delta self-joins, exercising the serial
+        // fallback inside the parallel round.
+        let src = "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y).\n";
+        let facts = "e(a, b). e(b, c). e(c, d). e(d, e). e(e, f). e(f, g).";
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(src, db.interner_mut()).unwrap();
+        let serial = seminaive(&program, &db).unwrap();
+        let par = seminaive_with_options(&program, &db, &EvalOptions { threads: 3 }).unwrap();
+        let t = db.intern("t");
+        assert_eq!(par.relations[&t], serial.relations[&t]);
+        assert_eq!(serial.relations[&t].len(), 6 + 5 + 4 + 3 + 2 + 1);
     }
 
     #[test]

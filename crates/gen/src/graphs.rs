@@ -28,7 +28,13 @@ pub fn add_cycle(db: &mut Database, pred: &str, prefix: &str, n: usize) {
 
 /// Adds a complete `branching`-ary tree of the given `depth`, edges pointing
 /// from parent to child. Node 0 is the root. Returns the number of nodes.
-pub fn add_tree(db: &mut Database, pred: &str, prefix: &str, branching: usize, depth: usize) -> usize {
+pub fn add_tree(
+    db: &mut Database,
+    pred: &str,
+    prefix: &str,
+    branching: usize,
+    depth: usize,
+) -> usize {
     assert!(branching >= 1);
     let mut next = 1usize;
     let mut frontier = vec![0usize];

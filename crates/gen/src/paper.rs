@@ -33,20 +33,13 @@ pub fn magic_worst_buys(n: usize) -> Instance {
     // a0 is tom.
     db.insert_named("friend", &["tom", "a1"]).expect("fact");
     for i in 1..n {
-        db.insert_named("friend", &[&format!("a{i}"), &format!("a{}", i + 1)])
-            .expect("fact");
+        db.insert_named("friend", &[&format!("a{i}"), &format!("a{}", i + 1)]).expect("fact");
     }
     for j in 1..n {
-        db.insert_named("cheaper", &[&format!("b{j}"), &format!("b{}", j + 1)])
-            .expect("fact");
+        db.insert_named("cheaper", &[&format!("b{j}"), &format!("b{}", j + 1)]).expect("fact");
     }
-    db.insert_named("perfectFor", &[&format!("a{n}"), &format!("b{n}")])
-        .expect("fact");
-    Instance {
-        program: buys_two_class().to_string(),
-        query: "buys(tom, Y)?".to_string(),
-        db,
-    }
+    db.insert_named("perfectFor", &[&format!("a{n}"), &format!("b{n}")]).expect("fact");
+    Instance { program: buys_two_class().to_string(), query: "buys(tom, Y)?".to_string(), db }
 }
 
 /// Section 4's Counting worst case on Example 1.1: `friend` and `idol` both
@@ -66,13 +59,8 @@ pub fn counting_worst_buys(n: usize) -> Instance {
         db.insert_named("friend", &[&from, &to]).expect("fact");
         db.insert_named("idol", &[&from, &to]).expect("fact");
     }
-    db.insert_named("perfectFor", &[&format!("a{n}"), "widget"])
-        .expect("fact");
-    Instance {
-        program: buys_one_class().to_string(),
-        query: "buys(tom, Y)?".to_string(),
-        db,
-    }
+    db.insert_named("perfectFor", &[&format!("a{n}"), "widget"]).expect("fact");
+    Instance { program: buys_one_class().to_string(), query: "buys(tom, Y)?".to_string(), db }
 }
 
 /// Lemma 4.2's witness in `S_p^k`: `a_1` is the chain `c1 -> ... -> cn`,
@@ -101,11 +89,8 @@ pub fn spk_magic_witness(k: usize, p: usize, n: usize) -> Instance {
         db.insert_named("t0", &refs).expect("fact");
     }
     let free_vars: Vec<String> = (2..=k).map(|i| format!("Y{i}")).collect();
-    let query = if k > 1 {
-        format!("t(c0, {})?", free_vars.join(", "))
-    } else {
-        "t(c0)?".to_string()
-    };
+    let query =
+        if k > 1 { format!("t(c0, {})?", free_vars.join(", ")) } else { "t(c0)?".to_string() };
     Instance { program: spk_program(k, p), query, db }
 }
 
@@ -125,11 +110,8 @@ pub fn spk_counting_witness(k: usize, p: usize, n: usize) -> Instance {
     let refs: Vec<&str> = t0.iter().map(String::as_str).collect();
     db.insert_named("t0", &refs).expect("fact");
     let free_vars: Vec<String> = (2..=k).map(|i| format!("Y{i}")).collect();
-    let query = if k > 1 {
-        format!("t(c0, {})?", free_vars.join(", "))
-    } else {
-        "t(c0)?".to_string()
-    };
+    let query =
+        if k > 1 { format!("t(c0, {})?", free_vars.join(", ")) } else { "t(c0)?".to_string() };
     Instance { program: spk_program(k, p), query, db }
 }
 

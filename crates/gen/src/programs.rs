@@ -38,11 +38,7 @@ pub fn spk_program(k: usize, p: usize) -> String {
     assert!(k >= 1 && p >= 1);
     let head_vars: Vec<String> = (1..=k).map(|i| format!("X{i}")).collect();
     let head = head_vars.join(", ");
-    let tail = if k > 1 {
-        format!(", {}", head_vars[1..].join(", "))
-    } else {
-        String::new()
-    };
+    let tail = if k > 1 { format!(", {}", head_vars[1..].join(", ")) } else { String::new() };
     let mut out = String::new();
     for i in 1..=p {
         let _ = writeln!(out, "t({head}) :- a{i}(X1, W), t(W{tail}).");
@@ -59,11 +55,7 @@ pub fn wide_program(r: usize, k: usize, l: usize) -> String {
     assert!(r >= 1 && k >= 1 && l >= 1);
     let head_vars: Vec<String> = (1..=k).map(|i| format!("X{i}")).collect();
     let head = head_vars.join(", ");
-    let tail = if k > 1 {
-        format!(", {}", head_vars[1..].join(", "))
-    } else {
-        String::new()
-    };
+    let tail = if k > 1 { format!(", {}", head_vars[1..].join(", ")) } else { String::new() };
     let mut out = String::new();
     for i in 1..=r {
         let mut body = String::new();

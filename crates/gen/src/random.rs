@@ -114,22 +114,12 @@ fn random_scenario_inner(seed: u64, acyclic: bool) -> RandomScenario {
                 };
                 let pred = format!("b{ci}_{ri}_{step}");
                 base_preds.push((pred.clone(), cols.len() * 2));
-                body.push_str(&format!(
-                    "{pred}({}, {}), ",
-                    current.join(", "),
-                    next.join(", ")
-                ));
+                body.push_str(&format!("{pred}({}, {}), ", current.join(", "), next.join(", ")));
                 current = next;
             }
             // Recursive atom: class columns replaced by body vars.
             let rec_args: Vec<String> = (0..arity)
-                .map(|c| {
-                    if cols.contains(&c) {
-                        format!("W{c}")
-                    } else {
-                        head_vars[c].clone()
-                    }
-                })
+                .map(|c| if cols.contains(&c) { format!("W{c}") } else { head_vars[c].clone() })
                 .collect();
             program.push_str(&format!(
                 "t({}) :- {}t({}).\n",
@@ -139,11 +129,7 @@ fn random_scenario_inner(seed: u64, acyclic: bool) -> RandomScenario {
             ));
         }
     }
-    program.push_str(&format!(
-        "t({}) :- t0({}).\n",
-        head_vars.join(", "),
-        head_vars.join(", ")
-    ));
+    program.push_str(&format!("t({}) :- t0({}).\n", head_vars.join(", "), head_vars.join(", ")));
 
     // Database: small constant pool, random tuples. In acyclic mode every
     // base tuple's second half strictly dominates its first half in the
@@ -208,10 +194,8 @@ mod tests {
     fn scenarios_parse_and_have_selections() {
         for seed in 0..50 {
             let mut scenario = random_separable_scenario(seed);
-            let program =
-                parse_program(&scenario.program, scenario.db.interner_mut()).unwrap_or_else(|e| {
-                    panic!("seed {seed}: {e}\n{}", scenario.program)
-                });
+            let program = parse_program(&scenario.program, scenario.db.interner_mut())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", scenario.program));
             assert!(program.rules.len() >= 2, "seed {seed}");
             let query =
                 sepra_ast::parse_query(&scenario.query, scenario.db.interner_mut()).unwrap();

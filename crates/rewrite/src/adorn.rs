@@ -122,13 +122,8 @@ pub fn adorn_program(
             }
             let head_pred = adorned_name(pred, &adornment, interner);
             out_rules.push(Rule::new(Atom::new(head_pred, rule.head.terms.clone()), new_body));
-            bound_head_positions.push(
-                adornment
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &b)| b.then_some(i))
-                    .collect(),
-            );
+            bound_head_positions
+                .push(adornment.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect());
         }
     }
 
@@ -152,22 +147,15 @@ mod tests {
         let mut i = Interner::new();
         let program = parse_program(src, &mut i).unwrap();
         let query = parse_query(query_src, &mut i).unwrap();
-        let idb: Vec<Sym> = program
-            .rules
-            .iter()
-            .filter(|r| !r.is_fact())
-            .map(|r| r.head.pred)
-            .collect();
+        let idb: Vec<Sym> =
+            program.rules.iter().filter(|r| !r.is_fact()).map(|r| r.head.pred).collect();
         let adorned = adorn_program(&program, &query, &mut i, &|p| idb.contains(&p));
         (adorned, i)
     }
 
     #[test]
     fn transitive_closure_bf() {
-        let (ad, i) = adorn(
-            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
-            "t(a, Y)?",
-        );
+        let (ad, i) = adorn("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", "t(a, Y)?");
         assert_eq!(i.resolve(ad.query_pred), "t@bf");
         assert_eq!(ad.program.rules.len(), 2);
         let rendered = pretty::program_to_string(&ad.program, &i);
@@ -180,10 +168,7 @@ mod tests {
     fn right_linear_produces_fb_via_persistence() {
         // t(X, Y) :- t(X, W), c(Y, W): with t(X, b)? the head binds Y;
         // walking left to right, the recursive t(X, W) sees X free, W free.
-        let (ad, i) = adorn(
-            "t(X, Y) :- t(X, W), c(Y, W).\nt(X, Y) :- p(X, Y).\n",
-            "t(X, b)?",
-        );
+        let (ad, i) = adorn("t(X, Y) :- t(X, W), c(Y, W).\nt(X, Y) :- p(X, Y).\n", "t(X, b)?");
         assert_eq!(i.resolve(ad.query_pred), "t@fb");
         let rendered = pretty::program_to_string(&ad.program, &i);
         assert!(rendered.contains("t@ff"), "{rendered}");
@@ -204,20 +189,15 @@ mod tests {
 
     #[test]
     fn eq_literals_propagate_bindings() {
-        let (ad, i) = adorn(
-            "t(X, Y) :- q(X, W), Y2 = W, t(Y2, Y).\nt(X, Y) :- p(X, Y).\n",
-            "t(a, Y)?",
-        );
+        let (ad, i) =
+            adorn("t(X, Y) :- q(X, W), Y2 = W, t(Y2, Y).\nt(X, Y) :- p(X, Y).\n", "t(a, Y)?");
         let rendered = pretty::program_to_string(&ad.program, &i);
         assert!(rendered.contains("t@bf(Y2, Y)"), "{rendered}");
     }
 
     #[test]
     fn bound_head_positions_follow_adornment() {
-        let (ad, _) = adorn(
-            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n",
-            "t(a, Y)?",
-        );
+        let (ad, _) = adorn("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", "t(a, Y)?");
         for positions in &ad.bound_head_positions {
             assert_eq!(positions, &vec![0]);
         }

@@ -83,9 +83,7 @@ pub fn counting_evaluate(
     let n_rules = phase1.steps.len();
     let base = (n_rules as i64) + 1;
 
-    let max_depth = opts
-        .max_depth
-        .unwrap_or_else(|| db.distinct_constant_count().max(1));
+    let max_depth = opts.max_depth.unwrap_or_else(|| db.distinct_constant_count().max(1));
 
     let mut stats = EvalStats::new();
     let extra = ExtraRelations::default();
@@ -193,15 +191,12 @@ pub fn counting_evaluate(
         seen1.insert(Tuple::new(t.values()[2..].to_vec()));
     }
     stats.record_size("seen_1", seen1.len());
-    let seen2 = run_seed_and_phase2(&plan, db, &extra, Some(&seen1), &mut indexes, &opts.exec, &mut stats)?;
+    let seen2 =
+        run_seed_and_phase2(&plan, db, &extra, Some(&seen1), &mut indexes, &opts.exec, &mut stats)?;
 
     // Assemble answers exactly like the Separable evaluator.
-    let fixed: Vec<(usize, Value)> = phase1
-        .columns
-        .iter()
-        .zip(&seed_vals)
-        .map(|(&c, &v)| (c, v))
-        .collect();
+    let fixed: Vec<(usize, Value)> =
+        phase1.columns.iter().zip(&seed_vals).map(|(&c, &v)| (c, v)).collect();
     let mut full = Relation::new(sep.arity);
     for row in seen2.iter() {
         let mut values = vec![Value::int(0).expect("zero fits"); sep.arity];
@@ -323,10 +318,7 @@ mod tests {
         let (sep, query, db, _) = setup(tc, facts, "t", "t(a, Y)?");
         let opts = CountingOptions { max_depth: Some(200), ..Default::default() };
         let err = counting_evaluate(&sep, &query, &db, &opts).unwrap_err();
-        assert!(
-            matches!(err, EvalError::Value(_)),
-            "expected overflow, got {err}"
-        );
+        assert!(matches!(err, EvalError::Value(_)), "expected overflow, got {err}");
     }
 
     #[test]

@@ -63,9 +63,7 @@ pub fn hn_evaluate(
     let plan = build_plan(sep, &PlanSelection::Class(class))?;
     let phase1 = plan.phase1.as_ref().expect("class plan has phase 1");
     let width = phase1.columns.len();
-    let max_depth = opts
-        .max_depth
-        .unwrap_or_else(|| db.distinct_constant_count().max(1));
+    let max_depth = opts.max_depth.unwrap_or_else(|| db.distinct_constant_count().max(1));
 
     let mut stats = EvalStats::new();
     let extra = ExtraRelations::default();
@@ -136,8 +134,15 @@ pub fn hn_evaluate(
 
     // Answer phase: shared exit join + upward closure over `reached`.
     stats.record_size("seen_1", reached.len());
-    let seen2 =
-        run_seed_and_phase2(&plan, db, &extra, Some(&reached), &mut indexes, &opts.exec, &mut stats)?;
+    let seen2 = run_seed_and_phase2(
+        &plan,
+        db,
+        &extra,
+        Some(&reached),
+        &mut indexes,
+        &opts.exec,
+        &mut stats,
+    )?;
 
     let fixed: Vec<(usize, Value)> = phase1
         .columns

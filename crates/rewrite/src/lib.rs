@@ -26,5 +26,5 @@ pub mod magic_sup;
 pub use adorn::{adorn_program, AdornedProgram};
 pub use counting::{counting_evaluate, CountingOptions, CountingOutcome};
 pub use hn::{hn_evaluate, HnOptions, HnOutcome};
-pub use magic::{magic_evaluate, MagicOutcome};
-pub use magic_sup::magic_evaluate_supplementary;
+pub use magic::{magic_evaluate, magic_evaluate_with_options, MagicOutcome};
+pub use magic_sup::{magic_evaluate_supplementary, magic_evaluate_supplementary_with_options};

@@ -19,7 +19,7 @@
 //! below.
 
 use sepra_ast::{Atom, Interner, Literal, Program, Query, Rule, Sym, Term};
-use sepra_eval::{query_answers, seminaive, Derived, EvalError};
+use sepra_eval::{query_answers, seminaive_with_options, Derived, EvalError, EvalOptions};
 use sepra_storage::{Database, EvalStats, Relation};
 
 use crate::adorn::{adorn_program, adorned_name, Adornment};
@@ -71,6 +71,17 @@ pub fn magic_evaluate(
     query: &Query,
     db: &Database,
 ) -> Result<MagicOutcome, EvalError> {
+    magic_evaluate_with_options(program, query, db, &EvalOptions::default())
+}
+
+/// [`magic_evaluate`] with explicit [`EvalOptions`] for the semi-naive
+/// engine evaluating the rewritten program (notably the thread count).
+pub fn magic_evaluate_with_options(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    eval: &EvalOptions,
+) -> Result<MagicOutcome, EvalError> {
     if !query.has_selection() {
         return Err(EvalError::Unsupported(
             "magic sets needs at least one bound argument; evaluate bottom-up instead".into(),
@@ -109,9 +120,8 @@ pub fn magic_evaluate(
             }
             // Remove original facts by replacing the relation with empty.
             *db.relation_mut(pred, arity) = Relation::new(arity);
-            let vars: Vec<Term> = (0..arity)
-                .map(|i| Term::Var(db.interner_mut().intern(&format!("B{i}"))))
-                .collect();
+            let vars: Vec<Term> =
+                (0..arity).map(|i| Term::Var(db.interner_mut().intern(&format!("B{i}")))).collect();
             rules.push(Rule::new(
                 Atom::new(pred, vars.clone()),
                 vec![Literal::Atom(Atom::new(base, vars))],
@@ -138,20 +148,13 @@ pub fn magic_evaluate(
         let orig = interner.get(base)?;
         Some((orig, suffix.chars().map(|c| c == 'b').collect()))
     };
-    let magic_of = |atom: &Atom,
-                    original_pred: Sym,
-                    adornment: &Adornment,
-                    interner: &mut Interner|
-     -> Atom {
-        let magic_pred = magic_name(original_pred, adornment, interner);
-        let bound_terms: Vec<Term> = atom
-            .terms
-            .iter()
-            .zip(adornment)
-            .filter_map(|(t, &b)| b.then_some(*t))
-            .collect();
-        Atom::new(magic_pred, bound_terms)
-    };
+    let magic_of =
+        |atom: &Atom, original_pred: Sym, adornment: &Adornment, interner: &mut Interner| -> Atom {
+            let magic_pred = magic_name(original_pred, adornment, interner);
+            let bound_terms: Vec<Term> =
+                atom.terms.iter().zip(adornment).filter_map(|(t, &b)| b.then_some(*t)).collect();
+            Atom::new(magic_pred, bound_terms)
+        };
 
     for rule in &adorned.program.rules {
         let (head_orig, head_ad) = parse_adorned(&rule.head, db.interner())
@@ -177,17 +180,11 @@ pub fn magic_evaluate(
     }
     // Seed fact.
     let seed_pred = magic_name(query.atom.pred, &adorned.query_adornment, db.interner_mut());
-    let seed_terms: Vec<Term> = query
-        .atom
-        .terms
-        .iter()
-        .filter(|t| t.is_const())
-        .cloned()
-        .collect();
+    let seed_terms: Vec<Term> = query.atom.terms.iter().filter(|t| t.is_const()).cloned().collect();
     out_rules.push(Rule::fact(Atom::new(seed_pred, seed_terms)));
 
     let rewritten = Program::new(out_rules);
-    let derived = seminaive(&rewritten, &db)?;
+    let derived = seminaive_with_options(&rewritten, &db, eval)?;
     let answers = query_answers(&adorned.query, &db, Some(&derived))?;
     let mut stats = derived.stats.clone();
     stats.record_size("ans", answers.len());
@@ -198,6 +195,7 @@ pub fn magic_evaluate(
 mod tests {
     use super::*;
     use sepra_ast::{parse_program, parse_query};
+    use sepra_eval::seminaive;
 
     fn run(program_src: &str, facts: &str, query_src: &str) -> (MagicOutcome, Database) {
         let mut db = Database::new();
@@ -214,7 +212,7 @@ mod tests {
         let program = parse_program(program_src, db.interner_mut()).unwrap();
         let query = parse_query(query_src, db.interner_mut()).unwrap();
         let derived = seminaive(&program, &db).unwrap();
-        
+
         query_answers(&query, &db, Some(&derived)).unwrap()
     }
 
@@ -299,10 +297,6 @@ mod tests {
     #[test]
     fn stats_track_magic_relations() {
         let (out, _) = run(TC, EDGES, "t(a, Y)?");
-        assert!(out
-            .stats
-            .relation_sizes
-            .keys()
-            .any(|k| k.starts_with("magic@")));
+        assert!(out.stats.relation_sizes.keys().any(|k| k.starts_with("magic@")));
     }
 }

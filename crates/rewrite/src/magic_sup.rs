@@ -19,7 +19,7 @@
 use std::collections::BTreeSet;
 
 use sepra_ast::{Atom, Interner, Literal, Program, Query, Rule, Sym, Term};
-use sepra_eval::{query_answers, seminaive, EvalError};
+use sepra_eval::{query_answers, seminaive_with_options, EvalError, EvalOptions};
 use sepra_storage::{Database, Relation};
 
 use crate::adorn::{adorn_program, adorned_name, Adornment};
@@ -34,10 +34,19 @@ pub fn magic_evaluate_supplementary(
     query: &Query,
     db: &Database,
 ) -> Result<MagicOutcome, EvalError> {
+    magic_evaluate_supplementary_with_options(program, query, db, &EvalOptions::default())
+}
+
+/// [`magic_evaluate_supplementary`] with explicit [`EvalOptions`] for the
+/// semi-naive engine evaluating the rewritten program.
+pub fn magic_evaluate_supplementary_with_options(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    eval: &EvalOptions,
+) -> Result<MagicOutcome, EvalError> {
     if !query.has_selection() {
-        return Err(EvalError::Unsupported(
-            "magic sets needs at least one bound argument".into(),
-        ));
+        return Err(EvalError::Unsupported("magic sets needs at least one bound argument".into()));
     }
     let mut db = db.clone();
 
@@ -67,9 +76,8 @@ pub fn magic_evaluate_supplementary(
                 db.relation_mut(base, arity).insert(t.clone());
             }
             *db.relation_mut(pred, arity) = Relation::new(arity);
-            let vars: Vec<Term> = (0..arity)
-                .map(|i| Term::Var(db.interner_mut().intern(&format!("B{i}"))))
-                .collect();
+            let vars: Vec<Term> =
+                (0..arity).map(|i| Term::Var(db.interner_mut().intern(&format!("B{i}")))).collect();
             rules.push(Rule::new(
                 Atom::new(pred, vars.clone()),
                 vec![Literal::Atom(Atom::new(base, vars))],
@@ -93,12 +101,8 @@ pub fn magic_evaluate_supplementary(
         let base = adorned_name(orig, ad, interner);
         let name = format!("magic@{}", interner.resolve(base));
         let magic_pred = interner.intern(&name);
-        let bound_terms: Vec<Term> = atom
-            .terms
-            .iter()
-            .zip(ad)
-            .filter_map(|(t, &b)| b.then_some(*t))
-            .collect();
+        let bound_terms: Vec<Term> =
+            atom.terms.iter().zip(ad).filter_map(|(t, &b)| b.then_some(*t)).collect();
         Atom::new(magic_pred, bound_terms)
     };
 
@@ -122,16 +126,13 @@ pub fn magic_evaluate_supplementary(
         let mut available: BTreeSet<Sym> = magic_head.vars().into_iter().collect();
 
         // sup_{r,0}.
-        let sup_name = |interner: &mut Interner, idx: usize| {
-            interner.intern(&format!("sup@{ri}@{idx}"))
-        };
+        let sup_name =
+            |interner: &mut Interner, idx: usize| interner.intern(&format!("sup@{ri}@{idx}"));
         let sup_args = |available: &BTreeSet<Sym>, needed: &BTreeSet<Sym>| -> Vec<Term> {
             available.intersection(needed).map(|&v| Term::Var(v)).collect()
         };
-        let mut prev_sup = Atom::new(
-            sup_name(db.interner_mut(), 0),
-            sup_args(&available, &needed_after[0]),
-        );
+        let mut prev_sup =
+            Atom::new(sup_name(db.interner_mut(), 0), sup_args(&available, &needed_after[0]));
         out_rules.push(Rule::new(prev_sup.clone(), vec![Literal::Atom(magic_head.clone())]));
 
         for (i, lit) in rule.body.iter().enumerate() {
@@ -179,7 +180,7 @@ pub fn magic_evaluate_supplementary(
     out_rules.push(Rule::fact(Atom::new(seed.pred, seed_terms)));
 
     let rewritten = Program::new(out_rules);
-    let derived = seminaive(&rewritten, &db)?;
+    let derived = seminaive_with_options(&rewritten, &db, eval)?;
     let answers = query_answers(&adorned.query, &db, Some(&derived))?;
     let mut stats = derived.stats.clone();
     stats.record_size("ans", answers.len());

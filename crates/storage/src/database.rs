@@ -34,10 +34,9 @@ impl std::fmt::Display for DatabaseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DatabaseError::NonGroundFact(s) => write!(f, "fact is not ground: {s}"),
-            DatabaseError::ArityMismatch { pred, expected, found } => write!(
-                f,
-                "predicate `{pred}` loaded with arity {found}, previously {expected}"
-            ),
+            DatabaseError::ArityMismatch { pred, expected, found } => {
+                write!(f, "predicate `{pred}` loaded with arity {found}, previously {expected}")
+            }
             DatabaseError::Value(e) => write!(f, "{e}"),
         }
     }
@@ -133,10 +132,7 @@ impl Database {
     /// e.g. `db.insert_named("friend", &["tom", "sue"])`.
     pub fn insert_named(&mut self, pred: &str, args: &[&str]) -> Result<bool, DatabaseError> {
         let p = self.intern(pred);
-        let values: Vec<Value> = args
-            .iter()
-            .map(|a| Value::sym(self.interner.intern(a)))
-            .collect();
+        let values: Vec<Value> = args.iter().map(|a| Value::sym(self.interner.intern(a))).collect();
         self.insert(p, Tuple::from(values))
     }
 
@@ -147,9 +143,7 @@ impl Database {
             match term {
                 Term::Const(c) => values.push(Value::from_const(*c)?),
                 Term::Var(v) => {
-                    return Err(DatabaseError::NonGroundFact(
-                        self.interner.resolve(*v).to_string(),
-                    ))
+                    return Err(DatabaseError::NonGroundFact(self.interner.resolve(*v).to_string()))
                 }
             }
         }
@@ -194,9 +188,7 @@ mod tests {
     #[test]
     fn load_fact_text() {
         let mut db = Database::new();
-        let n = db
-            .load_fact_text("friend(tom, sue). age(tom, 42). friend(sue, joe).")
-            .unwrap();
+        let n = db.load_fact_text("friend(tom, sue). age(tom, 42). friend(sue, joe).").unwrap();
         assert_eq!(n, 3);
         let age = db.intern("age");
         let rel = db.relation(age).unwrap();
@@ -210,10 +202,7 @@ mod tests {
         let p = db.intern("p");
         let x = db.interner_mut().intern("X");
         let atom = Atom::new(p, vec![Term::Var(x)]);
-        assert!(matches!(
-            db.insert_atom(&atom),
-            Err(DatabaseError::NonGroundFact(_))
-        ));
+        assert!(matches!(db.insert_atom(&atom), Err(DatabaseError::NonGroundFact(_))));
     }
 
     #[test]
@@ -228,8 +217,7 @@ mod tests {
     fn load_facts_skips_rules() {
         let mut db = Database::new();
         let text = "t(X, Y) :- e(X, Y).\ne(a, b).\n";
-        let program =
-            sepra_ast::parse::parse_program(text, db.interner_mut()).unwrap();
+        let program = sepra_ast::parse::parse_program(text, db.interner_mut()).unwrap();
         let n = db.load_facts(&program).unwrap();
         assert_eq!(n, 1);
         let t = db.intern("t");

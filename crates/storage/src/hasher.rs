@@ -79,11 +79,19 @@ pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 /// table in [`crate::relation`]).
 #[inline]
 pub fn hash_words(words: &[u64]) -> u64 {
+    hash_word_iter(words.len(), words.iter().copied())
+}
+
+/// Hashes `len` words streamed from an iterator, so callers whose words
+/// live behind a projection (tuple values, column subsets) need no
+/// intermediate buffer. `len` must equal the number of items yielded.
+#[inline]
+pub fn hash_word_iter(len: usize, words: impl Iterator<Item = u64>) -> u64 {
     let mut h = FxHasher::default();
     // Seed with the length so all-zero inputs of different arities differ
     // (an unseeded Fx state maps any run of zero words to zero).
-    h.add_to_hash(words.len() as u64 ^ SEED);
-    for &w in words {
+    h.add_to_hash(len as u64 ^ SEED);
+    for w in words {
         h.add_to_hash(w);
     }
     // Finalize: Fx's raw state is weak in its low bits for short inputs;
@@ -102,6 +110,13 @@ mod tests {
         assert_eq!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 3]));
         assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[3, 2, 1]));
         assert_ne!(hash_words(&[0]), hash_words(&[0, 0]));
+    }
+
+    #[test]
+    fn iter_path_matches_slice_path() {
+        let words = [7u64, 0, u64::MAX, 42];
+        assert_eq!(hash_words(&words), hash_word_iter(4, words.iter().copied()));
+        assert_eq!(hash_words(&[]), hash_word_iter(0, std::iter::empty()));
     }
 
     #[test]

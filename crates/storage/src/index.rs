@@ -45,10 +45,17 @@ impl Index {
     /// # Panics
     /// Panics if a key column is out of range for the relation's arity.
     pub fn extend_to(&mut self, relation: &Relation) {
+        let mut scratch: Vec<Value> = Vec::with_capacity(self.columns.len());
         for (i, tuple) in relation.as_slice()[self.covered..].iter().enumerate() {
             let pos = u32::try_from(self.covered + i).expect("index overflow");
-            let key: Box<[Value]> = self.columns.iter().map(|&c| tuple[c]).collect();
-            self.map.entry(key).or_default().push(pos);
+            // Build the key in the scratch buffer and only allocate a boxed
+            // key the first time this projection is seen.
+            tuple.project_into(&self.columns, &mut scratch);
+            if let Some(positions) = self.map.get_mut(scratch.as_slice()) {
+                positions.push(pos);
+            } else {
+                self.map.insert(scratch.as_slice().into(), vec![pos]);
+            }
         }
         self.covered = relation.len();
     }

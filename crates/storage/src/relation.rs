@@ -10,7 +10,7 @@ use std::fmt;
 
 use sepra_ast::Interner;
 
-use crate::hasher::hash_words;
+use crate::hasher::hash_word_iter;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -37,6 +37,9 @@ const LOAD_DEN: usize = 8;
 pub struct Relation {
     arity: usize,
     tuples: Vec<Tuple>,
+    /// Cached tuple hashes, parallel to `tuples`, so growing the table and
+    /// probing long collision chains never re-hash a stored tuple.
+    hashes: Vec<u64>,
     /// Open-addressing table of indexes into `tuples`; length is a power of
     /// two, `EMPTY` marks free slots.
     table: Vec<u32>,
@@ -45,15 +48,18 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: Vec::new(), table: vec![EMPTY; 8] }
+        Relation { arity, tuples: Vec::new(), hashes: Vec::new(), table: vec![EMPTY; 8] }
     }
 
     /// Creates an empty relation sized for roughly `capacity` tuples.
     pub fn with_capacity(arity: usize, capacity: usize) -> Self {
-        let slots = (capacity * LOAD_DEN / LOAD_NUM + 1)
-            .next_power_of_two()
-            .max(8);
-        Relation { arity, tuples: Vec::with_capacity(capacity), table: vec![EMPTY; slots] }
+        let slots = (capacity * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
+        Relation {
+            arity,
+            tuples: Vec::with_capacity(capacity),
+            hashes: Vec::with_capacity(capacity),
+            table: vec![EMPTY; slots],
+        }
     }
 
     /// The arity every tuple must have.
@@ -75,9 +81,8 @@ impl Relation {
     }
 
     fn hash_tuple(t: &Tuple) -> u64 {
-        // Values are transparent u64 words.
-        let words: Vec<u64> = t.values().iter().map(|v| v.raw()).collect();
-        hash_words(&words)
+        // Values are transparent u64 words; hash them in place.
+        hash_word_iter(t.arity(), t.values().iter().map(|v| v.raw()))
     }
 
     /// Inserts a tuple, returning `true` if it was new.
@@ -95,20 +100,50 @@ impl Relation {
         if self.tuples.len() + 1 > self.table.len() * LOAD_NUM / LOAD_DEN {
             self.grow();
         }
+        let hash = Self::hash_tuple(&tuple);
         let mask = self.table.len() - 1;
-        let mut slot = (Self::hash_tuple(&tuple) as usize) & mask;
+        let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
                 EMPTY => {
                     let idx = u32::try_from(self.tuples.len()).expect("relation overflow");
                     self.table[slot] = idx;
                     self.tuples.push(tuple);
+                    self.hashes.push(hash);
                     return true;
                 }
-                idx if self.tuples[idx as usize] == tuple => return false,
+                idx if self.hashes[idx as usize] == hash && self.tuples[idx as usize] == tuple => {
+                    return false
+                }
                 _ => slot = (slot + 1) & mask,
             }
         }
+    }
+
+    /// Builds a new relation from a contiguous range of this relation's
+    /// tuples, in order.
+    ///
+    /// Because ranges of a deduplicated relation are themselves
+    /// duplicate-free, the copy reuses the cached hashes and rebuilds the
+    /// table by pure slot insertion — no tuple is re-hashed or compared.
+    /// Parallel evaluators use this to cut a delta into worker shards.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice_range(&self, range: std::ops::Range<usize>) -> Relation {
+        let tuples: Vec<Tuple> = self.tuples[range.clone()].to_vec();
+        let hashes: Vec<u64> = self.hashes[range].to_vec();
+        let slots = (tuples.len() * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
+        let mut table = vec![EMPTY; slots];
+        let mask = slots - 1;
+        for (i, &hash) in hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = u32::try_from(i).expect("relation overflow");
+        }
+        Relation { arity: self.arity, tuples, hashes, table }
     }
 
     /// Whether `tuple` is present.
@@ -116,12 +151,15 @@ impl Relation {
         if tuple.arity() != self.arity {
             return false;
         }
+        let hash = Self::hash_tuple(tuple);
         let mask = self.table.len() - 1;
-        let mut slot = (Self::hash_tuple(tuple) as usize) & mask;
+        let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
                 EMPTY => return false,
-                idx if &self.tuples[idx as usize] == tuple => return true,
+                idx if self.hashes[idx as usize] == hash && &self.tuples[idx as usize] == tuple => {
+                    return true
+                }
                 _ => slot = (slot + 1) & mask,
             }
         }
@@ -131,8 +169,8 @@ impl Relation {
         let new_len = (self.table.len() * 2).max(8);
         let mut table = vec![EMPTY; new_len];
         let mask = new_len - 1;
-        for (i, t) in self.tuples.iter().enumerate() {
-            let mut slot = (Self::hash_tuple(t) as usize) & mask;
+        for (i, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
             while table[slot] != EMPTY {
                 slot = (slot + 1) & mask;
             }

@@ -46,6 +46,18 @@ impl Tuple {
         Tuple(columns.iter().map(|&c| self.0[c]).collect())
     }
 
+    /// Projects onto `columns` into a caller-provided buffer, clearing it
+    /// first. Probe loops reuse one buffer across tuples so per-probe key
+    /// construction allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if any column is out of range.
+    #[inline]
+    pub fn project_into(&self, columns: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(columns.iter().map(|&c| self.0[c]));
+    }
+
     /// Renders the tuple, e.g. `(tom, 3)`.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTuple<'a> {
         DisplayTuple { tuple: self, interner }

@@ -177,9 +177,6 @@ mod tests {
         let mut i = Interner::new();
         let tom = i.intern("tom");
         assert_eq!(Value::from_const(Const::Sym(tom)).unwrap(), Value::sym(tom));
-        assert_eq!(
-            Value::from_const(Const::Int(9)).unwrap(),
-            Value::int(9).unwrap()
-        );
+        assert_eq!(Value::from_const(Const::Int(9)).unwrap(), Value::int(9).unwrap());
     }
 }

@@ -49,12 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\naudit: why does `intern` have each access right?");
     let mut rows: Vec<(String, String)> = justifications
         .iter()
-        .map(|(tuple, j)| {
-            (
-                tuple.display(db.interner()).to_string(),
-                j.render(&sep, db.interner()),
-            )
-        })
+        .map(|(tuple, j)| (tuple.display(db.interner()).to_string(), j.render(&sep, db.interner())))
         .collect();
     rows.sort();
     for (tuple, derivation) in rows {

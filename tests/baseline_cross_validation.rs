@@ -77,11 +77,9 @@ fn first_hundred_acyclic_seeds_agree() {
 fn baselines_report_divergence_on_cycles() {
     let mut db = separable::storage::Database::new();
     separable::gen::graphs::add_cycle(&mut db, "e", "v", 4);
-    let program = parse_program(
-        "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n",
-        db.interner_mut(),
-    )
-    .unwrap();
+    let program =
+        parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+            .unwrap();
     let query = parse_query("t(v0, Y)?", db.interner_mut()).unwrap();
     let sep = detect_in_program(&program, query.atom.pred, db.interner_mut()).unwrap();
     assert!(matches!(

@@ -19,18 +19,14 @@ fn assert_agreement(src: &str, query: &str, strategies: &[Strategy]) {
         let result = qp
             .query_with(query, StrategyChoice::Force(strategy))
             .unwrap_or_else(|e| panic!("{strategy} on {query}: {e}"));
-        let mut rendered: Vec<String> = result
-            .answers
-            .iter()
-            .map(|t| t.display(qp.db().interner()).to_string())
-            .collect();
+        let mut rendered: Vec<String> =
+            result.answers.iter().map(|t| t.display(qp.db().interner()).to_string()).collect();
         rendered.sort();
         match &reference {
             None => reference = Some(rendered),
-            Some(expected) => assert_eq!(
-                &rendered, expected,
-                "{strategy} disagrees on {query}\nprogram:\n{src}"
-            ),
+            Some(expected) => {
+                assert_eq!(&rendered, expected, "{strategy} disagrees on {query}\nprogram:\n{src}")
+            }
         }
     }
 }
@@ -159,9 +155,7 @@ fn shifting_variables_fall_back() {
          t(X, Y) :- e(X, Y).\n\
          a(u, k). e(v, k). e(u, z).\n",
     );
-    let r2 = qp2
-        .query_with("t(u, Y)?", StrategyChoice::Force(Strategy::SemiNaive))
-        .unwrap();
+    let r2 = qp2.query_with("t(u, Y)?", StrategyChoice::Force(Strategy::SemiNaive)).unwrap();
     assert_eq!(r.answers.len(), r2.answers.len());
 }
 
@@ -219,9 +213,7 @@ fn partial_selection_with_support_predicates() {
     let r = qp.query("t(c, Y, Z)?").unwrap();
     assert_eq!(r.strategy, Strategy::Separable);
     let mut qp2 = processor(prog);
-    let r2 = qp2
-        .query_with("t(c, Y, Z)?", StrategyChoice::Force(Strategy::SemiNaive))
-        .unwrap();
+    let r2 = qp2.query_with("t(c, Y, Z)?", StrategyChoice::Force(Strategy::SemiNaive)).unwrap();
     assert_eq!(r.answers.len(), r2.answers.len());
     assert!(!r.answers.is_empty());
 }

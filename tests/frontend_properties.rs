@@ -17,7 +17,7 @@ use separable::storage::Database;
 fn arb_program() -> impl Strategy<Value = (Program, Interner)> {
     // Encode choices as plain integers so shrinking stays meaningful.
     let rule = (
-        0..3usize,                                // head predicate
+        0..3usize,                                  // head predicate
         proptest::collection::vec(0..6usize, 1..3), // head terms (0-3 var, 4-5 const)
         proptest::collection::vec((0..3usize, proptest::collection::vec(0..6usize, 1..3)), 1..4), // body
     );

@@ -10,8 +10,7 @@ use separable::core::detect::detect_in_program;
 use separable::core::evaluate::SeparableEvaluator;
 use separable::core::justify::Justification;
 use separable::core::plan::{
-    build_plan, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1, AUX_CARRY2,
-    AUX_SEEN1,
+    build_plan, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1, AUX_CARRY2, AUX_SEEN1,
 };
 use separable::eval::{ConjPlan, IndexCache, RelKey, RelStore};
 use separable::gen::random::random_acyclic_full_selection_scenario;
@@ -154,9 +153,8 @@ fn check_program(program_src: &str, facts: &str, pred: &str, query_src: &str) {
     let sep = detect_in_program(&program, p, db.interner_mut()).unwrap();
     let query = parse_query(query_src, db.interner_mut()).unwrap();
     let evaluator = SeparableEvaluator::new(sep.clone());
-    let (outcome, justifications) = evaluator
-        .evaluate_with_justifications(&query, &db, &Default::default())
-        .unwrap();
+    let (outcome, justifications) =
+        evaluator.evaluate_with_justifications(&query, &db, &Default::default()).unwrap();
     assert_eq!(
         justifications.len(),
         outcome.answers.len(),
@@ -247,9 +245,8 @@ fn justification_rendering_names_rules() {
     let sep = detect_in_program(&program, buys, db.interner_mut()).unwrap();
     let query = parse_query("buys(tom, Y)?", db.interner_mut()).unwrap();
     let evaluator = SeparableEvaluator::new(sep.clone());
-    let (_, justifications) = evaluator
-        .evaluate_with_justifications(&query, &db, &Default::default())
-        .unwrap();
+    let (_, justifications) =
+        evaluator.evaluate_with_justifications(&query, &db, &Default::default()).unwrap();
     let (_, j) = justifications.iter().next().expect("one answer");
     let rendered = j.render(&sep, db.interner());
     assert!(rendered.contains("friend"), "{rendered}");
@@ -274,9 +271,7 @@ fn partial_selection_provenance_is_unsupported() {
     let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
     let query = parse_query("t(c, Y, Z)?", db.interner_mut()).unwrap();
     let evaluator = SeparableEvaluator::new(sep);
-    assert!(evaluator
-        .evaluate_with_justifications(&query, &db, &Default::default())
-        .is_err());
+    assert!(evaluator.evaluate_with_justifications(&query, &db, &Default::default()).is_err());
 }
 
 /// Tracked evaluation returns exactly the same answers as the untracked
@@ -294,9 +289,8 @@ fn tracked_and_untracked_agree() {
         let query = parse_query(query_src, db.interner_mut()).unwrap();
         let evaluator = SeparableEvaluator::new(sep.clone());
         let plain = evaluator.evaluate(&query, &db, &Default::default()).unwrap();
-        let (tracked, _) = evaluator
-            .evaluate_with_justifications(&query, &db, &Default::default())
-            .unwrap();
+        let (tracked, _) =
+            evaluator.evaluate_with_justifications(&query, &db, &Default::default()).unwrap();
         assert_eq!(plain.answers, tracked.answers, "{query_src}");
     }
 }

@@ -23,8 +23,7 @@ fn magic_agrees_with_seminaive_on_general_linear_programs() {
         let mut scenario = random_linear_scenario(seed);
         let program = parse_program(&scenario.program, scenario.db.interner_mut())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", scenario.program));
-        let query =
-            parse_query(&scenario.query, scenario.db.interner_mut()).expect("query parses");
+        let query = parse_query(&scenario.query, scenario.db.interner_mut()).expect("query parses");
         let db = scenario.db;
         let t = query.atom.pred;
         let is_separable = {
@@ -43,8 +42,5 @@ fn magic_agrees_with_seminaive_on_general_linear_programs() {
             .unwrap_or_else(|e| panic!("seed {seed}: magic-sup failed: {e}"));
         assert_same_tuples("magic-sup", seed, &sup.answers, &expected);
     }
-    assert!(
-        shifted > 20,
-        "expected many non-separable programs in the sample, got {shifted}"
-    );
+    assert!(shifted > 20, "expected many non-separable programs in the sample, got {shifted}");
 }

@@ -13,9 +13,7 @@
 use separable::ast::expand::{equivalent, Expansion};
 use separable::ast::{parse_program, parse_query, Interner, RecursiveDef};
 use separable::core::detect::detect_in_program;
-use separable::core::plan::{
-    build_plan, classify_selection, PlanSelection, SelectionKind,
-};
+use separable::core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
 
 const EX_1_1: &str = "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
                       buys(X, Y) :- idol(X, W), buys(W, Y).\n\
@@ -37,10 +35,7 @@ fn figure_1_expand_example_2_1() {
     assert_eq!(strings.len(), 7, "p, f p, i p, ff p, fi p, if p, ii p");
     // Depth histogram 1 / 2 / 4.
     for (depth, expected) in [(0usize, 1usize), (1, 2), (2, 4)] {
-        assert_eq!(
-            strings.iter().filter(|s| s.derivation.len() == depth).count(),
-            expected
-        );
+        assert_eq!(strings.iter().filter(|s| s.derivation.len() == depth).count(), expected);
     }
     // Every string ends with the exit body (perfectFor).
     let p = i.intern("perfectFor");

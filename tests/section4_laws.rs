@@ -27,11 +27,7 @@ fn magic_is_quadratic_separable_linear_on_example_1_2() {
     assert_eq!(magic_sizes, vec![21 * 20, 41 * 40, 81 * 80]);
     // Separable: seen_1 = n people (+1 for the b-side chain is separate).
     for (i, &n) in [20usize, 40, 80].iter().enumerate() {
-        assert!(
-            sep_sizes[i] <= n + 1,
-            "separable should be O(n): n={n} size={}",
-            sep_sizes[i]
-        );
+        assert!(sep_sizes[i] <= n + 1, "separable should be O(n): n={n} size={}", sep_sizes[i]);
     }
     // Doubling n roughly quadruples magic's relation but only doubles
     // separable's.
@@ -92,10 +88,7 @@ fn lemma_4_3_counting_pn() {
         assert_eq!(counting.answers, sep.answers);
         // Levels 0..n-1 over an (n-1)-edge chain: sum_{i=0}^{n-1} p^i.
         let expected: usize = (0..n).map(|i| p.pow(i as u32)).sum();
-        assert_eq!(
-            counting.stats.relation_sizes["count"], expected,
-            "count size at p={p} n={n}"
-        );
+        assert_eq!(counting.stats.relation_sizes["count"], expected, "count size at p={p} n={n}");
         assert!(sep.max_relation <= n, "separable O(n) at p={p} n={n}");
     }
 }
@@ -109,11 +102,7 @@ fn lemma_4_1_separable_bound() {
         let sep = run_separable(&inst).expect("separable");
         let w = 1usize;
         let bound = n.pow(w.max(k - w) as u32) + 1;
-        assert!(
-            sep.max_relation <= bound,
-            "k={k} p={p} n={n}: {} > {bound}",
-            sep.max_relation
-        );
+        assert!(sep.max_relation <= bound, "k={k} p={p} n={n}: {} > {bound}", sep.max_relation);
     }
 }
 

@@ -38,9 +38,8 @@ fn equal_class_projections_imply_equivalence_on_random_programs() {
                 if a.atoms.len() + b.atoms.len() > 14 {
                     continue; // keep containment search fast
                 }
-                let same_projections = classes
-                    .iter()
-                    .all(|c| a.derivation_projected(c) == b.derivation_projected(c));
+                let same_projections =
+                    classes.iter().all(|c| a.derivation_projected(c) == b.derivation_projected(c));
                 if same_projections {
                     assert!(
                         equivalent(&a.atoms, &b.atoms, &a.distinguished),

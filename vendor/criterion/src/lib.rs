@@ -252,9 +252,8 @@ mod tests {
             let mut group = c.benchmark_group("g");
             group.sample_size(2);
             group.bench_function("one", |b| b.iter(|| runs += 1));
-            group.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
-                b.iter(|| runs += x - 6)
-            });
+            group
+                .bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| b.iter(|| runs += x - 6));
             group.finish();
         }
         assert_eq!(runs, 2);

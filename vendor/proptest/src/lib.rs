@@ -271,10 +271,8 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(256);
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
             ProptestConfig { cases, max_shrink_iters: 0, verbose: 0 }
         }
     }
@@ -342,7 +340,6 @@ pub mod test_runner {
             TestRng::new(self.seed_base ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
         }
     }
-
 }
 
 pub mod prelude {
