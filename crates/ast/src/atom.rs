@@ -1,21 +1,59 @@
 //! Atoms: predicate instances over terms.
 
+use crate::span::Span;
 use crate::symbol::Sym;
 use crate::term::Term;
 
 /// A predicate instance, e.g. `buys(X, Y)` or `friend(tom, W)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Atoms carry source spans for diagnostics — one for the whole atom and
+/// one per argument term. Spans never participate in equality or hashing,
+/// so rectified, standardized, or programmatically built atoms compare
+/// equal to parsed ones.
+#[derive(Debug, Clone)]
 pub struct Atom {
     /// The predicate symbol.
     pub pred: Sym,
     /// The argument terms, in order.
     pub terms: Vec<Term>,
+    /// Source span of the whole atom ([`Span::DUMMY`] when synthesized).
+    pub span: Span,
+    /// Source span of each argument term, parallel to `terms` (empty when
+    /// synthesized).
+    pub term_spans: Vec<Span>,
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.pred == other.pred && self.terms == other.terms
+    }
+}
+
+impl Eq for Atom {}
+
+impl std::hash::Hash for Atom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.pred.hash(state);
+        self.terms.hash(state);
+    }
 }
 
 impl Atom {
-    /// Creates an atom from a predicate and its arguments.
+    /// Creates an atom from a predicate and its arguments (no source span).
     pub fn new(pred: Sym, terms: Vec<Term>) -> Self {
-        Atom { pred, terms }
+        Atom { pred, terms, span: Span::DUMMY, term_spans: Vec::new() }
+    }
+
+    /// Creates an atom with full source location information.
+    pub fn with_spans(pred: Sym, terms: Vec<Term>, span: Span, term_spans: Vec<Span>) -> Self {
+        debug_assert!(term_spans.is_empty() || term_spans.len() == terms.len());
+        Atom { pred, terms, span, term_spans }
+    }
+
+    /// The span of argument `i`, falling back to the atom span when the
+    /// term has no recorded location.
+    pub fn term_span(&self, i: usize) -> Span {
+        self.term_spans.get(i).copied().unwrap_or(Span::DUMMY).or(self.span)
     }
 
     /// The number of arguments.
@@ -64,9 +102,15 @@ impl Atom {
         })
     }
 
-    /// Applies a variable substitution to every argument.
+    /// Applies a variable substitution to every argument, preserving source
+    /// spans (a substituted argument keeps the span of the term it replaced).
     pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Atom {
-        Atom { pred: self.pred, terms: self.terms.iter().map(|t| t.substitute(subst)).collect() }
+        Atom {
+            pred: self.pred,
+            terms: self.terms.iter().map(|t| t.substitute(subst)).collect(),
+            span: self.span,
+            term_spans: self.term_spans.clone(),
+        }
     }
 }
 
@@ -118,6 +162,44 @@ mod tests {
         assert!(!ground.shares_var_with(&with_x));
         let also_x = Atom::new(p, vec![Term::Var(x), Term::sym(a)]);
         assert!(with_x.shares_var_with(&also_x));
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality_or_hashing() {
+        use crate::span::Span;
+        let (_, plain) = setup();
+        let spanned = Atom::with_spans(
+            plain.pred,
+            plain.terms.clone(),
+            Span::new(0, 10),
+            vec![Span::new(2, 3); plain.terms.len()],
+        );
+        assert_eq!(plain, spanned);
+        let mut set = std::collections::HashSet::new();
+        set.insert(plain.clone());
+        assert!(set.contains(&spanned));
+        assert_eq!(spanned.term_span(1), Span::new(2, 3));
+        // Missing per-term spans fall back to the atom span.
+        let atom_only = Atom::with_spans(plain.pred, plain.terms.clone(), Span::new(5, 9), vec![]);
+        assert_eq!(atom_only.term_span(0), Span::new(5, 9));
+        assert!(plain.term_span(0).is_dummy());
+    }
+
+    #[test]
+    fn substitute_preserves_spans() {
+        use crate::span::Span;
+        let (mut i, plain) = setup();
+        let x = i.intern("X");
+        let bob = i.intern("bob");
+        let spanned = Atom::with_spans(
+            plain.pred,
+            plain.terms.clone(),
+            Span::new(0, 10),
+            (0..plain.terms.len()).map(|k| Span::new(k, k + 1)).collect(),
+        );
+        let out = spanned.substitute(&|v| (v == x).then_some(Term::sym(bob)));
+        assert_eq!(out.span, Span::new(0, 10));
+        assert_eq!(out.term_span(3), Span::new(3, 4));
     }
 
     #[test]

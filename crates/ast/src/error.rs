@@ -2,7 +2,13 @@
 
 use std::fmt;
 
+use crate::span::Span;
+
 /// Errors produced by the Datalog frontend.
+///
+/// Variants that point into source text carry a byte-offset [`Span`] so
+/// callers can render the offending snippet; `line`/`col` remain for
+/// plain-text messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AstError {
     /// A syntax error with line/column (1-based) and message.
@@ -11,6 +17,8 @@ pub enum AstError {
         line: usize,
         /// 1-based column of the offending token.
         col: usize,
+        /// Byte-offset span of the offending token (start..end).
+        span: Span,
         /// Human-readable description.
         msg: String,
     },
@@ -22,11 +30,15 @@ pub enum AstError {
         expected: usize,
         /// Conflicting arity.
         found: usize,
+        /// Span of the atom with the conflicting arity.
+        span: Span,
     },
     /// A rule whose head variables are not covered by its body.
     UnsafeRule {
         /// Rendered rule text.
         rule: String,
+        /// Span of the offending rule.
+        span: Span,
     },
     /// The program shape does not match the paper's assumptions
     /// (e.g. non-linear recursion where linearity is required).
@@ -36,17 +48,29 @@ pub enum AstError {
     },
 }
 
+impl AstError {
+    /// The source span this error points at, if any.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            AstError::Parse { span, .. }
+            | AstError::ArityMismatch { span, .. }
+            | AstError::UnsafeRule { span, .. } => (!span.is_dummy()).then_some(*span),
+            AstError::UnsupportedProgram { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for AstError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AstError::Parse { line, col, msg } => {
+            AstError::Parse { line, col, msg, .. } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
-            AstError::ArityMismatch { pred, expected, found } => write!(
+            AstError::ArityMismatch { pred, expected, found, .. } => write!(
                 f,
                 "predicate `{pred}` used with arity {found}, but earlier with arity {expected}"
             ),
-            AstError::UnsafeRule { rule } => {
+            AstError::UnsafeRule { rule, .. } => {
                 write!(f, "unsafe rule (head variable not bound in body): {rule}")
             }
             AstError::UnsupportedProgram { msg } => write!(f, "unsupported program: {msg}"),

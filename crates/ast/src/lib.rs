@@ -29,14 +29,16 @@ pub mod pretty;
 pub mod program;
 pub mod rectify;
 pub mod rule;
+pub mod span;
 pub mod symbol;
 pub mod term;
 
 pub use analysis::{DependencyGraph, PredicateInfo, RecursiveDef};
 pub use atom::Atom;
 pub use error::AstError;
-pub use parse::{parse_program, parse_query, Parser};
+pub use parse::{parse_program, parse_program_raw, parse_query, Parser};
 pub use program::{Program, Query};
 pub use rule::{Literal, Rule};
+pub use span::{LineCol, Span};
 pub use symbol::{Interner, Sym};
 pub use term::{Const, Term};

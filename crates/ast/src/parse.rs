@@ -20,6 +20,7 @@ use crate::atom::Atom;
 use crate::error::AstError;
 use crate::program::{Program, Query};
 use crate::rule::{Literal, Rule};
+use crate::span::{line_col, Span};
 use crate::symbol::Interner;
 use crate::term::Term;
 
@@ -61,15 +62,20 @@ impl Tok {
 }
 
 struct Lexer<'a> {
+    text: &'a str,
     src: &'a [u8],
     pos: usize,
-    line: usize,
-    col: usize,
+}
+
+/// Builds a parse error whose span points into `text`.
+fn parse_error_at(text: &str, span: Span, msg: impl Into<String>) -> AstError {
+    let lc = line_col(text, span.start as usize);
+    AstError::Parse { line: lc.line, col: lc.col, span, msg: msg.into() }
 }
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer { text: src, src: src.as_bytes(), pos: 0 }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -79,12 +85,6 @@ impl<'a> Lexer<'a> {
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek_byte()?;
         self.pos += 1;
-        if b == b'\n' {
-            self.line += 1;
-            self.col = 1;
-        } else {
-            self.col += 1;
-        }
         Some(b)
     }
 
@@ -107,16 +107,19 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn error(&self, msg: impl Into<String>) -> AstError {
-        AstError::Parse { line: self.line, col: self.col, msg: msg.into() }
+    /// An error spanning from `start` to the current position (at least one
+    /// byte wide so a caret is always visible).
+    fn error_from(&self, start: usize, msg: impl Into<String>) -> AstError {
+        let end = self.pos.max(start + 1).min(self.src.len().max(start + 1));
+        parse_error_at(self.text, Span::new(start, end), msg)
     }
 
-    /// Lexes the next token, returning its start position too.
-    fn next_tok(&mut self) -> Result<(Tok, usize, usize), AstError> {
+    /// Lexes the next token, returning its source span.
+    fn next_tok(&mut self) -> Result<(Tok, Span), AstError> {
         self.skip_trivia();
-        let (line, col) = (self.line, self.col);
+        let start = self.pos;
         let Some(b) = self.peek_byte() else {
-            return Ok((Tok::Eof, line, col));
+            return Ok((Tok::Eof, Span::new(start, start)));
         };
         let tok = match b {
             b'(' => {
@@ -149,7 +152,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     Tok::Turnstile
                 } else {
-                    return Err(self.error("expected `-` after `:`"));
+                    return Err(self.error_from(start, "expected `-` after `:`"));
                 }
             }
             b'?' => {
@@ -166,7 +169,7 @@ impl<'a> Lexer<'a> {
                 if negative {
                     self.bump();
                     if !self.peek_byte().is_some_and(|c| c.is_ascii_digit()) {
-                        return Err(self.error("expected digit after `-`"));
+                        return Err(self.error_from(start, "expected digit after `-`"));
                     }
                 }
                 let mut value: i64 = 0;
@@ -178,12 +181,11 @@ impl<'a> Lexer<'a> {
                     value = value
                         .checked_mul(10)
                         .and_then(|v| v.checked_add(i64::from(c - b'0')))
-                        .ok_or_else(|| self.error("integer literal overflows i64"))?;
+                        .ok_or_else(|| self.error_from(start, "integer literal overflows i64"))?;
                 }
                 Tok::Int(if negative { -value } else { value })
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                let start = self.pos;
                 while let Some(c) = self.peek_byte() {
                     if c.is_ascii_alphanumeric() || c == b'_' {
                         self.bump();
@@ -191,9 +193,7 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii ident bytes")
-                    .to_string();
+                let text = self.text[start..self.pos].to_string();
                 if b.is_ascii_uppercase() || b == b'_' {
                     Tok::Var(text)
                 } else {
@@ -201,10 +201,13 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.error(format!("unexpected character `{}`", other as char)));
+                self.bump();
+                return Err(
+                    self.error_from(start, format!("unexpected character `{}`", other as char))
+                );
             }
         };
-        Ok((tok, line, col))
+        Ok((tok, Span::new(start, self.pos)))
     }
 }
 
@@ -214,28 +217,37 @@ pub struct Parser<'a> {
     lexer: Lexer<'a>,
     interner: &'a mut Interner,
     tok: Tok,
-    line: usize,
-    col: usize,
+    tok_span: Span,
 }
 
 impl<'a> Parser<'a> {
     /// Creates a parser over `src`.
     pub fn new(src: &'a str, interner: &'a mut Interner) -> Result<Self, AstError> {
         let mut lexer = Lexer::new(src);
-        let (tok, line, col) = lexer.next_tok()?;
-        Ok(Parser { lexer, interner, tok, line, col })
+        let (tok, tok_span) = lexer.next_tok()?;
+        Ok(Parser { lexer, interner, tok, tok_span })
     }
 
     fn advance(&mut self) -> Result<(), AstError> {
-        let (tok, line, col) = self.lexer.next_tok()?;
+        let (tok, span) = self.lexer.next_tok()?;
         self.tok = tok;
-        self.line = line;
-        self.col = col;
+        self.tok_span = span;
         Ok(())
     }
 
+    /// The span of the current (lookahead) token.
+    fn span_here(&self) -> Span {
+        // Give end-of-input errors a one-byte span so renderers can point a
+        // caret at the last character.
+        if self.tok == Tok::Eof && self.tok_span.start > 0 {
+            Span::new(self.tok_span.start as usize - 1, self.tok_span.end as usize)
+        } else {
+            self.tok_span
+        }
+    }
+
     fn error_here(&self, msg: impl Into<String>) -> AstError {
-        AstError::Parse { line: self.line, col: self.col, msg: msg.into() }
+        parse_error_at(self.lexer.text, self.span_here(), msg)
     }
 
     fn expect(&mut self, want: &Tok) -> Result<(), AstError> {
@@ -254,7 +266,8 @@ impl<'a> Parser<'a> {
         self.tok == Tok::Eof
     }
 
-    fn parse_term(&mut self) -> Result<Term, AstError> {
+    fn parse_term(&mut self) -> Result<(Term, Span), AstError> {
+        let span = self.tok_span;
         let term = match &self.tok {
             Tok::Var(name) => Term::Var(self.interner.intern(&name.clone())),
             Tok::Ident(name) => Term::sym(self.interner.intern(&name.clone())),
@@ -267,7 +280,7 @@ impl<'a> Parser<'a> {
             }
         };
         self.advance()?;
-        Ok(term)
+        Ok((term, span))
     }
 
     fn parse_atom(&mut self) -> Result<Atom, AstError> {
@@ -276,15 +289,20 @@ impl<'a> Parser<'a> {
                 .error_here(format!("expected a predicate name, found {}", self.tok.describe())));
         };
         let pred = self.interner.intern(&name.clone());
+        let mut span = self.tok_span;
         self.advance()?;
         let mut terms = Vec::new();
+        let mut term_spans = Vec::new();
         if self.tok == Tok::LParen {
             self.advance()?;
             loop {
-                terms.push(self.parse_term()?);
+                let (term, tspan) = self.parse_term()?;
+                terms.push(term);
+                term_spans.push(tspan);
                 match self.tok {
                     Tok::Comma => self.advance()?,
                     Tok::RParen => {
+                        span = span.merge(self.tok_span);
                         self.advance()?;
                         break;
                     }
@@ -297,15 +315,15 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Ok(Atom::new(pred, terms))
+        Ok(Atom::with_spans(pred, terms, span, term_spans))
     }
 
     fn parse_literal(&mut self) -> Result<Literal, AstError> {
         // A literal starting with a variable or integer must be an equality.
         if matches!(self.tok, Tok::Var(_) | Tok::Int(_)) {
-            let left = self.parse_term()?;
+            let (left, _) = self.parse_term()?;
             self.expect(&Tok::Eq)?;
-            let right = self.parse_term()?;
+            let (right, _) = self.parse_term()?;
             return Ok(Literal::Eq(left, right));
         }
         // An identifier might start `p(...)` or `c = t`.
@@ -315,7 +333,7 @@ impl<'a> Parser<'a> {
                 return Err(self.error_here("`=` cannot follow a compound atom"));
             }
             self.advance()?;
-            let right = self.parse_term()?;
+            let (right, _) = self.parse_term()?;
             return Ok(Literal::Eq(Term::sym(atom.pred), right));
         }
         Ok(Literal::Atom(atom))
@@ -333,14 +351,16 @@ impl<'a> Parser<'a> {
     /// Parses one clause `head.` or `head :- body.`
     pub fn parse_clause(&mut self) -> Result<Rule, AstError> {
         let head = self.parse_atom()?;
+        let start = head.span;
         let body = if self.tok == Tok::Turnstile {
             self.advance()?;
             self.parse_body()?
         } else {
             Vec::new()
         };
+        let dot_span = self.tok_span;
         self.expect(&Tok::Dot)?;
-        Ok(Rule::new(head, body))
+        Ok(Rule::with_span(head, body, start.merge(dot_span)))
     }
 
     /// Parses a whole program (a sequence of clauses) to end of input.
@@ -413,13 +433,18 @@ pub fn parse_query(src: &str, interner: &mut Interner) -> Result<Query, AstError
     let mut parser = Parser::new(src, interner)?;
     let query = parser.parse_query_clause()?;
     if !parser.at_eof() {
-        return Err(AstError::Parse {
-            line: parser.line,
-            col: parser.col,
-            msg: "trailing input after query".into(),
-        });
+        return Err(parser.error_here("trailing input after query"));
     }
     Ok(query)
+}
+
+/// Parses a program without validating arity consistency or rule safety.
+///
+/// This is the entry point for the lint subsystem, which reports those
+/// problems as structured diagnostics instead of hard errors.
+pub fn parse_program_raw(src: &str, interner: &mut Interner) -> Result<Program, AstError> {
+    let mut parser = Parser::new(src, interner)?;
+    parser.parse_program()
 }
 
 /// Checks arity consistency and rule safety for a parsed program.
@@ -432,6 +457,7 @@ pub fn validate(program: &Program, interner: &Interner) -> Result<(), AstError> 
                 pred: interner.resolve(atom.pred).to_string(),
                 expected,
                 found: atom.arity(),
+                span: atom.span,
             }),
             Some(_) => Ok(()),
             None => {
@@ -448,6 +474,7 @@ pub fn validate(program: &Program, interner: &Interner) -> Result<(), AstError> 
         if !rule.is_safe() {
             return Err(AstError::UnsafeRule {
                 rule: crate::pretty::rule_to_string(rule, interner),
+                span: rule.span(),
             });
         }
     }
@@ -556,6 +583,66 @@ mod tests {
             AstError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let src = "t(X, Y) :- e(X, W), t(W, Y).\n";
+        let (p, _) = parse_ok(src);
+        let rule = &p.rules[0];
+        // Rule span covers the whole clause including the dot.
+        assert_eq!(&src[rule.span.start as usize..rule.span.end as usize], src.trim_end());
+        // Head atom span covers `t(X, Y)`.
+        let h = rule.head.span;
+        assert_eq!(&src[h.start as usize..h.end as usize], "t(X, Y)");
+        // Per-term spans land on the argument text.
+        let ts = rule.head.term_span(1);
+        assert_eq!(&src[ts.start as usize..ts.end as usize], "Y");
+        // Body atom spans too.
+        let e = rule.body_atoms().next().unwrap();
+        assert_eq!(&src[e.span.start as usize..e.span.end as usize], "e(X, W)");
+        let ws = e.term_span(1);
+        assert_eq!(&src[ws.start as usize..ws.end as usize], "W");
+    }
+
+    #[test]
+    fn zero_arity_atom_span_is_the_name() {
+        let src = "p :- q.\n";
+        let (p, _) = parse_ok(src);
+        let h = p.rules[0].head.span;
+        assert_eq!(&src[h.start as usize..h.end as usize], "p");
+    }
+
+    #[test]
+    fn parse_errors_carry_full_spans() {
+        let mut i = Interner::new();
+        let src = "p(a).\nq(#).\n";
+        let err = parse_program(src, &mut i).unwrap_err();
+        let AstError::Parse { line, col, span, .. } = err else { panic!("expected parse error") };
+        assert_eq!((line, col), (2, 3));
+        assert_eq!(&src[span.start as usize..span.end as usize], "#");
+    }
+
+    #[test]
+    fn validation_errors_carry_spans() {
+        let mut i = Interner::new();
+        let src = "p(a, b).\np(c).\n";
+        let err = parse_program(src, &mut i).unwrap_err();
+        let AstError::ArityMismatch { span, .. } = err else { panic!("expected arity error") };
+        assert_eq!(&src[span.start as usize..span.end as usize], "p(c)");
+        let src2 = "p(X, Y) :- q(X).\n";
+        let err2 = parse_program(src2, &mut i).unwrap_err();
+        let AstError::UnsafeRule { span, .. } = err2 else { panic!("expected unsafe rule") };
+        assert_eq!(&src2[span.start as usize..span.end as usize], "p(X, Y) :- q(X).");
+    }
+
+    #[test]
+    fn raw_parse_skips_validation() {
+        let mut i = Interner::new();
+        // Arity mismatch and unsafe rule both pass the raw parse.
+        let p = parse_program_raw("p(a, b).\np(c).\nq(X, Y) :- r(X).\n", &mut i).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(parse_program_raw("p(", &mut i).is_err());
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub fn rectify_rule(rule: &Rule, interner: &mut Interner) -> Rule {
     }
     let mut body = rule.body.clone();
     body.extend(extra);
-    Rule::new(Atom::new(rule.head.pred, new_terms), body)
+    // Fresh head variables stand in for the original terms at the same
+    // positions, so the head keeps its span and per-term spans verbatim.
+    let head =
+        Atom::with_spans(rule.head.pred, new_terms, rule.head.span, rule.head.term_spans.clone());
+    Rule::with_span(head, body, rule.span)
 }
 
 /// Rectifies every rule of a program.

@@ -63,24 +63,55 @@ impl Literal {
 }
 
 /// A Horn clause `head :- body.` (a fact when the body is empty).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The rule's source span covers the whole clause including the final `.`;
+/// like atom spans it is ignored by equality and hashing.
+#[derive(Debug, Clone)]
 pub struct Rule {
     /// The head atom.
     pub head: Atom,
     /// The body literals, in source order (the paper's algorithms evaluate
     /// bodies left to right).
     pub body: Vec<Literal>,
+    /// Source span of the whole clause ([`Span::DUMMY`](crate::span::Span)
+    /// when synthesized).
+    pub span: crate::span::Span,
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Rule {}
+
+impl std::hash::Hash for Rule {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.head.hash(state);
+        self.body.hash(state);
+    }
 }
 
 impl Rule {
-    /// Creates a rule.
+    /// Creates a rule (no source span).
     pub fn new(head: Atom, body: Vec<Literal>) -> Self {
-        Rule { head, body }
+        Rule { head, body, span: crate::span::Span::DUMMY }
+    }
+
+    /// Creates a rule with a source span covering the whole clause.
+    pub fn with_span(head: Atom, body: Vec<Literal>, span: crate::span::Span) -> Self {
+        Rule { head, body, span }
     }
 
     /// Creates a fact (a rule with an empty body).
     pub fn fact(head: Atom) -> Self {
-        Rule { head, body: Vec::new() }
+        Rule { head, body: Vec::new(), span: crate::span::Span::DUMMY }
+    }
+
+    /// The rule span, falling back to the head atom's span.
+    pub fn span(&self) -> crate::span::Span {
+        self.span.or(self.head.span)
     }
 
     /// Whether this rule is a fact.
@@ -163,11 +194,12 @@ impl Rule {
         self.head.vars().into_iter().all(|v| self.body.iter().any(|l| l.contains_var(v)))
     }
 
-    /// Applies a variable substitution to head and body.
+    /// Applies a variable substitution to head and body, preserving spans.
     pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Rule {
         Rule {
             head: self.head.substitute(subst),
             body: self.body.iter().map(|l| l.substitute(subst)).collect(),
+            span: self.span,
         }
     }
 }

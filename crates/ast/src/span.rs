@@ -1,0 +1,147 @@
+//! Source spans: half-open byte ranges into the source text a node was
+//! parsed from.
+//!
+//! Spans exist for diagnostics only. They are carried alongside the AST
+//! (every [`Atom`](crate::Atom) and [`Rule`](crate::Rule) records where it
+//! came from, including one span per argument term) but never participate
+//! in equality or hashing, so synthesized nodes — rectification equalities,
+//! canonical heads, rewrite output — compare identical to parsed ones.
+//! Synthesized nodes carry [`Span::DUMMY`]; consumers fall back to an
+//! enclosing span when a node has none.
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span of a node with no source location (synthesized by
+    /// rectification, rewrites, or programmatic construction).
+    pub const DUMMY: Span = Span { start: u32::MAX, end: u32::MAX };
+
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start: start as u32, end: end as u32 }
+    }
+
+    /// Whether this span carries no real location.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// The smallest span covering both `self` and `other`; dummy spans are
+    /// absorbed.
+    pub fn merge(self, other: Span) -> Span {
+        match (self.is_dummy(), other.is_dummy()) {
+            (true, _) => other,
+            (_, true) => self,
+            _ => Span { start: self.start.min(other.start), end: self.end.max(other.end) },
+        }
+    }
+
+    /// Replaces a dummy span with `fallback`.
+    pub fn or(self, fallback: Span) -> Span {
+        if self.is_dummy() {
+            fallback
+        } else {
+            self
+        }
+    }
+
+    /// Length in bytes (zero for dummy spans).
+    pub fn len(&self) -> usize {
+        if self.is_dummy() {
+            0
+        } else {
+            (self.end - self.start) as usize
+        }
+    }
+
+    /// Whether the span is empty (or dummy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A 1-based line/column position, derived from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes; source is ASCII-oriented Datalog).
+    pub col: usize,
+}
+
+/// Computes the 1-based line/column of byte `offset` within `src`.
+///
+/// Offsets past the end clamp to the end of the text.
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let before = &src.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + offset - before.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    LineCol { line, col }
+}
+
+/// Returns the full text of the (1-based) line containing byte `offset`,
+/// without its trailing newline.
+pub fn line_text(src: &str, offset: usize) -> &str {
+    let offset = offset.min(src.len());
+    let start = src.as_bytes()[..offset].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let end =
+        src.as_bytes()[offset..].iter().position(|&b| b == b'\n').map_or(src.len(), |p| offset + p);
+    &src[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_absorbed_by_merge() {
+        let s = Span::new(3, 9);
+        assert_eq!(Span::DUMMY.merge(s), s);
+        assert_eq!(s.merge(Span::DUMMY), s);
+        assert!(Span::DUMMY.merge(Span::DUMMY).is_dummy());
+        assert_eq!(Span::new(1, 4).merge(Span::new(2, 8)), Span::new(1, 8));
+    }
+
+    #[test]
+    fn or_falls_back_only_on_dummy() {
+        let s = Span::new(3, 9);
+        assert_eq!(Span::DUMMY.or(s), s);
+        assert_eq!(Span::new(0, 1).or(s), Span::new(0, 1));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "abc\ndef\ngh";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 2), LineCol { line: 1, col: 3 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 9), LineCol { line: 3, col: 2 });
+        // Past the end clamps.
+        assert_eq!(line_col(src, 99), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn line_text_extracts_whole_lines() {
+        let src = "abc\ndef\ngh";
+        assert_eq!(line_text(src, 0), "abc");
+        assert_eq!(line_text(src, 5), "def");
+        assert_eq!(line_text(src, 8), "gh");
+        assert_eq!(line_text(src, 99), "gh");
+    }
+
+    #[test]
+    fn span_len() {
+        assert_eq!(Span::new(2, 7).len(), 5);
+        assert_eq!(Span::DUMMY.len(), 0);
+        assert!(Span::DUMMY.is_empty());
+        assert!(!Span::new(2, 7).is_empty());
+    }
+}

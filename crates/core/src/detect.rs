@@ -72,34 +72,91 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Which of Definition 2.4's conditions (1–4) this violation breaks.
+    pub fn condition(&self) -> u8 {
+        match self {
+            Violation::ShiftingVariable { .. } => 1,
+            Violation::HeadBodyMismatch { .. } => 2,
+            Violation::OverlappingClasses { .. } => 3,
+            Violation::DisconnectedBody { .. } => 4,
+        }
+    }
+
+    /// The stable diagnostic code for this condition (`SEP001`…`SEP004`).
+    pub fn code(&self) -> &'static str {
+        match self.condition() {
+            1 => "SEP001",
+            2 => "SEP002",
+            3 => "SEP003",
+            _ => "SEP004",
+        }
+    }
+
+    /// The (first) normalized recursive-rule index this violation cites.
+    pub fn rule_index(&self) -> usize {
+        match self {
+            Violation::ShiftingVariable { rule, .. }
+            | Violation::HeadBodyMismatch { rule, .. }
+            | Violation::DisconnectedBody { rule, .. } => *rule,
+            Violation::OverlappingClasses { rule_a, .. } => *rule_a,
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::ShiftingVariable { rule, head_pos, body_pos, .. } => write!(
                 f,
-                "rule {rule}: shifting variable (head position {head_pos}, body position {body_pos})"
+                "[C1] rule {rule}: shifting variable (head position {head_pos}, body position {body_pos})"
             ),
             Violation::HeadBodyMismatch { rule, head_cols, body_cols } => write!(
                 f,
-                "rule {rule}: head columns {head_cols:?} differ from body columns {body_cols:?}"
+                "[C2] rule {rule}: head columns {head_cols:?} differ from body columns {body_cols:?}"
             ),
             Violation::OverlappingClasses { rule_a, rule_b, cols_a, cols_b } => write!(
                 f,
-                "rules {rule_a} and {rule_b}: column sets {cols_a:?} and {cols_b:?} overlap without being equal"
+                "[C3] rules {rule_a} and {rule_b}: column sets {cols_a:?} and {cols_b:?} overlap without being equal"
             ),
             Violation::DisconnectedBody { rule, components } => write!(
                 f,
-                "rule {rule}: nonrecursive body splits into {components} connected components"
+                "[C4] rule {rule}: nonrecursive body splits into {components} connected components"
             ),
         }
     }
 }
 
 /// The reason a definition is not separable.
+///
+/// Besides the violations themselves this carries enough context to point
+/// back into the source program: the normalized recursive rules the
+/// violation indices refer to (with source spans preserved through
+/// normalization) and, for each, the index of the rule it came from in
+/// [`RecursiveDef::recursive_rules`] (normalization drops tautological
+/// rules, so the two sequences can differ).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NotSeparable {
     /// Every violated condition.
     pub violations: Vec<Violation>,
+    /// The normalized recursive rules the violations' `rule` indices cite.
+    pub rules: Vec<Rule>,
+    /// For each normalized rule, the index of its source rule within the
+    /// definition's `recursive_rules`.
+    pub source_indices: Vec<usize>,
+}
+
+impl NotSeparable {
+    /// The normalized rule a violation's index refers to.
+    pub fn rule(&self, index: usize) -> Option<&Rule> {
+        self.rules.get(index)
+    }
+
+    /// Maps a normalized rule index back to the source rule index within
+    /// the definition's `recursive_rules`.
+    pub fn source_index(&self, index: usize) -> Option<usize> {
+        self.source_indices.get(index).copied()
+    }
 }
 
 impl std::fmt::Display for NotSeparable {
@@ -212,7 +269,8 @@ pub fn detect_with_options(
     };
 
     let mut recursive_rules: Vec<Rule> = Vec::new();
-    for rule in &def.recursive_rules {
+    let mut source_indices: Vec<usize> = Vec::new();
+    for (si, rule) in def.recursive_rules.iter().enumerate() {
         let norm = normalize(rule, interner);
         // Drop tautologies (t :- t with identical instances): they derive
         // nothing and have no nonrecursive body to classify.
@@ -224,6 +282,7 @@ pub fn detect_with_options(
             }
         }
         recursive_rules.push(norm);
+        source_indices.push(si);
     }
     let exit_rules: Vec<Rule> = def.exit_rules.iter().map(|r| normalize(r, interner)).collect();
 
@@ -304,7 +363,7 @@ pub fn detect_with_options(
     }
 
     if !violations.is_empty() {
-        return Err(NotSeparable { violations });
+        return Err(NotSeparable { violations, rules: recursive_rules, source_indices });
     }
 
     // Group rules into equivalence classes by column set.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sepra [OPTIONS] [FILE...]
+//! sepra check [OPTIONS] FILE...
 //!
 //! Options:
 //!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
@@ -11,10 +12,17 @@
 //!                           (default: available parallelism; 1 = serial)
 //!       --stats             print relation-size statistics after each query
 //!       --explain           print the evaluation plan instead of running
-//!       --check             print a separability report for every predicate
+//!       --check             print the diagnostic report for the loaded program
 //!       --repl              start an interactive session (default if no -q)
 //!   -h, --help              this message
 //! ```
+//!
+//! `sepra check` is the static-analysis front door: it lints one or more
+//! files without evaluating anything, reporting unsafe rules, arity
+//! mismatches, unused/undefined predicates (`LNT0xx`) and — per recursive
+//! predicate — either the separable structure or the exact condition of
+//! the paper's Definition 2.4 that fails (`SEP00x`), with source snippets
+//! or as JSON (`--format json`).
 //!
 //! In the REPL, clauses ending in `.` extend the program/database, atoms
 //! ending in `?` are queries, and commands start with `:` (`:help`).
@@ -24,8 +32,8 @@ use std::process::ExitCode;
 
 use sepra_core::exec::ExecOptions;
 use sepra_engine::{
-    render_answers, render_answers_csv, render_answers_json, QueryProcessor, Strategy,
-    StrategyChoice,
+    render_answers, render_answers_csv, render_answers_json, ProcessorError, QueryProcessor,
+    Strategy, StrategyChoice,
 };
 
 struct Options {
@@ -52,7 +60,9 @@ enum Format {
     Json,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// Parses the main CLI's arguments. `Ok(None)` means `--help` was handled
+/// and the process should exit successfully.
+fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
     let mut opts = Options {
         files: Vec::new(),
         query: None,
@@ -64,7 +74,7 @@ fn parse_args() -> Result<Options, String> {
         format: Format::Text,
         threads: default_threads(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-q" | "--query" => {
@@ -100,7 +110,7 @@ fn parse_args() -> Result<Options, String> {
             "--repl" => opts.repl = true,
             "-h" | "--help" => {
                 print!("{}", HELP);
-                std::process::exit(0);
+                return Ok(None);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (try --help)"));
@@ -108,13 +118,14 @@ fn parse_args() -> Result<Options, String> {
             file => opts.files.push(file.to_string()),
         }
     }
-    Ok(opts)
+    Ok(Some(opts))
 }
 
 const HELP: &str = "\
 sepra — deductive database engine with compiled separable recursions
 
 Usage: sepra [OPTIONS] [FILE...]
+       sepra check [OPTIONS] FILE...     (see `sepra check --help`)
 
 Options:
   -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
@@ -123,10 +134,31 @@ Options:
                         (default: available parallelism; 1 = serial)
       --stats           print relation-size statistics after each query
       --explain         print the evaluation plan instead of running
-      --check           print a separability report for every predicate
+      --check           print the diagnostic report for the loaded program
   -f, --format FMT      answer output format: text (default) | csv | json
       --repl            interactive session (default when no --query)
   -h, --help            this message
+";
+
+const CHECK_HELP: &str = "\
+sepra check — static analysis for Datalog programs
+
+Usage: sepra check [OPTIONS] FILE...
+
+Lints each FILE without evaluating it: unsafe rules, arity mismatches,
+undefined/unused predicates, duplicate clauses (LNT0xx), and — for every
+recursive predicate — either its separable class structure (SEP100) or
+the violated condition of Definition 2.4 (SEP001..SEP004), each pointing
+at the offending rule and argument positions.
+
+Options:
+  -q, --query QUERY     analyze relative to QUERY (reachability, arity)
+  -f, --format FMT      report format: text (default) | json
+      --deny warnings   exit nonzero on warnings, not just errors
+  -h, --help            this message
+
+Exit status: 0 clean, 1 errors (or warnings under --deny warnings),
+2 usage or I/O failure.
 ";
 
 const REPL_HELP: &str = "\
@@ -137,11 +169,102 @@ Commands:
   :explain QUERY   show the evaluation plan for QUERY
   :why QUERY       answer QUERY and show one derivation per answer
   :stats on|off    toggle statistics output
-  :check           separability report for every predicate
+  :lint [QUERY]    diagnostic report, optionally relative to QUERY
+  :check           alias for :lint without a query
   :program         list loaded rules
   :help            this message
   :quit            exit
 ";
+
+/// Renders a load/parse failure. Frontend errors carry spans, so they get
+/// the full rustc-style snippet against the text that produced them; other
+/// errors fall back to a one-line message.
+fn report_ast_error(name: &str, text: &str, e: &ProcessorError) {
+    match e {
+        ProcessorError::Ast(ast) => {
+            let file = sepra_lint::SourceFile::new(name, text);
+            let diag = sepra_lint::parse_error_diagnostic(ast);
+            eprint!("{}", sepra_lint::render_diagnostic_text(&diag, &file));
+        }
+        other => eprintln!("error: {other}"),
+    }
+}
+
+/// The `sepra check FILE...` subcommand: lint-only, no evaluation.
+fn run_check(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut query: Option<String> = None;
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-f" | "--format" => match args.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return usage_error(&format!(
+                        "--format expects text|json, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--deny" => match args.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    return usage_error(&format!(
+                        "--deny expects `warnings`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "-q" | "--query" => match args.next() {
+                Some(q) => query = Some(q.clone()),
+                None => return usage_error("missing argument for --query"),
+            },
+            "-h" | "--help" => {
+                print!("{}", CHECK_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}` (try `sepra check --help`)"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage_error("sepra check needs at least one file (try `sepra check --help`)");
+    }
+    let mut worst: u8 = 0;
+    for (i, file) in files.iter().enumerate() {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                worst = worst.max(2);
+                continue;
+            }
+        };
+        let result = sepra_lint::check_source(file, &text, query.as_deref());
+        if json {
+            // One JSON document per file, newline-separated (JSON lines of
+            // pretty-printed objects; single-file invocations emit exactly
+            // one object).
+            print!("{}", result.render_json());
+        } else {
+            if i > 0 {
+                println!();
+            }
+            print!("{}", result.render_text());
+        }
+        worst = worst.max(result.exit_code(deny_warnings) as u8);
+    }
+    ExitCode::from(worst)
+}
 
 fn run_query(
     qp: &mut QueryProcessor,
@@ -153,7 +276,7 @@ fn run_query(
     let query = match qp.parse_query(src) {
         Ok(q) => q,
         Err(e) => {
-            eprintln!("error: {e}");
+            report_ast_error("<query>", src, &e);
             return;
         }
     };
@@ -179,8 +302,13 @@ fn run_query(
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        return run_check(&args[1..]);
+    }
+    let opts = match parse_args(args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -197,7 +325,7 @@ fn main() -> ExitCode {
             }
         };
         if let Err(e) = qp.load(&text) {
-            eprintln!("error in {file}: {e}");
+            report_ast_error(file, &text, &e);
             return ExitCode::FAILURE;
         }
     }
@@ -281,6 +409,14 @@ fn main() -> ExitCode {
                     Ok(text) => print!("{text}"),
                     Err(e) => eprintln!("error: {e}"),
                 },
+                ":lint" => {
+                    if qp.source().trim().is_empty() {
+                        println!("no rules loaded");
+                    } else {
+                        let q = if rest.is_empty() { None } else { Some(rest) };
+                        print!("{}", qp.lint("<repl>", q).render_text());
+                    }
+                }
                 ":check" => print!("{}", qp.check_report()),
                 ":program" => {
                     print!(
@@ -304,7 +440,7 @@ fn main() -> ExitCode {
         if stmt.ends_with('?') {
             run_query(&mut qp, &stmt, strategy, stats, opts.format);
         } else if let Err(e) = qp.load(&stmt) {
-            eprintln!("error: {e}");
+            report_ast_error("<repl>", &stmt, &e);
         }
     }
     ExitCode::SUCCESS

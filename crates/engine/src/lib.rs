@@ -21,5 +21,5 @@
 pub mod processor;
 pub mod report;
 
-pub use processor::{QueryProcessor, QueryResult, Strategy, StrategyChoice};
+pub use processor::{ProcessorError, QueryProcessor, QueryResult, Strategy, StrategyChoice};
 pub use report::{render_answers, render_answers_csv, render_answers_json};

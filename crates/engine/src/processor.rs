@@ -140,6 +140,11 @@ pub struct QueryProcessor {
     db: Database,
     program: Program,
     exec_options: ExecOptions,
+    /// Everything loaded through [`QueryProcessor::load`], concatenated.
+    /// The lint driver re-parses this text so its diagnostics carry spans
+    /// into what the user actually wrote (facts inserted programmatically
+    /// through [`QueryProcessor::db_mut`] are invisible to it).
+    source: String,
 }
 
 impl QueryProcessor {
@@ -163,7 +168,23 @@ impl QueryProcessor {
             }
         }
         self.program.rules.extend(rules);
+        self.source.push_str(src);
+        if !src.ends_with('\n') {
+            self.source.push('\n');
+        }
         Ok(())
+    }
+
+    /// The accumulated source text of everything loaded so far.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Lints everything loaded so far (see [`sepra_lint::check_source`]),
+    /// optionally relative to a query. `name` is the display name used in
+    /// rendered diagnostics (`<repl>`, a file path, …).
+    pub fn lint(&self, name: &str, query: Option<&str>) -> sepra_lint::CheckResult {
+        sepra_lint::check_source(name, &self.source, query)
     }
 
     /// The database.
@@ -392,61 +413,17 @@ impl QueryProcessor {
         }
     }
 
-    /// Produces a detection report for every IDB predicate: whether it is
-    /// recursive, whether its definition fits the paper's shape, and either
-    /// the separable class structure or the violated conditions. This is
-    /// what `sepra --check` prints.
-    pub fn check_report(&mut self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let mut preds: Vec<Sym> = Vec::new();
-        for rule in &self.program.rules {
-            if !preds.contains(&rule.head.pred) {
-                preds.push(rule.head.pred);
-            }
-        }
-        if preds.is_empty() {
+    /// Produces a diagnostic report over everything loaded so far: the
+    /// general lints plus, for every recursive predicate, either the
+    /// separable class structure (`SEP100`) or the violated conditions of
+    /// Definition 2.4 (`SEP001`…`SEP004`), rendered as rustc-style text
+    /// with source snippets. This is what `sepra --check` and the REPL's
+    /// `:check` print; `sepra check <file>` is the richer front door.
+    pub fn check_report(&self) -> String {
+        if self.source.trim().is_empty() {
             return "no rules loaded\n".to_string();
         }
-        let graph = DependencyGraph::build(&self.program);
-        for pred in preds {
-            let name = self.db.interner().resolve(pred).to_string();
-            if !graph.is_recursive(pred) {
-                let _ = writeln!(
-                    out,
-                    "{name}: non-recursive ({} rules)",
-                    self.program.definition_of(pred).len()
-                );
-                continue;
-            }
-            match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
-                Err(e) => {
-                    let _ = writeln!(out, "{name}: recursive, outside the paper's shape: {e}");
-                }
-                Ok(def) => match detect(&def, self.db.interner_mut()) {
-                    Ok(sep) => {
-                        let classes: Vec<String> =
-                            sep.classes.iter().map(|c| format!("{:?}", c.columns)).collect();
-                        let _ = writeln!(
-                            out,
-                            "{name}: SEPARABLE — {} recursive rule(s), {} exit rule(s), \
-                             classes {} , persistent {:?}",
-                            sep.recursive_rules.len(),
-                            sep.exit_rules.len(),
-                            classes.join(" "),
-                            sep.persistent
-                        );
-                    }
-                    Err(ns) => {
-                        let _ = writeln!(out, "{name}: recursive but not separable:");
-                        for v in &ns.violations {
-                            let _ = writeln!(out, "  - {v}");
-                        }
-                    }
-                },
-            }
-        }
-        out
+        self.lint("<program>", None).render_text()
     }
 
     /// Answers `query` with the Separable algorithm and renders, for every
@@ -569,7 +546,12 @@ impl QueryProcessor {
                                     .collect::<Result<Vec<_>, _>>()?;
                                 PlanSelection::Persistent(consts)
                             }
-                            _ => unreachable!(),
+                            kind => {
+                                return Err(ProcessorError::StrategyUnavailable(format!(
+                                    "internal: unexpected selection kind {kind:?} while \
+                                     explaining a full selection"
+                                )))
+                            }
                         };
                         let plan = build_plan(&sep, &selection)?;
                         let _ = writeln!(out, "strategy: separable; compiled schema:");

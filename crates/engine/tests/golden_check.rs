@@ -1,0 +1,77 @@
+//! Golden-file tests for `sepra check` rendering — text and JSON — over
+//! the committed example programs in `examples/datalog/`.
+//!
+//! The goldens live at `tests/golden/check/<fixture>.{txt,json}` in the
+//! repository root. After an intentional change to the renderer or the
+//! passes, bless new output with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sepra-engine --test golden_check
+//! ```
+//!
+//! The binary runs with the repository root as its working directory so
+//! the file names rendered in `--> examples/datalog/...` lines are
+//! machine-independent.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const FIXTURES: &[&str] = &["boundcols", "buys", "lints", "overlap", "sg", "shift"];
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/engine sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn run_check(root: &Path, fixture: &str, json: bool) -> String {
+    let rel = format!("examples/datalog/{fixture}.dl");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sepra"));
+    cmd.current_dir(root).arg("check");
+    if json {
+        cmd.args(["--format", "json"]);
+    }
+    let out = cmd.arg(&rel).output().expect("binary runs");
+    assert!(
+        out.stderr.is_empty(),
+        "sepra check {rel} wrote to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("diagnostic output is UTF-8")
+}
+
+fn compare(root: &Path, fixture: &str, ext: &str, actual: &str) -> Result<(), String> {
+    let golden = root.join("tests/golden/check").join(format!("{fixture}.{ext}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, actual).unwrap();
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&golden).map_err(|e| {
+        format!("cannot read {}: {e}\n(bless goldens with UPDATE_GOLDEN=1)", golden.display())
+    })?;
+    if expected == actual {
+        return Ok(());
+    }
+    Err(format!(
+        "{} is stale (bless with UPDATE_GOLDEN=1)\n--- expected\n{expected}--- actual\n{actual}",
+        golden.display()
+    ))
+}
+
+#[test]
+fn check_output_matches_goldens() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for fixture in FIXTURES {
+        for (json, ext) in [(false, "txt"), (true, "json")] {
+            let actual = run_check(&root, fixture, json);
+            if let Err(e) = compare(&root, fixture, ext, &actual) {
+                failures.push(e);
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

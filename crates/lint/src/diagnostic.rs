@@ -1,0 +1,156 @@
+//! The diagnostic model: stable codes, severities, and labeled spans.
+//!
+//! Every finding the checker produces is a [`Diagnostic`]: a stable code
+//! (`SEP001`…`SEP004` for the four conditions of Definition 2.4, `LNT0xx`
+//! for general lints), a severity, a one-line message, zero or more
+//! [`Label`]s pointing into the source, and free-form notes. Rendering to
+//! text or JSON lives in [`crate::render`].
+
+use sepra_ast::Span;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so that `max` gives the worst severity: `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: nothing is wrong (e.g. a separability summary).
+    Note,
+    /// Suspicious but evaluable; fails `--deny warnings`.
+    Warning,
+    /// The program is malformed; `sepra check` exits nonzero.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used by both renderers (`error`, `warning`,
+    /// `note`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A span with an explanatory message attached.
+///
+/// The *primary* label is where the diagnostic points (rendered with `^`
+/// carets); secondary labels give supporting context (rendered with `-`
+/// underlines). A label whose span is [`Span::DUMMY`] renders without a
+/// source snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// Where in the source this label points.
+    pub span: Span,
+    /// What to say about that location.
+    pub message: String,
+    /// Whether this is the diagnostic's primary location.
+    pub primary: bool,
+}
+
+/// One finding: code, severity, message, labeled spans, and notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`SEP001`, `LNT003`, …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// One-line human-readable summary.
+    pub message: String,
+    /// Labeled source locations; by convention the primary label comes
+    /// first.
+    pub labels: Vec<Label>,
+    /// Additional free-form remarks rendered after the snippet(s).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no labels or notes.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Shorthand for an error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// Shorthand for a warning-severity diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    /// Shorthand for a note-severity diagnostic.
+    pub fn note(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Note, message)
+    }
+
+    /// Adds the primary label.
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label { span, message: message.into(), primary: true });
+        self
+    }
+
+    /// Adds a secondary (context) label.
+    pub fn with_secondary(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label { span, message: message.into(), primary: false });
+        self
+    }
+
+    /// Adds a trailing note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The primary label's span, if it has a real source location.
+    pub fn primary_span(&self) -> Option<Span> {
+        self.labels.iter().find(|l| l.primary && !l.span.is_dummy()).map(|l| l.span)
+    }
+
+    /// Sort key: diagnostics are presented in source order, span-less ones
+    /// last, ties broken by code then severity (errors before warnings).
+    pub fn sort_key(&self) -> (u32, &'static str, std::cmp::Reverse<Severity>) {
+        let start = self.primary_span().map_or(u32::MAX, |s| s.start);
+        (start, self.code, std::cmp::Reverse(self.severity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_notes_below_errors() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn builder_assembles_labels_and_notes() {
+        let d = Diagnostic::warning("LNT007", "singleton variable `W`")
+            .with_label(Span::new(4, 5), "appears only here")
+            .with_secondary(Span::new(0, 1), "in this rule")
+            .with_note("prefix with `_` to silence");
+        assert_eq!(d.labels.len(), 2);
+        assert!(d.labels[0].primary);
+        assert!(!d.labels[1].primary);
+        assert_eq!(d.primary_span(), Some(Span::new(4, 5)));
+        assert_eq!(d.notes.len(), 1);
+    }
+
+    #[test]
+    fn dummy_primary_spans_sort_last() {
+        let located = Diagnostic::error("LNT001", "x").with_label(Span::new(9, 10), "here");
+        let floating = Diagnostic::error("LNT001", "y");
+        assert!(located.sort_key() < floating.sort_key());
+    }
+}

@@ -1,0 +1,299 @@
+//! Rendering diagnostics: a rustc-style text renderer with source snippets
+//! and carets, and a hand-rolled machine-readable JSON emitter.
+//!
+//! The JSON emitter is written by hand because the build environment is
+//! offline and the workspace deliberately carries no serialization
+//! dependency; the schema is small and stable (see `render_json`).
+
+use std::fmt::Write as _;
+
+use sepra_ast::Span;
+
+use crate::diagnostic::{Diagnostic, Label, Severity};
+use crate::source::SourceFile;
+
+/// Renders one diagnostic in rustc style:
+///
+/// ```text
+/// warning[SEP001]: shifting variable `Y`: head position 1, body position 0
+///   --> examples/datalog/shift.dl:1:23
+///    |
+///  1 | t(X, Y) :- a(X, W), t(Y, W).
+///    |                       ^ bound to argument 0 of the recursive call
+///   --> examples/datalog/shift.dl:1:6
+///    |
+///  1 | t(X, Y) :- a(X, W), t(Y, W).
+///    |      - bound to head argument 1
+///    = note: condition 1 of Definition 2.4 forbids shifting variables
+/// ```
+pub fn render_diagnostic_text(diag: &Diagnostic, file: &SourceFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", diag.severity.as_str(), diag.code, diag.message);
+
+    // Gutter width: digits of the widest line number referenced.
+    let width = diag
+        .labels
+        .iter()
+        .filter(|l| !l.span.is_dummy())
+        .map(|l| digits(file.line_col(l.span.start as usize).line))
+        .max()
+        .unwrap_or(1);
+
+    for label in &diag.labels {
+        render_label(&mut out, label, file, width);
+    }
+    for note in &diag.notes {
+        let _ = writeln!(out, "{} = note: {}", " ".repeat(width + 1), note);
+    }
+    out
+}
+
+fn render_label(out: &mut String, label: &Label, file: &SourceFile, width: usize) {
+    if label.span.is_dummy() {
+        // No source location: render the message alone, aligned with notes.
+        let _ = writeln!(out, "{} = {}", " ".repeat(width + 1), label.message);
+        return;
+    }
+    let start = label.span.start as usize;
+    let lc = file.line_col(start);
+    let line = file.line_text(start);
+    let _ = writeln!(out, "{}--> {}:{}:{}", " ".repeat(width + 1), file.name, lc.line, lc.col);
+    let _ = writeln!(out, "{} |", " ".repeat(width + 1));
+    let _ = writeln!(out, " {:>width$} | {}", lc.line, line, width = width);
+    // Underline within this line only; a span running past the line end is
+    // clamped, and an empty span still gets one marker.
+    let col0 = lc.col - 1;
+    let len = label.span.len().min(line.len().saturating_sub(col0)).max(1);
+    let marker = if label.primary { "^" } else { "-" };
+    let _ = writeln!(
+        out,
+        "{} | {}{}{}",
+        " ".repeat(width + 1),
+        " ".repeat(col0),
+        marker.repeat(len),
+        if label.message.is_empty() { String::new() } else { format!(" {}", label.message) },
+    );
+}
+
+fn digits(n: usize) -> usize {
+    n.to_string().len()
+}
+
+/// Renders a full report: every diagnostic (blank-line separated) followed
+/// by a one-line summary.
+pub fn render_report_text(diagnostics: &[Diagnostic], file: &SourceFile) -> String {
+    let mut out = String::new();
+    for diag in diagnostics {
+        out.push_str(&render_diagnostic_text(diag, file));
+        out.push('\n');
+    }
+    out.push_str(&summary_line(diagnostics, file));
+    out.push('\n');
+    out
+}
+
+/// The trailing `file: N errors, M warnings, K notes` line.
+pub fn summary_line(diagnostics: &[Diagnostic], file: &SourceFile) -> String {
+    if diagnostics.is_empty() {
+        return format!("{}: no diagnostics", file.name);
+    }
+    let count = |sev: Severity| diagnostics.iter().filter(|d| d.severity == sev).count();
+    let mut parts = Vec::new();
+    for (sev, singular) in
+        [(Severity::Error, "error"), (Severity::Warning, "warning"), (Severity::Note, "note")]
+    {
+        let n = count(sev);
+        if n > 0 {
+            parts.push(format!("{n} {singular}{}", if n == 1 { "" } else { "s" }));
+        }
+    }
+    format!("{}: {}", file.name, parts.join(", "))
+}
+
+/// Renders a full report as pretty-printed JSON.
+///
+/// Schema (stable; the `lint-examples` CI job diffs this output):
+///
+/// ```json
+/// {
+///   "file": "examples/datalog/shift.dl",
+///   "diagnostics": [
+///     {
+///       "code": "SEP001",
+///       "severity": "warning",
+///       "message": "...",
+///       "labels": [
+///         { "primary": true, "message": "...",
+///           "span": { "start": 22, "end": 23,
+///                     "line": 1, "col": 23, "end_line": 1, "end_col": 24 } }
+///       ],
+///       "notes": ["..."]
+///     }
+///   ],
+///   "summary": { "errors": 0, "warnings": 1, "notes": 0 }
+/// }
+/// ```
+///
+/// Spans are byte offsets; `line`/`col` are 1-based. A label with no source
+/// location has `"span": null`.
+pub fn render_report_json(diagnostics: &[Diagnostic], file: &SourceFile) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"file\": {},", json_string(&file.name));
+    if diagnostics.is_empty() {
+        out.push_str("  \"diagnostics\": [],\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, diag) in diagnostics.iter().enumerate() {
+            render_diagnostic_json(&mut out, diag, file);
+            out.push_str(if i + 1 < diagnostics.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+    }
+    let count = |sev: Severity| diagnostics.iter().filter(|d| d.severity == sev).count();
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"errors\": {}, \"warnings\": {}, \"notes\": {} }}",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Note)
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn render_diagnostic_json(out: &mut String, diag: &Diagnostic, file: &SourceFile) {
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"code\": {},", json_string(diag.code));
+    let _ = writeln!(out, "      \"severity\": {},", json_string(diag.severity.as_str()));
+    let _ = writeln!(out, "      \"message\": {},", json_string(&diag.message));
+    if diag.labels.is_empty() {
+        out.push_str("      \"labels\": [],\n");
+    } else {
+        out.push_str("      \"labels\": [\n");
+        for (i, label) in diag.labels.iter().enumerate() {
+            out.push_str("        { ");
+            let _ = write!(
+                out,
+                "\"primary\": {}, \"message\": {}, \"span\": {}",
+                label.primary,
+                json_string(&label.message),
+                json_span(label.span, file)
+            );
+            out.push_str(if i + 1 < diag.labels.len() { " },\n" } else { " }\n" });
+        }
+        out.push_str("      ],\n");
+    }
+    if diag.notes.is_empty() {
+        out.push_str("      \"notes\": []\n");
+    } else {
+        out.push_str("      \"notes\": [\n");
+        for (i, note) in diag.notes.iter().enumerate() {
+            let _ = write!(out, "        {}", json_string(note));
+            out.push_str(if i + 1 < diag.notes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+    }
+    out.push_str("    }");
+}
+
+fn json_span(span: Span, file: &SourceFile) -> String {
+    if span.is_dummy() {
+        return "null".to_string();
+    }
+    let start = file.line_col(span.start as usize);
+    let end = file.line_col(span.end as usize);
+    format!(
+        "{{ \"start\": {}, \"end\": {}, \"line\": {}, \"col\": {}, \"end_line\": {}, \"end_col\": {} }}",
+        span.start, span.end, start.line, start.col, end.line, end.col
+    )
+}
+
+/// Escapes a string as a JSON string literal (including the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SourceFile, Diagnostic) {
+        let file = SourceFile::new("a.dl", "t(X, Y) :- a(X, W), t(Y, W).\n");
+        let diag = Diagnostic::warning("SEP001", "shifting variable `Y`")
+            .with_label(Span::new(22, 23), "bound to argument 0 of the recursive call")
+            .with_secondary(Span::new(5, 6), "bound to head argument 1")
+            .with_note("condition 1 of Definition 2.4 forbids shifting variables");
+        (file, diag)
+    }
+
+    #[test]
+    fn text_renderer_draws_carets_under_the_span() {
+        let (file, diag) = sample();
+        let text = render_diagnostic_text(&diag, &file);
+        assert!(text.starts_with("warning[SEP001]: shifting variable `Y`\n"), "{text}");
+        assert!(text.contains("--> a.dl:1:23"), "{text}");
+        assert!(text.contains(" 1 | t(X, Y) :- a(X, W), t(Y, W)."), "{text}");
+        // Caret under byte 22 (column 23) and dash under byte 5 (column 6).
+        assert!(text.contains("   |                       ^ bound to argument 0"), "{text}");
+        assert!(text.contains("   |      - bound to head argument 1"), "{text}");
+        assert!(text.contains("   = note: condition 1"), "{text}");
+    }
+
+    #[test]
+    fn dummy_span_labels_render_without_snippets() {
+        let file = SourceFile::new("a.dl", "p.\n");
+        let diag = Diagnostic::error("LNT000", "boom").with_label(Span::DUMMY, "somewhere");
+        let text = render_diagnostic_text(&diag, &file);
+        assert!(text.contains("  = somewhere"), "{text}");
+        assert!(!text.contains("-->"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts_and_pluralizes() {
+        let file = SourceFile::new("a.dl", "");
+        assert_eq!(summary_line(&[], &file), "a.dl: no diagnostics");
+        let diags = vec![
+            Diagnostic::error("LNT001", "x"),
+            Diagnostic::warning("LNT007", "y"),
+            Diagnostic::warning("LNT007", "z"),
+        ];
+        assert_eq!(summary_line(&diags, &file), "a.dl: 1 error, 2 warnings");
+    }
+
+    #[test]
+    fn json_report_has_stable_shape() {
+        let (file, diag) = sample();
+        let json = render_report_json(&[diag], &file);
+        assert!(json.contains("\"file\": \"a.dl\""), "{json}");
+        assert!(json.contains("\"code\": \"SEP001\""), "{json}");
+        assert!(json.contains("\"severity\": \"warning\""), "{json}");
+        assert!(
+            json.contains("\"span\": { \"start\": 22, \"end\": 23, \"line\": 1, \"col\": 23,"),
+            "{json}"
+        );
+        assert!(json.contains("\"summary\": { \"errors\": 0, \"warnings\": 1, \"notes\": 0 }"));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

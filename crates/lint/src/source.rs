@@ -1,0 +1,49 @@
+//! A named source file, for mapping byte spans to lines and columns.
+
+use sepra_ast::span::{line_col, line_text};
+use sepra_ast::{LineCol, Span};
+
+/// A source file: a display name (usually the path the user passed) plus
+/// its full text. All span arithmetic for rendering goes through here.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display name (`examples/datalog/buys.dl`, `<repl>`, …).
+    pub name: String,
+    /// The complete source text.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Creates a source file.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        SourceFile { name: name.into(), text: text.into() }
+    }
+
+    /// The 1-based line/column of a byte offset.
+    pub fn line_col(&self, offset: usize) -> LineCol {
+        line_col(&self.text, offset)
+    }
+
+    /// The full text of the line containing a byte offset (no newline).
+    pub fn line_text(&self, offset: usize) -> &str {
+        line_text(&self.text, offset)
+    }
+
+    /// `name:line:col` for the start of a span.
+    pub fn locate(&self, span: Span) -> String {
+        let lc = self.line_col(span.start as usize);
+        format!("{}:{}:{}", self.name, lc.line, lc.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_formats_name_line_col() {
+        let f = SourceFile::new("a.dl", "p(x).\nq(y).\n");
+        assert_eq!(f.locate(Span::new(6, 7)), "a.dl:2:1");
+        assert_eq!(f.line_text(6), "q(y).");
+    }
+}
