@@ -66,8 +66,12 @@ fn prepare(inst: &Instance) -> Prepared {
 fn run_once(prep: &Prepared, engine: Engine, threads: usize) -> usize {
     match engine {
         Engine::Seminaive => {
-            let derived = seminaive_with_options(&prep.program, &prep.db, &EvalOptions { threads })
-                .expect("semi-naive evaluates");
+            let derived = seminaive_with_options(
+                &prep.program,
+                &prep.db,
+                &EvalOptions { threads, ..Default::default() },
+            )
+            .expect("semi-naive evaluates");
             derived.relations.values().map(|r| r.len()).sum()
         }
         Engine::Separable => {

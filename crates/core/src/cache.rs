@@ -1,0 +1,102 @@
+//! Caching of compiled Figure 2 plans across queries.
+//!
+//! Building a [`SeparablePlan`] recompiles every recursive rule's join
+//! plans; for a fixed program the result depends only on the recursion and
+//! the selected class, so a query server answering many selections on the
+//! same predicate can reuse one compiled plan. [`PlanCache`] keys class
+//! plans by `(predicate, class index)` — the bound-column signature, since
+//! a class determines its column set. Persistent-selection plans embed the
+//! query's constants and are never cached.
+//!
+//! The cache is safe to share across threads (interior mutability behind a
+//! mutex), but only for plans whose symbols were interned before the
+//! sharing began: the Lemma 2.1 decomposition derives sub-recursions that
+//! reuse the predicate symbol with a different class structure, so
+//! decomposed branches must bypass the cache (see
+//! [`evaluate`](crate::evaluate)).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sepra_ast::Sym;
+use sepra_eval::EvalError;
+use sepra_storage::FxHashMap;
+
+use crate::detect::SeparableRecursion;
+use crate::plan::{build_plan, PlanSelection, SeparablePlan};
+
+/// A thread-safe cache of compiled class-selection plans.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<FxHashMap<(Sym, usize), Arc<SeparablePlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled plan for selecting `class` of `sep`, building and
+    /// memoizing it on first use.
+    pub fn class_plan(
+        &self,
+        sep: &SeparableRecursion,
+        class: usize,
+    ) -> Result<Arc<SeparablePlan>, EvalError> {
+        let key = (sep.pred, class);
+        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock; racing builders produce identical plans
+        // and the first insert wins.
+        let plan = Arc::new(build_plan(sep, &PlanSelection::Class(class))?);
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+    }
+
+    /// Number of cached plans.
+    pub fn entries(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compile a plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_in_program;
+    use sepra_ast::parse_program;
+    use sepra_storage::Database;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let mut db = Database::new();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+
+        let cache = PlanCache::new();
+        let a = cache.class_plan(&sep, 0).unwrap();
+        let b = cache.class_plan(&sep, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+}

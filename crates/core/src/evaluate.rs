@@ -12,14 +12,17 @@
 //!   answers are the union of the two branches — each of which is a *full*
 //!   selection, evaluated with the specialized algorithm.
 
+use std::sync::Arc;
+
 use sepra_ast::{Query, Term};
 use sepra_eval::{filter_by_query, ConjPlan, EvalError, IndexCache, PlanAtom, PlanLiteral, RelKey};
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple, Value};
 
+use crate::cache::PlanCache;
 use crate::detect::{EquivClass, SeparableRecursion};
 use crate::exec::{execute_plan, execute_plan_tracked, ExecOptions, ExtraRelations};
 use crate::justify::{Justification, JustificationTracker};
-use crate::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
+use crate::plan::{build_plan, classify_selection, PlanSelection, SelectionKind, SeparablePlan};
 
 /// How a query was evaluated (for `EXPLAIN`-style reporting).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,17 +85,25 @@ pub struct SeparableOutcome {
 pub struct SeparableEvaluator {
     sep: SeparableRecursion,
     opts: ExecOptions,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl SeparableEvaluator {
     /// Creates an evaluator with default options.
     pub fn new(sep: SeparableRecursion) -> Self {
-        SeparableEvaluator { sep, opts: ExecOptions::default() }
+        SeparableEvaluator { sep, opts: ExecOptions::default(), plan_cache: None }
     }
 
     /// Creates an evaluator with explicit options.
     pub fn with_options(sep: SeparableRecursion, opts: ExecOptions) -> Self {
-        SeparableEvaluator { sep, opts }
+        SeparableEvaluator { sep, opts, plan_cache: None }
+    }
+
+    /// Attaches a shared [`PlanCache`], so repeated class selections reuse
+    /// their compiled Figure 2 plans instead of rebuilding them.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
     }
 
     /// The detected recursion structure.
@@ -114,7 +125,7 @@ impl SeparableEvaluator {
         if query.atom.arity() != self.sep.arity {
             return Err(EvalError::Planning("query arity does not match recursion".into()));
         }
-        evaluate_inner(&self.sep, query, db, extra, &self.opts, 0)
+        evaluate_inner(&self.sep, query, db, extra, &self.opts, self.plan_cache.as_deref(), 0)
     }
 
     /// Evaluates a *full* selection and additionally returns, for every
@@ -193,6 +204,7 @@ fn evaluate_inner(
     db: &Database,
     extra: &ExtraRelations,
     opts: &ExecOptions,
+    cache: Option<&PlanCache>,
     depth: usize,
 ) -> Result<SeparableOutcome, EvalError> {
     if depth > MAX_DECOMPOSITION_DEPTH {
@@ -205,14 +217,27 @@ fn evaluate_inner(
             "the Separable algorithm requires at least one selection constant".into(),
         )),
         SelectionKind::FullClass { class } => {
-            evaluate_full_class(sep, query, class, db, extra, opts)
+            evaluate_full_class(sep, query, class, db, extra, opts, cache)
         }
         SelectionKind::Persistent { bound } => {
             evaluate_persistent(sep, query, &bound, db, extra, opts)
         }
         SelectionKind::Partial { class } => {
-            evaluate_partial(sep, query, class, db, extra, opts, depth)
+            evaluate_partial(sep, query, class, db, extra, opts, cache, depth)
         }
+    }
+}
+
+/// Builds (or fetches) the class-selection plan, consulting `cache` when
+/// one is attached.
+fn class_plan(
+    sep: &SeparableRecursion,
+    class: usize,
+    cache: Option<&PlanCache>,
+) -> Result<Arc<SeparablePlan>, EvalError> {
+    match cache {
+        Some(cache) => cache.class_plan(sep, class),
+        None => Ok(Arc::new(build_plan(sep, &PlanSelection::Class(class))?)),
     }
 }
 
@@ -251,8 +276,9 @@ fn evaluate_full_class(
     db: &Database,
     extra: &ExtraRelations,
     opts: &ExecOptions,
+    cache: Option<&PlanCache>,
 ) -> Result<SeparableOutcome, EvalError> {
-    let plan = build_plan(sep, &PlanSelection::Class(class))?;
+    let plan = class_plan(sep, class, cache)?;
     let cols = &sep.classes[class].columns;
     let fixed: Vec<(usize, Value)> = cols
         .iter()
@@ -337,6 +363,7 @@ fn remove_class(sep: &SeparableRecursion, class: usize) -> SeparableRecursion {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_partial(
     sep: &SeparableRecursion,
     query: &Query,
@@ -344,6 +371,7 @@ fn evaluate_partial(
     db: &Database,
     extra: &ExtraRelations,
     opts: &ExecOptions,
+    cache: Option<&PlanCache>,
     depth: usize,
 ) -> Result<SeparableOutcome, EvalError> {
     let mut stats = EvalStats::new();
@@ -351,8 +379,10 @@ fn evaluate_partial(
 
     // Branch (a): t_part — the recursion without e_1; the partially bound
     // columns are persistent there, so the same query is a full selection.
+    // The sub-recursion reuses the predicate symbol with a different class
+    // structure, so it must not share the plan cache.
     let part = remove_class(sep, class);
-    let part_outcome = evaluate_inner(&part, query, db, extra, opts, depth + 1)?;
+    let part_outcome = evaluate_inner(&part, query, db, extra, opts, None, depth + 1)?;
     stats.merge(&part_outcome.stats);
     answers.union_in_place(&part_outcome.answers);
 
@@ -362,7 +392,7 @@ fn evaluate_partial(
     let cols = sep.classes[class].columns.clone();
     let bound_cols: Vec<usize> =
         cols.iter().copied().filter(|c| query.atom.terms[*c].is_const()).collect();
-    let full_plan = build_plan(sep, &PlanSelection::Class(class))?;
+    let full_plan = class_plan(sep, class, cache)?;
     let mut seed_cache: FxHashMap<Tuple, Relation> = FxHashMap::default();
     let mut distinct_seeds = 0usize;
 

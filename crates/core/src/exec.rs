@@ -23,7 +23,8 @@
 
 use sepra_ast::Sym;
 use sepra_eval::{
-    sharded_delta_round, ConjPlan, EvalError, IndexCache, RelKey, RelStore, MIN_SHARD_TUPLES,
+    sharded_delta_round, Budget, ConjPlan, EvalError, IndexCache, RelKey, RelStore,
+    MIN_SHARD_TUPLES,
 };
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
@@ -52,11 +53,20 @@ pub struct ExecOptions {
     /// ablation (`use_indexes: false`) always runs serially, since
     /// workers index their shards and that would confound the ablation.
     pub threads: usize,
+    /// Resource budget (deadline, tuple/iteration caps, cancellation)
+    /// checked at every closure-iteration barrier. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { dedup: true, max_iterations: 1_000_000, use_indexes: true, threads: 1 }
+        ExecOptions {
+            dedup: true,
+            max_iterations: 1_000_000,
+            use_indexes: true,
+            threads: 1,
+            budget: Budget::default(),
+        }
     }
 }
 
@@ -170,8 +180,12 @@ pub fn run_seed_and_phase2(
                 opts.threads,
                 MIN_SHARD_TUPLES,
                 &[],
+                &opts.budget,
                 &mut scanned,
             );
+            // Workers skip plans once the budget is exhausted; a truncated
+            // seed must not be mistaken for the full exit-rule join.
+            opts.budget.check("seed join", stats.iterations, stats.tuples_inserted)?;
             for worker_bufs in merged {
                 for buf in worker_bufs {
                     for t in buf {
@@ -349,6 +363,11 @@ fn run_closure_tracked(
                 bound: opts.max_iterations,
             });
         }
+        opts.budget.check(
+            &format!("{carry_name} loop"),
+            stats.iterations,
+            stats.tuples_inserted,
+        )?;
         let mut produced = Relation::new(arity);
         {
             let mut store = base_store(db, extra);
@@ -428,6 +447,11 @@ pub fn run_closure(
                 bound: opts.max_iterations,
             });
         }
+        opts.budget.check(
+            &format!("{carry_name} loop"),
+            stats.iterations,
+            stats.tuples_inserted,
+        )?;
         // carry := f(carry) — the union of the per-rule join plans.
         let mut produced = Relation::new(arity);
         {
@@ -449,8 +473,17 @@ pub fn run_closure(
                     opts.threads,
                     MIN_SHARD_TUPLES,
                     &[],
+                    &opts.budget,
                     &mut scanned,
                 );
+                // Workers stop expanding once the budget is exhausted; a
+                // truncated carry would otherwise masquerade as convergence,
+                // so re-check before treating the round's output as f(carry).
+                opts.budget.check(
+                    &format!("{carry_name} loop"),
+                    stats.iterations,
+                    stats.tuples_inserted,
+                )?;
                 // Plan-major, worker-minor: a fixed interleaving of the
                 // serial production order, deterministic per thread count.
                 for worker_bufs in merged {

@@ -25,12 +25,14 @@
 //! Generalized Counting `Ω(2ⁿ)` (Section 4) — see the `sepra-bench` crate
 //! for the reproduction of those comparisons.
 
+pub mod cache;
 pub mod detect;
 pub mod evaluate;
 pub mod exec;
 pub mod justify;
 pub mod plan;
 
+pub use cache::PlanCache;
 pub use detect::{
     detect, detect_with_options, DetectOptions, EquivClass, NotSeparable, SeparableRecursion,
     Violation,

@@ -1,20 +1,24 @@
 //! Strategy selection and query execution.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sepra_ast::{
     parse_program, parse_query, AstError, DependencyGraph, Program, Query, RecursiveDef, Sym,
 };
-use sepra_core::detect::detect;
+use sepra_core::cache::PlanCache;
+use sepra_core::detect::{detect, SeparableRecursion};
 use sepra_core::evaluate::SeparableEvaluator;
 use sepra_core::exec::{ExecOptions, ExtraRelations};
 use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
-use sepra_eval::{naive::naive, query_answers, seminaive_with_options, EvalError, EvalOptions};
+use sepra_eval::{
+    naive::naive_with_options, query_answers, seminaive_with_options, EvalError, EvalOptions,
+};
 use sepra_rewrite::{
     counting_evaluate, hn_evaluate, magic_evaluate_supplementary_with_options,
     magic_evaluate_with_options, CountingOptions, HnOptions,
 };
-use sepra_storage::{Database, EvalStats, Relation};
+use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
 /// The evaluation strategies the processor can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +90,8 @@ pub enum StrategyChoice {
 /// The result of running one query.
 #[derive(Debug)]
 pub struct QueryResult {
-    /// Answers as full tuples of the query predicate.
+    /// Answers as full tuples of the query predicate, in sorted tuple
+    /// order — deterministic across strategies and thread counts.
     pub answers: Relation,
     /// Which strategy actually ran.
     pub strategy: Strategy,
@@ -134,8 +139,26 @@ impl From<EvalError> for ProcessorError {
     }
 }
 
-/// A program + database pair that answers queries.
+/// Everything [`QueryProcessor::prepare`] computes up front: recursion
+/// detection outcomes and materialized supporting strata, per recursive
+/// predicate. Shared read-only across processor clones, so a query server
+/// pays for detection and support evaluation once, not per worker.
 #[derive(Debug, Default)]
+struct Prepared {
+    /// Detection outcome per recursive predicate: the separable recursion,
+    /// or the reason it is not separable.
+    recursions: FxHashMap<Sym, Result<SeparableRecursion, String>>,
+    /// Materialized supporting strata for each separable predicate.
+    support: FxHashMap<Sym, Arc<ExtraRelations>>,
+}
+
+/// A program + database pair that answers queries.
+///
+/// Cloning a processor is cheap: the database clone is a copy-on-write
+/// snapshot (see [`Database`]), and the prepared-state and plan caches are
+/// shared through [`Arc`] — this is how a query server hands each worker
+/// thread its own processor.
+#[derive(Debug, Default, Clone)]
 pub struct QueryProcessor {
     db: Database,
     program: Program,
@@ -145,6 +168,14 @@ pub struct QueryProcessor {
     /// into what the user actually wrote (facts inserted programmatically
     /// through [`QueryProcessor::db_mut`] are invisible to it).
     source: String,
+    /// Set by [`QueryProcessor::prepare`]; invalidated whenever the
+    /// program or database changes.
+    prepared: Option<Arc<Prepared>>,
+    /// Compiled Figure 2 plans, shared across clones. Only consulted once
+    /// the processor is prepared: preparation interns every symbol a
+    /// cached plan can mention *before* the processor is cloned, so shared
+    /// plans stay meaningful in every clone's symbol space.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl QueryProcessor {
@@ -172,7 +203,44 @@ impl QueryProcessor {
         if !src.ends_with('\n') {
             self.source.push('\n');
         }
+        self.prepared = None;
         Ok(())
+    }
+
+    /// Runs recursion detection and support materialization for every
+    /// recursive predicate up front, and enables the shared plan cache.
+    ///
+    /// Call this once after loading and before cloning the processor to
+    /// worker threads: queries then skip per-call detection, share one
+    /// supporting-strata materialization, and reuse compiled plans. The
+    /// prepared state is invalidated by further [`QueryProcessor::load`] or
+    /// [`QueryProcessor::db_mut`] calls.
+    pub fn prepare(&mut self) -> Result<(), ProcessorError> {
+        let graph = DependencyGraph::build(&self.program);
+        let mut preds: Vec<Sym> = self.program.rules.iter().map(|r| r.head.pred).collect();
+        preds.sort_unstable_by_key(|p| p.0);
+        preds.dedup();
+        let mut prepared = Prepared::default();
+        for pred in preds {
+            if !graph.is_recursive(pred) {
+                continue;
+            }
+            let outcome = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+                Ok(def) => detect(&def, self.db.interner_mut()).map_err(|ns| ns.to_string()),
+                Err(e) => Err(e.to_string()),
+            };
+            if outcome.is_ok() {
+                prepared.support.insert(pred, Arc::new(self.materialize_support(pred)?));
+            }
+            prepared.recursions.insert(pred, outcome);
+        }
+        self.prepared = Some(Arc::new(prepared));
+        Ok(())
+    }
+
+    /// The shared plan cache (for observability: entry/hit/miss counts).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The accumulated source text of everything loaded so far.
@@ -194,6 +262,7 @@ impl QueryProcessor {
 
     /// Mutable database access (for programmatic fact loading).
     pub fn db_mut(&mut self) -> &mut Database {
+        self.prepared = None;
         &mut self.db
     }
 
@@ -210,7 +279,7 @@ impl QueryProcessor {
     /// The [`EvalOptions`] mirroring this processor's executor options, for
     /// the strategies that run on the semi-naive engine.
     fn eval_options(&self) -> EvalOptions {
-        EvalOptions { threads: self.exec_options.threads }
+        EvalOptions { threads: self.exec_options.threads, budget: self.exec_options.budget.clone() }
     }
 
     /// Parses a query in this processor's symbol space.
@@ -268,31 +337,42 @@ impl QueryProcessor {
         query: &Query,
     ) -> Result<Result<QueryResult, String>, ProcessorError> {
         let pred = query.atom.pred;
-        let graph = DependencyGraph::build(&self.program);
-        if !graph.is_recursive(pred) {
-            return Ok(Err("query predicate is not recursive".into()));
-        }
-        let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
-            Ok(def) => def,
-            Err(e) => return Ok(Err(e.to_string())),
-        };
-        let sep = match detect(&def, self.db.interner_mut()) {
-            Ok(sep) => sep,
-            Err(ns) => return Ok(Err(ns.to_string())),
+        let (sep, extra) = if let Some(prepared) = self.prepared.clone() {
+            match prepared.recursions.get(&pred) {
+                Some(Ok(sep)) => {
+                    let extra = prepared.support.get(&pred).cloned().unwrap_or_default();
+                    (sep.clone(), extra)
+                }
+                Some(Err(reason)) => return Ok(Err(reason.clone())),
+                None => return Ok(Err("query predicate is not recursive".into())),
+            }
+        } else {
+            let graph = DependencyGraph::build(&self.program);
+            if !graph.is_recursive(pred) {
+                return Ok(Err("query predicate is not recursive".into()));
+            }
+            let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+                Ok(def) => def,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            let sep = match detect(&def, self.db.interner_mut()) {
+                Ok(sep) => sep,
+                Err(ns) => return Ok(Err(ns.to_string())),
+            };
+            (sep, Arc::new(self.materialize_support(pred)?))
         };
         if matches!(classify_selection(&sep, query), SelectionKind::NoSelection) {
             return Ok(Err("query has no selection constants".into()));
         }
-        let extra = self.materialize_support(pred)?;
-        let evaluator = SeparableEvaluator::with_options(sep, self.exec_options.clone());
+        let mut evaluator = SeparableEvaluator::with_options(sep, self.exec_options.clone());
+        if self.prepared.is_some() {
+            // The cache is only sound once `prepare` has interned every
+            // plan symbol into the pre-clone symbol space.
+            evaluator = evaluator.with_plan_cache(Arc::clone(&self.plan_cache));
+        }
         let start = Instant::now();
         let outcome = evaluator.evaluate(query, &self.db, &extra)?;
-        Ok(Ok(QueryResult {
-            answers: outcome.answers,
-            strategy: Strategy::Separable,
-            stats: outcome.stats,
-            elapsed: start.elapsed(),
-        }))
+        Ok(Ok(finish(outcome.answers, Strategy::Separable, outcome.stats, start)))
     }
 
     fn run_auto(&mut self, query: &Query) -> Result<QueryResult, ProcessorError> {
@@ -330,12 +410,7 @@ impl QueryProcessor {
                     &self.db,
                     &self.eval_options(),
                 )?;
-                Ok(QueryResult {
-                    answers: out.answers,
-                    strategy: Strategy::MagicSets,
-                    stats: out.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(out.answers, Strategy::MagicSets, out.stats, start))
             }
             Strategy::MagicSupplementary => {
                 let start = Instant::now();
@@ -345,12 +420,7 @@ impl QueryProcessor {
                     &self.db,
                     &self.eval_options(),
                 )?;
-                Ok(QueryResult {
-                    answers: out.answers,
-                    strategy: Strategy::MagicSupplementary,
-                    stats: out.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(out.answers, Strategy::MagicSupplementary, out.stats, start))
             }
             Strategy::Counting => {
                 let pred = query.atom.pred;
@@ -364,12 +434,7 @@ impl QueryProcessor {
                     ..CountingOptions::default()
                 };
                 let out = counting_evaluate(&sep, query, &self.db, &opts)?;
-                Ok(QueryResult {
-                    answers: out.answers,
-                    strategy: Strategy::Counting,
-                    stats: out.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(out.answers, Strategy::Counting, out.stats, start))
             }
             Strategy::HenschenNaqvi => {
                 let pred = query.atom.pred;
@@ -380,35 +445,20 @@ impl QueryProcessor {
                 let start = Instant::now();
                 let opts = HnOptions { exec: self.exec_options.clone(), ..HnOptions::default() };
                 let out = hn_evaluate(&sep, query, &self.db, &opts)?;
-                Ok(QueryResult {
-                    answers: out.answers,
-                    strategy: Strategy::HenschenNaqvi,
-                    stats: out.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(out.answers, Strategy::HenschenNaqvi, out.stats, start))
             }
             Strategy::SemiNaive => {
                 let start = Instant::now();
                 let derived =
                     seminaive_with_options(&self.program, &self.db, &self.eval_options())?;
                 let answers = query_answers(query, &self.db, Some(&derived))?;
-                Ok(QueryResult {
-                    answers,
-                    strategy: Strategy::SemiNaive,
-                    stats: derived.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(answers, Strategy::SemiNaive, derived.stats, start))
             }
             Strategy::Naive => {
                 let start = Instant::now();
-                let derived = naive(&self.program, &self.db)?;
+                let derived = naive_with_options(&self.program, &self.db, &self.eval_options())?;
                 let answers = query_answers(query, &self.db, Some(&derived))?;
-                Ok(QueryResult {
-                    answers,
-                    strategy: Strategy::Naive,
-                    stats: derived.stats,
-                    elapsed: start.elapsed(),
-                })
+                Ok(finish(answers, Strategy::Naive, derived.stats, start))
             }
         }
     }
@@ -563,6 +613,23 @@ impl QueryProcessor {
             }
         }
         Ok(out)
+    }
+}
+
+/// Finalizes one strategy run into a [`QueryResult`], sorting the answer
+/// tuples into their canonical [`Ord`] order. Every strategy (and every
+/// thread count) produces the same answer *set* but its own insertion
+/// order; sorting here makes downstream rendering stable without each
+/// renderer re-sorting.
+fn finish(answers: Relation, strategy: Strategy, stats: EvalStats, start: Instant) -> QueryResult {
+    let arity = answers.arity();
+    let mut tuples: Vec<Tuple> = answers.iter().cloned().collect();
+    tuples.sort_unstable();
+    QueryResult {
+        answers: Relation::from_tuples(arity, tuples),
+        strategy,
+        stats,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -724,5 +791,74 @@ mod tests {
         qp.load("e(a, b).\n").unwrap();
         let r = qp.query("ghost(a, Y)?").unwrap();
         assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn answers_are_sorted_for_every_strategy() {
+        for strategy in
+            [Strategy::Separable, Strategy::MagicSets, Strategy::SemiNaive, Strategy::Naive]
+        {
+            let mut qp = QueryProcessor::new();
+            qp.load(EX_1_2).unwrap();
+            let r = qp.query_with("buys(tom, Y)?", StrategyChoice::Force(strategy)).unwrap();
+            let tuples: Vec<_> = r.answers.iter().cloned().collect();
+            let mut sorted = tuples.clone();
+            sorted.sort_unstable();
+            assert_eq!(tuples, sorted, "strategy {strategy} answers not sorted");
+        }
+    }
+
+    #[test]
+    fn prepared_processor_matches_unprepared_and_caches_plans() {
+        let mut plain = QueryProcessor::new();
+        plain.load(EX_1_2).unwrap();
+        let expected = plain.query("buys(tom, Y)?").unwrap();
+
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        let first = qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(first.strategy, Strategy::Separable);
+        assert_eq!(first.answers, expected.answers);
+        assert_eq!(qp.plan_cache().misses(), 1);
+
+        // A clone (as a server worker would hold) shares the plan cache.
+        let mut worker = qp.clone();
+        let second = worker.query("buys(sue, Y)?").unwrap();
+        assert_eq!(second.strategy, Strategy::Separable);
+        assert_eq!(qp.plan_cache().hits(), 1);
+        assert_eq!(qp.plan_cache().entries(), 1);
+    }
+
+    #[test]
+    fn loading_invalidates_prepared_state() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        // New facts after prepare() must be visible to later queries.
+        qp.load("friend(joe, pat). perfectFor(pat, hat).\n").unwrap();
+        let r = qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(r.answers.len(), 3); // widget, bargain, hat
+    }
+
+    #[test]
+    fn budget_cuts_off_queries_without_poisoning() {
+        use sepra_eval::{Budget, BudgetResource};
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.set_exec_options(ExecOptions {
+            budget: Budget::default().iterations(0),
+            ..ExecOptions::default()
+        });
+        let err = qp.query("buys(tom, Y)?").unwrap_err();
+        match err {
+            ProcessorError::Eval(EvalError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, BudgetResource::Iterations);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        // Lifting the budget on the same processor works again.
+        qp.set_exec_options(ExecOptions::default());
+        assert_eq!(qp.query("buys(tom, Y)?").unwrap().answers.len(), 2);
     }
 }

@@ -4,6 +4,8 @@ use std::fmt;
 
 use sepra_storage::value::ValueError;
 
+use crate::budget::BudgetResource;
+
 /// Errors raised while planning or running an evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
@@ -20,6 +22,16 @@ pub enum EvalError {
         /// The iteration bound that was exceeded.
         bound: usize,
     },
+    /// A [`Budget`](crate::budget::Budget) limit was hit: the evaluation was
+    /// cut off by a deadline, a tuple/iteration cap, or cancellation —
+    /// distinct from [`EvalError::Diverged`], which reports an engine-level
+    /// safety bound rather than a caller-imposed resource limit.
+    BudgetExceeded {
+        /// Which loop was cut off.
+        what: String,
+        /// Which limit was hit.
+        resource: BudgetResource,
+    },
     /// The program shape is outside what this algorithm supports.
     Unsupported(String),
 }
@@ -31,6 +43,15 @@ impl fmt::Display for EvalError {
             EvalError::Value(e) => write!(f, "value error: {e}"),
             EvalError::Diverged { what, bound } => {
                 write!(f, "{what} exceeded {bound} iterations without converging")
+            }
+            EvalError::BudgetExceeded { what, resource } => {
+                let why = match resource {
+                    BudgetResource::Deadline => "the deadline passed",
+                    BudgetResource::Tuples => "the tuple limit was reached",
+                    BudgetResource::Iterations => "the iteration limit was reached",
+                    BudgetResource::Cancelled => "the evaluation was cancelled",
+                };
+                write!(f, "budget exceeded in {what}: {why}")
             }
             EvalError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }

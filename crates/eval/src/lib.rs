@@ -10,7 +10,9 @@
 //! * [`store`] — the [`RelStore`] name→relation binding used during one
 //!   execution round, and the [`IndexCache`] of lazily built, incrementally
 //!   extended hash indexes;
-//! * [`naive`] — naive fixpoint iteration (kept as a baseline and for the
+//! * [`mod budget`](mod@crate::budget) — resource budgets (deadlines, tuple/iteration caps,
+//!   cancellation) checked by every fixpoint loop in the workspace;
+//! * [`mod naive`](mod@crate::naive) — naive fixpoint iteration (kept as a baseline and for the
 //!   dedup ablation);
 //! * [`parallel`] — work-sharded parallel expansion of one iteration's
 //!   deltas across OS threads, used by the semi-naive loop below and by the
@@ -19,6 +21,7 @@
 //! * [`answers`] — extraction of query answers from an evaluated database.
 
 pub mod answers;
+pub mod budget;
 pub mod error;
 pub mod naive;
 pub mod parallel;
@@ -27,7 +30,9 @@ pub mod seminaive;
 pub mod store;
 
 pub use answers::{filter_by_query, query_answers};
+pub use budget::{Budget, BudgetResource};
 pub use error::EvalError;
+pub use naive::{naive, naive_with_options};
 pub use parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 pub use plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey, Step, TermSpec};
 pub use seminaive::{seminaive, seminaive_with_options, Derived, EvalOptions};

@@ -10,11 +10,22 @@ use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
 use crate::error::EvalError;
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
-use crate::seminaive::Derived;
+use crate::seminaive::{Derived, EvalOptions};
 use crate::store::{IndexCache, RelStore};
 
 /// Evaluates `program` over `db` naively.
 pub fn naive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
+    naive_with_options(program, db, &EvalOptions::default())
+}
+
+/// [`naive`] with explicit [`EvalOptions`]. The engine is inherently
+/// serial (`threads` is ignored), but the budget is honoured: the
+/// re-derivation loop checks it once per iteration.
+pub fn naive_with_options(
+    program: &Program,
+    db: &Database,
+    options: &EvalOptions,
+) -> Result<Derived, EvalError> {
     let mut stats = EvalStats::new();
     let graph = DependencyGraph::build(program);
 
@@ -50,6 +61,7 @@ pub fn naive(program: &Program, db: &Database) -> Result<Derived, EvalError> {
         let mut indexes = IndexCache::new();
         loop {
             stats.record_iteration();
+            options.budget.check("naive fixpoint", stats.iterations, stats.tuples_inserted)?;
             let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
             {
                 let mut store = RelStore::new();

@@ -18,6 +18,7 @@
 
 use sepra_storage::{Relation, Tuple, Value};
 
+use crate::budget::Budget;
 use crate::plan::{ConjPlan, RelKey};
 use crate::store::{IndexCache, LayeredIndexes, RelStore};
 
@@ -61,6 +62,13 @@ const _: () = {
 /// the dedup, just as it does for the serial engines' row streams. Tuples
 /// scanned by all workers are added to `scanned`, worker-minor, so the
 /// total matches a serial run of the same probes.
+///
+/// `budget` is probed between plans (see [`Budget::is_exhausted`]): once
+/// the deadline passes or cancellation is requested, workers skip their
+/// remaining plans and the round returns whatever was produced so far.
+/// The round itself cannot return an error — the caller must re-check the
+/// budget at the barrier, otherwise a cut-off round's truncated output
+/// would be indistinguishable from convergence.
 #[allow(clippy::too_many_arguments)] // one call site per engine; a params struct would obscure the barrier contract
 pub fn sharded_delta_round(
     plans: &[&ConjPlan],
@@ -70,6 +78,7 @@ pub fn sharded_delta_round(
     threads: usize,
     min_shard: usize,
     init: &[Value],
+    budget: &Budget,
     scanned: &mut u64,
 ) -> Vec<Vec<Vec<Tuple>>> {
     let mut out: Vec<Vec<Vec<Tuple>>> = plans.iter().map(|_| Vec::new()).collect();
@@ -120,6 +129,10 @@ pub fn sharded_delta_round(
                         let mut worker_scanned = 0u64;
                         let mut bufs: Vec<Vec<Tuple>> = Vec::with_capacity(shardable.len());
                         for &pi in shardable {
+                            if budget.is_exhausted() {
+                                bufs.push(Vec::new());
+                                continue;
+                            }
                             let plan = plans[pi];
                             let mut buf = Vec::new();
                             plan.execute_counted(
@@ -159,6 +172,10 @@ pub fn sharded_delta_round(
         }
         let layered = LayeredIndexes::new(&local, shared_indexes);
         for &pi in &serial {
+            if budget.is_exhausted() {
+                out[pi].push(Vec::new());
+                continue;
+            }
             let plan = plans[pi];
             let mut buf = Vec::new();
             plan.execute_counted(
@@ -239,6 +256,7 @@ mod tests {
             threads,
             1, // grain of one tuple: force real threading on tiny inputs
             &[],
+            &Budget::default(),
             &mut scanned,
         );
         merged.into_iter().next().unwrap().into_iter().flatten().collect()
@@ -329,6 +347,7 @@ mod tests {
             8,
             MIN_SHARD_TUPLES,
             &[],
+            &Budget::default(),
             &mut scanned,
         );
         let rows: Vec<Tuple> = merged[0].iter().flatten().cloned().collect();

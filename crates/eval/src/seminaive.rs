@@ -10,24 +10,28 @@
 use sepra_ast::{DependencyGraph, Literal, Program, Rule, Sym};
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
+use crate::budget::Budget;
 use crate::error::EvalError;
 use crate::parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
 use crate::store::{IndexCache, RelStore};
 
 /// Tuning knobs for the semi-naive engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Number of worker threads used to expand each iteration's deltas.
     /// `1` (the default) runs the exact serial algorithm; higher values
     /// shard every delta across that many workers at each iteration
     /// barrier. Answer sets are identical either way.
     pub threads: usize,
+    /// Resource budget checked at every iteration barrier (unlimited by
+    /// default).
+    pub budget: Budget,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { threads: 1 }
+        EvalOptions { threads: 1, budget: Budget::default() }
     }
 }
 
@@ -182,6 +186,7 @@ fn run(
             drop(store);
             merge_buffers(&mut derived, buffers, stats, None);
         }
+        options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
 
         // Initial deltas = everything known so far for the stratum.
         let mut delta: FxHashMap<Sym, Relation> =
@@ -193,6 +198,7 @@ fn run(
 
         loop {
             stats.record_iteration();
+            options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
             let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
             {
                 let store = build_store(db, &derived, &delta);
@@ -246,6 +252,7 @@ fn run(
                             threads,
                             MIN_SHARD_TUPLES,
                             &[],
+                            &options.budget,
                             &mut scanned,
                         );
                         for (gi, worker_bufs) in merged.into_iter().enumerate() {
@@ -255,6 +262,14 @@ fn run(
                             }
                         }
                     }
+                    // A worker that observed an exhausted budget stopped
+                    // expanding early; re-check here so a truncated delta
+                    // cannot masquerade as convergence.
+                    options.budget.check(
+                        "semi-naive fixpoint",
+                        stats.iterations,
+                        stats.tuples_inserted,
+                    )?;
                 }
                 stats.record_scanned(scanned as usize);
             }
@@ -469,7 +484,12 @@ mod tests {
         let program = parse_program(src, db.interner_mut()).unwrap();
         let serial = seminaive(&program, &db).unwrap();
         for threads in [2, 4, 8] {
-            let par = seminaive_with_options(&program, &db, &EvalOptions { threads }).unwrap();
+            let par = seminaive_with_options(
+                &program,
+                &db,
+                &EvalOptions { threads, ..Default::default() },
+            )
+            .unwrap();
             for (pred, rel) in &serial.relations {
                 assert_eq!(par.relations.get(pred), Some(rel), "threads={threads} diverged");
             }
@@ -487,7 +507,12 @@ mod tests {
         db.load_fact_text(facts).unwrap();
         let program = parse_program(src, db.interner_mut()).unwrap();
         let serial = seminaive(&program, &db).unwrap();
-        let par = seminaive_with_options(&program, &db, &EvalOptions { threads: 3 }).unwrap();
+        let par = seminaive_with_options(
+            &program,
+            &db,
+            &EvalOptions { threads: 3, ..Default::default() },
+        )
+        .unwrap();
         let t = db.intern("t");
         assert_eq!(par.relations[&t], serial.relations[&t]);
         assert_eq!(serial.relations[&t].len(), 6 + 5 + 4 + 3 + 2 + 1);

@@ -120,6 +120,7 @@ pub fn counting_evaluate(
                 bound: max_depth,
             });
         }
+        opts.exec.budget.check("counting descent", stats.iterations, stats.tuples_inserted)?;
         let mut next = Relation::new(1 + width);
         {
             // Project the frontier's class values for the join; remember

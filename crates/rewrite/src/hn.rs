@@ -100,6 +100,11 @@ pub fn hn_evaluate(
                 bound: max_depth,
             });
         }
+        opts.exec.budget.check(
+            "Henschen-Naqvi string enumeration",
+            stats.iterations,
+            stats.tuples_inserted,
+        )?;
         let mut next: Vec<Relation> = Vec::with_capacity(active.len() * phase1.steps.len());
         for frontier in &active {
             for (_, step) in &phase1.steps {

@@ -3,6 +3,8 @@
 //! ```text
 //! sepra [OPTIONS] [FILE...]
 //! sepra check [OPTIONS] FILE...
+//! sepra serve [OPTIONS] FILE...
+//! sepra client [OPTIONS] [QUERY...]
 //!
 //! Options:
 //!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
@@ -10,6 +12,8 @@
 //!   -f, --format FMT        answer output format: text (default) | csv | json
 //!   -t, --threads N         worker threads for fixpoint iterations
 //!                           (default: available parallelism; 1 = serial)
+//!       --timeout MS        per-query evaluation deadline in milliseconds
+//!       --max-tuples N      abort evaluation after deriving N tuples
 //!       --stats             print relation-size statistics after each query
 //!       --explain           print the evaluation plan instead of running
 //!       --check             print the diagnostic report for the loaded program
@@ -24,17 +28,25 @@
 //! the paper's Definition 2.4 that fails (`SEP00x`), with source snippets
 //! or as JSON (`--format json`).
 //!
+//! `sepra serve` loads and compiles a program once, then answers
+//! line-delimited JSON queries over TCP — see `sepra serve --help` and the
+//! `sepra_server::server` module docs. `sepra client` is the matching
+//! one-shot test client.
+//!
 //! In the REPL, clauses ending in `.` extend the program/database, atoms
 //! ending in `?` are queries, and commands start with `:` (`:help`).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sepra_core::exec::ExecOptions;
 use sepra_engine::{
     render_answers, render_answers_csv, render_answers_json, ProcessorError, QueryProcessor,
     Strategy, StrategyChoice,
 };
+use sepra_eval::Budget;
+use sepra_server::{default_threads, json, serve, ServeOptions};
 
 struct Options {
     files: Vec<String>,
@@ -46,11 +58,8 @@ struct Options {
     repl: bool,
     format: Format,
     threads: usize,
-}
-
-/// Default worker count: whatever the OS reports, falling back to serial.
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    timeout: Option<Duration>,
+    max_tuples: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -73,6 +82,8 @@ fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
         repl: false,
         format: Format::Text,
         threads: default_threads(),
+        timeout: None,
+        max_tuples: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -107,6 +118,20 @@ fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
                         format!("--threads expects a positive integer, got `{n}`")
                     })?;
             }
+            "--timeout" => {
+                let ms = args.next().ok_or("missing argument for --timeout")?;
+                let ms = ms
+                    .parse::<u64>()
+                    .map_err(|_| format!("--timeout expects milliseconds, got `{ms}`"))?;
+                opts.timeout = Some(Duration::from_millis(ms));
+            }
+            "--max-tuples" => {
+                let n = args.next().ok_or("missing argument for --max-tuples")?;
+                opts.max_tuples = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--max-tuples expects an integer, got `{n}`"))?,
+                );
+            }
             "--repl" => opts.repl = true,
             "-h" | "--help" => {
                 print!("{}", HELP);
@@ -126,12 +151,16 @@ sepra — deductive database engine with compiled separable recursions
 
 Usage: sepra [OPTIONS] [FILE...]
        sepra check [OPTIONS] FILE...     (see `sepra check --help`)
+       sepra serve [OPTIONS] FILE...     (see `sepra serve --help`)
+       sepra client [OPTIONS] [QUERY...] (see `sepra client --help`)
 
 Options:
   -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
   -s, --strategy NAME   separable|magic|magic-sup|counting|hn|seminaive|naive
   -t, --threads N       worker threads for fixpoint iterations
                         (default: available parallelism; 1 = serial)
+      --timeout MS      per-query evaluation deadline in milliseconds
+      --max-tuples N    abort evaluation after deriving N tuples
       --stats           print relation-size statistics after each query
       --explain         print the evaluation plan instead of running
       --check           print the diagnostic report for the loaded program
@@ -161,6 +190,58 @@ Exit status: 0 clean, 1 errors (or warnings under --deny warnings),
 2 usage or I/O failure.
 ";
 
+const SERVE_HELP: &str = "\
+sepra serve — a concurrent query service over TCP
+
+Usage: sepra serve [OPTIONS] FILE...
+
+Loads and compiles the program once (recursion detection, supporting
+strata, shared plan cache), then serves line-delimited JSON requests:
+
+  -> {\"query\": \"t(a, Y)?\", \"timeout_ms\": 250}
+  <- {\"answers\": [[\"a\",\"b\"]], \"count\": 1, \"strategy\": \"separable\",
+      \"elapsed_us\": 113, \"stats\": {...}}
+  -> {\"stats\": true}
+  <- {\"uptime_ms\": ..., \"queries\": {...}, \"latency_us\": {...}, ...}
+
+Requests may force a \"strategy\" and cap work with \"timeout_ms\" /
+\"max_tuples\"; an exceeded budget returns a structured
+{\"error\": {\"kind\": \"budget_exceeded\", ...}} and the server keeps
+serving. Programs that fail `sepra check` are refused at startup.
+Shutdown: a `quit` line on stdin, SIGINT, or SIGTERM (in-flight queries
+are cancelled through their budgets).
+
+Options:
+      --addr HOST:PORT  bind address (default 127.0.0.1:7464; port 0
+                        picks a free port, printed on startup)
+  -t, --threads N       worker threads / concurrent connections
+                        (default: available parallelism)
+      --timeout MS      default per-query deadline (requests override)
+      --max-tuples N    default per-query derived-tuple cap
+      --deny warnings   refuse to start on lint warnings, not just errors
+  -h, --help            this message
+";
+
+const CLIENT_HELP: &str = "\
+sepra client — one-shot client for a running `sepra serve`
+
+Usage: sepra client [OPTIONS] [QUERY...]
+
+Sends each QUERY (e.g. 'buys(tom, Y)?') as a JSON request on one
+connection and prints each JSON response line to stdout.
+
+Options:
+      --addr HOST:PORT  server address (default 127.0.0.1:7464)
+  -s, --strategy NAME   force a strategy on every query
+      --timeout MS      per-query deadline sent with every query
+      --max-tuples N    per-query derived-tuple cap sent with every query
+      --stats           also request server statistics (after the queries)
+      --raw JSON        send JSON verbatim as one request (repeatable)
+  -h, --help            this message
+
+Exit status: 0 if every request got a response, 2 on usage or I/O errors.
+";
+
 const REPL_HELP: &str = "\
 Clauses ending in `.` extend the program or database.
 Atoms ending in `?` run as queries.
@@ -188,6 +269,25 @@ fn report_ast_error(name: &str, text: &str, e: &ProcessorError) {
         }
         other => eprintln!("error: {other}"),
     }
+}
+
+/// Loads every file into a fresh processor, reporting the first failure.
+fn load_files(files: &[String]) -> Result<QueryProcessor, ()> {
+    let mut qp = QueryProcessor::new();
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return Err(());
+            }
+        };
+        if let Err(e) = qp.load(&text) {
+            report_ast_error(file, &text, &e);
+            return Err(());
+        }
+    }
+    Ok(qp)
 }
 
 /// The `sepra check FILE...` subcommand: lint-only, no evaluation.
@@ -266,18 +366,217 @@ fn run_check(args: &[String]) -> ExitCode {
     ExitCode::from(worst)
 }
 
+/// The `sepra serve FILE...` subcommand.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut opts = ServeOptions::default();
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => return usage_error("missing argument for --addr"),
+            },
+            "-t" | "--threads" => {
+                let Some(n) = args.next() else {
+                    return usage_error("missing argument for --threads");
+                };
+                match n.parse::<usize>().ok().filter(|&n| n >= 1) {
+                    Some(n) => opts.threads = n,
+                    None => {
+                        return usage_error(&format!(
+                            "--threads expects a positive integer, got `{n}`"
+                        ))
+                    }
+                }
+            }
+            "--timeout" => {
+                let Some(ms) = args.next() else {
+                    return usage_error("missing argument for --timeout");
+                };
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.default_timeout = Some(Duration::from_millis(ms)),
+                    Err(_) => {
+                        return usage_error(&format!("--timeout expects milliseconds, got `{ms}`"))
+                    }
+                }
+            }
+            "--max-tuples" => {
+                let Some(n) = args.next() else {
+                    return usage_error("missing argument for --max-tuples");
+                };
+                match n.parse::<usize>() {
+                    Ok(n) => opts.default_max_tuples = Some(n),
+                    Err(_) => {
+                        return usage_error(&format!("--max-tuples expects an integer, got `{n}`"))
+                    }
+                }
+            }
+            "--deny" => match args.next().map(String::as_str) {
+                Some("warnings") => opts.deny_warnings = true,
+                other => {
+                    return usage_error(&format!(
+                        "--deny expects `warnings`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "-h" | "--help" => {
+                print!("{}", SERVE_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}` (try `sepra serve --help`)"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage_error("sepra serve needs at least one file (try `sepra serve --help`)");
+    }
+    let Ok(qp) = load_files(&files) else {
+        return ExitCode::FAILURE;
+    };
+    match serve(qp, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `sepra client` subcommand: one connection, one request per line.
+fn run_client(args: &[String]) -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7464");
+    let mut queries: Vec<String> = Vec::new();
+    let mut raw: Vec<String> = Vec::new();
+    let mut strategy: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_tuples: Option<u64> = None;
+    let mut stats = false;
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a.clone(),
+                None => return usage_error("missing argument for --addr"),
+            },
+            "-s" | "--strategy" => match args.next() {
+                Some(s) => strategy = Some(s.clone()),
+                None => return usage_error("missing argument for --strategy"),
+            },
+            "--timeout" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => timeout_ms = Some(ms),
+                None => return usage_error("--timeout expects milliseconds"),
+            },
+            "--max-tuples" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => max_tuples = Some(n),
+                None => return usage_error("--max-tuples expects an integer"),
+            },
+            "--stats" => stats = true,
+            "--raw" => match args.next() {
+                Some(r) => raw.push(r.clone()),
+                None => return usage_error("missing argument for --raw"),
+            },
+            "-h" | "--help" => {
+                print!("{}", CLIENT_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!(
+                    "unknown option `{other}` (try `sepra client --help`)"
+                ))
+            }
+            query => queries.push(query.to_string()),
+        }
+    }
+    if queries.is_empty() && raw.is_empty() && !stats {
+        return usage_error("sepra client needs a QUERY, --raw, or --stats");
+    }
+    let mut requests: Vec<String> = Vec::new();
+    for query in &queries {
+        let mut w = json::ObjWriter::new();
+        w.str("query", query);
+        if let Some(s) = &strategy {
+            w.str("strategy", s);
+        }
+        if let Some(ms) = timeout_ms {
+            w.num("timeout_ms", ms);
+        }
+        if let Some(n) = max_tuples {
+            w.num("max_tuples", n);
+        }
+        requests.push(w.finish());
+    }
+    requests.extend(raw);
+    if stats {
+        requests.push(r#"{"stats":true}"#.to_string());
+    }
+
+    let stream = match std::net::TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    for request in &requests {
+        if writer.write_all(request.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            eprintln!("error: connection to {addr} lost");
+            return ExitCode::from(2);
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) => {
+                eprintln!("error: server closed the connection");
+                return ExitCode::from(2);
+            }
+            Ok(_) => print!("{response}"),
+            Err(e) => {
+                eprintln!("error: reading response: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one query and prints the outcome. Returns `false` on parse or
+/// evaluation failure so the one-shot path can exit nonzero; the REPL
+/// ignores the result and keeps the session alive.
 fn run_query(
     qp: &mut QueryProcessor,
     src: &str,
     strategy: StrategyChoice,
     stats: bool,
     format: Format,
-) {
+) -> bool {
     let query = match qp.parse_query(src) {
         Ok(q) => q,
         Err(e) => {
             report_ast_error("<query>", src, &e);
-            return;
+            return false;
         }
     };
     match qp.run_query(&query, strategy) {
@@ -297,14 +596,21 @@ fn run_query(
             Format::Csv => print!("{}", render_answers_csv(&result.answers, qp.db().interner())),
             Format::Json => print!("{}", render_answers_json(&result.answers, qp.db().interner())),
         },
-        Err(e) => eprintln!("error: {e}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
     }
+    true
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("check") {
-        return run_check(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("check") => return run_check(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
+        Some("client") => return run_client(&args[1..]),
+        _ => {}
     }
     let opts = match parse_args(args) {
         Ok(Some(o)) => o,
@@ -314,21 +620,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut qp = QueryProcessor::new();
-    qp.set_exec_options(ExecOptions { threads: opts.threads, ..ExecOptions::default() });
-    for file in &opts.files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = qp.load(&text) {
-            report_ast_error(file, &text, &e);
-            return ExitCode::FAILURE;
-        }
+    let mut budget = Budget::unlimited();
+    if let Some(t) = opts.timeout {
+        budget = budget.timeout(t);
     }
+    if let Some(n) = opts.max_tuples {
+        budget = budget.tuples(n);
+    }
+    let Ok(mut qp) = load_files(&opts.files) else {
+        return ExitCode::FAILURE;
+    };
+    qp.set_exec_options(ExecOptions { threads: opts.threads, budget, ..ExecOptions::default() });
 
     if opts.check {
         print!("{}", qp.check_report());
@@ -344,8 +646,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-        } else {
-            run_query(&mut qp, query, opts.strategy, opts.stats, opts.format);
+        } else if !run_query(&mut qp, query, opts.strategy, opts.stats, opts.format) {
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,26 @@
+//! The `sepra` CLI and the `sepra serve` concurrent query service.
+//!
+//! The paper's closing argument is that compiled separable recursions
+//! belong *inside* a query processor, supplementing the general
+//! algorithms. This crate is the front door to that processor: the `sepra`
+//! binary (one-shot queries, a REPL, `sepra check` static analysis) and a
+//! long-lived TCP query service that loads and compiles a program once,
+//! then answers concurrent line-delimited JSON queries with per-request
+//! deadlines, tuple caps, cancellation on shutdown, and live engine
+//! statistics (per-strategy counts, latency aggregates, plan-cache
+//! hit rates).
+//!
+//! See [`server`] for the wire protocol, [`metrics`] for what the `stats`
+//! request reports, and [`json`] for the dependency-free JSON layer.
+
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use metrics::{Metrics, Snapshot};
+pub use server::{lint_gate, serve, ServeError, ServeOptions, MAX_REQUEST_BYTES};
+
+/// Default worker count: whatever the OS reports, falling back to serial.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}

@@ -1,0 +1,188 @@
+//! Live engine statistics for the query service.
+//!
+//! One [`Metrics`] instance is shared (behind an `Arc`) by every worker;
+//! recording a query takes one short mutex acquisition. The `stats`
+//! request renders a snapshot: uptime, per-strategy query counts,
+//! cumulative tuples/iterations, and latency min/median/max over a bounded
+//! reservoir of recent samples.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many recent latency samples the median is computed over; older
+/// samples are overwritten ring-buffer style so memory stays bounded on a
+/// long-lived server (min/max remain all-time).
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared query-service counters.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ok: u64,
+    errors: u64,
+    budget_exceeded: u64,
+    by_strategy: BTreeMap<String, u64>,
+    tuples_inserted: u64,
+    iterations: u64,
+    latency_min_us: Option<u64>,
+    latency_max_us: u64,
+    samples: Vec<u64>,
+    next_sample: usize,
+}
+
+/// A point-in-time copy of the counters, for rendering or assertions.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub uptime: Duration,
+    pub ok: u64,
+    pub errors: u64,
+    pub budget_exceeded: u64,
+    pub by_strategy: BTreeMap<String, u64>,
+    pub tuples_inserted: u64,
+    pub iterations: u64,
+    pub latency_min_us: u64,
+    pub latency_median_us: u64,
+    pub latency_max_us: u64,
+}
+
+impl Snapshot {
+    /// Total queries answered (successes plus failures of any kind).
+    pub fn total(&self) -> u64 {
+        self.ok + self.errors + self.budget_exceeded
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics; uptime counts from now.
+    pub fn new() -> Self {
+        Self { started: Instant::now(), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked while holding the lock has already
+        // recorded or not recorded its query; the counters stay usable.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn record_latency(inner: &mut Inner, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        inner.latency_min_us = Some(inner.latency_min_us.map_or(us, |m| m.min(us)));
+        inner.latency_max_us = inner.latency_max_us.max(us);
+        if inner.samples.len() < LATENCY_WINDOW {
+            inner.samples.push(us);
+        } else {
+            let slot = inner.next_sample % LATENCY_WINDOW;
+            inner.samples[slot] = us;
+        }
+        inner.next_sample = inner.next_sample.wrapping_add(1);
+    }
+
+    /// Records a successfully answered query.
+    pub fn record_ok(&self, strategy: &str, elapsed: Duration, tuples: u64, iterations: u64) {
+        let mut inner = self.lock();
+        inner.ok += 1;
+        *inner.by_strategy.entry(strategy.to_string()).or_insert(0) += 1;
+        inner.tuples_inserted += tuples;
+        inner.iterations += iterations;
+        Self::record_latency(&mut inner, elapsed);
+    }
+
+    /// Records a query that failed; budget exhaustion is counted
+    /// separately from other errors (it is the expected outcome of a
+    /// deadline, not a fault).
+    pub fn record_error(&self, budget_exceeded: bool, elapsed: Duration) {
+        let mut inner = self.lock();
+        if budget_exceeded {
+            inner.budget_exceeded += 1;
+        } else {
+            inner.errors += 1;
+        }
+        Self::record_latency(&mut inner, elapsed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut sorted = inner.samples.clone();
+        sorted.sort_unstable();
+        let median = if sorted.is_empty() { 0 } else { sorted[sorted.len() / 2] };
+        Snapshot {
+            uptime: self.started.elapsed(),
+            ok: inner.ok,
+            errors: inner.errors,
+            budget_exceeded: inner.budget_exceeded,
+            by_strategy: inner.by_strategy.clone(),
+            tuples_inserted: inner.tuples_inserted,
+            iterations: inner.iterations,
+            latency_min_us: inner.latency_min_us.unwrap_or(0),
+            latency_median_us: median,
+            latency_max_us: inner.latency_max_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_strategy_and_outcome() {
+        let m = Metrics::new();
+        m.record_ok("separable", Duration::from_micros(100), 10, 3);
+        m.record_ok("separable", Duration::from_micros(300), 20, 5);
+        m.record_ok("seminaive", Duration::from_micros(200), 7, 2);
+        m.record_error(true, Duration::from_micros(50));
+        m.record_error(false, Duration::from_micros(60));
+
+        let s = m.snapshot();
+        assert_eq!(s.ok, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.budget_exceeded, 1);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.by_strategy.get("separable"), Some(&2));
+        assert_eq!(s.by_strategy.get("seminaive"), Some(&1));
+        assert_eq!(s.tuples_inserted, 37);
+        assert_eq!(s.iterations, 10);
+        assert_eq!(s.latency_min_us, 50);
+        assert_eq!(s.latency_max_us, 300);
+        // Sorted samples: 50, 60, 100, 200, 300 → median 100.
+        assert_eq!(s.latency_median_us, 100);
+    }
+
+    #[test]
+    fn latency_window_stays_bounded() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW as u64 + 100) {
+            m.record_ok("seminaive", Duration::from_micros(i), 0, 0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_min_us, 0); // all-time min survives eviction
+        assert_eq!(s.latency_max_us, LATENCY_WINDOW as u64 + 99);
+        assert_eq!(s.total(), LATENCY_WINDOW as u64 + 100);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.latency_min_us, 0);
+        assert_eq!(s.latency_median_us, 0);
+        assert_eq!(s.latency_max_us, 0);
+        assert!(s.by_strategy.is_empty());
+    }
+}

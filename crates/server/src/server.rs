@@ -1,0 +1,646 @@
+//! The `sepra serve` query service.
+//!
+//! A server loads and compiles a program once ([`QueryProcessor::prepare`]
+//! interns symbols, detects recursions, materializes supporting strata, and
+//! enables the shared plan cache), then answers line-delimited JSON
+//! requests over TCP:
+//!
+//! ```text
+//! -> {"query": "t(a, Y)?", "strategy": "separable", "timeout_ms": 250, "max_tuples": 100000}
+//! <- {"answers": [["a","b"], ...], "count": 2, "strategy": "separable",
+//!     "elapsed_us": 113, "stats": {"iterations": 4, "tuples_inserted": 9, "rows_scanned": 31}}
+//! -> {"stats": true}
+//! <- {"uptime_ms": ..., "threads": ..., "queries": {...}, "latency_us": {...}, ...}
+//! ```
+//!
+//! Concurrency is a hand-rolled worker pool over `std::net` (the workspace
+//! takes no external dependencies): each worker owns a cheap
+//! [`QueryProcessor`] clone — a copy-on-write database snapshot sharing the
+//! prepared state and plan cache — and pulls connections from a
+//! condvar-guarded queue. Every request runs under a [`Budget`] that
+//! combines the server-wide defaults, the request's overrides, and a
+//! cancellation flag raised at shutdown, so a deadline or a Ctrl-C
+//! surfaces as a structured `budget_exceeded` error instead of a stuck
+//! fixpoint.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sepra_engine::{ProcessorError, QueryProcessor, Strategy, StrategyChoice};
+use sepra_eval::{Budget, EvalError};
+
+use crate::json::{self, Json, ObjWriter};
+use crate::metrics::Metrics;
+
+/// Requests larger than this are rejected without parsing (the protocol is
+/// one query per line; 64 KiB is far beyond any sensible query text).
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// How long a connection may sit idle mid-protocol before the worker
+/// reclaims itself. Reads poll in [`READ_POLL`] slices so an idle worker
+/// still notices shutdown promptly.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+const READ_POLL: Duration = Duration::from_millis(200);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How often the accept loop and idle workers re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:7464` (port 0 picks a free port;
+    /// the chosen address is printed on startup).
+    pub addr: String,
+    /// Worker threads — concurrent connections served (each query runs its
+    /// fixpoints serially; parallelism is across requests).
+    pub threads: usize,
+    /// Default per-query deadline; a request's `timeout_ms` overrides it.
+    pub default_timeout: Option<Duration>,
+    /// Default per-query derived-tuple cap; `max_tuples` overrides it.
+    pub default_max_tuples: Option<usize>,
+    /// Refuse to start on lint warnings too, not just errors.
+    pub deny_warnings: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7464".into(),
+            threads: crate::default_threads(),
+            default_timeout: None,
+            default_max_tuples: None,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// Why the server refused to start (it never fails once serving).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The loaded program has deny-level diagnostics; the rendered report
+    /// is included. The gate mirrors `sepra check`: a program that fails
+    /// static analysis is refused before a socket is ever bound.
+    Lint(String),
+    /// Preparing the processor (support materialization) failed.
+    Prepare(ProcessorError),
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Lint(report) => {
+                write!(f, "refusing to serve a program with lint errors\n{report}")
+            }
+            ServeError::Prepare(e) => write!(f, "preparing the program failed: {e}"),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The `sepra check` gate: refuses a program whose diagnostics would make
+/// `sepra check` exit nonzero (errors always; warnings under
+/// `deny_warnings`).
+pub fn lint_gate(qp: &QueryProcessor, deny_warnings: bool) -> Result<(), ServeError> {
+    let result = qp.lint("<program>", None);
+    if result.exit_code(deny_warnings) != 0 {
+        return Err(ServeError::Lint(result.render_text()));
+    }
+    Ok(())
+}
+
+/// Runs the query service until shutdown (a `quit` line on stdin, SIGINT,
+/// or SIGTERM). Prints `sepra serve listening on ADDR (N workers)` once
+/// the socket is bound.
+pub fn serve(mut qp: QueryProcessor, opts: &ServeOptions) -> Result<(), ServeError> {
+    lint_gate(&qp, opts.deny_warnings)?;
+    qp.prepare().map_err(ServeError::Prepare)?;
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    println!("sepra serve listening on {addr} ({} workers)", opts.threads.max(1));
+    let _ = std::io::stdout().flush();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    watch_stdin(Arc::clone(&shutdown));
+    signal::install();
+    run(listener, qp, opts, shutdown)
+}
+
+/// The accept loop and worker pool, parameterized over the listener and
+/// shutdown flag so tests can drive a server in-process. Returns once the
+/// flag is raised and every worker has drained.
+pub fn run(
+    listener: TcpListener,
+    qp: QueryProcessor,
+    opts: &ServeOptions,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(), ServeError> {
+    listener.set_nonblocking(true)?;
+    let metrics = Arc::new(Metrics::new());
+    let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+
+    let mut workers = Vec::new();
+    for i in 0..opts.threads.max(1) {
+        let worker = Worker {
+            qp: qp.clone(),
+            queue: Arc::clone(&queue),
+            shutdown: Arc::clone(&shutdown),
+            metrics: Arc::clone(&metrics),
+            default_timeout: opts.default_timeout,
+            default_max_tuples: opts.default_max_tuples,
+            threads: opts.threads.max(1),
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("sepra-worker-{i}"))
+                .spawn(move || worker.run())?,
+        );
+    }
+
+    while !shutdown.load(Ordering::SeqCst) {
+        if signal::raised() {
+            shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let (lock, cvar) = &*queue;
+                lock.lock().unwrap_or_else(|e| e.into_inner()).push_back(stream);
+                cvar.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+
+    // Raising the flag cancels in-flight budgets (every request's budget
+    // carries it as a cancellation token); waking the condvar releases
+    // idle workers.
+    shutdown.store(true, Ordering::SeqCst);
+    queue.1.notify_all();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Watches stdin for a `quit`/`shutdown` line on a detached thread. EOF
+/// stops the watcher without stopping the server (so a backgrounded
+/// server with a closed stdin keeps running; use SIGINT/SIGTERM there).
+fn watch_stdin(shutdown: Arc<AtomicBool>) {
+    let _ = std::thread::Builder::new().name("sepra-stdin".into()).spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if matches!(line.trim(), "quit" | "shutdown" | "exit") {
+                        shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// SIGINT/SIGTERM handling without a libc dependency: a hand-rolled
+/// binding to `signal(2)` flips a process-global flag the accept loop
+/// polls. Non-Unix builds compile the polling to a constant `false`.
+#[cfg(unix)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RAISED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        RAISED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    pub(super) fn raised() -> bool {
+        RAISED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub(super) fn install() {}
+
+    pub(super) fn raised() -> bool {
+        false
+    }
+}
+
+/// One worker thread: owns a processor clone and serves whole connections
+/// pulled from the shared queue.
+struct Worker {
+    qp: QueryProcessor,
+    queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    default_timeout: Option<Duration>,
+    default_max_tuples: Option<usize>,
+    threads: usize,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            let stream = {
+                let (lock, cvar) = &*self.queue;
+                let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(stream) = q.pop_front() {
+                        break Some(stream);
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    let (guard, _) =
+                        cvar.wait_timeout(q, POLL_INTERVAL).unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                }
+            };
+            match stream {
+                Some(stream) => self.handle_connection(stream),
+                None => return,
+            }
+        }
+    }
+
+    fn handle_connection(&mut self, stream: TcpStream) {
+        // Short read timeouts so a worker parked on an idle connection
+        // still notices shutdown within one poll interval; `idle` tracks
+        // the cumulative wait so connections are still reclaimed.
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = Vec::new();
+        let mut idle = Duration::ZERO;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // The cap counts the request line itself: filling it without a
+            // newline means the client sent an oversized request. A timed-
+            // out read leaves any partial line in `line` for the next poll.
+            let remaining = (MAX_REQUEST_BYTES + 1).saturating_sub(line.len());
+            if remaining == 0 {
+                let _ = write_line(
+                    &mut writer,
+                    &error_response(
+                        "bad_request",
+                        &format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                        None,
+                    ),
+                );
+                return;
+            }
+            match (&mut reader).take(remaining as u64).read_until(b'\n', &mut line) {
+                Ok(0) if line.is_empty() => return,        // EOF: client is done
+                Ok(0) => {}                                // EOF with a final unterminated request
+                Ok(_) if line.last() == Some(&b'\n') => {} // one complete request
+                Ok(_) => continue, // mid-line (take cap or EOF pending); keep reading
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    idle += READ_POLL;
+                    if idle >= IDLE_TIMEOUT {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return, // reset
+            }
+            idle = Duration::ZERO;
+            let response = match std::str::from_utf8(&line) {
+                Ok(text) if text.trim().is_empty() => {
+                    line.clear();
+                    continue;
+                }
+                Ok(text) => self.handle_request(text.trim()),
+                Err(_) => error_response("bad_request", "request is not valid UTF-8", None),
+            };
+            line.clear();
+            if write_line(&mut writer, &response).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn handle_request(&mut self, text: &str) -> String {
+        let request = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return error_response("bad_request", &format!("invalid JSON: {e}"), None),
+        };
+        if request.get("stats").and_then(Json::as_bool) == Some(true) {
+            return stats_response(&self.metrics, &self.qp, self.threads);
+        }
+        let Some(query) = request.get("query").and_then(Json::as_str).map(str::to_owned) else {
+            return error_response(
+                "bad_request",
+                "request needs a \"query\" member (or \"stats\": true)",
+                None,
+            );
+        };
+        let choice = match request.get("strategy").and_then(Json::as_str) {
+            None => StrategyChoice::Auto,
+            Some(name) => match name.parse::<Strategy>() {
+                Ok(s) => StrategyChoice::Force(s),
+                Err(e) => return error_response("bad_request", &e, None),
+            },
+        };
+
+        // Per-request budget: server defaults, request overrides, and the
+        // shutdown flag as a cancellation token.
+        let mut budget = Budget::unlimited().cancellable(Arc::clone(&self.shutdown));
+        let timeout_ms = request.get("timeout_ms").and_then(Json::as_u64);
+        if let Some(ms) = timeout_ms {
+            budget = budget.timeout(Duration::from_millis(ms));
+        } else if let Some(t) = self.default_timeout {
+            budget = budget.timeout(t);
+        }
+        let max_tuples = request.get("max_tuples").and_then(Json::as_u64);
+        if let Some(n) = max_tuples {
+            budget = budget.tuples(n as usize);
+        } else if let Some(n) = self.default_max_tuples {
+            budget = budget.tuples(n);
+        }
+        self.qp.set_exec_options(sepra_core::exec::ExecOptions {
+            budget,
+            ..sepra_core::exec::ExecOptions::default()
+        });
+
+        let start = Instant::now();
+        match self.qp.query_with(&query, choice) {
+            Ok(result) => {
+                self.metrics.record_ok(
+                    &result.strategy.to_string(),
+                    start.elapsed(),
+                    result.stats.tuples_inserted as u64,
+                    result.stats.iterations as u64,
+                );
+                let interner = self.qp.db().interner();
+                let mut rows = String::from("[");
+                for (i, tuple) in result.answers.iter().enumerate() {
+                    if i > 0 {
+                        rows.push(',');
+                    }
+                    rows.push('[');
+                    for (j, value) in tuple.values().iter().enumerate() {
+                        if j > 0 {
+                            rows.push(',');
+                        }
+                        rows.push('"');
+                        rows.push_str(&json::escape(&value.display(interner).to_string()));
+                        rows.push('"');
+                    }
+                    rows.push(']');
+                }
+                rows.push(']');
+                let mut stats = ObjWriter::new();
+                stats
+                    .num("iterations", result.stats.iterations as u64)
+                    .num("tuples_inserted", result.stats.tuples_inserted as u64)
+                    .num("rows_scanned", result.stats.rows_scanned as u64);
+                let mut out = ObjWriter::new();
+                out.raw("answers", &rows)
+                    .num("count", result.answers.len() as u64)
+                    .str("strategy", &result.strategy.to_string())
+                    .num(
+                        "elapsed_us",
+                        u64::try_from(result.elapsed.as_micros()).unwrap_or(u64::MAX),
+                    )
+                    .raw("stats", &stats.finish());
+                out.finish()
+            }
+            Err(e) => {
+                let budget_exceeded =
+                    matches!(&e, ProcessorError::Eval(EvalError::BudgetExceeded { .. }));
+                self.metrics.record_error(budget_exceeded, start.elapsed());
+                match e {
+                    ProcessorError::Eval(EvalError::BudgetExceeded { what, resource }) => {
+                        let mut detail = ObjWriter::new();
+                        detail
+                            .str("kind", "budget_exceeded")
+                            .str(
+                                "message",
+                                &format!("budget exceeded in {what}: {}", resource.name()),
+                            )
+                            .str("what", &what)
+                            .str("resource", resource.name());
+                        let mut out = ObjWriter::new();
+                        out.raw("error", &detail.finish());
+                        out.finish()
+                    }
+                    ProcessorError::Ast(e) => error_response("parse", &e.to_string(), None),
+                    ProcessorError::Eval(e) => error_response("eval", &e.to_string(), None),
+                    ProcessorError::Facts(e) => error_response("facts", &e, None),
+                    ProcessorError::StrategyUnavailable(e) => {
+                        error_response("strategy_unavailable", &e, None)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Renders `{"error": {"kind": ..., "message": ..., "what"?: ...}}`.
+fn error_response(kind: &str, message: &str, what: Option<&str>) -> String {
+    let mut detail = ObjWriter::new();
+    detail.str("kind", kind).str("message", message);
+    if let Some(what) = what {
+        detail.str("what", what);
+    }
+    let mut out = ObjWriter::new();
+    out.raw("error", &detail.finish());
+    out.finish()
+}
+
+/// Renders the `{"stats": true}` response from the live counters.
+fn stats_response(metrics: &Metrics, qp: &QueryProcessor, threads: usize) -> String {
+    let s = metrics.snapshot();
+    let mut by_strategy = ObjWriter::new();
+    for (strategy, count) in &s.by_strategy {
+        by_strategy.num(strategy, *count);
+    }
+    let mut queries = ObjWriter::new();
+    queries
+        .num("total", s.total())
+        .num("ok", s.ok)
+        .num("errors", s.errors)
+        .num("budget_exceeded", s.budget_exceeded)
+        .raw("by_strategy", &by_strategy.finish());
+    let mut latency = ObjWriter::new();
+    latency
+        .num("min", s.latency_min_us)
+        .num("median", s.latency_median_us)
+        .num("max", s.latency_max_us);
+    let cache = qp.plan_cache();
+    let mut plan_cache = ObjWriter::new();
+    plan_cache
+        .num("entries", cache.entries() as u64)
+        .num("hits", cache.hits())
+        .num("misses", cache.misses());
+    let mut out = ObjWriter::new();
+    out.num("uptime_ms", u64::try_from(s.uptime.as_millis()).unwrap_or(u64::MAX))
+        .num("threads", threads as u64)
+        .raw("queries", &queries.finish())
+        .num("tuples_inserted", s.tuples_inserted)
+        .num("iterations", s.iterations)
+        .raw("latency_us", &latency.finish())
+        .raw("plan_cache", &plan_cache.finish());
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn processor() -> QueryProcessor {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "buys(X, Y) :- friend(X, W), buys(W, Y).\n\
+             buys(X, Y) :- perfectFor(X, Y).\n\
+             friend(tom, sue). friend(sue, joe).\n\
+             perfectFor(joe, widget).\n",
+        )
+        .unwrap();
+        qp
+    }
+
+    fn worker(qp: QueryProcessor) -> Worker {
+        Worker {
+            qp,
+            queue: Arc::new((Mutex::new(VecDeque::new()), Condvar::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(Metrics::new()),
+            default_timeout: None,
+            default_max_tuples: None,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn answers_a_query_request() {
+        let mut w = worker(processor());
+        let response = w.handle_request(r#"{"query": "buys(tom, Y)?"}"#);
+        let v = json::parse(&response).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("strategy").and_then(Json::as_str), Some("separable"));
+        assert_eq!(
+            v.get("answers"),
+            Some(&Json::Arr(vec![Json::Arr(vec![
+                Json::Str("tom".into()),
+                Json::Str("widget".into()),
+            ])]))
+        );
+        assert!(v.get("stats").and_then(|s| s.get("iterations")).is_some());
+    }
+
+    #[test]
+    fn budget_exceeded_is_structured() {
+        let mut w = worker(processor());
+        let response = w.handle_request(r#"{"query": "buys(tom, Y)?", "max_tuples": 0}"#);
+        let v = json::parse(&response).unwrap();
+        let error = v.get("error").expect("error member");
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("budget_exceeded"));
+        assert_eq!(error.get("resource").and_then(Json::as_str), Some("tuples"));
+        // The worker stays usable afterwards.
+        let ok = w.handle_request(r#"{"query": "buys(tom, Y)?"}"#);
+        assert!(json::parse(&ok).unwrap().get("answers").is_some());
+    }
+
+    #[test]
+    fn malformed_requests_get_bad_request() {
+        let mut w = worker(processor());
+        for request in ["nonsense", "{}", r#"{"query": 7}"#, r#"{"query": "t(", "x": }"#] {
+            let v = json::parse(&w.handle_request(request)).unwrap();
+            assert_eq!(
+                v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+                Some("bad_request"),
+                "request {request:?}"
+            );
+        }
+        let v = json::parse(&w.handle_request(r#"{"query": "buys(tom"}"#)).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("parse")
+        );
+    }
+
+    #[test]
+    fn stats_request_reports_counters() {
+        let mut w = worker(processor());
+        w.handle_request(r#"{"query": "buys(tom, Y)?"}"#);
+        w.handle_request(r#"{"query": "buys(tom, Y)?", "max_tuples": 0}"#);
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        let queries = v.get("queries").expect("queries member");
+        assert_eq!(queries.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(queries.get("ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(queries.get("budget_exceeded").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            queries.get("by_strategy").and_then(|b| b.get("separable")).and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(v.get("latency_us").and_then(|l| l.get("median")).is_some());
+        assert!(v.get("plan_cache").is_some());
+        assert!(v.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn lint_gate_rejects_deny_level_programs() {
+        // `q` is undefined and `p` unused — warning-level diagnostics, so
+        // the gate passes by default but rejects under --deny warnings.
+        let mut qp = QueryProcessor::new();
+        qp.load("p(X) :- q(X).\n").unwrap();
+        assert!(lint_gate(&qp, false).is_ok());
+        assert!(matches!(lint_gate(&qp, true), Err(ServeError::Lint(_))));
+    }
+}

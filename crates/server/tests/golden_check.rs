@@ -6,7 +6,7 @@
 //! passes, bless new output with:
 //!
 //! ```text
-//! UPDATE_GOLDEN=1 cargo test -p sepra-engine --test golden_check
+//! UPDATE_GOLDEN=1 cargo test -p sepra-server --test golden_check
 //! ```
 //!
 //! The binary runs with the repository root as its working directory so
@@ -22,7 +22,7 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/engine sits two levels below the repo root")
+        .expect("crates/server sits two levels below the repo root")
         .to_path_buf()
 }
 

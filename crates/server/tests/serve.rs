@@ -1,0 +1,233 @@
+//! End-to-end tests for `sepra serve`: a real subprocess, real TCP
+//! connections, concurrent clients, a query that exceeds its deadline
+//! while the server keeps serving, live stats, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sepra_server::json::{self, Json};
+
+/// Chain length for the transitive-closure fixture. Long enough that the
+/// unselected closure (~ CHAIN²/2 tuples over CHAIN iterations) runs for
+/// many budget checks, short enough to stay fast when allowed to finish.
+const CHAIN: usize = 300;
+
+fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut text = String::from("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n");
+    for i in 0..CHAIN {
+        text.push_str(&format!("e(n{i}, n{}).\n", i + 1));
+    }
+    let path = dir.join("chain.dl");
+    std::fs::write(&path, text).expect("fixture writes");
+    path
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns `sepra serve` on an OS-assigned port and parses the address
+    /// from its startup line.
+    fn spawn(workers: usize) -> Self {
+        let dir = std::env::temp_dir().join(format!("sepra_serve_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fixture = write_fixture(&dir);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sepra"))
+            .arg("serve")
+            .arg(&fixture)
+            .args(["--addr", "127.0.0.1:0", "--threads", &workers.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines.next().expect("server prints a startup line").expect("startup line");
+        let addr = banner
+            .strip_prefix("sepra serve listening on ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected startup line: {banner}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> Connection {
+        let stream = TcpStream::connect(&self.addr).expect("connects to server");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Connection { stream, reader }
+    }
+
+    /// Sends `quit` on stdin and waits for a clean exit.
+    fn shutdown(mut self) {
+        let mut stdin = self.child.stdin.take().expect("stdin is piped");
+        stdin.write_all(b"quit\n").expect("writes quit");
+        stdin.flush().unwrap();
+        drop(stdin);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait works") {
+                Some(status) => {
+                    assert!(status.success(), "server exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("server did not shut down within 30s of `quit`");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn request(&mut self, body: &str) -> Json {
+        self.stream.write_all(body.as_bytes()).expect("request writes");
+        self.stream.write_all(b"\n").expect("newline writes");
+        self.stream.flush().unwrap();
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("response reads");
+        assert!(n > 0, "server closed the connection after {body:?}");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+    }
+}
+
+fn error_kind(v: &Json) -> Option<&str> {
+    v.get("error")?.get("kind")?.as_str()
+}
+
+#[test]
+fn serves_concurrent_clients_with_deadlines_and_stats() {
+    let server = Server::spawn(4);
+
+    // Phase 1: four concurrent clients issue selection queries with known
+    // answer counts (from n_k the chain reaches CHAIN - k nodes), while a
+    // fifth asks for the full closure under a 1 ms deadline — it must get
+    // a structured budget_exceeded error, not a hung server or a panic.
+    let mut handles = Vec::new();
+    for k in [0usize, 1, 2, 3] {
+        let mut conn = server.connect();
+        handles.push(std::thread::spawn(move || {
+            let response = conn.request(&format!(r#"{{"query": "t(n{k}, Y)?"}}"#));
+            assert_eq!(
+                response.get("count").and_then(Json::as_u64),
+                Some((CHAIN - k) as u64),
+                "client {k}: {response:?}"
+            );
+            assert_eq!(
+                response.get("strategy").and_then(Json::as_str),
+                Some("separable"),
+                "client {k}"
+            );
+            // Answers are tuples of the query predicate, sorted.
+            match response.get("answers") {
+                Some(Json::Arr(rows)) => {
+                    assert_eq!(rows.len(), CHAIN - k);
+                    assert_eq!(
+                        rows[0],
+                        Json::Arr(vec![
+                            Json::Str(format!("n{k}")),
+                            Json::Str(format!("n{}", k + 1)),
+                        ])
+                    );
+                }
+                other => panic!("client {k}: answers missing: {other:?}"),
+            }
+        }));
+    }
+    let mut deadline_conn = server.connect();
+    let timing_out = std::thread::spawn(move || {
+        deadline_conn.request(r#"{"query": "t(X, Y)?", "strategy": "seminaive", "timeout_ms": 1}"#)
+    });
+    for handle in handles {
+        handle.join().expect("client thread succeeds");
+    }
+    let response = timing_out.join().expect("deadline client returns");
+    assert_eq!(error_kind(&response), Some("budget_exceeded"), "{response:?}");
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("resource")).and_then(Json::as_str),
+        Some("deadline"),
+        "{response:?}"
+    );
+
+    // Phase 2: the server keeps serving on the same and on new
+    // connections after the budget error; malformed requests get
+    // structured errors without dropping the connection.
+    let mut conn = server.connect();
+    let bad = conn.request("this is not json");
+    assert_eq!(error_kind(&bad), Some("bad_request"), "{bad:?}");
+    let capped = conn.request(r#"{"query": "t(X, Y)?", "max_tuples": 10}"#);
+    assert_eq!(error_kind(&capped), Some("budget_exceeded"), "{capped:?}");
+    assert_eq!(
+        capped.get("error").and_then(|e| e.get("resource")).and_then(Json::as_str),
+        Some("tuples"),
+        "{capped:?}"
+    );
+    let ok = conn.request(r#"{"query": "t(n5, Y)?"}"#);
+    assert_eq!(ok.get("count").and_then(Json::as_u64), Some((CHAIN - 5) as u64), "{ok:?}");
+
+    // Phase 3: live stats reflect everything above.
+    let stats = conn.request(r#"{"stats": true}"#);
+    let queries = stats.get("queries").expect("queries member");
+    assert_eq!(queries.get("ok").and_then(Json::as_u64), Some(5), "{stats:?}");
+    assert_eq!(queries.get("budget_exceeded").and_then(Json::as_u64), Some(2), "{stats:?}");
+    let by_strategy = queries.get("by_strategy").expect("by_strategy member");
+    assert_eq!(by_strategy.get("separable").and_then(Json::as_u64), Some(5), "{stats:?}");
+    let latency = stats.get("latency_us").expect("latency member");
+    for member in ["min", "median", "max"] {
+        assert!(latency.get(member).and_then(Json::as_u64).is_some(), "{stats:?}");
+    }
+    // Five selection queries on one predicate share one compiled plan.
+    let cache = stats.get("plan_cache").expect("plan_cache member");
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1), "{stats:?}");
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 4, "{stats:?}");
+    assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some(), "{stats:?}");
+
+    // Phase 4: `quit` on stdin shuts the server down cleanly.
+    server.shutdown();
+}
+
+#[test]
+fn client_subcommand_round_trips() {
+    let server = Server::spawn(2);
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .args(["client", "--addr", &server.addr, "t(n0, Y)?", "--stats"])
+        .output()
+        .expect("client runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let answer = json::parse(lines.next().expect("answer line")).expect("answer is JSON");
+    assert_eq!(answer.get("count").and_then(Json::as_u64), Some(CHAIN as u64));
+    let stats = json::parse(lines.next().expect("stats line")).expect("stats is JSON");
+    assert_eq!(stats.get("queries").and_then(|q| q.get("ok")).and_then(Json::as_u64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn refuses_programs_that_fail_the_lint_gate() {
+    let dir = std::env::temp_dir().join(format!("sepra_serve_lint_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("warned.dl");
+    // `q` is undefined and `p` unused: warnings, rejected under --deny.
+    std::fs::write(&path, "p(X) :- q(X).\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--deny", "warnings"])
+        .arg(&path)
+        .output()
+        .expect("server runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing to serve"), "{stderr}");
+}

@@ -5,6 +5,8 @@
 //! constructors accept facts as strings, AST facts, or raw tuples, so tests,
 //! examples, and generators can all build databases tersely.
 
+use std::sync::Arc;
+
 use sepra_ast::{Atom, Interner, Program, Sym, Term};
 
 use crate::hasher::FxHashMap;
@@ -51,10 +53,16 @@ impl From<ValueError> for DatabaseError {
 }
 
 /// An extensional database: named relations over a shared interner.
+///
+/// Relations are stored behind [`Arc`], so [`Database::clone`] is a cheap
+/// read-mostly snapshot: clones share tuple storage until one of them
+/// mutates a relation, at which point [`Arc::make_mut`] copies just that
+/// relation. This is what lets a query server hand every worker thread its
+/// own `Database` without duplicating the EDB.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     interner: Interner,
-    relations: FxHashMap<Sym, Relation>,
+    relations: FxHashMap<Sym, Arc<Relation>>,
 }
 
 impl Database {
@@ -81,22 +89,25 @@ impl Database {
 
     /// The relation for `pred`, if any facts were loaded.
     pub fn relation(&self, pred: Sym) -> Option<&Relation> {
-        self.relations.get(&pred)
+        self.relations.get(&pred).map(|r| &**r)
     }
 
     /// The relation for `pred`, creating an empty one of `arity` if absent.
+    ///
+    /// If the relation is shared with a snapshot clone, this copies it
+    /// first (copy-on-write), so mutation never disturbs other clones.
     pub fn relation_mut(&mut self, pred: Sym, arity: usize) -> &mut Relation {
-        self.relations.entry(pred).or_insert_with(|| Relation::new(arity))
+        Arc::make_mut(self.relations.entry(pred).or_insert_with(|| Arc::new(Relation::new(arity))))
     }
 
     /// Iterates over `(predicate, relation)` pairs.
     pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> {
-        self.relations.iter().map(|(&p, r)| (p, r))
+        self.relations.iter().map(|(&p, r)| (p, &**r))
     }
 
     /// Total number of stored tuples.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// The number of distinct constants appearing in all relations — the
@@ -211,6 +222,21 @@ mod tests {
         db.insert_named("p", &["a", "b"]).unwrap();
         let err = db.insert_named("p", &["a"]).unwrap_err();
         assert!(matches!(err, DatabaseError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn clone_is_a_shared_snapshot_until_mutation() {
+        let mut db = Database::new();
+        db.insert_named("e", &["a", "b"]).unwrap();
+        let e = db.intern("e");
+        let snapshot = db.clone();
+        // The clone shares the relation storage with the original.
+        assert!(std::ptr::eq(db.relation(e).unwrap(), snapshot.relation(e).unwrap()));
+        // Mutating the original copies its relation; the snapshot is
+        // unaffected and keeps the old storage.
+        db.insert_named("e", &["b", "c"]).unwrap();
+        assert_eq!(db.relation(e).unwrap().len(), 2);
+        assert_eq!(snapshot.relation(e).unwrap().len(), 1);
     }
 
     #[test]

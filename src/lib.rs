@@ -34,7 +34,8 @@
 //! | Bottom-up evaluation | `sepra-eval` | [`eval`] |
 //! | Magic Sets / Counting baselines | `sepra-rewrite` | [`rewrite`] |
 //! | **The paper's contribution** | `sepra-core` | [`core`] |
-//! | Query processor + CLI | `sepra-engine` | [`engine`] |
+//! | Query processor | `sepra-engine` | [`engine`] |
+//! | CLI + TCP query service | `sepra-server` | [`server`] |
 //! | Workload generators | `sepra-gen` | [`gen`] |
 //!
 //! The most useful entry points are re-exported at the top level:
@@ -52,9 +53,11 @@ pub use sepra_engine as engine;
 pub use sepra_eval as eval;
 pub use sepra_gen as gen;
 pub use sepra_rewrite as rewrite;
+pub use sepra_server as server;
 pub use sepra_storage as storage;
 
 pub use sepra_ast::{Interner, Program, Query};
 pub use sepra_core::{detect::SeparableRecursion, evaluate::SeparableEvaluator, ExecOptions};
 pub use sepra_engine::{QueryProcessor, QueryResult, Strategy, StrategyChoice};
+pub use sepra_eval::Budget;
 pub use sepra_storage::{Database, EvalStats, Relation};

@@ -37,16 +37,22 @@ fn check_general(seed: u64, mut scenario: RandomScenario) -> Result<(), TestCase
         parse_query(&scenario.query, scenario.db.interner_mut()).expect("generated query parses");
     let db = scenario.db;
 
-    let serial = seminaive_with_options(&program, &db, &EvalOptions { threads: 1 })
-        .expect("serial semi-naive evaluates");
+    let serial =
+        seminaive_with_options(&program, &db, &EvalOptions { threads: 1, ..Default::default() })
+            .expect("serial semi-naive evaluates");
     let serial_answers = query_answers(&query, &db, Some(&serial)).expect("answers extract");
-    let serial_magic =
-        magic_evaluate_with_options(&program, &query, &db, &EvalOptions { threads: 1 })
-            .expect("serial magic evaluates");
+    let serial_magic = magic_evaluate_with_options(
+        &program,
+        &query,
+        &db,
+        &EvalOptions { threads: 1, ..Default::default() },
+    )
+    .expect("serial magic evaluates");
 
     for threads in PARALLEL_THREADS {
-        let parallel = seminaive_with_options(&program, &db, &EvalOptions { threads })
-            .expect("parallel semi-naive evaluates");
+        let parallel =
+            seminaive_with_options(&program, &db, &EvalOptions { threads, ..Default::default() })
+                .expect("parallel semi-naive evaluates");
         prop_assert_eq!(
             &serial.relations,
             &parallel.relations,
@@ -65,9 +71,13 @@ fn check_general(seed: u64, mut scenario: RandomScenario) -> Result<(), TestCase
             threads
         );
 
-        let parallel_magic =
-            magic_evaluate_with_options(&program, &query, &db, &EvalOptions { threads })
-                .expect("parallel magic evaluates");
+        let parallel_magic = magic_evaluate_with_options(
+            &program,
+            &query,
+            &db,
+            &EvalOptions { threads, ..Default::default() },
+        )
+        .expect("parallel magic evaluates");
         prop_assert_eq!(
             &serial_magic.answers,
             &parallel_magic.answers,
@@ -162,8 +172,18 @@ fn parallel_runs_are_byte_identical() {
         let query = parse_query(&scenario.query, scenario.db.interner_mut())
             .expect("generated query parses");
         let mut db = scenario.db;
-        let a = seminaive_with_options(&program, &db, &EvalOptions { threads: 4 }).unwrap();
-        let b = seminaive_with_options(&program, &db, &EvalOptions { threads: 4 }).unwrap();
+        let a = seminaive_with_options(
+            &program,
+            &db,
+            &EvalOptions { threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        let b = seminaive_with_options(
+            &program,
+            &db,
+            &EvalOptions { threads: 4, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(a.relations.len(), b.relations.len(), "seed {seed}");
         for (pred, rel_a) in &a.relations {
             let rel_b = &b.relations[pred];
