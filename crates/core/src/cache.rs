@@ -14,6 +14,19 @@
 //! reuse the predicate symbol with a different class structure, so
 //! decomposed branches must bypass the cache (see
 //! [`evaluate`](crate::evaluate)).
+//!
+//! # Generation invalidation
+//!
+//! A compiled plan is valid for the database *generation* it was built
+//! against: a plan embeds nothing from the EDB, but the detection results
+//! and materialized support relations it is resolved alongside do, so the
+//! engine treats "program or EDB changed" as one event. The rule is:
+//! every consumer calls [`PlanCache::validate_generation`] with its current
+//! generation before serving cached plans; when the generation differs from
+//! the one the cache last saw, all entries are dropped and the new
+//! generation is recorded. A post-mutation query therefore can never be
+//! answered by a pre-mutation plan — the first lookup after a mutation is
+//! forced to miss.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +42,9 @@ use crate::plan::{build_plan, PlanSelection, SeparablePlan};
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<FxHashMap<(Sym, usize), Arc<SeparablePlan>>>,
+    /// The database/program generation the cached plans were built against
+    /// (see the module docs on generation invalidation).
+    generation: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -57,6 +73,30 @@ impl PlanCache {
         let plan = Arc::new(build_plan(sep, &PlanSelection::Class(class))?);
         let mut plans = self.plans.lock().expect("plan cache lock");
         Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+    }
+
+    /// Ensures the cache only serves plans built for `generation`:
+    /// if it differs from the generation the cache last validated against,
+    /// every entry is dropped (and the new generation recorded) so the next
+    /// lookup recompiles. Returns `true` when entries were invalidated.
+    ///
+    /// Consumers must call this *before* [`PlanCache::class_plan`] whenever
+    /// their program or EDB generation may have moved — see the module docs.
+    pub fn validate_generation(&self, generation: u64) -> bool {
+        // Hold the plans lock across the generation swap so a concurrent
+        // `class_plan` cannot insert a stale plan after the clear.
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        if self.generation.swap(generation, Ordering::Relaxed) == generation {
+            return false;
+        }
+        let stale = !plans.is_empty();
+        plans.clear();
+        stale
+    }
+
+    /// The generation the cache last validated against.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Number of cached plans.
@@ -98,5 +138,27 @@ mod tests {
         assert_eq!(cache.entries(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn generation_change_drops_cached_plans() {
+        let mut db = Database::new();
+        let program =
+            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
+                .unwrap();
+        let t = db.intern("t");
+        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+
+        let cache = PlanCache::new();
+        assert!(!cache.validate_generation(7)); // empty: nothing to drop
+        assert_eq!(cache.generation(), 7);
+        let a = cache.class_plan(&sep, 0).unwrap();
+        assert!(!cache.validate_generation(7)); // same generation: keep
+        assert_eq!(cache.entries(), 1);
+        assert!(cache.validate_generation(8)); // moved: clear
+        assert_eq!(cache.entries(), 0);
+        let b = cache.class_plan(&sep, 0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b)); // rebuilt, not served stale
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -21,5 +21,7 @@
 pub mod processor;
 pub mod report;
 
-pub use processor::{ProcessorError, QueryProcessor, QueryResult, Strategy, StrategyChoice};
+pub use processor::{
+    MutationOutcome, ProcessorError, QueryProcessor, QueryResult, Strategy, StrategyChoice,
+};
 pub use report::{render_answers, render_answers_csv, render_answers_json};

@@ -12,13 +12,14 @@ use sepra_core::evaluate::SeparableEvaluator;
 use sepra_core::exec::{ExecOptions, ExtraRelations};
 use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
 use sepra_eval::{
-    naive::naive_with_options, query_answers, seminaive_with_options, EvalError, EvalOptions,
+    maintain, naive::naive_with_options, query_answers, seminaive_with_options, EvalError,
+    EvalOptions,
 };
 use sepra_rewrite::{
     counting_evaluate, hn_evaluate, magic_evaluate_supplementary_with_options,
     magic_evaluate_with_options, CountingOptions, HnOptions,
 };
-use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
+use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, Relation, Tuple};
 
 /// The evaluation strategies the processor can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +177,28 @@ pub struct QueryProcessor {
     /// cached plan can mention *before* the processor is cloned, so shared
     /// plans stay meaningful in every clone's symbol space.
     plan_cache: Arc<PlanCache>,
+    /// Bumped whenever the program or the EDB changes ([`QueryProcessor::load`],
+    /// [`QueryProcessor::db_mut`], effective [`QueryProcessor::apply_mutation`]).
+    /// [`QueryProcessor::prepare`] and `apply_mutation` revalidate the shared
+    /// plan cache against it, so a post-mutation query can never be served
+    /// by a pre-mutation compiled plan.
+    generation: u64,
+}
+
+/// The result of one [`QueryProcessor::apply_mutation`] call.
+#[derive(Debug)]
+pub struct MutationOutcome {
+    /// Tuples genuinely added to the EDB (duplicates don't count).
+    pub inserted: usize,
+    /// Tuples genuinely removed from the EDB (absent tuples don't count).
+    pub retracted: usize,
+    /// The processor generation after the mutation.
+    pub generation: u64,
+    /// Statistics of the incremental maintenance work (empty when the
+    /// processor was not prepared or the mutation was ineffective).
+    pub stats: EvalStats,
+    /// Wall-clock time for parsing, applying, and maintenance.
+    pub elapsed: Duration,
 }
 
 impl QueryProcessor {
@@ -204,6 +227,7 @@ impl QueryProcessor {
             self.source.push('\n');
         }
         self.prepared = None;
+        self.generation += 1;
         Ok(())
     }
 
@@ -235,6 +259,9 @@ impl QueryProcessor {
             prepared.recursions.insert(pred, outcome);
         }
         self.prepared = Some(Arc::new(prepared));
+        // Cached plans from an earlier generation must not survive into
+        // this one (see `core::cache` on generation invalidation).
+        self.plan_cache.validate_generation(self.generation);
         Ok(())
     }
 
@@ -263,7 +290,141 @@ impl QueryProcessor {
     /// Mutable database access (for programmatic fact loading).
     pub fn db_mut(&mut self) -> &mut Database {
         self.prepared = None;
+        self.generation += 1; // conservatively: the caller may mutate
         &mut self.db
+    }
+
+    /// The program/EDB generation (see the field docs). Query servers use
+    /// this to detect stale worker snapshots after a mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Applies a batch of live EDB mutations — `retracts` first, then
+    /// `inserts`, each a list of ground-fact texts like `"e(a, b)."` — and
+    /// incrementally maintains the prepared materializations (semi-naive
+    /// delta propagation for insertions, delete-and-rederive for
+    /// retractions; see [`sepra_eval::incremental`]).
+    ///
+    /// All-or-none: changes are staged on copy-on-write snapshots and
+    /// committed only after parsing, application, and maintenance all
+    /// succeed, so an arity error or an exhausted budget leaves the
+    /// processor exactly as it was. On commit the generation advances and
+    /// the shared plan cache is revalidated, so no query — on this
+    /// processor or any clone sharing the cache — can hit a pre-mutation
+    /// plan. Detection outcomes survive (they depend only on the program);
+    /// supporting strata are maintained incrementally, not recomputed.
+    pub fn apply_mutation(
+        &mut self,
+        inserts: &[&str],
+        retracts: &[&str],
+    ) -> Result<MutationOutcome, ProcessorError> {
+        let start = Instant::now();
+        let mut delta = EdbDelta::default();
+        for (sources, bucket, verb) in
+            [(retracts, &mut delta.remove, "retract"), (inserts, &mut delta.insert, "insert")]
+        {
+            for src in sources {
+                let parsed = parse_program(src, self.db.interner_mut())?;
+                if parsed.rules.is_empty() {
+                    return Err(ProcessorError::Facts(format!("{verb} expects facts: `{src}`")));
+                }
+                for rule in parsed.rules {
+                    if !rule.is_fact() {
+                        return Err(ProcessorError::Facts(format!(
+                            "{verb} expects ground facts, not rules: `{src}`"
+                        )));
+                    }
+                    let tuple = self
+                        .db
+                        .ground_tuple(&rule.head)
+                        .map_err(|e| ProcessorError::Facts(e.to_string()))?;
+                    bucket.entry(rule.head.pred).or_default().push(tuple);
+                }
+            }
+        }
+
+        // Stage on snapshots: `db_before` → retractions → `db_mid` →
+        // insertions → `db`. The clones are cheap (copy-on-write) and give
+        // the DRed over-deletion its pre-mutation state.
+        let db_before = self.db.clone();
+        let mut db = self.db.clone();
+        let mut effective = EdbDelta::default();
+        let remove_only = EdbDelta { remove: delta.remove, ..Default::default() };
+        effective.remove =
+            db.apply_delta(&remove_only).map_err(|e| ProcessorError::Facts(e.to_string()))?.remove;
+        let db_mid = db.clone();
+        let insert_only = EdbDelta { insert: delta.insert, ..Default::default() };
+        effective.insert =
+            db.apply_delta(&insert_only).map_err(|e| ProcessorError::Facts(e.to_string()))?.insert;
+
+        let retracted = effective.remove.values().map(Vec::len).sum::<usize>();
+        let inserted = effective.insert.values().map(Vec::len).sum::<usize>();
+        if retracted + inserted == 0 {
+            // Nothing actually changed: keep the prepared state and the
+            // current generation.
+            return Ok(MutationOutcome {
+                inserted,
+                retracted,
+                generation: self.generation,
+                stats: EvalStats::new(),
+                elapsed: start.elapsed(),
+            });
+        }
+
+        // Incrementally maintain each prepared supporting-strata
+        // materialization across the effective delta.
+        let mut stats = EvalStats::new();
+        let new_prepared = match &self.prepared {
+            None => None,
+            Some(prepared) => {
+                let mut next = Prepared {
+                    recursions: prepared.recursions.clone(),
+                    support: FxHashMap::default(),
+                };
+                for (&pred, old_support) in &prepared.support {
+                    let rules: Vec<_> = self
+                        .program
+                        .rules
+                        .iter()
+                        .filter(|r| r.head.pred != pred)
+                        .cloned()
+                        .collect();
+                    if rules.is_empty() {
+                        next.support.insert(pred, Arc::clone(old_support));
+                        continue;
+                    }
+                    let sub = Program::new(rules);
+                    let derived = maintain(
+                        &sub,
+                        &db_before,
+                        &db_mid,
+                        &db,
+                        old_support,
+                        &effective,
+                        &self.eval_options(),
+                    )?;
+                    stats.merge(&derived.stats);
+                    next.support.insert(pred, Arc::new(derived.relations));
+                }
+                Some(Arc::new(next))
+            }
+        };
+
+        // Commit.
+        self.db = db;
+        self.prepared = new_prepared;
+        self.generation += 1;
+        // Stale compiled plans must never serve a post-mutation query —
+        // this clears them for every clone sharing the cache.
+        self.plan_cache.validate_generation(self.generation);
+        Ok(MutationOutcome {
+            inserted,
+            retracted,
+            generation: self.generation,
+            stats,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// The loaded rules.
@@ -839,6 +1000,135 @@ mod tests {
         qp.load("friend(joe, pat). perfectFor(pat, hat).\n").unwrap();
         let r = qp.query("buys(tom, Y)?").unwrap();
         assert_eq!(r.answers.len(), 3); // widget, bargain, hat
+    }
+
+    #[test]
+    fn mutation_updates_prepared_answers_incrementally() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        assert_eq!(qp.query("buys(tom, Y)?").unwrap().answers.len(), 2);
+
+        let out = qp.apply_mutation(&["friend(joe, pat).", "perfectFor(pat, hat)."], &[]).unwrap();
+        assert_eq!(out.inserted, 2);
+        assert_eq!(out.retracted, 0);
+        let r = qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::Separable);
+        assert_eq!(r.answers.len(), 3); // widget, bargain, hat
+
+        let out = qp.apply_mutation(&[], &["perfectFor(joe, widget)."]).unwrap();
+        assert_eq!(out.retracted, 1);
+        let r = qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(r.answers.len(), 1); // only hat: bargain rode on widget
+    }
+
+    #[test]
+    fn mutation_matches_a_fresh_processor_for_every_strategy() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        qp.apply_mutation(
+            &["friend(joe, pat).", "perfectFor(pat, hat).", "cheaper(steal, hat)."],
+            &["cheaper(bargain, widget)."],
+        )
+        .unwrap();
+
+        let mut fresh = QueryProcessor::new();
+        fresh.load(EX_1_2).unwrap();
+        fresh
+            .db_mut()
+            .load_fact_text("friend(joe, pat). perfectFor(pat, hat). cheaper(steal, hat).")
+            .unwrap();
+        let widget = {
+            let cheaper = fresh.db_mut().intern("cheaper");
+            let rel = fresh.db().relation(cheaper).unwrap();
+            rel.iter().next().unwrap().clone()
+        };
+        let cheaper = fresh.db_mut().intern("cheaper");
+        fresh.db_mut().retract(cheaper, &widget).unwrap();
+
+        for strategy in [
+            Strategy::Separable,
+            Strategy::MagicSets,
+            Strategy::Counting,
+            Strategy::SemiNaive,
+            Strategy::Naive,
+        ] {
+            let a = qp.query_with("buys(tom, Y)?", StrategyChoice::Force(strategy)).unwrap();
+            let b = fresh.query_with("buys(tom, Y)?", StrategyChoice::Force(strategy)).unwrap();
+            // The two processors interned symbols in different orders, so
+            // compare rendered tuples rather than raw `Sym` ids.
+            let mut ra: Vec<String> =
+                a.answers.iter().map(|t| t.display(qp.db().interner()).to_string()).collect();
+            let mut rb: Vec<String> =
+                b.answers.iter().map(|t| t.display(fresh.db().interner()).to_string()).collect();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb, "strategy {strategy} diverged after mutation");
+        }
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_clears_plan_cache() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        let gen0 = qp.generation();
+        assert_eq!(qp.plan_cache().generation(), gen0);
+        qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(qp.plan_cache().entries(), 1);
+        assert_eq!(qp.plan_cache().misses(), 1);
+
+        let out = qp.apply_mutation(&["friend(pat, tom)."], &[]).unwrap();
+        assert_eq!(out.generation, gen0 + 1);
+        assert_eq!(qp.generation(), gen0 + 1);
+        // The pre-mutation plan is gone; the next query must recompile.
+        assert_eq!(qp.plan_cache().entries(), 0);
+        assert_eq!(qp.plan_cache().generation(), gen0 + 1);
+        qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(qp.plan_cache().misses(), 2);
+
+        // An ineffective mutation keeps the generation (and the cache).
+        let out = qp.apply_mutation(&["friend(pat, tom)."], &["ghost(a, b)."]).unwrap();
+        assert_eq!(out.inserted, 0);
+        assert_eq!(out.retracted, 0);
+        assert_eq!(qp.generation(), gen0 + 1);
+        assert_eq!(qp.plan_cache().entries(), 1);
+    }
+
+    #[test]
+    fn mutation_rejects_rules_and_non_ground_facts() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let err = qp.apply_mutation(&["p(X) :- q(X)."], &[]).unwrap_err();
+        assert!(matches!(err, ProcessorError::Facts(_)), "{err}");
+        // A non-ground fact is already rejected by the parser's safety
+        // check (head variable not bound in an empty body).
+        let err = qp.apply_mutation(&["friend(X, tom)."], &[]).unwrap_err();
+        assert!(matches!(err, ProcessorError::Ast(_)), "{err}");
+    }
+
+    #[test]
+    fn failed_mutation_is_all_or_none() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        qp.prepare().unwrap();
+        let gen0 = qp.generation();
+        // The retraction is valid, the insertion has an arity clash: the
+        // whole mutation must be rejected and the database untouched.
+        let err = qp.apply_mutation(&["friend(solo)."], &["friend(tom, sue)."]).unwrap_err();
+        assert!(matches!(err, ProcessorError::Facts(_)), "{err}");
+        assert_eq!(qp.generation(), gen0);
+        assert_eq!(qp.query("buys(tom, Y)?").unwrap().answers.len(), 2);
+    }
+
+    #[test]
+    fn unprepared_mutation_still_works() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let out = qp.apply_mutation(&["perfectFor(sue, gift)."], &[]).unwrap();
+        assert_eq!(out.inserted, 1);
+        assert_eq!(qp.query("buys(tom, Y)?").unwrap().answers.len(), 3);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //!   deltas across OS threads, used by the semi-naive loop below and by the
 //!   Separable closure loops in `sepra-core`;
 //! * [`mod seminaive`](mod@crate::seminaive) — stratified semi-naive evaluation with delta rules;
+//! * [`incremental`] — incremental maintenance of a semi-naive
+//!   materialization under EDB mutation (semi-naive delta propagation for
+//!   insertions, delete-and-rederive for retractions);
 //! * [`answers`] — extraction of query answers from an evaluated database.
 
 pub mod answers;
 pub mod budget;
 pub mod error;
+pub mod incremental;
 pub mod naive;
 pub mod parallel;
 pub mod plan;
@@ -32,6 +36,7 @@ pub mod store;
 pub use answers::{filter_by_query, query_answers};
 pub use budget::{Budget, BudgetResource};
 pub use error::EvalError;
+pub use incremental::maintain;
 pub use naive::{naive, naive_with_options};
 pub use parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 pub use plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey, Step, TermSpec};

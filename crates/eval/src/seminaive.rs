@@ -88,18 +88,20 @@ pub fn seminaive_with_options(
     Ok(Derived { relations, stats })
 }
 
-/// One compiled delta-rule variant.
-struct Variant {
-    head: Sym,
+/// One compiled delta-rule variant. Shared with the incremental
+/// maintenance engine ([`crate::incremental`]), whose delta rounds are the
+/// same shape with externally seeded deltas.
+pub(crate) struct Variant {
+    pub(crate) head: Sym,
     /// The predicate whose delta this variant reads (`None` for base rules).
-    delta: Option<Sym>,
-    plan: ConjPlan,
+    pub(crate) delta: Option<Sym>,
+    pub(crate) plan: ConjPlan,
     /// Delta-first reordering of `plan`, used by the parallel path: with
     /// the delta atom as the outermost scan, sharding the delta partitions
     /// the whole join's work, whereas sharding an inner delta scan would
     /// leave every worker repeating the full outer scan. `None` for base
     /// rules.
-    par_plan: Option<ConjPlan>,
+    pub(crate) par_plan: Option<ConjPlan>,
 }
 
 fn run(
@@ -289,7 +291,7 @@ fn run(
 
 /// Compiles one rule with body-atom occurrence `delta_occ` (a body index)
 /// reading the delta relation instead of the full one.
-fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, EvalError> {
+pub(crate) fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, EvalError> {
     let mut delta = None;
     let body: Vec<PlanLiteral> = rule
         .body
@@ -324,7 +326,7 @@ fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, Eva
     Ok(Variant { head: rule.head.pred, delta, plan, par_plan })
 }
 
-fn build_store<'a>(
+pub(crate) fn build_store<'a>(
     db: &'a Database,
     derived: &'a FxHashMap<Sym, Relation>,
     delta: &'a FxHashMap<Sym, Relation>,
@@ -343,7 +345,7 @@ fn build_store<'a>(
     store
 }
 
-fn merge_buffers(
+pub(crate) fn merge_buffers(
     derived: &mut FxHashMap<Sym, Relation>,
     buffers: FxHashMap<Sym, Vec<Tuple>>,
     stats: &mut EvalStats,

@@ -201,15 +201,20 @@ strata, shared plan cache), then serves line-delimited JSON requests:
   -> {\"query\": \"t(a, Y)?\", \"timeout_ms\": 250}
   <- {\"answers\": [[\"a\",\"b\"]], \"count\": 1, \"strategy\": \"separable\",
       \"elapsed_us\": 113, \"stats\": {...}}
+  -> {\"insert\": [\"e(b, c).\"], \"retract\": [\"e(a, b).\"]}
+  <- {\"inserted\": 1, \"retracted\": 1, \"generation\": 5, ...}
   -> {\"stats\": true}
-  <- {\"uptime_ms\": ..., \"queries\": {...}, \"latency_us\": {...}, ...}
+  <- {\"uptime_ms\": ..., \"generation\": ..., \"queries\": {...}, ...}
 
 Requests may force a \"strategy\" and cap work with \"timeout_ms\" /
 \"max_tuples\"; an exceeded budget returns a structured
 {\"error\": {\"kind\": \"budget_exceeded\", ...}} and the server keeps
-serving. Programs that fail `sepra check` are refused at startup.
-Shutdown: a `quit` line on stdin, SIGINT, or SIGTERM (in-flight queries
-are cancelled through their budgets).
+serving. \"insert\"/\"retract\" requests mutate the fact database:
+retractions apply before insertions, derived answers are maintained
+incrementally, and the whole mutation commits all-or-none — a query
+never sees a half-applied mutation. Programs that fail `sepra check`
+are refused at startup. Shutdown: a `quit` line on stdin, SIGINT, or
+SIGTERM (in-flight queries are cancelled through their budgets).
 
 Options:
       --addr HOST:PORT  bind address (default 127.0.0.1:7464; port 0
@@ -218,6 +223,9 @@ Options:
                         (default: available parallelism)
       --timeout MS      default per-query deadline (requests override)
       --max-tuples N    default per-query derived-tuple cap
+      --idle-timeout-ms MS
+                        disconnect a connection idle for MS milliseconds
+                        (default 30000)
       --deny warnings   refuse to start on lint warnings, not just errors
   -h, --help            this message
 ";
@@ -249,6 +257,8 @@ Commands:
   :strategy NAME   force a strategy (auto|separable|magic|magic-sup|counting|hn|seminaive|naive)
   :explain QUERY   show the evaluation plan for QUERY
   :why QUERY       answer QUERY and show one derivation per answer
+  :insert FACT.    add ground facts, maintaining answers incrementally
+  :retract FACT.   remove ground facts (delete-and-rederive)
   :stats on|off    toggle statistics output
   :lint [QUERY]    diagnostic report, optionally relative to QUERY
   :check           alias for :lint without a query
@@ -413,6 +423,19 @@ fn run_serve(args: &[String]) -> ExitCode {
                     Ok(n) => opts.default_max_tuples = Some(n),
                     Err(_) => {
                         return usage_error(&format!("--max-tuples expects an integer, got `{n}`"))
+                    }
+                }
+            }
+            "--idle-timeout-ms" => {
+                let Some(ms) = args.next() else {
+                    return usage_error("missing argument for --idle-timeout-ms");
+                };
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.idle_timeout = Duration::from_millis(ms),
+                    Err(_) => {
+                        return usage_error(&format!(
+                            "--idle-timeout-ms expects milliseconds, got `{ms}`"
+                        ))
                     }
                 }
             }
@@ -711,6 +734,26 @@ fn main() -> ExitCode {
                     Ok(text) => print!("{text}"),
                     Err(e) => eprintln!("error: {e}"),
                 },
+                ":insert" | ":retract" => {
+                    if rest.is_empty() {
+                        eprintln!("error: {cmd} expects one or more facts, e.g. {cmd} e(a, b).");
+                    } else {
+                        let (inserts, retracts): (&[&str], &[&str]) =
+                            if cmd == ":insert" { (&[rest], &[]) } else { (&[], &[rest]) };
+                        match qp.apply_mutation(inserts, retracts) {
+                            Ok(out) => {
+                                println!(
+                                    "{} inserted, {} retracted in {:.3?} (generation {})",
+                                    out.inserted, out.retracted, out.elapsed, out.generation
+                                );
+                                if stats {
+                                    print!("{}", out.stats);
+                                }
+                            }
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                }
                 ":lint" => {
                     if qp.source().trim().is_empty() {
                         println!("no rules loaded");

@@ -43,9 +43,14 @@ impl Json {
     }
 
     /// The numeric payload as a nonnegative integer, if it is one.
+    ///
+    /// Bounded at 2^53: above that not every integer has an f64
+    /// representation, so the value held here may silently differ from the
+    /// digits the client sent (the parser rejects such literals outright;
+    /// the guard keeps constructed values honest too).
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
-            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= MAX_EXACT_INT => Some(n as u64),
             _ => None,
         }
     }
@@ -58,6 +63,11 @@ impl Json {
         }
     }
 }
+
+/// The largest magnitude (2^53) below which every integer is exactly
+/// representable as an f64. Integer literals beyond it are rejected by the
+/// parser and never produced by [`render`] without an exponent marker.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
 
 /// Parses one complete JSON value; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Json, String> {
@@ -196,19 +206,33 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            // Surrogate pairs are not needed by this
-                            // protocol; reject rather than mis-decode.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| "unsupported \\u escape (surrogate)".to_string())?;
-                            out.push(c);
-                            self.pos += 4;
+                            let hi = self.hex4(self.pos + 1)?;
+                            if (0xDC00..=0xDFFF).contains(&hi) {
+                                return Err("lone low surrogate in \\u escape".into());
+                            }
+                            if (0xD800..=0xDBFF).contains(&hi) {
+                                // A high surrogate must be immediately
+                                // followed by an escaped low surrogate —
+                                // JSON's encoding of astral-plane
+                                // characters. Lone surrogates stay errors.
+                                if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 6) != Some(&b'u')
+                                {
+                                    return Err("lone high surrogate in \\u escape".into());
+                                }
+                                let lo = self.hex4(self.pos + 7)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err("lone high surrogate in \\u escape".into());
+                                }
+                                let code = 0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(
+                                    char::from_u32(code).expect("paired surrogates form a scalar"),
+                                );
+                                self.pos += 10;
+                            } else {
+                                out.push(char::from_u32(hi).expect("non-surrogate BMP code point"));
+                                self.pos += 4;
+                            }
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -227,22 +251,109 @@ impl Parser<'_> {
         }
     }
 
+    /// Four hex digits starting at byte `at`, as in a `\uXXXX` escape.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
+    }
+
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
+        let mut integral = true;
         while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                integral = false;
                 self.pos += 1;
             } else {
                 break;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        let value =
+            text.parse::<f64>().map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        // A pure-integer literal past ±2^53 would pass the old f64 parse
+        // but silently come back as a *different* integer; reject rather
+        // than hand the caller quietly corrupted digits. (Fractions and
+        // exponents opt in to f64 semantics explicitly.)
+        if integral {
+            match text.parse::<i128>() {
+                Ok(n) if n.unsigned_abs() <= 1 << 53 => {}
+                _ => {
+                    return Err(format!(
+                        "integer `{text}` at byte {start} exceeds 2^53 and cannot be held exactly"
+                    ))
+                }
+            }
+        }
+        Ok(Json::Num(value))
+    }
+}
+
+/// Renders a [`Json`] value back to wire text; `parse(&render(v))`
+/// reconstructs `v` for every finite value (the round-trip property the
+/// protocol tests exercise).
+pub fn render(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => render_number(*n, out),
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":", escape(key));
+                render_into(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no non-finite numbers (only reachable here by parsing
+        // an overflowing exponent like 1e999); `null` is the least-bad
+        // spelling.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= MAX_EXACT_INT {
+        let _ = write!(out, "{n:.0}");
+    } else if n.fract() == 0.0 {
+        // Rust's default f64 Display never uses exponents, so a large
+        // integral value would render as a digit string the (stricter)
+        // parser rejects; exponent form keeps it both exact and parseable.
+        let _ = write!(out, "{n:e}");
+    } else {
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -349,6 +460,59 @@ mod tests {
         assert!(parse(r#"{"a": }"#).is_err());
         assert!(parse(r#"{"a": 1} trailing"#).is_err());
         assert!(parse(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn integer_literals_are_exact_or_rejected() {
+        // 2^53 is the last exactly-representable power step: accept it and
+        // its negation, reject one past either.
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(9007199254740992));
+        assert_eq!(parse("-9007199254740992").unwrap(), Json::Num(-9007199254740992.0));
+        assert!(parse("9007199254740993").is_err());
+        assert!(parse("-9007199254740993").is_err());
+        assert!(parse("18446744073709551615").is_err()); // u64::MAX
+        assert!(parse(&"9".repeat(60)).is_err()); // beyond i128 too
+                                                  // A fraction or exponent opts in to f64 semantics explicitly.
+        assert_eq!(parse("9007199254740993.0").unwrap(), Json::Num(9007199254740992.0));
+        assert_eq!(parse("9e15").unwrap(), Json::Num(9e15));
+        // `as_u64` itself refuses constructed values past the boundary
+        // (2^53 + 2 is the next f64 above 2^53).
+        assert_eq!(Json::Num(9007199254740994.0).as_u64(), None);
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_and_rejects_lone_surrogates() {
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("\u{1F600}"));
+        assert_eq!(parse(r#""a𝄞b""#).unwrap().as_str(), Some("a\u{1D11E}b"));
+        // BMP escapes still decode directly.
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        for bad in [
+            r#""\ud83d""#,       // lone high at end of string
+            r#""\ud83dx""#,      // high followed by a plain character
+            r#""\ud83d\n""#,     // high followed by a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low
+            r#""\ude00\ud83d""#, // pair in the wrong order
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips_values() {
+        let v = parse(
+            r#"{"a": [1, "x\ny", {"b": null}, true, false], "c": -2.5, "d": "😀", "e": 9e300}"#,
+        )
+        .unwrap();
+        assert_eq!(parse(&render(&v)).unwrap(), v);
+        // Large integral f64s render in exponent form the parser accepts.
+        assert_eq!(render(&Json::Num(1e300)), "1e300");
+        assert_eq!(parse(&render(&Json::Num(1e300))).unwrap(), Json::Num(1e300));
+        assert_eq!(render(&Json::Num(5.0)), "5");
+        assert_eq!(render(&Json::Num(f64::INFINITY)), "null");
+        // Control characters render as \u escapes and parse back.
+        assert_eq!(render(&Json::Str("\u{1}".into())), r#""\u0001""#);
+        assert_eq!(parse(r#""\u0001""#).unwrap(), Json::Str("\u{1}".into()));
     }
 
     #[test]

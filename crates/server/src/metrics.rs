@@ -30,6 +30,10 @@ struct Inner {
     by_strategy: BTreeMap<String, u64>,
     tuples_inserted: u64,
     iterations: u64,
+    mutations: u64,
+    mutation_failures: u64,
+    mutation_inserted: u64,
+    mutation_retracted: u64,
     latency_min_us: Option<u64>,
     latency_max_us: u64,
     samples: Vec<u64>,
@@ -46,6 +50,10 @@ pub struct Snapshot {
     pub by_strategy: BTreeMap<String, u64>,
     pub tuples_inserted: u64,
     pub iterations: u64,
+    pub mutations: u64,
+    pub mutation_failures: u64,
+    pub mutation_inserted: u64,
+    pub mutation_retracted: u64,
     pub latency_min_us: u64,
     pub latency_median_us: u64,
     pub latency_max_us: u64,
@@ -115,6 +123,22 @@ impl Metrics {
         Self::record_latency(&mut inner, elapsed);
     }
 
+    /// Records a committed mutation: how many EDB tuples it effectively
+    /// inserted and retracted, and how long the maintenance took.
+    pub fn record_mutation(&self, inserted: u64, retracted: u64, elapsed: Duration) {
+        let mut inner = self.lock();
+        inner.mutations += 1;
+        inner.mutation_inserted += inserted;
+        inner.mutation_retracted += retracted;
+        Self::record_latency(&mut inner, elapsed);
+    }
+
+    /// Records a mutation that was rejected (parse error, arity clash,
+    /// exhausted budget); the database was left untouched.
+    pub fn record_mutation_failure(&self) {
+        self.lock().mutation_failures += 1;
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
@@ -129,6 +153,10 @@ impl Metrics {
             by_strategy: inner.by_strategy.clone(),
             tuples_inserted: inner.tuples_inserted,
             iterations: inner.iterations,
+            mutations: inner.mutations,
+            mutation_failures: inner.mutation_failures,
+            mutation_inserted: inner.mutation_inserted,
+            mutation_retracted: inner.mutation_retracted,
             latency_min_us: inner.latency_min_us.unwrap_or(0),
             latency_median_us: median,
             latency_max_us: inner.latency_max_us,

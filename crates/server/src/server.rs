@@ -9,8 +9,10 @@
 //! -> {"query": "t(a, Y)?", "strategy": "separable", "timeout_ms": 250, "max_tuples": 100000}
 //! <- {"answers": [["a","b"], ...], "count": 2, "strategy": "separable",
 //!     "elapsed_us": 113, "stats": {"iterations": 4, "tuples_inserted": 9, "rows_scanned": 31}}
+//! -> {"insert": ["e(b, c)."], "retract": ["e(a, b)."]}
+//! <- {"inserted": 1, "retracted": 1, "generation": 5, "elapsed_us": 87, "stats": {...}}
 //! -> {"stats": true}
-//! <- {"uptime_ms": ..., "threads": ..., "queries": {...}, "latency_us": {...}, ...}
+//! <- {"uptime_ms": ..., "threads": ..., "generation": ..., "queries": {...}, ...}
 //! ```
 //!
 //! Concurrency is a hand-rolled worker pool over `std::net` (the workspace
@@ -22,11 +24,19 @@
 //! cancellation flag raised at shutdown, so a deadline or a Ctrl-C
 //! surfaces as a structured `budget_exceeded` error instead of a stuck
 //! fixpoint.
+//!
+//! Mutations (`insert`/`retract` requests) are serialized through one
+//! master processor behind a mutex — writes are exclusive, reads share
+//! snapshots. [`QueryProcessor::apply_mutation`] stages the whole delta and
+//! maintains the prepared materializations incrementally, so a mutation is
+//! all-or-none; publishing the new database generation afterwards makes
+//! every worker refresh its snapshot before its next request. A query
+//! therefore observes either none or all of a mutation, never a prefix.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -40,9 +50,9 @@ use crate::metrics::Metrics;
 /// one query per line; 64 KiB is far beyond any sensible query text).
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
 
-/// How long a connection may sit idle mid-protocol before the worker
-/// reclaims itself. Reads poll in [`READ_POLL`] slices so an idle worker
-/// still notices shutdown promptly.
+/// Default for [`ServeOptions::idle_timeout`]: how long a connection may
+/// sit idle mid-protocol before the worker reclaims itself. Reads poll in
+/// [`READ_POLL`] slices so an idle worker still notices shutdown promptly.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 const READ_POLL: Duration = Duration::from_millis(200);
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
@@ -65,6 +75,9 @@ pub struct ServeOptions {
     pub default_max_tuples: Option<usize>,
     /// Refuse to start on lint warnings too, not just errors.
     pub deny_warnings: bool,
+    /// How long a connection may sit idle mid-protocol before its worker
+    /// reclaims itself (cumulative wait between complete requests).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +88,7 @@ impl Default for ServeOptions {
             default_timeout: None,
             default_max_tuples: None,
             deny_warnings: false,
+            idle_timeout: IDLE_TIMEOUT,
         }
     }
 }
@@ -153,16 +167,22 @@ pub fn run(
     let metrics = Arc::new(Metrics::new());
     let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
         Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    let shared = Arc::new(SharedState {
+        generation: AtomicU64::new(qp.generation()),
+        master: Mutex::new(qp),
+    });
 
     let mut workers = Vec::new();
     for i in 0..opts.threads.max(1) {
         let worker = Worker {
-            qp: qp.clone(),
+            qp: shared.lock_master().clone(),
+            shared: Arc::clone(&shared),
             queue: Arc::clone(&queue),
             shutdown: Arc::clone(&shutdown),
             metrics: Arc::clone(&metrics),
             default_timeout: opts.default_timeout,
             default_max_tuples: opts.default_max_tuples,
+            idle_timeout: opts.idle_timeout,
             threads: opts.threads.max(1),
         };
         workers.push(
@@ -264,15 +284,37 @@ mod signal {
     }
 }
 
+/// The mutable server state every worker shares: the master processor
+/// (mutations are serialized through its mutex — write-exclusive) and the
+/// published database generation workers compare their snapshots against.
+struct SharedState {
+    master: Mutex<QueryProcessor>,
+    /// [`QueryProcessor::generation`] of the last committed mutation.
+    /// Published *after* the master commits, so a worker observing the new
+    /// value is guaranteed to clone a fully mutated master.
+    generation: AtomicU64,
+}
+
+impl SharedState {
+    fn lock_master(&self) -> std::sync::MutexGuard<'_, QueryProcessor> {
+        // A worker that panicked mid-mutation never committed (the master
+        // only changes at `apply_mutation`'s final commit step), so the
+        // state behind a poisoned lock is still consistent.
+        self.master.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// One worker thread: owns a processor clone and serves whole connections
 /// pulled from the shared queue.
 struct Worker {
     qp: QueryProcessor,
+    shared: Arc<SharedState>,
     queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
     default_timeout: Option<Duration>,
     default_max_tuples: Option<usize>,
+    idle_timeout: Duration,
     threads: usize,
 }
 
@@ -333,20 +375,33 @@ impl Worker {
                 );
                 return;
             }
+            let sofar = line.len();
             match (&mut reader).take(remaining as u64).read_until(b'\n', &mut line) {
                 Ok(0) if line.is_empty() => return,        // EOF: client is done
                 Ok(0) => {}                                // EOF with a final unterminated request
                 Ok(_) if line.last() == Some(&b'\n') => {} // one complete request
-                Ok(_) => continue, // mid-line (take cap or EOF pending); keep reading
+                Ok(_) => {
+                    // Mid-line (take cap reached): progress was made, so
+                    // the connection is not idle.
+                    idle = Duration::ZERO;
+                    continue;
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    idle += READ_POLL;
-                    if idle >= IDLE_TIMEOUT {
-                        return;
+                    // A timed-out read may still have consumed partial
+                    // bytes into `line`; that is progress, and a slow
+                    // writer must not be reclaimed while still sending.
+                    if line.len() > sofar {
+                        idle = Duration::ZERO;
+                    } else {
+                        idle += READ_POLL;
+                        if idle >= self.idle_timeout {
+                            return;
+                        }
                     }
                     continue;
                 }
@@ -368,18 +423,40 @@ impl Worker {
         }
     }
 
+    /// Replaces this worker's snapshot with the master's when a mutation
+    /// has been published since the snapshot was taken.
+    fn refresh_snapshot(&mut self) {
+        if self.shared.generation.load(Ordering::SeqCst) != self.qp.generation() {
+            self.qp = self.shared.lock_master().clone();
+        }
+    }
+
     fn handle_request(&mut self, text: &str) -> String {
         let request = match json::parse(text) {
             Ok(v) => v,
             Err(e) => return error_response("bad_request", &format!("invalid JSON: {e}"), None),
         };
+        // Reads share snapshots: pick up the latest committed mutation
+        // before answering, so a query issued after a mutation response
+        // was sent always sees the mutated database.
+        self.refresh_snapshot();
         if request.get("stats").and_then(Json::as_bool) == Some(true) {
-            return stats_response(&self.metrics, &self.qp, self.threads);
+            return stats_response(&self.metrics, &self.qp, &self.shared, self.threads);
+        }
+        if request.get("insert").is_some() || request.get("retract").is_some() {
+            if request.get("query").is_some() {
+                return error_response(
+                    "bad_request",
+                    "a request is either a query or a mutation, not both",
+                    None,
+                );
+            }
+            return self.handle_mutation(&request);
         }
         let Some(query) = request.get("query").and_then(Json::as_str).map(str::to_owned) else {
             return error_response(
                 "bad_request",
-                "request needs a \"query\" member (or \"stats\": true)",
+                "request needs a \"query\" member (or \"insert\"/\"retract\", or \"stats\": true)",
                 None,
             );
         };
@@ -390,22 +467,10 @@ impl Worker {
                 Err(e) => return error_response("bad_request", &e, None),
             },
         };
-
-        // Per-request budget: server defaults, request overrides, and the
-        // shutdown flag as a cancellation token.
-        let mut budget = Budget::unlimited().cancellable(Arc::clone(&self.shutdown));
-        let timeout_ms = request.get("timeout_ms").and_then(Json::as_u64);
-        if let Some(ms) = timeout_ms {
-            budget = budget.timeout(Duration::from_millis(ms));
-        } else if let Some(t) = self.default_timeout {
-            budget = budget.timeout(t);
-        }
-        let max_tuples = request.get("max_tuples").and_then(Json::as_u64);
-        if let Some(n) = max_tuples {
-            budget = budget.tuples(n as usize);
-        } else if let Some(n) = self.default_max_tuples {
-            budget = budget.tuples(n);
-        }
+        let budget = match self.request_budget(&request) {
+            Ok(budget) => budget,
+            Err(message) => return error_response("bad_request", &message, None),
+        };
         self.qp.set_exec_options(sepra_core::exec::ExecOptions {
             budget,
             ..sepra_core::exec::ExecOptions::default()
@@ -483,6 +548,135 @@ impl Worker {
             }
         }
     }
+
+    /// The per-request budget: server defaults, request overrides, and the
+    /// shutdown flag as a cancellation token. Fails (→ `bad_request`) when
+    /// a budget member is present but not a nonnegative integer.
+    fn request_budget(&self, request: &Json) -> Result<Budget, String> {
+        let mut budget = Budget::unlimited().cancellable(Arc::clone(&self.shutdown));
+        if let Some(ms) = budget_field(request, "timeout_ms")? {
+            budget = budget.timeout(Duration::from_millis(ms));
+        } else if let Some(t) = self.default_timeout {
+            budget = budget.timeout(t);
+        }
+        if let Some(n) = budget_field(request, "max_tuples")? {
+            budget = budget.tuples(n as usize);
+        } else if let Some(n) = self.default_max_tuples {
+            budget = budget.tuples(n);
+        }
+        Ok(budget)
+    }
+
+    /// Applies an `insert`/`retract` request through the shared master
+    /// processor (write-exclusive) and renders the outcome.
+    fn handle_mutation(&mut self, request: &Json) -> String {
+        let (inserts, retracts) =
+            match (fact_list(request, "insert"), fact_list(request, "retract")) {
+                (Ok(i), Ok(r)) => (i, r),
+                (Err(message), _) | (_, Err(message)) => {
+                    return error_response("bad_request", &message, None)
+                }
+            };
+        let budget = match self.request_budget(request) {
+            Ok(budget) => budget,
+            Err(message) => return error_response("bad_request", &message, None),
+        };
+        let insert_refs: Vec<&str> = inserts.iter().map(String::as_str).collect();
+        let retract_refs: Vec<&str> = retracts.iter().map(String::as_str).collect();
+
+        let start = Instant::now();
+        let outcome = {
+            let mut master = self.shared.lock_master();
+            master.set_exec_options(sepra_core::exec::ExecOptions {
+                budget,
+                ..sepra_core::exec::ExecOptions::default()
+            });
+            let outcome = master.apply_mutation(&insert_refs, &retract_refs);
+            if outcome.is_ok() {
+                // Commit order matters: refresh our own snapshot and
+                // publish the generation only after the master committed,
+                // so no snapshot can observe half a mutation.
+                self.qp = master.clone();
+                self.shared.generation.store(self.qp.generation(), Ordering::SeqCst);
+            }
+            outcome
+        };
+        match outcome {
+            Ok(out) => {
+                self.metrics.record_mutation(
+                    out.inserted as u64,
+                    out.retracted as u64,
+                    start.elapsed(),
+                );
+                let mut stats = ObjWriter::new();
+                stats
+                    .num("iterations", out.stats.iterations as u64)
+                    .num("tuples_inserted", out.stats.tuples_inserted as u64)
+                    .num("rows_scanned", out.stats.rows_scanned as u64);
+                let mut response = ObjWriter::new();
+                response
+                    .num("inserted", out.inserted as u64)
+                    .num("retracted", out.retracted as u64)
+                    .num("generation", out.generation)
+                    .num("elapsed_us", u64::try_from(out.elapsed.as_micros()).unwrap_or(u64::MAX))
+                    .raw("stats", &stats.finish());
+                response.finish()
+            }
+            Err(e) => {
+                self.metrics.record_mutation_failure();
+                match e {
+                    ProcessorError::Eval(EvalError::BudgetExceeded { what, resource }) => {
+                        let mut detail = ObjWriter::new();
+                        detail
+                            .str("kind", "budget_exceeded")
+                            .str(
+                                "message",
+                                &format!("budget exceeded in {what}: {}", resource.name()),
+                            )
+                            .str("what", &what)
+                            .str("resource", resource.name());
+                        let mut out = ObjWriter::new();
+                        out.raw("error", &detail.finish());
+                        out.finish()
+                    }
+                    ProcessorError::Ast(e) => error_response("parse", &e.to_string(), None),
+                    ProcessorError::Eval(e) => error_response("eval", &e.to_string(), None),
+                    ProcessorError::Facts(e) => error_response("facts", &e, None),
+                    ProcessorError::StrategyUnavailable(e) => {
+                        error_response("strategy_unavailable", &e, None)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads an optional budget member, failing when it is present but not a
+/// nonnegative integer (silently ignoring `"timeout_ms": "soon"` would
+/// run the query unbounded — the opposite of what the client asked for).
+fn budget_field(request: &Json, key: &str) -> Result<Option<u64>, String> {
+    match request.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(format!("\"{key}\" must be a nonnegative integer")),
+        },
+    }
+}
+
+/// Reads an optional `insert`/`retract` member as a list of fact strings.
+fn fact_list(request: &Json, key: &str) -> Result<Vec<String>, String> {
+    match request.get(key) {
+        None => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| match item.as_str() {
+                Some(s) => Ok(s.to_owned()),
+                None => Err(format!("\"{key}\" must be an array of fact strings")),
+            })
+            .collect(),
+        Some(_) => Err(format!("\"{key}\" must be an array of fact strings")),
+    }
 }
 
 fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
@@ -504,7 +698,12 @@ fn error_response(kind: &str, message: &str, what: Option<&str>) -> String {
 }
 
 /// Renders the `{"stats": true}` response from the live counters.
-fn stats_response(metrics: &Metrics, qp: &QueryProcessor, threads: usize) -> String {
+fn stats_response(
+    metrics: &Metrics,
+    qp: &QueryProcessor,
+    shared: &SharedState,
+    threads: usize,
+) -> String {
     let s = metrics.snapshot();
     let mut by_strategy = ObjWriter::new();
     for (strategy, count) in &s.by_strategy {
@@ -517,6 +716,13 @@ fn stats_response(metrics: &Metrics, qp: &QueryProcessor, threads: usize) -> Str
         .num("errors", s.errors)
         .num("budget_exceeded", s.budget_exceeded)
         .raw("by_strategy", &by_strategy.finish());
+    let mut mutations = ObjWriter::new();
+    mutations
+        .num("total", s.mutations + s.mutation_failures)
+        .num("ok", s.mutations)
+        .num("errors", s.mutation_failures)
+        .num("tuples_inserted", s.mutation_inserted)
+        .num("tuples_retracted", s.mutation_retracted);
     let mut latency = ObjWriter::new();
     latency
         .num("min", s.latency_min_us)
@@ -531,7 +737,9 @@ fn stats_response(metrics: &Metrics, qp: &QueryProcessor, threads: usize) -> Str
     let mut out = ObjWriter::new();
     out.num("uptime_ms", u64::try_from(s.uptime.as_millis()).unwrap_or(u64::MAX))
         .num("threads", threads as u64)
+        .num("generation", shared.generation.load(Ordering::SeqCst))
         .raw("queries", &queries.finish())
+        .raw("mutations", &mutations.finish())
         .num("tuples_inserted", s.tuples_inserted)
         .num("iterations", s.iterations)
         .raw("latency_us", &latency.finish())
@@ -556,13 +764,19 @@ mod tests {
     }
 
     fn worker(qp: QueryProcessor) -> Worker {
+        let shared = Arc::new(SharedState {
+            generation: AtomicU64::new(qp.generation()),
+            master: Mutex::new(qp.clone()),
+        });
         Worker {
             qp,
+            shared,
             queue: Arc::new((Mutex::new(VecDeque::new()), Condvar::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(Metrics::new()),
             default_timeout: None,
             default_max_tuples: None,
+            idle_timeout: IDLE_TIMEOUT,
             threads: 1,
         }
     }
@@ -632,6 +846,123 @@ mod tests {
         assert!(v.get("latency_us").and_then(|l| l.get("median")).is_some());
         assert!(v.get("plan_cache").is_some());
         assert!(v.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn mutation_request_updates_answers() {
+        let mut w = worker(processor());
+        let v = json::parse(&w.handle_request(r#"{"query": "buys(tom, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+
+        let response = w.handle_request(
+            r#"{"insert": ["perfectFor(sue, gift)."], "retract": ["friend(sue, joe)."]}"#,
+        );
+        let v = json::parse(&response).unwrap();
+        assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("retracted").and_then(Json::as_u64), Some(1));
+        let generation = v.get("generation").and_then(Json::as_u64).expect("generation");
+        assert!(v.get("elapsed_us").is_some());
+        assert!(v.get("stats").and_then(|s| s.get("tuples_inserted")).is_some());
+
+        // tom -> sue -> gift is derivable; the joe -> widget path is gone.
+        let v = json::parse(&w.handle_request(r#"{"query": "buys(tom, Y)?"}"#)).unwrap();
+        assert_eq!(
+            v.get("answers"),
+            Some(&Json::Arr(vec![Json::Arr(vec![
+                Json::Str("tom".into()),
+                Json::Str("gift".into()),
+            ])]))
+        );
+
+        // Stats report the mutation and the published generation.
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        assert_eq!(v.get("generation").and_then(Json::as_u64), Some(generation));
+        let mutations = v.get("mutations").expect("mutations member");
+        assert_eq!(mutations.get("ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(mutations.get("tuples_inserted").and_then(Json::as_u64), Some(1));
+        assert_eq!(mutations.get("tuples_retracted").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn another_workers_snapshot_sees_committed_mutations() {
+        let mut a = worker(processor());
+        let mut b = Worker {
+            qp: a.shared.lock_master().clone(),
+            shared: Arc::clone(&a.shared),
+            queue: Arc::clone(&a.queue),
+            shutdown: Arc::clone(&a.shutdown),
+            metrics: Arc::clone(&a.metrics),
+            default_timeout: None,
+            default_max_tuples: None,
+            idle_timeout: IDLE_TIMEOUT,
+            threads: 1,
+        };
+        // Warm b's snapshot, mutate through a, then query through b: the
+        // generation check must force b to re-clone.
+        let v = json::parse(&b.handle_request(r#"{"query": "buys(tom, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        a.handle_request(r#"{"insert": ["perfectFor(joe, socks)."]}"#);
+        let v = json::parse(&b.handle_request(r#"{"query": "buys(tom, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn failed_mutations_leave_the_database_alone() {
+        let mut w = worker(processor());
+        // Arity clash: friend is binary.
+        let v = json::parse(&w.handle_request(r#"{"insert": ["friend(solo)."]}"#)).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("facts")
+        );
+        let v = json::parse(&w.handle_request(r#"{"query": "buys(tom, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        assert_eq!(
+            v.get("mutations").and_then(|m| m.get("errors")).and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn malformed_mutations_get_bad_request() {
+        let mut w = worker(processor());
+        for request in [
+            r#"{"insert": "perfectFor(a, b)."}"#,
+            r#"{"insert": [7]}"#,
+            r#"{"retract": {"fact": "x"}}"#,
+            r#"{"insert": ["p(a)."], "query": "p(X)?"}"#,
+        ] {
+            let v = json::parse(&w.handle_request(request)).unwrap();
+            assert_eq!(
+                v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+                Some("bad_request"),
+                "request {request:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_budget_members_get_bad_request() {
+        let mut w = worker(processor());
+        for request in [
+            r#"{"query": "buys(tom, Y)?", "timeout_ms": "soon"}"#,
+            r#"{"query": "buys(tom, Y)?", "max_tuples": -1}"#,
+            r#"{"query": "buys(tom, Y)?", "timeout_ms": 1.5}"#,
+            r#"{"insert": ["perfectFor(a, b)."], "max_tuples": true}"#,
+        ] {
+            let v = json::parse(&w.handle_request(request)).unwrap();
+            assert_eq!(
+                v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+                Some("bad_request"),
+                "request {request:?}"
+            );
+        }
+        // Valid overrides still work.
+        let v =
+            json::parse(&w.handle_request(r#"{"query": "buys(tom, Y)?", "timeout_ms": 10000}"#))
+                .unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

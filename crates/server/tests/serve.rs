@@ -33,6 +33,10 @@ impl Server {
     /// Spawns `sepra serve` on an OS-assigned port and parses the address
     /// from its startup line.
     fn spawn(workers: usize) -> Self {
+        Self::spawn_with(workers, &[])
+    }
+
+    fn spawn_with(workers: usize, extra_args: &[&str]) -> Self {
         let dir = std::env::temp_dir().join(format!("sepra_serve_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let fixture = write_fixture(&dir);
@@ -40,6 +44,7 @@ impl Server {
             .arg("serve")
             .arg(&fixture)
             .args(["--addr", "127.0.0.1:0", "--threads", &workers.to_string()])
+            .args(extra_args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -195,6 +200,138 @@ fn serves_concurrent_clients_with_deadlines_and_stats() {
     assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some(), "{stats:?}");
 
     // Phase 4: `quit` on stdin shuts the server down cleanly.
+    server.shutdown();
+}
+
+#[test]
+fn mutations_are_visible_to_every_connection_and_revertible() {
+    let server = Server::spawn(2);
+    let mut writer = server.connect();
+    let mut reader = server.connect();
+
+    let before = writer.request(r#"{"query": "t(n0, Y)?"}"#);
+    assert_eq!(before.get("count").and_then(Json::as_u64), Some(CHAIN as u64), "{before:?}");
+
+    // Extend the chain by one edge; both the mutating connection and an
+    // unrelated one (a different worker's snapshot) must see the longer
+    // closure immediately.
+    let grown = writer.request(&format!(r#"{{"insert": ["e(n{}, n{})."]}}"#, CHAIN, CHAIN + 1));
+    assert_eq!(grown.get("inserted").and_then(Json::as_u64), Some(1), "{grown:?}");
+    assert_eq!(grown.get("retracted").and_then(Json::as_u64), Some(0), "{grown:?}");
+    let generation = grown.get("generation").and_then(Json::as_u64).expect("generation");
+    for conn in [&mut writer, &mut reader] {
+        let after = conn.request(r#"{"query": "t(n0, Y)?"}"#);
+        assert_eq!(after.get("count").and_then(Json::as_u64), Some(CHAIN as u64 + 1), "{after:?}");
+    }
+
+    // Retracting the edge restores the original closure exactly
+    // (delete-and-rederive agrees with from-scratch evaluation).
+    let shrunk = writer.request(&format!(r#"{{"retract": ["e(n{}, n{})."]}}"#, CHAIN, CHAIN + 1));
+    assert_eq!(shrunk.get("retracted").and_then(Json::as_u64), Some(1), "{shrunk:?}");
+    assert!(shrunk.get("generation").and_then(Json::as_u64) > Some(generation), "{shrunk:?}");
+    for conn in [&mut reader, &mut writer] {
+        let restored = conn.request(r#"{"query": "t(n0, Y)?"}"#);
+        assert_eq!(
+            restored.get("count").and_then(Json::as_u64),
+            Some(CHAIN as u64),
+            "{restored:?}"
+        );
+    }
+
+    // An ineffective retraction commits nothing and keeps the generation.
+    let noop = writer.request(r#"{"retract": ["e(n0, n99)."]}"#);
+    assert_eq!(noop.get("retracted").and_then(Json::as_u64), Some(0), "{noop:?}");
+    let stats = writer.request(r#"{"stats": true}"#);
+    let mutations = stats.get("mutations").expect("mutations member");
+    assert_eq!(mutations.get("ok").and_then(Json::as_u64), Some(3), "{stats:?}");
+    assert_eq!(mutations.get("tuples_inserted").and_then(Json::as_u64), Some(1), "{stats:?}");
+    assert_eq!(mutations.get("tuples_retracted").and_then(Json::as_u64), Some(1), "{stats:?}");
+    assert!(stats.get("generation").and_then(Json::as_u64).is_some(), "{stats:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_writers_survive_the_idle_timeout() {
+    // 600 ms idle budget; the request drips in over ~1.25 s with every
+    // inter-chunk gap well under the budget. Progress must reset the idle
+    // clock — the regression was accumulating it across partial reads and
+    // disconnecting mid-request.
+    let server = Server::spawn_with(1, &["--idle-timeout-ms", "600"]);
+    let conn = server.connect();
+    let mut stream = conn.stream.try_clone().expect("stream clones");
+    let request = br#"{"query": "t(n0, Y)?"}"#;
+    let chunks: Vec<&[u8]> = request.chunks(5).collect();
+    for chunk in &chunks {
+        stream.write_all(chunk).expect("chunk writes");
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    stream.write_all(b"\n").expect("newline writes");
+    stream.flush().unwrap();
+    let mut conn = conn;
+    let mut line = String::new();
+    let n = conn.reader.read_line(&mut line).expect("response reads");
+    assert!(n > 0, "server dropped a slow but live connection");
+    let response = json::parse(line.trim()).expect("response is JSON");
+    assert_eq!(response.get("count").and_then(Json::as_u64), Some(CHAIN as u64), "{response:?}");
+
+    // A genuinely idle connection is still reclaimed.
+    std::thread::sleep(Duration::from_millis(1500));
+    line.clear();
+    let n = conn.reader.read_line(&mut line).expect("EOF reads cleanly");
+    assert_eq!(n, 0, "idle connection was not reclaimed: {line:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn request_framing_edges() {
+    let server = Server::spawn(1);
+
+    // A request of exactly MAX_REQUEST_BYTES (padded with JSON whitespace)
+    // is still served.
+    let mut conn = server.connect();
+    let body = r#"{"query": "t(n0, Y)?"}"#;
+    let padded = format!("{body}{}", " ".repeat(sepra_server::MAX_REQUEST_BYTES - body.len()));
+    assert_eq!(padded.len(), sepra_server::MAX_REQUEST_BYTES);
+    let response = conn.request(&padded);
+    assert_eq!(response.get("count").and_then(Json::as_u64), Some(CHAIN as u64), "{response:?}");
+    drop(conn); // free the (single) worker for the next connection
+
+    // One byte past the cap (and no newline yet): a structured error, then
+    // the connection closes.
+    let mut conn = server.connect();
+    let oversized = vec![b' '; sepra_server::MAX_REQUEST_BYTES + 1];
+    conn.stream.write_all(&oversized).expect("oversized writes");
+    conn.stream.flush().unwrap();
+    let mut line = String::new();
+    conn.reader.read_line(&mut line).expect("error response reads");
+    let response = json::parse(line.trim()).expect("error response is JSON");
+    assert_eq!(error_kind(&response), Some("bad_request"), "{response:?}");
+    assert!(
+        response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("exceeds")),
+        "{response:?}"
+    );
+    line.clear();
+    assert_eq!(conn.reader.read_line(&mut line).expect("EOF reads"), 0);
+
+    // EOF right after an unterminated final request: the request is still
+    // answered before the connection winds down.
+    let mut conn = server.connect();
+    conn.stream.write_all(body.as_bytes()).expect("request writes");
+    conn.stream.flush().unwrap();
+    conn.stream.shutdown(std::net::Shutdown::Write).expect("write half closes");
+    let mut line = String::new();
+    let n = conn.reader.read_line(&mut line).expect("response reads");
+    assert!(n > 0, "unterminated final request was dropped");
+    let response = json::parse(line.trim()).expect("response is JSON");
+    assert_eq!(response.get("count").and_then(Json::as_u64), Some(CHAIN as u64), "{response:?}");
+
     server.shutdown();
 }
 

@@ -59,10 +59,43 @@ impl From<ValueError> for DatabaseError {
 /// mutates a relation, at which point [`Arc::make_mut`] copies just that
 /// relation. This is what lets a query server hand every worker thread its
 /// own `Database` without duplicating the EDB.
+///
+/// Every effective mutation (an insert that added a tuple, a retract that
+/// removed one) bumps a **generation counter**. A clone freezes the
+/// counter at the snapshot's value, so two databases with equal
+/// generations that descend from the same lineage hold the same facts —
+/// this is what lets caches and prepared state be validated against a
+/// snapshot instead of diffing relations.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     interner: Interner,
     relations: FxHashMap<Sym, Arc<Relation>>,
+    generation: u64,
+}
+
+/// A batch of EDB changes: tuples to remove and tuples to add, per
+/// predicate. [`Database::apply_delta`] applies one and reports the
+/// *effective* delta (only tuples genuinely removed/added), which is what
+/// incremental view maintenance propagates.
+#[derive(Debug, Default, Clone)]
+pub struct EdbDelta {
+    /// Tuples to retract, per predicate. Applied before `insert`.
+    pub remove: FxHashMap<Sym, Vec<Tuple>>,
+    /// Tuples to insert, per predicate.
+    pub insert: FxHashMap<Sym, Vec<Tuple>>,
+}
+
+impl EdbDelta {
+    /// Whether the delta contains no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.remove.values().all(Vec::is_empty) && self.insert.values().all(Vec::is_empty)
+    }
+
+    /// Total tuples across both halves.
+    pub fn len(&self) -> usize {
+        self.remove.values().map(Vec::len).sum::<usize>()
+            + self.insert.values().map(Vec::len).sum::<usize>()
+    }
 }
 
 impl Database {
@@ -124,19 +157,122 @@ impl Database {
         seen.len()
     }
 
-    /// Inserts one tuple for `pred`.
-    pub fn insert(&mut self, pred: Sym, tuple: Tuple) -> Result<bool, DatabaseError> {
+    /// The EDB generation: bumped once per effective mutation (an insert
+    /// that added a tuple, a retract that removed one). Clones freeze the
+    /// counter at the snapshot's value.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn check_arity(&self, pred: Sym, arity: usize) -> Result<(), DatabaseError> {
         if let Some(existing) = self.relations.get(&pred) {
-            if existing.arity() != tuple.arity() {
+            if existing.arity() != arity {
                 return Err(DatabaseError::ArityMismatch {
                     pred: self.interner.resolve(pred).to_string(),
                     expected: existing.arity(),
-                    found: tuple.arity(),
+                    found: arity,
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Inserts one tuple for `pred`.
+    pub fn insert(&mut self, pred: Sym, tuple: Tuple) -> Result<bool, DatabaseError> {
+        self.check_arity(pred, tuple.arity())?;
         let arity = tuple.arity();
-        Ok(self.relation_mut(pred, arity).insert(tuple))
+        let added = self.relation_mut(pred, arity).insert(tuple);
+        if added {
+            self.generation += 1;
+        }
+        Ok(added)
+    }
+
+    /// Removes one tuple from `pred`. Returns `Ok(false)` when the
+    /// predicate or tuple is absent; an arity mismatch against an existing
+    /// relation is still an error (the caller confused two predicates).
+    pub fn retract(&mut self, pred: Sym, tuple: &Tuple) -> Result<bool, DatabaseError> {
+        self.check_arity(pred, tuple.arity())?;
+        let Some(rel) = self.relations.get_mut(&pred) else {
+            return Ok(false);
+        };
+        if !rel.contains(tuple) {
+            return Ok(false);
+        }
+        let removed = Arc::make_mut(rel).remove(tuple);
+        if removed {
+            self.generation += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Removes a ground AST atom.
+    pub fn retract_atom(&mut self, atom: &Atom) -> Result<bool, DatabaseError> {
+        let tuple = self.ground_tuple(atom)?;
+        self.retract(atom.pred, &tuple)
+    }
+
+    /// Converts a ground AST atom into the tuple it denotes (without
+    /// touching any relation). Errors on variables or unrepresentable
+    /// values — the checks [`Database::insert_atom`] and
+    /// [`Database::retract_atom`] share.
+    pub fn ground_tuple(&self, atom: &Atom) -> Result<Tuple, DatabaseError> {
+        let mut values = Vec::with_capacity(atom.arity());
+        for term in &atom.terms {
+            match term {
+                Term::Const(c) => values.push(Value::from_const(*c)?),
+                Term::Var(v) => {
+                    return Err(DatabaseError::NonGroundFact(self.interner.resolve(*v).to_string()))
+                }
+            }
+        }
+        Ok(Tuple::from(values))
+    }
+
+    /// Applies a batch of changes — retractions first, then insertions —
+    /// and returns the **effective** delta: only tuples that were actually
+    /// removed (present before) or added (absent before). Arity checks run
+    /// up front, so on error the database is untouched.
+    pub fn apply_delta(&mut self, delta: &EdbDelta) -> Result<EdbDelta, DatabaseError> {
+        let mut arities: FxHashMap<Sym, usize> = FxHashMap::default();
+        for (&pred, tuples) in delta.remove.iter().chain(delta.insert.iter()) {
+            for t in tuples {
+                self.check_arity(pred, t.arity())?;
+                let seen = *arities.entry(pred).or_insert_with(|| t.arity());
+                if seen != t.arity() {
+                    return Err(DatabaseError::ArityMismatch {
+                        pred: self.interner.resolve(pred).to_string(),
+                        expected: seen,
+                        found: t.arity(),
+                    });
+                }
+            }
+        }
+        let mut effective = EdbDelta::default();
+        for (&pred, tuples) in &delta.remove {
+            let Some(rel) = self.relations.get_mut(&pred) else { continue };
+            let present: Vec<Tuple> = tuples.iter().filter(|t| rel.contains(t)).cloned().collect();
+            if present.is_empty() {
+                continue;
+            }
+            let removed = Arc::make_mut(rel).remove_batch(&present);
+            self.generation += removed as u64;
+            effective.remove.insert(pred, present);
+        }
+        for (&pred, tuples) in &delta.insert {
+            let mut added = Vec::new();
+            for t in tuples {
+                let arity = t.arity();
+                if self.relation_mut(pred, arity).insert(t.clone()) {
+                    self.generation += 1;
+                    added.push(t.clone());
+                }
+            }
+            if !added.is_empty() {
+                effective.insert.insert(pred, added);
+            }
+        }
+        Ok(effective)
     }
 
     /// Inserts a fact given as symbolic constant names, interning them,
@@ -149,16 +285,8 @@ impl Database {
 
     /// Loads a ground AST atom as a fact.
     pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, DatabaseError> {
-        let mut values = Vec::with_capacity(atom.arity());
-        for term in &atom.terms {
-            match term {
-                Term::Const(c) => values.push(Value::from_const(*c)?),
-                Term::Var(v) => {
-                    return Err(DatabaseError::NonGroundFact(self.interner.resolve(*v).to_string()))
-                }
-            }
-        }
-        self.insert(atom.pred, Tuple::from(values))
+        let tuple = self.ground_tuple(atom)?;
+        self.insert(atom.pred, tuple)
     }
 
     /// Loads every fact of a parsed program (rules with empty bodies).
@@ -237,6 +365,94 @@ mod tests {
         db.insert_named("e", &["b", "c"]).unwrap();
         assert_eq!(db.relation(e).unwrap().len(), 2);
         assert_eq!(snapshot.relation(e).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retract_removes_and_reports_membership() {
+        let mut db = Database::new();
+        db.insert_named("e", &["a", "b"]).unwrap();
+        db.insert_named("e", &["b", "c"]).unwrap();
+        let e = db.intern("e");
+        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        assert!(db.retract(e, &ab).unwrap());
+        assert!(!db.retract(e, &ab).unwrap()); // already gone
+        assert_eq!(db.relation(e).unwrap().len(), 1);
+        // Absent predicate: not an error, just "nothing removed".
+        let q = db.intern("q");
+        assert!(!db.retract(q, &ab).unwrap());
+    }
+
+    #[test]
+    fn retract_checks_arity() {
+        let mut db = Database::new();
+        db.insert_named("p", &["a", "b"]).unwrap();
+        let p = db.intern("p");
+        let sym = Value::sym(db.intern("a"));
+        let narrow = Tuple::from(vec![sym]);
+        assert!(matches!(db.retract(p, &narrow), Err(DatabaseError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn generation_counts_effective_mutations_only() {
+        let mut db = Database::new();
+        assert_eq!(db.generation(), 0);
+        db.insert_named("e", &["a", "b"]).unwrap();
+        assert_eq!(db.generation(), 1);
+        db.insert_named("e", &["a", "b"]).unwrap(); // dup: no change
+        assert_eq!(db.generation(), 1);
+        let e = db.intern("e");
+        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        db.retract(e, &ab).unwrap();
+        assert_eq!(db.generation(), 2);
+        db.retract(e, &ab).unwrap(); // absent: no change
+        assert_eq!(db.generation(), 2);
+        // Clones freeze the counter.
+        let snapshot = db.clone();
+        db.insert_named("e", &["x", "y"]).unwrap();
+        assert_eq!(snapshot.generation(), 2);
+        assert_eq!(db.generation(), 3);
+    }
+
+    #[test]
+    fn apply_delta_returns_effective_changes() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c).").unwrap();
+        let e = db.intern("e");
+        let tuples: Vec<Tuple> = db.relation(e).unwrap().iter().cloned().collect();
+        let fresh = Tuple::from(vec![Value::sym(db.intern("x")), Value::sym(db.intern("y"))]);
+        let mut delta = EdbDelta::default();
+        // Remove one present tuple and one absent tuple; insert one new
+        // tuple, one duplicate of the new tuple, and one existing tuple.
+        delta.remove.insert(e, vec![tuples[0].clone(), fresh.clone()]);
+        delta.insert.insert(e, vec![fresh.clone(), fresh.clone(), tuples[1].clone()]);
+        let gen_before = db.generation();
+        let effective = db.apply_delta(&delta).unwrap();
+        assert_eq!(effective.remove[&e], vec![tuples[0].clone()]);
+        assert_eq!(effective.insert[&e], vec![fresh.clone()]);
+        assert_eq!(effective.len(), 2);
+        assert_eq!(db.generation(), gen_before + 2);
+        let rel = db.relation(e).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(!rel.contains(&tuples[0]));
+        assert!(rel.contains(&tuples[1]));
+        assert!(rel.contains(&fresh));
+    }
+
+    #[test]
+    fn apply_delta_rejects_arity_mismatch_without_mutating() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b).").unwrap();
+        let e = db.intern("e");
+        let good: Vec<Tuple> = db.relation(e).unwrap().iter().cloned().collect();
+        let bad = Tuple::from(vec![Value::sym(db.intern("z"))]);
+        let mut delta = EdbDelta::default();
+        delta.remove.insert(e, good.clone());
+        delta.insert.insert(e, vec![bad]);
+        let gen_before = db.generation();
+        assert!(matches!(db.apply_delta(&delta), Err(DatabaseError::ArityMismatch { .. })));
+        // Up-front validation means nothing was applied.
+        assert_eq!(db.generation(), gen_before);
+        assert!(db.relation(e).unwrap().contains(&good[0]));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
-pub use database::Database;
+pub use database::{Database, EdbDelta};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::Index;
 pub use relation::Relation;

@@ -3,8 +3,10 @@
 //! [`Relation`] is the workhorse of every evaluator in this workspace. It
 //! stores tuples densely in insertion order (so semi-naive deltas are just
 //! index ranges) and deduplicates through a private open-addressing table of
-//! indexes into the dense vector. Tuples are never removed; fixpoint
-//! evaluation only ever adds.
+//! indexes into the dense vector. Fixpoint evaluation only ever adds;
+//! removal exists solely for live EDB retraction ([`Relation::remove_batch`])
+//! and compacts the dense storage, so it must never run mid-fixpoint where
+//! a delta is an index range into the old layout.
 
 use std::fmt;
 
@@ -148,17 +150,72 @@ impl Relation {
 
     /// Whether `tuple` is present.
     pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.find(tuple).is_some()
+    }
+
+    /// Removes one tuple, returning `true` if it was present.
+    ///
+    /// Remaining tuples keep their relative insertion order. Removal
+    /// compacts the dense storage and rebuilds the probe table, so batch
+    /// retraction should go through [`Relation::remove_batch`], which pays
+    /// the rebuild once.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.remove_batch(std::slice::from_ref(tuple)) == 1
+    }
+
+    /// Removes every listed tuple (duplicates and absent tuples are
+    /// ignored), returning how many were actually removed. Remaining
+    /// tuples keep their relative insertion order; the probe table is
+    /// rebuilt once.
+    pub fn remove_batch(&mut self, tuples: &[Tuple]) -> usize {
+        let mut doomed = crate::hasher::FxHashSet::default();
+        for t in tuples {
+            if let Some(idx) = self.find(t) {
+                doomed.insert(idx);
+            }
+        }
+        if doomed.is_empty() {
+            return 0;
+        }
+        let mut write = 0;
+        for read in 0..self.tuples.len() {
+            if doomed.contains(&read) {
+                continue;
+            }
+            if write != read {
+                self.tuples.swap(write, read);
+                self.hashes.swap(write, read);
+            }
+            write += 1;
+        }
+        self.tuples.truncate(write);
+        self.hashes.truncate(write);
+        let slots = (write * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
+        self.table = vec![EMPTY; slots];
+        let mask = slots - 1;
+        for (i, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = u32::try_from(i).expect("relation overflow");
+        }
+        doomed.len()
+    }
+
+    /// The dense index of `tuple`, if present.
+    fn find(&self, tuple: &Tuple) -> Option<usize> {
         if tuple.arity() != self.arity {
-            return false;
+            return None;
         }
         let hash = Self::hash_tuple(tuple);
         let mask = self.table.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
-                EMPTY => return false,
+                EMPTY => return None,
                 idx if self.hashes[idx as usize] == hash && &self.tuples[idx as usize] == tuple => {
-                    return true
+                    return Some(idx as usize)
                 }
                 _ => slot = (slot + 1) & mask,
             }
@@ -383,6 +440,56 @@ mod tests {
         r.insert(t2(2, 3));
         let vals = r.distinct_values();
         assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn remove_preserves_order_and_membership() {
+        let mut r = Relation::new(2);
+        for i in 0..100 {
+            r.insert(t2(i, i));
+        }
+        assert!(r.remove(&t2(50, 50)));
+        assert!(!r.remove(&t2(50, 50))); // already gone
+        assert!(!r.remove(&t2(999, 999)));
+        assert_eq!(r.len(), 99);
+        assert!(!r.contains(&t2(50, 50)));
+        let order: Vec<u32> = r.iter().map(|t| t[0].as_sym().unwrap().0).collect();
+        let expected: Vec<u32> = (0..100).filter(|&i| i != 50).collect();
+        assert_eq!(order, expected);
+        // Reinsertion lands at the end, as for any new tuple.
+        assert!(r.insert(t2(50, 50)));
+        assert_eq!(r.iter().last().unwrap(), &t2(50, 50));
+    }
+
+    #[test]
+    fn remove_batch_ignores_absent_and_duplicate_entries() {
+        let mut r = Relation::new(2);
+        for i in 0..10 {
+            r.insert(t2(i, i + 1));
+        }
+        let doomed = vec![t2(1, 2), t2(1, 2), t2(42, 43), t2(7, 8)];
+        assert_eq!(r.remove_batch(&doomed), 2);
+        assert_eq!(r.len(), 8);
+        assert!(!r.contains(&t2(1, 2)));
+        assert!(!r.contains(&t2(7, 8)));
+        assert!(r.contains(&t2(0, 1)));
+        // The table still probes correctly after the rebuild.
+        for i in [0u32, 2, 3, 4, 5, 6, 8, 9] {
+            assert!(r.contains(&t2(i, i + 1)), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn remove_everything_leaves_a_usable_relation() {
+        let mut r = Relation::new(2);
+        let all: Vec<Tuple> = (0..1000).map(|i| t2(i, i * 3)).collect();
+        for t in &all {
+            r.insert(t.clone());
+        }
+        assert_eq!(r.remove_batch(&all), 1000);
+        assert!(r.is_empty());
+        assert!(r.insert(t2(1, 3)));
+        assert!(r.contains(&t2(1, 3)));
     }
 
     #[test]
