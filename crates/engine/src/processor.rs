@@ -199,6 +199,10 @@ pub struct MutationOutcome {
     pub stats: EvalStats,
     /// Wall-clock time for parsing, applying, and maintenance.
     pub elapsed: Duration,
+    /// The *effective* delta: exactly the tuples added and removed, with
+    /// no-op inserts/retracts filtered out. This is what a write-ahead
+    /// log records — replaying it reproduces the commit bit for bit.
+    pub delta: EdbDelta,
 }
 
 impl QueryProcessor {
@@ -319,7 +323,6 @@ impl QueryProcessor {
         inserts: &[&str],
         retracts: &[&str],
     ) -> Result<MutationOutcome, ProcessorError> {
-        let start = Instant::now();
         let mut delta = EdbDelta::default();
         for (sources, bucket, verb) in
             [(retracts, &mut delta.remove, "retract"), (inserts, &mut delta.insert, "insert")]
@@ -343,7 +346,19 @@ impl QueryProcessor {
                 }
             }
         }
+        self.apply_delta_mutation(delta)
+    }
 
+    /// [`apply_mutation`](Self::apply_mutation) minus the parsing: applies
+    /// an already-built [`EdbDelta`] whose tuples reference *this*
+    /// processor's interner. WAL replay enters here — recovered deltas are
+    /// decoded frames, not fact text — and gets the identical all-or-none
+    /// staging, incremental maintenance, and plan-cache revalidation.
+    pub fn apply_delta_mutation(
+        &mut self,
+        delta: EdbDelta,
+    ) -> Result<MutationOutcome, ProcessorError> {
+        let start = Instant::now();
         // Stage on snapshots: `db_before` → retractions → `db_mid` →
         // insertions → `db`. The clones are cheap (copy-on-write) and give
         // the DRed over-deletion its pre-mutation state.
@@ -369,6 +384,7 @@ impl QueryProcessor {
                 generation: self.generation,
                 stats: EvalStats::new(),
                 elapsed: start.elapsed(),
+                delta: effective,
             });
         }
 
@@ -424,6 +440,7 @@ impl QueryProcessor {
             generation: self.generation,
             stats,
             elapsed: start.elapsed(),
+            delta: effective,
         })
     }
 

@@ -5,6 +5,8 @@
 //! sepra check [OPTIONS] FILE...
 //! sepra serve [OPTIONS] FILE...
 //! sepra client [OPTIONS] [QUERY...]
+//! sepra dump FILE --data-dir DIR
+//! sepra restore FILE --data-dir DIR [--force]
 //!
 //! Options:
 //!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
@@ -46,7 +48,15 @@ use sepra_engine::{
     Strategy, StrategyChoice,
 };
 use sepra_eval::Budget;
-use sepra_server::{default_threads, json, serve, ServeOptions};
+use sepra_server::{
+    default_threads, json, load_offline, serve, DurabilityOptions, ServeOptions,
+    DEFAULT_CHECKPOINT_EVERY,
+};
+use sepra_wal::checkpoint::checkpoint_file_name;
+use sepra_wal::store::{read_recovery, WAL_FILE};
+use sepra_wal::{
+    codec, list_checkpoints, read_checkpoint_file, write_checkpoint_file, FsyncPolicy, WalWriter,
+};
 
 struct Options {
     files: Vec<String>,
@@ -153,6 +163,8 @@ Usage: sepra [OPTIONS] [FILE...]
        sepra check [OPTIONS] FILE...     (see `sepra check --help`)
        sepra serve [OPTIONS] FILE...     (see `sepra serve --help`)
        sepra client [OPTIONS] [QUERY...] (see `sepra client --help`)
+       sepra dump FILE --data-dir DIR    (see `sepra dump --help`)
+       sepra restore FILE --data-dir DIR (see `sepra restore --help`)
 
 Options:
   -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
@@ -216,6 +228,14 @@ never sees a half-applied mutation. Programs that fail `sepra check`
 are refused at startup. Shutdown: a `quit` line on stdin, SIGINT, or
 SIGTERM (in-flight queries are cancelled through their budgets).
 
+With --data-dir the server is durable: every committed mutation is
+appended to a write-ahead log before it is acknowledged, checkpoints
+snapshot the full fact database every --checkpoint-every records (and
+truncate the log), and startup recovers the newest checkpoint plus the
+WAL tail — a `kill -9` loses at most the fsync window and never leaves
+a half-applied mutation. `{\"stats\": true}` then reports a
+\"durability\" object (WAL bytes, records since checkpoint, recovery).
+
 Options:
       --addr HOST:PORT  bind address (default 127.0.0.1:7464; port 0
                         picks a free port, printed on startup)
@@ -226,7 +246,48 @@ Options:
       --idle-timeout-ms MS
                         disconnect a connection idle for MS milliseconds
                         (default 30000)
+      --data-dir DIR    persist mutations under DIR (WAL + checkpoints)
+                        and recover from it on startup
+      --fsync POLICY    WAL flush policy: always (default; acknowledged
+                        implies durable) | interval[:MS] | never
+      --checkpoint-every N
+                        checkpoint after N WAL records (default 1024;
+                        0 disables automatic checkpoints)
       --deny warnings   refuse to start on lint warnings, not just errors
+  -h, --help            this message
+";
+
+const DUMP_HELP: &str = "\
+sepra dump — export a data directory as one snapshot file
+
+Usage: sepra dump FILE --data-dir DIR
+
+Reads DIR's durable state — the newest valid checkpoint with the
+write-ahead-log tail replayed on top (a torn final record is ignored) —
+and writes it to FILE in the checkpoint container format. Strictly
+read-only on DIR: safe to run against a live server. The snapshot is
+portable (it carries its own symbol table) and is what `sepra restore`
+and the REPL's `:load` consume.
+
+Options:
+      --data-dir DIR    the data directory to export (required)
+  -h, --help            this message
+";
+
+const RESTORE_HELP: &str = "\
+sepra restore — initialize a data directory from a snapshot file
+
+Usage: sepra restore FILE --data-dir DIR [--force]
+
+Validates FILE (container checksum and a full decode), then replaces
+DIR's durable state with it: the snapshot becomes DIR's checkpoint and
+the write-ahead log restarts empty. A subsequent
+`sepra serve --data-dir DIR` recovers exactly the snapshot's facts.
+Refuses to overwrite existing durable state unless --force is given.
+
+Options:
+      --data-dir DIR    the data directory to (re)initialize (required)
+      --force           replace existing durable state in DIR
   -h, --help            this message
 ";
 
@@ -259,6 +320,10 @@ Commands:
   :why QUERY       answer QUERY and show one derivation per answer
   :insert FACT.    add ground facts, maintaining answers incrementally
   :retract FACT.   remove ground facts (delete-and-rederive)
+  :save PATH       snapshot the fact database to PATH (checkpoint format,
+                   readable by `sepra restore` and :load)
+  :load PATH       merge the facts of a snapshot into the session
+                   (insert-only, through incremental maintenance)
   :stats on|off    toggle statistics output
   :lint [QUERY]    diagnostic report, optionally relative to QUERY
   :check           alias for :lint without a query
@@ -380,6 +445,9 @@ fn run_check(args: &[String]) -> ExitCode {
 fn run_serve(args: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut opts = ServeOptions::default();
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let usage_error = |msg: &str| {
         eprintln!("error: {msg}");
         ExitCode::from(2)
@@ -387,6 +455,28 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut args = args.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage_error("missing argument for --data-dir"),
+            },
+            "--fsync" => match args.next().map(|s| s.parse::<FsyncPolicy>()) {
+                Some(Ok(policy)) => fsync = Some(policy),
+                Some(Err(e)) => return usage_error(&e),
+                None => return usage_error("missing argument for --fsync"),
+            },
+            "--checkpoint-every" => {
+                let Some(n) = args.next() else {
+                    return usage_error("missing argument for --checkpoint-every");
+                };
+                match n.parse::<u64>() {
+                    Ok(n) => checkpoint_every = Some(n),
+                    Err(_) => {
+                        return usage_error(&format!(
+                            "--checkpoint-every expects a record count, got `{n}`"
+                        ))
+                    }
+                }
+            }
             "--addr" => match args.next() {
                 Some(a) => opts.addr = a.clone(),
                 None => return usage_error("missing argument for --addr"),
@@ -461,6 +551,19 @@ fn run_serve(args: &[String]) -> ExitCode {
     if files.is_empty() {
         return usage_error("sepra serve needs at least one file (try `sepra serve --help`)");
     }
+    match data_dir {
+        Some(dir) => {
+            opts.durability = Some(DurabilityOptions {
+                data_dir: dir,
+                fsync: fsync.unwrap_or_default(),
+                checkpoint_every: checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+            });
+        }
+        None if fsync.is_some() || checkpoint_every.is_some() => {
+            return usage_error("--fsync and --checkpoint-every require --data-dir");
+        }
+        None => {}
+    }
     let Ok(qp) = load_files(&files) else {
         return ExitCode::FAILURE;
     };
@@ -471,6 +574,178 @@ fn run_serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `sepra dump FILE --data-dir DIR` subcommand: exports the durable
+/// state of a data directory (newest valid checkpoint + WAL tail, torn
+/// tail ignored) as one checkpoint-format snapshot file. Strictly
+/// read-only, so it is safe against a live server's directory.
+fn run_dump(args: &[String]) -> ExitCode {
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut file: Option<String> = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage_error("missing argument for --data-dir"),
+            },
+            "-h" | "--help" => {
+                print!("{}", DUMP_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}` (try `sepra dump --help`)"))
+            }
+            positional if file.is_none() => file = Some(positional.to_string()),
+            extra => return usage_error(&format!("unexpected argument `{extra}`")),
+        }
+    }
+    let Some(file) = file else {
+        return usage_error("sepra dump needs an output FILE (try `sepra dump --help`)");
+    };
+    let Some(data_dir) = data_dir else {
+        return usage_error("sepra dump needs --data-dir DIR (try `sepra dump --help`)");
+    };
+    let recovery = match read_recovery(&data_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if recovery.checkpoint_body.is_none() && recovery.records.is_empty() {
+        eprintln!("error: {} holds no durable state to dump", data_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let db = match load_offline(&data_dir) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = codec::encode_database(&db);
+    if let Err(e) = write_checkpoint_file(std::path::Path::new(&file), db.generation(), &body) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("dumped {} facts at generation {} to {file}", db.total_tuples(), db.generation());
+    ExitCode::SUCCESS
+}
+
+/// The `sepra restore FILE --data-dir DIR` subcommand: initializes a data
+/// directory from a snapshot file (the format `sepra dump` and the REPL's
+/// `:save` write). Refuses to overwrite existing durable state without
+/// `--force`.
+fn run_restore(args: &[String]) -> ExitCode {
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut file: Option<String> = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut force = false;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage_error("missing argument for --data-dir"),
+            },
+            "--force" => force = true,
+            "-h" | "--help" => {
+                print!("{}", RESTORE_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!(
+                    "unknown option `{other}` (try `sepra restore --help`)"
+                ))
+            }
+            positional if file.is_none() => file = Some(positional.to_string()),
+            extra => return usage_error(&format!("unexpected argument `{extra}`")),
+        }
+    }
+    let Some(file) = file else {
+        return usage_error("sepra restore needs a snapshot FILE (try `sepra restore --help`)");
+    };
+    let Some(data_dir) = data_dir else {
+        return usage_error("sepra restore needs --data-dir DIR (try `sepra restore --help`)");
+    };
+    // Validate the snapshot fully (container checksum AND body decode)
+    // before touching the directory.
+    let (generation, body) = match read_checkpoint_file(std::path::Path::new(&file)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut probe = sepra_storage::Database::new();
+    if let Err(e) = codec::decode_database_into(&body, &mut probe) {
+        eprintln!("error: {file} does not decode as an EDB snapshot: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(&data_dir) {
+        eprintln!("error: creating data dir {}: {e}", data_dir.display());
+        return ExitCode::FAILURE;
+    }
+    match read_recovery(&data_dir) {
+        Ok(existing) => {
+            let occupied = existing.checkpoint_body.is_some()
+                || !existing.records.is_empty()
+                || existing.stale_records > 0;
+            if occupied && !force {
+                eprintln!(
+                    "error: {} already holds durable state (generation {}); \
+                     use --force to replace it",
+                    data_dir.display(),
+                    existing.recovered_generation()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Replace wholesale: old checkpoints and the old WAL describe a state
+    // the restored snapshot supersedes.
+    match list_checkpoints(&data_dir) {
+        Ok(old) => {
+            for (_, path) in old {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let _ = std::fs::remove_file(data_dir.join(WAL_FILE));
+    if let Err(e) =
+        write_checkpoint_file(&data_dir.join(checkpoint_file_name(generation)), generation, &body)
+    {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    // A fresh, empty WAL so the directory is immediately servable.
+    if let Err(e) = WalWriter::open(&data_dir.join(WAL_FILE), FsyncPolicy::Always) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "restored {} facts at generation {generation} into {}",
+        probe.total_tuples(),
+        data_dir.display()
+    );
+    ExitCode::SUCCESS
 }
 
 /// The `sepra client` subcommand: one connection, one request per line.
@@ -633,6 +908,8 @@ fn main() -> ExitCode {
         Some("check") => return run_check(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("client") => return run_client(&args[1..]),
+        Some("dump") => return run_dump(&args[1..]),
+        Some("restore") => return run_restore(&args[1..]),
         _ => {}
     }
     let opts = match parse_args(args) {
@@ -750,6 +1027,50 @@ fn main() -> ExitCode {
                                     print!("{}", out.stats);
                                 }
                             }
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    }
+                }
+                ":save" | ":load" => {
+                    if rest.is_empty() {
+                        eprintln!("error: {cmd} expects a file path, e.g. {cmd} facts.sepra");
+                    } else if cmd == ":save" {
+                        let db = qp.db();
+                        let body = codec::encode_database(db);
+                        match write_checkpoint_file(
+                            std::path::Path::new(rest),
+                            db.generation(),
+                            &body,
+                        ) {
+                            Ok(()) => println!(
+                                "saved {} facts (generation {}) to {rest}",
+                                db.total_tuples(),
+                                db.generation()
+                            ),
+                            Err(e) => eprintln!("error: {e}"),
+                        }
+                    } else {
+                        let loaded = read_checkpoint_file(std::path::Path::new(rest)).and_then(
+                            |(_, body)| {
+                                Ok(codec::decode_database_as_inserts(
+                                    &body,
+                                    qp.db_mut().interner_mut(),
+                                )?)
+                            },
+                        );
+                        match loaded {
+                            Ok((_, delta)) => match qp.apply_delta_mutation(delta) {
+                                Ok(out) => {
+                                    println!(
+                                        "{} facts merged in {:.3?} (generation {})",
+                                        out.inserted, out.elapsed, out.generation
+                                    );
+                                    if stats {
+                                        print!("{}", out.stats);
+                                    }
+                                }
+                                Err(e) => eprintln!("error: {e}"),
+                            },
                             Err(e) => eprintln!("error: {e}"),
                         }
                     }

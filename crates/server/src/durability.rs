@@ -1,0 +1,376 @@
+//! Wiring between the query service and the [`sepra_wal`] durability
+//! layer.
+//!
+//! With `--data-dir` the server becomes crash-safe: every committed
+//! mutation's *effective* delta is appended to the WAL before the new
+//! snapshot generation is published (write-ahead: once a client sees the
+//! acknowledgement, recovery will replay the commit), and every
+//! `--checkpoint-every` records the full EDB is snapshotted so the log
+//! can be truncated. Startup recovery runs before
+//! [`QueryProcessor::prepare`]: the newest valid checkpoint replaces the
+//! program file's facts wholesale (the snapshot is authoritative — facts
+//! retracted before the checkpoint must not resurrect from the `.dl`
+//! file), then the WAL tail replays through
+//! [`QueryProcessor::apply_delta_mutation`], the same incremental-
+//! maintenance path live mutations take. A dir with no checkpoint gets
+//! one immediately after recovery (covering the program file's facts), so
+//! durable state is self-contained from the first startup.
+//!
+//! Generation bookkeeping: WAL records and checkpoints are stamped with
+//! the **database** generation (one bump per effective tuple), which is
+//! the durable lineage. Recovery forces the counter to each replayed
+//! stamp, so post-recovery commits continue the on-disk numbering.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sepra_engine::QueryProcessor;
+use sepra_storage::{Database, EdbDelta};
+use sepra_wal::store::read_recovery;
+use sepra_wal::{codec, DurableStore, FsyncPolicy, WalError};
+
+use crate::json::ObjWriter;
+
+/// Default for [`DurabilityOptions::checkpoint_every`].
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+/// Durability configuration for `sepra serve --data-dir`.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding `wal.log` and `ckpt-*.sepra` (created if absent).
+    pub data_dir: PathBuf,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint after this many WAL records since the last checkpoint
+    /// (0 disables automatic checkpoints; the log then grows unbounded).
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityOptions {
+    /// Options for `data_dir` with default fsync (`always`) and
+    /// checkpoint cadence.
+    pub fn new(data_dir: PathBuf) -> Self {
+        DurabilityOptions {
+            data_dir,
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
+
+/// What startup recovery did, frozen for the lifetime of the server and
+/// reported under `{"stats": true}`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Generation of the checkpoint that seeded the EDB (0 = none).
+    pub checkpoint_generation: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Torn/corrupt WAL tail bytes truncated.
+    pub truncated_bytes: u64,
+    /// The database generation recovery ended at.
+    pub recovered_generation: u64,
+    /// Wall-clock time of the whole recovery.
+    pub duration: Duration,
+}
+
+/// An open durability pipeline: owns the [`DurableStore`] and the
+/// checkpoint cadence. Lives behind its own mutex in the server's shared
+/// state; commits lock master first, then this — stats readers lock only
+/// this.
+#[derive(Debug)]
+pub struct Durability {
+    store: DurableStore,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
+    recovery: RecoveryReport,
+}
+
+impl Durability {
+    /// Opens `opts.data_dir`, recovers `qp` to the newest durable state
+    /// (checkpoint + WAL replay, truncating a torn tail), and returns the
+    /// pipeline ready to record commits. Call before
+    /// [`QueryProcessor::prepare`] — replay is plain delta application
+    /// then; support materialization happens once, after, over the
+    /// recovered EDB.
+    pub fn recover(qp: &mut QueryProcessor, opts: &DurabilityOptions) -> Result<Self, WalError> {
+        let start = Instant::now();
+        let (store, recovery) = DurableStore::open(&opts.data_dir, opts.fsync)?;
+        let mut report = RecoveryReport {
+            checkpoint_generation: recovery.checkpoint_generation.unwrap_or(0),
+            truncated_bytes: recovery.truncated_bytes,
+            ..RecoveryReport::default()
+        };
+        if let Some(body) = &recovery.checkpoint_body {
+            // The snapshot is the whole EDB: drop the program file's
+            // facts first so pre-checkpoint retractions stay retracted.
+            qp.db_mut().clear_relations();
+            let generation = codec::decode_database_into(body, qp.db_mut())?;
+            qp.db_mut().force_generation(generation);
+        }
+        for record in &recovery.records {
+            let delta = codec::decode_delta(&record.payload, qp.db_mut().interner_mut())?;
+            qp.apply_delta_mutation(delta).map_err(|e| {
+                WalError::io(
+                    format!("replaying WAL record at generation {}", record.generation),
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+                )
+            })?;
+            qp.db_mut().force_generation(record.generation);
+            report.replayed_records += 1;
+        }
+        report.recovered_generation = qp.db().generation();
+        report.duration = start.elapsed();
+        let mut durability = Durability {
+            store,
+            fsync: opts.fsync,
+            checkpoint_every: opts.checkpoint_every,
+            recovery: report,
+        };
+        if recovery.checkpoint_body.is_none() {
+            // No checkpoint on disk (fresh dir, or every candidate was
+            // corrupt): snapshot the recovered EDB now so the durable
+            // state is self-contained — `sepra dump` and later recoveries
+            // no longer depend on the program file for the base facts.
+            durability.checkpoint(qp.db())?;
+        }
+        Ok(durability)
+    }
+
+    /// Records one committed mutation: appends the effective delta to the
+    /// WAL (fsync per policy), then rolls a checkpoint if the cadence is
+    /// due. Call **while still holding the master lock, before publishing
+    /// the new generation**; on `Err` the caller must roll the master
+    /// back, because the commit is not durable.
+    ///
+    /// Returns whether a checkpoint was written.
+    pub fn record_commit(&mut self, db: &Database, delta: &EdbDelta) -> Result<bool, WalError> {
+        let payload = codec::encode_delta(delta, db.interner());
+        self.store.append_delta(db.generation(), &payload)?;
+        if self.checkpoint_every > 0
+            && self.store.records_since_checkpoint() >= self.checkpoint_every
+        {
+            self.checkpoint(db)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Writes a checkpoint of `db` now, truncating the WAL.
+    pub fn checkpoint(&mut self, db: &Database) -> Result<(), WalError> {
+        let body = codec::encode_database(db);
+        self.store.checkpoint(db.generation(), &body)
+    }
+
+    /// Flushes policy-deferred WAL writes (clean shutdown).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.store.sync()
+    }
+
+    /// The frozen startup-recovery report.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// One line for the startup banner, e.g.
+    /// `recovered generation 12 (checkpoint 8, replayed 4 records) in 1 ms`.
+    pub fn recovery_banner(&self) -> String {
+        let r = &self.recovery;
+        let mut line = format!(
+            "recovered generation {} (checkpoint {}, replayed {} records",
+            r.recovered_generation, r.checkpoint_generation, r.replayed_records
+        );
+        if r.truncated_bytes > 0 {
+            line.push_str(&format!(", truncated {} torn bytes", r.truncated_bytes));
+        }
+        line.push_str(&format!(") in {} ms", r.duration.as_millis()));
+        line
+    }
+
+    /// The `"durability"` object for the `{"stats": true}` response.
+    pub fn stats_json(&self, db_generation: u64) -> String {
+        let mut recovery = ObjWriter::new();
+        recovery
+            .num("checkpoint_generation", self.recovery.checkpoint_generation)
+            .num("replayed_records", self.recovery.replayed_records)
+            .num("truncated_bytes", self.recovery.truncated_bytes)
+            .num("recovered_generation", self.recovery.recovered_generation)
+            .num(
+                "duration_ms",
+                u64::try_from(self.recovery.duration.as_millis()).unwrap_or(u64::MAX),
+            );
+        let mut out = ObjWriter::new();
+        out.str("data_dir", &self.store.dir().display().to_string())
+            .str("fsync", &self.fsync.to_string())
+            .num("wal_bytes", self.store.wal_bytes())
+            .num("records_since_checkpoint", self.store.records_since_checkpoint())
+            .num("last_checkpoint_generation", self.store.last_checkpoint_generation())
+            .num("checkpoint_every", self.checkpoint_every)
+            .num("db_generation", db_generation)
+            .raw("recovery", &recovery.finish());
+        out.finish()
+    }
+}
+
+/// Reads the durable EDB state of `data_dir` without touching it (no tail
+/// truncation, no locks): the newest valid checkpoint with the WAL tail
+/// replayed on top, as a standalone [`Database`]. `sepra dump` is built on
+/// this so it can run against a live server's directory.
+pub fn load_offline(data_dir: &std::path::Path) -> Result<Database, WalError> {
+    let recovery = read_recovery(data_dir)?;
+    let mut db = Database::new();
+    if let Some(body) = &recovery.checkpoint_body {
+        let generation = codec::decode_database_into(body, &mut db)?;
+        db.force_generation(generation);
+    }
+    for record in &recovery.records {
+        let delta = codec::decode_delta(&record.payload, db.interner_mut())?;
+        db.apply_delta(&delta).map_err(|e| {
+            WalError::io(
+                format!("replaying WAL record at generation {}", record.generation),
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+            )
+        })?;
+        db.force_generation(record.generation);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("sepra_server_durability_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fact_strings(db: &Database) -> Vec<String> {
+        let mut facts = Vec::new();
+        for (pred, relation) in db.relations() {
+            let name = db.interner().resolve(pred).to_string();
+            for tuple in relation.iter() {
+                let args: Vec<String> =
+                    tuple.values().iter().map(|v| v.display(db.interner()).to_string()).collect();
+                facts.push(format!("{name}({})", args.join(",")));
+            }
+        }
+        facts.sort();
+        facts
+    }
+
+    fn processor() -> QueryProcessor {
+        let mut qp = QueryProcessor::new();
+        qp.load("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, Z), t(Z, Y).\ne(a, b). e(b, c).\n").unwrap();
+        qp
+    }
+
+    #[test]
+    fn commits_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        let opts = DurabilityOptions::new(dir.clone());
+        {
+            let mut qp = processor();
+            let mut durability = Durability::recover(&mut qp, &opts).unwrap();
+            assert_eq!(durability.recovery().replayed_records, 0);
+            let out = qp.apply_mutation(&["e(c, d)."], &[]).unwrap();
+            durability.record_commit(qp.db(), &out.delta).unwrap();
+            let out = qp.apply_mutation(&["e(d, a)."], &["e(a, b)."]).unwrap();
+            durability.record_commit(qp.db(), &out.delta).unwrap();
+        }
+        let mut fresh = processor();
+        let durability = Durability::recover(&mut fresh, &opts).unwrap();
+        assert_eq!(durability.recovery().replayed_records, 2);
+        let direct = {
+            let mut qp = processor();
+            qp.apply_mutation(&["e(c, d)."], &[]).unwrap();
+            qp.apply_mutation(&["e(d, a)."], &["e(a, b)."]).unwrap();
+            qp
+        };
+        assert_eq!(fact_strings(fresh.db()), fact_strings(direct.db()));
+        assert_eq!(fresh.db().generation(), direct.db().generation());
+    }
+
+    #[test]
+    fn checkpoint_replaces_program_facts() {
+        let dir = tmp_dir("authoritative");
+        let opts = DurabilityOptions::new(dir.clone());
+        {
+            let mut qp = processor();
+            let mut durability = Durability::recover(&mut qp, &opts).unwrap();
+            // Retract a fact that the program file will try to reload.
+            let out = qp.apply_mutation(&[], &["e(a, b)."]).unwrap();
+            durability.record_commit(qp.db(), &out.delta).unwrap();
+            durability.checkpoint(qp.db()).unwrap();
+        }
+        let mut fresh = processor();
+        let durability = Durability::recover(&mut fresh, &opts).unwrap();
+        // The retraction held: the checkpoint is authoritative, the
+        // program file's `e(a, b).` must not resurrect.
+        assert!(!fact_strings(fresh.db()).contains(&"e(a,b)".to_string()));
+        assert_eq!(durability.recovery().replayed_records, 0);
+        assert!(durability.recovery().checkpoint_generation > 0);
+    }
+
+    #[test]
+    fn cadence_rolls_checkpoints_and_bounds_replay() {
+        let dir = tmp_dir("cadence");
+        let mut opts = DurabilityOptions::new(dir.clone());
+        opts.checkpoint_every = 2;
+        {
+            let mut qp = processor();
+            let mut durability = Durability::recover(&mut qp, &opts).unwrap();
+            let nodes = ["n1", "n2", "n3", "n4", "n5"];
+            let mut checkpoints = 0;
+            for (i, node) in nodes.iter().enumerate() {
+                let fact = format!("e({node}, {}).", nodes[(i + 1) % nodes.len()]);
+                let out = qp.apply_mutation(&[fact.as_str()], &[]).unwrap();
+                if durability.record_commit(qp.db(), &out.delta).unwrap() {
+                    checkpoints += 1;
+                }
+            }
+            assert_eq!(checkpoints, 2); // 5 records, cadence 2
+        }
+        let mut fresh = processor();
+        let durability = Durability::recover(&mut fresh, &opts).unwrap();
+        // Only the records after the last checkpoint replay.
+        assert_eq!(durability.recovery().replayed_records, 1);
+        assert_eq!(fact_strings(fresh.db()).len(), 2 + 5);
+    }
+
+    #[test]
+    fn offline_load_matches_live_recovery() {
+        let dir = tmp_dir("offline");
+        let opts = DurabilityOptions::new(dir.clone());
+        {
+            let mut qp = processor();
+            let mut durability = Durability::recover(&mut qp, &opts).unwrap();
+            let out = qp.apply_mutation(&["e(x, y)."], &[]).unwrap();
+            durability.record_commit(qp.db(), &out.delta).unwrap();
+            durability.checkpoint(qp.db()).unwrap();
+            let out = qp.apply_mutation(&["e(y, z)."], &[]).unwrap();
+            durability.record_commit(qp.db(), &out.delta).unwrap();
+        }
+        let offline = load_offline(&dir).unwrap();
+        let mut live = processor();
+        let _ = Durability::recover(&mut live, &opts).unwrap();
+        // The offline view has no program file, so compare EDB facts only.
+        assert_eq!(fact_strings(&offline), fact_strings(live.db()));
+        assert_eq!(offline.generation(), live.db().generation());
+    }
+
+    #[test]
+    fn missing_dir_parent_is_a_structured_error() {
+        // A data dir under a *file* cannot be created.
+        let base = tmp_dir("blocked");
+        std::fs::create_dir_all(&base).unwrap();
+        let file = base.join("occupied");
+        std::fs::write(&file, b"not a directory").unwrap();
+        let mut qp = processor();
+        let err = Durability::recover(&mut qp, &DurabilityOptions::new(file.join("data")))
+            .expect_err("creating a data dir under a file must fail");
+        assert!(err.to_string().contains("creating data dir"));
+    }
+}

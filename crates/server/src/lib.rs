@@ -13,10 +13,12 @@
 //! See [`server`] for the wire protocol, [`metrics`] for what the `stats`
 //! request reports, and [`json`] for the dependency-free JSON layer.
 
+pub mod durability;
 pub mod json;
 pub mod metrics;
 pub mod server;
 
+pub use durability::{load_offline, Durability, DurabilityOptions, DEFAULT_CHECKPOINT_EVERY};
 pub use metrics::{Metrics, Snapshot};
 pub use server::{lint_gate, serve, ServeError, ServeOptions, MAX_REQUEST_BYTES};
 

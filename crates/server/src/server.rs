@@ -42,7 +42,9 @@ use std::time::{Duration, Instant};
 
 use sepra_engine::{ProcessorError, QueryProcessor, Strategy, StrategyChoice};
 use sepra_eval::{Budget, EvalError};
+use sepra_wal::WalError;
 
+use crate::durability::{Durability, DurabilityOptions};
 use crate::json::{self, Json, ObjWriter};
 use crate::metrics::Metrics;
 
@@ -78,6 +80,11 @@ pub struct ServeOptions {
     /// How long a connection may sit idle mid-protocol before its worker
     /// reclaims itself (cumulative wait between complete requests).
     pub idle_timeout: Duration,
+    /// With `Some`, the server is durable: mutations are write-ahead
+    /// logged under the data dir, checkpoints roll per the cadence, and
+    /// startup recovers the newest durable state. `None` is the original
+    /// ephemeral behavior.
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for ServeOptions {
@@ -89,6 +96,7 @@ impl Default for ServeOptions {
             default_max_tuples: None,
             deny_warnings: false,
             idle_timeout: IDLE_TIMEOUT,
+            durability: None,
         }
     }
 }
@@ -104,6 +112,10 @@ pub enum ServeError {
     Prepare(ProcessorError),
     /// Binding or configuring the listener failed.
     Io(std::io::Error),
+    /// Opening the data directory or recovering durable state failed
+    /// (unwritable/readonly dir, corrupt frame past its checksum, …).
+    /// Startup refuses rather than serving a silently ephemeral server.
+    Durability(WalError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -114,7 +126,14 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Prepare(e) => write!(f, "preparing the program failed: {e}"),
             ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::Durability(e) => write!(f, "durability: {e}"),
         }
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Durability(e)
     }
 }
 
@@ -142,6 +161,16 @@ pub fn lint_gate(qp: &QueryProcessor, deny_warnings: bool) -> Result<(), ServeEr
 /// the socket is bound.
 pub fn serve(mut qp: QueryProcessor, opts: &ServeOptions) -> Result<(), ServeError> {
     lint_gate(&qp, opts.deny_warnings)?;
+    // Recovery runs before `prepare`, so support materialization happens
+    // once, over the recovered EDB.
+    let durability = match &opts.durability {
+        Some(durability_opts) => {
+            let durability = Durability::recover(&mut qp, durability_opts)?;
+            println!("sepra serve {}", durability.recovery_banner());
+            Some(durability)
+        }
+        None => None,
+    };
     qp.prepare().map_err(ServeError::Prepare)?;
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
@@ -151,7 +180,7 @@ pub fn serve(mut qp: QueryProcessor, opts: &ServeOptions) -> Result<(), ServeErr
     let shutdown = Arc::new(AtomicBool::new(false));
     watch_stdin(Arc::clone(&shutdown));
     signal::install();
-    run(listener, qp, opts, shutdown)
+    run(listener, qp, opts, shutdown, durability)
 }
 
 /// The accept loop and worker pool, parameterized over the listener and
@@ -162,6 +191,7 @@ pub fn run(
     qp: QueryProcessor,
     opts: &ServeOptions,
     shutdown: Arc<AtomicBool>,
+    durability: Option<Durability>,
 ) -> Result<(), ServeError> {
     listener.set_nonblocking(true)?;
     let metrics = Arc::new(Metrics::new());
@@ -170,6 +200,7 @@ pub fn run(
     let shared = Arc::new(SharedState {
         generation: AtomicU64::new(qp.generation()),
         master: Mutex::new(qp),
+        durability: durability.map(Mutex::new),
     });
 
     let mut workers = Vec::new();
@@ -217,6 +248,11 @@ pub fn run(
     queue.1.notify_all();
     for handle in workers {
         let _ = handle.join();
+    }
+    // Clean shutdown flushes policy-deferred WAL writes: `--fsync
+    // interval`/`never` only risk loss on a crash, not on an exit.
+    if let Some(durability) = &shared.durability {
+        let _ = durability.lock().unwrap_or_else(|e| e.into_inner()).sync();
     }
     Ok(())
 }
@@ -293,6 +329,10 @@ struct SharedState {
     /// Published *after* the master commits, so a worker observing the new
     /// value is guaranteed to clone a fully mutated master.
     generation: AtomicU64,
+    /// The durability pipeline (`--data-dir`). Lock order: master first,
+    /// then durability — stats readers take durability alone, never the
+    /// reverse.
+    durability: Option<Mutex<Durability>>,
 }
 
 impl SharedState {
@@ -587,15 +627,42 @@ impl Worker {
         let start = Instant::now();
         let outcome = {
             let mut master = self.shared.lock_master();
+            // With durability on, keep a copy-on-write backup so a failed
+            // WAL append can roll the in-memory commit back: a mutation is
+            // acknowledged only once it is both applied *and* logged.
+            let backup = self.shared.durability.as_ref().map(|_| master.clone());
             master.set_exec_options(sepra_core::exec::ExecOptions {
                 budget,
                 ..sepra_core::exec::ExecOptions::default()
             });
             let outcome = master.apply_mutation(&insert_refs, &retract_refs);
-            if outcome.is_ok() {
+            if let Ok(out) = &outcome {
+                if !out.delta.is_empty() {
+                    if let Some(durability) = &self.shared.durability {
+                        let append = durability
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .record_commit(master.db(), &out.delta);
+                        if let Err(e) = append {
+                            // Write-ahead failed: the commit would not
+                            // survive a crash, so it must not be visible
+                            // at all. Restore the pre-mutation master.
+                            *master = backup.expect("backup exists when durability is on");
+                            self.metrics.record_mutation_failure();
+                            return error_response(
+                                "wal",
+                                &format!(
+                                    "mutation rolled back, write-ahead log append failed: {e}"
+                                ),
+                                None,
+                            );
+                        }
+                    }
+                }
                 // Commit order matters: refresh our own snapshot and
-                // publish the generation only after the master committed,
-                // so no snapshot can observe half a mutation.
+                // publish the generation only after the master committed
+                // and the delta is logged, so no snapshot can observe a
+                // non-durable mutation.
                 self.qp = master.clone();
                 self.shared.generation.store(self.qp.generation(), Ordering::SeqCst);
             }
@@ -744,6 +811,10 @@ fn stats_response(
         .num("iterations", s.iterations)
         .raw("latency_us", &latency.finish())
         .raw("plan_cache", &plan_cache.finish());
+    if let Some(durability) = &shared.durability {
+        let durability = durability.lock().unwrap_or_else(|e| e.into_inner());
+        out.raw("durability", &durability.stats_json(qp.db().generation()));
+    }
     out.finish()
 }
 
@@ -764,9 +835,14 @@ mod tests {
     }
 
     fn worker(qp: QueryProcessor) -> Worker {
+        worker_with(qp, None)
+    }
+
+    fn worker_with(qp: QueryProcessor, durability: Option<Durability>) -> Worker {
         let shared = Arc::new(SharedState {
             generation: AtomicU64::new(qp.generation()),
             master: Mutex::new(qp.clone()),
+            durability: durability.map(Mutex::new),
         });
         Worker {
             qp,
@@ -963,6 +1039,39 @@ mod tests {
             json::parse(&w.handle_request(r#"{"query": "buys(tom, Y)?", "timeout_ms": 10000}"#))
                 .unwrap();
         assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn durable_worker_logs_commits_and_reports_stats() {
+        let dir = std::env::temp_dir()
+            .join(format!("sepra_server_worker_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions::new(dir.clone());
+        let mut qp = processor();
+        let durability = Durability::recover(&mut qp, &opts).unwrap();
+        let mut w = worker_with(qp, Some(durability));
+
+        let v =
+            json::parse(&w.handle_request(r#"{"insert": ["perfectFor(sue, gift)."]}"#)).unwrap();
+        assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(1));
+        // A no-op mutation must not grow the log.
+        let v =
+            json::parse(&w.handle_request(r#"{"insert": ["perfectFor(sue, gift)."]}"#)).unwrap();
+        assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(0));
+
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        let durability = v.get("durability").expect("durability member");
+        assert_eq!(durability.get("records_since_checkpoint").and_then(Json::as_u64), Some(1));
+        assert_eq!(durability.get("fsync").and_then(Json::as_str), Some("always"));
+        assert!(durability.get("wal_bytes").and_then(Json::as_u64).unwrap() > 8);
+        let recovery = durability.get("recovery").expect("recovery member");
+        assert_eq!(recovery.get("replayed_records").and_then(Json::as_u64), Some(0));
+
+        // A fresh processor recovering the same dir sees the commit.
+        drop(w);
+        let mut fresh = processor();
+        let recovered = Durability::recover(&mut fresh, &opts).unwrap();
+        assert_eq!(recovered.recovery().replayed_records, 1);
     }
 
     #[test]

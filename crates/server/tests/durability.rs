@@ -1,0 +1,420 @@
+//! End-to-end durability tests: a real `sepra serve` subprocess with
+//! `--data-dir`, killed with SIGKILL mid-traffic, restarted, and checked
+//! against a from-scratch evaluation of the committed facts — plus the
+//! offline `sepra dump`/`sepra restore` pipeline and the REPL's
+//! `:save`/`:load` on the same snapshot format.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sepra_engine::QueryProcessor;
+use sepra_server::json::{self, Json};
+
+/// The chain fixture: one recursive closure over a single seeded edge.
+/// Every test mutation inserts exactly one new edge `e(m_i, m_{i+1})`, so
+/// the database generation (one bump per effective tuple) equals the
+/// number of edges, and "recovered generation G" maps to an exact
+/// committed-mutation prefix.
+const PROGRAM: &str = "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\ne(m0, m1).\n";
+
+fn test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sepra_durability_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("chain.dl");
+    std::fs::write(&path, PROGRAM).expect("fixture writes");
+    path
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+    recovery_banner: Option<String>,
+}
+
+impl Server {
+    /// Spawns `sepra serve` on an OS-assigned port. With `--data-dir` the
+    /// startup banner includes a recovery line before the listening line;
+    /// both are captured.
+    fn spawn(fixture: &std::path::Path, extra_args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sepra"))
+            .arg("serve")
+            .arg(fixture)
+            .args(["--addr", "127.0.0.1:0", "--threads", "2"])
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut recovery_banner = None;
+        let addr = loop {
+            let line = lines.next().expect("server prints startup lines").expect("startup line");
+            if let Some(rest) = line.strip_prefix("sepra serve listening on ") {
+                break rest.split_whitespace().next().expect("address in banner").to_string();
+            }
+            if line.starts_with("sepra serve recovered generation ") {
+                recovery_banner = Some(line);
+            }
+        };
+        Server { child, addr, recovery_banner }
+    }
+
+    fn connect(&self) -> Connection {
+        let stream = TcpStream::connect(&self.addr).expect("connects to server");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Connection { stream, reader }
+    }
+
+    /// SIGKILL: no destructors, no flushes — the crash the WAL exists for.
+    fn kill(mut self) {
+        self.child.kill().expect("kill delivers");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(mut self) {
+        let mut stdin = self.child.stdin.take().expect("stdin is piped");
+        stdin.write_all(b"quit\n").expect("writes quit");
+        stdin.flush().unwrap();
+        drop(stdin);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait works") {
+                Some(status) => {
+                    assert!(status.success(), "server exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("server did not shut down within 30s of `quit`");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn request(&mut self, body: &str) -> Json {
+        self.stream.write_all(body.as_bytes()).expect("request writes");
+        self.stream.write_all(b"\n").expect("newline writes");
+        self.stream.flush().unwrap();
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("response reads");
+        assert!(n > 0, "server closed the connection after {body:?}");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+    }
+}
+
+/// Sorted answer tuples of `t(m0, Y)?` from a server response.
+fn answer_set(response: &Json) -> Vec<String> {
+    let Some(Json::Arr(rows)) = response.get("answers") else {
+        panic!("response has no answers: {response:?}");
+    };
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let Json::Arr(cells) = row else { panic!("row is not an array") };
+            cells
+                .iter()
+                .map(|c| c.as_str().unwrap_or("?").to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// From-scratch evaluation of the base program plus the first `mutations`
+/// committed edge inserts — the ground truth recovery must match.
+fn from_scratch_answers(mutations: usize) -> Vec<String> {
+    let mut qp = QueryProcessor::new();
+    qp.load(PROGRAM).unwrap();
+    for i in 1..=mutations {
+        let fact = format!("e(m{i}, m{}).", i + 1);
+        qp.apply_mutation(&[fact.as_str()], &[]).unwrap();
+    }
+    let result = qp.query("t(m0, Y)?").unwrap();
+    let mut out: Vec<String> = result
+        .answers
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| v.display(qp.db().interner()).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn durability_stats(conn: &mut Connection) -> Json {
+    let v = conn.request(r#"{"stats": true}"#);
+    v.get("durability").expect("durability stats member").clone()
+}
+
+#[test]
+fn sigkill_mid_traffic_recovers_a_committed_prefix() {
+    let dir = test_dir("crash");
+    let fixture = write_fixture(&dir);
+    let data_dir = dir.join("data");
+    let data_dir_arg = data_dir.display().to_string();
+    // A small checkpoint cadence so the crash lands after several
+    // checkpoint+truncate cycles, exercising checkpoint + WAL-tail
+    // recovery, not just log replay.
+    let args =
+        ["--data-dir", data_dir_arg.as_str(), "--fsync", "always", "--checkpoint-every", "5"];
+
+    const ACKED: usize = 12;
+    let acked_generation;
+    {
+        let server = Server::spawn(&fixture, &args);
+        let mut conn = server.connect();
+        // Phase 1: acknowledged mutations. Under --fsync always each
+        // acknowledgement means the record is on disk: ALL of these must
+        // survive the kill.
+        for i in 1..=ACKED {
+            let req = format!(r#"{{"insert": ["e(m{i}, m{})."]}}"#, i + 1);
+            let v = conn.request(&req);
+            assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(1), "mutation {i}: {v:?}");
+        }
+        let stats = durability_stats(&mut conn);
+        acked_generation =
+            stats.get("db_generation").and_then(Json::as_u64).expect("db_generation");
+        assert_eq!(acked_generation, 1 + ACKED as u64); // base edge + ACKED inserts
+        assert!(
+            stats.get("last_checkpoint_generation").and_then(Json::as_u64).unwrap() > 0,
+            "cadence 5 must have checkpointed during 12 mutations: {stats:?}"
+        );
+
+        // Phase 2: fire-and-forget traffic, then SIGKILL mid-stream. The
+        // writer thread never reads responses, so the server is killed
+        // with mutations in flight.
+        let addr = server.addr.clone();
+        let flooder = std::thread::spawn(move || {
+            if let Ok(mut stream) = TcpStream::connect(&addr) {
+                for i in (ACKED + 1)..(ACKED + 200) {
+                    let req = format!("{{\"insert\": [\"e(m{i}, m{}).\"]}}\n", i + 1);
+                    if stream.write_all(req.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        server.kill();
+        let _ = flooder.join();
+    }
+
+    // Restart on the same directory.
+    let server = Server::spawn(&fixture, &args);
+    let banner = server.recovery_banner.clone().expect("restart prints a recovery banner");
+    let mut conn = server.connect();
+    let stats = durability_stats(&mut conn);
+    let recovery = stats.get("recovery").expect("recovery member");
+    let recovered =
+        recovery.get("recovered_generation").and_then(Json::as_u64).expect("recovered_generation");
+
+    // The recovery invariant: everything acknowledged survived, and the
+    // recovered state is an exact committed-generation prefix — each
+    // generation is one whole single-tuple mutation, so the answer set
+    // must equal a from-scratch evaluation of exactly that prefix.
+    assert!(
+        recovered >= acked_generation,
+        "acknowledged generation {acked_generation} lost: recovered only {recovered}\n{banner}"
+    );
+    let committed_mutations = (recovered - 1) as usize;
+    let v = conn.request(r#"{"query": "t(m0, Y)?", "timeout_ms": 30000}"#);
+    assert_eq!(
+        answer_set(&v),
+        from_scratch_answers(committed_mutations),
+        "recovered answers diverge from from-scratch evaluation at generation {recovered}"
+    );
+
+    // Post-recovery commits continue the generation lineage.
+    let next = committed_mutations + 1;
+    let req = format!(r#"{{"insert": ["e(x{next}, y{next})."]}}"#);
+    let v = conn.request(&req);
+    assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(1));
+    let stats = durability_stats(&mut conn);
+    assert_eq!(stats.get("db_generation").and_then(Json::as_u64), Some(recovered + 1));
+    server.shutdown();
+}
+
+#[test]
+fn clean_restart_resumes_without_replay_regressions() {
+    let dir = test_dir("clean");
+    let fixture = write_fixture(&dir);
+    let data_dir = dir.join("data");
+    let data_dir_arg = data_dir.display().to_string();
+    // Interval fsync: a clean `quit` must still lose nothing (the final
+    // sync happens on shutdown).
+    let args = ["--data-dir", data_dir_arg.as_str(), "--fsync", "interval:50"];
+
+    {
+        let server = Server::spawn(&fixture, &args);
+        assert!(
+            server.recovery_banner.as_deref().is_some_and(|b| b.contains("generation 1")),
+            "fresh dir recovers the program facts only: {:?}",
+            server.recovery_banner
+        );
+        let mut conn = server.connect();
+        for i in 1..=3 {
+            conn.request(&format!(r#"{{"insert": ["e(m{i}, m{})."]}}"#, i + 1));
+        }
+        server.shutdown();
+    }
+    let server = Server::spawn(&fixture, &args);
+    let mut conn = server.connect();
+    let v = conn.request(r#"{"query": "t(m0, Y)?"}"#);
+    assert_eq!(answer_set(&v), from_scratch_answers(3));
+    let stats = durability_stats(&mut conn);
+    assert_eq!(
+        stats.get("recovery").and_then(|r| r.get("replayed_records")).and_then(Json::as_u64),
+        Some(3)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn dump_restore_roundtrip_through_the_cli() {
+    let dir = test_dir("dump_restore");
+    let fixture = write_fixture(&dir);
+    let source_dir = dir.join("source");
+    let source_arg = source_dir.display().to_string();
+
+    // Populate a data dir through a real server.
+    {
+        let server =
+            Server::spawn(&fixture, &["--data-dir", source_arg.as_str(), "--fsync", "always"]);
+        let mut conn = server.connect();
+        for i in 1..=4 {
+            conn.request(&format!(r#"{{"insert": ["e(m{i}, m{})."]}}"#, i + 1));
+        }
+        server.shutdown();
+    }
+
+    // dump: offline export (checkpoint + WAL tail merged).
+    let snapshot = dir.join("facts.sepra");
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .args(["dump", &snapshot.display().to_string(), "--data-dir", &source_arg])
+        .output()
+        .expect("dump runs");
+    assert!(out.status.success(), "dump failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dumped 5 facts at generation 5"), "dump said: {stdout}");
+
+    // restore into a fresh dir; restoring again without --force refuses.
+    let restored_dir = dir.join("restored");
+    let restored_arg = restored_dir.display().to_string();
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .args(["restore", &snapshot.display().to_string(), "--data-dir", &restored_arg])
+        .output()
+        .expect("restore runs");
+    assert!(out.status.success(), "restore failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .args(["restore", &snapshot.display().to_string(), "--data-dir", &restored_arg])
+        .output()
+        .expect("restore runs");
+    assert!(!out.status.success(), "restore onto existing state must refuse without --force");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("already holds durable state"),
+        "unexpected refusal message: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A server over the restored dir answers exactly like the original.
+    let server = Server::spawn(&fixture, &["--data-dir", restored_arg.as_str()]);
+    let mut conn = server.connect();
+    let v = conn.request(r#"{"query": "t(m0, Y)?"}"#);
+    assert_eq!(answer_set(&v), from_scratch_answers(4));
+    server.shutdown();
+}
+
+#[test]
+fn repl_save_and_load_share_the_snapshot_format() {
+    let dir = test_dir("repl");
+    let fixture = write_fixture(&dir);
+    let snapshot = dir.join("session.sepra");
+
+    // :save from a REPL session that added one fact.
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&fixture)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child.stdin.as_mut().unwrap().write_all(
+                format!(":insert e(m1, m2).\n:save {}\n:quit\n", snapshot.display()).as_bytes(),
+            )?;
+            child.wait_with_output()
+        })
+        .expect("repl runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("saved 2 facts (generation 2)"), "repl said: {stdout}");
+
+    // :load merges the snapshot into a fresh session; the query then sees
+    // the chain both from the program fact and the loaded one.
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg(&fixture)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child.stdin.as_mut().unwrap().write_all(
+                format!(":load {}\nt(m0, Y)?\n:quit\n", snapshot.display()).as_bytes(),
+            )?;
+            child.wait_with_output()
+        })
+        .expect("repl runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The program fact e(m0,m1) was already present; only e(m1,m2) merges.
+    assert!(stdout.contains("1 facts merged"), "repl said: {stdout}");
+    assert!(stdout.contains("(m0, m2)"), "loaded fact missing from answers: {stdout}");
+}
+
+#[test]
+fn unusable_data_dir_is_a_structured_startup_error() {
+    let dir = test_dir("blocked");
+    let fixture = write_fixture(&dir);
+    // The data dir path runs through a regular file: creation must fail
+    // with a structured error (works even when running as root, unlike a
+    // read-only directory).
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"occupied").unwrap();
+    let data_dir = blocker.join("data");
+    let out = Command::new(env!("CARGO_BIN_EXE_sepra"))
+        .arg("serve")
+        .arg(&fixture)
+        .args(["--addr", "127.0.0.1:0", "--data-dir", &data_dir.display().to_string()])
+        .output()
+        .expect("serve runs");
+    assert!(!out.status.success(), "serve must refuse an unusable data dir");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: durability:") && stderr.contains("creating data dir"),
+        "expected a structured durability error, got: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "startup must not panic: {stderr}");
+}

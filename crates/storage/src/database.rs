@@ -164,6 +164,22 @@ impl Database {
         self.generation
     }
 
+    /// Overwrites the generation counter. Crash recovery uses this to
+    /// resume the counter lineage a checkpoint or WAL record was stamped
+    /// with, so post-recovery commits continue the on-disk numbering
+    /// instead of restarting from the replayed mutation count.
+    pub fn force_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Drops every relation (the interner and generation are kept). Used
+    /// when a checkpoint snapshot is authoritative for the whole EDB:
+    /// facts loaded from a program file must not resurrect tuples the
+    /// snapshot says were retracted.
+    pub fn clear_relations(&mut self) {
+        self.relations.clear();
+    }
+
     fn check_arity(&self, pred: Sym, arity: usize) -> Result<(), DatabaseError> {
         if let Some(existing) = self.relations.get(&pred) {
             if existing.arity() != arity {

@@ -1,0 +1,279 @@
+//! Checkpoint snapshots: a full EDB image that bounds WAL replay.
+//!
+//! A checkpoint is one self-validating file, `ckpt-<generation>.sepra`:
+//!
+//! ```text
+//! file := "SPRACKP1" u32 version, u64 generation,
+//!         u32 crc32(body), u64 body-len, body
+//! ```
+//!
+//! where `body` is a [`codec`](crate::codec) database frame. Checkpoints
+//! are written atomically — build a temp sibling, `fsync` it, rename over
+//! the final name, `fsync` the directory — so a crash mid-checkpoint
+//! leaves at most a stray `.tmp` file, never a half-written checkpoint
+//! under the real name. Recovery walks candidates newest-first and skips
+//! any that fail validation, so even a corrupted newest checkpoint only
+//! costs extra WAL replay, not the database.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::WalError;
+
+/// The 8-byte checkpoint file magic.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SPRACKP1";
+
+/// The current container version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Fixed header size: magic, version, generation, crc, body length.
+const HEADER: usize = 8 + 4 + 8 + 4 + 8;
+
+/// The filename for a checkpoint at `generation` (zero-padded so
+/// lexicographic order is generation order).
+pub fn checkpoint_file_name(generation: u64) -> String {
+    format!("ckpt-{generation:020}.sepra")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?.strip_suffix(".sepra")?.parse().ok()
+}
+
+/// Serialises a checkpoint container around an encoded database frame.
+pub fn encode_checkpoint(generation: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + body.len());
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes a checkpoint atomically: temp sibling, fsync, rename, fsync the
+/// directory. `path` should be inside the data directory so the rename
+/// stays on one filesystem.
+pub fn write_checkpoint_file(path: &Path, generation: u64, body: &[u8]) -> Result<(), WalError> {
+    let bytes = encode_checkpoint(generation, body);
+    let tmp = path.with_extension("sepra.tmp");
+    let io = |context: String, e| WalError::io(context, e);
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io(format!("creating {}", tmp.display()), e))?;
+        file.write_all(&bytes).map_err(|e| io(format!("writing {}", tmp.display()), e))?;
+        file.sync_all().map_err(|e| io(format!("syncing {}", tmp.display()), e))?;
+    }
+    fs::rename(&tmp, path)
+        .map_err(|e| io(format!("renaming {} to {}", tmp.display(), path.display()), e))?;
+    // Make the rename itself durable. Directory fsync is a unix-ism;
+    // elsewhere the rename's atomicity is the best we can do.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one checkpoint file, returning its generation and
+/// database-frame body. Fails (rather than skipping) so `sepra restore`
+/// can tell the user *why* a file is unusable; recovery catches the error
+/// and moves to the next candidate.
+pub fn read_checkpoint_file(path: &Path) -> Result<(u64, Vec<u8>), WalError> {
+    let io = |context: String, e| WalError::io(context, e);
+    let mut file = File::open(path).map_err(|e| io(format!("opening {}", path.display()), e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io(format!("reading {}", path.display()), e))?;
+    decode_checkpoint(&bytes, path)
+}
+
+/// Validates checkpoint container bytes (see [`read_checkpoint_file`]).
+pub fn decode_checkpoint(bytes: &[u8], path: &Path) -> Result<(u64, Vec<u8>), WalError> {
+    let corrupt = |what: &str| {
+        WalError::io(
+            format!("validating {}", path.display()),
+            std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string()),
+        )
+    };
+    if bytes.len() < HEADER {
+        return Err(corrupt("file shorter than the checkpoint header"));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(WalError::BadMagic { path: path.display().to_string() });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != CHECKPOINT_VERSION {
+        return Err(corrupt("unsupported checkpoint version"));
+    }
+    let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let body_len = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    if body_len != (bytes.len() - HEADER) as u64 {
+        return Err(corrupt("body length does not match file size"));
+    }
+    let body = &bytes[HEADER..];
+    if crc32(body) != stored_crc {
+        return Err(corrupt("body checksum mismatch"));
+    }
+    Ok((generation, body.to_vec()))
+}
+
+/// All checkpoint files in `dir` by name convention, generation-ascending.
+/// Contents are *not* validated here.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(WalError::io(format!("listing {}", dir.display()), e)),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| WalError::io(format!("listing {}", dir.display()), e))?;
+        if let Some(generation) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            found.push((generation, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The newest checkpoint that validates, plus how many newer candidates
+/// had to be skipped as corrupt. `Ok(None)` when no usable checkpoint
+/// exists (including the empty/missing-dir case).
+pub fn load_newest_checkpoint(dir: &Path) -> Result<Option<LoadedCheckpoint>, WalError> {
+    let mut skipped = 0;
+    for (generation, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match read_checkpoint_file(&path) {
+            Ok((file_generation, body)) => {
+                // Trust the validated header over the filename.
+                let _ = generation;
+                return Ok(Some(LoadedCheckpoint { generation: file_generation, body, skipped }));
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// A successfully loaded checkpoint (see [`load_newest_checkpoint`]).
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The generation the snapshot captures.
+    pub generation: u64,
+    /// The encoded database frame.
+    pub body: Vec<u8>,
+    /// Newer checkpoint files skipped because they failed validation.
+    pub skipped: usize,
+}
+
+/// Deletes all but the newest `keep` checkpoints (and any stale `.tmp`
+/// leftovers from interrupted writes). Returns how many files were
+/// removed. Best effort: an unremovable file is left behind, not fatal.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, WalError> {
+    let mut removed = 0;
+    let all = list_checkpoints(dir)?;
+    let excess = all.len().saturating_sub(keep);
+    for (_, path) in all.into_iter().take(excess) {
+        if fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_str().is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".tmp"))
+                && fs::remove_file(entry.path()).is_ok()
+            {
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sepra_wal_ckpt_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(checkpoint_file_name(42));
+        write_checkpoint_file(&path, 42, b"snapshot body bytes").unwrap();
+        let (generation, body) = read_checkpoint_file(&path).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(body, b"snapshot body bytes");
+        // No temp file left behind.
+        assert_eq!(list_checkpoints(&dir).unwrap(), vec![(42, path)]);
+    }
+
+    #[test]
+    fn newest_valid_wins_and_corrupt_is_skipped() {
+        let dir = tmp_dir("skip");
+        write_checkpoint_file(&dir.join(checkpoint_file_name(10)), 10, b"old").unwrap();
+        write_checkpoint_file(&dir.join(checkpoint_file_name(20)), 20, b"newer").unwrap();
+        // Corrupt the newest by flipping a body byte.
+        let newest = dir.join(checkpoint_file_name(30));
+        write_checkpoint_file(&newest, 30, b"newest").unwrap();
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let loaded = load_newest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.generation, 20);
+        assert_eq!(loaded.body, b"newer");
+        assert_eq!(loaded.skipped, 1);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_yields_none() {
+        let dir = tmp_dir("empty");
+        assert!(load_newest_checkpoint(&dir).unwrap().is_none());
+        let missing = dir.join("does-not-exist");
+        assert!(load_newest_checkpoint(&missing).unwrap().is_none());
+        assert!(list_checkpoints(&missing).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        for generation in [5u64, 15, 25, 35] {
+            write_checkpoint_file(&dir.join(checkpoint_file_name(generation)), generation, b"body")
+                .unwrap();
+        }
+        // A stale temp file from a hypothetical crash.
+        fs::write(dir.join("ckpt-junk.tmp"), b"partial").unwrap();
+        let removed = prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(removed, 3); // two old checkpoints + the temp file
+        let kept: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
+        assert_eq!(kept, vec![25, 35]);
+    }
+
+    #[test]
+    fn truncated_header_is_invalid_data_not_panic() {
+        let dir = tmp_dir("short");
+        let path = dir.join(checkpoint_file_name(7));
+        write_checkpoint_file(&path, 7, b"whole body").unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in [0, 5, 12, 31] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(read_checkpoint_file(&path).is_err(), "cut at {cut} accepted");
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! Self-contained binary frames for tuples, deltas, and EDB snapshots.
+//!
+//! Interned [`Sym`] ids are meaningless outside the process that interned
+//! them, so every frame carries its own **string table**: the symbol names
+//! it mentions, each once. Values then reference table indices. Encoding
+//! resolves symbols through the writer's [`Interner`]; decoding interns
+//! the names into the reader's — the two processes never need to agree on
+//! ids, only on names.
+//!
+//! All integers are little-endian. A frame is *total to decode*: any byte
+//! string either decodes or returns a [`CodecError`] — never a panic and
+//! never an attempt to allocate more than the input could possibly
+//! describe. (WAL records are additionally CRC-guarded, but checkpoint
+//! files handed to `sepra restore` come from users, so the codec defends
+//! itself.)
+//!
+//! ```text
+//! string table  := u32 count, count × (u32 len, len UTF-8 bytes)
+//! value         := 0x00 u32 table-index        (symbol)
+//!                | 0x01 i64                    (integer)
+//! tuple         := arity × value               (arity from the section header)
+//! section       := u32 npreds, npreds × (u32 name-index, u32 arity,
+//!                                        u32 ntuples, ntuples × tuple)
+//! delta frame   := string table, remove section, insert section
+//! edb frame     := u64 generation, string table, u32 nrels,
+//!                  nrels × (u32 name-index, u32 arity, u64 ntuples,
+//!                           ntuples × tuple)
+//! ```
+
+use sepra_ast::{Interner, Sym};
+use sepra_storage::{Database, EdbDelta, FxHashMap, Tuple, Value};
+
+/// Errors decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the frame did.
+    Truncated {
+        /// What was being read when bytes ran out.
+        what: &'static str,
+    },
+    /// An unknown value tag byte.
+    BadTag(u8),
+    /// A string-table index out of range.
+    BadStringIndex {
+        /// The out-of-range index.
+        index: u32,
+        /// The table size.
+        table: usize,
+    },
+    /// A string-table entry was not UTF-8.
+    BadUtf8,
+    /// An integer value outside the storable range.
+    IntOutOfRange(i64),
+    /// Trailing bytes after a complete frame (a sign the caller framed the
+    /// payload wrong, not that the data is corrupt).
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "frame truncated while reading {what}"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t:#04x}"),
+            CodecError::BadStringIndex { index, table } => {
+                write!(f, "string index {index} out of range for table of {table}")
+            }
+            CodecError::BadUtf8 => write!(f, "string table entry is not valid UTF-8"),
+            CodecError::IntOutOfRange(n) => {
+                write!(f, "integer {n} is outside the representable range")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked reader over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { what });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, CodecError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// A claimed element count is a lie if the remaining input could not
+    /// hold even `min_bytes_each` bytes per element; checking first keeps
+    /// hostile counts from driving huge allocations.
+    fn plausible(
+        &self,
+        count: usize,
+        min_bytes_each: usize,
+        what: &'static str,
+    ) -> Result<(), CodecError> {
+        if count.checked_mul(min_bytes_each).is_none_or(|need| need > self.remaining()) {
+            return Err(CodecError::Truncated { what });
+        }
+        Ok(())
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+/// Builds a frame's string table while encoding: symbols are assigned
+/// dense indices in first-use order.
+struct StringTable<'a> {
+    interner: &'a Interner,
+    index: FxHashMap<Sym, u32>,
+    names: Vec<&'a str>,
+}
+
+impl<'a> StringTable<'a> {
+    fn new(interner: &'a Interner) -> Self {
+        StringTable { interner, index: FxHashMap::default(), names: Vec::new() }
+    }
+
+    fn intern(&mut self, sym: Sym) -> u32 {
+        if let Some(&i) = self.index.get(&sym) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(self.interner.resolve(sym));
+        self.index.insert(sym, i);
+        i
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        push_u32(out, self.names.len() as u32);
+        for name in &self.names {
+            push_u32(out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+}
+
+fn decode_string_table(
+    cur: &mut Cursor<'_>,
+    interner: &mut Interner,
+) -> Result<Vec<Sym>, CodecError> {
+    let count = cur.u32("string table size")? as usize;
+    cur.plausible(count, 4, "string table")?;
+    let mut syms = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = cur.u32("string length")? as usize;
+        let bytes = cur.take(len, "string bytes")?;
+        let name = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+        syms.push(interner.intern(name));
+    }
+    Ok(syms)
+}
+
+const TAG_SYM: u8 = 0;
+const TAG_INT: u8 = 1;
+
+fn encode_value(out: &mut Vec<u8>, value: Value, table: &mut StringTable<'_>) {
+    if let Some(n) = value.as_int() {
+        out.push(TAG_INT);
+        push_u64(out, n as u64);
+    } else {
+        let sym = value.as_sym().expect("a value is a symbol or an integer");
+        out.push(TAG_SYM);
+        push_u32(out, table.intern(sym));
+    }
+}
+
+fn decode_value(cur: &mut Cursor<'_>, syms: &[Sym]) -> Result<Value, CodecError> {
+    match cur.u8("value tag")? {
+        TAG_SYM => {
+            let index = cur.u32("symbol index")?;
+            let sym = syms
+                .get(index as usize)
+                .copied()
+                .ok_or(CodecError::BadStringIndex { index, table: syms.len() })?;
+            Ok(Value::sym(sym))
+        }
+        TAG_INT => {
+            let n = cur.i64("integer value")?;
+            Value::int(n).map_err(|_| CodecError::IntOutOfRange(n))
+        }
+        tag => Err(CodecError::BadTag(tag)),
+    }
+}
+
+fn decode_tuple(cur: &mut Cursor<'_>, arity: usize, syms: &[Sym]) -> Result<Tuple, CodecError> {
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(cur, syms)?);
+    }
+    Ok(Tuple::from(values))
+}
+
+/// Encodes one section (the remove or insert half of a delta). Predicates
+/// are sorted by name so the encoding is deterministic regardless of hash
+/// map iteration order.
+fn encode_section(
+    out: &mut Vec<u8>,
+    half: &FxHashMap<Sym, Vec<Tuple>>,
+    table: &mut StringTable<'_>,
+) {
+    let mut preds: Vec<Sym> =
+        half.iter().filter(|(_, ts)| !ts.is_empty()).map(|(&p, _)| p).collect();
+    preds.sort_by_key(|&p| table.interner.resolve(p));
+    push_u32(out, preds.len() as u32);
+    for pred in preds {
+        let tuples = &half[&pred];
+        let arity = tuples.first().map_or(0, Tuple::arity);
+        push_u32(out, table.intern(pred));
+        push_u32(out, arity as u32);
+        push_u32(out, tuples.len() as u32);
+        for tuple in tuples {
+            for &value in tuple.values() {
+                encode_value(out, value, table);
+            }
+        }
+    }
+}
+
+fn decode_section(
+    cur: &mut Cursor<'_>,
+    syms: &[Sym],
+) -> Result<FxHashMap<Sym, Vec<Tuple>>, CodecError> {
+    let npreds = cur.u32("section predicate count")? as usize;
+    cur.plausible(npreds, 12, "section predicates")?;
+    let mut half = FxHashMap::default();
+    for _ in 0..npreds {
+        let index = cur.u32("predicate name index")?;
+        let pred = syms
+            .get(index as usize)
+            .copied()
+            .ok_or(CodecError::BadStringIndex { index, table: syms.len() })?;
+        let arity = cur.u32("predicate arity")? as usize;
+        let count = cur.u32("tuple count")? as usize;
+        cur.plausible(count, arity, "section tuples")?;
+        let mut tuples = Vec::with_capacity(count);
+        for _ in 0..count {
+            tuples.push(decode_tuple(cur, arity, syms)?);
+        }
+        half.entry(pred).or_insert_with(Vec::new).extend(tuples);
+    }
+    Ok(half)
+}
+
+/// Encodes an [`EdbDelta`] as a self-contained frame. Symbols are
+/// resolved through `interner` (the writer's symbol space); the frame
+/// carries their names.
+pub fn encode_delta(delta: &EdbDelta, interner: &Interner) -> Vec<u8> {
+    let mut table = StringTable::new(interner);
+    let mut body = Vec::new();
+    encode_section(&mut body, &delta.remove, &mut table);
+    encode_section(&mut body, &delta.insert, &mut table);
+    let mut out = Vec::with_capacity(body.len() + 64);
+    table.encode(&mut out);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a delta frame, interning its names into `interner` (the
+/// reader's symbol space).
+pub fn decode_delta(bytes: &[u8], interner: &mut Interner) -> Result<EdbDelta, CodecError> {
+    let mut cur = Cursor::new(bytes);
+    // The string table precedes the sections that reference it, but the
+    // sections were *encoded* first (the table fills as values are
+    // interned) — so the encoder emits table-then-body and the decoder
+    // reads in the same order.
+    let syms = decode_string_table(&mut cur, interner)?;
+    let remove = decode_section(&mut cur, &syms)?;
+    let insert = decode_section(&mut cur, &syms)?;
+    if cur.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(cur.remaining()));
+    }
+    Ok(EdbDelta { remove, insert })
+}
+
+/// Encodes a whole EDB (every relation plus the commit generation) as a
+/// self-contained frame — the checkpoint body and the `sepra dump`
+/// payload.
+pub fn encode_database(db: &Database) -> Vec<u8> {
+    let interner = db.interner();
+    let mut table = StringTable::new(interner);
+    let mut body = Vec::new();
+    let mut rels: Vec<(Sym, &sepra_storage::Relation)> = db.relations().collect();
+    rels.sort_by_key(|&(p, _)| interner.resolve(p));
+    push_u32(&mut body, rels.len() as u32);
+    for (pred, rel) in rels {
+        push_u32(&mut body, table.intern(pred));
+        push_u32(&mut body, rel.arity() as u32);
+        push_u64(&mut body, rel.len() as u64);
+        for tuple in rel.iter() {
+            for &value in tuple.values() {
+                encode_value(&mut body, value, &mut table);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 64);
+    push_u64(&mut out, db.generation());
+    table.encode(&mut out);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes an EDB frame into `db` (inserting every fact, interning names
+/// into `db`'s symbol space) and returns the frame's commit generation.
+///
+/// The caller decides what the generation means: recovery forces the
+/// database counter to it ([`Database::force_generation`]); an import like
+/// the REPL's `:load` ignores it and lets the inserts count as fresh
+/// mutations.
+pub fn decode_database_into(bytes: &[u8], db: &mut Database) -> Result<u64, CodecError> {
+    let (generation, delta) = decode_database_as_inserts(bytes, db.interner_mut())?;
+    // All-or-none: `apply_delta` validates arities up front, so a corrupt
+    // frame cannot leave half an EDB behind.
+    db.apply_delta(&delta).map_err(|e| match e {
+        // An EDB frame with two arities for one predicate is corrupt
+        // input, not an I/O failure; surface it as a decode error.
+        sepra_storage::database::DatabaseError::ArityMismatch { .. } => {
+            CodecError::Truncated { what: "consistent relation arities" }
+        }
+        sepra_storage::database::DatabaseError::NonGroundFact(_)
+        | sepra_storage::database::DatabaseError::Value(_) => {
+            CodecError::Truncated { what: "well-formed facts" }
+        }
+    })?;
+    Ok(generation)
+}
+
+/// Decodes an EDB frame as an insert-only [`EdbDelta`] against `interner`,
+/// returning the frame's commit generation alongside. This is what lets a
+/// *live* processor import a snapshot through its incremental-maintenance
+/// path instead of rebuilding from scratch.
+pub fn decode_database_as_inserts(
+    bytes: &[u8],
+    interner: &mut Interner,
+) -> Result<(u64, EdbDelta), CodecError> {
+    let mut cur = Cursor::new(bytes);
+    let generation = cur.u64("snapshot generation")?;
+    let syms = decode_string_table(&mut cur, interner)?;
+    let nrels = cur.u32("relation count")? as usize;
+    cur.plausible(nrels, 16, "relations")?;
+    let mut delta = EdbDelta::default();
+    for _ in 0..nrels {
+        let index = cur.u32("relation name index")?;
+        let pred = syms
+            .get(index as usize)
+            .copied()
+            .ok_or(CodecError::BadStringIndex { index, table: syms.len() })?;
+        let arity = cur.u32("relation arity")? as usize;
+        let count = cur.u64("relation tuple count")? as usize;
+        cur.plausible(count, arity, "relation tuples")?;
+        let mut tuples = Vec::with_capacity(count);
+        for _ in 0..count {
+            tuples.push(decode_tuple(&mut cur, arity, &syms)?);
+        }
+        delta.insert.entry(pred).or_insert_with(Vec::new).extend(tuples);
+    }
+    if cur.remaining() != 0 {
+        return Err(CodecError::TrailingBytes(cur.remaining()));
+    }
+    Ok((generation, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c). age(a, 42). age(b, -7). flag.").unwrap();
+        db
+    }
+
+    /// Renders every fact of a database as sorted `pred(v, ...)` strings —
+    /// an id-free fingerprint for comparing databases across interners.
+    fn fingerprint(db: &Database) -> Vec<String> {
+        let mut out: Vec<String> = db
+            .relations()
+            .flat_map(|(p, rel)| {
+                let name = db.interner().resolve(p).to_string();
+                rel.iter()
+                    .map(move |t| format!("{name}{}", t.display(db.interner())))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn database_roundtrip_across_interners() {
+        let db = sample_db();
+        let bytes = encode_database(&db);
+        // The receiving database has a *different* symbol space: intern
+        // some unrelated names first so ids cannot accidentally line up.
+        let mut other = Database::new();
+        other.intern("zebra");
+        other.intern("b");
+        let generation = decode_database_into(&bytes, &mut other).unwrap();
+        assert_eq!(generation, db.generation());
+        assert_eq!(fingerprint(&other), fingerprint(&db));
+    }
+
+    #[test]
+    fn delta_roundtrip_across_interners() {
+        let mut db = sample_db();
+        let e = db.intern("e");
+        let age = db.intern("age");
+        let x = Value::sym(db.intern("x"));
+        let y = Value::sym(db.intern("y"));
+        let mut delta = EdbDelta::default();
+        delta.insert.insert(e, vec![Tuple::from([x, y])]);
+        delta.remove.insert(age, vec![Tuple::from([x, Value::int(-42).unwrap()])]);
+        let bytes = encode_delta(&delta, db.interner());
+
+        let mut other = Interner::new();
+        other.intern("unrelated");
+        let decoded = decode_delta(&bytes, &mut other).unwrap();
+        assert_eq!(decoded.len(), delta.len());
+        let e2 = other.get("e").unwrap();
+        let age2 = other.get("age").unwrap();
+        assert_eq!(decoded.insert[&e2].len(), 1);
+        assert_eq!(decoded.insert[&e2][0].display(&other).to_string(), "(x, y)");
+        assert_eq!(decoded.remove[&age2][0].display(&other).to_string(), "(x, -42)");
+    }
+
+    #[test]
+    fn empty_delta_roundtrips() {
+        let mut interner = Interner::new();
+        let bytes = encode_delta(&EdbDelta::default(), &interner);
+        let decoded = decode_delta(&bytes, &mut interner).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let db = sample_db();
+        let bytes = encode_database(&db);
+        for len in 0..bytes.len() {
+            let mut fresh = Database::new();
+            assert!(decode_database_into(&bytes[..len], &mut fresh).is_err(), "prefix {len}");
+        }
+        let mut delta = EdbDelta::default();
+        let mut db = sample_db();
+        let e = db.intern("e");
+        delta.insert.insert(e, vec![Tuple::from([Value::int(1).unwrap(), Value::int(2).unwrap()])]);
+        let bytes = encode_delta(&delta, db.interner());
+        for len in 0..bytes.len() {
+            let mut interner = Interner::new();
+            assert!(decode_delta(&bytes[..len], &mut interner).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_without_huge_allocations() {
+        // A frame claiming 2^32-1 strings of any size must fail fast.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut interner = Interner::new();
+        assert!(matches!(decode_delta(&bytes, &mut interner), Err(CodecError::Truncated { .. })));
+        // Same for a relation claiming u64::MAX tuples.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // generation
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 string
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // len 1
+        bytes.push(b'p');
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 relation
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name idx
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // arity
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // tuple count
+        let mut db = Database::new();
+        assert!(matches!(decode_database_into(&bytes, &mut db), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut interner = Interner::new();
+        let mut bytes = encode_delta(&EdbDelta::default(), &interner);
+        bytes.push(0);
+        assert!(matches!(decode_delta(&bytes, &mut interner), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        // Two databases with the same facts interned in different orders
+        // encode to identical bytes (predicates sorted by name, tuples in
+        // relation insertion order).
+        let db1 = sample_db();
+        let mut db2 = Database::new();
+        db2.intern("noise1");
+        db2.intern("noise2");
+        db2.load_fact_text("e(a, b). e(b, c). age(a, 42). age(b, -7). flag.").unwrap();
+        assert_eq!(encode_database(&db1), encode_database(&db2));
+    }
+}

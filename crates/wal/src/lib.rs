@@ -1,0 +1,162 @@
+//! Durability for the sepra EDB: a write-ahead log, checkpoint snapshots,
+//! and crash recovery.
+//!
+//! The in-memory [`Database`](sepra_storage::Database) commits mutations
+//! atomically and stamps each commit point with a **generation** counter
+//! (one bump per effective tuple). This crate makes those commit points
+//! survive a `kill -9`:
+//!
+//! * [`codec`] — a self-contained binary encoding of
+//!   [`EdbDelta`](sepra_storage::EdbDelta)s and whole-EDB snapshots. Every
+//!   frame carries its own string table, so interned symbol ids never
+//!   cross a process boundary: a frame written by one process decodes
+//!   into any other interner.
+//! * [`log`] — the write-ahead log: length-prefixed, CRC-32-checksummed,
+//!   generation-stamped records appended under a configurable
+//!   [`FsyncPolicy`]. Reading tolerates a torn final record (a crash
+//!   mid-append) by truncating it, never by failing.
+//! * [`checkpoint`] — periodic full-EDB snapshots written
+//!   atomically (temp file + rename), which bound replay work and let the
+//!   log be truncated.
+//! * [`store`] — [`DurableStore`], the per-directory orchestration: open a
+//!   data dir, recover `newest valid checkpoint + WAL tail`, append
+//!   deltas, and roll checkpoints.
+//!
+//! The invariant the whole crate maintains: **recovery yields exactly the
+//! facts of some committed-generation prefix** — never half a mutation,
+//! never a suffix, and under `FsyncPolicy::Always` never less than the
+//! last acknowledged commit.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crc;
+pub mod log;
+pub mod store;
+
+pub use checkpoint::{
+    list_checkpoints, load_newest_checkpoint, read_checkpoint_file, write_checkpoint_file,
+};
+pub use codec::{CodecError, Cursor};
+pub use log::{WalReader, WalRecord, WalWriter, WAL_MAGIC};
+pub use store::{read_recovery, DurableStore, Recovery};
+
+use std::time::Duration;
+
+/// When appended WAL records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: an acknowledged commit is on disk.
+    /// This is the default — and the only policy under which "the server
+    /// answered" implies "the mutation survives a crash".
+    #[default]
+    Always,
+    /// `fdatasync` at most once per the given interval: a crash can lose
+    /// up to one interval of acknowledged commits, but throughput no
+    /// longer pays one disk flush per mutation.
+    Interval(Duration),
+    /// Never fsync explicitly; the OS flushes when it pleases. A crash
+    /// can lose everything since the last kernel writeback; a clean
+    /// process exit loses nothing.
+    Never,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Interval(d) => write!(f, "interval:{}", d.as_millis()),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Duration::from_millis(100))),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("interval expects milliseconds, got `{ms}`")),
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (expected always|interval[:MS]|never)"
+                )),
+            },
+        }
+    }
+}
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying file operation failed; the path names the culprit.
+    Io {
+        /// What the layer was doing, e.g. `"appending to wal.log"`.
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A frame failed to decode (corrupt bytes that nonetheless passed the
+    /// CRC — only possible for files a user hands us, e.g. `sepra restore`).
+    Codec(CodecError),
+    /// A file that must be a checkpoint/WAL is not one (bad magic).
+    BadMagic {
+        /// The offending path.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { context, source } => write!(f, "{context}: {source}"),
+            WalError::Codec(e) => write!(f, "{e}"),
+            WalError::BadMagic { path } => {
+                write!(f, "{path} is not a sepra durability file (bad magic)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> Self {
+        WalError::Codec(e)
+    }
+}
+
+impl WalError {
+    /// Wraps an I/O error with the operation it interrupted.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        WalError::Io { context: context.into(), source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!("always".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Always);
+        assert_eq!("never".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            "interval".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(100))
+        );
+        assert_eq!(
+            "interval:250".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert!("interval:soon".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::Interval(Duration::from_millis(250)).to_string(), "interval:250");
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+    }
+}

@@ -1,0 +1,386 @@
+//! The write-ahead log file: `wal.log` inside a data directory.
+//!
+//! Layout: an 8-byte magic, then records back to back:
+//!
+//! ```text
+//! file   := "SPRAWAL1" record*
+//! record := u32 payload-len, u32 crc32(generation ‖ payload),
+//!           u64 generation, payload-len bytes
+//! ```
+//!
+//! A record is appended as **one** `write_all` of a prebuilt buffer, so a
+//! crash can tear at most the final record — and the CRC catches a torn
+//! or bit-rotted tail either way. [`read_records`] therefore implements
+//! the recovery contract: scan records until the first one that fails its
+//! length or checksum, return the valid prefix, and report where the file
+//! should be truncated. It never fails on torn data; only on I/O errors
+//! and on files that are not WALs at all (bad magic — refusing to
+//! truncate a file this crate does not own).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::crc::Crc32;
+use crate::{FsyncPolicy, WalError};
+
+/// The 8-byte file magic.
+pub const WAL_MAGIC: &[u8; 8] = b"SPRAWAL1";
+
+/// Per-record framing overhead: length, checksum, generation stamp.
+const RECORD_HEADER: usize = 4 + 4 + 8;
+
+/// One recovered WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The database generation *after* this record's delta committed.
+    pub generation: u64,
+    /// The encoded [`EdbDelta`](sepra_storage::EdbDelta) frame.
+    pub payload: Vec<u8>,
+}
+
+/// The outcome of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every record whose length and checksum validated, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset just past the last valid record — where a repair
+    /// should truncate.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` (a torn final record, or garbage).
+    pub torn_bytes: u64,
+}
+
+/// Reads and validates a WAL file without modifying it. A missing file is
+/// an empty scan; a file shorter than the magic is treated as a torn
+/// creation (everything is torn); a present-but-foreign file (bad magic)
+/// is an error — this crate must not truncate a file it does not own.
+pub fn read_records(path: &Path) -> Result<WalScan, WalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(WalError::io(format!("reading {}", path.display()), e)),
+    };
+    if bytes.is_empty() {
+        return Ok(WalScan::default());
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // A crash during file creation: nothing valid yet.
+        return Ok(WalScan { records: Vec::new(), valid_len: 0, torn_bytes: bytes.len() as u64 });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::BadMagic { path: path.display().to_string() });
+    }
+    let mut scan = WalScan { valid_len: WAL_MAGIC.len() as u64, ..WalScan::default() };
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        if pos == bytes.len() {
+            break; // clean end
+        }
+        if bytes.len() - pos < RECORD_HEADER {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let gen_bytes = &bytes[pos + 8..pos + 16];
+        let Some(end) = pos.checked_add(RECORD_HEADER).and_then(|p| p.checked_add(len)) else {
+            break; // absurd length
+        };
+        if end > bytes.len() {
+            break; // torn payload
+        }
+        let payload = &bytes[pos + RECORD_HEADER..end];
+        let mut crc = Crc32::new();
+        crc.update(gen_bytes);
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            break; // corrupt record: everything from here on is suspect
+        }
+        scan.records.push(WalRecord {
+            generation: u64::from_le_bytes(gen_bytes.try_into().expect("8 bytes")),
+            payload: payload.to_vec(),
+        });
+        pos = end;
+        scan.valid_len = pos as u64;
+    }
+    scan.torn_bytes = bytes.len() as u64 - scan.valid_len;
+    Ok(scan)
+}
+
+/// Truncates `path` to `valid_len` (dropping a torn tail found by
+/// [`read_records`]). A no-op when the file is missing.
+pub fn repair(path: &Path, valid_len: u64) -> Result<(), WalError> {
+    match OpenOptions::new().write(true).open(path) {
+        Ok(file) => file
+            .set_len(valid_len)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| WalError::io(format!("truncating {}", path.display()), e)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(WalError::io(format!("opening {} for repair", path.display()), e)),
+    }
+}
+
+/// A handle for reading a WAL without repairing it (offline inspection,
+/// `sepra dump`). Thin named wrapper so callers don't reach for the free
+/// functions in the wrong order.
+#[derive(Debug)]
+pub struct WalReader;
+
+impl WalReader {
+    /// See [`read_records`].
+    pub fn scan(path: &Path) -> Result<WalScan, WalError> {
+        read_records(path)
+    }
+}
+
+/// Appends records under a [`FsyncPolicy`]. Create via [`WalWriter::open`]
+/// **after** scanning and repairing the file — the writer assumes the file
+/// ends at a record boundary.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    /// Unsynced appends outstanding (only meaningful under `Interval`).
+    dirty: bool,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the WAL for appending. A missing or empty file
+    /// gets the magic written and synced; an existing file must start
+    /// with the magic.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| WalError::io(format!("opening {}", path.display()), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| WalError::io(format!("inspecting {}", path.display()), e))?
+            .len();
+        let io = |context: &str, e| WalError::io(format!("{context} {}", path.display()), e);
+        let len = if len < WAL_MAGIC.len() as u64 {
+            // Fresh (or torn-at-creation, already repaired to < magic):
+            // start over with a clean header.
+            file.set_len(0).map_err(|e| io("truncating", e))?;
+            file.write_all(WAL_MAGIC).map_err(|e| io("writing magic to", e))?;
+            file.sync_data().map_err(|e| io("syncing", e))?;
+            WAL_MAGIC.len() as u64
+        } else {
+            let mut magic = [0u8; 8];
+            file.seek(SeekFrom::Start(0)).map_err(|e| io("seeking", e))?;
+            file.read_exact(&mut magic).map_err(|e| io("reading magic from", e))?;
+            if &magic != WAL_MAGIC {
+                return Err(WalError::BadMagic { path: path.display().to_string() });
+            }
+            len
+        };
+        file.seek(SeekFrom::Start(len)).map_err(|e| io("seeking", e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            last_sync: Instant::now(),
+            dirty: false,
+            bytes: len,
+        })
+    }
+
+    /// Appends one generation-stamped record and applies the fsync
+    /// policy. On success the record is in the OS (and, under `Always`,
+    /// on disk) — the caller may acknowledge the commit.
+    pub fn append(&mut self, generation: u64, payload: &[u8]) -> Result<(), WalError> {
+        let mut crc = Crc32::new();
+        let gen_bytes = generation.to_le_bytes();
+        crc.update(&gen_bytes);
+        crc.update(payload);
+        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc.finish().to_le_bytes());
+        record.extend_from_slice(&gen_bytes);
+        record.extend_from_slice(payload);
+        // One write_all per record: a crash tears at most the final
+        // record, and the CRC catches even a torn single write.
+        self.file
+            .write_all(&record)
+            .map_err(|e| WalError::io(format!("appending to {}", self.path.display()), e))?;
+        self.bytes += record.len() as u64;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Interval(interval) => {
+                self.dirty = true;
+                if self.last_sync.elapsed() >= interval {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes outstanding appends to disk regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| WalError::io(format!("syncing {}", self.path.display()), e))?;
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Drops every record: the log restarts at just the magic (called
+    /// after a checkpoint makes the records redundant).
+    pub fn truncate(&mut self) -> Result<(), WalError> {
+        let io = |context: &str, e| WalError::io(format!("{context} {}", self.path.display()), e);
+        self.file.set_len(WAL_MAGIC.len() as u64).map_err(|e| io("truncating", e))?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64)).map_err(|e| io("seeking", e))?;
+        self.file.sync_data().map_err(|e| io("syncing", e))?;
+        self.bytes = WAL_MAGIC.len() as u64;
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Current file length in bytes (magic included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether appends are awaiting a policy-deferred sync.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        if self.dirty {
+            let _ = self.file.sync_data();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sepra_wal_log_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let path = tmp("roundtrip.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"first").unwrap();
+        w.append(2, b"").unwrap();
+        w.append(5, b"third record, longer").unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord { generation: 1, payload: b"first".to_vec() },
+                WalRecord { generation: 2, payload: Vec::new() },
+                WalRecord { generation: 5, payload: b"third record, longer".to_vec() },
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repair_truncates() {
+        let path = tmp("torn.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"keep me").unwrap();
+        w.append(2, b"also keep").unwrap();
+        let good_len = w.bytes();
+        w.append(3, b"about to be torn").unwrap();
+        drop(w);
+        // Tear the final record mid-payload.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(good_len + 9).unwrap();
+        drop(file);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.torn_bytes, 9);
+        repair(&path, scan.valid_len).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        // Appending after repair keeps the prefix intact.
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        w.append(3, b"retry").unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[2].payload, b"retry");
+    }
+
+    #[test]
+    fn corrupt_middle_record_cuts_the_suffix() {
+        let path = tmp("corrupt.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"good").unwrap();
+        let first_end = w.bytes();
+        w.append(2, b"flip me").unwrap();
+        w.append(3, b"unreachable").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = first_end as usize + RECORD_HEADER + 2;
+        bytes[flip] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_records(&path).unwrap();
+        // Only the prefix before the corruption survives — a corrupt
+        // record invalidates everything after it.
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, first_end);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_scan() {
+        let path = tmp("missing.log");
+        let _ = std::fs::remove_file(&path);
+        let scan = read_records(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_truncated() {
+        let path = tmp("foreign.log");
+        std::fs::write(&path, b"definitely not a WAL file").unwrap();
+        assert!(matches!(read_records(&path), Err(WalError::BadMagic { .. })));
+        assert!(matches!(
+            WalWriter::open(&path, FsyncPolicy::Never),
+            Err(WalError::BadMagic { .. })
+        ));
+        // The file is untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a WAL file");
+    }
+
+    #[test]
+    fn truncate_restarts_the_log() {
+        let path = tmp("restart.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"old").unwrap();
+        w.truncate().unwrap();
+        assert_eq!(w.bytes(), WAL_MAGIC.len() as u64);
+        w.append(9, b"new era").unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].generation, 9);
+    }
+}

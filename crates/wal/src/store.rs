@@ -1,0 +1,270 @@
+//! [`DurableStore`]: one data directory, opened for a running server.
+//!
+//! The directory holds the WAL (`wal.log`) and checkpoint snapshots
+//! (`ckpt-<generation>.sepra`). Opening it performs recovery:
+//!
+//! 1. Load the newest checkpoint that validates (corrupt ones are
+//!    skipped, they only cost extra replay).
+//! 2. Scan the WAL; a torn or corrupt tail marks the end of the valid
+//!    prefix and is truncated.
+//! 3. Hand back the checkpoint body plus the WAL records stamped *after*
+//!    the checkpoint's generation — the caller decodes and replays them.
+//!    Records at or below the checkpoint generation are redundant (a
+//!    crash can land between "checkpoint written" and "log truncated")
+//!    and are dropped from replay.
+//!
+//! The store works in encoded bytes, never in [`Database`] values: the
+//! caller owns the interner the frames decode into.
+//!
+//! [`Database`]: sepra_storage::Database
+
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{
+    checkpoint_file_name, load_newest_checkpoint, prune_checkpoints, write_checkpoint_file,
+};
+use crate::log::{read_records, repair, WalRecord, WalWriter};
+use crate::{FsyncPolicy, WalError};
+
+/// The WAL's filename inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// How many checkpoint generations to retain (newest kept, older pruned).
+pub const KEEP_CHECKPOINTS: usize = 2;
+
+/// What recovery found in a data directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Generation of the loaded checkpoint, if one validated.
+    pub checkpoint_generation: Option<u64>,
+    /// The checkpoint's encoded database frame, if one validated.
+    pub checkpoint_body: Option<Vec<u8>>,
+    /// WAL records to replay, in commit order, all stamped after the
+    /// checkpoint generation.
+    pub records: Vec<WalRecord>,
+    /// Torn/corrupt WAL tail bytes that were (or would be) truncated.
+    pub truncated_bytes: u64,
+    /// Checkpoint files skipped because they failed validation.
+    pub skipped_checkpoints: usize,
+    /// Valid WAL records dropped as already covered by the checkpoint.
+    pub stale_records: usize,
+}
+
+impl Recovery {
+    /// The generation the directory recovers to: the last replayable
+    /// record's stamp, else the checkpoint's, else 0 (empty store).
+    pub fn recovered_generation(&self) -> u64 {
+        self.records.last().map(|r| r.generation).or(self.checkpoint_generation).unwrap_or(0)
+    }
+}
+
+/// Reads a data directory's recoverable state **without modifying it** —
+/// no tail truncation, no lock. Offline tools (`sepra dump`) use this so
+/// inspecting a directory can never race or alter a live server's files.
+pub fn read_recovery(dir: &Path) -> Result<Recovery, WalError> {
+    let mut recovery = Recovery::default();
+    if let Some(loaded) = load_newest_checkpoint(dir)? {
+        recovery.checkpoint_generation = Some(loaded.generation);
+        recovery.checkpoint_body = Some(loaded.body);
+        recovery.skipped_checkpoints = loaded.skipped;
+    }
+    let scan = read_records(&dir.join(WAL_FILE))?;
+    recovery.truncated_bytes = scan.torn_bytes;
+    let floor = recovery.checkpoint_generation.unwrap_or(0);
+    for record in scan.records {
+        if record.generation > floor {
+            recovery.records.push(record);
+        } else {
+            recovery.stale_records += 1;
+        }
+    }
+    Ok(recovery)
+}
+
+/// An open data directory: appends deltas to the WAL and rolls
+/// checkpoints. Construct with [`DurableStore::open`].
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    writer: WalWriter,
+    records_since_checkpoint: u64,
+    last_checkpoint_generation: u64,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) a data directory, performs recovery —
+    /// including truncating a torn WAL tail — and returns the store ready
+    /// for appends alongside what must be replayed.
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> Result<(Self, Recovery), WalError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| WalError::io(format!("creating data dir {}", dir.display()), e))?;
+        let recovery = read_recovery(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if recovery.truncated_bytes > 0 {
+            let scan = read_records(&wal_path)?;
+            repair(&wal_path, scan.valid_len)?;
+        }
+        let writer = WalWriter::open(&wal_path, policy)?;
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                writer,
+                records_since_checkpoint: (recovery.records.len() + recovery.stale_records) as u64,
+                last_checkpoint_generation: recovery.checkpoint_generation.unwrap_or(0),
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one encoded delta stamped with the generation its commit
+    /// reached. On `Ok` the record is queryable by recovery (and durable
+    /// under [`FsyncPolicy::Always`]).
+    pub fn append_delta(&mut self, generation: u64, payload: &[u8]) -> Result<(), WalError> {
+        self.writer.append(generation, payload)?;
+        self.records_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the encoded database frame at `generation`,
+    /// truncates the WAL (its records are now redundant), and prunes old
+    /// checkpoints down to [`KEEP_CHECKPOINTS`].
+    pub fn checkpoint(&mut self, generation: u64, body: &[u8]) -> Result<(), WalError> {
+        let path = self.dir.join(checkpoint_file_name(generation));
+        write_checkpoint_file(&path, generation, body)?;
+        self.writer.truncate()?;
+        self.records_since_checkpoint = 0;
+        self.last_checkpoint_generation = generation;
+        let _ = prune_checkpoints(&self.dir, KEEP_CHECKPOINTS)?;
+        Ok(())
+    }
+
+    /// Forces any policy-deferred WAL writes to disk (clean shutdown).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.writer.sync()
+    }
+
+    /// Current WAL file size in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.writer.bytes()
+    }
+
+    /// Records appended (or recovered) since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Generation of the most recent checkpoint (0 if none yet).
+    pub fn last_checkpoint_generation(&self) -> u64 {
+        self.last_checkpoint_generation
+    }
+
+    /// The data directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sepra_wal_store_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_dir_recovers_empty() {
+        let dir = tmp_dir("fresh");
+        let (store, recovery) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(recovery.checkpoint_body.is_none());
+        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.recovered_generation(), 0);
+        assert_eq!(store.records_since_checkpoint(), 0);
+        assert!(dir.join(WAL_FILE).exists());
+    }
+
+    #[test]
+    fn appends_recover_in_order() {
+        let dir = tmp_dir("appends");
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
+            store.append_delta(3, b"delta a").unwrap();
+            store.append_delta(7, b"delta b").unwrap();
+        }
+        let (store, recovery) = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovery.recovered_generation(), 7);
+        assert_eq!(recovery.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(store.records_since_checkpoint(), 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_bounds_replay() {
+        let dir = tmp_dir("ckpt");
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            store.append_delta(1, b"pre").unwrap();
+            store.append_delta(2, b"pre2").unwrap();
+            store.checkpoint(2, b"snapshot@2").unwrap();
+            assert_eq!(store.records_since_checkpoint(), 0);
+            assert_eq!(store.last_checkpoint_generation(), 2);
+            store.append_delta(5, b"post").unwrap();
+        }
+        let (store, recovery) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovery.checkpoint_generation, Some(2));
+        assert_eq!(recovery.checkpoint_body.as_deref(), Some(&b"snapshot@2"[..]));
+        assert_eq!(recovery.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(store.last_checkpoint_generation(), 2);
+        assert_eq!(store.records_since_checkpoint(), 1);
+    }
+
+    #[test]
+    fn crash_between_checkpoint_and_truncate_skips_stale_records() {
+        let dir = tmp_dir("stale");
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            store.append_delta(1, b"a").unwrap();
+            store.append_delta(2, b"b").unwrap();
+        }
+        // Simulate: checkpoint file landed but the process died before
+        // truncating the WAL.
+        write_checkpoint_file(&dir.join(checkpoint_file_name(2)), 2, b"snap").unwrap();
+        let (_, recovery) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovery.checkpoint_generation, Some(2));
+        assert!(recovery.records.is_empty());
+        assert_eq!(recovery.stale_records, 2);
+        assert_eq!(recovery.recovered_generation(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open_but_not_by_read_recovery() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            store.append_delta(1, b"whole").unwrap();
+            store.append_delta(2, b"gets torn").unwrap();
+        }
+        let wal = dir.join(WAL_FILE);
+        let len = fs::metadata(&wal).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(len - 4).unwrap();
+        drop(file);
+
+        // Read-only recovery reports the tear without repairing it.
+        let peek = read_recovery(&dir).unwrap();
+        assert_eq!(peek.records.len(), 1);
+        assert!(peek.truncated_bytes > 0);
+        assert_eq!(fs::metadata(&wal).unwrap().len(), len - 4);
+
+        // Opening the store repairs the file.
+        let (store, recovery) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovery.records.len(), 1);
+        assert_eq!(recovery.recovered_generation(), 1);
+        assert_eq!(fs::metadata(&wal).unwrap().len(), store.wal_bytes());
+        let clean = read_recovery(&dir).unwrap();
+        assert_eq!(clean.truncated_bytes, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the durability layer.
+//!
+//! Two families:
+//!
+//! * **Codec round-trips** — arbitrary deltas and databases survive
+//!   encode → decode into a *different* interner → re-encode, bit for
+//!   bit. This is the property that lets frames cross process
+//!   boundaries: interned ids are private, symbol names are not.
+//! * **Torn-log recovery** — truncating a WAL file at *any* byte offset
+//!   never panics recovery and always yields a prefix of the committed
+//!   generations (the crash-recovery invariant, minus the process
+//!   boundary, which the server e2e test covers).
+
+use proptest::prelude::*;
+
+use sepra_ast::Interner;
+use sepra_storage::{Database, EdbDelta, Tuple, Value};
+use sepra_wal::codec::{decode_delta, encode_database, encode_delta};
+use sepra_wal::log::read_records;
+use sepra_wal::store::WAL_FILE;
+use sepra_wal::{codec, DurableStore, FsyncPolicy, WalWriter};
+
+/// Predicate pool; each predicate's arity is fixed by its index so every
+/// generated delta is arity-consistent.
+const PREDS: [&str; 5] = ["edge", "node", "weight", "flagged", "p_q"];
+/// Symbol pool, including multi-byte UTF-8 to exercise the string table.
+const SYMS: [&str; 6] = ["a", "b", "c", "delta", "émile", "x1"];
+
+fn arity_of(pred: usize) -> usize {
+    1 + pred % 3
+}
+
+/// One generated cell: `(tag, sym index, int)` picks a symbol or integer.
+type CellSpec = (u8, usize, i64);
+/// One generated fact: predicate index, insert-vs-remove side, cells.
+type OpSpec = (usize, u8, Vec<CellSpec>);
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    (
+        0usize..PREDS.len(),
+        0u8..=1,
+        proptest::collection::vec((0u8..=1, 0usize..SYMS.len(), -1_000_000i64..=1_000_000), 3),
+    )
+}
+
+fn build_value(spec: &CellSpec, interner: &mut Interner) -> Value {
+    if spec.0 == 0 {
+        Value::sym(interner.intern(SYMS[spec.1]))
+    } else {
+        Value::int(spec.2).expect("generated ints are in range")
+    }
+}
+
+/// Materializes generated op specs as an [`EdbDelta`] against `interner`.
+fn build_delta(ops: &[OpSpec], interner: &mut Interner) -> EdbDelta {
+    let mut delta = EdbDelta::default();
+    for (pred, side, cells) in ops {
+        let sym = interner.intern(PREDS[*pred]);
+        let tuple = Tuple::new(
+            cells[..arity_of(*pred)]
+                .iter()
+                .map(|cell| build_value(cell, interner))
+                .collect::<Vec<_>>(),
+        );
+        let bucket = if *side == 0 { &mut delta.insert } else { &mut delta.remove };
+        bucket.entry(sym).or_default().push(tuple);
+    }
+    delta
+}
+
+/// Renders a delta as sorted, interner-independent fact strings.
+fn delta_fingerprint(delta: &EdbDelta, interner: &Interner) -> Vec<String> {
+    let mut out = Vec::new();
+    for (section, bucket) in [("+", &delta.insert), ("-", &delta.remove)] {
+        for (pred, tuples) in bucket {
+            for tuple in tuples {
+                out.push(format!(
+                    "{section}{}({})",
+                    interner.resolve(*pred),
+                    tuple
+                        .values()
+                        .iter()
+                        .map(|v| v.display(interner).to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn db_fingerprint(db: &Database) -> Vec<String> {
+    let mut out = Vec::new();
+    for (pred, relation) in db.relations() {
+        for tuple in relation.iter() {
+            out.push(format!(
+                "{}({})",
+                db.interner().resolve(pred),
+                tuple
+                    .values()
+                    .iter()
+                    .map(|v| v.display(db.interner()).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scratch_dir(name: &str, case: &[OpSpec], extra: usize) -> std::path::PathBuf {
+    // Differentiate per-case so parallel test binaries never collide.
+    let tag = case.len() * 31 + extra;
+    let dir =
+        std::env::temp_dir().join(format!("sepra_wal_prop_{name}_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #[test]
+    fn delta_roundtrips_across_interners(ops in proptest::collection::vec(op_strategy(), 0..12)) {
+        let mut writer_interner = Interner::new();
+        // Pre-intern noise so ids differ between writer and reader.
+        writer_interner.intern("noise");
+        writer_interner.intern("more_noise");
+        let delta = build_delta(&ops, &mut writer_interner);
+        let bytes = encode_delta(&delta, &writer_interner);
+
+        let mut reader_interner = Interner::new();
+        let decoded = decode_delta(&bytes, &mut reader_interner).expect("valid frame");
+        prop_assert_eq!(
+            delta_fingerprint(&delta, &writer_interner),
+            delta_fingerprint(&decoded, &reader_interner)
+        );
+        // Re-encoding from the decoder's interner reproduces the bytes:
+        // the encoding is canonical, independent of interner history.
+        prop_assert_eq!(bytes, encode_delta(&decoded, &reader_interner));
+    }
+
+    #[test]
+    fn database_frame_roundtrips(ops in proptest::collection::vec(op_strategy(), 0..12)) {
+        let mut db = Database::new();
+        let mut interner = Interner::new();
+        let mut delta = build_delta(&ops, &mut interner);
+        delta.remove.clear();
+        // Move the delta's symbols into the database's interner by
+        // rebuilding against it (cheap: specs are deterministic).
+        let delta = {
+            let inserts = build_delta(&ops, db.interner_mut());
+            EdbDelta { insert: inserts.insert, remove: Default::default() }
+        };
+        db.apply_delta(&delta).expect("consistent arities by construction");
+
+        let bytes = encode_database(&db);
+        let mut restored = Database::new();
+        let generation =
+            codec::decode_database_into(&bytes, &mut restored).expect("valid frame");
+        prop_assert_eq!(generation, db.generation());
+        prop_assert_eq!(db_fingerprint(&db), db_fingerprint(&restored));
+    }
+
+    #[test]
+    fn truncated_wal_recovers_a_generation_prefix(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        cut_seed in 0usize..10_000,
+    ) {
+        // Build a log of one record per op, stamped 1..=n.
+        let dir = scratch_dir("torn", &ops, cut_seed);
+        let wal = dir.join(WAL_FILE);
+        let mut interner = Interner::new();
+        let mut committed = Vec::new();
+        {
+            let mut writer = WalWriter::open(&wal, FsyncPolicy::Never).unwrap();
+            for (generation, op) in ops.iter().enumerate() {
+                let delta = build_delta(std::slice::from_ref(op), &mut interner);
+                writer.append(generation as u64 + 1, &encode_delta(&delta, &interner)).unwrap();
+                committed.push(generation as u64 + 1);
+            }
+        }
+        let full_len = std::fs::metadata(&wal).unwrap().len() as usize;
+
+        // Tear the file at an arbitrary offset.
+        let cut = cut_seed % (full_len + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        file.set_len(cut as u64).unwrap();
+        drop(file);
+
+        // Scanning never fails, and yields a prefix of the committed
+        // generation sequence.
+        let scan = read_records(&wal).expect("torn logs scan, never error");
+        let generations: Vec<u64> = scan.records.iter().map(|r| r.generation).collect();
+        prop_assert_eq!(&committed[..generations.len()], &generations[..]);
+        prop_assert!(scan.valid_len as usize <= cut);
+
+        // Opening the store repairs the tail and recovers the same
+        // prefix; every payload still decodes.
+        let (_store, recovery) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let recovered: Vec<u64> = recovery.records.iter().map(|r| r.generation).collect();
+        prop_assert_eq!(&generations, &recovered);
+        let mut reader = Interner::new();
+        for record in &recovery.records {
+            prop_assert!(decode_delta(&record.payload, &mut reader).is_ok());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let mut interner = Interner::new();
+        let _ = decode_delta(&bytes, &mut interner);
+        let mut db = Database::new();
+        let _ = codec::decode_database_into(&bytes, &mut db);
+    }
+}
