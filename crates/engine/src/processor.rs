@@ -197,7 +197,9 @@ pub struct MutationOutcome {
     /// Statistics of the incremental maintenance work (empty when the
     /// processor was not prepared or the mutation was ineffective).
     pub stats: EvalStats,
-    /// Wall-clock time for parsing, applying, and maintenance.
+    /// Wall-clock time of the whole call: parsing (when entered through
+    /// [`QueryProcessor::apply_mutation`]; delta entry points have no
+    /// parse step), applying, and maintenance.
     pub elapsed: Duration,
     /// The *effective* delta: exactly the tuples added and removed, with
     /// no-op inserts/retracts filtered out. This is what a write-ahead
@@ -323,6 +325,7 @@ impl QueryProcessor {
         inserts: &[&str],
         retracts: &[&str],
     ) -> Result<MutationOutcome, ProcessorError> {
+        let start = Instant::now();
         let mut delta = EdbDelta::default();
         for (sources, bucket, verb) in
             [(retracts, &mut delta.remove, "retract"), (inserts, &mut delta.insert, "insert")]
@@ -346,7 +349,7 @@ impl QueryProcessor {
                 }
             }
         }
-        self.apply_delta_mutation(delta)
+        self.apply_delta_from(start, delta)
     }
 
     /// [`apply_mutation`](Self::apply_mutation) minus the parsing: applies
@@ -358,7 +361,17 @@ impl QueryProcessor {
         &mut self,
         delta: EdbDelta,
     ) -> Result<MutationOutcome, ProcessorError> {
-        let start = Instant::now();
+        self.apply_delta_from(Instant::now(), delta)
+    }
+
+    /// The shared tail of both mutation entry points. `start` is when the
+    /// caller began its part of the work — [`apply_mutation`](Self::apply_mutation)
+    /// passes its pre-parse timestamp so `elapsed` covers parsing too.
+    fn apply_delta_from(
+        &mut self,
+        start: Instant,
+        delta: EdbDelta,
+    ) -> Result<MutationOutcome, ProcessorError> {
         // Stage on snapshots: `db_before` → retractions → `db_mid` →
         // insertions → `db`. The clones are cheap (copy-on-write) and give
         // the DRed over-deletion its pre-mutation state.

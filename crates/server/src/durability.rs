@@ -167,6 +167,25 @@ impl Durability {
         self.store.sync()
     }
 
+    /// The deferral window of `--fsync interval:MS`, `None` for the
+    /// policies with nothing to flush in the background (`always` syncs
+    /// in the commit path; `never` leaves flushing to the OS by design).
+    pub fn deferred_sync_interval(&self) -> Option<Duration> {
+        match self.fsync {
+            FsyncPolicy::Interval(interval) => Some(interval),
+            FsyncPolicy::Always | FsyncPolicy::Never => None,
+        }
+    }
+
+    /// Flushes policy-deferred WAL appends if the fsync interval has
+    /// elapsed. The accept loop drives this so `interval:MS` keeps its
+    /// "at most one interval of acknowledged commits" loss bound even
+    /// when mutations stop arriving (the deferred sync otherwise only
+    /// runs on the next append).
+    pub fn flush_if_stale(&mut self) -> Result<bool, WalError> {
+        self.store.sync_if_stale()
+    }
+
     /// The frozen startup-recovery report.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery

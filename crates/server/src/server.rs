@@ -223,10 +223,25 @@ pub fn run(
         );
     }
 
+    // `--fsync interval:MS` defers syncs to the next append; the accept
+    // loop backstops that with a periodic flush so the documented loss
+    // window ("at most one interval") holds when mutations stop arriving.
+    let deferred_fsync = shared
+        .durability
+        .as_ref()
+        .and_then(|d| d.lock().unwrap_or_else(|e| e.into_inner()).deferred_sync_interval());
+    let mut last_flush_check = Instant::now();
+
     while !shutdown.load(Ordering::SeqCst) {
         if signal::raised() {
             shutdown.store(true, Ordering::SeqCst);
             break;
+        }
+        if let (Some(interval), Some(durability)) = (deferred_fsync, &shared.durability) {
+            if last_flush_check.elapsed() >= interval {
+                let _ = durability.lock().unwrap_or_else(|e| e.into_inner()).flush_if_stale();
+                last_flush_check = Instant::now();
+            }
         }
         match listener.accept() {
             Ok((stream, _peer)) => {

@@ -277,7 +277,17 @@ fn decode_section(
             .ok_or(CodecError::BadStringIndex { index, table: syms.len() })?;
         let arity = cur.u32("predicate arity")? as usize;
         let count = cur.u32("tuple count")? as usize;
-        cur.plausible(count, arity, "section tuples")?;
+        // Zero-arity tuples occupy no input, so the byte-plausibility
+        // check cannot bound their count — but a set-valued zero-arity
+        // predicate holds at most the empty tuple, so bound it directly
+        // (a hostile huge count must not drive a huge allocation).
+        if arity == 0 {
+            if count > 1 {
+                return Err(CodecError::Truncated { what: "section tuples" });
+            }
+        } else {
+            cur.plausible(count, arity, "section tuples")?;
+        }
         let mut tuples = Vec::with_capacity(count);
         for _ in 0..count {
             tuples.push(decode_tuple(cur, arity, syms)?);
@@ -392,7 +402,15 @@ pub fn decode_database_as_inserts(
             .ok_or(CodecError::BadStringIndex { index, table: syms.len() })?;
         let arity = cur.u32("relation arity")? as usize;
         let count = cur.u64("relation tuple count")? as usize;
-        cur.plausible(count, arity, "relation tuples")?;
+        // See `decode_section`: a zero-arity relation holds at most the
+        // empty tuple, so its count is bounded directly, not by bytes.
+        if arity == 0 {
+            if count > 1 {
+                return Err(CodecError::Truncated { what: "relation tuples" });
+            }
+        } else {
+            cur.plausible(count, arity, "relation tuples")?;
+        }
         let mut tuples = Vec::with_capacity(count);
         for _ in 0..count {
             tuples.push(decode_tuple(&mut cur, arity, &syms)?);
@@ -514,6 +532,59 @@ mod tests {
         bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // tuple count
         let mut db = Database::new();
         assert!(matches!(decode_database_into(&bytes, &mut db), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn hostile_zero_arity_counts_are_rejected() {
+        // Zero-arity tuples occupy no input bytes, so the byte-based
+        // plausibility check cannot bound them — a hostile frame claiming
+        // u32::MAX nullary tuples must still fail fast, not allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 string
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // len 4
+        bytes.extend_from_slice(b"flag");
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // remove: 1 pred
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name idx
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // arity 0
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // tuple count
+        let mut interner = Interner::new();
+        assert!(matches!(decode_delta(&bytes, &mut interner), Err(CodecError::Truncated { .. })));
+
+        // Same through the EDB-frame path (`sepra restore`, `:load`).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // generation
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 string
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // len 4
+        bytes.extend_from_slice(b"flag");
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 relation
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // name idx
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // arity 0
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // tuple count
+        let mut db = Database::new();
+        assert!(matches!(decode_database_into(&bytes, &mut db), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn zero_arity_facts_still_roundtrip() {
+        // `flag` sorts last in sample_db's relations, so its (empty)
+        // tuple sits at the very end of the frame with zero bytes after
+        // the count — the arity-0 guard must not reject that.
+        let db = sample_db();
+        let bytes = encode_database(&db);
+        let mut fresh = Database::new();
+        decode_database_into(&bytes, &mut fresh).unwrap();
+        assert_eq!(fingerprint(&fresh), fingerprint(&db));
+
+        let mut db = sample_db();
+        let flag = db.intern("flag");
+        let mut delta = EdbDelta::default();
+        let empty = || Tuple::from(Vec::<Value>::new());
+        delta.insert.insert(flag, vec![empty()]);
+        let bytes = encode_delta(&delta, db.interner());
+        let mut other = Interner::new();
+        let decoded = decode_delta(&bytes, &mut other).unwrap();
+        let flag2 = other.get("flag").unwrap();
+        assert_eq!(decoded.insert[&flag2], vec![empty()]);
     }
 
     #[test]

@@ -50,9 +50,15 @@ pub enum FsyncPolicy {
     /// answered" implies "the mutation survives a crash".
     #[default]
     Always,
-    /// `fdatasync` at most once per the given interval: a crash can lose
-    /// up to one interval of acknowledged commits, but throughput no
-    /// longer pays one disk flush per mutation.
+    /// `fdatasync` at most once per the given interval, so throughput no
+    /// longer pays one disk flush per mutation. Dirty records are flushed
+    /// by the first append after the interval elapses, by a periodic
+    /// [`sync_if_stale`](crate::log::WalWriter::sync_if_stale) call (the
+    /// server runs one from its accept loop), and at clean shutdown — so
+    /// a crash loses at most one interval of acknowledged commits
+    /// *provided* something drives those calls; a bare [`WalWriter`] with
+    /// no appends and no `sync_if_stale` driver keeps dirty records
+    /// unflushed until shutdown or drop.
     Interval(Duration),
     /// Never fsync explicitly; the OS flushes when it pleases. A crash
     /// can lose everything since the last kernel writeback; a clean
@@ -109,6 +115,13 @@ pub enum WalError {
         /// The offending path.
         path: String,
     },
+    /// A failed append could not be rolled back, so the log's tail is in
+    /// an unknown state; appends are refused until the file is reopened
+    /// (scan + repair). See [`log::WalWriter::append`].
+    Poisoned {
+        /// The WAL path.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -118,6 +131,13 @@ impl std::fmt::Display for WalError {
             WalError::Codec(e) => write!(f, "{e}"),
             WalError::BadMagic { path } => {
                 write!(f, "{path} is not a sepra durability file (bad magic)")
+            }
+            WalError::Poisoned { path } => {
+                write!(
+                    f,
+                    "{path}: a failed append could not be rolled back; \
+                     refusing writes until the log is reopened"
+                )
             }
         }
     }

@@ -146,6 +146,11 @@ pub struct WalWriter {
     /// Unsynced appends outstanding (only meaningful under `Interval`).
     dirty: bool,
     bytes: u64,
+    /// Set when a failed append could not be rolled back: the file may end
+    /// in bytes that were never acknowledged, so further appends are
+    /// refused — anything written after the garbage would be silently
+    /// discarded at recovery. Reopening (scan + repair) clears the state.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -189,13 +194,27 @@ impl WalWriter {
             last_sync: Instant::now(),
             dirty: false,
             bytes: len,
+            poisoned: false,
         })
     }
 
     /// Appends one generation-stamped record and applies the fsync
     /// policy. On success the record is in the OS (and, under `Always`,
     /// on disk) — the caller may acknowledge the commit.
+    ///
+    /// On `Err` the record is **not** in the log: a partial write (e.g.
+    /// ENOSPC) or a failed policy sync rolls the file back to its
+    /// pre-append length, so a caller that rolls its own commit back
+    /// stays in agreement with recovery — the failed mutation is neither
+    /// acknowledged nor replayed, and later commits land at a clean
+    /// record boundary. If the rollback itself fails the writer is
+    /// poisoned: every further append is refused (the file may end in
+    /// unacknowledged bytes that would silently swallow anything
+    /// appended after them) until the log is reopened via scan + repair.
     pub fn append(&mut self, generation: u64, payload: &[u8]) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned { path: self.path.display().to_string() });
+        }
         let mut crc = Crc32::new();
         let gen_bytes = generation.to_le_bytes();
         crc.update(&gen_bytes);
@@ -205,10 +224,22 @@ impl WalWriter {
         record.extend_from_slice(&crc.finish().to_le_bytes());
         record.extend_from_slice(&gen_bytes);
         record.extend_from_slice(payload);
+        let pre_append = self.bytes;
+        let result = self.append_record(&record);
+        if result.is_err() {
+            self.rollback_to(pre_append);
+        }
+        result
+    }
+
+    /// The fallible middle of [`append`](Self::append): write, advance the
+    /// length, apply the fsync policy. Split out so `append` can roll the
+    /// file back on *any* error here.
+    fn append_record(&mut self, record: &[u8]) -> Result<(), WalError> {
         // One write_all per record: a crash tears at most the final
         // record, and the CRC catches even a torn single write.
         self.file
-            .write_all(&record)
+            .write_all(record)
             .map_err(|e| WalError::io(format!("appending to {}", self.path.display()), e))?;
         self.bytes += record.len() as u64;
         match self.policy {
@@ -222,6 +253,45 @@ impl WalWriter {
             FsyncPolicy::Never => {}
         }
         Ok(())
+    }
+
+    /// Restores the file to `len` after a failed append. The truncation is
+    /// synced so the dropped bytes cannot reappear after a crash; if any
+    /// step fails the writer is poisoned instead — the file's tail is in
+    /// an unknown state and further appends could land after garbage.
+    fn rollback_to(&mut self, len: u64) {
+        let restored = self.file.set_len(len).is_ok()
+            && self.file.seek(SeekFrom::Start(len)).is_ok()
+            && self.file.sync_data().is_ok();
+        if restored {
+            self.bytes = len;
+            // The sync above flushed every prior append too.
+            self.last_sync = Instant::now();
+            self.dirty = false;
+        } else {
+            self.poisoned = true;
+        }
+    }
+
+    /// Whether a failed append could not be rolled back; a poisoned
+    /// writer refuses further appends (see [`append`](Self::append)).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Under [`FsyncPolicy::Interval`], flushes outstanding appends if
+    /// the interval has elapsed since the last sync; a no-op (and `false`)
+    /// otherwise. A server calls this periodically so the documented loss
+    /// window holds even when no further appends arrive to trigger the
+    /// deferred sync.
+    pub fn sync_if_stale(&mut self) -> Result<bool, WalError> {
+        if let FsyncPolicy::Interval(interval) = self.policy {
+            if self.dirty && self.last_sync.elapsed() >= interval {
+                self.sync()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Flushes outstanding appends to disk regardless of policy.
@@ -367,6 +437,66 @@ mod tests {
         ));
         // The file is untouched.
         assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a WAL file");
+    }
+
+    #[test]
+    fn sync_if_stale_flushes_only_elapsed_intervals() {
+        use std::time::Duration;
+        let path = tmp("stale_sync.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w =
+            WalWriter::open(&path, FsyncPolicy::Interval(Duration::from_secs(3600))).unwrap();
+        w.append(1, b"deferred").unwrap();
+        assert!(w.dirty());
+        assert!(!w.sync_if_stale().unwrap()); // interval not yet elapsed
+        assert!(w.dirty());
+        w.policy = FsyncPolicy::Interval(Duration::ZERO);
+        assert!(w.sync_if_stale().unwrap());
+        assert!(!w.dirty());
+        assert!(!w.sync_if_stale().unwrap()); // nothing left to flush
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_append_state() {
+        let path = tmp("rollback.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"committed").unwrap();
+        let good_len = w.bytes();
+        // Simulate the torn half of a failed append (e.g. ENOSPC after
+        // some bytes landed), then the rollback `append` performs.
+        w.file.write_all(b"torn garbage from a failed write").unwrap();
+        w.rollback_to(good_len);
+        assert!(!w.poisoned());
+        assert_eq!(w.bytes(), good_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        // The writer is still usable and the log stays a clean prefix.
+        w.append(2, b"after recovery").unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(
+            scan.records.iter().map(|r| r.generation).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn poisoned_writer_refuses_appends() {
+        let path = tmp("poisoned.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"fine").unwrap();
+        w.poisoned = true;
+        assert!(matches!(w.append(2, b"refused"), Err(WalError::Poisoned { .. })));
+        drop(w);
+        // Nothing after the poison made it into the file; reopening
+        // (scan + repair happened implicitly — the file is clean) works.
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        assert!(!w.poisoned());
+        w.append(2, b"accepted again").unwrap();
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl DurableStore {
         self.writer.sync()
     }
 
+    /// Flushes policy-deferred appends if the fsync interval has elapsed
+    /// (see [`WalWriter::sync_if_stale`]); a no-op outside
+    /// [`FsyncPolicy::Interval`]. A server drives this periodically so the
+    /// interval policy's loss window stays bounded when mutations pause.
+    pub fn sync_if_stale(&mut self) -> Result<bool, WalError> {
+        self.writer.sync_if_stale()
+    }
+
     /// Current WAL file size in bytes.
     pub fn wal_bytes(&self) -> u64 {
         self.writer.bytes()
