@@ -1,0 +1,229 @@
+//! E13 — cost-based join planning vs. source-order compilation.
+//!
+//! Each workload comes as a twin pair over the *same* database: an
+//! `adversarial` program whose rule bodies list the largest relation
+//! first and the selective one last, and a `well_ordered` program with
+//! the same bodies hand-reversed into the order a careful author would
+//! write. Both are evaluated under `PlanMode::CostBased` and
+//! `PlanMode::SourceOrder`, so the matrix separates what the planner
+//! *recovers* (adversarial: cost-based must beat source order) from what
+//! it *risks* (well-ordered: cost-based must stay within noise of the
+//! already-optimal order).
+//!
+//! Like E12 this hand-rolls its measurement loop: under `cargo bench`
+//! (`--bench` in the arguments) medians are printed and written to
+//! `BENCH_join_planning.json` at the repository root. With `--smoke` it
+//! runs a reduced-size, reduced-sample matrix and exits non-zero if
+//! cost-based regresses source order beyond [`SMOKE_TOLERANCE`] anywhere
+//! — the CI guard that planning never makes a query slower than the
+//! program text. Without either flag each configuration runs once as a
+//! silent smoke test (`cargo test` builds and runs benches argument-less).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sepra_ast::parse_program;
+use sepra_eval::{seminaive_with_options, EvalOptions, PlanMode};
+use sepra_gen::graphs::add_random_digraph;
+use sepra_storage::Database;
+
+const SAMPLES: usize = 7;
+const SMOKE_SAMPLES: usize = 3;
+
+/// Smoke-mode gate: cost-based may be at most this factor slower than
+/// source order on any (workload, order) cell. Generous because smoke
+/// sizes are small enough for constant overheads (statistics snapshots,
+/// the greedy ordering itself) to be visible.
+const SMOKE_TOLERANCE: f64 = 1.5;
+
+struct Twin {
+    name: &'static str,
+    adversarial: String,
+    well_ordered: String,
+    db: Database,
+}
+
+/// Non-recursive three-way join: `big` (dense) × `mid` × `tiny` (a
+/// handful of facts). Source order on the adversarial twin scans all of
+/// `big` and joins `mid` before the tiny filter kills almost everything;
+/// the planner starts from `tiny` and drives keyed lookups backwards.
+fn tri_filter(scale: usize) -> Twin {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "big", "v", scale, scale * 15, 11);
+    add_random_digraph(&mut db, "mid", "v", scale, scale * 5, 12);
+    for i in 0..5 {
+        db.insert_named("tiny", &[&format!("v{i}"), &format!("out{i}")]).expect("fact");
+    }
+    Twin {
+        name: "tri_filter",
+        adversarial: "q(X, W) :- big(X, Y), mid(Y, Z), tiny(Z, W).\n".to_string(),
+        well_ordered: "q(X, W) :- tiny(Z, W), mid(Y, Z), big(X, Y).\n".to_string(),
+        db,
+    }
+}
+
+/// Recursive twin: the adversarial body puts an *unconnected* wide
+/// relation right after the recursive literal, so source order pairs
+/// every delta tuple with every `wide` edge before `hop` filters; the
+/// planner keeps `hop` (keyed on the delta's variable) in front.
+fn delta_guard(scale: usize) -> Twin {
+    let mut db = Database::new();
+    add_random_digraph(&mut db, "hop", "v", scale, scale * 3, 21);
+    add_random_digraph(&mut db, "wide", "v", scale, scale * 15, 22);
+    for i in 0..3 {
+        db.insert_named("seed", &[&format!("s{i}"), &format!("v{i}")]).expect("fact");
+    }
+    Twin {
+        name: "delta_guard",
+        adversarial: "t(X, Y) :- t(X, Z), wide(W, Y), hop(Z, W).\nt(X, Y) :- seed(X, Y).\n"
+            .to_string(),
+        well_ordered: "t(X, Y) :- t(X, Z), hop(Z, W), wide(W, Y).\nt(X, Y) :- seed(X, Y).\n"
+            .to_string(),
+        db,
+    }
+}
+
+/// One full semi-naive evaluation; returns total derived tuples so the
+/// optimizer cannot discard the run (and so twins can be cross-checked).
+fn run_once(program: &str, db: &Database, mode: PlanMode) -> usize {
+    let mut db = db.clone();
+    let program = parse_program(program, db.interner_mut()).expect("program parses");
+    let opts = EvalOptions { plan_mode: mode, ..EvalOptions::default() };
+    let derived = seminaive_with_options(&program, &db, &opts).expect("evaluates");
+    derived.relations.values().map(|r| r.len()).sum()
+}
+
+fn median_ns(program: &str, db: &Database, mode: PlanMode, samples: usize) -> u64 {
+    black_box(run_once(program, db, mode));
+    let mut timed: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_once(program, db, mode));
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    timed.sort_unstable();
+    timed[timed.len() / 2]
+}
+
+struct Cell {
+    workload: String,
+    mode: &'static str,
+    median_ns: u64,
+}
+
+/// Runs the 2×2 matrix for one twin; returns the four cells.
+fn measure_twin(twin: &Twin, samples: usize) -> Vec<Cell> {
+    // Parity first: all four cells must derive the same tuple count —
+    // a planner that changes answers would make the timings meaningless.
+    let expect = run_once(&twin.well_ordered, &twin.db, PlanMode::SourceOrder);
+    let mut cells = Vec::new();
+    for (order, program) in
+        [("adversarial", &twin.adversarial), ("well_ordered", &twin.well_ordered)]
+    {
+        for (mode_name, mode) in
+            [("cost_based", PlanMode::CostBased), ("source_order", PlanMode::SourceOrder)]
+        {
+            let got = run_once(program, &twin.db, mode);
+            assert_eq!(got, expect, "{}/{order}/{mode_name} changed the answers", twin.name);
+            cells.push(Cell {
+                workload: format!("{}/{order}", twin.name),
+                mode: mode_name,
+                median_ns: median_ns(program, &twin.db, mode, samples),
+            });
+        }
+    }
+    cells
+}
+
+fn find(cells: &[Cell], workload: &str, mode: &str) -> u64 {
+    cells
+        .iter()
+        .find(|c| c.workload == workload && c.mode == mode)
+        .expect("cell measured")
+        .median_ns
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let measure = args.iter().any(|a| a == "--bench");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    if !measure && !smoke {
+        // Silent smoke for `cargo test`: one tiny run per twin and mode.
+        for twin in [tri_filter(30), delta_guard(20)] {
+            for mode in [PlanMode::CostBased, PlanMode::SourceOrder] {
+                black_box(run_once(&twin.adversarial, &twin.db, mode));
+            }
+        }
+        return std::process::ExitCode::SUCCESS;
+    }
+
+    let (twins, samples) = if smoke {
+        (vec![tri_filter(80), delta_guard(40)], SMOKE_SAMPLES)
+    } else {
+        (vec![tri_filter(300), delta_guard(90)], SAMPLES)
+    };
+
+    let mut cells = Vec::new();
+    for twin in &twins {
+        cells.extend(measure_twin(twin, samples));
+    }
+    for c in &cells {
+        println!(
+            "e13_join_planning/{:<28} {:<12} median {:>12} ns",
+            c.workload, c.mode, c.median_ns
+        );
+    }
+
+    let mut failures = Vec::new();
+    println!();
+    for twin in &twins {
+        for order in ["adversarial", "well_ordered"] {
+            let workload = format!("{}/{order}", twin.name);
+            let cost = find(&cells, &workload, "cost_based");
+            let source = find(&cells, &workload, "source_order");
+            let speedup = source as f64 / cost as f64;
+            println!("{workload:<30} cost-based speedup over source order: {speedup:>5.2}x");
+            if smoke && (cost as f64) > source as f64 * SMOKE_TOLERANCE {
+                failures.push(format!(
+                    "{workload}: cost-based {cost} ns vs source-order {source} ns \
+                     exceeds tolerance {SMOKE_TOLERANCE}x"
+                ));
+            }
+        }
+    }
+
+    if smoke {
+        if failures.is_empty() {
+            println!("\nsmoke ok: cost-based within {SMOKE_TOLERANCE}x of source order everywhere");
+            return std::process::ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("smoke FAIL: {f}");
+        }
+        return std::process::ExitCode::FAILURE;
+    }
+
+    // Machine-readable artifact at the repository root. As with E12, the
+    // host's core count is recorded because it frames the numbers; these
+    // runs are single-threaded, so on any host the medians compare plan
+    // quality, not parallelism.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n  \"experiment\": \"e13_join_planning\",\n");
+    json.push_str(&format!(
+        "  \"samples\": {samples},\n  \"available_parallelism\": {cores},\n  \"results\": [\n"
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"plan_mode\": \"{}\", \"median_ns\": {} }}{comma}\n",
+            c.workload, c.mode, c.median_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join_planning.json");
+    std::fs::write(path, &json).expect("write BENCH_join_planning.json");
+    println!("\nwrote {path}");
+    std::process::ExitCode::SUCCESS
+}

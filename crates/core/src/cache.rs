@@ -1,12 +1,13 @@
 //! Caching of compiled Figure 2 plans across queries.
 //!
 //! Building a [`SeparablePlan`] recompiles every recursive rule's join
-//! plans; for a fixed program the result depends only on the recursion and
-//! the selected class, so a query server answering many selections on the
-//! same predicate can reuse one compiled plan. [`PlanCache`] keys class
-//! plans by `(predicate, class index)` — the bound-column signature, since
-//! a class determines its column set. Persistent-selection plans embed the
-//! query's constants and are never cached.
+//! plans; for a fixed program the result depends only on the recursion,
+//! the selected class, and the relation statistics the planner ordered its
+//! conjunctions against, so a query server answering many selections on
+//! the same predicate can reuse one compiled plan. [`PlanCache`] keys
+//! class plans by `(predicate, class index)` — the bound-column signature,
+//! since a class determines its column set. Persistent-selection plans
+//! embed the query's constants and are never cached.
 //!
 //! The cache is safe to share across threads (interior mutability behind a
 //! mutex), but only for plans whose symbols were interned before the
@@ -15,38 +16,64 @@
 //! decomposed branches must bypass the cache (see
 //! [`evaluate`](crate::evaluate)).
 //!
-//! # Generation invalidation
+//! # Generation invalidation and statistics drift
 //!
-//! A compiled plan is valid for the database *generation* it was built
-//! against: a plan embeds nothing from the EDB, but the detection results
-//! and materialized support relations it is resolved alongside do, so the
-//! engine treats "program or EDB changed" as one event. The rule is:
-//! every consumer calls [`PlanCache::validate_generation`] with its current
-//! generation before serving cached plans; when the generation differs from
-//! the one the cache last saw, all entries are dropped and the new
-//! generation is recorded. A post-mutation query therefore can never be
-//! answered by a pre-mutation plan — the first lookup after a mutation is
-//! forced to miss.
+//! A compiled plan embeds no EDB *contents*, but its join orders were
+//! chosen from the EDB's *statistics*, so a plan is only as good as the
+//! cardinalities it was planned against. Every cache entry therefore
+//! records a snapshot of the row counts of the EDB predicates its plans
+//! scan, taken at build time. Consumers call
+//! [`PlanCache::validate_generation`] with their current generation before
+//! serving cached plans:
+//!
+//! * generation unchanged — the EDB is bit-identical (the engine bumps the
+//!   generation on every effective mutation), every entry is kept;
+//! * generation moved, EDB handle supplied — entries whose observed row
+//!   counts stayed within [`DRIFT_FACTOR`] of their snapshot are kept
+//!   (the plan is still well-ordered; recompiling would yield the same
+//!   joins), drifted entries are dropped and counted as
+//!   [`drift invalidations`](PlanCache::drift_invalidations);
+//! * generation moved, no EDB handle — the *program* may have changed, so
+//!   the structural assumptions behind every entry are suspect: all
+//!   entries are dropped, as in the pre-statistics design.
+//!
+//! A retained entry keeps its original snapshot, so many small mutations
+//! accumulate: once the cardinalities have doubled (or halved) relative to
+//! plan time, the next validation forces a replan.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sepra_ast::Sym;
-use sepra_eval::EvalError;
-use sepra_storage::FxHashMap;
+use sepra_eval::{EvalError, Planner, RelKey, Step};
+use sepra_storage::{Database, FxHashMap};
 
 use crate::detect::SeparableRecursion;
-use crate::plan::{build_plan, PlanSelection, SeparablePlan};
+use crate::plan::{build_plan_with, PlanSelection, SeparablePlan};
+
+/// A cached plan is dropped once any relation it scans has grown or shrunk
+/// by more than this factor relative to the row count it was planned
+/// against (smoothed by +1 so empty relations do not divide by zero).
+pub const DRIFT_FACTOR: f64 = 2.0;
+
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<SeparablePlan>,
+    /// `(predicate, rows at build time)` for every EDB predicate the
+    /// plan's conjunctions scan.
+    snapshot: Vec<(Sym, u64)>,
+}
 
 /// A thread-safe cache of compiled class-selection plans.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<FxHashMap<(Sym, usize), Arc<SeparablePlan>>>,
+    plans: Mutex<FxHashMap<(Sym, usize), CacheEntry>>,
     /// The database/program generation the cached plans were built against
     /// (see the module docs on generation invalidation).
     generation: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    drift_invalidations: AtomicU64,
 }
 
 impl PlanCache {
@@ -56,42 +83,62 @@ impl PlanCache {
     }
 
     /// The compiled plan for selecting `class` of `sep`, building and
-    /// memoizing it on first use.
+    /// memoizing it on first use. `planner` orders the conjunctions of a
+    /// freshly built plan; `db` supplies the row-count snapshot recorded
+    /// for drift validation.
     pub fn class_plan(
         &self,
         sep: &SeparableRecursion,
         class: usize,
+        planner: &Planner<'_>,
+        db: &Database,
     ) -> Result<Arc<SeparablePlan>, EvalError> {
         let key = (sep.pred, class);
-        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
+        if let Some(entry) = self.plans.lock().expect("plan cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
+            return Ok(Arc::clone(&entry.plan));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock; racing builders produce identical plans
         // and the first insert wins.
-        let plan = Arc::new(build_plan(sep, &PlanSelection::Class(class))?);
+        let plan = Arc::new(build_plan_with(sep, &PlanSelection::Class(class), planner)?);
+        let snapshot = snapshot_for(&plan, db);
         let mut plans = self.plans.lock().expect("plan cache lock");
-        Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+        let entry = plans.entry(key).or_insert(CacheEntry { plan, snapshot });
+        Ok(Arc::clone(&entry.plan))
     }
 
-    /// Ensures the cache only serves plans built for `generation`:
-    /// if it differs from the generation the cache last validated against,
-    /// every entry is dropped (and the new generation recorded) so the next
-    /// lookup recompiles. Returns `true` when entries were invalidated.
+    /// Ensures the cache only serves plans that are still valid at
+    /// `generation` (see the module docs): when the generation moved,
+    /// entries are either re-checked against the statistics of `db`
+    /// (drifted ones dropped) or — with no database handle, meaning the
+    /// program may have changed — all dropped. Returns `true` when any
+    /// entry was invalidated.
     ///
     /// Consumers must call this *before* [`PlanCache::class_plan`] whenever
-    /// their program or EDB generation may have moved — see the module docs.
-    pub fn validate_generation(&self, generation: u64) -> bool {
+    /// their program or EDB generation may have moved.
+    pub fn validate_generation(&self, generation: u64, db: Option<&Database>) -> bool {
         // Hold the plans lock across the generation swap so a concurrent
         // `class_plan` cannot insert a stale plan after the clear.
         let mut plans = self.plans.lock().expect("plan cache lock");
         if self.generation.swap(generation, Ordering::Relaxed) == generation {
             return false;
         }
-        let stale = !plans.is_empty();
-        plans.clear();
-        stale
+        let before = plans.len();
+        match db {
+            None => plans.clear(),
+            Some(db) => plans.retain(|_, entry| {
+                entry.snapshot.iter().all(|&(pred, then)| {
+                    let now = db.relation(pred).map_or(0, |r| r.len() as u64);
+                    within_drift(then, now)
+                })
+            }),
+        }
+        let dropped = before - plans.len();
+        if db.is_some() {
+            self.drift_invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        dropped > 0
     }
 
     /// The generation the cache last validated against.
@@ -113,6 +160,41 @@ impl PlanCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Number of cached plans dropped because a scanned relation's row
+    /// count drifted past [`DRIFT_FACTOR`] since the plan was built.
+    pub fn drift_invalidations(&self) -> u64 {
+        self.drift_invalidations.load(Ordering::Relaxed)
+    }
+}
+
+fn within_drift(then: u64, now: u64) -> bool {
+    let a = (then + 1) as f64;
+    let b = (now + 1) as f64;
+    let ratio = if a > b { a / b } else { b / a };
+    ratio <= DRIFT_FACTOR
+}
+
+/// Row counts of every EDB predicate scanned by any conjunction of `plan`
+/// (the tracked variants scan the same predicates).
+fn snapshot_for(plan: &SeparablePlan, db: &Database) -> Vec<(Sym, u64)> {
+    let mut preds: Vec<Sym> = Vec::new();
+    let conjs = plan
+        .phase1
+        .iter()
+        .flat_map(|p1| p1.steps.iter().map(|(_, c)| c))
+        .chain(plan.seed.iter())
+        .chain(plan.phase2.steps.iter().map(|(_, c)| c));
+    for conj in conjs {
+        for step in &conj.steps {
+            if let Step::Scan { rel: RelKey::Pred(p), .. } = step {
+                if !preds.contains(p) {
+                    preds.push(*p);
+                }
+            }
+        }
+    }
+    preds.into_iter().map(|p| (p, db.relation(p).map_or(0, |r| r.len() as u64))).collect()
 }
 
 #[cfg(test)]
@@ -120,20 +202,25 @@ mod tests {
     use super::*;
     use crate::detect::detect_in_program;
     use sepra_ast::parse_program;
-    use sepra_storage::Database;
+    use sepra_eval::{PlanMode, PlannerStats};
 
-    #[test]
-    fn second_lookup_hits_and_shares_the_plan() {
-        let mut db = Database::new();
+    fn setup(db: &mut Database) -> SeparableRecursion {
         let program =
             parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
                 .unwrap();
         let t = db.intern("t");
-        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        detect_in_program(&program, t, db.interner_mut()).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let mut db = Database::new();
+        let sep = setup(&mut db);
 
         let cache = PlanCache::new();
-        let a = cache.class_plan(&sep, 0).unwrap();
-        let b = cache.class_plan(&sep, 0).unwrap();
+        let planner = Planner::source_order();
+        let a = cache.class_plan(&sep, 0, &planner, &db).unwrap();
+        let b = cache.class_plan(&sep, 0, &planner, &db).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.entries(), 1);
         assert_eq!(cache.hits(), 1);
@@ -141,24 +228,52 @@ mod tests {
     }
 
     #[test]
-    fn generation_change_drops_cached_plans() {
+    fn generation_change_without_database_drops_cached_plans() {
         let mut db = Database::new();
-        let program =
-            parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n", db.interner_mut())
-                .unwrap();
-        let t = db.intern("t");
-        let sep = detect_in_program(&program, t, db.interner_mut()).unwrap();
+        let sep = setup(&mut db);
 
         let cache = PlanCache::new();
-        assert!(!cache.validate_generation(7)); // empty: nothing to drop
+        let planner = Planner::source_order();
+        assert!(!cache.validate_generation(7, None)); // empty: nothing to drop
         assert_eq!(cache.generation(), 7);
-        let a = cache.class_plan(&sep, 0).unwrap();
-        assert!(!cache.validate_generation(7)); // same generation: keep
+        let a = cache.class_plan(&sep, 0, &planner, &db).unwrap();
+        assert!(!cache.validate_generation(7, None)); // same generation: keep
         assert_eq!(cache.entries(), 1);
-        assert!(cache.validate_generation(8)); // moved: clear
+        assert!(cache.validate_generation(8, None)); // moved: clear
         assert_eq!(cache.entries(), 0);
-        let b = cache.class_plan(&sep, 0).unwrap();
+        assert_eq!(cache.drift_invalidations(), 0); // program path, not drift
+        let b = cache.class_plan(&sep, 0, &planner, &db).unwrap();
         assert!(!Arc::ptr_eq(&a, &b)); // rebuilt, not served stale
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn small_mutations_keep_plans_but_drift_replans() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(b, c). e(c, d). e(d, e). e(e, f). e(f, g).").unwrap();
+        let sep = setup(&mut db);
+        let pstats = PlannerStats::from_database(&db);
+        let planner = Planner::new(PlanMode::CostBased, Some(&pstats));
+
+        let cache = PlanCache::new();
+        cache.validate_generation(1, Some(&db));
+        let a = cache.class_plan(&sep, 0, &planner, &db).unwrap();
+
+        // One more edge: 7 rows vs 6 planned — within the drift factor.
+        db.load_fact_text("e(g, h).").unwrap();
+        assert!(!cache.validate_generation(2, Some(&db)));
+        assert_eq!(cache.entries(), 1);
+        let b = cache.class_plan(&sep, 0, &planner, &db).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "small mutation must not force a replan");
+
+        // Bulk load far past the factor-2 threshold: the entry is dropped.
+        for i in 0..40 {
+            db.load_fact_text(&format!("e(x{i}, y{i}).")).unwrap();
+        }
+        assert!(cache.validate_generation(3, Some(&db)));
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.drift_invalidations(), 1);
+        let c = cache.class_plan(&sep, 0, &planner, &db).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "drifted plan must be rebuilt");
     }
 }

@@ -15,14 +15,19 @@
 use std::sync::Arc;
 
 use sepra_ast::{Query, Term};
-use sepra_eval::{filter_by_query, ConjPlan, EvalError, IndexCache, PlanAtom, PlanLiteral, RelKey};
+use sepra_eval::{
+    filter_by_query, ConjPlan, EvalError, IndexCache, PlanAtom, PlanLiteral, Planner, PlannerStats,
+    RelKey,
+};
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple, Value};
 
 use crate::cache::PlanCache;
 use crate::detect::{EquivClass, SeparableRecursion};
 use crate::exec::{execute_plan, execute_plan_tracked, ExecOptions, ExtraRelations};
 use crate::justify::{Justification, JustificationTracker};
-use crate::plan::{build_plan, classify_selection, PlanSelection, SelectionKind, SeparablePlan};
+use crate::plan::{
+    build_plan, build_plan_with, classify_selection, PlanSelection, SelectionKind, SeparablePlan,
+};
 
 /// How a query was evaluated (for `EXPLAIN`-style reporting).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,7 +130,25 @@ impl SeparableEvaluator {
         if query.atom.arity() != self.sep.arity {
             return Err(EvalError::Planning("query arity does not match recursion".into()));
         }
-        evaluate_inner(&self.sep, query, db, extra, &self.opts, self.plan_cache.as_deref(), 0)
+        // One statistics snapshot per evaluation: the EDB plus the
+        // materialized non-recursive IDB relations the engine supplies.
+        let mut pstats = PlannerStats::from_database(db);
+        for (&p, r) in extra {
+            pstats.add_relation(p, r);
+        }
+        let planner = Planner::new(self.opts.plan_mode, Some(&pstats));
+        let mut outcome = evaluate_inner(
+            &self.sep,
+            query,
+            db,
+            extra,
+            &self.opts,
+            self.plan_cache.as_deref(),
+            &planner,
+            0,
+        )?;
+        planner.record_into(&mut outcome.stats);
+        Ok(outcome)
     }
 
     /// Evaluates a *full* selection and additionally returns, for every
@@ -198,6 +221,7 @@ impl SeparableEvaluator {
 
 const MAX_DECOMPOSITION_DEPTH: usize = 8;
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_inner(
     sep: &SeparableRecursion,
     query: &Query,
@@ -205,6 +229,7 @@ fn evaluate_inner(
     extra: &ExtraRelations,
     opts: &ExecOptions,
     cache: Option<&PlanCache>,
+    planner: &Planner<'_>,
     depth: usize,
 ) -> Result<SeparableOutcome, EvalError> {
     if depth > MAX_DECOMPOSITION_DEPTH {
@@ -217,13 +242,13 @@ fn evaluate_inner(
             "the Separable algorithm requires at least one selection constant".into(),
         )),
         SelectionKind::FullClass { class } => {
-            evaluate_full_class(sep, query, class, db, extra, opts, cache)
+            evaluate_full_class(sep, query, class, db, extra, opts, cache, planner)
         }
         SelectionKind::Persistent { bound } => {
-            evaluate_persistent(sep, query, &bound, db, extra, opts)
+            evaluate_persistent(sep, query, &bound, db, extra, opts, planner)
         }
         SelectionKind::Partial { class } => {
-            evaluate_partial(sep, query, class, db, extra, opts, cache, depth)
+            evaluate_partial(sep, query, class, db, extra, opts, cache, planner, depth)
         }
     }
 }
@@ -234,10 +259,12 @@ fn class_plan(
     sep: &SeparableRecursion,
     class: usize,
     cache: Option<&PlanCache>,
+    planner: &Planner<'_>,
+    db: &Database,
 ) -> Result<Arc<SeparablePlan>, EvalError> {
     match cache {
-        Some(cache) => cache.class_plan(sep, class),
-        None => Ok(Arc::new(build_plan(sep, &PlanSelection::Class(class))?)),
+        Some(cache) => cache.class_plan(sep, class, planner, db),
+        None => Ok(Arc::new(build_plan_with(sep, &PlanSelection::Class(class), planner)?)),
     }
 }
 
@@ -269,6 +296,7 @@ fn assemble(arity: usize, fixed: &[(usize, Value)], rest_cols: &[usize], row: &T
     Tuple::from(values)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_full_class(
     sep: &SeparableRecursion,
     query: &Query,
@@ -277,8 +305,9 @@ fn evaluate_full_class(
     extra: &ExtraRelations,
     opts: &ExecOptions,
     cache: Option<&PlanCache>,
+    planner: &Planner<'_>,
 ) -> Result<SeparableOutcome, EvalError> {
-    let plan = class_plan(sep, class, cache)?;
+    let plan = class_plan(sep, class, cache, planner, db)?;
     let cols = &sep.classes[class].columns;
     let fixed: Vec<(usize, Value)> = cols
         .iter()
@@ -304,12 +333,13 @@ fn evaluate_persistent(
     db: &Database,
     extra: &ExtraRelations,
     opts: &ExecOptions,
+    planner: &Planner<'_>,
 ) -> Result<SeparableOutcome, EvalError> {
     let fixed: Vec<(usize, Value)> = bound
         .iter()
         .map(|&c| Ok((c, query_value_at(query, c)?)))
         .collect::<Result<_, EvalError>>()?;
-    let plan = build_plan(sep, &PlanSelection::Persistent(fixed.clone()))?;
+    let plan = build_plan_with(sep, &PlanSelection::Persistent(fixed.clone()), planner)?;
     let mut stats = EvalStats::new();
     stats.record_size("seen_1", 1); // the paper's `seen_1(x0)` fact
     let raw = execute_plan(&plan, db, extra, None, opts, &mut stats)?;
@@ -372,6 +402,7 @@ fn evaluate_partial(
     extra: &ExtraRelations,
     opts: &ExecOptions,
     cache: Option<&PlanCache>,
+    planner: &Planner<'_>,
     depth: usize,
 ) -> Result<SeparableOutcome, EvalError> {
     let mut stats = EvalStats::new();
@@ -382,7 +413,7 @@ fn evaluate_partial(
     // The sub-recursion reuses the predicate symbol with a different class
     // structure, so it must not share the plan cache.
     let part = remove_class(sep, class);
-    let part_outcome = evaluate_inner(&part, query, db, extra, opts, None, depth + 1)?;
+    let part_outcome = evaluate_inner(&part, query, db, extra, opts, None, planner, depth + 1)?;
     stats.merge(&part_outcome.stats);
     answers.union_in_place(&part_outcome.answers);
 
@@ -392,12 +423,12 @@ fn evaluate_partial(
     let cols = sep.classes[class].columns.clone();
     let bound_cols: Vec<usize> =
         cols.iter().copied().filter(|c| query.atom.terms[*c].is_const()).collect();
-    let full_plan = class_plan(sep, class, cache)?;
+    let full_plan = class_plan(sep, class, cache, planner, db)?;
     let mut seed_cache: FxHashMap<Tuple, Relation> = FxHashMap::default();
     let mut distinct_seeds = 0usize;
 
     for &ri in &sep.classes[class].rules {
-        let binding_plan = binding_plan(sep, ri, &cols, &bound_cols, query)?;
+        let binding_plan = binding_plan(sep, ri, &cols, &bound_cols, query, planner)?;
         // Evaluate the binding plan once over the database.
         let mut pairs: Vec<(Tuple, Tuple)> = Vec::new();
         {
@@ -451,6 +482,7 @@ fn binding_plan(
     cols: &[usize],
     bound_cols: &[usize],
     query: &Query,
+    planner: &Planner<'_>,
 ) -> Result<ConjPlan, EvalError> {
     let rule = &sep.recursive_rules[rule_idx];
     let rec = crate::detect::recursive_atom(rule, sep.pred);
@@ -473,7 +505,7 @@ fn binding_plan(
     }
     let mut output: Vec<Term> = cols.iter().map(|&c| rule.head.terms[c]).collect();
     output.extend(cols.iter().map(|&c| rec.terms[c]));
-    ConjPlan::compile(&[], &body, &output)
+    ConjPlan::compile(&[], &planner.order(&[], &body, 0), &output)
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 
 use sepra_ast::Sym;
 use sepra_eval::{
-    sharded_delta_round, Budget, ConjPlan, EvalError, IndexCache, RelKey, RelStore,
+    sharded_delta_round, Budget, ConjPlan, EvalError, IndexCache, PlanMode, RelKey, RelStore,
     MIN_SHARD_TUPLES,
 };
 use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
@@ -56,6 +56,11 @@ pub struct ExecOptions {
     /// Resource budget (deadline, tuple/iteration caps, cancellation)
     /// checked at every closure-iteration barrier. Unlimited by default.
     pub budget: Budget,
+    /// How the nonrecursive conjunctions of compiled plans are ordered
+    /// (see [`sepra_eval::planner`]): cost-based from relation statistics
+    /// by default, or exactly as written for the E13 baseline. The carry /
+    /// seen scan that sharding relies on stays pinned first either way.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for ExecOptions {
@@ -66,6 +71,7 @@ impl Default for ExecOptions {
             use_indexes: true,
             threads: 1,
             budget: Budget::default(),
+            plan_mode: PlanMode::default(),
         }
     }
 }

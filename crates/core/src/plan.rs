@@ -23,7 +23,7 @@
 //!    answers).
 
 use sepra_ast::{Literal, Query, Sym, Term};
-use sepra_eval::{ConjPlan, EvalError, PlanAtom, PlanLiteral, RelKey};
+use sepra_eval::{ConjPlan, EvalError, PlanAtom, PlanLiteral, Planner, RelKey};
 use sepra_storage::Value;
 
 use crate::detect::SeparableRecursion;
@@ -157,14 +157,29 @@ pub enum PlanSelection {
 }
 
 /// Instantiates the Figure 2 schema for a separable recursion and a full
-/// selection.
+/// selection, compiling every conjunction exactly as written (the paper's
+/// presentation). Equivalent to [`build_plan_with`] with a source-order
+/// planner.
 pub fn build_plan(
     sep: &SeparableRecursion,
     selection: &PlanSelection,
 ) -> Result<SeparablePlan, EvalError> {
+    build_plan_with(sep, selection, &Planner::source_order())
+}
+
+/// Instantiates the Figure 2 schema, letting `planner` order each
+/// nonrecursive conjunction before compilation. The carry/seen scan of
+/// every step stays pinned first — phase execution shards over it — and
+/// the tracked variants (used only for justification recording) always
+/// keep source order, since their cost is dominated by tracking anyway.
+pub fn build_plan_with(
+    sep: &SeparableRecursion,
+    selection: &PlanSelection,
+    planner: &Planner<'_>,
+) -> Result<SeparablePlan, EvalError> {
     match selection {
-        PlanSelection::Class(class_idx) => build_class_plan(sep, *class_idx),
-        PlanSelection::Persistent(bound) => build_persistent_plan(sep, bound),
+        PlanSelection::Class(class_idx) => build_class_plan(sep, *class_idx, planner),
+        PlanSelection::Persistent(bound) => build_persistent_plan(sep, bound, planner),
     }
 }
 
@@ -209,6 +224,7 @@ fn phase1_step(
     sep: &SeparableRecursion,
     rule_idx: usize,
     cols: &[usize],
+    planner: &Planner<'_>,
 ) -> Result<ConjPlan, EvalError> {
     let rule = &sep.recursive_rules[rule_idx];
     let mut body = vec![PlanLiteral::Atom(PlanAtom {
@@ -217,7 +233,7 @@ fn phase1_step(
     })];
     body.extend(nonrecursive_literals(sep, rule));
     let output = body_terms_at(sep, rule, cols)?;
-    ConjPlan::compile(&[], &body, &output)
+    ConjPlan::compile(&[], &planner.order(&[], &body, 1), &output)
 }
 
 /// Compiles the carry-extension plan for one phase-2 rule: scan `carry_2`
@@ -227,6 +243,7 @@ fn phase2_step(
     sep: &SeparableRecursion,
     rule_idx: usize,
     cols: &[usize],
+    planner: &Planner<'_>,
 ) -> Result<ConjPlan, EvalError> {
     let rule = &sep.recursive_rules[rule_idx];
     let carry_terms = body_terms_at(sep, rule, cols)?;
@@ -234,7 +251,7 @@ fn phase2_step(
         vec![PlanLiteral::Atom(PlanAtom { rel: RelKey::Aux(AUX_CARRY2), terms: carry_terms })];
     body.extend(nonrecursive_literals(sep, rule));
     let output = head_terms_at(sep, rule, cols);
-    ConjPlan::compile(&[], &body, &output)
+    ConjPlan::compile(&[], &planner.order(&[], &body, 1), &output)
 }
 
 /// Compiles one seed plan (one exit rule): `seen_1` join (or baked-in
@@ -246,6 +263,7 @@ fn seed_step(
     fixed_cols: &[usize],
     rest_cols: &[usize],
     persistent_consts: Option<&[(usize, Value)]>,
+    planner: &Planner<'_>,
 ) -> Result<ConjPlan, EvalError> {
     let rule = &sep.exit_rules[exit_idx];
     let mut body: Vec<PlanLiteral> = Vec::new();
@@ -264,6 +282,9 @@ fn seed_step(
             }
         }
     }
+    // Pin the prefix: the seed join is sharded over `seen_1`, and the
+    // selection equalities of a persistent plan bind before anything else.
+    let pinned = body.len();
     body.extend(rule.body.iter().map(|lit| match lit {
         Literal::Atom(a) => {
             PlanLiteral::Atom(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
@@ -271,7 +292,7 @@ fn seed_step(
         Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
     }));
     let output = head_terms_at(sep, rule, rest_cols);
-    ConjPlan::compile(&[], &body, &output)
+    ConjPlan::compile(&[], &planner.order(&[], &body, pinned), &output)
 }
 
 /// Tracked variant of [`phase1_step`]: output = parent carry tuple ++
@@ -359,6 +380,7 @@ fn value_to_term(value: Value) -> Term {
 fn build_class_plan(
     sep: &SeparableRecursion,
     class_idx: usize,
+    planner: &Planner<'_>,
 ) -> Result<SeparablePlan, EvalError> {
     let class = sep
         .classes
@@ -375,13 +397,13 @@ fn build_class_plan(
     let mut p1_steps = Vec::new();
     let mut p1_tracked = Vec::new();
     for &ri in &class.rules {
-        p1_steps.push((ri, phase1_step(sep, ri, &fixed_cols)?));
+        p1_steps.push((ri, phase1_step(sep, ri, &fixed_cols, planner)?));
         p1_tracked.push((ri, phase1_step_tracked(sep, ri, &fixed_cols)?));
     }
     let mut seed = Vec::new();
     let mut tracked_seed = Vec::new();
     for ei in 0..sep.exit_rules.len() {
-        seed.push(seed_step(sep, ei, &fixed_cols, &rest_cols, None)?);
+        seed.push(seed_step(sep, ei, &fixed_cols, &rest_cols, None, planner)?);
         tracked_seed.push(seed_step_tracked(sep, ei, &fixed_cols, &rest_cols, None)?);
     }
     let mut p2_steps = Vec::new();
@@ -391,7 +413,7 @@ fn build_class_plan(
             continue;
         }
         for &ri in &other.rules {
-            p2_steps.push((ri, phase2_step(sep, ri, &rest_cols)?));
+            p2_steps.push((ri, phase2_step(sep, ri, &rest_cols, planner)?));
             p2_tracked.push((ri, phase2_step_tracked(sep, ri, &rest_cols)?));
         }
     }
@@ -416,6 +438,7 @@ fn build_class_plan(
 fn build_persistent_plan(
     sep: &SeparableRecursion,
     bound: &[(usize, Value)],
+    planner: &Planner<'_>,
 ) -> Result<SeparablePlan, EvalError> {
     if bound.is_empty() {
         return Err(EvalError::Planning("persistent selection with no constants".into()));
@@ -430,14 +453,14 @@ fn build_persistent_plan(
     let mut seed = Vec::new();
     let mut tracked_seed = Vec::new();
     for ei in 0..sep.exit_rules.len() {
-        seed.push(seed_step(sep, ei, &fixed_cols, &rest_cols, Some(bound))?);
+        seed.push(seed_step(sep, ei, &fixed_cols, &rest_cols, Some(bound), planner)?);
         tracked_seed.push(seed_step_tracked(sep, ei, &fixed_cols, &rest_cols, Some(bound))?);
     }
     let mut p2_steps = Vec::new();
     let mut p2_tracked = Vec::new();
     for class in &sep.classes {
         for &ri in &class.rules {
-            p2_steps.push((ri, phase2_step(sep, ri, &rest_cols)?));
+            p2_steps.push((ri, phase2_step(sep, ri, &rest_cols, planner)?));
             p2_tracked.push((ri, phase2_step_tracked(sep, ri, &rest_cols)?));
         }
     }
@@ -652,6 +675,59 @@ mod tests {
             "t",
         );
         assert!(build_plan(&sep, &PlanSelection::Class(0)).is_err());
+    }
+
+    #[test]
+    fn cost_based_plans_pin_the_carry_and_reorder_the_rest() {
+        use sepra_eval::{PlanMode, PlannerStats, Step};
+        use sepra_storage::Database;
+        // Adversarial source order: the unselective `big` scan is written
+        // before the `link` probe that the carry can key.
+        let mut db = Database::new();
+        for i in 0..200 {
+            db.insert_named("big", &[&format!("z{i}"), &format!("w{i}")]).unwrap();
+        }
+        db.load_fact_text("link(a, z5). t0(w5, ans).").unwrap();
+        let (sep, _) = {
+            // Share the database's interner so stats symbols line up.
+            let mut i = db.interner().clone();
+            let program = parse_program(
+                "t(X, Y) :- big(Z, W), link(X, Z), t(W, Y).\nt(X, Y) :- t0(X, Y).\n",
+                &mut i,
+            )
+            .unwrap();
+            let p = i.intern("t");
+            (detect_in_program(&program, p, &mut i).unwrap(), i)
+        };
+        let scan_order = |plan: &SeparablePlan| -> Vec<RelKey> {
+            plan.phase1.as_ref().unwrap().steps[0]
+                .1
+                .steps
+                .iter()
+                .filter_map(|s| match s {
+                    Step::Scan { rel, .. } => Some(*rel),
+                    _ => None,
+                })
+                .collect()
+        };
+        let big = db.intern("big");
+        let link = db.intern("link");
+
+        let source = build_plan(&sep, &PlanSelection::Class(0)).unwrap();
+        assert_eq!(
+            scan_order(&source),
+            vec![RelKey::Aux(AUX_CARRY1), RelKey::Pred(big), RelKey::Pred(link)]
+        );
+
+        let stats = PlannerStats::from_database(&db);
+        let planner = sepra_eval::Planner::new(PlanMode::CostBased, Some(&stats));
+        let costed = build_plan_with(&sep, &PlanSelection::Class(0), &planner).unwrap();
+        assert_eq!(
+            scan_order(&costed),
+            vec![RelKey::Aux(AUX_CARRY1), RelKey::Pred(link), RelKey::Pred(big)],
+            "carry stays pinned first; the selective probe moves ahead of the big scan"
+        );
+        assert!(planner.counters().0 >= 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod processor;
 pub mod report;
 
 pub use processor::{
-    MutationOutcome, ProcessorError, QueryProcessor, QueryResult, Strategy, StrategyChoice,
+    MutationOutcome, PlanConj, PlanReport, PlanScan, ProcessorError, QueryProcessor, QueryResult,
+    Strategy, StrategyChoice,
 };
 pub use report::{render_answers, render_answers_csv, render_answers_json};

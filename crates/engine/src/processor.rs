@@ -10,10 +10,13 @@ use sepra_core::cache::PlanCache;
 use sepra_core::detect::{detect, SeparableRecursion};
 use sepra_core::evaluate::SeparableEvaluator;
 use sepra_core::exec::{ExecOptions, ExtraRelations};
-use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
+use sepra_core::plan::{
+    build_plan_with, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1, AUX_CARRY2,
+    AUX_SEEN1,
+};
 use sepra_eval::{
-    maintain, naive::naive_with_options, query_answers, seminaive_with_options, EvalError,
-    EvalOptions,
+    maintain, naive::naive_with_options, query_answers, seminaive_with_options, ConjPlan,
+    EvalError, EvalOptions, PlanLiteral, PlanMode, Planner, PlannerStats, RelKey,
 };
 use sepra_rewrite::{
     counting_evaluate, hn_evaluate, magic_evaluate_supplementary_with_options,
@@ -266,8 +269,10 @@ impl QueryProcessor {
         }
         self.prepared = Some(Arc::new(prepared));
         // Cached plans from an earlier generation must not survive into
-        // this one (see `core::cache` on generation invalidation).
-        self.plan_cache.validate_generation(self.generation);
+        // this one. The program itself may have changed since they were
+        // built, so no statistics drift check applies — drop them all
+        // (see `core::cache` on generation invalidation).
+        self.plan_cache.validate_generation(self.generation, None);
         Ok(())
     }
 
@@ -444,9 +449,13 @@ impl QueryProcessor {
         self.db = db;
         self.prepared = new_prepared;
         self.generation += 1;
-        // Stale compiled plans must never serve a post-mutation query —
-        // this clears them for every clone sharing the cache.
-        self.plan_cache.validate_generation(self.generation);
+        // The program is unchanged here — only the EDB moved — so cached
+        // plans stay valid as long as the relations they scan have not
+        // drifted past the replanning threshold. Passing the database lets
+        // the cache keep structurally sound plans and drop only those
+        // whose cost assumptions no longer hold, for every clone sharing
+        // the cache.
+        self.plan_cache.validate_generation(self.generation, Some(&self.db));
         Ok(MutationOutcome {
             inserted,
             retracted,
@@ -470,7 +479,11 @@ impl QueryProcessor {
     /// The [`EvalOptions`] mirroring this processor's executor options, for
     /// the strategies that run on the semi-naive engine.
     fn eval_options(&self) -> EvalOptions {
-        EvalOptions { threads: self.exec_options.threads, budget: self.exec_options.budget.clone() }
+        EvalOptions {
+            threads: self.exec_options.threads,
+            budget: self.exec_options.budget.clone(),
+            plan_mode: self.exec_options.plan_mode,
+        }
     }
 
     /// Parses a query in this processor's symbol space.
@@ -703,42 +716,81 @@ impl QueryProcessor {
 
     /// Explains how a query would be evaluated, without evaluating it. For
     /// separable recursions this includes the detected classes and the
-    /// instantiated Figure 2 schema (compare the paper's Figures 3 and 4).
+    /// instantiated Figure 2 schema (compare the paper's Figures 3 and 4);
+    /// every compiled conjunction is shown in its chosen join order with
+    /// the planner's per-scan cost estimates.
     pub fn explain(&mut self, src: &str) -> Result<String, ProcessorError> {
+        use std::fmt::Write as _;
+        let report = self.plan_report(src)?;
+        let mut out = report.text;
+        if !report.conjunctions.is_empty() {
+            let _ = writeln!(out, "join order ({} estimates):", report.plan_mode);
+            for conj in &report.conjunctions {
+                let _ = writeln!(out, "  {}:", conj.label);
+                for s in &conj.scans {
+                    let _ = writeln!(
+                        out,
+                        "    {}  rows {:.0}, keyed {}, est {:.2}",
+                        s.rel, s.rows, s.keyed_cols, s.estimate
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The structured form of [`QueryProcessor::explain`]: which strategy
+    /// would run, in which plan mode, and — for every conjunction the
+    /// strategy would compile — the chosen join order with per-scan cost
+    /// estimates from the current relation statistics.
+    pub fn plan_report(&mut self, src: &str) -> Result<PlanReport, ProcessorError> {
         use std::fmt::Write as _;
         let query = self.parse_query(src)?;
         let pred = query.atom.pred;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "query: {}",
-            sepra_ast::pretty::query_to_string(&query, self.db.interner())
-        );
+        let plan_mode = match self.exec_options.plan_mode {
+            PlanMode::CostBased => "cost-based",
+            PlanMode::SourceOrder => "source-order",
+        };
+        let mut pstats = PlannerStats::from_database(&self.db);
+        if let Some(prepared) = &self.prepared {
+            if let Some(support) = prepared.support.get(&pred) {
+                for (&p, r) in support.iter() {
+                    pstats.add_relation(p, r);
+                }
+            }
+        }
+        let mut report = PlanReport {
+            query: sepra_ast::pretty::query_to_string(&query, self.db.interner()),
+            strategy: String::new(),
+            plan_mode,
+            text: String::new(),
+            conjunctions: Vec::new(),
+        };
+        let out = &mut report.text;
+        let _ = writeln!(out, "query: {}", report.query);
         let is_idb = self.program.rules.iter().any(|r| r.head.pred == pred);
         if !is_idb {
             let _ = writeln!(out, "strategy: direct EDB scan (predicate has no rules)");
-            return Ok(out);
+            report.strategy = "edb-scan".into();
+            return Ok(report);
         }
+        let fallback = if query.has_selection() { "magic sets" } else { "semi-naive" };
         let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
             Ok(def) => def,
             Err(e) => {
                 let _ = writeln!(out, "not in the paper's shape: {e}");
-                let _ = writeln!(
-                    out,
-                    "strategy: {}",
-                    if query.has_selection() { "magic sets" } else { "semi-naive" }
-                );
-                return Ok(out);
+                let _ = writeln!(out, "strategy: {fallback}");
+                report.strategy = if query.has_selection() { "magic" } else { "seminaive" }.into();
+                report.conjunctions = self.rule_body_conjunctions(&pstats);
+                return Ok(report);
             }
         };
         match detect(&def, self.db.interner_mut()) {
             Err(ns) => {
                 let _ = writeln!(out, "{ns}");
-                let _ = writeln!(
-                    out,
-                    "strategy: {}",
-                    if query.has_selection() { "magic sets" } else { "semi-naive" }
-                );
+                let _ = writeln!(out, "strategy: {fallback}");
+                report.strategy = if query.has_selection() { "magic" } else { "seminaive" }.into();
+                report.conjunctions = self.rule_body_conjunctions(&pstats);
             }
             Ok(sep) => {
                 let _ = writeln!(out, "separable recursion detected:");
@@ -755,6 +807,8 @@ impl QueryProcessor {
                 match classify_selection(&sep, &query) {
                     SelectionKind::NoSelection => {
                         let _ = writeln!(out, "no selection constants; strategy: semi-naive");
+                        report.strategy = "seminaive".into();
+                        report.conjunctions = self.rule_body_conjunctions(&pstats);
                     }
                     SelectionKind::Partial { class } => {
                         let _ = writeln!(
@@ -764,6 +818,7 @@ impl QueryProcessor {
                             class + 1
                         );
                         let _ = writeln!(out, "strategy: separable");
+                        report.strategy = "separable".into();
                     }
                     kind => {
                         let selection = match &kind {
@@ -794,17 +849,130 @@ impl QueryProcessor {
                                 )))
                             }
                         };
-                        let plan = build_plan(&sep, &selection)?;
+                        let planner = Planner::new(self.exec_options.plan_mode, Some(&pstats));
+                        let plan = build_plan_with(&sep, &selection, &planner)?;
                         let _ = writeln!(out, "strategy: separable; compiled schema:");
                         for line in plan.render(&sep, self.db.interner()).lines() {
                             let _ = writeln!(out, "  {line}");
+                        }
+                        report.strategy = "separable".into();
+                        if let Some(p1) = &plan.phase1 {
+                            for (ri, step) in &p1.steps {
+                                report.conjunctions.push(self.conjunction(
+                                    format!("phase 1, rule {ri}"),
+                                    step,
+                                    &pstats,
+                                ));
+                            }
+                        }
+                        for (i, step) in plan.seed.iter().enumerate() {
+                            report.conjunctions.push(self.conjunction(
+                                format!("seed {i}"),
+                                step,
+                                &pstats,
+                            ));
+                        }
+                        for (ri, step) in &plan.phase2.steps {
+                            report.conjunctions.push(self.conjunction(
+                                format!("phase 2, rule {ri}"),
+                                step,
+                                &pstats,
+                            ));
                         }
                     }
                 }
             }
         }
-        Ok(out)
+        Ok(report)
     }
+
+    /// The join orders the semi-naive engine would compile: one labelled
+    /// conjunction per non-fact rule, ordered by a planner over `pstats`.
+    fn rule_body_conjunctions(&self, pstats: &PlannerStats) -> Vec<PlanConj> {
+        let planner = Planner::new(self.exec_options.plan_mode, Some(pstats));
+        let mut out = Vec::new();
+        for (i, rule) in self.program.rules.iter().enumerate() {
+            if rule.is_fact() {
+                continue;
+            }
+            let body: Vec<PlanLiteral> =
+                rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
+            let Ok(plan) = ConjPlan::compile(&[], &planner.order(&[], &body, 0), &rule.head.terms)
+            else {
+                continue;
+            };
+            let label = format!("rule {i} ({})", self.db.interner().resolve(rule.head.pred));
+            out.push(self.conjunction(label, &plan, pstats));
+        }
+        out
+    }
+
+    fn conjunction(&self, label: String, plan: &ConjPlan, pstats: &PlannerStats) -> PlanConj {
+        let interner = self.db.interner();
+        let scans = pstats
+            .estimate_scans(plan)
+            .into_iter()
+            .map(|s| PlanScan {
+                rel: match s.rel {
+                    RelKey::Pred(p) => interner.resolve(p).to_string(),
+                    RelKey::Delta(p) => format!("\u{394}{}", interner.resolve(p)),
+                    RelKey::Aux(AUX_CARRY1) => "carry_1".into(),
+                    RelKey::Aux(AUX_SEEN1) => "seen_1".into(),
+                    RelKey::Aux(AUX_CARRY2) => "carry_2".into(),
+                    RelKey::Aux(n) => format!("aux_{n}"),
+                },
+                rows: s.rows,
+                estimate: s.estimate,
+                keyed_cols: s.keyed_cols,
+            })
+            .collect();
+        PlanConj { label, scans }
+    }
+}
+
+/// One scanned relation of a compiled conjunction, with the planner's
+/// estimates — the numbers `:plan` / `--explain` print.
+#[derive(Debug, Clone)]
+pub struct PlanScan {
+    /// Display name of the scanned relation (`Δname` for semi-naive
+    /// deltas, `carry_1`/`seen_1`/`carry_2` for the executor's working
+    /// sets).
+    pub rel: String,
+    /// Rows the planner believes the relation holds.
+    pub rows: f64,
+    /// Estimated rows the scan emits per execution (rows over the
+    /// selectivity of its key columns).
+    pub estimate: f64,
+    /// Number of index-key columns (0 = outermost full scan).
+    pub keyed_cols: usize,
+}
+
+/// One compiled conjunction of a [`PlanReport`]: a labelled join order.
+#[derive(Debug, Clone)]
+pub struct PlanConj {
+    /// Where the conjunction sits (`phase 1, rule 0`, `seed 0`,
+    /// `rule 2 (reach)`, …).
+    pub label: String,
+    /// Scans in execution order.
+    pub scans: Vec<PlanScan>,
+}
+
+/// A query's evaluation plan without evaluating it — the structured form
+/// behind [`QueryProcessor::explain`], rendered as JSON by `:plan` and
+/// `--explain --json`.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The normalized query text.
+    pub query: String,
+    /// The strategy automatic selection would run
+    /// (`separable`/`magic`/`seminaive`/`edb-scan`).
+    pub strategy: String,
+    /// `"cost-based"` or `"source-order"`.
+    pub plan_mode: &'static str,
+    /// The human-readable explanation (detection outcome, schema).
+    pub text: String,
+    /// Compiled join orders with per-scan cost estimates.
+    pub conjunctions: Vec<PlanConj>,
 }
 
 /// Finalizes one strategy run into a [`QueryResult`], sorting the answer
@@ -946,6 +1114,30 @@ mod tests {
         assert!(text.contains("persistent columns"), "{text}");
         assert!(text.contains("full selection on persistent columns"), "{text}");
         assert!(text.contains("seen_1("), "{text}");
+    }
+
+    #[test]
+    fn plan_report_estimates_follow_statistics() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let report = qp.plan_report("buys(tom, Y)?").unwrap();
+        assert_eq!(report.strategy, "separable");
+        assert_eq!(report.plan_mode, "cost-based");
+        let labels: Vec<&str> = report.conjunctions.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("phase 1")), "{labels:?}");
+        assert!(labels.iter().any(|l| l.starts_with("seed")), "{labels:?}");
+        assert!(labels.iter().any(|l| l.starts_with("phase 2")), "{labels:?}");
+        // Sharded execution relies on the carry scan staying outermost.
+        for c in report.conjunctions.iter().filter(|c| c.label.starts_with("phase 1")) {
+            assert_eq!(c.scans[0].rel, "carry_1", "{:?}", c.scans);
+        }
+        let text = qp.explain("buys(tom, Y)?").unwrap();
+        assert!(text.contains("join order (cost-based estimates):"), "{text}");
+        assert!(text.contains("carry_1"), "{text}");
+        // Semi-naive fallbacks report the per-rule join orders instead.
+        let report = qp.plan_report("buys(X, Y)?").unwrap();
+        assert_eq!(report.strategy, "seminaive");
+        assert!(report.conjunctions.iter().any(|c| c.label.contains("buys")), "no rule conj");
     }
 
     #[test]
@@ -1099,7 +1291,7 @@ mod tests {
     }
 
     #[test]
-    fn mutation_bumps_generation_and_clears_plan_cache() {
+    fn mutation_bumps_generation_and_drift_checks_plan_cache() {
         let mut qp = QueryProcessor::new();
         qp.load(EX_1_2).unwrap();
         qp.prepare().unwrap();
@@ -1109,20 +1301,34 @@ mod tests {
         assert_eq!(qp.plan_cache().entries(), 1);
         assert_eq!(qp.plan_cache().misses(), 1);
 
+        // A small mutation advances the generation but keeps the cached
+        // plan: nothing it scans has drifted past the replan threshold.
         let out = qp.apply_mutation(&["friend(pat, tom)."], &[]).unwrap();
         assert_eq!(out.generation, gen0 + 1);
         assert_eq!(qp.generation(), gen0 + 1);
-        // The pre-mutation plan is gone; the next query must recompile.
-        assert_eq!(qp.plan_cache().entries(), 0);
         assert_eq!(qp.plan_cache().generation(), gen0 + 1);
+        assert_eq!(qp.plan_cache().entries(), 1);
+        assert_eq!(qp.plan_cache().drift_invalidations(), 0);
+        qp.query("buys(tom, Y)?").unwrap();
+        assert_eq!(qp.plan_cache().misses(), 1, "retained plan served the query");
+
+        // Growing `friend` far past the size it was planned at (the
+        // retained entry keeps its *original* snapshot, so small steps
+        // accumulate) invalidates the plan; the next query recompiles.
+        let grow: Vec<String> = (0..40).map(|i| format!("friend(extra{i}, tom).")).collect();
+        let grow_refs: Vec<&str> = grow.iter().map(String::as_str).collect();
+        qp.apply_mutation(&grow_refs, &[]).unwrap();
+        assert_eq!(qp.plan_cache().entries(), 0);
+        assert_eq!(qp.plan_cache().drift_invalidations(), 1);
         qp.query("buys(tom, Y)?").unwrap();
         assert_eq!(qp.plan_cache().misses(), 2);
 
         // An ineffective mutation keeps the generation (and the cache).
+        let gen2 = qp.generation();
         let out = qp.apply_mutation(&["friend(pat, tom)."], &["ghost(a, b)."]).unwrap();
         assert_eq!(out.inserted, 0);
         assert_eq!(out.retracted, 0);
-        assert_eq!(qp.generation(), gen0 + 1);
+        assert_eq!(qp.generation(), gen2);
         assert_eq!(qp.plan_cache().entries(), 1);
     }
 

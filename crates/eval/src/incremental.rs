@@ -36,6 +36,7 @@ use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, Relation, Tuple};
 use crate::error::EvalError;
 use crate::parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 use crate::plan::{ConjPlan, RelKey};
+use crate::planner::{Planner, PlannerStats};
 use crate::seminaive::{
     build_store, compile_variant, merge_buffers, Derived, EvalOptions, Variant,
 };
@@ -62,6 +63,10 @@ pub fn maintain(
     options: &EvalOptions,
 ) -> Result<Derived, EvalError> {
     let mut stats = EvalStats::new();
+    // Plan against the post-mutation EDB: that is what every join in both
+    // phases (rederivation included) actually runs over.
+    let planner_stats = PlannerStats::from_database(db_after);
+    let planner = Planner::new(options.plan_mode, Some(&planner_stats));
     let mut derived = seed_derived(program, db_before, old);
     if delta.remove.values().any(|t| !t.is_empty()) {
         retract_phase(
@@ -72,15 +77,25 @@ pub fn maintain(
             &mut derived,
             &delta.remove,
             options,
+            &planner,
             &mut stats,
         )?;
     }
     if delta.insert.values().any(|t| !t.is_empty()) {
-        insert_phase(program, db_after, &mut derived, &delta.insert, options, &mut stats)?;
+        insert_phase(
+            program,
+            db_after,
+            &mut derived,
+            &delta.insert,
+            options,
+            &planner,
+            &mut stats,
+        )?;
     }
     for (&pred, rel) in &derived {
         stats.record_size(db_after.interner().resolve(pred), rel.len());
     }
+    planner.record_into(&mut stats);
     Ok(Derived { relations: derived, stats })
 }
 
@@ -118,6 +133,7 @@ fn delta_variants(
     rules: &[&Rule],
     stratum_idb: &[Sym],
     external: impl Fn(Sym) -> bool,
+    planner: &Planner<'_>,
 ) -> Result<StratumVariants, EvalError> {
     let mut sv = StratumVariants { variants: Vec::new(), rec: Vec::new(), ext: Vec::new() };
     for rule in rules {
@@ -127,7 +143,7 @@ fn delta_variants(
             if !in_stratum && !external(atom.pred) {
                 continue;
             }
-            let variant = compile_variant(rule, Some(i))?;
+            let variant = compile_variant(rule, Some(i), planner)?;
             if in_stratum {
                 sv.rec.push(sv.variants.len());
             } else {
@@ -228,6 +244,7 @@ fn insert_phase(
     derived: &mut FxHashMap<Sym, Relation>,
     inserted: &FxHashMap<Sym, Vec<Tuple>>,
     options: &EvalOptions,
+    planner: &Planner<'_>,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
     let graph = DependencyGraph::build(program);
@@ -266,9 +283,12 @@ fn insert_phase(
         }
         let rules: Vec<&Rule> =
             program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)).collect();
-        let sv = delta_variants(&rules, &stratum_idb, |p| {
-            changed.get(&p).is_some_and(|r| !r.is_empty())
-        })?;
+        let sv = delta_variants(
+            &rules,
+            &stratum_idb,
+            |p| changed.get(&p).is_some_and(|r| !r.is_empty()),
+            planner,
+        )?;
         if sv.variants.is_empty() {
             continue;
         }
@@ -354,6 +374,7 @@ fn retract_phase(
     derived: &mut FxHashMap<Sym, Relation>,
     removed: &FxHashMap<Sym, Vec<Tuple>>,
     options: &EvalOptions,
+    planner: &Planner<'_>,
     stats: &mut EvalStats,
 ) -> Result<(), EvalError> {
     let graph = DependencyGraph::build(program);
@@ -382,9 +403,12 @@ fn retract_phase(
         }
         let rules: Vec<&Rule> =
             program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)).collect();
-        let sv = delta_variants(&rules, &stratum_idb, |p| {
-            removed_acc.get(&p).is_some_and(|r| !r.is_empty())
-        })?;
+        let sv = delta_variants(
+            &rules,
+            &stratum_idb,
+            |p| removed_acc.get(&p).is_some_and(|r| !r.is_empty()),
+            planner,
+        )?;
 
         // Everything marked for deletion in this stratum, per predicate.
         // Seeded with retracted EDB facts of predicates this stratum
@@ -510,7 +534,7 @@ fn retract_phase(
                 if marked.is_empty() {
                     continue;
                 }
-                let variant = compile_variant(rule, None)?;
+                let variant = compile_variant(rule, None, planner)?;
                 rindexes.prepare(&variant.plan, &store);
                 let entry =
                     putbacks.entry(variant.head).or_insert_with(|| Relation::new(marked.arity()));

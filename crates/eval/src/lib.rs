@@ -7,6 +7,9 @@
 //! * [`plan`] — compilation of rule bodies (conjunctions of atoms and
 //!   equality literals) into executable left-to-right index-nested-loop
 //!   join plans over abstract relation keys;
+//! * [`planner`] — statistics-driven greedy subgoal ordering applied before
+//!   compilation (cost-based by default, with a static bound-first
+//!   fallback);
 //! * [`store`] — the [`RelStore`] name→relation binding used during one
 //!   execution round, and the [`IndexCache`] of lazily built, incrementally
 //!   extended hash indexes;
@@ -30,6 +33,7 @@ pub mod incremental;
 pub mod naive;
 pub mod parallel;
 pub mod plan;
+pub mod planner;
 pub mod seminaive;
 pub mod store;
 
@@ -40,5 +44,6 @@ pub use incremental::maintain;
 pub use naive::{naive, naive_with_options};
 pub use parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 pub use plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey, Step, TermSpec};
+pub use planner::{PlanMode, Planner, PlannerStats, RelEstimate, ScanEstimate};
 pub use seminaive::{seminaive, seminaive_with_options, Derived, EvalOptions};
 pub use store::{IndexCache, IndexSource, LayeredIndexes, RelStore};

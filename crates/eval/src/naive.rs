@@ -10,6 +10,7 @@ use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 
 use crate::error::EvalError;
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
+use crate::planner::{Planner, PlannerStats};
 use crate::seminaive::{Derived, EvalOptions};
 use crate::store::{IndexCache, RelStore};
 
@@ -27,6 +28,9 @@ pub fn naive_with_options(
     options: &EvalOptions,
 ) -> Result<Derived, EvalError> {
     let mut stats = EvalStats::new();
+    // As in the semi-naive engine, statistics grow with completed strata so
+    // derived predicates inform later strata's join orders.
+    let mut planner_stats = PlannerStats::from_database(db);
     let graph = DependencyGraph::build(program);
 
     let mut derived: FxHashMap<Sym, Relation> = FxHashMap::default();
@@ -44,19 +48,26 @@ pub fn naive_with_options(
             continue;
         }
         let mut plans = Vec::new();
-        for rule in program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)) {
-            let body: Vec<PlanLiteral> = rule
-                .body
-                .iter()
-                .map(|lit| match lit {
-                    Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
-                        rel: RelKey::Pred(a.pred),
-                        terms: a.terms.clone(),
-                    }),
-                    Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
-                })
-                .collect();
-            plans.push((rule.head.pred, ConjPlan::compile(&[], &body, &rule.head.terms)?));
+        {
+            let planner = Planner::new(options.plan_mode, Some(&planner_stats));
+            for rule in program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)) {
+                let body: Vec<PlanLiteral> = rule
+                    .body
+                    .iter()
+                    .map(|lit| match lit {
+                        Literal::Atom(a) => PlanLiteral::Atom(PlanAtom {
+                            rel: RelKey::Pred(a.pred),
+                            terms: a.terms.clone(),
+                        }),
+                        Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+                    })
+                    .collect();
+                plans.push((
+                    rule.head.pred,
+                    ConjPlan::compile(&[], &planner.order(&[], &body, 0), &rule.head.terms)?,
+                ));
+            }
+            planner.record_into(&mut stats);
         }
         let mut indexes = IndexCache::new();
         loop {
@@ -91,6 +102,9 @@ pub fn naive_with_options(
             if !any_new {
                 break;
             }
+        }
+        for &p in &stratum_idb {
+            planner_stats.add_relation(p, &derived[&p]);
         }
     }
     for (&pred, rel) in &derived {

@@ -379,6 +379,14 @@ impl ConjPlan {
 /// Greedily reorders literals bound-first (see
 /// [`ConjPlan::compile_reordered`]). Equality literals are left interleaved
 /// relative to the atoms they follow; only atoms are reordered.
+///
+/// This is the *zero-statistics fallback* of the cost-based planner: when
+/// [`crate::planner::Planner`] has no [`crate::planner::PlannerStats`] (or
+/// an empty snapshot), it delegates here, so this ordering must stay
+/// correct on its own. In particular, constants count as bound columns
+/// exactly like already-bound variables — an atom such as `q(c, X)` is a
+/// keyed probe even before any variable is bound, and an equality against
+/// a constant is executable immediately.
 pub fn reorder_bound_first(inputs: &[Sym], body: &[PlanLiteral]) -> Vec<PlanLiteral> {
     let mut bound: Vec<Sym> = inputs.to_vec();
     let mut remaining: Vec<&PlanLiteral> = body.iter().collect();
@@ -431,7 +439,7 @@ pub fn reorder_bound_first(inputs: &[Sym], body: &[PlanLiteral]) -> Vec<PlanLite
 }
 
 impl PlanLiteral {
-    fn vars_for_reorder(&self) -> Vec<Sym> {
+    pub(crate) fn vars_for_reorder(&self) -> Vec<Sym> {
         match self {
             PlanLiteral::Atom(a) => a
                 .terms
@@ -797,6 +805,39 @@ mod tests {
         let Step::Scan { rel, .. } = &reordered.steps[0] else { panic!("first step is a scan") };
         let probe = i.intern("probe");
         assert_eq!(*rel, RelKey::Pred(probe));
+    }
+
+    /// Regression for the zero-statistics fallback's constant handling:
+    /// with nothing bound yet, an atom whose columns are constants must
+    /// outrank an all-variable atom, and an equality against a constant
+    /// is executable immediately (hoisted first), not deferred.
+    #[test]
+    fn fallback_reorder_counts_constants_as_bound() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let y = i.intern("Y");
+        let wide = i.intern("wide");
+        let keyed = i.intern("keyed");
+        let body = vec![
+            PlanLiteral::Atom(PlanAtom {
+                rel: RelKey::Pred(wide),
+                terms: vec![Term::Var(x), Term::Var(y)],
+            }),
+            PlanLiteral::Atom(PlanAtom {
+                rel: RelKey::Pred(keyed),
+                terms: vec![Term::sym(i.intern("a")), Term::sym(i.intern("b")), Term::Var(x)],
+            }),
+            PlanLiteral::Eq(Term::Var(y), Term::sym(i.intern("c"))),
+        ];
+        let ordered = reorder_bound_first(&[], &body);
+        assert!(
+            matches!(ordered[0], PlanLiteral::Eq(..)),
+            "constant equality is executable up front"
+        );
+        let PlanLiteral::Atom(first) = &ordered[1] else { panic!("second literal is an atom") };
+        assert_eq!(first.rel, RelKey::Pred(keyed), "doubly-constant probe beats the open scan");
+        let PlanLiteral::Atom(last) = &ordered[2] else { panic!("third literal is an atom") };
+        assert_eq!(last.rel, RelKey::Pred(wide));
     }
 
     #[test]

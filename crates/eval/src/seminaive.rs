@@ -14,6 +14,7 @@ use crate::budget::Budget;
 use crate::error::EvalError;
 use crate::parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
+use crate::planner::{PlanMode, Planner, PlannerStats};
 use crate::store::{IndexCache, RelStore};
 
 /// Tuning knobs for the semi-naive engine.
@@ -27,11 +28,14 @@ pub struct EvalOptions {
     /// Resource budget checked at every iteration barrier (unlimited by
     /// default).
     pub budget: Budget,
+    /// How rule bodies are ordered before compilation: cost-based from
+    /// relation statistics (the default) or exactly as written.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { threads: 1, budget: Budget::default() }
+        EvalOptions { threads: 1, budget: Budget::default(), plan_mode: PlanMode::default() }
     }
 }
 
@@ -111,6 +115,11 @@ fn run(
     stats: &mut EvalStats,
 ) -> Result<FxHashMap<Sym, Relation>, EvalError> {
     let threads = options.threads.max(1);
+    // Statistics start from the EDB and grow as strata materialize: once a
+    // stratum is complete, its relations' true sizes inform the join
+    // orders of every later stratum — this is what lets a Magic-rewritten
+    // program keep its (small, derived) guard predicates outermost.
+    let mut planner_stats = PlannerStats::from_database(db);
     let graph = DependencyGraph::build(program);
     // Arity of every predicate (head first, then body, then EDB).
     let mut arity: FxHashMap<Sym, usize> = FxHashMap::default();
@@ -144,23 +153,27 @@ fn run(
 
         let mut base_plans: Vec<Variant> = Vec::new();
         let mut rec_plans: Vec<Variant> = Vec::new();
-        for rule in &rules {
-            let occurrences: Vec<usize> = rule
-                .body
-                .iter()
-                .enumerate()
-                .filter_map(|(i, l)| match l {
-                    Literal::Atom(a) if stratum_idb.contains(&a.pred) => Some(i),
-                    _ => None,
-                })
-                .collect();
-            if occurrences.is_empty() {
-                base_plans.push(compile_variant(rule, None)?);
-            } else {
-                for &occ in &occurrences {
-                    rec_plans.push(compile_variant(rule, Some(occ))?);
+        {
+            let planner = Planner::new(options.plan_mode, Some(&planner_stats));
+            for rule in &rules {
+                let occurrences: Vec<usize> = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| match l {
+                        Literal::Atom(a) if stratum_idb.contains(&a.pred) => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                if occurrences.is_empty() {
+                    base_plans.push(compile_variant(rule, None, &planner)?);
+                } else {
+                    for &occ in &occurrences {
+                        rec_plans.push(compile_variant(rule, Some(occ), &planner)?);
+                    }
                 }
             }
+            planner.record_into(stats);
         }
 
         let mut indexes = IndexCache::new();
@@ -195,6 +208,9 @@ fn run(
             stratum_idb.iter().map(|&p| (p, derived[&p].clone())).collect();
 
         if rec_plans.is_empty() {
+            for &p in &stratum_idb {
+                planner_stats.add_relation(p, &derived[&p]);
+            }
             continue;
         }
 
@@ -285,13 +301,22 @@ fn run(
             }
             delta = new_delta;
         }
+        // The stratum is final: record its true sizes for later strata.
+        for &p in &stratum_idb {
+            planner_stats.add_relation(p, &derived[&p]);
+        }
     }
     Ok(derived)
 }
 
 /// Compiles one rule with body-atom occurrence `delta_occ` (a body index)
-/// reading the delta relation instead of the full one.
-pub(crate) fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<Variant, EvalError> {
+/// reading the delta relation instead of the full one. The `planner`
+/// orders each body before compilation (a no-op in source-order mode).
+pub(crate) fn compile_variant(
+    rule: &Rule,
+    delta_occ: Option<usize>,
+    planner: &Planner<'_>,
+) -> Result<Variant, EvalError> {
     let mut delta = None;
     let body: Vec<PlanLiteral> = rule
         .body
@@ -310,17 +335,17 @@ pub(crate) fn compile_variant(rule: &Rule, delta_occ: Option<usize>) -> Result<V
             Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
         })
         .collect();
-    let plan = ConjPlan::compile(&[], &body, &rule.head.terms)?;
-    // Parallel variant: rotate the delta occurrence to the front. Every
-    // other literal keeps its relative order, so the set of variables
-    // bound at each literal only grows and compilation cannot newly fail.
+    let plan = ConjPlan::compile(&[], &planner.order(&[], &body, 0), &rule.head.terms)?;
+    // Parallel variant: rotate the delta occurrence to the front and pin it
+    // there — sharding the delta only partitions the join's work when the
+    // delta is the outermost scan. The planner orders the rest.
     let par_plan = delta_occ
         .map(|occ| {
             let mut rotated = Vec::with_capacity(body.len());
             rotated.push(body[occ].clone());
             rotated
                 .extend(body.iter().enumerate().filter(|&(i, _)| i != occ).map(|(_, l)| l.clone()));
-            ConjPlan::compile(&[], &rotated, &rule.head.terms)
+            ConjPlan::compile(&[], &planner.order(&[], &rotated, 1), &rule.head.terms)
         })
         .transpose()?;
     Ok(Variant { head: rule.head.pred, delta, plan, par_plan })

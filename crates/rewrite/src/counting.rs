@@ -35,8 +35,8 @@
 use sepra_ast::Query;
 use sepra_core::detect::SeparableRecursion;
 use sepra_core::exec::{run_seed_and_phase2, ExecOptions, ExtraRelations};
-use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind};
-use sepra_eval::{filter_by_query, EvalError, IndexCache, RelKey, RelStore};
+use sepra_core::plan::{build_plan_with, classify_selection, PlanSelection, SelectionKind};
+use sepra_eval::{filter_by_query, EvalError, IndexCache, Planner, PlannerStats, RelKey, RelStore};
 use sepra_storage::{Database, EvalStats, Relation, Tuple, Value};
 
 /// Options for the Counting evaluation.
@@ -77,7 +77,9 @@ pub fn counting_evaluate(
             "counting baseline supports selections that fully bind one equivalence class".into(),
         ));
     };
-    let plan = build_plan(sep, &PlanSelection::Class(class))?;
+    let pstats = PlannerStats::from_database(db);
+    let planner = Planner::new(opts.exec.plan_mode, Some(&pstats));
+    let plan = build_plan_with(sep, &PlanSelection::Class(class), &planner)?;
     let phase1 = plan.phase1.as_ref().expect("class plan has phase 1");
     let width = phase1.columns.len();
     let n_rules = phase1.steps.len();
@@ -86,6 +88,7 @@ pub fn counting_evaluate(
     let max_depth = opts.max_depth.unwrap_or_else(|| db.distinct_constant_count().max(1));
 
     let mut stats = EvalStats::new();
+    planner.record_into(&mut stats);
     let extra = ExtraRelations::default();
 
     // count(0, 0, x0): seed from the query constants.

@@ -20,8 +20,10 @@
 use sepra_ast::Query;
 use sepra_core::detect::SeparableRecursion;
 use sepra_core::exec::{run_seed_and_phase2, ExecOptions, ExtraRelations};
-use sepra_core::plan::{build_plan, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1};
-use sepra_eval::{filter_by_query, EvalError, IndexCache, RelKey, RelStore};
+use sepra_core::plan::{
+    build_plan_with, classify_selection, PlanSelection, SelectionKind, AUX_CARRY1,
+};
+use sepra_eval::{filter_by_query, EvalError, IndexCache, Planner, PlannerStats, RelKey, RelStore};
 use sepra_storage::{Database, EvalStats, Relation, Tuple, Value};
 
 /// Options for the Henschen–Naqvi evaluation.
@@ -60,12 +62,15 @@ pub fn hn_evaluate(
             "the Henschen-Naqvi baseline supports selections that fully bind one class".into(),
         ));
     };
-    let plan = build_plan(sep, &PlanSelection::Class(class))?;
+    let pstats = PlannerStats::from_database(db);
+    let planner = Planner::new(opts.exec.plan_mode, Some(&pstats));
+    let plan = build_plan_with(sep, &PlanSelection::Class(class), &planner)?;
     let phase1 = plan.phase1.as_ref().expect("class plan has phase 1");
     let width = phase1.columns.len();
     let max_depth = opts.max_depth.unwrap_or_else(|| db.distinct_constant_count().max(1));
 
     let mut stats = EvalStats::new();
+    planner.record_into(&mut stats);
     let extra = ExtraRelations::default();
 
     // The seed string: the selection constants.

@@ -44,8 +44,8 @@ use std::time::Duration;
 
 use sepra_core::exec::ExecOptions;
 use sepra_engine::{
-    render_answers, render_answers_csv, render_answers_json, ProcessorError, QueryProcessor,
-    Strategy, StrategyChoice,
+    render_answers, render_answers_csv, render_answers_json, PlanReport, ProcessorError,
+    QueryProcessor, Strategy, StrategyChoice,
 };
 use sepra_eval::Budget;
 use sepra_server::{
@@ -175,6 +175,8 @@ Options:
       --max-tuples N    abort evaluation after deriving N tuples
       --stats           print relation-size statistics after each query
       --explain         print the evaluation plan instead of running
+                        (join orders + cost estimates; -f json for the
+                        structured report)
       --check           print the diagnostic report for the loaded program
   -f, --format FMT      answer output format: text (default) | csv | json
       --repl            interactive session (default when no --query)
@@ -317,6 +319,8 @@ Atoms ending in `?` run as queries.
 Commands:
   :strategy NAME   force a strategy (auto|separable|magic|magic-sup|counting|hn|seminaive|naive)
   :explain QUERY   show the evaluation plan for QUERY
+                   (join orders with per-scan cost estimates)
+  :plan QUERY      the same plan as one line of JSON
   :why QUERY       answer QUERY and show one derivation per answer
   :insert FACT.    add ground facts, maintaining answers incrementally
   :retract FACT.   remove ground facts (delete-and-rederive)
@@ -902,6 +906,42 @@ fn run_query(
     true
 }
 
+/// Renders a [`PlanReport`] as one line of JSON — the `:plan` and
+/// `--explain -f json` output. Estimates are fixed-point decimals so the
+/// output is stable for golden tests.
+fn plan_report_json(report: &PlanReport) -> String {
+    let mut conjs = String::from("[");
+    for (i, conj) in report.conjunctions.iter().enumerate() {
+        if i > 0 {
+            conjs.push(',');
+        }
+        let mut scans = String::from("[");
+        for (j, s) in conj.scans.iter().enumerate() {
+            if j > 0 {
+                scans.push(',');
+            }
+            let mut scan = json::ObjWriter::new();
+            scan.str("rel", &s.rel)
+                .raw("rows", &format!("{:.0}", s.rows))
+                .num("keyed_cols", s.keyed_cols as u64)
+                .raw("estimate", &format!("{:.4}", s.estimate));
+            scans.push_str(&scan.finish());
+        }
+        scans.push(']');
+        let mut c = json::ObjWriter::new();
+        c.str("label", &conj.label).raw("scans", &scans);
+        conjs.push_str(&c.finish());
+    }
+    conjs.push(']');
+    let mut out = json::ObjWriter::new();
+    out.str("query", &report.query)
+        .str("strategy", &report.strategy)
+        .str("plan_mode", report.plan_mode)
+        .raw("conjunctions", &conjs)
+        .str("text", &report.text);
+    out.finish()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -939,7 +979,14 @@ fn main() -> ExitCode {
 
     if let Some(query) = &opts.query {
         if opts.explain {
-            match qp.explain(query) {
+            // `--explain -f json` emits the structured report; other
+            // formats get the rendered text.
+            let rendered = if opts.format == Format::Json {
+                qp.plan_report(query).map(|r| format!("{}\n", plan_report_json(&r)))
+            } else {
+                qp.explain(query)
+            };
+            match rendered {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -1005,6 +1052,10 @@ fn main() -> ExitCode {
                 }
                 ":explain" => match qp.explain(rest) {
                     Ok(text) => print!("{text}"),
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                ":plan" => match qp.plan_report(rest) {
+                    Ok(report) => println!("{}", plan_report_json(&report)),
                     Err(e) => eprintln!("error: {e}"),
                 },
                 ":why" => match qp.why(rest) {

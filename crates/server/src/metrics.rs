@@ -34,6 +34,8 @@ struct Inner {
     mutation_failures: u64,
     mutation_inserted: u64,
     mutation_retracted: u64,
+    plans_costed: u64,
+    plan_fallbacks: u64,
     latency_min_us: Option<u64>,
     latency_max_us: u64,
     samples: Vec<u64>,
@@ -54,6 +56,8 @@ pub struct Snapshot {
     pub mutation_failures: u64,
     pub mutation_inserted: u64,
     pub mutation_retracted: u64,
+    pub plans_costed: u64,
+    pub plan_fallbacks: u64,
     pub latency_min_us: u64,
     pub latency_median_us: u64,
     pub latency_max_us: u64,
@@ -139,6 +143,15 @@ impl Metrics {
         self.lock().mutation_failures += 1;
     }
 
+    /// Records how many conjunctions an operation's planner cost-ordered
+    /// and how many of those fell back to the static heuristic for lack
+    /// of statistics (see `sepra_eval::planner`).
+    pub fn record_planner(&self, costed: u64, fallbacks: u64) {
+        let mut inner = self.lock();
+        inner.plans_costed += costed;
+        inner.plan_fallbacks += fallbacks;
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock();
@@ -157,6 +170,8 @@ impl Metrics {
             mutation_failures: inner.mutation_failures,
             mutation_inserted: inner.mutation_inserted,
             mutation_retracted: inner.mutation_retracted,
+            plans_costed: inner.plans_costed,
+            plan_fallbacks: inner.plan_fallbacks,
             latency_min_us: inner.latency_min_us.unwrap_or(0),
             latency_median_us: median,
             latency_max_us: inner.latency_max_us,
@@ -202,6 +217,16 @@ mod tests {
         assert_eq!(s.latency_min_us, 0); // all-time min survives eviction
         assert_eq!(s.latency_max_us, LATENCY_WINDOW as u64 + 99);
         assert_eq!(s.total(), LATENCY_WINDOW as u64 + 100);
+    }
+
+    #[test]
+    fn planner_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_planner(3, 1);
+        m.record_planner(2, 0);
+        let s = m.snapshot();
+        assert_eq!(s.plans_costed, 5);
+        assert_eq!(s.plan_fallbacks, 1);
     }
 
     #[test]

@@ -540,6 +540,10 @@ impl Worker {
                     result.stats.tuples_inserted as u64,
                     result.stats.iterations as u64,
                 );
+                self.metrics.record_planner(
+                    result.stats.plans_costed as u64,
+                    result.stats.plan_fallbacks as u64,
+                );
                 let interner = self.qp.db().interner();
                 let mut rows = String::from("[");
                 for (i, tuple) in result.answers.iter().enumerate() {
@@ -690,6 +694,8 @@ impl Worker {
                     out.retracted as u64,
                     start.elapsed(),
                 );
+                self.metrics
+                    .record_planner(out.stats.plans_costed as u64, out.stats.plan_fallbacks as u64);
                 let mut stats = ObjWriter::new();
                 stats
                     .num("iterations", out.stats.iterations as u64)
@@ -816,6 +822,15 @@ fn stats_response(
         .num("entries", cache.entries() as u64)
         .num("hits", cache.hits())
         .num("misses", cache.misses());
+    // Planner counters: conjunctions cost-ordered, stats-less fallbacks,
+    // cache entries dropped for statistics drift, and replans (a replan is
+    // a compile the cache could not serve, i.e. a miss).
+    let mut planner = ObjWriter::new();
+    planner
+        .num("plans_costed", s.plans_costed)
+        .num("fallbacks", s.plan_fallbacks)
+        .num("drift_invalidations", cache.drift_invalidations())
+        .num("replans", cache.misses());
     let mut out = ObjWriter::new();
     out.num("uptime_ms", u64::try_from(s.uptime.as_millis()).unwrap_or(u64::MAX))
         .num("threads", threads as u64)
@@ -825,7 +840,8 @@ fn stats_response(
         .num("tuples_inserted", s.tuples_inserted)
         .num("iterations", s.iterations)
         .raw("latency_us", &latency.finish())
-        .raw("plan_cache", &plan_cache.finish());
+        .raw("plan_cache", &plan_cache.finish())
+        .raw("planner", &planner.finish());
     if let Some(durability) = &shared.durability {
         let durability = durability.lock().unwrap_or_else(|e| e.into_inner());
         out.raw("durability", &durability.stats_json(qp.db().generation()));
@@ -937,6 +953,32 @@ mod tests {
         assert!(v.get("latency_us").and_then(|l| l.get("median")).is_some());
         assert!(v.get("plan_cache").is_some());
         assert!(v.get("uptime_ms").is_some());
+        // Two-atom bodies have nothing to reorder, so nothing was costed —
+        // but the planner counters are visible and zeroed.
+        let planner = v.get("planner").expect("planner member");
+        assert_eq!(planner.get("fallbacks").and_then(Json::as_u64), Some(0));
+        assert_eq!(planner.get("drift_invalidations").and_then(Json::as_u64), Some(0));
+        assert!(planner.get("replans").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn planner_counters_reflect_cost_based_ordering() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "reach(X, Y) :- hop(X, A), hop(A, B), reach(B, Y).\n\
+             reach(X, Y) :- goal(X, Y).\n\
+             hop(a, b). hop(b, c). hop(c, d). goal(c, done).\n",
+        )
+        .unwrap();
+        let mut w = worker(qp);
+        let v = json::parse(&w.handle_request(r#"{"query": "reach(a, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        // The 3-atom recursive body was cost-ordered over real statistics:
+        // at least one conjunction costed, and no stats-less fallback.
+        let planner = v.get("planner").expect("planner member");
+        assert!(planner.get("plans_costed").and_then(Json::as_u64).unwrap() > 0, "{planner:?}");
+        assert_eq!(planner.get("fallbacks").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -418,3 +418,65 @@ fn unusable_data_dir_is_a_structured_startup_error() {
     );
     assert!(!stderr.contains("panicked"), "startup must not panic: {stderr}");
 }
+
+/// Relation statistics (row and per-column distinct counts, the planner's
+/// inputs) are derived state: nothing in the checkpoint or the WAL encodes
+/// them, yet a recovered database must plan with the same numbers as the
+/// live one. Recovery replays through the ordinary mutation paths, so the
+/// counts are rebuilt tuple by tuple — including the decrements that
+/// retracted facts applied on the live side.
+#[test]
+fn recovery_rebuilds_identical_relation_statistics() {
+    use std::collections::BTreeMap;
+
+    use sepra_server::{Durability, DurabilityOptions};
+
+    /// (rows, per-column distincts) keyed by predicate *name* — the live
+    /// and recovered processors intern symbols independently, so `Sym`s
+    /// are not comparable across them.
+    fn stats_summary(db: &sepra_storage::Database) -> BTreeMap<String, (usize, Vec<usize>)> {
+        db.relations()
+            .map(|(pred, rel)| {
+                let stats = rel.stats().expect("database relations maintain statistics");
+                let distincts = (0..rel.arity()).map(|c| stats.distinct(c)).collect();
+                (db.interner().resolve(pred).to_string(), (stats.rows(), distincts))
+            })
+            .collect()
+    }
+
+    let data_dir = test_dir("stats_parity").join("data");
+    let mut live = QueryProcessor::new();
+    live.load(PROGRAM).unwrap();
+    let mut durability =
+        Durability::recover(&mut live, &DurabilityOptions::new(data_dir.clone())).unwrap();
+
+    // Skewed traffic: chain edges (both columns fresh every time) plus a
+    // hub whose first column repeats, with a mid-stream checkpoint so
+    // recovery exercises the snapshot-load path as well as WAL replay.
+    for i in 1..=8u32 {
+        let chain = format!("e(m{i}, m{}).", i + 1);
+        let hub = format!("e(hub, m{i}).");
+        let out = live.apply_mutation(&[&chain, &hub], &[]).unwrap();
+        assert!(!out.delta.is_empty());
+        durability.record_commit(live.db(), &out.delta).unwrap();
+        if i == 4 {
+            durability.checkpoint(live.db()).unwrap();
+        }
+    }
+    // Retractions must decrement rows and release distinct values.
+    let out = live.apply_mutation(&[], &["e(hub, m3).", "e(m5, m6)."]).unwrap();
+    durability.record_commit(live.db(), &out.delta).unwrap();
+    durability.sync().unwrap();
+    drop(durability); // release the data-dir lock for the second recovery
+
+    let mut recovered = QueryProcessor::new();
+    recovered.load(PROGRAM).unwrap();
+    let _guard = Durability::recover(&mut recovered, &DurabilityOptions::new(data_dir)).unwrap();
+
+    let live_stats = stats_summary(live.db());
+    assert_eq!(live_stats, stats_summary(recovered.db()));
+    // Guard against a vacuous comparison: the skew must be visible.
+    let (rows, distincts) = &live_stats["e"];
+    assert_eq!(*rows, 1 + 16 - 2, "seed + inserts - retracts");
+    assert!(distincts[0] < *rows, "hub column must repeat values");
+}

@@ -11,6 +11,7 @@ use sepra_ast::{Atom, Interner, Program, Sym, Term};
 
 use crate::hasher::FxHashMap;
 use crate::relation::Relation;
+use crate::relstats::RelStats;
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueError};
 
@@ -129,8 +130,21 @@ impl Database {
     ///
     /// If the relation is shared with a snapshot clone, this copies it
     /// first (copy-on-write), so mutation never disturbs other clones.
+    ///
+    /// Relations created here maintain [`RelStats`] (this is the only way a
+    /// relation enters a database), so every EDB mutation path — direct
+    /// inserts, retracts, [`Database::apply_delta`], fact loading, and WAL
+    /// replay, which all funnel through these — keeps the planner's
+    /// statistics exact without ever scanning the data.
     pub fn relation_mut(&mut self, pred: Sym, arity: usize) -> &mut Relation {
-        Arc::make_mut(self.relations.entry(pred).or_insert_with(|| Arc::new(Relation::new(arity))))
+        Arc::make_mut(
+            self.relations.entry(pred).or_insert_with(|| Arc::new(Relation::with_stats(arity))),
+        )
+    }
+
+    /// The maintained statistics for `pred`'s relation, if present.
+    pub fn rel_stats(&self, pred: Sym) -> Option<&RelStats> {
+        self.relations.get(&pred).and_then(|r| r.stats())
     }
 
     /// Iterates over `(predicate, relation)` pairs.
@@ -452,6 +466,35 @@ mod tests {
         assert!(!rel.contains(&tuples[0]));
         assert!(rel.contains(&tuples[1]));
         assert!(rel.contains(&fresh));
+    }
+
+    #[test]
+    fn rel_stats_follow_every_mutation_path() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b). e(a, c). e(b, c).").unwrap();
+        let e = db.intern("e");
+        let s = db.rel_stats(e).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.distinct(0), 2);
+        assert_eq!(s.distinct(1), 2);
+
+        // Retraction through apply_delta keeps the counts exact.
+        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        let mut delta = EdbDelta::default();
+        delta.remove.insert(e, vec![ab]);
+        let fresh = Tuple::from(vec![Value::sym(db.intern("x")), Value::sym(db.intern("c"))]);
+        delta.insert.insert(e, vec![fresh]);
+        db.apply_delta(&delta).unwrap();
+        let s = db.rel_stats(e).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.distinct(0), 3); // {(a,c),(b,c),(x,c)}: a, b, x
+        assert_eq!(s.distinct(1), 1); // only c remains in column 1
+                                      // The maintained stats always equal a from-scratch rebuild.
+        let rebuilt = RelStats::from_tuples(2, db.relation(e).unwrap().iter());
+        assert_eq!(*s, rebuilt);
+        // Unknown predicates have no stats.
+        let ghost = db.intern("ghost");
+        assert!(db.rel_stats(ghost).is_none());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`index`] — hash indexes on column subsets, built and extended lazily;
 //! * [`database`] — the extensional database: named relations plus the
 //!   shared symbol interner;
+//! * [`relstats`] — per-relation cardinality and distinct-count statistics,
+//!   maintained incrementally on the mutation paths, consumed by the
+//!   cost-based join planner in `sepra-eval`;
 //! * [`stats`] — the cost metric the paper uses to compare algorithms
 //!   (sizes of the relations each algorithm constructs).
 
@@ -20,6 +23,7 @@ pub mod database;
 pub mod hasher;
 pub mod index;
 pub mod relation;
+pub mod relstats;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -28,6 +32,7 @@ pub use database::{Database, EdbDelta};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::Index;
 pub use relation::Relation;
+pub use relstats::{ColStats, RelStats};
 pub use stats::EvalStats;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -13,6 +13,7 @@ use std::fmt;
 use sepra_ast::Interner;
 
 use crate::hasher::hash_word_iter;
+use crate::relstats::RelStats;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -45,12 +46,32 @@ pub struct Relation {
     /// Open-addressing table of indexes into `tuples`; length is a power of
     /// two, `EMPTY` marks free slots.
     table: Vec<u32>,
+    /// Maintained cardinality/distinct-count statistics, enabled only for
+    /// EDB relations (see [`Relation::with_stats`]). Working relations of
+    /// fixpoint loops leave this `None`: they churn millions of tuples and
+    /// the planner never consults them.
+    stats: Option<Box<RelStats>>,
 }
 
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: Vec::new(), hashes: Vec::new(), table: vec![EMPTY; 8] }
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            hashes: Vec::new(),
+            table: vec![EMPTY; 8],
+            stats: None,
+        }
+    }
+
+    /// Creates an empty relation that maintains [`RelStats`] across every
+    /// insert and removal. [`Database`](crate::Database) creates all of its
+    /// relations this way, so EDB statistics are always fresh.
+    pub fn with_stats(arity: usize) -> Self {
+        let mut r = Relation::new(arity);
+        r.stats = Some(Box::new(RelStats::new(arity)));
+        r
     }
 
     /// Creates an empty relation sized for roughly `capacity` tuples.
@@ -61,7 +82,14 @@ impl Relation {
             tuples: Vec::with_capacity(capacity),
             hashes: Vec::with_capacity(capacity),
             table: vec![EMPTY; slots],
+            stats: None,
         }
+    }
+
+    /// The maintained statistics, if this relation was created with
+    /// [`Relation::with_stats`].
+    pub fn stats(&self) -> Option<&RelStats> {
+        self.stats.as_deref()
     }
 
     /// The arity every tuple must have.
@@ -110,6 +138,9 @@ impl Relation {
                 EMPTY => {
                     let idx = u32::try_from(self.tuples.len()).expect("relation overflow");
                     self.table[slot] = idx;
+                    if let Some(stats) = &mut self.stats {
+                        stats.on_insert(&tuple);
+                    }
                     self.tuples.push(tuple);
                     self.hashes.push(hash);
                     return true;
@@ -145,7 +176,7 @@ impl Relation {
             }
             table[slot] = u32::try_from(i).expect("relation overflow");
         }
-        Relation { arity: self.arity, tuples, hashes, table }
+        Relation { arity: self.arity, tuples, hashes, table, stats: None }
     }
 
     /// Whether `tuple` is present.
@@ -176,6 +207,11 @@ impl Relation {
         }
         if doomed.is_empty() {
             return 0;
+        }
+        if let Some(stats) = &mut self.stats {
+            for &idx in &doomed {
+                stats.on_remove(&self.tuples[idx]);
+            }
         }
         let mut write = 0;
         for read in 0..self.tuples.len() {
@@ -490,6 +526,32 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.insert(t2(1, 3)));
         assert!(r.contains(&t2(1, 3)));
+    }
+
+    #[test]
+    fn stats_track_inserts_and_removals_exactly() {
+        let mut r = Relation::with_stats(2);
+        assert_eq!(r.stats().unwrap().rows(), 0);
+        for i in 0..20 {
+            r.insert(t2(i % 4, i));
+        }
+        r.insert(t2(0, 0)); // duplicate: must not be double-counted
+        let s = r.stats().unwrap();
+        assert_eq!(s.rows(), 20);
+        assert_eq!(s.distinct(0), 4);
+        assert_eq!(s.distinct(1), 20);
+
+        let doomed: Vec<Tuple> = (0..20).filter(|i| i % 4 == 0).map(|i| t2(0, i)).collect();
+        assert_eq!(r.remove_batch(&doomed), 5);
+        let s = r.stats().unwrap();
+        assert_eq!(s.rows(), 15);
+        assert_eq!(s.distinct(0), 3); // column value 0 is gone entirely
+        assert_eq!(s.distinct(1), 15);
+        // After heavy mutation the maintained stats still equal a rebuild.
+        assert_eq!(*s, crate::relstats::RelStats::from_tuples(2, r.iter()));
+        // Plain relations don't pay for stats.
+        assert!(Relation::new(2).stats().is_none());
+        assert!(r.slice_range(0..3).stats().is_none());
     }
 
     #[test]

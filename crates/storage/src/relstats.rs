@@ -1,0 +1,156 @@
+//! Incrementally maintained per-relation statistics.
+//!
+//! [`RelStats`] tracks, for one relation, the row count and the number of
+//! distinct values in every column — the two quantities the cost-based
+//! join planner (`sepra-eval`'s `planner` module) needs to estimate how
+//! many rows a scan produces once some of its columns are bound
+//! (`rows / Π distinct(bound column)`, the classic uniform-selectivity
+//! model). The counts are maintained on the relation's own mutation paths
+//! at O(1) per tuple, so planning never scans the data; they are *derived*
+//! state and are never persisted — recovery rebuilds them by replaying
+//! inserts (see `crates/server/src/durability.rs`).
+
+use crate::hasher::FxHashMap;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Value-frequency histogram for one column.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColStats {
+    /// How many stored tuples carry each value in this column. A value is
+    /// dropped when its count returns to zero, so `counts.len()` is the
+    /// exact distinct count.
+    counts: FxHashMap<Value, u32>,
+}
+
+impl ColStats {
+    /// Exact number of distinct values currently stored in this column.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// How many stored tuples carry `v` in this column.
+    pub fn frequency(&self, v: Value) -> usize {
+        self.counts.get(&v).copied().unwrap_or(0) as usize
+    }
+
+    fn on_insert(&mut self, v: Value) {
+        *self.counts.entry(v).or_insert(0) += 1;
+    }
+
+    fn on_remove(&mut self, v: Value) {
+        if let Some(c) = self.counts.get_mut(&v) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.counts.remove(&v);
+            }
+        }
+    }
+}
+
+/// Cardinality and per-column distinct counts for one relation, updated
+/// incrementally as tuples are inserted and removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelStats {
+    rows: usize,
+    cols: Vec<ColStats>,
+}
+
+impl RelStats {
+    /// Empty statistics for a relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        RelStats { rows: 0, cols: vec![ColStats::default(); arity] }
+    }
+
+    /// Builds statistics from scratch by counting `tuples`. The tuples must
+    /// be duplicate-free (a relation's dense storage is).
+    pub fn from_tuples<'a>(arity: usize, tuples: impl IntoIterator<Item = &'a Tuple>) -> Self {
+        let mut s = RelStats::new(arity);
+        for t in tuples {
+            s.on_insert(t);
+        }
+        s
+    }
+
+    /// Current row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Exact distinct count of column `col` (0 when out of range).
+    pub fn distinct(&self, col: usize) -> usize {
+        self.cols.get(col).map_or(0, ColStats::distinct)
+    }
+
+    /// Per-column statistics.
+    pub fn columns(&self) -> &[ColStats] {
+        &self.cols
+    }
+
+    /// Records a newly inserted tuple (the caller has already deduplicated).
+    pub fn on_insert(&mut self, tuple: &Tuple) {
+        debug_assert_eq!(tuple.arity(), self.cols.len());
+        self.rows += 1;
+        for (col, &v) in self.cols.iter_mut().zip(tuple.values()) {
+            col.on_insert(v);
+        }
+    }
+
+    /// Records the removal of a previously stored tuple.
+    pub fn on_remove(&mut self, tuple: &Tuple) {
+        debug_assert_eq!(tuple.arity(), self.cols.len());
+        self.rows = self.rows.saturating_sub(1);
+        for (col, &v) in self.cols.iter_mut().zip(tuple.values()) {
+            col.on_remove(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::Sym;
+
+    fn t2(a: u32, b: u32) -> Tuple {
+        Tuple::from([Value::sym(Sym(a)), Value::sym(Sym(b))])
+    }
+
+    #[test]
+    fn insert_and_remove_keep_exact_counts() {
+        let mut s = RelStats::new(2);
+        s.on_insert(&t2(1, 10));
+        s.on_insert(&t2(2, 10));
+        s.on_insert(&t2(3, 11));
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.distinct(0), 3);
+        assert_eq!(s.distinct(1), 2);
+        assert_eq!(s.columns()[1].frequency(Value::sym(Sym(10))), 2);
+
+        s.on_remove(&t2(2, 10));
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.distinct(0), 2);
+        assert_eq!(s.distinct(1), 2); // 10 still present via (1, 10)
+        s.on_remove(&t2(1, 10));
+        assert_eq!(s.distinct(1), 1); // 10 gone
+    }
+
+    #[test]
+    fn from_tuples_matches_incremental_maintenance() {
+        let tuples: Vec<Tuple> = (0..50).map(|i| t2(i % 7, i)).collect();
+        let mut incremental = RelStats::new(2);
+        for t in &tuples {
+            incremental.on_insert(t);
+        }
+        let rebuilt = RelStats::from_tuples(2, &tuples);
+        assert_eq!(incremental, rebuilt);
+        assert_eq!(rebuilt.rows(), 50);
+        assert_eq!(rebuilt.distinct(0), 7);
+        assert_eq!(rebuilt.distinct(1), 50);
+    }
+
+    #[test]
+    fn out_of_range_column_is_zero() {
+        let s = RelStats::new(1);
+        assert_eq!(s.distinct(5), 0);
+    }
+}

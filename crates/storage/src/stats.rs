@@ -28,6 +28,12 @@ pub struct EvalStats {
     /// metric (used by the supplementary-magic ablation, where work moves
     /// from re-computation to materialization).
     pub rows_scanned: usize,
+    /// Conjunctions ordered by the cost-based planner during this run
+    /// (includes the fallback orderings below).
+    pub plans_costed: usize,
+    /// Conjunctions the planner had to order with the static bound-first
+    /// heuristic because no relation statistics were available.
+    pub plan_fallbacks: usize,
 }
 
 impl EvalStats {
@@ -87,6 +93,8 @@ impl EvalStats {
         self.insert_attempts += other.insert_attempts;
         self.iterations += other.iterations;
         self.rows_scanned += other.rows_scanned;
+        self.plans_costed += other.plans_costed;
+        self.plan_fallbacks += other.plan_fallbacks;
     }
 }
 

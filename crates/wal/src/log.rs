@@ -475,10 +475,7 @@ mod tests {
         drop(w);
         let scan = read_records(&path).unwrap();
         assert_eq!(scan.torn_bytes, 0);
-        assert_eq!(
-            scan.records.iter().map(|r| r.generation).collect::<Vec<_>>(),
-            vec![1, 2]
-        );
+        assert_eq!(scan.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]
