@@ -25,6 +25,7 @@
 //! Generalized Counting `Ω(2ⁿ)` (Section 4) — see the `sepra-bench` crate
 //! for the reproduction of those comparisons.
 
+pub mod bounded;
 pub mod cache;
 pub mod detect;
 pub mod evaluate;
@@ -32,6 +33,7 @@ pub mod exec;
 pub mod justify;
 pub mod plan;
 
+pub use bounded::{analyze, analyze_with_options, BoundedOptions, BoundedRecursion, RuleStatus};
 pub use cache::PlanCache;
 pub use detect::{
     detect, detect_with_options, DetectOptions, EquivClass, NotSeparable, SeparableRecursion,

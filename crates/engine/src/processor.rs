@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use sepra_ast::{
     parse_program, parse_query, AstError, DependencyGraph, Program, Query, RecursiveDef, Sym,
 };
+use sepra_core::bounded::{analyze as analyze_bounded, BoundedRecursion};
 use sepra_core::cache::PlanCache;
 use sepra_core::detect::{detect, SeparableRecursion};
 use sepra_core::evaluate::SeparableEvaluator;
@@ -19,7 +20,8 @@ use sepra_eval::{
     EvalError, EvalOptions, PlanLiteral, PlanMode, Planner, PlannerStats, RelKey,
 };
 use sepra_rewrite::{
-    counting_evaluate, hn_evaluate, magic_evaluate_supplementary_with_options,
+    bounded_evaluate_with_options, counting_evaluate, hn_evaluate,
+    magic_evaluate_subsumptive_with_options, magic_evaluate_supplementary_with_options,
     magic_evaluate_with_options, CountingOptions, HnOptions,
 };
 use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, Relation, Tuple};
@@ -27,6 +29,10 @@ use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, Relation, Tuple};
 /// The evaluation strategies the processor can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
+    /// Bounded-recursion elimination: the recursion is provably equivalent
+    /// to a k-fold unfolding, evaluated with zero fixpoint iterations
+    /// (requires a detected-bounded recursion).
+    Bounded,
     /// The paper's specialized algorithm (requires a separable recursion
     /// and a selection).
     Separable,
@@ -34,6 +40,10 @@ pub enum Strategy {
     MagicSets,
     /// Magic Sets with supplementary predicates (shares rule-body prefixes).
     MagicSupplementary,
+    /// Subsumptive Magic Sets: supplementary magic where on-demand
+    /// adornment collapses each demand onto the most general already-seen
+    /// adornment that subsumes it, pruning redundant adorned copies.
+    MagicSubsumptive,
     /// The Generalized Counting Method (requires a full class selection and
     /// acyclic data).
     Counting,
@@ -49,9 +59,11 @@ pub enum Strategy {
 impl std::fmt::Display for Strategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
+            Strategy::Bounded => "bounded",
             Strategy::Separable => "separable",
             Strategy::MagicSets => "magic",
             Strategy::MagicSupplementary => "magic-sup",
+            Strategy::MagicSubsumptive => "magic-subsumptive",
             Strategy::Counting => "counting",
             Strategy::HenschenNaqvi => "hn",
             Strategy::SemiNaive => "seminaive",
@@ -66,15 +78,17 @@ impl std::str::FromStr for Strategy {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
+            "bounded" => Ok(Strategy::Bounded),
             "separable" | "sep" => Ok(Strategy::Separable),
             "magic" | "magic-sets" | "magicsets" => Ok(Strategy::MagicSets),
             "magic-sup" | "supplementary" => Ok(Strategy::MagicSupplementary),
+            "magic-subsumptive" | "subsumptive" => Ok(Strategy::MagicSubsumptive),
             "counting" | "count" => Ok(Strategy::Counting),
             "hn" | "henschen-naqvi" => Ok(Strategy::HenschenNaqvi),
             "seminaive" | "semi-naive" => Ok(Strategy::SemiNaive),
             "naive" => Ok(Strategy::Naive),
             other => Err(format!(
-                "unknown strategy `{other}` (expected separable|magic|magic-sup|counting|hn|seminaive|naive)"
+                "unknown strategy `{other}` (expected bounded|separable|magic|magic-sup|magic-subsumptive|counting|hn|seminaive|naive)"
             )),
         }
     }
@@ -154,6 +168,10 @@ struct Prepared {
     recursions: FxHashMap<Sym, Result<SeparableRecursion, String>>,
     /// Materialized supporting strata for each separable predicate.
     support: FxHashMap<Sym, Arc<ExtraRelations>>,
+    /// Recursive predicates proven bounded, with their nonrecursive
+    /// replacement chains. A program-only verdict (the analysis never
+    /// looks at the EDB), so EDB mutations preserve it.
+    bounded: FxHashMap<Sym, Arc<BoundedRecursion>>,
 }
 
 /// A program + database pair that answers queries.
@@ -259,7 +277,12 @@ impl QueryProcessor {
                 continue;
             }
             let outcome = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
-                Ok(def) => detect(&def, self.db.interner_mut()).map_err(|ns| ns.to_string()),
+                Ok(def) => {
+                    if let Some(bounded) = analyze_bounded(&def, self.db.interner_mut()) {
+                        prepared.bounded.insert(pred, Arc::new(bounded));
+                    }
+                    detect(&def, self.db.interner_mut()).map_err(|ns| ns.to_string())
+                }
                 Err(e) => Err(e.to_string()),
             };
             if outcome.is_ok() {
@@ -415,6 +438,7 @@ impl QueryProcessor {
                 let mut next = Prepared {
                     recursions: prepared.recursions.clone(),
                     support: FxHashMap::default(),
+                    bounded: prepared.bounded.clone(),
                 };
                 for (&pred, old_support) in &prepared.support {
                     let rules: Vec<_> = self
@@ -536,6 +560,45 @@ impl QueryProcessor {
         Ok(derived.relations)
     }
 
+    /// Answers `query` by bounded-recursion elimination when the query
+    /// predicate is provably bounded; `Err(reason)` otherwise. The
+    /// rewritten program is nonrecursive in the predicate, so the run
+    /// reports zero fixpoint iterations for its stratum.
+    fn try_bounded(
+        &mut self,
+        query: &Query,
+    ) -> Result<Result<QueryResult, String>, ProcessorError> {
+        let pred = query.atom.pred;
+        let bounded = if let Some(prepared) = self.prepared.clone() {
+            match prepared.bounded.get(&pred) {
+                Some(bounded) => Arc::clone(bounded),
+                None => return Ok(Err("query predicate is not provably bounded".into())),
+            }
+        } else {
+            let graph = DependencyGraph::build(&self.program);
+            if !graph.is_recursive(pred) {
+                return Ok(Err("query predicate is not recursive".into()));
+            }
+            let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+                Ok(def) => def,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            match analyze_bounded(&def, self.db.interner_mut()) {
+                Some(bounded) => Arc::new(bounded),
+                None => return Ok(Err("query predicate is not provably bounded".into())),
+            }
+        };
+        let start = Instant::now();
+        let out = bounded_evaluate_with_options(
+            &self.program,
+            query,
+            &self.db,
+            &bounded,
+            &self.eval_options(),
+        )?;
+        Ok(Ok(finish(out.answers, Strategy::Bounded, out.stats, start)))
+    }
+
     fn try_separable(
         &mut self,
         query: &Query,
@@ -583,6 +646,10 @@ impl QueryProcessor {
         let pred = query.atom.pred;
         let is_idb = self.program.rules.iter().any(|r| r.head.pred == pred);
         if is_idb {
+            // Bounded elimination wins over everything: no fixpoint at all.
+            if let Ok(result) = self.try_bounded(query)? {
+                return Ok(result);
+            }
             match self.try_separable(query)? {
                 Ok(result) => return Ok(result),
                 Err(_reason) => {}
@@ -600,6 +667,12 @@ impl QueryProcessor {
         strategy: Strategy,
     ) -> Result<QueryResult, ProcessorError> {
         match strategy {
+            Strategy::Bounded => match self.try_bounded(query)? {
+                Ok(r) => Ok(r),
+                Err(reason) => Err(ProcessorError::StrategyUnavailable(format!(
+                    "bounded elimination unavailable: {reason}"
+                ))),
+            },
             Strategy::Separable => match self.try_separable(query)? {
                 Ok(r) => Ok(r),
                 Err(reason) => Err(ProcessorError::StrategyUnavailable(format!(
@@ -625,6 +698,16 @@ impl QueryProcessor {
                     &self.eval_options(),
                 )?;
                 Ok(finish(out.answers, Strategy::MagicSupplementary, out.stats, start))
+            }
+            Strategy::MagicSubsumptive => {
+                let start = Instant::now();
+                let out = magic_evaluate_subsumptive_with_options(
+                    &self.program,
+                    query,
+                    &self.db,
+                    &self.eval_options(),
+                )?;
+                Ok(finish(out.answers, Strategy::MagicSubsumptive, out.stats, start))
             }
             Strategy::Counting => {
                 let pred = query.atom.pred;
@@ -775,6 +858,25 @@ impl QueryProcessor {
             return Ok(report);
         }
         let fallback = if query.has_selection() { "magic sets" } else { "semi-naive" };
+        if let Ok(def) = RecursiveDef::extract(&self.program, pred, self.db.interner()) {
+            if let Some(bounded) = analyze_bounded(&def, self.db.interner_mut()) {
+                let _ = writeln!(
+                    out,
+                    "bounded recursion detected: every derivation needs at most {} recursive \
+                     step(s); recursion replaced by {} nonrecursive rule(s)",
+                    bounded.depth,
+                    bounded.rules.len()
+                );
+                let _ = writeln!(
+                    out,
+                    "strategy: bounded({}) — zero fixpoint iterations",
+                    bounded.depth
+                );
+                report.strategy = "bounded".into();
+                report.conjunctions = self.rule_body_conjunctions(&pstats);
+                return Ok(report);
+            }
+        }
         let def = match RecursiveDef::extract(&self.program, pred, self.db.interner()) {
             Ok(def) => def,
             Err(e) => {
@@ -1079,6 +1181,89 @@ mod tests {
         let r = qp.query("reach(a, Y)?").unwrap();
         assert_eq!(r.strategy, Strategy::Separable);
         assert_eq!(r.answers.len(), 2); // b and c
+    }
+
+    const SWAP: &str = "t(X, Y) :- sym(X, Y), t(Y, X).\n\
+                        t(X, Y) :- base(X, Y).\n\
+                        sym(a, b). sym(b, a). base(b, a). base(c, d).\n";
+
+    #[test]
+    fn auto_picks_bounded_over_everything() {
+        for query in ["t(X, Y)?", "t(a, Y)?"] {
+            let mut qp = QueryProcessor::new();
+            qp.load(SWAP).unwrap();
+            let r = qp.query(query).unwrap();
+            assert_eq!(r.strategy, Strategy::Bounded, "query {query}");
+            assert_eq!(r.stats.iterations, 0, "bounded runs must skip the fixpoint");
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_with_seminaive_prepared_or_not() {
+        let mut plain = QueryProcessor::new();
+        plain.load(SWAP).unwrap();
+        let expected = plain.query_with("t(X, Y)?", StrategyChoice::Force(Strategy::SemiNaive));
+        let expected = expected.unwrap().answers;
+        for prepare in [false, true] {
+            let mut qp = QueryProcessor::new();
+            qp.load(SWAP).unwrap();
+            if prepare {
+                qp.prepare().unwrap();
+            }
+            let r = qp.query_with("t(X, Y)?", StrategyChoice::Force(Strategy::Bounded)).unwrap();
+            assert_eq!(r.answers.len(), expected.len(), "prepare={prepare}");
+            for t in r.answers.iter() {
+                assert!(expected.contains(t), "prepare={prepare}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_bounded_fails_gracefully_on_unbounded() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let err =
+            qp.query_with("buys(tom, Y)?", StrategyChoice::Force(Strategy::Bounded)).unwrap_err();
+        assert!(matches!(err, ProcessorError::StrategyUnavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn bounded_verdict_survives_mutations() {
+        let mut qp = QueryProcessor::new();
+        qp.load(SWAP).unwrap();
+        qp.prepare().unwrap();
+        // Insert facts of the bounded predicate itself: the verdict is
+        // program-only, so the strategy must not change — and the new
+        // fact must flow through the t@edb snapshot into the answers.
+        let before = qp.query("t(X, Y)?").unwrap().answers.len();
+        qp.apply_mutation(&["t(d, c)."], &[]).unwrap();
+        let r = qp.query("t(X, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::Bounded);
+        // t(d, c) itself plus the flip through sym? no sym(c, d) fact, so
+        // exactly one new answer.
+        assert_eq!(r.answers.len(), before + 1);
+    }
+
+    #[test]
+    fn subsumptive_magic_agrees_with_magic() {
+        let mut qp = QueryProcessor::new();
+        qp.load(EX_1_2).unwrap();
+        let r = qp
+            .query_with("buys(tom, Y)?", StrategyChoice::Force(Strategy::MagicSubsumptive))
+            .unwrap();
+        assert_eq!(r.strategy, Strategy::MagicSubsumptive);
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn explain_reports_bounded_depth() {
+        let mut qp = QueryProcessor::new();
+        qp.load(SWAP).unwrap();
+        let text = qp.explain("t(X, Y)?").unwrap();
+        assert!(text.contains("bounded recursion detected"), "{text}");
+        assert!(text.contains("bounded(1)"), "{text}");
+        let report = qp.plan_report("t(X, Y)?").unwrap();
+        assert_eq!(report.strategy, "bounded");
     }
 
     #[test]

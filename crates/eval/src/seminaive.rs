@@ -492,6 +492,19 @@ mod tests {
     }
 
     #[test]
+    fn nonrecursive_strata_run_zero_iterations() {
+        // Base rules are evaluated once, before the fixpoint loop; only
+        // rounds of the recursive loop count as iterations. Bounded-
+        // recursion elimination (sepra-rewrite) leans on this: rewriting
+        // a bounded recursion to nonrecursive rules is what makes its
+        // "zero fixpoint iterations" claim literal, not approximate.
+        let (d, mut db) = eval("t(X, Y) :- e(X, Y).\np(X) :- t(X, _).\n", "e(a, b). e(b, c).");
+        assert_eq!(d.stats.iterations, 0);
+        let p = db.intern("p");
+        assert_eq!(d.relation(p).unwrap().len(), 2);
+    }
+
+    #[test]
     fn stats_are_populated() {
         let (d, _) =
             eval("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n", "e(a, b). e(b, c).");

@@ -15,6 +15,9 @@
 //! * [`separability`] — `SEP001`…`SEP004`, one per condition of
 //!   Definition 2.4, each citing the exact rule and argument positions
 //!   that break it, plus `SEP100`/`SEP000` structure notes;
+//! * [`boundedness`] — `BND000`…`BND003`, reporting recursions provably
+//!   equivalent to a bounded unfolding (which the engine then evaluates
+//!   without a fixpoint), citing the condition and rule responsible;
 //! * [`render`] — the text renderer and the hand-rolled JSON emitter;
 //! * [`source`] — [`SourceFile`], mapping byte spans to lines/columns.
 //!
@@ -30,6 +33,7 @@
 //! assert!(result.render_text().contains("--> shift.dl:1:"));
 //! ```
 
+pub mod boundedness;
 pub mod diagnostic;
 pub mod passes;
 pub mod render;

@@ -20,13 +20,15 @@
 //! | LNT008 | warning  | duplicate rule                                      |
 //! | LNT009 | warning  | duplicate fact                                      |
 //!
-//! Separability analysis (`SEP0xx`) lives in [`crate::separability`].
+//! Separability analysis (`SEP0xx`) lives in [`crate::separability`];
+//! boundedness analysis (`BND0xx`) in [`crate::boundedness`].
 
 use std::collections::BTreeMap;
 
 use sepra_ast::pretty::{atom_to_string, query_to_string, rule_to_string};
 use sepra_ast::{Atom, DependencyGraph, Interner, Literal, Program, Query, Span, Sym, Term};
 
+use crate::boundedness::Boundedness;
 use crate::diagnostic::Diagnostic;
 use crate::separability::Separability;
 
@@ -62,6 +64,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(DuplicateRules),
         Box::new(DuplicateFacts),
         Box::new(Separability),
+        Box::new(Boundedness),
     ]
 }
 

@@ -57,6 +57,38 @@ pub fn adorn_program(
     interner: &mut Interner,
     is_idb: &impl Fn(Sym) -> bool,
 ) -> AdornedProgram {
+    adorn_program_impl(program, query, interner, is_idb, false)
+}
+
+/// [`adorn_program`] with *subsumptive* demand collapsing (Alviano et al.):
+/// a body demand `(p, a)` is answered by an already-generated adornment
+/// `a'` whose bound positions are a subset of `a`'s, whenever one exists —
+/// the more general adorned copy computes a superset of the tuples the
+/// more specific demand needs, and the rule context filters the rest. This
+/// prunes the subsumed magic predicate (and the whole adorned rule copy
+/// family behind it) instead of materializing both.
+pub fn adorn_program_subsumptive(
+    program: &Program,
+    query: &Query,
+    interner: &mut Interner,
+    is_idb: &impl Fn(Sym) -> bool,
+) -> AdornedProgram {
+    adorn_program_impl(program, query, interner, is_idb, true)
+}
+
+/// Whether `weaker` binds a subset of the positions `stronger` binds (so
+/// the `weaker`-adorned copy can answer the `stronger` demand).
+fn adornment_subsumes(weaker: &Adornment, stronger: &Adornment) -> bool {
+    weaker.len() == stronger.len() && weaker.iter().zip(stronger).all(|(&w, &s)| !w || s)
+}
+
+fn adorn_program_impl(
+    program: &Program,
+    query: &Query,
+    interner: &mut Interner,
+    is_idb: &impl Fn(Sym) -> bool,
+    subsumptive: bool,
+) -> AdornedProgram {
     let query_adornment: Adornment = query.atom.terms.iter().map(Term::is_const).collect();
     let mut out_rules: Vec<Rule> = Vec::new();
     let mut bound_head_positions: Vec<Vec<usize>> = Vec::new();
@@ -84,7 +116,7 @@ pub fn adorn_program(
             for lit in &rule.body {
                 match lit {
                     Literal::Atom(atom) if is_idb(atom.pred) => {
-                        let sub_ad: Adornment = atom
+                        let mut sub_ad: Adornment = atom
                             .terms
                             .iter()
                             .map(|t| match t {
@@ -92,6 +124,18 @@ pub fn adorn_program(
                                 Term::Var(v) => bound.contains(v),
                             })
                             .collect();
+                        if subsumptive {
+                            // Collapse onto the most general existing
+                            // adornment that can answer this demand.
+                            if let Some(general) = seen
+                                .iter()
+                                .filter(|(p, a)| *p == atom.pred && adornment_subsumes(a, &sub_ad))
+                                .map(|(_, a)| a.clone())
+                                .min_by_key(|a| a.iter().filter(|&&b| b).count())
+                            {
+                                sub_ad = general;
+                            }
+                        }
                         let key = (atom.pred, sub_ad.clone());
                         if seen.insert(key.clone()) {
                             work.push_back(key);
@@ -193,6 +237,53 @@ mod tests {
             adorn("t(X, Y) :- q(X, W), Y2 = W, t(Y2, Y).\nt(X, Y) :- p(X, Y).\n", "t(a, Y)?");
         let rendered = pretty::program_to_string(&ad.program, &i);
         assert!(rendered.contains("t@bf(Y2, Y)"), "{rendered}");
+    }
+
+    fn adorn_sub(src: &str, query_src: &str) -> (AdornedProgram, Interner) {
+        let mut i = Interner::new();
+        let program = parse_program(src, &mut i).unwrap();
+        let query = parse_query(query_src, &mut i).unwrap();
+        let idb: Vec<Sym> =
+            program.rules.iter().filter(|r| !r.is_fact()).map(|r| r.head.pred).collect();
+        let adorned = adorn_program_subsumptive(&program, &query, &mut i, &|p| idb.contains(&p));
+        (adorned, i)
+    }
+
+    const TWO_DEMAND: &str = "q(X, Y) :- t(X, Y).\n\
+         q(X, Y) :- pin(X, Z, Y), t(Z, Y).\n\
+         t(X, Y) :- e(X, Y).\n\
+         t(X, Y) :- e(X, W), t(W, Y).\n";
+
+    #[test]
+    fn subsumptive_collapses_stronger_demands() {
+        // The second q-rule demands t@bb; subsumptively it reuses the
+        // already-generated t@bf (bound {0} ⊆ {0, 1}).
+        let (standard, i) = adorn(TWO_DEMAND, "q(a, Y)?");
+        let rendered = pretty::program_to_string(&standard.program, &i);
+        assert!(rendered.contains("t@bb"), "standard adornment keeps both:\n{rendered}");
+
+        let (sub, i) = adorn_sub(TWO_DEMAND, "q(a, Y)?");
+        let rendered = pretty::program_to_string(&sub.program, &i);
+        assert!(!rendered.contains("t@bb"), "subsumed demand must collapse:\n{rendered}");
+        assert!(
+            rendered.contains("t@bf(Z, Y)"),
+            "demand site reuses the general copy:\n{rendered}"
+        );
+        assert!(sub.program.rules.len() < standard.program.rules.len());
+    }
+
+    #[test]
+    fn subsumptive_matches_standard_when_no_demand_subsumes() {
+        // t@bf and t@fb are incomparable: nothing collapses.
+        let src = "s(X, Y) :- t(X, Y).\n\
+             s(X, Y) :- t(Y, X).\n\
+             t(X, Y) :- e(X, Y).\n";
+        let (standard, i) = adorn(src, "s(a, Y)?");
+        let (sub, i2) = adorn_sub(src, "s(a, Y)?");
+        assert_eq!(
+            pretty::program_to_string(&standard.program, &i),
+            pretty::program_to_string(&sub.program, &i2)
+        );
     }
 
     #[test]

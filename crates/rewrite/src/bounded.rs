@@ -1,0 +1,194 @@
+//! Evaluation of detected-bounded recursions without a fixpoint.
+//!
+//! [`sepra_core::bounded`] proves a recursion equivalent to the
+//! nonrecursive rule set `U_0 ∪ ... ∪ U_k`; this module realizes that
+//! proof: the recursive predicate's rules are replaced by the kept chain,
+//! and the synthetic `t@edb` predicate — which the analysis used to stand
+//! for `t`'s directly asserted facts — is bound to a copy of `t`'s EDB
+//! relation. The rewritten program is nonrecursive in `t`, so the
+//! semi-naive engine evaluates its stratum in a single pass with **zero**
+//! fixpoint iterations; answers are identical to evaluating the original
+//! recursion to fixpoint.
+
+use sepra_ast::{Program, Query, Rule};
+use sepra_core::bounded::BoundedRecursion;
+use sepra_eval::{query_answers, seminaive_with_options, Derived, EvalError, EvalOptions};
+use sepra_storage::{Database, EvalStats, Relation};
+
+/// The result of a bounded evaluation; mirrors
+/// [`crate::magic::MagicOutcome`].
+#[derive(Debug)]
+pub struct BoundedOutcome {
+    /// Answers as full tuples of the query predicate.
+    pub answers: Relation,
+    /// Evaluation statistics of the rewritten program (its `iterations`
+    /// counter stays at zero for the bounded predicate's stratum — no
+    /// fixpoint ran).
+    pub stats: EvalStats,
+    /// The nonrecursive rewritten program, for inspection.
+    pub rewritten: Program,
+    /// All derived relations, for inspection.
+    pub derived: Derived,
+    /// The working database (a private copy of the caller's) whose
+    /// interner resolves the `t@edb` name.
+    pub db: Database,
+}
+
+/// Replaces the bounded predicate's rules with the nonrecursive chain.
+/// Facts and rules of other predicates pass through unchanged.
+pub fn bounded_rewrite(program: &Program, bounded: &BoundedRecursion) -> Program {
+    let mut rules: Vec<Rule> = program
+        .rules
+        .iter()
+        .filter(|r| r.is_fact() || r.head.pred != bounded.pred)
+        .cloned()
+        .collect();
+    rules.extend(bounded.rules.iter().cloned());
+    Program::new(rules)
+}
+
+/// Evaluates `query` by the nonrecursive rewrite with default options.
+pub fn bounded_evaluate(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    bounded: &BoundedRecursion,
+) -> Result<BoundedOutcome, EvalError> {
+    bounded_evaluate_with_options(program, query, db, bounded, &EvalOptions::default())
+}
+
+/// [`bounded_evaluate`] with explicit [`EvalOptions`] for the semi-naive
+/// engine evaluating the rewritten program.
+pub fn bounded_evaluate_with_options(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    bounded: &BoundedRecursion,
+    eval: &EvalOptions,
+) -> Result<BoundedOutcome, EvalError> {
+    // Work on a private copy so program facts and the `t@edb` snapshot do
+    // not leak into the caller's EDB.
+    let mut db = db.clone();
+    for rule in &program.rules {
+        if rule.is_fact() {
+            db.insert_atom(&rule.head)
+                .map_err(|e| EvalError::Unsupported(format!("bad program fact: {e}")))?;
+        }
+    }
+    let rewritten = bounded_rewrite(program, bounded);
+
+    // Bind the analysis's opaque `t@edb` predicate to the facts directly
+    // asserted for `t` (always materialized, possibly empty, so the plans
+    // referencing it find a relation).
+    let snapshot = db.relation(bounded.pred).cloned();
+    let edb = db.relation_mut(bounded.edb_pred, bounded.arity);
+    if let Some(facts) = snapshot {
+        for t in facts.iter() {
+            edb.insert(t.clone());
+        }
+    }
+
+    let derived = seminaive_with_options(&rewritten, &db, eval)?;
+    let answers = query_answers(query, &db, Some(&derived))?;
+    let mut stats = derived.stats.clone();
+    stats.record_size("ans", answers.len());
+    Ok(BoundedOutcome { answers, stats, rewritten, derived, db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepra_ast::{parse_program, parse_query, RecursiveDef};
+    use sepra_core::bounded::analyze;
+
+    fn eval_both(program_src: &str, facts: &str, query_src: &str) -> (BoundedOutcome, Relation) {
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(program_src, db.interner_mut()).unwrap();
+        let query = parse_query(query_src, db.interner_mut()).unwrap();
+        let pred = query.atom.pred;
+        let bounded = {
+            let def = RecursiveDef::extract(&program, pred, db.interner()).unwrap();
+            analyze(&def, db.interner_mut()).expect("program is bounded")
+        };
+        let out = bounded_evaluate(&program, &query, &db, &bounded).unwrap();
+        let derived = seminaive_with_options(&program, &db, &EvalOptions::default()).unwrap();
+        let expected = query_answers(&query, &db, Some(&derived)).unwrap();
+        (out, expected)
+    }
+
+    fn assert_same_tuples(a: &Relation, b: &Relation) {
+        assert_eq!(a.len(), b.len());
+        for t in a.iter() {
+            assert!(b.contains(t), "tuple sets differ");
+        }
+    }
+
+    #[test]
+    fn vacuous_rule_matches_fixpoint() {
+        let (out, expected) = eval_both(
+            "t(X, Y) :- e(X, Y), t(X, Y).\nt(X, Y) :- t0(X, Y).\n",
+            "e(a, b). e(b, c). t0(a, b). t0(c, d).",
+            "t(X, Y)?",
+        );
+        assert_same_tuples(&out.answers, &expected);
+        assert_eq!(out.stats.iterations, 0, "bounded evaluation must skip the fixpoint");
+    }
+
+    #[test]
+    fn swap_recursion_matches_fixpoint() {
+        let (out, expected) = eval_both(
+            "t(X, Y) :- sym(X, Y), t(Y, X).\nt(X, Y) :- base(X, Y).\n",
+            "sym(a, b). sym(b, a). sym(c, d). base(b, a). base(c, d). base(e, f).",
+            "t(X, Y)?",
+        );
+        assert_same_tuples(&out.answers, &expected);
+        assert_eq!(out.stats.iterations, 0);
+        // base(b,a) flips through sym into t(a,b); sym(c,d) has no
+        // reversed base fact, so nothing new from c/d.
+        assert_eq!(out.answers.len(), 4);
+    }
+
+    #[test]
+    fn directly_asserted_facts_feed_the_rewrite() {
+        // t(d, c) is an EDB fact of the recursive predicate itself: the
+        // recursion flips it through sym(c, d) into t(c, d). The rewrite
+        // must see it via the t@edb snapshot.
+        let (out, expected) = eval_both(
+            "t(X, Y) :- sym(X, Y), t(Y, X).\nt(X, Y) :- base(X, Y).\n",
+            "sym(a, b). sym(c, d). base(b, a). t(d, c).",
+            "t(X, Y)?",
+        );
+        assert_same_tuples(&out.answers, &expected);
+        let mut found = false;
+        for t in out.answers.iter() {
+            let rendered = t.display(out.db.interner()).to_string();
+            if rendered.contains("c") && rendered.contains("d") {
+                found = true;
+            }
+        }
+        assert!(found, "flipped EDB fact must be derived");
+    }
+
+    #[test]
+    fn program_facts_are_hoisted() {
+        let (out, expected) = eval_both(
+            "t(X, Y) :- sym(X, Y), t(Y, X).\nt(X, Y) :- base(X, Y).\nt(p, q).\nsym(q, p).\n",
+            "base(x, y).",
+            "t(X, Y)?",
+        );
+        assert_same_tuples(&out.answers, &expected);
+        // t(p,q) direct, t(q,p) flipped, base(x,y).
+        assert_eq!(out.answers.len(), 3);
+    }
+
+    #[test]
+    fn bound_queries_filter_answers() {
+        let (out, expected) = eval_both(
+            "t(X, Y) :- sym(X, Y), t(Y, X).\nt(X, Y) :- base(X, Y).\n",
+            "sym(a, b). sym(b, a). base(b, a). base(a, c). base(z, w).",
+            "t(a, Y)?",
+        );
+        assert_same_tuples(&out.answers, &expected);
+    }
+}

@@ -18,13 +18,20 @@
 //!   diverges on cyclic data, which the implementation detects and reports.
 
 pub mod adorn;
+pub mod bounded;
 pub mod counting;
 pub mod hn;
 pub mod magic;
 pub mod magic_sup;
 
-pub use adorn::{adorn_program, AdornedProgram};
+pub use adorn::{adorn_program, adorn_program_subsumptive, AdornedProgram};
+pub use bounded::{
+    bounded_evaluate, bounded_evaluate_with_options, bounded_rewrite, BoundedOutcome,
+};
 pub use counting::{counting_evaluate, CountingOptions, CountingOutcome};
 pub use hn::{hn_evaluate, HnOptions, HnOutcome};
 pub use magic::{magic_evaluate, magic_evaluate_with_options, MagicOutcome};
-pub use magic_sup::{magic_evaluate_supplementary, magic_evaluate_supplementary_with_options};
+pub use magic_sup::{
+    magic_evaluate_subsumptive, magic_evaluate_subsumptive_with_options,
+    magic_evaluate_supplementary, magic_evaluate_supplementary_with_options,
+};

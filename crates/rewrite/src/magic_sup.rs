@@ -22,7 +22,7 @@ use sepra_ast::{Atom, Interner, Literal, Program, Query, Rule, Sym, Term};
 use sepra_eval::{query_answers, seminaive_with_options, EvalError, EvalOptions};
 use sepra_storage::{Database, Relation};
 
-use crate::adorn::{adorn_program, adorned_name, Adornment};
+use crate::adorn::{adorn_program, adorn_program_subsumptive, adorned_name, Adornment};
 use crate::magic::MagicOutcome;
 
 /// Rewrites and evaluates `query` with supplementary magic sets.
@@ -44,6 +44,40 @@ pub fn magic_evaluate_supplementary_with_options(
     query: &Query,
     db: &Database,
     eval: &EvalOptions,
+) -> Result<MagicOutcome, EvalError> {
+    supplementary_impl(program, query, db, eval, false)
+}
+
+/// Subsumptive magic sets (Alviano et al.): the supplementary rewrite over
+/// [`adorn_program_subsumptive`], so a demand whose bound positions
+/// include those of an already-generated adornment reuses that more
+/// general adorned copy instead of spawning its own. Subsumed magic atoms
+/// are pruned — they are never generated — and each predicate is adorned
+/// strictly on demand.
+pub fn magic_evaluate_subsumptive(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+) -> Result<MagicOutcome, EvalError> {
+    magic_evaluate_subsumptive_with_options(program, query, db, &EvalOptions::default())
+}
+
+/// [`magic_evaluate_subsumptive`] with explicit [`EvalOptions`].
+pub fn magic_evaluate_subsumptive_with_options(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    eval: &EvalOptions,
+) -> Result<MagicOutcome, EvalError> {
+    supplementary_impl(program, query, db, eval, true)
+}
+
+fn supplementary_impl(
+    program: &Program,
+    query: &Query,
+    db: &Database,
+    eval: &EvalOptions,
+    subsumptive: bool,
 ) -> Result<MagicOutcome, EvalError> {
     if !query.has_selection() {
         return Err(EvalError::Unsupported("magic sets needs at least one bound argument".into()));
@@ -86,7 +120,11 @@ pub fn magic_evaluate_supplementary_with_options(
     }
     let program = Program::new(rules);
     let idb_check = idb.clone();
-    let adorned = adorn_program(&program, query, db.interner_mut(), &|p| idb_check.contains(&p));
+    let adorned = if subsumptive {
+        adorn_program_subsumptive(&program, query, db.interner_mut(), &|p| idb_check.contains(&p))
+    } else {
+        adorn_program(&program, query, db.interner_mut(), &|p| idb_check.contains(&p))
+    };
 
     let parse_adorned = |atom: &Atom, interner: &Interner| -> Option<(Sym, Adornment)> {
         let name = interner.resolve(atom.pred);
@@ -279,6 +317,61 @@ mod tests {
             "supplementary should scan fewer rows: {} vs {}",
             sup.stats.rows_scanned,
             basic.stats.rows_scanned
+        );
+    }
+
+    /// Two demand sites on the same `S_1^2` recursion at different
+    /// binding strength: `t@bf` from the query path, `t@bb` from the
+    /// pinned path. Subsumptive magic answers the `bb` demand from the
+    /// `bf` copy.
+    const TWO_DEMAND: &str = "q(X, Y) :- t(X, Y).\n\
+         q(X, Y) :- pin(X, Z, Y), t(Z, Y).\n\
+         t(X, Y) :- a1(X, W), t(W, Y).\n\
+         t(X, Y) :- t0(X, Y).\n";
+
+    fn two_demand_db() -> Database {
+        let mut db = Database::new();
+        let mut facts = String::new();
+        for i in 0..40 {
+            facts.push_str(&format!("a1(n{i}, n{}). ", i + 1));
+        }
+        facts.push_str("t0(n40, fin). t0(n20, mid). pin(n0, n5, fin). pin(n0, n9, mid).");
+        db.load_fact_text(&facts).unwrap();
+        db
+    }
+
+    #[test]
+    fn subsumptive_matches_basic_and_supplementary() {
+        let db = two_demand_db();
+        let mut db2 = db.clone();
+        let program = parse_program(TWO_DEMAND, db2.interner_mut()).unwrap();
+        let query = parse_query("q(n0, Y)?", db2.interner_mut()).unwrap();
+        let basic = magic_evaluate(&program, &query, &db2).unwrap();
+        let sup = magic_evaluate_supplementary(&program, &query, &db2).unwrap();
+        let subsumptive = magic_evaluate_subsumptive(&program, &query, &db2).unwrap();
+        assert_same_tuples(&basic.answers, &sup.answers);
+        assert_same_tuples(&basic.answers, &subsumptive.answers);
+        assert!(!subsumptive.answers.is_empty());
+    }
+
+    #[test]
+    fn subsumptive_prunes_the_subsumed_adorned_copy() {
+        let mut db = two_demand_db();
+        let program = parse_program(TWO_DEMAND, db.interner_mut()).unwrap();
+        let query = parse_query("q(n0, Y)?", db.interner_mut()).unwrap();
+        let sup = magic_evaluate_supplementary(&program, &query, &db).unwrap();
+        let subsumptive = magic_evaluate_subsumptive(&program, &query, &db).unwrap();
+        let has_bb = |out: &MagicOutcome| {
+            out.rewritten.predicates().iter().any(|&p| out.db.interner().resolve(p) == "t@bb")
+        };
+        assert!(has_bb(&sup), "plain supplementary keeps the specific copy");
+        assert!(!has_bb(&subsumptive), "subsumptive collapses it");
+        assert!(subsumptive.rewritten.rules.len() < sup.rewritten.rules.len());
+        assert!(
+            subsumptive.stats.rows_scanned < sup.stats.rows_scanned,
+            "one adorned fixpoint instead of two should scan fewer rows: {} vs {}",
+            subsumptive.stats.rows_scanned,
+            sup.stats.rows_scanned
         );
     }
 

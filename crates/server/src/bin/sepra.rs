@@ -10,7 +10,7 @@
 //!
 //! Options:
 //!   -q, --query QUERY       run QUERY (e.g. 'buys(tom, Y)?') and exit
-//!   -s, --strategy NAME     force a strategy: separable|magic|magic-sup|counting|hn|seminaive|naive
+//!   -s, --strategy NAME     force a strategy: bounded|separable|magic|magic-sup|magic-subsumptive|counting|hn|seminaive|naive
 //!   -f, --format FMT        answer output format: text (default) | csv | json
 //!   -t, --threads N         worker threads for fixpoint iterations
 //!                           (default: available parallelism; 1 = serial)
@@ -168,7 +168,7 @@ Usage: sepra [OPTIONS] [FILE...]
 
 Options:
   -q, --query QUERY     run QUERY (e.g. 'buys(tom, Y)?') and exit
-  -s, --strategy NAME   separable|magic|magic-sup|counting|hn|seminaive|naive
+  -s, --strategy NAME   bounded|separable|magic|magic-sup|magic-subsumptive|counting|hn|seminaive|naive
   -t, --threads N       worker threads for fixpoint iterations
                         (default: available parallelism; 1 = serial)
       --timeout MS      per-query evaluation deadline in milliseconds
@@ -317,7 +317,7 @@ const REPL_HELP: &str = "\
 Clauses ending in `.` extend the program or database.
 Atoms ending in `?` run as queries.
 Commands:
-  :strategy NAME   force a strategy (auto|separable|magic|magic-sup|counting|hn|seminaive|naive)
+  :strategy NAME   force a strategy (auto|bounded|separable|magic|magic-sup|magic-subsumptive|counting|hn|seminaive|naive)
   :explain QUERY   show the evaluation plan for QUERY
                    (join orders with per-scan cost estimates)
   :plan QUERY      the same plan as one line of JSON

@@ -28,6 +28,7 @@ struct Inner {
     errors: u64,
     budget_exceeded: u64,
     by_strategy: BTreeMap<String, u64>,
+    bounded_eliminations: u64,
     tuples_inserted: u64,
     iterations: u64,
     mutations: u64,
@@ -50,6 +51,9 @@ pub struct Snapshot {
     pub errors: u64,
     pub budget_exceeded: u64,
     pub by_strategy: BTreeMap<String, u64>,
+    /// Queries answered by bounded-recursion elimination: the recursion
+    /// was compiled away and no fixpoint ran.
+    pub bounded_eliminations: u64,
     pub tuples_inserted: u64,
     pub iterations: u64,
     pub mutations: u64,
@@ -109,6 +113,9 @@ impl Metrics {
         let mut inner = self.lock();
         inner.ok += 1;
         *inner.by_strategy.entry(strategy.to_string()).or_insert(0) += 1;
+        if strategy == "bounded" {
+            inner.bounded_eliminations += 1;
+        }
         inner.tuples_inserted += tuples;
         inner.iterations += iterations;
         Self::record_latency(&mut inner, elapsed);
@@ -164,6 +171,7 @@ impl Metrics {
             errors: inner.errors,
             budget_exceeded: inner.budget_exceeded,
             by_strategy: inner.by_strategy.clone(),
+            bounded_eliminations: inner.bounded_eliminations,
             tuples_inserted: inner.tuples_inserted,
             iterations: inner.iterations,
             mutations: inner.mutations,
@@ -217,6 +225,17 @@ mod tests {
         assert_eq!(s.latency_min_us, 0); // all-time min survives eviction
         assert_eq!(s.latency_max_us, LATENCY_WINDOW as u64 + 99);
         assert_eq!(s.total(), LATENCY_WINDOW as u64 + 100);
+    }
+
+    #[test]
+    fn bounded_eliminations_count_bounded_runs_only() {
+        let m = Metrics::new();
+        m.record_ok("bounded", Duration::from_micros(10), 4, 0);
+        m.record_ok("bounded", Duration::from_micros(20), 4, 0);
+        m.record_ok("seminaive", Duration::from_micros(30), 4, 2);
+        let s = m.snapshot();
+        assert_eq!(s.bounded_eliminations, 2);
+        assert_eq!(s.by_strategy.get("bounded"), Some(&2));
     }
 
     #[test]

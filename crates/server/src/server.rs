@@ -803,6 +803,7 @@ fn stats_response(
         .num("ok", s.ok)
         .num("errors", s.errors)
         .num("budget_exceeded", s.budget_exceeded)
+        .num("bounded_eliminations", s.bounded_eliminations)
         .raw("by_strategy", &by_strategy.finish());
     let mut mutations = ObjWriter::new();
     mutations
@@ -950,6 +951,7 @@ mod tests {
             queries.get("by_strategy").and_then(|b| b.get("separable")).and_then(Json::as_u64),
             Some(1)
         );
+        assert_eq!(queries.get("bounded_eliminations").and_then(Json::as_u64), Some(0));
         assert!(v.get("latency_us").and_then(|l| l.get("median")).is_some());
         assert!(v.get("plan_cache").is_some());
         assert!(v.get("uptime_ms").is_some());
@@ -959,6 +961,27 @@ mod tests {
         assert_eq!(planner.get("fallbacks").and_then(Json::as_u64), Some(0));
         assert_eq!(planner.get("drift_invalidations").and_then(Json::as_u64), Some(0));
         assert!(planner.get("replans").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn bounded_queries_are_counted_as_eliminations() {
+        let mut qp = QueryProcessor::new();
+        qp.load(
+            "t(X, Y) :- sym(X, Y), t(Y, X).\n\
+             t(X, Y) :- base(X, Y).\n\
+             sym(a, b). sym(b, a). base(b, a).\n",
+        )
+        .unwrap();
+        let mut w = worker(qp);
+        let v = json::parse(&w.handle_request(r#"{"query": "t(X, Y)?"}"#)).unwrap();
+        assert_eq!(v.get("strategy").and_then(Json::as_str), Some("bounded"));
+        let v = json::parse(&w.handle_request(r#"{"stats": true}"#)).unwrap();
+        let queries = v.get("queries").expect("queries member");
+        assert_eq!(queries.get("bounded_eliminations").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            queries.get("by_strategy").and_then(|b| b.get("bounded")).and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

@@ -16,7 +16,18 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const FIXTURES: &[&str] = &["boundcols", "buys", "lints", "overlap", "sg", "shift"];
+const FIXTURES: &[&str] = &[
+    "bnd_subsumed",
+    "bnd_swap",
+    "bnd_tautology",
+    "boundcols",
+    "buys",
+    "lints",
+    "magic_subsumptive",
+    "overlap",
+    "sg",
+    "shift",
+];
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
