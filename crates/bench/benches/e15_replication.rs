@@ -1,0 +1,356 @@
+//! E15 — WAL-shipping replication: read scaling and catch-up.
+//!
+//! Two measurements against real in-process servers (the same
+//! `sepra_server::server::run` loop the binary uses, on loopback TCP):
+//!
+//! * `read_throughput` — one durable primary with 1, 2, or 3 attached
+//!   `--replica-of` replicas, all caught up; four client threads fire a
+//!   fixed batch of selection queries round-robin across the replicas.
+//!   The cell records the median wall-clock for the batch and the
+//!   derived aggregate queries/sec. On a single-core runner the curve is
+//!   flat by construction — `available_parallelism` is recorded so the
+//!   numbers read honestly.
+//! * `catch_up` — the primary commits a WAL backlog of B records with no
+//!   replica attached (checkpoints disabled, so the log alone carries
+//!   the lineage), then a fresh replica starts and one
+//!   `min_generation = <primary generation>` query times how long the
+//!   replica takes to stream, apply, and serve the full backlog.
+//!
+//! Like E12–E14 the harness is hand-rolled: `--bench` prints medians and
+//! writes `BENCH_replication.json` at the repository root; `--smoke`
+//! runs a reduced matrix (parity and convergence asserted, generous
+//! absolute deadlines) and exits non-zero on any failure; with no flag a
+//! tiny silent pass runs for `cargo test`.
+
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sepra_engine::QueryProcessor;
+use sepra_server::server::{run, ServeOptions};
+use sepra_server::{Durability, DurabilityOptions};
+use sepra_wal::FsyncPolicy;
+
+const SAMPLES: usize = 5;
+const SMOKE_SAMPLES: usize = 2;
+
+/// The chain fixture: a selection query over the closure answers in one
+/// separable pass, so per-query evaluation stays cheap and the timing is
+/// dominated by the serving path, not the fixpoint.
+const PROGRAM: &str = "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\n";
+
+/// Seed chain length for the throughput fixture (m0 -> m1 -> ... -> m64).
+const CHAIN: usize = 64;
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sepra_e15_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+/// A server running on its own thread; dropped via `stop`.
+struct Node {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Node {
+    fn stop(self) {
+        self.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.handle.join().expect("server thread joins");
+    }
+}
+
+/// Starts an in-process server: a durable primary when `data_dir` is
+/// given, a replica when `replica_of` is given, ephemeral otherwise.
+fn spawn_node(program: &str, data_dir: Option<&std::path::Path>, replica_of: Option<&str>) -> Node {
+    let mut qp = QueryProcessor::new();
+    qp.load(program).expect("fixture loads");
+    let opts = ServeOptions {
+        // At least as many workers as the bench's client threads, so
+        // measured latency is the serving path, not connection
+        // time-slicing across a smaller worker pool.
+        threads: 4,
+        durability: data_dir.map(|dir| DurabilityOptions {
+            data_dir: dir.to_path_buf(),
+            // Fsync cost is the durability bench's subject, not this
+            // one's: `never` keeps backlog setup fast without touching
+            // the shipping path being measured. Checkpoints stay off so
+            // the WAL alone carries the whole lineage — `catch_up`
+            // measures tail replay, not snapshot transfer.
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 0,
+        }),
+        replica_of: replica_of.map(String::from),
+        ..ServeOptions::default()
+    };
+    let durability = opts
+        .durability
+        .as_ref()
+        .map(|d| Durability::recover(&mut qp, d).expect("durability recovers"));
+    qp.prepare().expect("fixture prepares");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let thread_shutdown = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        run(listener, qp, &opts, thread_shutdown, durability).expect("server runs");
+    });
+    Node { addr, shutdown, handle }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        // Request/response ping-pong with small frames: without nodelay,
+        // Nagle + delayed ACK puts a flat ~40 ms on every request and
+        // the bench measures the kernel's timer, not the server.
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clones"));
+        Conn { stream, reader }
+    }
+
+    fn request(&mut self, body: &str) -> String {
+        let mut framed = String::with_capacity(body.len() + 1);
+        framed.push_str(body);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes()).expect("writes");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("reads");
+        assert!(n > 0, "server closed the connection after {body:?}");
+        line
+    }
+}
+
+/// Pulls `"generation":N` out of a compact response line.
+fn generation_of(line: &str) -> u64 {
+    let rest = line.split("\"generation\":").nth(1).unwrap_or_else(|| {
+        panic!("response has no generation stamp: {line}");
+    });
+    rest.bytes().take_while(u8::is_ascii_digit).fold(0u64, |acc, b| acc * 10 + u64::from(b - b'0'))
+}
+
+/// Commits `count` disconnected edges (no closure growth beyond one
+/// derived tuple each) and returns the last acknowledged generation.
+fn commit_edges(conn: &mut Conn, count: usize) -> u64 {
+    let mut last = 0;
+    for i in 0..count {
+        let line = conn.request(&format!(r#"{{"insert": ["e(x{i}, y{i})."]}}"#));
+        assert!(line.contains("\"inserted\":1"), "backlog insert {i}: {line}");
+        last = generation_of(&line);
+    }
+    last
+}
+
+/// Blocks until `addr` has applied `generation`, with a generous bound.
+/// Returns the wall-clock wait — the catch-up measurement.
+fn await_catch_up(addr: &str, generation: u64) -> Duration {
+    let mut conn = Conn::open(addr);
+    let start = Instant::now();
+    let line = conn.request(&format!(
+        r#"{{"query": "t(m0, Y)?", "min_generation": {generation}, "timeout_ms": 120000}}"#
+    ));
+    let elapsed = start.elapsed();
+    assert!(
+        line.contains("\"answers\"") && generation_of(&line) >= generation,
+        "replica failed to catch up to {generation}: {line}"
+    );
+    elapsed
+}
+
+/// Commits the m0 -> m1 -> ... -> m{CHAIN} chain as live mutations, so
+/// every edge a replica serves really traveled the sync stream. Returns
+/// the last acknowledged generation.
+fn commit_chain(conn: &mut Conn) -> u64 {
+    let mut last = 0;
+    for i in 0..CHAIN {
+        let line = conn.request(&format!(r#"{{"insert": ["e(m{i}, m{})."]}}"#, i + 1));
+        assert!(line.contains("\"inserted\":1"), "chain insert {i}: {line}");
+        last = generation_of(&line);
+    }
+    last
+}
+
+/// One throughput run: `queries` selections spread over four client
+/// threads, each pinned round-robin to one replica. Returns total wall
+/// clock; answers are length-checked so a stale replica fails loudly.
+fn throughput_run(replicas: &[String], queries: usize) -> Duration {
+    const CLIENTS: usize = 4;
+    let per_client = queries / CLIENTS;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let addr = &replicas[c % replicas.len()];
+            scope.spawn(move || {
+                let mut conn = Conn::open(addr);
+                for _ in 0..per_client {
+                    let line = conn.request(r#"{"query": "t(m0, Y)?"}"#);
+                    assert!(
+                        line.matches("\"m").count() >= CHAIN,
+                        "short answer from {addr}: {line}"
+                    );
+                    black_box(&line);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+struct Cell {
+    workload: String,
+    param: (&'static str, u64),
+    median_ns: u64,
+    queries_per_sec: Option<u64>,
+}
+
+/// Read throughput at 1..=max_replicas attached replicas.
+fn measure_throughput(max_replicas: usize, queries: usize, samples: usize) -> Vec<Cell> {
+    let dir = fresh_dir("throughput");
+    let primary = spawn_node(PROGRAM, Some(&dir), None);
+    let mut replicas: Vec<Node> = Vec::new();
+    let mut cells = Vec::new();
+    // The chain is committed as mutations, so it reaches every replica
+    // over the sync stream — a stale replica fails the per-query answer
+    // length check inside `throughput_run`.
+    let primary_generation = {
+        let mut conn = Conn::open(&primary.addr);
+        commit_chain(&mut conn)
+    };
+    for k in 1..=max_replicas {
+        replicas.push(spawn_node(PROGRAM, None, Some(&primary.addr)));
+        let addrs: Vec<String> = replicas.iter().map(|r| r.addr.clone()).collect();
+        for addr in &addrs {
+            await_catch_up(addr, primary_generation);
+        }
+        let mut timed: Vec<Duration> =
+            (0..samples).map(|_| throughput_run(&addrs, queries)).collect();
+        timed.sort_unstable();
+        let median = timed[timed.len() / 2];
+        let qps = (queries as f64 / median.as_secs_f64()) as u64;
+        cells.push(Cell {
+            workload: "read_throughput".to_string(),
+            param: ("replicas", k as u64),
+            median_ns: median.as_nanos() as u64,
+            queries_per_sec: Some(qps),
+        });
+    }
+    for replica in replicas {
+        replica.stop();
+    }
+    primary.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    cells
+}
+
+/// Catch-up wall clock for each WAL backlog size: commit the backlog
+/// with nothing attached, then start a replica per sample and time its
+/// convergence from a cold start.
+fn measure_catch_up(backlogs: &[usize], samples: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &backlog in backlogs {
+        let dir = fresh_dir(&format!("catchup_{backlog}"));
+        let primary = spawn_node(PROGRAM, Some(&dir), None);
+        let generation = {
+            let mut conn = Conn::open(&primary.addr);
+            commit_edges(&mut conn, backlog)
+        };
+        let mut timed: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let replica = spawn_node(PROGRAM, None, Some(&primary.addr));
+                let elapsed = await_catch_up(&replica.addr, generation);
+                replica.stop();
+                elapsed
+            })
+            .collect();
+        timed.sort_unstable();
+        cells.push(Cell {
+            workload: "catch_up".to_string(),
+            param: ("backlog_records", backlog as u64),
+            median_ns: timed[timed.len() / 2].as_nanos() as u64,
+            queries_per_sec: None,
+        });
+        primary.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    cells
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let measure = args.iter().any(|a| a == "--bench");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    if !measure && !smoke {
+        // Silent smoke for `cargo test`: one replica, one tiny batch,
+        // one small backlog — every assertion still armed.
+        black_box(measure_throughput(1, 16, 1));
+        black_box(measure_catch_up(&[16], 1));
+        return std::process::ExitCode::SUCCESS;
+    }
+
+    let (max_replicas, queries, backlogs, samples): (usize, usize, Vec<usize>, usize) = if smoke {
+        (2, 100, vec![32, 128], SMOKE_SAMPLES)
+    } else {
+        (3, 400, vec![64, 256, 1024], SAMPLES)
+    };
+
+    let mut cells = measure_throughput(max_replicas, queries, samples);
+    cells.extend(measure_catch_up(&backlogs, samples));
+
+    for c in &cells {
+        match c.queries_per_sec {
+            Some(qps) => println!(
+                "e15_replication/{:<16} {}={:<6} median {:>12} ns  ({} queries/s aggregate)",
+                c.workload, c.param.0, c.param.1, c.median_ns, qps
+            ),
+            None => println!(
+                "e15_replication/{:<16} {}={:<6} median {:>12} ns",
+                c.workload, c.param.0, c.param.1, c.median_ns
+            ),
+        }
+    }
+
+    if smoke {
+        // Every cell above already asserted parity and convergence;
+        // reaching this point is the smoke gate. The reduced-matrix
+        // numbers are not representative, so no artifact is written.
+        println!("\nsmoke ok: replicas converged and served at parity");
+        return std::process::ExitCode::SUCCESS;
+    }
+
+    {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mut json = String::from("{\n  \"experiment\": \"e15_replication\",\n");
+        json.push_str(&format!(
+            "  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n  \"results\": [\n"
+        ));
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"{}\": {}, \"median_ns\": {}",
+                c.workload, c.param.0, c.param.1, c.median_ns
+            ));
+            if let Some(qps) = c.queries_per_sec {
+                json.push_str(&format!(", \"queries_per_sec\": {qps}"));
+            }
+            json.push_str(if i + 1 == cells.len() { " }\n" } else { " },\n" });
+        }
+        json.push_str("  ]\n}\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+        std::fs::write(path, &json).expect("write BENCH_replication.json");
+        println!("\nwrote {path}");
+    }
+
+    std::process::ExitCode::SUCCESS
+}

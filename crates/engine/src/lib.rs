@@ -18,9 +18,11 @@
 //! renders the decision (including the instantiated Figure 2 schema, as in
 //! the paper's Figures 3 and 4) without running the query.
 
+pub mod gate;
 pub mod processor;
 pub mod report;
 
+pub use gate::GenerationGate;
 pub use processor::{
     MutationOutcome, PlanConj, PlanReport, PlanScan, ProcessorError, QueryProcessor, QueryResult,
     Strategy, StrategyChoice,

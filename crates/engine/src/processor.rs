@@ -328,6 +328,26 @@ impl QueryProcessor {
         &mut self.db
     }
 
+    /// Mutable access to the interner only. Interning is append-only — it
+    /// can never invalidate prepared materializations or cached plans —
+    /// so, unlike [`QueryProcessor::db_mut`], this neither drops the
+    /// prepared state nor bumps the processor generation. Replication
+    /// uses it to decode streamed delta frames (whose string tables must
+    /// be interned locally) without paying a re-prepare per record.
+    pub fn interner_mut(&mut self) -> &mut sepra_ast::Interner {
+        self.db.interner_mut()
+    }
+
+    /// Overwrites the **database** generation without touching prepared
+    /// state. A replica applying a streamed WAL record must end at the
+    /// primary's stamped generation even when the local effective-tuple
+    /// count differs (a record can carry tuples the replica already
+    /// holds); recovery does the same via `db_mut`, but a live replica
+    /// cannot afford `db_mut`'s invalidate-everything semantics.
+    pub fn adopt_db_generation(&mut self, generation: u64) {
+        self.db.force_generation(generation);
+    }
+
     /// The program/EDB generation (see the field docs). Query servers use
     /// this to detect stale worker snapshots after a mutation.
     pub fn generation(&self) -> u64 {

@@ -1,0 +1,98 @@
+//! Minimal base64 (RFC 4648, standard alphabet, padded) for carrying
+//! binary checkpoint and delta frames inside the line-delimited JSON
+//! transport. The workspace takes no external dependencies, so this is
+//! the usual 60-line hand-rolled codec: encode for the feeder, strict
+//! decode (padding required, no whitespace) for the sync client.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded base64.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let word = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(word >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(word >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(word >> 6) as usize & 0x3F] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[word as usize & 0x3F] as char } else { '=' });
+    }
+    out
+}
+
+fn value_of(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes padded base64; rejects bad lengths, foreign characters, and
+/// misplaced padding (a corrupted frame must fail loudly, not truncate).
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err("misplaced base64 padding".into());
+        }
+        let mut word = 0u32;
+        for &c in &quad[..4 - pad] {
+            let v = value_of(c).ok_or_else(|| format!("invalid base64 byte {c:#04x}"))?;
+            word = (word << 6) | v;
+        }
+        word <<= 6 * pad as u32;
+        out.push((word >> 16) as u8);
+        if pad < 2 {
+            out.push((word >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn round_trips_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        for len in [0, 1, 2, 3, 63, 255, 256] {
+            let slice = &bytes[..len.min(bytes.len())];
+            assert_eq!(decode(&encode(slice)).unwrap(), slice, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(decode("Zg=").is_err()); // bad length
+        assert!(decode("Zg==Zm8=").is_err()); // padding mid-stream
+        assert!(decode("Z♥==").is_err()); // foreign bytes
+        assert!(decode("====").is_err()); // too much padding
+    }
+}

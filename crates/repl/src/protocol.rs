@@ -1,0 +1,276 @@
+//! The sync wire protocol: line-delimited JSON frames over the same TCP
+//! transport queries use.
+//!
+//! A follower opens a connection and sends one request line:
+//!
+//! ```text
+//! -> {"sync": {"from_generation": G}}
+//! ```
+//!
+//! The primary then streams frames, one JSON object per line, until the
+//! connection drops:
+//!
+//! ```text
+//! <- {"ping": {"generation": 42}}                 liveness + current primary generation
+//! <- {"checkpoint": {"generation": 40, "chunks": 3}}
+//! <- {"chunk": {"index": 0, "of": 3, "data": "<base64>"}}   ... x3: the ckpt-*.sepra file bytes
+//! <- {"record": {"generation": 41, "crc": C, "payload": "<base64>"}}
+//! <- {"error": {"kind": ..., "message": ...}}     terminal
+//! ```
+//!
+//! A `checkpoint` announcement (always followed by exactly `chunks`
+//! chunk frames) may appear **mid-stream**, not just first: when the
+//! primary's log is truncated under the feeder faster than the tail
+//! could be shipped, the feeder falls back to re-shipping the newest
+//! snapshot rather than ever forwarding a gapped record sequence. The
+//! chunks carry the raw checkpoint *file* — container header, CRC and
+//! all — so the follower validates it with the same
+//! [`decode_checkpoint`](sepra_wal::checkpoint::decode_checkpoint) the
+//! recovery path uses. Each `record` carries the WAL's own checksum
+//! (`crc32(generation ‖ payload)`): what the follower applies is
+//! verified end to end against what the primary's log committed, not
+//! just against transport corruption.
+
+use crate::base64;
+use crate::json::{self, Json, ObjWriter};
+use sepra_wal::crc::Crc32;
+
+/// Raw bytes per chunk frame. Base64 inflates by 4/3, keeping the line
+/// comfortably under the server's 64 KiB request cap (frames travel
+/// primary→follower, but symmetry keeps every line small and debuggable).
+pub const CHUNK_BYTES: usize = 44 * 1024;
+
+/// One parsed frame of the sync stream (primary → follower).
+#[derive(Debug, PartialEq)]
+pub enum Frame {
+    /// Liveness marker carrying the primary's current database
+    /// generation, sent immediately on sync start and periodically while
+    /// the tail is quiet — a follower derives its lag from it.
+    Ping {
+        /// The primary's committed database generation.
+        generation: u64,
+    },
+    /// A checkpoint file follows in exactly `chunks` chunk frames.
+    Checkpoint {
+        /// The snapshot's generation stamp.
+        generation: u64,
+        /// How many chunk frames follow.
+        chunks: u64,
+    },
+    /// One piece of the announced checkpoint file.
+    Chunk {
+        /// 0-based position within the announced checkpoint.
+        index: u64,
+        /// Total chunks announced (repeated for self-description).
+        of: u64,
+        /// The decoded bytes.
+        data: Vec<u8>,
+    },
+    /// One committed WAL record; the CRC has been verified.
+    Record {
+        /// The database generation the record's commit reached.
+        generation: u64,
+        /// The encoded `EdbDelta` frame (the WAL payload, verbatim).
+        payload: Vec<u8>,
+    },
+    /// The primary refused or aborted the sync; terminal.
+    Error {
+        /// Machine-readable kind, e.g. `sync_unavailable`.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// The WAL's record checksum: `crc32(generation ‖ payload)`, little-endian
+/// generation — byte-identical to what [`sepra_wal::log`] stores on disk.
+pub fn record_crc(generation: u64, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&generation.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Renders the follower's opening request.
+pub fn render_sync_request(from_generation: u64) -> String {
+    let mut sync = ObjWriter::new();
+    sync.num("from_generation", from_generation);
+    let mut out = ObjWriter::new();
+    out.raw("sync", &sync.finish());
+    out.finish()
+}
+
+/// Extracts `from_generation` from a parsed request, if it is a sync
+/// request at all (`None` lets the server fall through to query/mutation
+/// handling).
+pub fn parse_sync_request(request: &Json) -> Option<Result<u64, String>> {
+    let sync = request.get("sync")?;
+    Some(
+        sync.get("from_generation")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "\"sync\" needs a nonnegative \"from_generation\" integer".to_string()),
+    )
+}
+
+/// Renders a ping frame.
+pub fn render_ping(generation: u64) -> String {
+    let mut ping = ObjWriter::new();
+    ping.num("generation", generation);
+    let mut out = ObjWriter::new();
+    out.raw("ping", &ping.finish());
+    out.finish()
+}
+
+/// Renders a checkpoint announcement.
+pub fn render_checkpoint(generation: u64, chunks: u64) -> String {
+    let mut ckpt = ObjWriter::new();
+    ckpt.num("generation", generation).num("chunks", chunks);
+    let mut out = ObjWriter::new();
+    out.raw("checkpoint", &ckpt.finish());
+    out.finish()
+}
+
+/// Renders one chunk of a checkpoint file.
+pub fn render_chunk(index: u64, of: u64, data: &[u8]) -> String {
+    let mut chunk = ObjWriter::new();
+    chunk.num("index", index).num("of", of).str("data", &base64::encode(data));
+    let mut out = ObjWriter::new();
+    out.raw("chunk", &chunk.finish());
+    out.finish()
+}
+
+/// Renders one WAL record, stamping the log's own checksum.
+pub fn render_record(generation: u64, payload: &[u8]) -> String {
+    let mut record = ObjWriter::new();
+    record
+        .num("generation", generation)
+        .num("crc", u64::from(record_crc(generation, payload)))
+        .str("payload", &base64::encode(payload));
+    let mut out = ObjWriter::new();
+    out.raw("record", &record.finish());
+    out.finish()
+}
+
+/// Renders a terminal error frame (same shape as query errors).
+pub fn render_error(kind: &str, message: &str) -> String {
+    let mut detail = ObjWriter::new();
+    detail.str("kind", kind).str("message", message);
+    let mut out = ObjWriter::new();
+    out.raw("error", &detail.finish());
+    out.finish()
+}
+
+/// Parses one stream line into a [`Frame`], verifying base64 payloads and
+/// the record CRC. Anything malformed is an error — a follower must stop
+/// and resync rather than guess at a corrupted stream.
+pub fn parse_frame(line: &str) -> Result<Frame, String> {
+    let v = json::parse(line).map_err(|e| format!("invalid frame JSON: {e}"))?;
+    if let Some(ping) = v.get("ping") {
+        let generation = ping
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or("ping frame without a generation")?;
+        return Ok(Frame::Ping { generation });
+    }
+    if let Some(ckpt) = v.get("checkpoint") {
+        let generation = ckpt
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or("checkpoint frame without a generation")?;
+        let chunks =
+            ckpt.get("chunks").and_then(Json::as_u64).ok_or("checkpoint frame without chunks")?;
+        return Ok(Frame::Checkpoint { generation, chunks });
+    }
+    if let Some(chunk) = v.get("chunk") {
+        let index =
+            chunk.get("index").and_then(Json::as_u64).ok_or("chunk frame without an index")?;
+        let of = chunk.get("of").and_then(Json::as_u64).ok_or("chunk frame without a total")?;
+        let data = chunk.get("data").and_then(Json::as_str).ok_or("chunk frame without data")?;
+        let data = base64::decode(data)?;
+        return Ok(Frame::Chunk { index, of, data });
+    }
+    if let Some(record) = v.get("record") {
+        let generation = record
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or("record frame without a generation")?;
+        let crc = record.get("crc").and_then(Json::as_u64).ok_or("record frame without a crc")?;
+        let payload =
+            record.get("payload").and_then(Json::as_str).ok_or("record frame without a payload")?;
+        let payload = base64::decode(payload)?;
+        if u64::from(record_crc(generation, &payload)) != crc {
+            return Err(format!("record at generation {generation} failed its checksum"));
+        }
+        return Ok(Frame::Record { generation, payload });
+    }
+    if let Some(error) = v.get("error") {
+        return Ok(Frame::Error {
+            kind: error.get("kind").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+            message: error.get("message").and_then(Json::as_str).unwrap_or_default().to_string(),
+        });
+    }
+    Err("frame is none of ping/checkpoint/chunk/record/error".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_request_round_trips() {
+        let line = render_sync_request(17);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(parse_sync_request(&v), Some(Ok(17)));
+        // Non-sync requests fall through; malformed sync requests error.
+        assert_eq!(parse_sync_request(&json::parse(r#"{"query": "t(X)?"}"#).unwrap()), None);
+        assert!(matches!(
+            parse_sync_request(&json::parse(r#"{"sync": {"from_generation": -1}}"#).unwrap()),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_sync_request(&json::parse(r#"{"sync": true}"#).unwrap()),
+            Some(Err(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(parse_frame(&render_ping(9)).unwrap(), Frame::Ping { generation: 9 });
+        assert_eq!(
+            parse_frame(&render_checkpoint(40, 3)).unwrap(),
+            Frame::Checkpoint { generation: 40, chunks: 3 }
+        );
+        assert_eq!(
+            parse_frame(&render_chunk(1, 3, b"\x00\x01binary\xff")).unwrap(),
+            Frame::Chunk { index: 1, of: 3, data: b"\x00\x01binary\xff".to_vec() }
+        );
+        assert_eq!(
+            parse_frame(&render_record(41, b"delta frame")).unwrap(),
+            Frame::Record { generation: 41, payload: b"delta frame".to_vec() }
+        );
+        assert_eq!(
+            parse_frame(&render_error("sync_unavailable", "no data dir")).unwrap(),
+            Frame::Error { kind: "sync_unavailable".into(), message: "no data dir".into() }
+        );
+    }
+
+    #[test]
+    fn corrupted_records_fail_their_checksum() {
+        let line = render_record(41, b"delta frame");
+        // Flip the stamped generation: the CRC covers it.
+        let tampered = line.replace("\"generation\":41", "\"generation\":42");
+        assert!(parse_frame(&tampered).unwrap_err().contains("checksum"));
+        // Flip a payload byte (base64 of a different payload).
+        let other = render_record(41, b"delta frame!");
+        let v = json::parse(&other).unwrap();
+        let bad_payload =
+            v.get("record").unwrap().get("payload").and_then(Json::as_str).unwrap().to_string();
+        let good = json::parse(&line).unwrap();
+        let good_payload =
+            good.get("record").unwrap().get("payload").and_then(Json::as_str).unwrap().to_string();
+        let tampered = line.replace(&good_payload, &bad_payload);
+        assert!(parse_frame(&tampered).unwrap_err().contains("checksum"));
+        assert!(parse_frame("{\"what\": 1}").is_err());
+        assert!(parse_frame("not json").is_err());
+    }
+}

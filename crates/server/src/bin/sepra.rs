@@ -4,6 +4,7 @@
 //! sepra [OPTIONS] [FILE...]
 //! sepra check [OPTIONS] FILE...
 //! sepra serve [OPTIONS] FILE...
+//! sepra route --primary HOST:PORT --replicas HOST:PORT,... [OPTIONS]
 //! sepra client [OPTIONS] [QUERY...]
 //! sepra dump FILE --data-dir DIR
 //! sepra restore FILE --data-dir DIR [--force]
@@ -48,6 +49,7 @@ use sepra_engine::{
     QueryProcessor, Strategy, StrategyChoice,
 };
 use sepra_eval::Budget;
+use sepra_repl::{route, RouteOptions};
 use sepra_server::{
     default_threads, json, load_offline, serve, DurabilityOptions, ServeOptions,
     DEFAULT_CHECKPOINT_EVERY,
@@ -162,6 +164,7 @@ sepra — deductive database engine with compiled separable recursions
 Usage: sepra [OPTIONS] [FILE...]
        sepra check [OPTIONS] FILE...     (see `sepra check --help`)
        sepra serve [OPTIONS] FILE...     (see `sepra serve --help`)
+       sepra route [OPTIONS]             (see `sepra route --help`)
        sepra client [OPTIONS] [QUERY...] (see `sepra client --help`)
        sepra dump FILE --data-dir DIR    (see `sepra dump --help`)
        sepra restore FILE --data-dir DIR (see `sepra restore --help`)
@@ -238,6 +241,15 @@ WAL tail — a `kill -9` loses at most the fsync window and never leaves
 a half-applied mutation. `{\"stats\": true}` then reports a
 \"durability\" object (WAL bytes, records since checkpoint, recovery).
 
+With --replica-of the server is a read replica: it syncs the primary's
+checkpoint and live WAL stream, applies each record through the same
+incremental-maintenance path as live mutations, and serves queries —
+stamping every response with the applied \"generation\". Mutations are
+rejected with a {\"kind\": \"read_only_replica\"} error naming the
+primary. A query may carry \"min_generation\": G to wait (bounded by
+its deadline) until the replica has applied generation G — read-your-
+writes for a client that just mutated through the primary.
+
 Options:
       --addr HOST:PORT  bind address (default 127.0.0.1:7464; port 0
                         picks a free port, printed on startup)
@@ -255,7 +267,38 @@ Options:
       --checkpoint-every N
                         checkpoint after N WAL records (default 1024;
                         0 disables automatic checkpoints)
+      --replica-of HOST:PORT
+                        run as a read replica of the primary at
+                        HOST:PORT (mutually exclusive with --data-dir)
       --deny warnings   refuse to start on lint warnings, not just errors
+  -h, --help            this message
+";
+
+const ROUTE_HELP: &str = "\
+sepra route — a query router for a primary plus read replicas
+
+Usage: sepra route --primary HOST:PORT --replicas HOST:PORT,... [OPTIONS]
+
+Listens for the same line-delimited JSON protocol as `sepra serve` and
+forwards each request to a backend: mutations (\"insert\"/\"retract\")
+go to the primary, queries round-robin across the healthy replicas
+(falling back to the primary when none are healthy), and
+{\"stats\": true} is answered by the router itself with per-backend
+health, generation, and lag behind the primary. A background prober
+re-checks every backend, so a killed replica is routed around within
+one probe interval and rejoins automatically once it resyncs. A query
+that fails on one replica is retried once on the next healthy backend.
+
+Options:
+      --primary HOST:PORT
+                        the primary server (required; mutations go here)
+      --replicas LIST   comma-separated replica addresses (repeatable)
+      --addr HOST:PORT  bind address (default 127.0.0.1:7465; port 0
+                        picks a free port, printed on startup)
+  -t, --threads N       worker threads / concurrent connections
+                        (default: available parallelism)
+      --probe-interval-ms MS
+                        health-probe cadence (default 500)
   -h, --help            this message
 ";
 
@@ -533,6 +576,10 @@ fn run_serve(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--replica-of" => match args.next() {
+                Some(primary) => opts.replica_of = Some(primary.clone()),
+                None => return usage_error("missing argument for --replica-of"),
+            },
             "--deny" => match args.next().map(String::as_str) {
                 Some("warnings") => opts.deny_warnings = true,
                 other => {
@@ -555,6 +602,14 @@ fn run_serve(args: &[String]) -> ExitCode {
     if files.is_empty() {
         return usage_error("sepra serve needs at least one file (try `sepra serve --help`)");
     }
+    if opts.replica_of.is_some()
+        && (data_dir.is_some() || fsync.is_some() || checkpoint_every.is_some())
+    {
+        return usage_error(
+            "--replica-of is mutually exclusive with --data-dir/--fsync/--checkpoint-every \
+             (a replica's durable lineage is the primary's)",
+        );
+    }
     match data_dir {
         Some(dir) => {
             opts.durability = Some(DurabilityOptions {
@@ -572,6 +627,84 @@ fn run_serve(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     match serve(qp, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `sepra route` subcommand: mutation/query router for a primary
+/// plus read replicas.
+fn run_route(args: &[String]) -> ExitCode {
+    let mut opts = RouteOptions {
+        addr: "127.0.0.1:7465".to_string(),
+        primary: String::new(),
+        replicas: Vec::new(),
+        threads: default_threads(),
+        probe_interval: Duration::from_millis(500),
+    };
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--primary" => match args.next() {
+                Some(a) => opts.primary = a.clone(),
+                None => return usage_error("missing argument for --primary"),
+            },
+            "--replicas" => match args.next() {
+                Some(list) => opts.replicas.extend(
+                    list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from),
+                ),
+                None => return usage_error("missing argument for --replicas"),
+            },
+            "--addr" => match args.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => return usage_error("missing argument for --addr"),
+            },
+            "-t" | "--threads" => {
+                let Some(n) = args.next() else {
+                    return usage_error("missing argument for --threads");
+                };
+                match n.parse::<usize>().ok().filter(|&n| n >= 1) {
+                    Some(n) => opts.threads = n,
+                    None => {
+                        return usage_error(&format!(
+                            "--threads expects a positive integer, got `{n}`"
+                        ))
+                    }
+                }
+            }
+            "--probe-interval-ms" => {
+                let Some(ms) = args.next() else {
+                    return usage_error("missing argument for --probe-interval-ms");
+                };
+                match ms.parse::<u64>() {
+                    Ok(ms) => opts.probe_interval = Duration::from_millis(ms),
+                    Err(_) => {
+                        return usage_error(&format!(
+                            "--probe-interval-ms expects milliseconds, got `{ms}`"
+                        ))
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                print!("{}", ROUTE_HELP);
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                return usage_error(&format!("unknown option `{other}` (try `sepra route --help`)"))
+            }
+        }
+    }
+    if opts.primary.is_empty() {
+        return usage_error("sepra route needs --primary HOST:PORT (try `sepra route --help`)");
+    }
+    match route(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -947,6 +1080,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => return run_check(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
+        Some("route") => return run_route(&args[1..]),
         Some("client") => return run_client(&args[1..]),
         Some("dump") => return run_dump(&args[1..]),
         Some("restore") => return run_restore(&args[1..]),

@@ -191,6 +191,17 @@ impl Durability {
         &self.recovery
     }
 
+    /// The replication feeder's view of this data directory: the path it
+    /// streams checkpoints and the WAL tail from, plus the lease table
+    /// the checkpoint pruner honors (a snapshot mid-stream to a follower
+    /// is never deleted under it).
+    pub fn sync_source(&self) -> sepra_repl::SyncSource {
+        sepra_repl::SyncSource {
+            data_dir: self.store.dir().to_path_buf(),
+            leases: self.store.leases(),
+        }
+    }
+
     /// One line for the startup banner, e.g.
     /// `recovered generation 12 (checkpoint 8, replayed 4 records) in 1 ms`.
     pub fn recovery_banner(&self) -> String {

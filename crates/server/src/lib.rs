@@ -11,15 +11,18 @@
 //! hit rates).
 //!
 //! See [`server`] for the wire protocol, [`metrics`] for what the `stats`
-//! request reports, and [`json`] for the dependency-free JSON layer.
+//! request reports, and [`json`] for the dependency-free JSON layer (now
+//! hosted by `sepra-repl` so the replication protocol can share it, and
+//! re-exported here unchanged).
 
 pub mod durability;
-pub mod json;
 pub mod metrics;
+pub mod replica;
 pub mod server;
 
 pub use durability::{load_offline, Durability, DurabilityOptions, DEFAULT_CHECKPOINT_EVERY};
 pub use metrics::{Metrics, Snapshot};
+pub use sepra_repl::json;
 pub use server::{lint_gate, serve, ServeError, ServeOptions, MAX_REQUEST_BYTES};
 
 /// Default worker count: whatever the OS reports, falling back to serial.

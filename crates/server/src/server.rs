@@ -40,8 +40,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use sepra_engine::{ProcessorError, QueryProcessor, Strategy, StrategyChoice};
+use sepra_engine::{GenerationGate, ProcessorError, QueryProcessor, Strategy, StrategyChoice};
 use sepra_eval::{Budget, EvalError};
+use sepra_repl::feeder::refuse_sync;
+use sepra_repl::protocol::parse_sync_request;
+use sepra_repl::stream_to_follower;
 use sepra_wal::WalError;
 
 use crate::durability::{Durability, DurabilityOptions};
@@ -61,6 +64,11 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// How often the accept loop and idle workers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long a `min_generation` read waits for the replica to catch up
+/// when the request carries no deadline of its own (no `timeout_ms`, no
+/// server default).
+const MIN_GENERATION_WAIT: Duration = Duration::from_secs(10);
 
 /// Configuration for [`serve`].
 #[derive(Debug, Clone)]
@@ -85,6 +93,12 @@ pub struct ServeOptions {
     /// startup recovers the newest durable state. `None` is the original
     /// ephemeral behavior.
     pub durability: Option<DurabilityOptions>,
+    /// With `Some(HOST:PORT)`, the server is a **read replica**: it syncs
+    /// its EDB from the primary's checkpoint + WAL stream, serves reads
+    /// (stamped with the applied generation), and rejects mutations with
+    /// a redirect naming the primary. Mutually exclusive with
+    /// `durability` — a replica's durable state *is* the primary's.
+    pub replica_of: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +111,7 @@ impl Default for ServeOptions {
             deny_warnings: false,
             idle_timeout: IDLE_TIMEOUT,
             durability: None,
+            replica_of: None,
         }
     }
 }
@@ -161,6 +176,13 @@ pub fn lint_gate(qp: &QueryProcessor, deny_warnings: bool) -> Result<(), ServeEr
 /// the socket is bound.
 pub fn serve(mut qp: QueryProcessor, opts: &ServeOptions) -> Result<(), ServeError> {
     lint_gate(&qp, opts.deny_warnings)?;
+    if opts.replica_of.is_some() && opts.durability.is_some() {
+        return Err(ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "--replica-of and --data-dir are mutually exclusive: a replica's durable state \
+             is the primary's",
+        )));
+    }
     // Recovery runs before `prepare`, so support materialization happens
     // once, over the recovered EDB.
     let durability = match &opts.durability {
@@ -174,7 +196,13 @@ pub fn serve(mut qp: QueryProcessor, opts: &ServeOptions) -> Result<(), ServeErr
     qp.prepare().map_err(ServeError::Prepare)?;
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
-    println!("sepra serve listening on {addr} ({} workers)", opts.threads.max(1));
+    match &opts.replica_of {
+        Some(primary) => println!(
+            "sepra serve listening on {addr} ({} workers, replica of {primary})",
+            opts.threads.max(1)
+        ),
+        None => println!("sepra serve listening on {addr} ({} workers)", opts.threads.max(1)),
+    }
     let _ = std::io::stdout().flush();
 
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -197,11 +225,31 @@ pub fn run(
     let metrics = Arc::new(Metrics::new());
     let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
         Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    let gate = GenerationGate::new();
+    gate.publish(qp.db().generation());
     let shared = Arc::new(SharedState {
         generation: AtomicU64::new(qp.generation()),
+        primary_generation: AtomicU64::new(qp.db().generation()),
         master: Mutex::new(qp),
         durability: durability.map(Mutex::new),
+        gate,
+        replica_of: opts.replica_of.clone(),
+        applied_records: AtomicU64::new(0),
     });
+
+    // A replica pulls its state from the primary on a dedicated applier
+    // thread; queries keep being served from snapshots throughout.
+    let applier = opts
+        .replica_of
+        .as_ref()
+        .map(|primary| {
+            crate::replica::spawn_applier(
+                primary.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&shutdown),
+            )
+        })
+        .transpose()?;
 
     let mut workers = Vec::new();
     for i in 0..opts.threads.max(1) {
@@ -262,6 +310,9 @@ pub fn run(
     shutdown.store(true, Ordering::SeqCst);
     queue.1.notify_all();
     for handle in workers {
+        let _ = handle.join();
+    }
+    if let Some(handle) = applier {
         let _ = handle.join();
     }
     // Clean shutdown flushes policy-deferred WAL writes: `--fsync
@@ -338,20 +389,34 @@ mod signal {
 /// The mutable server state every worker shares: the master processor
 /// (mutations are serialized through its mutex — write-exclusive) and the
 /// published database generation workers compare their snapshots against.
-struct SharedState {
-    master: Mutex<QueryProcessor>,
-    /// [`QueryProcessor::generation`] of the last committed mutation.
-    /// Published *after* the master commits, so a worker observing the new
-    /// value is guaranteed to clone a fully mutated master.
-    generation: AtomicU64,
+pub(crate) struct SharedState {
+    pub(crate) master: Mutex<QueryProcessor>,
+    /// [`QueryProcessor::generation`] of the last committed mutation (or,
+    /// on a replica, the last applied sync event). Published *after* the
+    /// master commits, so a worker observing the new value is guaranteed
+    /// to clone a fully mutated master.
+    pub(crate) generation: AtomicU64,
     /// The durability pipeline (`--data-dir`). Lock order: master first,
     /// then durability — stats readers take durability alone, never the
     /// reverse.
-    durability: Option<Mutex<Durability>>,
+    pub(crate) durability: Option<Mutex<Durability>>,
+    /// The committed **database** generation — the durable lineage WAL
+    /// records and checkpoints are stamped with, and the number every
+    /// client-visible `"generation"` field reports. Published after the
+    /// processor generation, so a waiter released by the gate always finds
+    /// a refreshable snapshot at or past its target.
+    pub(crate) gate: GenerationGate,
+    /// `Some(addr)` when this server is a read replica of `addr`.
+    pub(crate) replica_of: Option<String>,
+    /// On a replica: the primary's generation as last reported by the
+    /// sync stream (pings carry it), for honest lag accounting.
+    pub(crate) primary_generation: AtomicU64,
+    /// On a replica: WAL records applied since startup.
+    pub(crate) applied_records: AtomicU64,
 }
 
 impl SharedState {
-    fn lock_master(&self) -> std::sync::MutexGuard<'_, QueryProcessor> {
+    pub(crate) fn lock_master(&self) -> std::sync::MutexGuard<'_, QueryProcessor> {
         // A worker that panicked mid-mutation never committed (the master
         // only changes at `apply_mutation`'s final commit step), so the
         // state behind a poisoned lock is still consistent.
@@ -404,6 +469,10 @@ impl Worker {
         // the cumulative wait so connections are still reclaimed.
         let _ = stream.set_read_timeout(Some(READ_POLL));
         let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        // Responses are one small write each on a ping-pong connection:
+        // without nodelay, Nagle + the peer's delayed ACK adds a flat
+        // ~40 ms to every round trip.
+        let _ = stream.set_nodelay(true);
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
             Err(_) => return,
@@ -468,7 +537,19 @@ impl Worker {
                     line.clear();
                     continue;
                 }
-                Ok(text) => self.handle_request(text.trim()),
+                Ok(text) => match sync_request_of(text.trim()) {
+                    // A sync request turns this connection into a
+                    // replication stream: hand the socket to a dedicated
+                    // feeder thread (streams run for hours — parking a
+                    // pool worker on one would starve queries) and free
+                    // this worker for the next connection.
+                    Some(Ok(from_generation)) => {
+                        self.handle_sync(writer, from_generation);
+                        return;
+                    }
+                    Some(Err(message)) => error_response("bad_request", &message, None),
+                    None => self.handle_request(text.trim()),
+                },
                 Err(_) => error_response("bad_request", "request is not valid UTF-8", None),
             };
             line.clear();
@@ -478,11 +559,57 @@ impl Worker {
         }
     }
 
+    /// Serves (or refuses) one follower's sync stream. Only a durable
+    /// primary can feed followers: the stream's source of truth is the
+    /// data directory, which an ephemeral server does not have and a
+    /// replica does not own.
+    fn handle_sync(&self, stream: TcpStream, from_generation: u64) {
+        if self.shared.replica_of.is_some() {
+            let _ = refuse_sync(
+                &stream,
+                "sync_unavailable",
+                "this server is a replica; sync from the primary instead",
+            );
+            return;
+        }
+        let Some(durability) = &self.shared.durability else {
+            let _ = refuse_sync(
+                &stream,
+                "sync_unavailable",
+                "this server is ephemeral (started without --data-dir); only a durable \
+                 server can feed replicas",
+            );
+            return;
+        };
+        let source = durability.lock().unwrap_or_else(|e| e.into_inner()).sync_source();
+        let shared = Arc::clone(&self.shared);
+        let shutdown = Arc::clone(&self.shutdown);
+        let _ = std::thread::Builder::new().name("sepra-sync".into()).spawn(move || {
+            let _ = stream_to_follower(&stream, from_generation, &source, &shutdown, &|| {
+                shared.gate.current()
+            });
+        });
+    }
+
     /// Replaces this worker's snapshot with the master's when a mutation
     /// has been published since the snapshot was taken.
     fn refresh_snapshot(&mut self) {
         if self.shared.generation.load(Ordering::SeqCst) != self.qp.generation() {
             self.qp = self.shared.lock_master().clone();
+        }
+    }
+
+    /// Parks until the applied db generation reaches `target` or `limit`
+    /// elapses, waiting in short slices so shutdown stays prompt. Returns
+    /// the generation actually reached.
+    fn await_generation(&self, target: u64, limit: Duration) -> u64 {
+        let deadline = Instant::now() + limit;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let reached = self.shared.gate.wait_for(target, remaining.min(READ_POLL));
+            if reached >= target || remaining <= READ_POLL || self.shutdown.load(Ordering::SeqCst) {
+                return reached;
+            }
         }
     }
 
@@ -526,6 +653,41 @@ impl Worker {
             Ok(budget) => budget,
             Err(message) => return error_response("bad_request", &message, None),
         };
+        // Generation-consistent reads: `"min_generation": G` parks the
+        // request until the applied generation reaches G (read-your-writes
+        // against a replica that is still catching up), bounded by the
+        // request's deadline budget. The budget above was already started,
+        // so wait time counts against the query's own deadline too.
+        match budget_field(&request, "min_generation") {
+            Err(message) => return error_response("bad_request", &message, None),
+            Ok(None) => {}
+            Ok(Some(target)) => {
+                let limit = match budget_field(&request, "timeout_ms") {
+                    Ok(Some(ms)) => Duration::from_millis(ms),
+                    _ => self.default_timeout.unwrap_or(MIN_GENERATION_WAIT),
+                };
+                let reached = self.await_generation(target, limit);
+                if reached < target {
+                    let mut detail = ObjWriter::new();
+                    detail
+                        .str("kind", "timeout")
+                        .str(
+                            "message",
+                            &format!(
+                                "generation {target} not reached within the deadline \
+                                 (applied generation is {reached})"
+                            ),
+                        )
+                        .num("generation", reached);
+                    let mut out = ObjWriter::new();
+                    out.raw("error", &detail.finish());
+                    return out.finish();
+                }
+                // The gate is published after the master commits, so a
+                // released waiter refreshes into a snapshot at or past G.
+                self.refresh_snapshot();
+            }
+        }
         self.qp.set_exec_options(sepra_core::exec::ExecOptions {
             budget,
             ..sepra_core::exec::ExecOptions::default()
@@ -567,10 +729,14 @@ impl Worker {
                     .num("iterations", result.stats.iterations as u64)
                     .num("tuples_inserted", result.stats.tuples_inserted as u64)
                     .num("rows_scanned", result.stats.rows_scanned as u64);
+                // Every answer is stamped with the db generation of the
+                // snapshot that produced it, so clients can compare reads
+                // across replicas (and against mutation acks).
                 let mut out = ObjWriter::new();
                 out.raw("answers", &rows)
                     .num("count", result.answers.len() as u64)
                     .str("strategy", &result.strategy.to_string())
+                    .num("generation", self.qp.db().generation())
                     .num(
                         "elapsed_us",
                         u64::try_from(result.elapsed.as_micros()).unwrap_or(u64::MAX),
@@ -629,6 +795,21 @@ impl Worker {
     /// Applies an `insert`/`retract` request through the shared master
     /// processor (write-exclusive) and renders the outcome.
     fn handle_mutation(&mut self, request: &Json) -> String {
+        if let Some(primary) = &self.shared.replica_of {
+            // The structured redirect: clients (and the router) read
+            // `error.primary` to re-aim the mutation.
+            let mut detail = ObjWriter::new();
+            detail
+                .str("kind", "read_only_replica")
+                .str(
+                    "message",
+                    &format!("this server is a read-only replica; send mutations to {primary}"),
+                )
+                .str("primary", primary);
+            let mut out = ObjWriter::new();
+            out.raw("error", &detail.finish());
+            return out.finish();
+        }
         let (inserts, retracts) =
             match (fact_list(request, "insert"), fact_list(request, "retract")) {
                 (Ok(i), Ok(r)) => (i, r),
@@ -681,9 +862,12 @@ impl Worker {
                 // Commit order matters: refresh our own snapshot and
                 // publish the generation only after the master committed
                 // and the delta is logged, so no snapshot can observe a
-                // non-durable mutation.
+                // non-durable mutation. The gate (the client-visible db
+                // generation) is published last: a waiter it releases
+                // must find the processor generation already advanced.
                 self.qp = master.clone();
                 self.shared.generation.store(self.qp.generation(), Ordering::SeqCst);
+                self.shared.gate.publish(self.qp.db().generation());
             }
             outcome
         };
@@ -701,11 +885,15 @@ impl Worker {
                     .num("iterations", out.stats.iterations as u64)
                     .num("tuples_inserted", out.stats.tuples_inserted as u64)
                     .num("rows_scanned", out.stats.rows_scanned as u64);
+                // The stamped generation is the *database* generation —
+                // the durable lineage WAL records carry and replicas
+                // report — so a client can hand it straight to a replica
+                // as `min_generation` for read-your-writes.
                 let mut response = ObjWriter::new();
                 response
                     .num("inserted", out.inserted as u64)
                     .num("retracted", out.retracted as u64)
-                    .num("generation", out.generation)
+                    .num("generation", self.qp.db().generation())
                     .num("elapsed_us", u64::try_from(out.elapsed.as_micros()).unwrap_or(u64::MAX))
                     .raw("stats", &stats.finish());
                 response.finish()
@@ -739,6 +927,17 @@ impl Worker {
     }
 }
 
+/// Detects a `{"sync": ...}` request without disturbing the normal
+/// request path: `None` means "not a sync request, handle normally". The
+/// substring pre-check keeps the common path at one JSON parse.
+fn sync_request_of(text: &str) -> Option<Result<u64, String>> {
+    if !text.contains("\"sync\"") {
+        return None;
+    }
+    let request = json::parse(text).ok()?;
+    parse_sync_request(&request)
+}
+
 /// Reads an optional budget member, failing when it is present but not a
 /// nonnegative integer (silently ignoring `"timeout_ms": "soon"` would
 /// run the query unbounded — the opposite of what the client asked for).
@@ -768,9 +967,14 @@ fn fact_list(request: &Json, key: &str) -> Result<Vec<String>, String> {
 }
 
 fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
-    writer.write_all(response.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    // One write per response: splitting the newline into a second small
+    // write lets Nagle hold it until the first segment is acknowledged,
+    // which with the peer's delayed ACK puts a flat ~40 ms on every
+    // request/response round trip.
+    let mut framed = String::with_capacity(response.len() + 1);
+    framed.push_str(response);
+    framed.push('\n');
+    writer.write_all(framed.as_bytes())
 }
 
 /// Renders `{"error": {"kind": ..., "message": ..., "what"?: ...}}`.
@@ -832,10 +1036,14 @@ fn stats_response(
         .num("fallbacks", s.plan_fallbacks)
         .num("drift_invalidations", cache.drift_invalidations())
         .num("replans", cache.misses());
+    // The client-visible generation is the committed *database*
+    // generation (the WAL/checkpoint lineage) — comparable across the
+    // primary, its replicas, and mutation acks.
+    let applied = shared.gate.current();
     let mut out = ObjWriter::new();
     out.num("uptime_ms", u64::try_from(s.uptime.as_millis()).unwrap_or(u64::MAX))
         .num("threads", threads as u64)
-        .num("generation", shared.generation.load(Ordering::SeqCst))
+        .num("generation", applied)
         .raw("queries", &queries.finish())
         .raw("mutations", &mutations.finish())
         .num("tuples_inserted", s.tuples_inserted)
@@ -843,6 +1051,22 @@ fn stats_response(
         .raw("latency_us", &latency.finish())
         .raw("plan_cache", &plan_cache.finish())
         .raw("planner", &planner.finish());
+    if let Some(primary) = &shared.replica_of {
+        let primary_generation = shared.primary_generation.load(Ordering::SeqCst);
+        let mut replication = ObjWriter::new();
+        replication
+            .str("role", "replica")
+            .str("primary", primary)
+            .num("generation", applied)
+            .num("primary_generation", primary_generation)
+            .num("lag", primary_generation.saturating_sub(applied))
+            .num("applied_records", shared.applied_records.load(Ordering::SeqCst));
+        out.raw("replication", &replication.finish());
+    } else if shared.durability.is_some() {
+        let mut replication = ObjWriter::new();
+        replication.str("role", "primary").num("generation", applied);
+        out.raw("replication", &replication.finish());
+    }
     if let Some(durability) = &shared.durability {
         let durability = durability.lock().unwrap_or_else(|e| e.into_inner());
         out.raw("durability", &durability.stats_json(qp.db().generation()));
@@ -871,10 +1095,16 @@ mod tests {
     }
 
     fn worker_with(qp: QueryProcessor, durability: Option<Durability>) -> Worker {
+        let gate = GenerationGate::new();
+        gate.publish(qp.db().generation());
         let shared = Arc::new(SharedState {
             generation: AtomicU64::new(qp.generation()),
+            primary_generation: AtomicU64::new(qp.db().generation()),
             master: Mutex::new(qp.clone()),
             durability: durability.map(Mutex::new),
+            gate,
+            replica_of: None,
+            applied_records: AtomicU64::new(0),
         });
         Worker {
             qp,

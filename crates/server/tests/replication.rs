@@ -1,0 +1,442 @@
+//! End-to-end replication tests: a real durable primary, real
+//! `--replica-of` replicas, and a real `sepra route` router — all
+//! separate subprocesses talking TCP. The invariants under test:
+//!
+//! * **Read-your-writes.** A client that commits through the primary and
+//!   carries the acknowledged generation to a replica as
+//!   `"min_generation"` never reads a stale state, no matter how far
+//!   behind the replica was when the query arrived.
+//! * **Honesty.** A lagging replica stamps responses with the generation
+//!   it actually applied — never the primary's — and a missed
+//!   `min_generation` deadline reports the honest shortfall.
+//! * **Resync.** A SIGKILLed replica restarted from nothing converges to
+//!   exact parity with a from-scratch evaluation of the primary's facts.
+//! * **Routing.** The router sends mutations to the primary, serves
+//!   queries from replicas, and keeps answering through a replica loss.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sepra_engine::QueryProcessor;
+use sepra_server::json::{self, Json};
+
+/// Same chain fixture as the durability tests: one edge per mutation, so
+/// the database generation counts committed edges exactly.
+const PROGRAM: &str = "t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).\ne(m0, m1).\n";
+
+fn test_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sepra_repl_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_fixture(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("chain.dl");
+    std::fs::write(&path, PROGRAM).expect("fixture writes");
+    path
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns `sepra <subcommand> ...` on an OS-assigned port and reads
+    /// the listening banner (`sepra serve listening on ADDR ...` or
+    /// `sepra route listening on ADDR ...`) to learn the address.
+    fn spawn(subcommand: &str, args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_sepra"))
+            .arg(subcommand)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("process spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let prefix = format!("sepra {subcommand} listening on ");
+        let addr = loop {
+            let line = lines.next().expect("startup banner appears").expect("banner line");
+            if let Some(rest) = line.strip_prefix(&prefix) {
+                break rest.split_whitespace().next().expect("address in banner").to_string();
+            }
+        };
+        Server { child, addr }
+    }
+
+    fn spawn_primary(fixture: &std::path::Path, data_dir: &std::path::Path) -> Self {
+        let data_dir = data_dir.display().to_string();
+        Self::spawn(
+            "serve",
+            &[
+                fixture.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--data-dir",
+                &data_dir,
+                "--fsync",
+                "always",
+                "--checkpoint-every",
+                "4",
+            ],
+        )
+    }
+
+    fn spawn_replica(fixture: &std::path::Path, primary: &str) -> Self {
+        Self::spawn(
+            "serve",
+            &[
+                fixture.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--replica-of",
+                primary,
+            ],
+        )
+    }
+
+    fn spawn_router(primary: &str, replicas: &[&str]) -> Self {
+        Self::spawn(
+            "route",
+            &[
+                "--addr",
+                "127.0.0.1:0",
+                "--primary",
+                primary,
+                "--replicas",
+                &replicas.join(","),
+                "--probe-interval-ms",
+                "100",
+            ],
+        )
+    }
+
+    fn connect(&self) -> Connection {
+        let stream = TcpStream::connect(&self.addr).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        Connection { stream, reader }
+    }
+
+    /// SIGKILL: no destructors, no goodbyes — the failure replication
+    /// must route around and resync from.
+    fn kill(mut self) {
+        self.child.kill().expect("kill delivers");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(mut self) {
+        let mut stdin = self.child.stdin.take().expect("stdin is piped");
+        stdin.write_all(b"quit\n").expect("writes quit");
+        stdin.flush().unwrap();
+        drop(stdin);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("try_wait works") {
+                Some(status) => {
+                    assert!(status.success(), "process exited with {status}");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("process did not shut down within 30s of `quit`");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+struct Connection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn request(&mut self, body: &str) -> Json {
+        self.stream.write_all(body.as_bytes()).expect("request writes");
+        self.stream.write_all(b"\n").expect("newline writes");
+        self.stream.flush().unwrap();
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("response reads");
+        assert!(n > 0, "server closed the connection after {body:?}");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response JSON ({e}): {line}"))
+    }
+}
+
+/// Inserts `e(m{i}, m{i+1}).` and returns the acknowledged generation.
+fn insert_edge(conn: &mut Connection, i: usize) -> u64 {
+    let req = format!(r#"{{"insert": ["e(m{i}, m{})."]}}"#, i + 1);
+    let v = conn.request(&req);
+    assert_eq!(v.get("inserted").and_then(Json::as_u64), Some(1), "mutation {i}: {v:?}");
+    v.get("generation").and_then(Json::as_u64).expect("mutation ack carries generation")
+}
+
+/// Sorted answer tuples from a query response.
+fn answer_set(response: &Json) -> Vec<String> {
+    let Some(Json::Arr(rows)) = response.get("answers") else {
+        panic!("response has no answers: {response:?}");
+    };
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let Json::Arr(cells) = row else { panic!("row is not an array") };
+            cells
+                .iter()
+                .map(|c| c.as_str().unwrap_or("?").to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// From-scratch evaluation of the program plus the first `mutations`
+/// edge inserts — the ground truth a synced replica must match.
+fn from_scratch_answers(mutations: usize) -> Vec<String> {
+    let mut qp = QueryProcessor::new();
+    qp.load(PROGRAM).unwrap();
+    for i in 1..=mutations {
+        let fact = format!("e(m{i}, m{}).", i + 1);
+        qp.apply_mutation(&[fact.as_str()], &[]).unwrap();
+    }
+    let result = qp.query("t(m0, Y)?").unwrap();
+    let mut out: Vec<String> = result
+        .answers
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| v.display(qp.db().interner()).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn min_generation_reads_are_never_stale() {
+    let dir = test_dir("ryw");
+    let fixture = write_fixture(&dir);
+    let primary = Server::spawn_primary(&fixture, &dir.join("data"));
+    let replica = Server::spawn_replica(&fixture, &primary.addr);
+
+    let mut pconn = primary.connect();
+    let mut rconn = replica.connect();
+    // Commit on the primary, then IMMEDIATELY query the replica with the
+    // acknowledged generation. No sleeps, no retries: min_generation is
+    // the synchronization, and the answer must include the new edge every
+    // single round.
+    for i in 1..=20 {
+        let generation = insert_edge(&mut pconn, i);
+        let req = format!(
+            r#"{{"query": "t(m0, Y)?", "min_generation": {generation}, "timeout_ms": 10000}}"#
+        );
+        let v = rconn.request(&req);
+        assert_eq!(
+            answer_set(&v),
+            from_scratch_answers(i),
+            "round {i}: replica answered below generation {generation}: {v:?}"
+        );
+        let stamped = v.get("generation").and_then(Json::as_u64).expect("generation stamp");
+        assert!(stamped >= generation, "round {i}: stamped {stamped} < target {generation}");
+    }
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn lagging_replica_reports_its_honest_generation() {
+    let dir = test_dir("honest");
+    let fixture = write_fixture(&dir);
+    let primary = Server::spawn_primary(&fixture, &dir.join("data"));
+    let mut pconn = primary.connect();
+    let mut last = 0;
+    for i in 1..=10 {
+        last = insert_edge(&mut pconn, i);
+    }
+
+    // A replica pointed at a dead address can never catch up: whatever it
+    // stamps must be its own applied generation (the seeded program state
+    // at generation 0-or-1), not the primary's.
+    let lagging = Server::spawn_replica(&fixture, "127.0.0.1:1");
+    let mut lconn = lagging.connect();
+    let v = lconn.request(r#"{"query": "t(m0, Y)?"}"#);
+    let stamped = v.get("generation").and_then(Json::as_u64).expect("generation stamp");
+    assert!(stamped < last, "unsynced replica claims generation {stamped} >= primary's {last}");
+
+    // And an unreachable min_generation times out with the honest
+    // shortfall rather than answering stale.
+    let v = lconn.request(&format!(
+        r#"{{"query": "t(m0, Y)?", "min_generation": {last}, "timeout_ms": 200}}"#
+    ));
+    let error = v.get("error").expect("deadline miss is an error");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("timeout"), "{v:?}");
+    let reached = error.get("generation").and_then(Json::as_u64).expect("honest generation");
+    assert!(reached < last, "timeout error claims generation {reached} >= target {last}");
+
+    // A live replica, by contrast, converges: the same min_generation
+    // read succeeds and stamps at or past the primary's generation.
+    let live = Server::spawn_replica(&fixture, &primary.addr);
+    let mut vconn = live.connect();
+    let v = vconn.request(&format!(
+        r#"{{"query": "t(m0, Y)?", "min_generation": {last}, "timeout_ms": 10000}}"#
+    ));
+    assert_eq!(answer_set(&v), from_scratch_answers(10), "synced replica at parity: {v:?}");
+
+    live.shutdown();
+    lagging.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn replica_rejects_mutations_with_a_redirect() {
+    let dir = test_dir("redirect");
+    let fixture = write_fixture(&dir);
+    let primary = Server::spawn_primary(&fixture, &dir.join("data"));
+    let replica = Server::spawn_replica(&fixture, &primary.addr);
+
+    let mut rconn = replica.connect();
+    let v = rconn.request(r#"{"insert": ["e(x, y)."]}"#);
+    let error = v.get("error").expect("mutation on a replica is refused");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("read_only_replica"), "{v:?}");
+    assert_eq!(
+        error.get("primary").and_then(Json::as_str),
+        Some(primary.addr.as_str()),
+        "redirect names the primary: {v:?}"
+    );
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn sigkilled_replica_resyncs_to_parity_from_scratch() {
+    let dir = test_dir("resync");
+    let fixture = write_fixture(&dir);
+    let primary = Server::spawn_primary(&fixture, &dir.join("data"));
+    let mut pconn = primary.connect();
+
+    let replica = Server::spawn_replica(&fixture, &primary.addr);
+    for i in 1..=6 {
+        insert_edge(&mut pconn, i);
+    }
+    // SIGKILL the replica mid-life, then keep committing: with
+    // --checkpoint-every 4 the primary checkpoints and truncates its WAL
+    // while the replica is down, so the restart cannot ride the log tail
+    // alone — it must take a streamed checkpoint and then the tail.
+    replica.kill();
+    let mut last = 0;
+    for i in 7..=18 {
+        last = insert_edge(&mut pconn, i);
+    }
+
+    let restarted = Server::spawn_replica(&fixture, &primary.addr);
+    let mut rconn = restarted.connect();
+    let v = rconn.request(&format!(
+        r#"{{"query": "t(m0, Y)?", "min_generation": {last}, "timeout_ms": 10000}}"#
+    ));
+    assert_eq!(
+        answer_set(&v),
+        from_scratch_answers(18),
+        "restarted replica converged to exact parity: {v:?}"
+    );
+
+    // Its stats agree: role replica, generation at parity, lag zero.
+    let stats = rconn.request(r#"{"stats": true}"#);
+    let replication = stats.get("replication").expect("replica reports replication stats");
+    assert_eq!(replication.get("role").and_then(Json::as_str), Some("replica"));
+    assert_eq!(replication.get("generation").and_then(Json::as_u64), Some(last));
+    assert_eq!(replication.get("lag").and_then(Json::as_u64), Some(0), "{stats:?}");
+
+    restarted.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn router_splits_traffic_and_survives_replica_loss() {
+    let dir = test_dir("router");
+    let fixture = write_fixture(&dir);
+    let primary = Server::spawn_primary(&fixture, &dir.join("data"));
+    let replica_a = Server::spawn_replica(&fixture, &primary.addr);
+    let replica_b = Server::spawn_replica(&fixture, &primary.addr);
+    let router = Server::spawn_router(&primary.addr, &[&replica_a.addr, &replica_b.addr]);
+
+    // Give the first probe pass a moment to mark backends healthy, then
+    // drive everything through the router: mutations land on the primary,
+    // min_generation queries land on replicas and are never stale.
+    let mut conn = router.connect();
+    for i in 1..=6 {
+        let generation = insert_edge(&mut conn, i);
+        let v = conn.request(&format!(
+            r#"{{"query": "t(m0, Y)?", "min_generation": {generation}, "timeout_ms": 10000}}"#
+        ));
+        assert_eq!(answer_set(&v), from_scratch_answers(i), "routed round {i}: {v:?}");
+    }
+
+    // Kill one replica. The router retries on the next healthy backend
+    // and the prober marks the dead one down, so every request keeps
+    // succeeding with no client-visible gap.
+    replica_a.kill();
+    for i in 7..=12 {
+        let generation = insert_edge(&mut conn, i);
+        let v = conn.request(&format!(
+            r#"{{"query": "t(m0, Y)?", "min_generation": {generation}, "timeout_ms": 10000}}"#
+        ));
+        assert_eq!(answer_set(&v), from_scratch_answers(i), "post-kill round {i}: {v:?}");
+    }
+
+    // Router stats: answered locally; the prober settles on exactly two
+    // healthy backends (primary + surviving replica) within a few probes.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = conn.request(r#"{"stats": true}"#);
+        let healthy = stats
+            .get("router")
+            .and_then(|r| r.get("healthy"))
+            .and_then(Json::as_u64)
+            .expect("router stats report healthy count");
+        if healthy == 2 {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "prober never marked the dead replica down: {stats:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let Some(Json::Arr(backends)) = stats.get("backends") else {
+        panic!("router stats list backends: {stats:?}");
+    };
+    assert_eq!(backends.len(), 3, "primary + two replicas: {stats:?}");
+
+    router.shutdown();
+    replica_b.shutdown();
+    primary.shutdown();
+}
+
+#[test]
+fn ephemeral_server_refuses_sync_requests() {
+    let dir = test_dir("nosync");
+    let fixture = write_fixture(&dir);
+    // No --data-dir: nothing durable to stream from.
+    let server = Server::spawn(
+        "serve",
+        &[fixture.to_str().unwrap(), "--addr", "127.0.0.1:0", "--threads", "2"],
+    );
+    let mut conn = server.connect();
+    let v = conn.request(r#"{"sync": {"from_generation": 0}}"#);
+    let error = v.get("error").expect("sync against ephemeral server is refused");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("sync_unavailable"), "{v:?}");
+    server.shutdown();
+}

@@ -15,9 +15,11 @@
 //! any that fail validation, so even a corrupted newest checkpoint only
 //! costs extra WAL replay, not the database.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use crate::crc::crc32;
 use crate::WalError;
@@ -173,14 +175,77 @@ pub struct LoadedCheckpoint {
     pub skipped: usize,
 }
 
+/// Shared read-leases on checkpoint generations. A sync feeder streaming
+/// a checkpoint file to a follower holds a lease on its generation for
+/// the duration of the stream; [`prune_checkpoints`] skips leased files,
+/// so a checkpoint roll on the primary can never delete a snapshot out
+/// from under a mid-stream follower. Clones share the same lease table.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseSet {
+    held: Arc<Mutex<HashMap<u64, usize>>>,
+}
+
+impl LeaseSet {
+    /// An empty lease table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a lease on `generation`, released when the returned guard
+    /// drops. Leases nest: the generation stays protected until every
+    /// holder released.
+    pub fn acquire(&self, generation: u64) -> CheckpointLease {
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        *held.entry(generation).or_insert(0) += 1;
+        CheckpointLease { set: self.clone(), generation }
+    }
+
+    /// Whether any lease on `generation` is outstanding.
+    pub fn is_leased(&self, generation: u64) -> bool {
+        self.held.lock().unwrap_or_else(|e| e.into_inner()).contains_key(&generation)
+    }
+}
+
+/// An RAII read-lease from [`LeaseSet::acquire`].
+#[derive(Debug)]
+pub struct CheckpointLease {
+    set: LeaseSet,
+    generation: u64,
+}
+
+impl CheckpointLease {
+    /// The generation this lease protects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl Drop for CheckpointLease {
+    fn drop(&mut self) {
+        let mut held = self.set.held.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(count) = held.get_mut(&self.generation) {
+            *count -= 1;
+            if *count == 0 {
+                held.remove(&self.generation);
+            }
+        }
+    }
+}
+
 /// Deletes all but the newest `keep` checkpoints (and any stale `.tmp`
-/// leftovers from interrupted writes). Returns how many files were
-/// removed. Best effort: an unremovable file is left behind, not fatal.
-pub fn prune_checkpoints(dir: &Path, keep: usize) -> Result<usize, WalError> {
+/// leftovers from interrupted writes), skipping generations with an
+/// outstanding read-lease in `leases` — a follower may be mid-stream on
+/// them; they are reclaimed by the next prune after the lease drops.
+/// Returns how many files were removed. Best effort: an unremovable file
+/// is left behind, not fatal.
+pub fn prune_checkpoints(dir: &Path, keep: usize, leases: &LeaseSet) -> Result<usize, WalError> {
     let mut removed = 0;
     let all = list_checkpoints(dir)?;
     let excess = all.len().saturating_sub(keep);
-    for (_, path) in all.into_iter().take(excess) {
+    for (generation, path) in all.into_iter().take(excess) {
+        if leases.is_leased(generation) {
+            continue;
+        }
         if fs::remove_file(&path).is_ok() {
             removed += 1;
         }
@@ -259,8 +324,35 @@ mod tests {
         }
         // A stale temp file from a hypothetical crash.
         fs::write(dir.join("ckpt-junk.tmp"), b"partial").unwrap();
-        let removed = prune_checkpoints(&dir, 2).unwrap();
+        let removed = prune_checkpoints(&dir, 2, &LeaseSet::new()).unwrap();
         assert_eq!(removed, 3); // two old checkpoints + the temp file
+        let kept: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
+        assert_eq!(kept, vec![25, 35]);
+    }
+
+    #[test]
+    fn prune_skips_leased_checkpoints_until_released() {
+        let dir = tmp_dir("lease");
+        for generation in [5u64, 15, 25, 35] {
+            write_checkpoint_file(&dir.join(checkpoint_file_name(generation)), generation, b"body")
+                .unwrap();
+        }
+        let leases = LeaseSet::new();
+        // A follower is mid-stream on the oldest checkpoint when two
+        // newer ones make it prunable.
+        let guard = leases.acquire(5);
+        let inner = leases.acquire(5); // a second follower on the same file
+        assert_eq!(prune_checkpoints(&dir, 2, &leases).unwrap(), 1); // only 15 goes
+        let kept: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
+        assert_eq!(kept, vec![5, 25, 35]);
+        // One holder releasing is not enough; the generation stays
+        // protected until every lease dropped.
+        drop(inner);
+        assert!(leases.is_leased(5));
+        assert_eq!(prune_checkpoints(&dir, 2, &leases).unwrap(), 0);
+        drop(guard);
+        assert!(!leases.is_leased(5));
+        assert_eq!(prune_checkpoints(&dir, 2, &leases).unwrap(), 1);
         let kept: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
         assert_eq!(kept, vec![25, 35]);
     }

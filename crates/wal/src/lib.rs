@@ -35,9 +35,12 @@ pub mod store;
 
 pub use checkpoint::{
     list_checkpoints, load_newest_checkpoint, read_checkpoint_file, write_checkpoint_file,
+    CheckpointLease, LeaseSet,
 };
 pub use codec::{CodecError, Cursor};
-pub use log::{WalReader, WalRecord, WalWriter, WAL_MAGIC};
+pub use log::{
+    read_records_from, FollowPoll, WalFollower, WalReader, WalRecord, WalWriter, WAL_MAGIC,
+};
 pub use store::{read_recovery, DurableStore, Recovery};
 
 use std::time::Duration;

@@ -108,6 +108,94 @@ pub fn read_records(path: &Path) -> Result<WalScan, WalError> {
     Ok(scan)
 }
 
+/// [`read_records`] restricted to records stamped *after*
+/// `from_generation` — the offset API a log-shipping follower resumes
+/// from. `valid_len` and `torn_bytes` still describe the whole file
+/// (filtering changes what is returned, not what is on disk).
+pub fn read_records_from(path: &Path, from_generation: u64) -> Result<WalScan, WalError> {
+    let mut scan = read_records(path)?;
+    scan.records.retain(|r| r.generation > from_generation);
+    Ok(scan)
+}
+
+/// An incremental reader over a live WAL: each [`poll`](Self::poll)
+/// returns the records stamped after the highest generation already
+/// delivered (the *floor*), and flags when the file was truncated under
+/// the reader (a checkpoint rolled and restarted the log).
+///
+/// Rotation is detected by the valid prefix shrinking between polls.
+/// That is a fast path, not a completeness guarantee: a truncate-and-
+/// regrow that lands between two polls can leave the file *longer* than
+/// before while records in `(floor, checkpoint]` are gone from the log.
+/// A reader that must not miss those records therefore also watches the
+/// checkpoint directory — whenever a checkpoint newer than the floor
+/// exists, the truncated records are covered by that snapshot, never
+/// lost (the log is only ever truncated *after* a checkpoint captured
+/// everything in it).
+#[derive(Debug)]
+pub struct WalFollower {
+    path: PathBuf,
+    /// Highest generation already delivered; only records stamped after
+    /// it are returned.
+    floor: u64,
+    /// `valid_len` of the previous poll, for rotation detection.
+    last_valid_len: u64,
+}
+
+/// One [`WalFollower::poll`] outcome.
+#[derive(Debug, Default)]
+pub struct FollowPoll {
+    /// New records, stamped after the follower's floor, in commit order.
+    /// Empty when `rotated` — the caller must first consult checkpoints.
+    pub records: Vec<WalRecord>,
+    /// The file's valid prefix shrank since the previous poll: the log
+    /// was truncated (checkpoint roll). The floor did not advance; the
+    /// caller should check for a checkpoint newer than the floor before
+    /// polling again.
+    pub rotated: bool,
+}
+
+impl WalFollower {
+    /// A follower that will deliver records stamped after `floor`.
+    pub fn new(path: &Path, floor: u64) -> Self {
+        Self { path: path.to_path_buf(), floor, last_valid_len: 0 }
+    }
+
+    /// The highest generation delivered so far.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Raises the floor (after the caller covered a gap from a
+    /// checkpoint). Lowering it would re-deliver records; ignored.
+    pub fn advance_floor(&mut self, floor: u64) {
+        self.floor = self.floor.max(floor);
+    }
+
+    /// Scans the log and returns records newer than the floor, advancing
+    /// the floor past them. A CRC-invalid tail is treated as
+    /// not-yet-written (a concurrent append lands mid-poll); the torn
+    /// records surface on a later poll once complete. A missing file is
+    /// an empty poll.
+    pub fn poll(&mut self) -> Result<FollowPoll, WalError> {
+        let scan = read_records(&self.path)?;
+        if scan.valid_len < self.last_valid_len {
+            // Truncated under us. Reset so the restarted file is read
+            // from scratch next time, once the caller has resolved the
+            // gap against the checkpoint directory.
+            self.last_valid_len = 0;
+            return Ok(FollowPoll { records: Vec::new(), rotated: true });
+        }
+        self.last_valid_len = scan.valid_len;
+        let records: Vec<WalRecord> =
+            scan.records.into_iter().filter(|r| r.generation > self.floor).collect();
+        if let Some(last) = records.last() {
+            self.floor = last.generation;
+        }
+        Ok(FollowPoll { records, rotated: false })
+    }
+}
+
 /// Truncates `path` to `valid_len` (dropping a torn tail found by
 /// [`read_records`]). A no-op when the file is missing.
 pub fn repair(path: &Path, valid_len: u64) -> Result<(), WalError> {
@@ -494,6 +582,94 @@ mod tests {
         let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
         assert!(!w.poisoned());
         w.append(2, b"accepted again").unwrap();
+    }
+
+    #[test]
+    fn read_records_from_filters_by_generation() {
+        let path = tmp("offset.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        for generation in [3u64, 7, 12] {
+            w.append(generation, b"payload").unwrap();
+        }
+        drop(w);
+        let all = read_records_from(&path, 0).unwrap();
+        assert_eq!(all.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![3, 7, 12]);
+        let tail = read_records_from(&path, 7).unwrap();
+        assert_eq!(tail.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![12]);
+        // valid_len still covers the whole file, not just the filtered tail.
+        assert_eq!(tail.valid_len, all.valid_len);
+        assert!(read_records_from(&path, 12).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn follower_delivers_each_record_once() {
+        let path = tmp("follow.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        let mut follower = WalFollower::new(&path, 0);
+        assert!(follower.poll().unwrap().records.is_empty()); // nothing yet
+        w.append(1, b"a").unwrap();
+        w.append(2, b"b").unwrap();
+        let poll = follower.poll().unwrap();
+        assert!(!poll.rotated);
+        assert_eq!(poll.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(follower.poll().unwrap().records.is_empty()); // no re-delivery
+        w.append(5, b"c").unwrap();
+        let poll = follower.poll().unwrap();
+        assert_eq!(poll.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(follower.floor(), 5);
+    }
+
+    #[test]
+    fn follower_flags_truncation_and_resumes_after_floor_advance() {
+        let path = tmp("follow_rotate.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"a").unwrap();
+        w.append(2, b"b").unwrap();
+        let mut follower = WalFollower::new(&path, 0);
+        assert_eq!(follower.poll().unwrap().records.len(), 2);
+        // A checkpoint at 4 truncates the log; records 3..=4 are gone
+        // from the file, covered by the snapshot.
+        w.truncate().unwrap();
+        w.append(6, b"after").unwrap();
+        let poll = follower.poll().unwrap();
+        assert!(poll.rotated);
+        assert!(poll.records.is_empty());
+        assert_eq!(follower.floor(), 2); // the floor did not advance
+        follower.advance_floor(4); // caller covered 3..=4 from the checkpoint
+        let poll = follower.poll().unwrap();
+        assert!(!poll.rotated);
+        assert_eq!(poll.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![6]);
+        // advance_floor never lowers the floor.
+        follower.advance_floor(1);
+        assert_eq!(follower.floor(), 6);
+    }
+
+    #[test]
+    fn follower_treats_a_torn_tail_as_not_yet_written() {
+        let path = tmp("follow_torn.log");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(1, b"whole").unwrap();
+        let good_len = w.bytes();
+        w.append(2, b"gets torn").unwrap();
+        drop(w);
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(good_len + 7).unwrap();
+        drop(file);
+        let mut follower = WalFollower::new(&path, 0);
+        let poll = follower.poll().unwrap();
+        assert!(!poll.rotated);
+        assert_eq!(poll.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![1]);
+        // The record completes (a concurrent append finished): the next
+        // poll picks it up.
+        repair(&path, good_len).unwrap();
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(2, b"complete now").unwrap();
+        let poll = follower.poll().unwrap();
+        assert_eq!(poll.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

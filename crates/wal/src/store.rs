@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 
 use crate::checkpoint::{
     checkpoint_file_name, load_newest_checkpoint, prune_checkpoints, write_checkpoint_file,
+    LeaseSet,
 };
 use crate::log::{read_records, repair, WalRecord, WalWriter};
 use crate::{FsyncPolicy, WalError};
@@ -89,6 +90,9 @@ pub struct DurableStore {
     writer: WalWriter,
     records_since_checkpoint: u64,
     last_checkpoint_generation: u64,
+    /// Read-leases sync feeders hold on checkpoint files they are
+    /// streaming; [`DurableStore::checkpoint`]'s prune skips them.
+    leases: LeaseSet,
 }
 
 impl DurableStore {
@@ -111,6 +115,7 @@ impl DurableStore {
                 writer,
                 records_since_checkpoint: (recovery.records.len() + recovery.stale_records) as u64,
                 last_checkpoint_generation: recovery.checkpoint_generation.unwrap_or(0),
+                leases: LeaseSet::new(),
             },
             recovery,
         ))
@@ -134,7 +139,7 @@ impl DurableStore {
         self.writer.truncate()?;
         self.records_since_checkpoint = 0;
         self.last_checkpoint_generation = generation;
-        let _ = prune_checkpoints(&self.dir, KEEP_CHECKPOINTS)?;
+        let _ = prune_checkpoints(&self.dir, KEEP_CHECKPOINTS, &self.leases)?;
         Ok(())
     }
 
@@ -169,6 +174,18 @@ impl DurableStore {
     /// The data directory this store manages.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The WAL file inside the data directory.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// A handle on this store's checkpoint lease table — hand one to each
+    /// sync feeder so the leases it takes are the ones
+    /// [`DurableStore::checkpoint`] respects.
+    pub fn leases(&self) -> LeaseSet {
+        self.leases.clone()
     }
 }
 
@@ -227,6 +244,33 @@ mod tests {
         assert_eq!(recovery.records.iter().map(|r| r.generation).collect::<Vec<_>>(), vec![5]);
         assert_eq!(store.last_checkpoint_generation(), 2);
         assert_eq!(store.records_since_checkpoint(), 1);
+    }
+
+    #[test]
+    fn checkpoint_roll_spares_snapshots_a_follower_is_streaming() {
+        let dir = tmp_dir("leased_roll");
+        let (mut store, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.checkpoint(10, b"s10").unwrap();
+        // A sync feeder starts streaming the generation-10 snapshot.
+        let lease = store.leases().acquire(10);
+        // Two newer rolls would normally prune 10 (KEEP_CHECKPOINTS = 2).
+        store.checkpoint(20, b"s20").unwrap();
+        store.checkpoint(30, b"s30").unwrap();
+        let kept: Vec<u64> = crate::checkpoint::list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
+        assert_eq!(kept, vec![10, 20, 30]);
+        // Stream done: the next roll reclaims it.
+        drop(lease);
+        store.checkpoint(40, b"s40").unwrap();
+        let kept: Vec<u64> = crate::checkpoint::list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(g, _)| g)
+            .collect();
+        assert_eq!(kept, vec![30, 40]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use sepra_ast::Interner;
 use sepra_storage::{Database, EdbDelta, Tuple, Value};
 use sepra_wal::codec::{decode_delta, encode_database, encode_delta};
-use sepra_wal::log::read_records;
+use sepra_wal::log::{read_records, WalFollower};
 use sepra_wal::store::WAL_FILE;
 use sepra_wal::{codec, DurableStore, FsyncPolicy, WalWriter};
 
@@ -205,6 +205,101 @@ proptest! {
         let mut reader = Interner::new();
         for record in &recovery.records {
             prop_assert!(decode_delta(&record.payload, &mut reader).is_ok());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The log-shipping follower contract under arbitrary interleavings
+    /// of appends, checkpoint truncations, and polls: every committed
+    /// generation is either delivered by the follower exactly once or
+    /// covered by a checkpoint the (modelled) feeder shipped instead —
+    /// no loss, no duplication, order preserved. This includes the
+    /// truncate-and-regrow race where the file never shrinks between two
+    /// polls: the follower's rotation flag alone cannot see it, so the
+    /// model, like the real feeder, also watches the newest checkpoint
+    /// generation before each poll.
+    #[test]
+    fn follower_never_loses_or_duplicates_across_rotations(
+        steps in proptest::collection::vec((1u8..=3, 1u64..=3), 1..24),
+    ) {
+        let tag: u64 = steps
+            .iter()
+            .enumerate()
+            .map(|(i, (op, step))| (i as u64 + 1) * (u64::from(*op) * 7 + step))
+            .sum();
+        let dir = std::env::temp_dir().join(format!(
+            "sepra_wal_prop_follow_{}_{}_{tag}",
+            std::process::id(),
+            steps.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(WAL_FILE);
+        let mut writer = WalWriter::open(&wal, FsyncPolicy::Never).unwrap();
+
+        let mut generation = 0u64; // advances in non-dense steps, like the db's
+        let mut appended: Vec<u64> = Vec::new();
+        let mut checkpoint_generation = 0u64; // newest snapshot's stamp
+        let mut follower = WalFollower::new(&wal, 0);
+        let mut delivered: Vec<u64> = Vec::new();
+        let mut covered = 0u64; // generations <= covered were shipped via checkpoint
+
+        // The feeder step before each poll: a checkpoint newer than the
+        // floor covers every generation up to its stamp.
+        fn resolve(follower: &mut WalFollower, covered: &mut u64, checkpoint_generation: u64) {
+            if checkpoint_generation > follower.floor() {
+                *covered = (*covered).max(checkpoint_generation);
+                follower.advance_floor(checkpoint_generation);
+            }
+        }
+
+        for (op, step) in &steps {
+            match op {
+                1 => {
+                    generation += step;
+                    writer.append(generation, b"payload").unwrap();
+                    appended.push(generation);
+                }
+                2 => {
+                    // A checkpoint at the current generation truncates
+                    // the log (the snapshot covers everything in it).
+                    checkpoint_generation = generation;
+                    writer.truncate().unwrap();
+                }
+                _ => {
+                    resolve(&mut follower, &mut covered, checkpoint_generation);
+                    let poll = follower.poll().unwrap();
+                    if !poll.rotated {
+                        delivered.extend(poll.records.iter().map(|r| r.generation));
+                    }
+                }
+            }
+        }
+        // Drain: the follower catches up once writes stop.
+        loop {
+            resolve(&mut follower, &mut covered, checkpoint_generation);
+            let poll = follower.poll().unwrap();
+            if poll.rotated {
+                continue;
+            }
+            if poll.records.is_empty() {
+                break;
+            }
+            delivered.extend(poll.records.iter().map(|r| r.generation));
+        }
+
+        // Strictly increasing delivery: unique and in commit order.
+        prop_assert!(delivered.windows(2).all(|w| w[0] < w[1]), "delivered {delivered:?}");
+        // Nothing phantom: everything delivered was committed.
+        for g in &delivered {
+            prop_assert!(appended.contains(g), "phantom generation {g}");
+        }
+        // Nothing lost: every commit arrived by log or by checkpoint.
+        for g in &appended {
+            prop_assert!(
+                delivered.contains(g) || *g <= covered,
+                "generation {g} lost (delivered {delivered:?}, covered {covered})"
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
