@@ -85,6 +85,7 @@ fn spawn_node(program: &str, data_dir: Option<&std::path::Path>, replica_of: Opt
             // measures tail replay, not snapshot transfer.
             fsync: FsyncPolicy::Never,
             checkpoint_every: 0,
+            checkpoint_format: Default::default(),
         }),
         replica_of: replica_of.map(String::from),
         ..ServeOptions::default()

@@ -207,7 +207,7 @@ impl SeparableEvaluator {
         let mut justifications: FxHashMap<Tuple, Justification> = FxHashMap::default();
         for row in raw.seen2.iter() {
             let tuple = assemble(sep.arity, &fixed, &plan.phase2.columns, row);
-            if let Some(j) = tracker.justify(row) {
+            if let Some(j) = tracker.justify(&row.to_tuple()) {
                 justifications.entry(tuple.clone()).or_insert(j);
             }
             full.insert(tuple);
@@ -279,12 +279,17 @@ fn query_value_at(query: &Query, pos: usize) -> Result<Value, EvalError> {
 
 /// Builds a full tuple from fixed `(position, value)` pairs plus the
 /// phase-2 row at `rest_cols`.
-fn assemble(arity: usize, fixed: &[(usize, Value)], rest_cols: &[usize], row: &Tuple) -> Tuple {
+fn assemble(
+    arity: usize,
+    fixed: &[(usize, Value)],
+    rest_cols: &[usize],
+    row: sepra_storage::Row<'_>,
+) -> Tuple {
     debug_assert_eq!(fixed.len() + rest_cols.len(), arity);
     let placeholder = fixed
         .first()
         .map(|&(_, v)| v)
-        .or_else(|| row.values().first().copied())
+        .or_else(|| row.values().next())
         .unwrap_or_else(|| Value::sym(sepra_ast::Sym(0)));
     let mut values = vec![placeholder; arity];
     for &(pos, v) in fixed {

@@ -260,7 +260,7 @@ pub fn execute_plan_tracked(
                 )));
             }
             for t in init.iter() {
-                tracker.record_phase1(t.clone(), Origin::Root);
+                tracker.record_phase1(t.to_tuple(), Origin::Root);
             }
             let seen = run_closure_tracked(
                 &p1.tracked_steps,
@@ -396,12 +396,12 @@ fn run_closure_tracked(
         indexes.invalidate(RelKey::Aux(carry_key_id));
         let mut next_carry = Relation::new(arity);
         for t in produced.iter() {
-            let is_new = !seen.contains(t);
+            let is_new = !seen.contains_row(t);
             if is_new {
-                seen.insert(t.clone());
+                seen.insert_from(t);
             }
             if is_new || !opts.dedup {
-                next_carry.insert(t.clone());
+                next_carry.insert_from(t);
             }
         }
         stats.record_size(carry_name, next_carry.len());
@@ -523,12 +523,12 @@ pub fn run_closure(
         // carry := carry - seen (line 5); seen := seen u carry (line 6).
         let mut next_carry = Relation::new(arity);
         for t in produced.iter() {
-            let is_new = !seen.contains(t);
+            let is_new = !seen.contains_row(t);
             if is_new {
-                seen.insert(t.clone());
+                seen.insert_from(t);
             }
             if is_new || !opts.dedup {
-                next_carry.insert(t.clone());
+                next_carry.insert_from(t);
             }
         }
         stats.record_size(carry_name, next_carry.len());
@@ -666,7 +666,7 @@ mod tests {
         // insertion order, not just the same set.
         let a = run(4);
         let b = run(4);
-        assert_eq!(a.seen2.as_slice(), b.seen2.as_slice());
+        assert!(a.seen2.iter().eq(b.seen2.iter()), "insertion order diverged");
     }
 
     #[test]

@@ -1104,7 +1104,7 @@ pub struct PlanReport {
 /// renderer re-sorting.
 fn finish(answers: Relation, strategy: Strategy, stats: EvalStats, start: Instant) -> QueryResult {
     let arity = answers.arity();
-    let mut tuples: Vec<Tuple> = answers.iter().cloned().collect();
+    let mut tuples: Vec<Tuple> = answers.iter().map(|t| t.to_tuple()).collect();
     tuples.sort_unstable();
     QueryResult {
         answers: Relation::from_tuples(arity, tuples),
@@ -1233,7 +1233,7 @@ mod tests {
             let r = qp.query_with("t(X, Y)?", StrategyChoice::Force(Strategy::Bounded)).unwrap();
             assert_eq!(r.answers.len(), expected.len(), "prepare={prepare}");
             for t in r.answers.iter() {
-                assert!(expected.contains(t), "prepare={prepare}");
+                assert!(expected.contains_row(t), "prepare={prepare}");
             }
         }
     }
@@ -1389,7 +1389,7 @@ mod tests {
             let mut qp = QueryProcessor::new();
             qp.load(EX_1_2).unwrap();
             let r = qp.query_with("buys(tom, Y)?", StrategyChoice::Force(strategy)).unwrap();
-            let tuples: Vec<_> = r.answers.iter().cloned().collect();
+            let tuples: Vec<_> = r.answers.iter().map(|t| t.to_tuple()).collect();
             let mut sorted = tuples.clone();
             sorted.sort_unstable();
             assert_eq!(tuples, sorted, "strategy {strategy} answers not sorted");
@@ -1469,7 +1469,7 @@ mod tests {
         let widget = {
             let cheaper = fresh.db_mut().intern("cheaper");
             let rel = fresh.db().relation(cheaper).unwrap();
-            rel.iter().next().unwrap().clone()
+            rel.iter().next().unwrap().to_tuple()
         };
         let cheaper = fresh.db_mut().intern("cheaper");
         fresh.db_mut().retract(cheaper, &widget).unwrap();

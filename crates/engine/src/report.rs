@@ -32,7 +32,6 @@ pub fn render_answers_csv(answers: &Relation, interner: &Interner) -> String {
         .iter()
         .map(|t| {
             t.values()
-                .iter()
                 .map(|v| escape(&v.display(interner).to_string()))
                 .collect::<Vec<_>>()
                 .join(",")
@@ -71,7 +70,6 @@ pub fn render_answers_json(answers: &Relation, interner: &Interner) -> String {
         .map(|t| {
             let cells: Vec<String> = t
                 .values()
-                .iter()
                 .map(|v| format!("\"{}\"", escape(&v.display(interner).to_string())))
                 .collect();
             format!("[{}]", cells.join(","))

@@ -65,7 +65,7 @@ pub fn filter_by_query(query: &Query, source: &Relation) -> Result<Relation, Eva
                 continue 'tuples;
             }
         }
-        out.insert(t.clone());
+        out.insert_from(t);
     }
     Ok(out)
 }

@@ -504,7 +504,7 @@ fn retract_phase(
 
         // --- Apply the over-deletion. ---
         for (&pred, marked) in &del {
-            let tuples: Vec<Tuple> = marked.iter().cloned().collect();
+            let tuples: Vec<Tuple> = marked.iter().map(|t| t.to_tuple()).collect();
             derived.get_mut(&pred).expect("stratum head").remove_batch(&tuples);
         }
 
@@ -515,11 +515,11 @@ fn retract_phase(
         for (&pred, marked) in &del {
             if let Some(edb) = db_after.relation(pred) {
                 for t in marked.iter() {
-                    if edb.contains(t) {
+                    if edb.contains_row(t) {
                         putbacks
                             .entry(pred)
                             .or_insert_with(|| Relation::new(marked.arity()))
-                            .insert(t.clone());
+                            .insert_from(t);
                     }
                 }
             }
@@ -566,9 +566,9 @@ fn retract_phase(
             let rel = derived.get_mut(&pred).expect("stratum head");
             let mut fresh = Relation::new(r.arity());
             for t in r.iter() {
-                if rel.insert(t.clone()) {
+                if rel.insert_from(t) {
                     stats.record_insert(true);
-                    fresh.insert(t.clone());
+                    fresh.insert_from(t);
                 }
             }
             if !fresh.is_empty() {
@@ -615,8 +615,8 @@ fn retract_phase(
             let rel = &derived[&pred];
             let mut net = Relation::new(marked.arity());
             for t in marked.iter() {
-                if !rel.contains(t) {
-                    net.insert(t.clone());
+                if !rel.contains_row(t) {
+                    net.insert_from(t);
                 }
             }
             if !net.is_empty() {

@@ -10,7 +10,7 @@
 //! synthetic `carry` relation.
 
 use sepra_ast::{Literal, Sym, Term};
-use sepra_storage::{tuple::Tuple, Value};
+use sepra_storage::{Row, Value};
 
 use crate::error::EvalError;
 use crate::store::{IndexSource, RelStore};
@@ -285,7 +285,7 @@ impl ConjPlan {
                     });
                 }
                 let mut newly: Vec<usize> = Vec::new();
-                let mut consider = |tuple: &Tuple,
+                let mut consider = |tuple: Row<'_>,
                                     slots: &mut [Value],
                                     newly: &mut Vec<usize>,
                                     this: &ConjPlan,
@@ -597,7 +597,7 @@ mod tests {
     use super::*;
     use crate::store::IndexCache;
     use sepra_ast::{parse_program, Interner};
-    use sepra_storage::{Database, Relation};
+    use sepra_storage::{Database, Relation, Tuple};
 
     /// Compiles the body of the first rule of `src` with the head terms as
     /// output and no inputs.

@@ -110,10 +110,8 @@ impl PlannerStats {
             None => {
                 let mut seen: Vec<FxHashSet<sepra_storage::Value>> =
                     vec![FxHashSet::default(); rel.arity()];
-                for t in rel.iter() {
-                    for (c, &v) in t.values().iter().enumerate() {
-                        seen[c].insert(v);
-                    }
+                for (c, seen_col) in seen.iter_mut().enumerate() {
+                    seen_col.extend(rel.column(c).iter().copied());
                 }
                 RelEstimate {
                     rows: rel.len() as f64,

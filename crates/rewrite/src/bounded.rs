@@ -83,9 +83,7 @@ pub fn bounded_evaluate_with_options(
     let snapshot = db.relation(bounded.pred).cloned();
     let edb = db.relation_mut(bounded.edb_pred, bounded.arity);
     if let Some(facts) = snapshot {
-        for t in facts.iter() {
-            edb.insert(t.clone());
-        }
+        edb.union_in_place(&facts);
     }
 
     let derived = seminaive_with_options(&rewritten, &db, eval)?;
@@ -120,7 +118,7 @@ mod tests {
     fn assert_same_tuples(a: &Relation, b: &Relation) {
         assert_eq!(a.len(), b.len());
         for t in a.iter() {
-            assert!(b.contains(t), "tuple sets differ");
+            assert!(b.contains_row(t), "tuple sets differ");
         }
     }
 

@@ -133,7 +133,7 @@ pub fn counting_evaluate(
                 sepra_storage::FxHashMap::default();
             for t in frontier.iter() {
                 let code = t[0].as_int().expect("code column is an int");
-                let vals = Tuple::new(t.values()[1..].to_vec());
+                let vals = Tuple::new(t.values().skip(1).collect::<Vec<_>>());
                 carry.insert(vals.clone());
                 codes_of.entry(vals).or_default().push(code);
             }
@@ -192,7 +192,7 @@ pub fn counting_evaluate(
     // level; then the shared exit join + upward closure.
     let mut seen1 = Relation::new(width);
     for t in count.iter() {
-        seen1.insert(Tuple::new(t.values()[2..].to_vec()));
+        seen1.insert(Tuple::new(t.values().skip(2).collect::<Vec<_>>()));
     }
     stats.record_size("seen_1", seen1.len());
     let seen2 =

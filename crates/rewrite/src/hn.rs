@@ -128,9 +128,7 @@ pub fn hn_evaluate(
                 });
                 if !out.is_empty() {
                     work += out.len();
-                    for t in out.iter() {
-                        reached.insert(t.clone());
-                    }
+                    reached.union_in_place(&out);
                     next.push(out);
                 }
             }

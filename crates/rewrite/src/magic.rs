@@ -115,9 +115,7 @@ pub fn magic_evaluate_with_options(
             let base = interner.intern(&base_name);
             let facts = db.relation(pred).cloned().expect("checked non-empty");
             let arity = facts.arity();
-            for t in facts.iter() {
-                db.relation_mut(base, arity).insert(t.clone());
-            }
+            db.relation_mut(base, arity).union_in_place(&facts);
             // Remove original facts by replacing the relation with empty.
             *db.relation_mut(pred, arity) = Relation::new(arity);
             let vars: Vec<Term> =
@@ -224,7 +222,7 @@ mod tests {
     fn assert_same_tuples(a: &Relation, b: &Relation) {
         assert_eq!(a.len(), b.len(), "sizes differ: {} vs {}", a.len(), b.len());
         for t in a.iter() {
-            assert!(b.contains(t), "missing tuple");
+            assert!(b.contains_row(t), "missing tuple");
         }
     }
 

@@ -106,9 +106,7 @@ fn supplementary_impl(
             let base = interner.intern(&base_name);
             let facts = db.relation(pred).cloned().expect("non-empty");
             let arity = facts.arity();
-            for t in facts.iter() {
-                db.relation_mut(base, arity).insert(t.clone());
-            }
+            db.relation_mut(base, arity).union_in_place(&facts);
             *db.relation_mut(pred, arity) = Relation::new(arity);
             let vars: Vec<Term> =
                 (0..arity).map(|i| Term::Var(db.interner_mut().intern(&format!("B{i}")))).collect();
@@ -244,7 +242,7 @@ mod tests {
     fn assert_same_tuples(a: &Relation, b: &Relation) {
         assert_eq!(a.len(), b.len());
         for t in a.iter() {
-            assert!(b.contains(t));
+            assert!(b.contains_row(t));
         }
     }
 

@@ -51,7 +51,7 @@ use sepra_engine::{
 use sepra_eval::Budget;
 use sepra_repl::{route, RouteOptions};
 use sepra_server::{
-    default_threads, json, load_offline, serve, DurabilityOptions, ServeOptions,
+    default_threads, json, load_offline, serve, CheckpointFormat, DurabilityOptions, ServeOptions,
     DEFAULT_CHECKPOINT_EVERY,
 };
 use sepra_wal::checkpoint::checkpoint_file_name;
@@ -267,6 +267,11 @@ Options:
       --checkpoint-every N
                         checkpoint after N WAL records (default 1024;
                         0 disables automatic checkpoints)
+      --checkpoint-format v1|v2
+                        body format for new checkpoints: v2 (default)
+                        is the columnar, memory-mappable layout; v1
+                        keeps the row-major format pre-columnar
+                        replicas can cold-sync from
       --replica-of HOST:PORT
                         run as a read replica of the primary at
                         HOST:PORT (mutually exclusive with --data-dir)
@@ -495,6 +500,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut fsync: Option<FsyncPolicy> = None;
     let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_format: Option<CheckpointFormat> = None;
     let usage_error = |msg: &str| {
         eprintln!("error: {msg}");
         ExitCode::from(2)
@@ -524,6 +530,11 @@ fn run_serve(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--checkpoint-format" => match args.next().map(|s| s.parse::<CheckpointFormat>()) {
+                Some(Ok(format)) => checkpoint_format = Some(format),
+                Some(Err(e)) => return usage_error(&e),
+                None => return usage_error("missing argument for --checkpoint-format"),
+            },
             "--addr" => match args.next() {
                 Some(a) => opts.addr = a.clone(),
                 None => return usage_error("missing argument for --addr"),
@@ -603,7 +614,10 @@ fn run_serve(args: &[String]) -> ExitCode {
         return usage_error("sepra serve needs at least one file (try `sepra serve --help`)");
     }
     if opts.replica_of.is_some()
-        && (data_dir.is_some() || fsync.is_some() || checkpoint_every.is_some())
+        && (data_dir.is_some()
+            || fsync.is_some()
+            || checkpoint_every.is_some()
+            || checkpoint_format.is_some())
     {
         return usage_error(
             "--replica-of is mutually exclusive with --data-dir/--fsync/--checkpoint-every \
@@ -616,10 +630,13 @@ fn run_serve(args: &[String]) -> ExitCode {
                 data_dir: dir,
                 fsync: fsync.unwrap_or_default(),
                 checkpoint_every: checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+                checkpoint_format: checkpoint_format.unwrap_or_default(),
             });
         }
-        None if fsync.is_some() || checkpoint_every.is_some() => {
-            return usage_error("--fsync and --checkpoint-every require --data-dir");
+        None if fsync.is_some() || checkpoint_every.is_some() || checkpoint_format.is_some() => {
+            return usage_error(
+                "--fsync, --checkpoint-every, and --checkpoint-format require --data-dir",
+            );
         }
         None => {}
     }
@@ -824,7 +841,7 @@ fn run_restore(args: &[String]) -> ExitCode {
         }
     };
     let mut probe = sepra_storage::Database::new();
-    if let Err(e) = codec::decode_database_into(&body, &mut probe) {
+    if let Err(e) = codec::decode_snapshot_into(&body, &mut probe) {
         eprintln!("error: {file} does not decode as an EDB snapshot: {e}");
         return ExitCode::FAILURE;
     }

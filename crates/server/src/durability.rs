@@ -34,6 +34,41 @@ use crate::json::ObjWriter;
 /// Default for [`DurabilityOptions::checkpoint_every`].
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
 
+/// Which snapshot body new checkpoints are written with. Readers accept
+/// both regardless ([`codec::decode_snapshot_into`] sniffs the body), so
+/// this only picks the *write* format: `V1` keeps a rollout's primaries
+/// emitting checkpoints that pre-columnar replicas can still cold-sync
+/// from; `V2` (the default) writes the columnar, memory-mappable layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// The row-major tuple-at-a-time frame.
+    V1,
+    /// The columnar `SEPRCOL2` frame.
+    #[default]
+    V2,
+}
+
+impl std::fmt::Display for CheckpointFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointFormat::V1 => write!(f, "v1"),
+            CheckpointFormat::V2 => write!(f, "v2"),
+        }
+    }
+}
+
+impl std::str::FromStr for CheckpointFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "v1" | "1" => Ok(CheckpointFormat::V1),
+            "v2" | "2" => Ok(CheckpointFormat::V2),
+            other => Err(format!("unknown checkpoint format '{other}' (expected v1 or v2)")),
+        }
+    }
+}
+
 /// Durability configuration for `sepra serve --data-dir`.
 #[derive(Debug, Clone)]
 pub struct DurabilityOptions {
@@ -44,16 +79,19 @@ pub struct DurabilityOptions {
     /// Checkpoint after this many WAL records since the last checkpoint
     /// (0 disables automatic checkpoints; the log then grows unbounded).
     pub checkpoint_every: u64,
+    /// The body format for checkpoints this server writes.
+    pub checkpoint_format: CheckpointFormat,
 }
 
 impl DurabilityOptions {
-    /// Options for `data_dir` with default fsync (`always`) and
-    /// checkpoint cadence.
+    /// Options for `data_dir` with default fsync (`always`), checkpoint
+    /// cadence, and checkpoint format.
     pub fn new(data_dir: PathBuf) -> Self {
         DurabilityOptions {
             data_dir,
             fsync: FsyncPolicy::default(),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            checkpoint_format: CheckpointFormat::default(),
         }
     }
 }
@@ -83,6 +121,7 @@ pub struct Durability {
     store: DurableStore,
     fsync: FsyncPolicy,
     checkpoint_every: u64,
+    checkpoint_format: CheckpointFormat,
     recovery: RecoveryReport,
 }
 
@@ -105,7 +144,7 @@ impl Durability {
             // The snapshot is the whole EDB: drop the program file's
             // facts first so pre-checkpoint retractions stay retracted.
             qp.db_mut().clear_relations();
-            let generation = codec::decode_database_into(body, qp.db_mut())?;
+            let generation = codec::decode_snapshot_into(body, qp.db_mut())?;
             qp.db_mut().force_generation(generation);
         }
         for record in &recovery.records {
@@ -125,6 +164,7 @@ impl Durability {
             store,
             fsync: opts.fsync,
             checkpoint_every: opts.checkpoint_every,
+            checkpoint_format: opts.checkpoint_format,
             recovery: report,
         };
         if recovery.checkpoint_body.is_none() {
@@ -156,9 +196,13 @@ impl Durability {
         Ok(false)
     }
 
-    /// Writes a checkpoint of `db` now, truncating the WAL.
+    /// Writes a checkpoint of `db` now (in the configured body format),
+    /// truncating the WAL.
     pub fn checkpoint(&mut self, db: &Database) -> Result<(), WalError> {
-        let body = codec::encode_database(db);
+        let body = match self.checkpoint_format {
+            CheckpointFormat::V1 => codec::encode_database(db),
+            CheckpointFormat::V2 => codec::encode_database_columnar(db),
+        };
         self.store.checkpoint(db.generation(), &body)
     }
 
@@ -236,6 +280,7 @@ impl Durability {
             .num("records_since_checkpoint", self.store.records_since_checkpoint())
             .num("last_checkpoint_generation", self.store.last_checkpoint_generation())
             .num("checkpoint_every", self.checkpoint_every)
+            .str("checkpoint_format", &self.checkpoint_format.to_string())
             .num("db_generation", db_generation)
             .raw("recovery", &recovery.finish());
         out.finish()
@@ -250,7 +295,7 @@ pub fn load_offline(data_dir: &std::path::Path) -> Result<Database, WalError> {
     let recovery = read_recovery(data_dir)?;
     let mut db = Database::new();
     if let Some(body) = &recovery.checkpoint_body {
-        let generation = codec::decode_database_into(body, &mut db)?;
+        let generation = codec::decode_snapshot_into(body, &mut db)?;
         db.force_generation(generation);
     }
     for record in &recovery.records {
@@ -283,7 +328,7 @@ mod tests {
             let name = db.interner().resolve(pred).to_string();
             for tuple in relation.iter() {
                 let args: Vec<String> =
-                    tuple.values().iter().map(|v| v.display(db.interner()).to_string()).collect();
+                    tuple.values().map(|v| v.display(db.interner()).to_string()).collect();
                 facts.push(format!("{name}({})", args.join(",")));
             }
         }
@@ -389,6 +434,39 @@ mod tests {
         // The offline view has no program file, so compare EDB facts only.
         assert_eq!(fact_strings(&offline), fact_strings(live.db()));
         assert_eq!(offline.generation(), live.db().generation());
+    }
+
+    #[test]
+    fn both_checkpoint_formats_recover_identically() {
+        // A directory checkpointed in v1 and one in v2 recover to the
+        // same state — and a v1 directory reopened by a v2-writing server
+        // (the rollout path) keeps working.
+        let mut recovered = Vec::new();
+        for format in [CheckpointFormat::V1, CheckpointFormat::V2] {
+            let dir = tmp_dir(&format!("format_{format}"));
+            let mut opts = DurabilityOptions::new(dir.clone());
+            opts.checkpoint_format = format;
+            {
+                let mut qp = processor();
+                let mut durability = Durability::recover(&mut qp, &opts).unwrap();
+                let out = qp.apply_mutation(&["e(c, d)."], &["e(a, b)."]).unwrap();
+                durability.record_commit(qp.db(), &out.delta).unwrap();
+                durability.checkpoint(qp.db()).unwrap();
+            }
+            // Reopen with the *other* format configured: reading is
+            // format-agnostic, only new checkpoints change.
+            let mut reopen_opts = opts.clone();
+            reopen_opts.checkpoint_format = match format {
+                CheckpointFormat::V1 => CheckpointFormat::V2,
+                CheckpointFormat::V2 => CheckpointFormat::V1,
+            };
+            let mut fresh = processor();
+            let durability = Durability::recover(&mut fresh, &reopen_opts).unwrap();
+            assert_eq!(durability.recovery().replayed_records, 0, "{format}");
+            assert!(!fact_strings(fresh.db()).contains(&"e(a,b)".to_string()), "{format}");
+            recovered.push((fact_strings(fresh.db()), fresh.db().generation()));
+        }
+        assert_eq!(recovered[0], recovered[1]);
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod metrics;
 pub mod replica;
 pub mod server;
 
-pub use durability::{load_offline, Durability, DurabilityOptions, DEFAULT_CHECKPOINT_EVERY};
+pub use durability::{
+    load_offline, CheckpointFormat, Durability, DurabilityOptions, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use metrics::{Metrics, Snapshot};
 pub use sepra_repl::json;
 pub use server::{lint_gate, serve, ServeError, ServeOptions, MAX_REQUEST_BYTES};

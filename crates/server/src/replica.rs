@@ -83,7 +83,7 @@ pub(crate) fn apply_event(shared: &SharedState, event: SyncEvent) -> Result<(), 
             // steady-state work.
             let db = master.db_mut();
             db.clear_relations();
-            codec::decode_database_into(&body, db)
+            codec::decode_snapshot_into(&body, db)
                 .map_err(|e| format!("decoding checkpoint at generation {generation}: {e}"))?;
             db.force_generation(generation);
             master

@@ -713,7 +713,7 @@ impl Worker {
                         rows.push(',');
                     }
                     rows.push('[');
-                    for (j, value) in tuple.values().iter().enumerate() {
+                    for (j, value) in tuple.values().enumerate() {
                         if j > 0 {
                             rows.push(',');
                         }

@@ -216,7 +216,6 @@ fn from_scratch_answers(mutations: usize) -> Vec<String> {
         .iter()
         .map(|t| {
             t.values()
-                .iter()
                 .map(|v| v.display(qp.db().interner()).to_string())
                 .collect::<Vec<_>>()
                 .join(",")

@@ -147,6 +147,35 @@ impl Database {
         self.relations.get(&pred).and_then(|r| r.stats())
     }
 
+    /// Installs a fully built relation for `pred` — the bulk-load path for
+    /// columnar checkpoints, which decode whole relations without going
+    /// through per-tuple [`Database::insert`]. If `pred` already has a
+    /// relation, the rows are unioned in (matching per-tuple insert
+    /// semantics for duplicate predicate sections); otherwise the relation
+    /// is adopted wholesale, with statistics rebuilt if it carries none.
+    /// Returns how many tuples were new.
+    pub fn install_relation(
+        &mut self,
+        pred: Sym,
+        relation: Relation,
+    ) -> Result<usize, DatabaseError> {
+        self.check_arity(pred, relation.arity())?;
+        let added = match self.relations.entry(pred) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                Arc::make_mut(e.get_mut()).union_in_place(&relation)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut relation = relation;
+                relation.ensure_stats();
+                let n = relation.len();
+                e.insert(Arc::new(relation));
+                n
+            }
+        };
+        self.generation += added as u64;
+        Ok(added)
+    }
+
     /// Iterates over `(predicate, relation)` pairs.
     pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> {
         self.relations.iter().map(|(&p, r)| (p, &**r))
@@ -162,8 +191,8 @@ impl Database {
     pub fn distinct_constant_count(&self) -> usize {
         let mut seen = crate::hasher::FxHashSet::default();
         for r in self.relations.values() {
-            for t in r.iter() {
-                for &v in t.values() {
+            for c in 0..r.arity() {
+                for &v in r.column(c) {
                     seen.insert(v);
                 }
             }
@@ -403,7 +432,7 @@ mod tests {
         db.insert_named("e", &["a", "b"]).unwrap();
         db.insert_named("e", &["b", "c"]).unwrap();
         let e = db.intern("e");
-        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        let ab = db.relation(e).unwrap().iter().next().unwrap().to_tuple();
         assert!(db.retract(e, &ab).unwrap());
         assert!(!db.retract(e, &ab).unwrap()); // already gone
         assert_eq!(db.relation(e).unwrap().len(), 1);
@@ -431,7 +460,7 @@ mod tests {
         db.insert_named("e", &["a", "b"]).unwrap(); // dup: no change
         assert_eq!(db.generation(), 1);
         let e = db.intern("e");
-        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        let ab = db.relation(e).unwrap().iter().next().unwrap().to_tuple();
         db.retract(e, &ab).unwrap();
         assert_eq!(db.generation(), 2);
         db.retract(e, &ab).unwrap(); // absent: no change
@@ -448,7 +477,7 @@ mod tests {
         let mut db = Database::new();
         db.load_fact_text("e(a, b). e(b, c).").unwrap();
         let e = db.intern("e");
-        let tuples: Vec<Tuple> = db.relation(e).unwrap().iter().cloned().collect();
+        let tuples: Vec<Tuple> = db.relation(e).unwrap().iter().map(|t| t.to_tuple()).collect();
         let fresh = Tuple::from(vec![Value::sym(db.intern("x")), Value::sym(db.intern("y"))]);
         let mut delta = EdbDelta::default();
         // Remove one present tuple and one absent tuple; insert one new
@@ -479,7 +508,7 @@ mod tests {
         assert_eq!(s.distinct(1), 2);
 
         // Retraction through apply_delta keeps the counts exact.
-        let ab = db.relation(e).unwrap().iter().next().unwrap().clone();
+        let ab = db.relation(e).unwrap().iter().next().unwrap().to_tuple();
         let mut delta = EdbDelta::default();
         delta.remove.insert(e, vec![ab]);
         let fresh = Tuple::from(vec![Value::sym(db.intern("x")), Value::sym(db.intern("c"))]);
@@ -490,7 +519,7 @@ mod tests {
         assert_eq!(s.distinct(0), 3); // {(a,c),(b,c),(x,c)}: a, b, x
         assert_eq!(s.distinct(1), 1); // only c remains in column 1
                                       // The maintained stats always equal a from-scratch rebuild.
-        let rebuilt = RelStats::from_tuples(2, db.relation(e).unwrap().iter());
+        let rebuilt = RelStats::from_rows(2, db.relation(e).unwrap().iter());
         assert_eq!(*s, rebuilt);
         // Unknown predicates have no stats.
         let ghost = db.intern("ghost");
@@ -502,7 +531,7 @@ mod tests {
         let mut db = Database::new();
         db.load_fact_text("e(a, b).").unwrap();
         let e = db.intern("e");
-        let good: Vec<Tuple> = db.relation(e).unwrap().iter().cloned().collect();
+        let good: Vec<Tuple> = db.relation(e).unwrap().iter().map(|t| t.to_tuple()).collect();
         let bad = Tuple::from(vec![Value::sym(db.intern("z"))]);
         let mut delta = EdbDelta::default();
         delta.remove.insert(e, good.clone());

@@ -2,13 +2,23 @@
 //!
 //! An [`Index`] maps each distinct key (the projection of a tuple onto a
 //! fixed set of columns) to the dense positions of the matching tuples in a
-//! [`Relation`]. Relations only grow, so an index built earlier can be
-//! brought up to date incrementally with [`Index::extend_to`]; evaluators
-//! refresh indexes at iteration boundaries instead of rebuilding them.
+//! [`Relation`]. Relations grow during fixpoint evaluation, so an index
+//! built earlier is brought up to date incrementally with
+//! [`Index::extend_to`]; evaluators refresh indexes at iteration boundaries
+//! instead of rebuilding them. Keys are assembled from the relation's
+//! column slices directly, so extending an index on `k` columns of a wide
+//! relation streams `k` contiguous arrays.
+//!
+//! Live retraction is the one mutation that invalidates dense positions:
+//! [`Relation::remove_batch`] compacts storage and bumps the relation's
+//! compaction epoch. `extend_to` records the epoch it last saw and
+//! self-heals with a full rebuild when the epoch has moved (or the covered
+//! watermark exceeds the relation — the same staleness seen from the other
+//! side), so no caller can accidentally probe positions from before a
+//! retraction.
 
 use crate::hasher::FxHashMap;
-use crate::relation::Relation;
-use crate::tuple::Tuple;
+use crate::relation::{Relation, Row};
 use crate::value::Value;
 
 /// A hash index of a relation on a fixed set of key columns.
@@ -20,12 +30,16 @@ pub struct Index {
     map: FxHashMap<Box<[Value]>, Vec<u32>>,
     /// Number of relation tuples already indexed.
     covered: usize,
+    /// The relation's compaction epoch when last extended; a mismatch on
+    /// the next `extend_to` forces a full rebuild.
+    epoch: u64,
 }
 
 impl Index {
     /// Builds an index of `relation` on `columns`.
     pub fn build(relation: &Relation, columns: Vec<usize>) -> Self {
-        let mut index = Index { columns, map: FxHashMap::default(), covered: 0 };
+        let mut index =
+            Index { columns, map: FxHashMap::default(), covered: 0, epoch: 0 };
         index.extend_to(relation);
         index
     }
@@ -40,21 +54,32 @@ impl Index {
         self.covered
     }
 
-    /// Indexes any tuples appended to `relation` since the last call.
+    /// Indexes any tuples appended to `relation` since the last call. If
+    /// the relation was compacted in between (its epoch moved), the index
+    /// rebuilds from scratch instead of extending — stale dense positions
+    /// never survive a retraction.
     ///
     /// # Panics
     /// Panics if a key column is out of range for the relation's arity.
     pub fn extend_to(&mut self, relation: &Relation) {
+        if self.epoch != relation.compaction_epoch() || self.covered > relation.len() {
+            self.map.clear();
+            self.covered = 0;
+            self.epoch = relation.compaction_epoch();
+        }
+        let key_cols: Vec<&[Value]> =
+            self.columns.iter().map(|&c| relation.column(c)).collect();
         let mut scratch: Vec<Value> = Vec::with_capacity(self.columns.len());
-        for (i, tuple) in relation.as_slice()[self.covered..].iter().enumerate() {
-            let pos = u32::try_from(self.covered + i).expect("index overflow");
+        for pos in self.covered..relation.len() {
+            let pos32 = u32::try_from(pos).expect("index overflow");
             // Build the key in the scratch buffer and only allocate a boxed
             // key the first time this projection is seen.
-            tuple.project_into(&self.columns, &mut scratch);
+            scratch.clear();
+            scratch.extend(key_cols.iter().map(|col| col[pos]));
             if let Some(positions) = self.map.get_mut(scratch.as_slice()) {
-                positions.push(pos);
+                positions.push(pos32);
             } else {
-                self.map.insert(scratch.as_slice().into(), vec![pos]);
+                self.map.insert(scratch.as_slice().into(), vec![pos32]);
             }
         }
         self.covered = relation.len();
@@ -67,7 +92,7 @@ impl Index {
         self.map.get(key).map_or(&[], Vec::as_slice)
     }
 
-    /// Iterates over the matching tuples of `relation` for `key`.
+    /// Iterates over the matching rows of `relation` for `key`.
     ///
     /// The relation passed must be the one the index was built over (same
     /// insertion order); only the covered prefix is consulted.
@@ -75,7 +100,7 @@ impl Index {
         &'r self,
         relation: &'r Relation,
         key: &[Value],
-    ) -> impl Iterator<Item = &'r Tuple> + 'r {
+    ) -> impl Iterator<Item = Row<'r>> + 'r {
         self.lookup(key)
             .iter()
             .map(move |&pos| relation.get(pos as usize).expect("index within relation"))
@@ -90,6 +115,7 @@ impl Index {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::Tuple;
     use sepra_ast::Sym;
 
     fn v(n: u32) -> Value {
@@ -108,8 +134,8 @@ mod tests {
     fn lookup_on_first_column() {
         let r = sample();
         let idx = Index::build(&r, vec![0]);
-        let hits: Vec<&Tuple> = idx.probe(&r, &[v(1)]).collect();
-        assert_eq!(hits, vec![&t2(1, 10), &t2(1, 11)]);
+        let hits: Vec<Tuple> = idx.probe(&r, &[v(1)]).map(|row| row.to_tuple()).collect();
+        assert_eq!(hits, vec![t2(1, 10), t2(1, 11)]);
         assert!(idx.probe(&r, &[v(9)]).next().is_none());
         assert_eq!(idx.key_count(), 3);
     }
@@ -118,8 +144,8 @@ mod tests {
     fn lookup_on_second_column() {
         let r = sample();
         let idx = Index::build(&r, vec![1]);
-        let hits: Vec<&Tuple> = idx.probe(&r, &[v(20)]).collect();
-        assert_eq!(hits, vec![&t2(2, 20)]);
+        let hits: Vec<Tuple> = idx.probe(&r, &[v(20)]).map(|row| row.to_tuple()).collect();
+        assert_eq!(hits, vec![t2(2, 20)]);
     }
 
     #[test]
@@ -148,5 +174,37 @@ mod tests {
         let r = sample();
         let idx = Index::build(&r, vec![]);
         assert_eq!(idx.probe(&r, &[]).count(), 4);
+    }
+
+    /// Regression (retraction staleness): an index extended across a
+    /// `remove_batch` compaction must rebuild, not keep probing shifted
+    /// dense positions.
+    #[test]
+    fn extension_across_compaction_rebuilds() {
+        let mut r = sample();
+        let mut idx = Index::build(&r, vec![0]);
+        assert_eq!(idx.covered(), 4);
+
+        // Remove the first row: every later row shifts down one position.
+        assert!(r.remove(&t2(1, 10)));
+        r.insert(t2(4, 40));
+        idx.extend_to(&r);
+        assert_eq!(idx.covered(), r.len());
+
+        // Every key resolves to the right rows under the new positions.
+        let hits: Vec<Tuple> = idx.probe(&r, &[v(1)]).map(|row| row.to_tuple()).collect();
+        assert_eq!(hits, vec![t2(1, 11)]);
+        assert_eq!(idx.probe(&r, &[v(2)]).map(|row| row.to_tuple()).collect::<Vec<_>>(), vec![
+            t2(2, 20)
+        ]);
+        assert_eq!(idx.probe(&r, &[v(4)]).count(), 1);
+
+        // Removing everything then re-extending also heals (covered would
+        // otherwise exceed the relation).
+        let rest: Vec<Tuple> = r.iter().map(|row| row.to_tuple()).collect();
+        r.remove_batch(&rest);
+        idx.extend_to(&r);
+        assert_eq!(idx.covered(), 0);
+        assert_eq!(idx.key_count(), 0);
     }
 }

@@ -8,8 +8,9 @@
 //! * [`mod tuple`](mod@crate::tuple) — fixed-arity tuples of values;
 //! * [`hasher`] — a fast Fx-style hasher for integer-heavy keys;
 //! * [`relation`] — [`Relation`], an insertion-ordered deduplicating tuple
-//!   set built on a dense open-addressing table, with the delta slices
-//!   needed by semi-naive evaluation;
+//!   set with columnar (struct-of-arrays) dense storage behind an
+//!   open-addressing probe table, read through borrowed [`Row`] views,
+//!   with the delta slices needed by semi-naive evaluation;
 //! * [`index`] — hash indexes on column subsets, built and extended lazily;
 //! * [`database`] — the extensional database: named relations plus the
 //!   shared symbol interner;
@@ -31,7 +32,7 @@ pub mod value;
 pub use database::{Database, EdbDelta};
 pub use hasher::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::Index;
-pub use relation::Relation;
+pub use relation::{Relation, Row, RowValues, Rows};
 pub use relstats::{ColStats, RelStats};
 pub use stats::EvalStats;
 pub use tuple::Tuple;

@@ -1,12 +1,23 @@
-//! Deduplicating, insertion-ordered relations.
+//! Deduplicating, insertion-ordered relations with columnar storage.
 //!
 //! [`Relation`] is the workhorse of every evaluator in this workspace. It
 //! stores tuples densely in insertion order (so semi-naive deltas are just
 //! index ranges) and deduplicates through a private open-addressing table of
-//! indexes into the dense vector. Fixpoint evaluation only ever adds;
-//! removal exists solely for live EDB retraction ([`Relation::remove_batch`])
-//! and compacts the dense storage, so it must never run mid-fixpoint where
-//! a delta is an index range into the old layout.
+//! indexes into the dense storage. The dense storage is **columnar**: one
+//! `Vec<Value>` per column (struct-of-arrays), so a join that touches two
+//! columns of a wide relation streams two contiguous arrays instead of
+//! hopping across per-tuple allocations, and checkpointing can write whole
+//! columns as fixed-width word runs. Row identity (the dense index), the
+//! cached row hashes, and the probe table are unchanged from the row-store
+//! layout, so positional delta frontiers keep working.
+//!
+//! Rows are read through the borrowed [`Row`] view (`row[c]` indexes a
+//! column, [`Row::to_tuple`] materializes an owned [`Tuple`]). Fixpoint
+//! evaluation only ever adds; removal exists solely for live EDB retraction
+//! ([`Relation::remove_batch`]), compacts the dense storage, and bumps the
+//! relation's **compaction epoch** — any holder of positional state (an
+//! [`Index`](crate::Index)'s covered watermark, a `since` frontier) must
+//! reset when the epoch changes, because dense indices have shifted.
 
 use std::fmt;
 
@@ -23,7 +34,7 @@ const LOAD_NUM: usize = 7;
 const LOAD_DEN: usize = 8;
 
 /// A set of same-arity tuples with O(1) membership and stable insertion
-/// order.
+/// order, stored column-major.
 ///
 /// ```
 /// use sepra_ast::Sym;
@@ -35,17 +46,25 @@ const LOAD_DEN: usize = 8;
 /// assert!(!rel.insert(t.clone())); // duplicate
 /// assert!(rel.contains(&t));
 /// assert_eq!(rel.len(), 1);
+/// assert_eq!(rel.column(0), &[Value::sym(Sym(1))]);
 /// ```
 #[derive(Clone)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
-    /// Cached tuple hashes, parallel to `tuples`, so growing the table and
-    /// probing long collision chains never re-hash a stored tuple.
+    /// Column-major dense storage: `cols[c][i]` is column `c` of row `i`.
+    /// `cols.len() == arity` (zero-arity relations have no columns; the row
+    /// count lives in `hashes`).
+    cols: Box<[Vec<Value>]>,
+    /// Cached row hashes, parallel to the columns, so growing the table and
+    /// probing long collision chains never re-hash a stored row.
     hashes: Vec<u64>,
-    /// Open-addressing table of indexes into `tuples`; length is a power of
+    /// Open-addressing table of dense row indexes; length is a power of
     /// two, `EMPTY` marks free slots.
     table: Vec<u32>,
+    /// Bumped whenever compaction shifts dense indices (an effective
+    /// [`Relation::remove_batch`]). Positional state captured before a
+    /// different epoch is stale.
+    epoch: u64,
     /// Maintained cardinality/distinct-count statistics, enabled only for
     /// EDB relations (see [`Relation::with_stats`]). Working relations of
     /// fixpoint loops leave this `None`: they churn millions of tuples and
@@ -58,9 +77,10 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: Vec::new(),
+            cols: vec![Vec::new(); arity].into_boxed_slice(),
             hashes: Vec::new(),
             table: vec![EMPTY; 8],
+            epoch: 0,
             stats: None,
         }
     }
@@ -79,17 +99,106 @@ impl Relation {
         let slots = (capacity * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
         Relation {
             arity,
-            tuples: Vec::with_capacity(capacity),
+            cols: (0..arity).map(|_| Vec::with_capacity(capacity)).collect(),
             hashes: Vec::with_capacity(capacity),
             table: vec![EMPTY; slots],
+            epoch: 0,
             stats: None,
         }
     }
 
+    /// Builds a relation directly from its columns (all the same length;
+    /// zero-arity relations pass `rows` explicitly since they have no
+    /// columns). Duplicate rows are dropped, keeping the first occurrence —
+    /// input from our own snapshot writer is duplicate-free, but a hostile
+    /// or corrupt checkpoint must not corrupt the probe table. Returns the
+    /// relation and how many duplicate rows were dropped.
+    ///
+    /// This is the bulk-load path for columnar checkpoints: when the input
+    /// is duplicate-free (the common case) the column vectors are adopted
+    /// wholesale — no per-tuple allocation or copy.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree on length or their count differs from
+    /// `arity`.
+    pub fn from_columns(
+        arity: usize,
+        columns: Vec<Vec<Value>>,
+        rows: usize,
+        with_stats: bool,
+    ) -> (Self, usize) {
+        assert_eq!(columns.len(), arity, "column count does not match arity");
+        for col in &columns {
+            assert_eq!(col.len(), rows, "columns disagree on row count");
+        }
+        let slots = (rows * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
+        let mut table = vec![EMPTY; slots];
+        let mut hashes = Vec::with_capacity(rows);
+        let mask = slots - 1;
+        let mut dup_rows: Vec<usize> = Vec::new();
+        for i in 0..rows {
+            let hash = hash_word_iter(arity, columns.iter().map(|c| c[i].raw()));
+            let mut slot = (hash as usize) & mask;
+            let dup = loop {
+                match table[slot] {
+                    EMPTY => {
+                        table[slot] = u32::try_from(hashes.len()).expect("relation overflow");
+                        break false;
+                    }
+                    idx if hashes[idx as usize] == hash
+                        && columns.iter().all(|c| c[idx as usize] == c[i]) =>
+                    {
+                        break true
+                    }
+                    _ => slot = (slot + 1) & mask,
+                }
+            };
+            if dup {
+                dup_rows.push(i);
+            } else {
+                hashes.push(hash);
+            }
+        }
+        let cols: Box<[Vec<Value>]> = if dup_rows.is_empty() {
+            columns.into_boxed_slice()
+        } else {
+            // Rare (hostile input): filter the duplicates out column-wise.
+            // The probe table above indexed rows by their *deduplicated*
+            // position, so it is already consistent with the filtered
+            // columns.
+            let mut doomed = vec![false; rows];
+            for &i in &dup_rows {
+                doomed[i] = true;
+            }
+            columns
+                .into_iter()
+                .map(|col| {
+                    col.into_iter().zip(&doomed).filter(|(_, &d)| !d).map(|(v, _)| v).collect()
+                })
+                .collect()
+        };
+        let mut r = Relation { arity, cols, hashes, table, epoch: 0, stats: None };
+        if with_stats {
+            r.stats = Some(Box::new(r.rebuild_stats()));
+        }
+        (r, dup_rows.len())
+    }
+
     /// The maintained statistics, if this relation was created with
-    /// [`Relation::with_stats`].
+    /// [`Relation::with_stats`] (or inherited them through
+    /// [`Relation::slice_range`] / the bulk union path).
     pub fn stats(&self) -> Option<&RelStats> {
         self.stats.as_deref()
+    }
+
+    /// Ensures maintained statistics exist, rebuilding them from the
+    /// stored rows if absent. Bulk-load paths use this to promote a
+    /// stats-less relation before installing it into a
+    /// [`Database`](crate::Database).
+    pub fn ensure_stats(&mut self) {
+        if self.stats.is_none() {
+            self.stats = Some(Box::new(self.rebuild_stats()));
+        }
     }
 
     /// The arity every tuple must have.
@@ -101,18 +210,44 @@ impl Relation {
     /// Number of distinct tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.hashes.len()
     }
 
     /// Whether the relation is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.hashes.is_empty()
     }
 
-    fn hash_tuple(t: &Tuple) -> u64 {
-        // Values are transparent u64 words; hash them in place.
-        hash_word_iter(t.arity(), t.values().iter().map(|v| v.raw()))
+    /// One dense column, in insertion order. `column(c)[i]` is row `i`'s
+    /// value in column `c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= arity`.
+    #[inline]
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// The compaction epoch: bumped every time removal shifts dense row
+    /// indices. Positional state (index watermarks, `since` frontiers)
+    /// captured under an older epoch is stale and must be rebuilt.
+    #[inline]
+    pub fn compaction_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    #[inline]
+    fn row_eq_values(&self, idx: usize, values: &[Value]) -> bool {
+        self.cols.iter().zip(values).all(|(col, v)| col[idx] == *v)
+    }
+
+    fn rebuild_stats(&self) -> RelStats {
+        let mut s = RelStats::new(self.arity);
+        for idx in 0..self.len() {
+            s.on_insert(self.cols.iter().map(|c| c[idx]));
+        }
+        s
     }
 
     /// Inserts a tuple, returning `true` if it was new.
@@ -120,32 +255,51 @@ impl Relation {
     /// # Panics
     /// Panics if the tuple's arity differs from the relation's.
     pub fn insert(&mut self, tuple: Tuple) -> bool {
+        self.insert_row(&tuple)
+    }
+
+    /// Inserts one row given as a value slice (the allocation-free twin of
+    /// [`Relation::insert`] — evaluator inner loops emit straight from
+    /// their slot buffers). Returns `true` if the row was new.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the relation's arity.
+    pub fn insert_row(&mut self, values: &[Value]) -> bool {
         assert_eq!(
-            tuple.arity(),
+            values.len(),
             self.arity,
             "tuple arity {} does not match relation arity {}",
-            tuple.arity(),
+            values.len(),
             self.arity
         );
-        if self.tuples.len() + 1 > self.table.len() * LOAD_NUM / LOAD_DEN {
+        let hash = hash_word_iter(values.len(), values.iter().map(|v| v.raw()));
+        self.insert_hashed(values, hash)
+    }
+
+    /// Insert with a precomputed hash (bulk paths reuse cached hashes).
+    fn insert_hashed(&mut self, values: &[Value], hash: u64) -> bool {
+        if self.hashes.len() + 1 > self.table.len() * LOAD_NUM / LOAD_DEN {
             self.grow();
         }
-        let hash = Self::hash_tuple(&tuple);
         let mask = self.table.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
                 EMPTY => {
-                    let idx = u32::try_from(self.tuples.len()).expect("relation overflow");
+                    let idx = u32::try_from(self.hashes.len()).expect("relation overflow");
                     self.table[slot] = idx;
                     if let Some(stats) = &mut self.stats {
-                        stats.on_insert(&tuple);
+                        stats.on_insert(values.iter().copied());
                     }
-                    self.tuples.push(tuple);
+                    for (col, &v) in self.cols.iter_mut().zip(values) {
+                        col.push(v);
+                    }
                     self.hashes.push(hash);
                     return true;
                 }
-                idx if self.hashes[idx as usize] == hash && self.tuples[idx as usize] == tuple => {
+                idx if self.hashes[idx as usize] == hash
+                    && self.row_eq_values(idx as usize, values) =>
+                {
                     return false
                 }
                 _ => slot = (slot + 1) & mask,
@@ -154,19 +308,24 @@ impl Relation {
     }
 
     /// Builds a new relation from a contiguous range of this relation's
-    /// tuples, in order.
+    /// rows, in order.
     ///
     /// Because ranges of a deduplicated relation are themselves
     /// duplicate-free, the copy reuses the cached hashes and rebuilds the
-    /// table by pure slot insertion — no tuple is re-hashed or compared.
+    /// table by pure slot insertion — no row is re-hashed or compared.
     /// Parallel evaluators use this to cut a delta into worker shards.
+    ///
+    /// If this relation maintains [`RelStats`], the slice gets *rebuilt*
+    /// stats covering exactly its rows (linear in the slice — shard deltas
+    /// are stats-less, so the hot parallel path never pays this).
     ///
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice_range(&self, range: std::ops::Range<usize>) -> Relation {
-        let tuples: Vec<Tuple> = self.tuples[range.clone()].to_vec();
+        let cols: Box<[Vec<Value>]> =
+            self.cols.iter().map(|col| col[range.clone()].to_vec()).collect();
         let hashes: Vec<u64> = self.hashes[range].to_vec();
-        let slots = (tuples.len() * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
+        let slots = (hashes.len() * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
         let mut table = vec![EMPTY; slots];
         let mask = slots - 1;
         for (i, &hash) in hashes.iter().enumerate() {
@@ -176,12 +335,65 @@ impl Relation {
             }
             table[slot] = u32::try_from(i).expect("relation overflow");
         }
-        Relation { arity: self.arity, tuples, hashes, table, stats: None }
+        let mut sliced = Relation { arity: self.arity, cols, hashes, table, epoch: 0, stats: None };
+        if self.stats.is_some() {
+            sliced.stats = Some(Box::new(sliced.rebuild_stats()));
+        }
+        sliced
     }
 
     /// Whether `tuple` is present.
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.find(tuple).is_some()
+    }
+
+    /// Whether the row viewed by `row` (possibly of another relation) is
+    /// present, reusing the row's cached hash.
+    pub fn contains_row(&self, row: Row<'_>) -> bool {
+        self.contains_row_of(row.rel, row.idx)
+    }
+
+    /// Inserts the row viewed by `row` (possibly of another relation),
+    /// reusing its cached hash. Returns `true` if the row was new.
+    ///
+    /// # Panics
+    /// Panics if the row's arity differs from the relation's.
+    pub fn insert_from(&mut self, row: Row<'_>) -> bool {
+        assert_eq!(
+            row.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            row.arity(),
+            self.arity
+        );
+        let values = row.to_vec();
+        self.insert_hashed(&values, row.rel.hashes[row.idx])
+    }
+
+    /// Whether the row at `idx` of `other` is present in `self` (no
+    /// materialization; reuses `other`'s cached hash).
+    fn contains_row_of(&self, other: &Relation, idx: usize) -> bool {
+        if other.arity != self.arity {
+            return false;
+        }
+        let hash = other.hashes[idx];
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return false,
+                i if self.hashes[i as usize] == hash
+                    && self
+                        .cols
+                        .iter()
+                        .zip(other.cols.iter())
+                        .all(|(a, b)| a[i as usize] == b[idx]) =>
+                {
+                    return true
+                }
+                _ => slot = (slot + 1) & mask,
+            }
+        }
     }
 
     /// Removes one tuple, returning `true` if it was present.
@@ -197,34 +409,48 @@ impl Relation {
     /// Removes every listed tuple (duplicates and absent tuples are
     /// ignored), returning how many were actually removed. Remaining
     /// tuples keep their relative insertion order; the probe table is
-    /// rebuilt once.
+    /// rebuilt once and the compaction epoch is bumped (dense indices have
+    /// shifted — positional frontiers and index watermarks are now stale).
     pub fn remove_batch(&mut self, tuples: &[Tuple]) -> usize {
-        let mut doomed = crate::hasher::FxHashSet::default();
+        let mut doomed = vec![false; self.len()];
+        let mut removed = 0;
         for t in tuples {
             if let Some(idx) = self.find(t) {
-                doomed.insert(idx);
+                if !doomed[idx] {
+                    doomed[idx] = true;
+                    removed += 1;
+                }
             }
         }
-        if doomed.is_empty() {
+        if removed == 0 {
             return 0;
         }
-        if let Some(stats) = &mut self.stats {
-            for &idx in &doomed {
-                stats.on_remove(&self.tuples[idx]);
+        if let Some(stats) = self.stats.take() {
+            let mut stats = stats;
+            for (idx, &d) in doomed.iter().enumerate() {
+                if d {
+                    stats.on_remove(self.cols.iter().map(|c| c[idx]));
+                }
             }
+            self.stats = Some(stats);
+        }
+        for col in self.cols.iter_mut() {
+            let mut write = 0;
+            for read in 0..doomed.len() {
+                if !doomed[read] {
+                    col[write] = col[read];
+                    write += 1;
+                }
+            }
+            col.truncate(write);
         }
         let mut write = 0;
-        for read in 0..self.tuples.len() {
-            if doomed.contains(&read) {
-                continue;
+        for read in 0..doomed.len() {
+            if !doomed[read] {
+                self.hashes[write] = self.hashes[read];
+                write += 1;
             }
-            if write != read {
-                self.tuples.swap(write, read);
-                self.hashes.swap(write, read);
-            }
-            write += 1;
         }
-        self.tuples.truncate(write);
         self.hashes.truncate(write);
         let slots = (write * LOAD_DEN / LOAD_NUM + 1).next_power_of_two().max(8);
         self.table = vec![EMPTY; slots];
@@ -236,7 +462,8 @@ impl Relation {
             }
             self.table[slot] = u32::try_from(i).expect("relation overflow");
         }
-        doomed.len()
+        self.epoch += 1;
+        removed
     }
 
     /// The dense index of `tuple`, if present.
@@ -244,13 +471,16 @@ impl Relation {
         if tuple.arity() != self.arity {
             return None;
         }
-        let hash = Self::hash_tuple(tuple);
+        let values: &[Value] = tuple;
+        let hash = hash_word_iter(values.len(), values.iter().map(|v| v.raw()));
         let mask = self.table.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
             match self.table[slot] {
                 EMPTY => return None,
-                idx if self.hashes[idx as usize] == hash && &self.tuples[idx as usize] == tuple => {
+                idx if self.hashes[idx as usize] == hash
+                    && self.row_eq_values(idx as usize, values) =>
+                {
                     return Some(idx as usize)
                 }
                 _ => slot = (slot + 1) & mask,
@@ -272,33 +502,77 @@ impl Relation {
         self.table = table;
     }
 
-    /// Iterates over the tuples in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.tuples.iter()
+    /// Iterates over the rows in insertion order.
+    pub fn iter(&self) -> Rows<'_> {
+        Rows { rel: self, next: 0, end: self.len() }
     }
 
-    /// The tuples inserted at or after position `from` — a semi-naive delta
-    /// slice.
-    pub fn since(&self, from: usize) -> &[Tuple] {
-        &self.tuples[from.min(self.tuples.len())..]
+    /// The rows inserted at or after position `from` — a semi-naive delta
+    /// frontier.
+    ///
+    /// Positional frontiers are only meaningful within one compaction
+    /// epoch: after [`Relation::remove_batch`] dense indices shift, so a
+    /// `from` captured before the removal no longer names the rows it did.
+    /// Debug builds assert `from <= len` to catch exactly that staleness
+    /// (a frontier past the end after compaction); release builds saturate
+    /// to an empty frontier rather than panic.
+    pub fn since(&self, from: usize) -> Rows<'_> {
+        debug_assert!(
+            from <= self.len(),
+            "stale delta frontier: since({from}) on a relation of {} rows — was the frontier \
+             captured before a remove_batch compaction (epoch {})?",
+            self.len(),
+            self.epoch
+        );
+        Rows { rel: self, next: from.min(self.len()), end: self.len() }
     }
 
-    /// All tuples as a slice (insertion order).
-    pub fn as_slice(&self) -> &[Tuple] {
-        &self.tuples
+    /// The row at dense position `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<Row<'_>> {
+        (idx < self.len()).then_some(Row { rel: self, idx })
     }
 
-    /// The tuple at dense position `idx`.
-    pub fn get(&self, idx: usize) -> Option<&Tuple> {
-        self.tuples.get(idx)
+    /// The row at dense position `idx`, without the bounds check wrapper.
+    ///
+    /// # Panics
+    /// Panics (on column access) if `idx` is out of bounds.
+    #[inline]
+    pub fn row(&self, idx: usize) -> Row<'_> {
+        Row { rel: self, idx }
     }
 
-    /// Inserts every tuple of `other` (arity must match), returning how many
-    /// were new.
+    /// Inserts every tuple of `other` (arity must match), returning how
+    /// many were new.
+    ///
+    /// Unioning into an **empty** relation is a bulk copy: the columns,
+    /// cached hashes, and probe table are cloned wholesale instead of
+    /// probing tuple by tuple. Snapshot adoption and recovery paths hit
+    /// this case with millions of rows.
     pub fn union_in_place(&mut self, other: &Relation) -> usize {
+        assert_eq!(
+            other.arity, self.arity,
+            "union arity {} does not match relation arity {}",
+            other.arity, self.arity
+        );
+        if self.is_empty() && !other.is_empty() {
+            self.cols = other.cols.clone();
+            self.hashes = other.hashes.clone();
+            self.table = other.table.clone();
+            if self.stats.is_some() {
+                self.stats = Some(Box::new(match &other.stats {
+                    Some(s) => (**s).clone(),
+                    None => other.rebuild_stats(),
+                }));
+            }
+            return other.len();
+        }
         let mut added = 0;
-        for t in other.iter() {
-            if self.insert(t.clone()) {
+        let mut scratch: Vec<Value> = Vec::with_capacity(self.arity);
+        for idx in 0..other.len() {
+            scratch.clear();
+            scratch.extend(other.cols.iter().map(|c| c[idx]));
+            if self.insert_hashed(&scratch, other.hashes[idx]) {
                 added += 1;
             }
         }
@@ -318,8 +592,8 @@ impl Relation {
     pub fn distinct_values(&self) -> Vec<Value> {
         let mut seen = crate::hasher::FxHashSet::default();
         let mut out = Vec::new();
-        for t in self.iter() {
-            for &v in t.values() {
+        for col in self.cols.iter() {
+            for &v in col {
                 if seen.insert(v) {
                     out.push(v);
                 }
@@ -338,7 +612,7 @@ impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Relation")
             .field("arity", &self.arity)
-            .field("len", &self.tuples.len())
+            .field("len", &self.len())
             .finish()
     }
 }
@@ -348,18 +622,184 @@ impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.arity == other.arity
             && self.len() == other.len()
-            && self.iter().all(|t| other.contains(t))
+            && (0..self.len()).all(|idx| other.contains_row_of(self, idx))
     }
 }
 
 impl Eq for Relation {}
 
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a Tuple;
-    type IntoIter = std::slice::Iter<'a, Tuple>;
+    type Item = Row<'a>;
+    type IntoIter = Rows<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
+    }
+}
+
+/// A borrowed view of one dense row: `row[c]` reads column `c` without
+/// materializing a tuple. `Copy`, so closures pass it by value.
+#[derive(Clone, Copy)]
+pub struct Row<'a> {
+    rel: &'a Relation,
+    idx: usize,
+}
+
+impl<'a> Row<'a> {
+    /// The row's arity (the relation's).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.rel.arity
+    }
+
+    /// The dense position of this row in its relation.
+    #[inline]
+    pub fn dense_index(&self) -> usize {
+        self.idx
+    }
+
+    /// The row's values, left to right. Takes `self` by value (`Row` is
+    /// `Copy`), so the iterator borrows the relation, not the row binding.
+    #[inline]
+    pub fn values(self) -> RowValues<'a> {
+        RowValues { rel: self.rel, idx: self.idx, col: 0 }
+    }
+
+    /// Materializes the row as an owned [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::from(self.to_vec())
+    }
+
+    /// The row's values as an owned vector.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.values().collect()
+    }
+
+    /// Projects the listed columns into an owned [`Tuple`].
+    pub fn project(&self, columns: &[usize]) -> Tuple {
+        Tuple::from(columns.iter().map(|&c| self[c]).collect::<Vec<Value>>())
+    }
+
+    /// Projects the listed columns into `out` (cleared first) — the
+    /// allocation-free twin of [`Row::project`].
+    pub fn project_into(&self, columns: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(columns.iter().map(|&c| self[c]));
+    }
+
+    /// Renders the row as `(a, b)` using `interner` for symbols.
+    pub fn display(&self, interner: &'a Interner) -> crate::tuple::DisplayValues<'a> {
+        crate::tuple::DisplayValues::new(self.to_vec(), interner)
+    }
+}
+
+impl<'a> IntoIterator for Row<'a> {
+    type Item = Value;
+    type IntoIter = RowValues<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values()
+    }
+}
+
+/// Iterator over one row's values, left to right ([`Row::values`]).
+#[derive(Clone)]
+pub struct RowValues<'a> {
+    rel: &'a Relation,
+    idx: usize,
+    col: usize,
+}
+
+impl Iterator for RowValues<'_> {
+    type Item = Value;
+
+    #[inline]
+    fn next(&mut self) -> Option<Value> {
+        let v = self.rel.cols.get(self.col)?[self.idx];
+        self.col += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rel.arity - self.col;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowValues<'_> {}
+
+impl std::ops::Index<usize> for Row<'_> {
+    type Output = Value;
+
+    #[inline]
+    fn index(&self, c: usize) -> &Value {
+        &self.rel.cols[c][self.idx]
+    }
+}
+
+impl fmt::Debug for Row<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values()).finish()
+    }
+}
+
+impl PartialEq for Row<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity() == other.arity() && self.values().eq(other.values())
+    }
+}
+
+impl Eq for Row<'_> {}
+
+impl PartialEq<Tuple> for Row<'_> {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.arity() == other.arity() && self.values().eq(other.values().iter().copied())
+    }
+}
+
+impl PartialEq<Row<'_>> for Tuple {
+    fn eq(&self, other: &Row<'_>) -> bool {
+        other == self
+    }
+}
+
+/// Iterator over a relation's rows ([`Relation::iter`] /
+/// [`Relation::since`]), yielding [`Row`] views in insertion order.
+#[derive(Clone)]
+pub struct Rows<'a> {
+    rel: &'a Relation,
+    next: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = Row<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Row<'a>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let row = Row { rel: self.rel, idx: self.next };
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl<'a> DoubleEndedIterator for Rows<'a> {
+    fn next_back(&mut self) -> Option<Row<'a>> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(Row { rel: self.rel, idx: self.end })
     }
 }
 
@@ -409,8 +849,21 @@ mod tests {
         for t in &tuples {
             r.insert(t.clone());
         }
-        let collected: Vec<Tuple> = r.iter().cloned().collect();
+        let collected: Vec<Tuple> = r.iter().map(|row| row.to_tuple()).collect();
         assert_eq!(collected, tuples);
+    }
+
+    #[test]
+    fn columns_are_contiguous_and_ordered() {
+        let mut r = Relation::new(2);
+        for i in 0..10 {
+            r.insert(t2(i, i + 100));
+        }
+        let left: Vec<u32> = r.column(0).iter().map(|v| v.as_sym().unwrap().0).collect();
+        let right: Vec<u32> = r.column(1).iter().map(|v| v.as_sym().unwrap().0).collect();
+        assert_eq!(left, (0..10).collect::<Vec<u32>>());
+        assert_eq!(right, (100..110).collect::<Vec<u32>>());
+        assert_eq!(r.row(3)[1], Value::sym(Sym(103)));
     }
 
     #[test]
@@ -434,8 +887,34 @@ mod tests {
         let mark = r.len();
         r.insert(t2(2, 2)); // duplicate, no growth
         r.insert(t2(3, 3));
-        assert_eq!(r.since(mark), &[t2(3, 3)]);
+        let delta: Vec<Tuple> = r.since(mark).map(|row| row.to_tuple()).collect();
+        assert_eq!(delta, vec![t2(3, 3)]);
+        assert_eq!(r.since(r.len()).len(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "stale delta frontier"))]
+    fn stale_frontier_is_caught_in_debug() {
+        let mut r = Relation::new(2);
+        r.insert(t2(1, 1));
+        // A frontier past the end: in debug builds this asserts (the only
+        // way to get here is holding a position across a compaction); in
+        // release builds it saturates to empty.
         assert_eq!(r.since(99).len(), 0);
+    }
+
+    #[test]
+    fn compaction_bumps_the_epoch() {
+        let mut r = Relation::new(2);
+        r.insert(t2(1, 1));
+        r.insert(t2(2, 2));
+        assert_eq!(r.compaction_epoch(), 0);
+        r.remove(&t2(9, 9)); // ineffective: no shift, no bump
+        assert_eq!(r.compaction_epoch(), 0);
+        r.remove(&t2(1, 1));
+        assert_eq!(r.compaction_epoch(), 1);
+        // Clones and slices carry their own epoch lineage.
+        assert_eq!(r.slice_range(0..1).compaction_epoch(), 0);
     }
 
     #[test]
@@ -470,6 +949,57 @@ mod tests {
     }
 
     #[test]
+    fn union_into_empty_takes_the_bulk_path_with_parity() {
+        let mut src = Relation::new(2);
+        for i in 0..500 {
+            src.insert(t2(i % 37, i));
+        }
+        // Bulk: empty destination adopts storage wholesale.
+        let mut bulk = Relation::new(2);
+        assert_eq!(bulk.union_in_place(&src), 500);
+        // Probe-by-probe twin: pre-populate one row so the fast path is
+        // skipped, then remove it again.
+        let mut slow = Relation::new(2);
+        slow.insert(t2(9999, 9999));
+        slow.union_in_place(&src);
+        slow.remove(&t2(9999, 9999));
+        assert_eq!(bulk, slow);
+        // The bulk copy's probe table works: membership and further
+        // inserts behave identically.
+        assert!(bulk.contains(&t2(3, 40)));
+        assert!(!bulk.insert(t2(3, 40)));
+        assert!(bulk.insert(t2(1000, 1000)));
+        // A stats-maintaining destination gets exact stats from the bulk
+        // path too.
+        let mut with_stats = Relation::with_stats(2);
+        with_stats.union_in_place(&src);
+        assert_eq!(*with_stats.stats().unwrap(), src.rebuild_stats());
+    }
+
+    #[test]
+    fn from_columns_adopts_clean_input_and_dedups_hostile_input() {
+        let col0: Vec<Value> = (0..100).map(|i| Value::sym(Sym(i % 7))).collect();
+        let col1: Vec<Value> = (0..100).map(|i| Value::sym(Sym(i))).collect();
+        let (rel, dropped) = Relation::from_columns(2, vec![col0, col1], 100, true);
+        assert_eq!(dropped, 0);
+        assert_eq!(rel.len(), 100);
+        assert!(rel.contains(&t2(3, 3)));
+        assert_eq!(*rel.stats().unwrap(), rel.rebuild_stats());
+
+        // Hostile input with duplicate rows: first occurrence wins, the
+        // probe table stays consistent.
+        let col0 = vec![Value::sym(Sym(1)), Value::sym(Sym(2)), Value::sym(Sym(1))];
+        let col1 = vec![Value::sym(Sym(5)), Value::sym(Sym(6)), Value::sym(Sym(5))];
+        let (mut rel, dropped) = Relation::from_columns(2, vec![col0, col1], 3, false);
+        assert_eq!(dropped, 1);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&t2(1, 5)));
+        assert!(rel.contains(&t2(2, 6)));
+        assert!(!rel.insert(t2(1, 5)));
+        assert!(rel.stats().is_none());
+    }
+
+    #[test]
     fn distinct_values() {
         let mut r = Relation::new(2);
         r.insert(t2(1, 2));
@@ -494,7 +1024,7 @@ mod tests {
         assert_eq!(order, expected);
         // Reinsertion lands at the end, as for any new tuple.
         assert!(r.insert(t2(50, 50)));
-        assert_eq!(r.iter().last().unwrap(), &t2(50, 50));
+        assert_eq!(r.iter().last().unwrap().to_tuple(), t2(50, 50));
     }
 
     #[test]
@@ -548,10 +1078,17 @@ mod tests {
         assert_eq!(s.distinct(0), 3); // column value 0 is gone entirely
         assert_eq!(s.distinct(1), 15);
         // After heavy mutation the maintained stats still equal a rebuild.
-        assert_eq!(*s, crate::relstats::RelStats::from_tuples(2, r.iter()));
+        assert_eq!(*s, r.rebuild_stats());
         // Plain relations don't pay for stats.
         assert!(Relation::new(2).stats().is_none());
-        assert!(r.slice_range(0..3).stats().is_none());
+        assert!(Relation::new(2).slice_range(0..0).stats().is_none());
+        // A slice of a stats-maintaining relation gets exact rebuilt stats
+        // covering its own rows (the shard path slices stats-less deltas,
+        // so it never pays for this).
+        let slice = r.slice_range(0..3);
+        let expected = slice.rebuild_stats();
+        assert_eq!(*slice.stats().unwrap(), expected);
+        assert_eq!(slice.stats().unwrap().rows(), 3);
     }
 
     #[test]
@@ -560,5 +1097,10 @@ mod tests {
         assert!(r.insert(Tuple::unit()));
         assert!(!r.insert(Tuple::unit()));
         assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().arity(), 0);
+        let (bulk, dropped) = Relation::from_columns(0, vec![], 1, false);
+        assert_eq!(bulk.len(), 1);
+        assert_eq!(dropped, 0);
+        assert_eq!(bulk, r);
     }
 }

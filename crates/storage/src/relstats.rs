@@ -65,9 +65,20 @@ impl RelStats {
     /// Builds statistics from scratch by counting `tuples`. The tuples must
     /// be duplicate-free (a relation's dense storage is).
     pub fn from_tuples<'a>(arity: usize, tuples: impl IntoIterator<Item = &'a Tuple>) -> Self {
+        RelStats::from_rows(arity, tuples.into_iter().map(|t| t.values().iter().copied()))
+    }
+
+    /// Builds statistics from scratch from row value sequences — the
+    /// columnar twin of [`RelStats::from_tuples`], fed straight from a
+    /// relation's `Row` views without materializing tuples. Rows must be
+    /// duplicate-free.
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = impl IntoIterator<Item = Value>>,
+    ) -> Self {
         let mut s = RelStats::new(arity);
-        for t in tuples {
-            s.on_insert(t);
+        for row in rows {
+            s.on_insert(row);
         }
         s
     }
@@ -87,22 +98,28 @@ impl RelStats {
         &self.cols
     }
 
-    /// Records a newly inserted tuple (the caller has already deduplicated).
-    pub fn on_insert(&mut self, tuple: &Tuple) {
-        debug_assert_eq!(tuple.arity(), self.cols.len());
+    /// Records a newly inserted row (the caller has already deduplicated).
+    /// Takes the row's values left to right — pass
+    /// `tuple.values().iter().copied()` for an owned tuple or a `Row`'s
+    /// value iterator for stored rows.
+    pub fn on_insert(&mut self, values: impl IntoIterator<Item = Value>) {
         self.rows += 1;
-        for (col, &v) in self.cols.iter_mut().zip(tuple.values()) {
-            col.on_insert(v);
+        let mut values = values.into_iter();
+        for col in self.cols.iter_mut() {
+            col.on_insert(values.next().expect("row arity below stats arity"));
         }
+        debug_assert!(values.next().is_none(), "row arity above stats arity");
     }
 
-    /// Records the removal of a previously stored tuple.
-    pub fn on_remove(&mut self, tuple: &Tuple) {
-        debug_assert_eq!(tuple.arity(), self.cols.len());
+    /// Records the removal of a previously stored row (values left to
+    /// right, as for [`RelStats::on_insert`]).
+    pub fn on_remove(&mut self, values: impl IntoIterator<Item = Value>) {
         self.rows = self.rows.saturating_sub(1);
-        for (col, &v) in self.cols.iter_mut().zip(tuple.values()) {
-            col.on_remove(v);
+        let mut values = values.into_iter();
+        for col in self.cols.iter_mut() {
+            col.on_remove(values.next().expect("row arity below stats arity"));
         }
+        debug_assert!(values.next().is_none(), "row arity above stats arity");
     }
 }
 
@@ -115,22 +132,26 @@ mod tests {
         Tuple::from([Value::sym(Sym(a)), Value::sym(Sym(b))])
     }
 
+    fn vals(t: &Tuple) -> impl Iterator<Item = Value> + '_ {
+        t.values().iter().copied()
+    }
+
     #[test]
     fn insert_and_remove_keep_exact_counts() {
         let mut s = RelStats::new(2);
-        s.on_insert(&t2(1, 10));
-        s.on_insert(&t2(2, 10));
-        s.on_insert(&t2(3, 11));
+        s.on_insert(vals(&t2(1, 10)));
+        s.on_insert(vals(&t2(2, 10)));
+        s.on_insert(vals(&t2(3, 11)));
         assert_eq!(s.rows(), 3);
         assert_eq!(s.distinct(0), 3);
         assert_eq!(s.distinct(1), 2);
         assert_eq!(s.columns()[1].frequency(Value::sym(Sym(10))), 2);
 
-        s.on_remove(&t2(2, 10));
+        s.on_remove(vals(&t2(2, 10)));
         assert_eq!(s.rows(), 2);
         assert_eq!(s.distinct(0), 2);
         assert_eq!(s.distinct(1), 2); // 10 still present via (1, 10)
-        s.on_remove(&t2(1, 10));
+        s.on_remove(vals(&t2(1, 10)));
         assert_eq!(s.distinct(1), 1); // 10 gone
     }
 
@@ -139,7 +160,7 @@ mod tests {
         let tuples: Vec<Tuple> = (0..50).map(|i| t2(i % 7, i)).collect();
         let mut incremental = RelStats::new(2);
         for t in &tuples {
-            incremental.on_insert(t);
+            incremental.on_insert(vals(t));
         }
         let rebuilt = RelStats::from_tuples(2, &tuples);
         assert_eq!(incremental, rebuilt);

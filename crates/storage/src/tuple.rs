@@ -116,6 +116,34 @@ impl fmt::Display for DisplayTuple<'_> {
     }
 }
 
+/// Display adapter for an owned value sequence — the borrowed-row
+/// counterpart of [`DisplayTuple`] (see `Row::display`), rendering the
+/// same `(a, b)` form.
+pub struct DisplayValues<'a> {
+    values: Vec<Value>,
+    interner: &'a Interner,
+}
+
+impl<'a> DisplayValues<'a> {
+    /// Wraps `values` for display with `interner`.
+    pub fn new(values: Vec<Value>, interner: &'a Interner) -> Self {
+        DisplayValues { values, interner }
+    }
+}
+
+impl fmt::Display for DisplayValues<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.display(self.interner))?;
+        }
+        write!(f, ")")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

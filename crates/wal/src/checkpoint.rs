@@ -7,7 +7,12 @@
 //!         u32 crc32(body), u64 body-len, body
 //! ```
 //!
-//! where `body` is a [`codec`](crate::codec) database frame. Checkpoints
+//! where `body` is a [`codec`](crate::codec) database frame: container
+//! version 1 carries a row-major frame, version 2 a columnar
+//! (`SEPRCOL2`) frame. The writer derives the version from the body it
+//! is handed, and the version must agree with the body's own magic — so
+//! a pre-columnar reader handed a columnar checkpoint fails cleanly on
+//! "unsupported checkpoint version" instead of misparsing. Checkpoints
 //! are written atomically — build a temp sibling, `fsync` it, rename over
 //! the final name, `fsync` the directory — so a crash mid-checkpoint
 //! leaves at most a stray `.tmp` file, never a half-written checkpoint
@@ -27,8 +32,22 @@ use crate::WalError;
 /// The 8-byte checkpoint file magic.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SPRACKP1";
 
-/// The current container version.
+/// The original container version: the body is a row-major database
+/// frame.
 pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Container version 2: the body is a columnar (`SEPRCOL2`) database
+/// frame.
+pub const CHECKPOINT_VERSION_COLUMNAR: u32 = 2;
+
+/// The container version a body demands, derived from its leading magic.
+fn body_version(body: &[u8]) -> u32 {
+    if body.len() >= 8 && body[..8] == crate::codec::COLUMNAR_MAGIC {
+        CHECKPOINT_VERSION_COLUMNAR
+    } else {
+        CHECKPOINT_VERSION
+    }
+}
 
 /// Fixed header size: magic, version, generation, crc, body length.
 const HEADER: usize = 8 + 4 + 8 + 4 + 8;
@@ -44,10 +63,13 @@ fn parse_checkpoint_name(name: &str) -> Option<u64> {
 }
 
 /// Serialises a checkpoint container around an encoded database frame.
+/// The container version is derived from the body's format (columnar
+/// bodies get version 2), so callers hand over whichever frame they
+/// encoded and the container stays honest about it.
 pub fn encode_checkpoint(generation: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER + body.len());
     out.extend_from_slice(CHECKPOINT_MAGIC);
-    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&body_version(body).to_le_bytes());
     out.extend_from_slice(&generation.to_le_bytes());
     out.extend_from_slice(&crc32(body).to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
@@ -111,7 +133,7 @@ pub fn decode_checkpoint(bytes: &[u8], path: &Path) -> Result<(u64, Vec<u8>), Wa
         return Err(WalError::BadMagic { path: path.display().to_string() });
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != CHECKPOINT_VERSION {
+    if version != CHECKPOINT_VERSION && version != CHECKPOINT_VERSION_COLUMNAR {
         return Err(corrupt("unsupported checkpoint version"));
     }
     let generation = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
@@ -123,6 +145,9 @@ pub fn decode_checkpoint(bytes: &[u8], path: &Path) -> Result<(u64, Vec<u8>), Wa
     let body = &bytes[HEADER..];
     if crc32(body) != stored_crc {
         return Err(corrupt("body checksum mismatch"));
+    }
+    if body_version(body) != version {
+        return Err(corrupt("container version does not match body format"));
     }
     Ok((generation, body.to_vec()))
 }
@@ -355,6 +380,30 @@ mod tests {
         assert_eq!(prune_checkpoints(&dir, 2, &leases).unwrap(), 1);
         let kept: Vec<u64> = list_checkpoints(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
         assert_eq!(kept, vec![25, 35]);
+    }
+
+    #[test]
+    fn columnar_bodies_get_container_version_2() {
+        let dir = tmp_dir("colv2");
+        let path = dir.join(checkpoint_file_name(9));
+        let mut body = crate::codec::COLUMNAR_MAGIC.to_vec();
+        body.extend_from_slice(&[0u8; 24]); // empty columnar frame fields
+        write_checkpoint_file(&path, 9, &body).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let (generation, read_body) = read_checkpoint_file(&path).unwrap();
+        assert_eq!(generation, 9);
+        assert_eq!(read_body, body);
+
+        // A container claiming v1 around a columnar body (or vice versa)
+        // is rejected rather than misparsed.
+        let mut lied = bytes.clone();
+        lied[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(decode_checkpoint(&lied, &path).is_err());
+        // And an unknown future version fails cleanly.
+        let mut future = bytes;
+        future[8..12].copy_from_slice(&3u32.to_le_bytes());
+        assert!(decode_checkpoint(&future, &path).is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Cross-version checkpoint compatibility, pinned by a committed fixture.
+//!
+//! `fixtures/ckpt-v1.sepra` is a version-1 checkpoint container (row-major
+//! body) written by the pre-columnar encoder and committed to the repo.
+//! It must keep loading forever: replicas and `sepra restore` meet such
+//! files during any rollout, and a decoder change that breaks them is a
+//! wire-format regression no round-trip test can catch (round-trips test
+//! today's writer against today's reader; the fixture tests *yesterday's*
+//! writer).
+//!
+//! To regenerate after an intentional format change (which must bump the
+//! container version, never mutate v1):
+//!
+//! ```text
+//! SEPRA_REGEN_FIXTURES=1 cargo test -p sepra-wal --test format_compat
+//! ```
+
+use sepra_storage::Database;
+use sepra_wal::checkpoint::{decode_checkpoint, encode_checkpoint};
+use sepra_wal::codec;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ckpt-v1.sepra");
+
+/// The fixture's facts. Covers symbols (incl. a multi-byte UTF-8 name,
+/// inserted directly since the surface syntax is ASCII-only), negative
+/// and positive integers, and a zero-arity predicate — every value shape
+/// v1 can carry.
+const FIXTURE_FACTS: &str = "edge(a, b). edge(b, c). weight(a, 42). weight(b, -7). flag.";
+const FIXTURE_GENERATION: u64 = 6;
+
+fn fixture_db() -> Database {
+    let mut db = Database::new();
+    db.load_fact_text(FIXTURE_FACTS).unwrap();
+    db.insert_named("nom", &["émile"]).unwrap();
+    db
+}
+
+fn fingerprint(db: &Database) -> Vec<String> {
+    let mut out: Vec<String> = db
+        .relations()
+        .flat_map(|(p, rel)| {
+            let name = db.interner().resolve(p).to_string();
+            rel.iter().map(move |t| format!("{name}{}", t.display(db.interner()))).collect::<Vec<_>>()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn v1_fixture_still_loads() {
+    if std::env::var_os("SEPRA_REGEN_FIXTURES").is_some() {
+        let db = fixture_db();
+        assert_eq!(db.generation(), FIXTURE_GENERATION);
+        let body = codec::encode_database(&db);
+        let bytes = encode_checkpoint(db.generation(), &body);
+        // The fixture must be a *version-1* container; if this trips, the
+        // row-major encoder changed, which is exactly the regression this
+        // fixture exists to forbid.
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &bytes).unwrap();
+    }
+
+    let bytes = std::fs::read(FIXTURE).expect(
+        "missing fixture; regenerate with SEPRA_REGEN_FIXTURES=1 \
+         cargo test -p sepra-wal --test format_compat",
+    );
+    let (generation, body) =
+        decode_checkpoint(&bytes, std::path::Path::new(FIXTURE)).expect("fixture validates");
+    assert_eq!(generation, FIXTURE_GENERATION);
+
+    // The format-agnostic snapshot reader (recovery, restore, replica
+    // cold-sync) loads the v1 body.
+    let mut restored = Database::new();
+    let body_generation = codec::decode_snapshot_into(&body, &mut restored).unwrap();
+    assert_eq!(body_generation, FIXTURE_GENERATION);
+    assert_eq!(fingerprint(&restored), fingerprint(&fixture_db()));
+
+    // And today's row-major writer still produces the fixture bit for
+    // bit — the v1 format is frozen, not merely still readable.
+    assert_eq!(codec::encode_database(&fixture_db()), body);
+}
+
+#[test]
+fn v1_and_v2_bodies_describe_the_same_database() {
+    let db = fixture_db();
+    let mut via_v1 = Database::new();
+    codec::decode_snapshot_into(&codec::encode_database(&db), &mut via_v1).unwrap();
+    let mut via_v2 = Database::new();
+    codec::decode_snapshot_into(&codec::encode_database_columnar(&db), &mut via_v2).unwrap();
+    assert_eq!(fingerprint(&via_v1), fingerprint(&via_v2));
+    assert_eq!(via_v1.generation(), via_v2.generation());
+}

@@ -216,7 +216,7 @@ fn unbounded_families_are_never_claimed_bounded() {
 }
 
 fn tuple_set(rel: &separable::storage::Relation) -> BTreeSet<Tuple> {
-    rel.as_slice().iter().cloned().collect()
+    rel.iter().map(|t| t.to_tuple()).collect()
 }
 
 proptest! {

@@ -93,7 +93,7 @@ fn replay(
                 .1;
             let mut next = Relation::new(width1);
             for t in frontier1.iter() {
-                next.union_in_place(&step_once(step, AUX_CARRY1, t, db, width1));
+                next.union_in_place(&step_once(step, AUX_CARRY1, &t.to_tuple(), db, width1));
             }
             frontier1 = next;
         }
@@ -136,7 +136,7 @@ fn replay(
             .1;
         let mut next = Relation::new(width2);
         for t in frontier2.iter() {
-            next.union_in_place(&step_once(step, AUX_CARRY2, t, db, width2));
+            next.union_in_place(&step_once(step, AUX_CARRY2, &t.to_tuple(), db, width2));
         }
         frontier2 = next;
     }

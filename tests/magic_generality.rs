@@ -12,7 +12,7 @@ use separable::storage::Relation;
 fn assert_same_tuples(label: &str, seed: u64, a: &Relation, expected: &Relation) {
     assert_eq!(a.len(), expected.len(), "{label} seed {seed}: cardinality");
     for t in a.iter() {
-        assert!(expected.contains(t), "{label} seed {seed}: wrong tuple");
+        assert!(expected.contains_row(t), "{label} seed {seed}: wrong tuple");
     }
 }
 

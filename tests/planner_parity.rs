@@ -40,7 +40,7 @@ fn eval_opts(threads: usize, mode: PlanMode) -> EvalOptions {
 /// Answer tuples as a set: plan modes agree on *what* is derived, not on
 /// the order derivation happened to visit it.
 fn tuple_set(rel: &separable::storage::Relation) -> BTreeSet<Tuple> {
-    rel.as_slice().iter().cloned().collect()
+    rel.iter().map(|row| row.to_tuple()).collect()
 }
 
 /// Semi-naive and Magic Sets on a generated scenario: cost-based and

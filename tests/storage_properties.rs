@@ -85,10 +85,11 @@ proptest! {
         let index = Index::build(&relation, key_cols.clone());
         let probe_vals = [Value::sym(Sym(probe.0)), Value::sym(Sym(probe.1)), Value::sym(Sym(probe.2))];
         let key: Vec<Value> = key_cols.iter().map(|&c| probe_vals[c]).collect();
-        let via_index: Vec<&Tuple> = index.probe(&relation, &key).collect();
-        let via_scan: Vec<&Tuple> = relation
+        let via_index: Vec<Tuple> = index.probe(&relation, &key).map(|t| t.to_tuple()).collect();
+        let via_scan: Vec<Tuple> = relation
             .iter()
             .filter(|t| key_cols.iter().zip(&key) .all(|(&c, v)| &t[c] == v))
+            .map(|t| t.to_tuple())
             .collect();
         prop_assert_eq!(via_index, via_scan);
     }
@@ -117,8 +118,8 @@ fn incremental_index_equals_rebuild() {
     let fresh = Index::build(&relation, vec![0]);
     for key in 0..7u32 {
         let k = [Value::sym(Sym(key))];
-        let a: Vec<&Tuple> = incremental.probe(&relation, &k).collect();
-        let b: Vec<&Tuple> = fresh.probe(&relation, &k).collect();
+        let a: Vec<Tuple> = incremental.probe(&relation, &k).map(|t| t.to_tuple()).collect();
+        let b: Vec<Tuple> = fresh.probe(&relation, &k).map(|t| t.to_tuple()).collect();
         assert_eq!(a, b, "key {key}");
     }
 }
