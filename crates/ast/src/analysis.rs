@@ -54,6 +54,13 @@ impl DependencyGraph {
             for atom in rule.body_atoms() {
                 edges[from].insert(index[&atom.pred]);
             }
+            // Negated atoms are dependencies too: their predicate must be
+            // complete before the head's stratum runs, so the SCC order
+            // places them earlier. (Polarity-aware stratification lives in
+            // the sepra-strata crate; this graph only fixes the order.)
+            for atom in rule.negated_atoms() {
+                edges[from].insert(index[&atom.pred]);
+            }
         }
         let (scc_of, scc_count) = tarjan(&edges);
         DependencyGraph { preds, index, edges, scc_of, scc_count }
@@ -126,6 +133,9 @@ impl DependencyGraph {
                 idb.insert(rule.head.pred);
             }
             for atom in rule.body_atoms() {
+                arities.entry(atom.pred).or_insert_with(|| atom.arity());
+            }
+            for atom in rule.negated_atoms() {
                 arities.entry(atom.pred).or_insert_with(|| atom.arity());
             }
         }
@@ -262,6 +272,15 @@ impl RecursiveDef {
         let mut recursive_rules = Vec::new();
         let mut exit_rules = Vec::new();
         for rule in def {
+            if rule.agg.is_some() || rule.negated_atoms().next().is_some() {
+                return Err(AstError::UnsupportedProgram {
+                    msg: format!(
+                        "rule `{}` uses negation or aggregation; the paper's class covers \
+                         pure positive linear recursions",
+                        crate::pretty::rule_to_string(rule, interner)
+                    ),
+                });
+            }
             if rule.is_recursive_in(pred) {
                 if !rule.is_linear_recursive_in(pred) {
                     return Err(AstError::UnsupportedProgram {

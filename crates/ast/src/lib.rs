@@ -38,7 +38,7 @@ pub use atom::Atom;
 pub use error::AstError;
 pub use parse::{parse_program, parse_program_raw, parse_query, Parser};
 pub use program::{Program, Query};
-pub use rule::{Literal, Rule};
+pub use rule::{AggFunc, AggSpec, Literal, Rule};
 pub use span::{LineCol, Span};
 pub use symbol::{Interner, Sym};
 pub use term::{Const, Term};

@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! program  := clause*
-//! clause   := atom ( ":-" body )? "."
+//! clause   := head ( ":-" body )? "."
+//! head     := IDENT ( "(" headarg ( "," headarg )* ")" )?
+//! headarg  := term | AGG "<" VARIABLE ">"   // AGG ∈ {min, max, count, sum}
 //! body     := literal ( "," literal )*     // "&" also accepted, as in the paper
-//! literal  := atom | term "=" term
+//! literal  := atom | "!" atom | term "=" term ( "+" term )?
 //! atom     := IDENT ( "(" term ( "," term )* ")" )?
 //! term     := VARIABLE | IDENT | INTEGER
 //! query    := "?-" atom "." | atom "?"
@@ -19,7 +21,7 @@
 use crate::atom::Atom;
 use crate::error::AstError;
 use crate::program::{Program, Query};
-use crate::rule::{Literal, Rule};
+use crate::rule::{AggFunc, AggSpec, Literal, Rule};
 use crate::span::{line_col, Span};
 use crate::symbol::Interner;
 use crate::term::Term;
@@ -37,7 +39,11 @@ enum Tok {
     QueryTurnstile, // ?-
     Question,       // ?
     Eq,
-    Amp, // & — the paper writes conjunction with `&`
+    Amp,  // & — the paper writes conjunction with `&`
+    Bang, // ! — stratified negation
+    Lt,   // < — opens an aggregate annotation `min<C>`
+    Gt,   // > — closes an aggregate annotation
+    Plus, // + — the sum constraint `C = D + W`
     Eof,
 }
 
@@ -56,6 +62,10 @@ impl Tok {
             Tok::Question => "`?`".into(),
             Tok::Eq => "`=`".into(),
             Tok::Amp => "`&`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Plus => "`+`".into(),
             Tok::Eof => "end of input".into(),
         }
     }
@@ -145,6 +155,22 @@ impl<'a> Lexer<'a> {
             b'&' => {
                 self.bump();
                 Tok::Amp
+            }
+            b'!' => {
+                self.bump();
+                Tok::Bang
+            }
+            b'<' => {
+                self.bump();
+                Tok::Lt
+            }
+            b'>' => {
+                self.bump();
+                Tok::Gt
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
             }
             b':' => {
                 self.bump();
@@ -318,13 +344,30 @@ impl<'a> Parser<'a> {
         Ok(Atom::with_spans(pred, terms, span, term_spans))
     }
 
+    /// After `left =`, parses the right-hand side: either a plain term
+    /// (an equality) or `a + b` (a sum constraint).
+    fn parse_eq_rhs(&mut self, left: Term) -> Result<Literal, AstError> {
+        let (right, _) = self.parse_term()?;
+        if self.tok == Tok::Plus {
+            self.advance()?;
+            let (addend, _) = self.parse_term()?;
+            return Ok(Literal::Sum(left, right, addend));
+        }
+        Ok(Literal::Eq(left, right))
+    }
+
     fn parse_literal(&mut self) -> Result<Literal, AstError> {
-        // A literal starting with a variable or integer must be an equality.
+        // `!` starts a negated atom.
+        if self.tok == Tok::Bang {
+            self.advance()?;
+            return Ok(Literal::Neg(self.parse_atom()?));
+        }
+        // A literal starting with a variable or integer must be an equality
+        // or sum constraint.
         if matches!(self.tok, Tok::Var(_) | Tok::Int(_)) {
             let (left, _) = self.parse_term()?;
             self.expect(&Tok::Eq)?;
-            let (right, _) = self.parse_term()?;
-            return Ok(Literal::Eq(left, right));
+            return self.parse_eq_rhs(left);
         }
         // An identifier might start `p(...)` or `c = t`.
         let atom = self.parse_atom()?;
@@ -333,8 +376,7 @@ impl<'a> Parser<'a> {
                 return Err(self.error_here("`=` cannot follow a compound atom"));
             }
             self.advance()?;
-            let (right, _) = self.parse_term()?;
-            return Ok(Literal::Eq(Term::sym(atom.pred), right));
+            return self.parse_eq_rhs(Term::sym(atom.pred));
         }
         Ok(Literal::Atom(atom))
     }
@@ -348,9 +390,90 @@ impl<'a> Parser<'a> {
         Ok(body)
     }
 
+    /// Parses a head atom, which may carry one aggregate annotation
+    /// (`shortest(X, min<C>)`). The returned atom holds a plain variable at
+    /// the aggregated position; the annotation is returned separately.
+    fn parse_head_atom(&mut self) -> Result<(Atom, Option<AggSpec>), AstError> {
+        let Tok::Ident(name) = &self.tok else {
+            return Err(self
+                .error_here(format!("expected a predicate name, found {}", self.tok.describe())));
+        };
+        let pred = self.interner.intern(&name.clone());
+        let mut span = self.tok_span;
+        self.advance()?;
+        let mut terms = Vec::new();
+        let mut term_spans = Vec::new();
+        let mut agg: Option<AggSpec> = None;
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            loop {
+                // An identifier in head-argument position is an aggregate
+                // annotation when a known function keyword is immediately
+                // followed by `<`; otherwise it is an ordinary constant.
+                let func_kw = match &self.tok {
+                    Tok::Ident(kw) => AggFunc::from_keyword(kw),
+                    _ => None,
+                };
+                if let Some(func) = func_kw {
+                    let kw_span = self.tok_span;
+                    self.advance()?;
+                    if self.tok == Tok::Lt {
+                        self.advance()?;
+                        let Tok::Var(var) = &self.tok else {
+                            return Err(self.error_here(format!(
+                                "expected a variable inside `{}<...>`, found {}",
+                                func.keyword(),
+                                self.tok.describe()
+                            )));
+                        };
+                        let var = self.interner.intern(&var.clone());
+                        let var_span = self.tok_span;
+                        self.advance()?;
+                        let gt_span = self.tok_span;
+                        self.expect(&Tok::Gt)?;
+                        if agg.is_some() {
+                            return Err(parse_error_at(
+                                self.lexer.text,
+                                kw_span.merge(gt_span),
+                                "a head may carry at most one aggregate annotation",
+                            ));
+                        }
+                        agg =
+                            Some(AggSpec { func, pos: terms.len(), span: kw_span.merge(gt_span) });
+                        terms.push(Term::Var(var));
+                        term_spans.push(var_span);
+                    } else {
+                        // `min` etc. used as a plain constant symbol.
+                        terms.push(Term::sym(self.interner.intern(func.keyword())));
+                        term_spans.push(kw_span);
+                    }
+                } else {
+                    let (term, tspan) = self.parse_term()?;
+                    terms.push(term);
+                    term_spans.push(tspan);
+                }
+                match self.tok {
+                    Tok::Comma => self.advance()?,
+                    Tok::RParen => {
+                        span = span.merge(self.tok_span);
+                        self.advance()?;
+                        break;
+                    }
+                    _ => {
+                        return Err(self.error_here(format!(
+                            "expected `,` or `)` in argument list, found {}",
+                            self.tok.describe()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok((Atom::with_spans(pred, terms, span, term_spans), agg))
+    }
+
     /// Parses one clause `head.` or `head :- body.`
     pub fn parse_clause(&mut self) -> Result<Rule, AstError> {
-        let head = self.parse_atom()?;
+        let (head, agg) = self.parse_head_atom()?;
         let start = head.span;
         let body = if self.tok == Tok::Turnstile {
             self.advance()?;
@@ -360,7 +483,9 @@ impl<'a> Parser<'a> {
         };
         let dot_span = self.tok_span;
         self.expect(&Tok::Dot)?;
-        Ok(Rule::with_span(head, body, start.merge(dot_span)))
+        let mut rule = Rule::with_span(head, body, start.merge(dot_span));
+        rule.agg = agg;
+        Ok(rule)
     }
 
     /// Parses a whole program (a sequence of clauses) to end of input.
@@ -471,11 +596,35 @@ pub fn validate(program: &Program, interner: &Interner) -> Result<(), AstError> 
         for atom in rule.body_atoms() {
             check(atom)?;
         }
+        for atom in rule.negated_atoms() {
+            check(atom)?;
+        }
         if !rule.is_safe() {
             return Err(AstError::UnsafeRule {
                 rule: crate::pretty::rule_to_string(rule, interner),
                 span: rule.span(),
             });
+        }
+    }
+    // All proper rules defining a predicate must agree on its aggregate
+    // annotation (facts are exempt: they seed groups with contributions).
+    let mut aggs: std::collections::HashMap<crate::symbol::Sym, Option<AggSpec>> =
+        std::collections::HashMap::new();
+    for rule in program.proper_rules() {
+        match aggs.get(&rule.head.pred) {
+            Some(expected) if *expected != rule.agg => {
+                return Err(AstError::UnsupportedProgram {
+                    msg: format!(
+                        "inconsistent aggregate annotations on predicate `{}`: every rule \
+                         must use the same aggregate (or none)",
+                        interner.resolve(rule.head.pred)
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                aggs.insert(rule.head.pred, rule.agg.clone());
+            }
         }
     }
     Ok(())
@@ -651,5 +800,91 @@ mod tests {
         let underscore = i.intern("_any");
         let q_atom = p.rules[0].body_atoms().next().unwrap();
         assert_eq!(q_atom.terms[1], Term::Var(underscore));
+    }
+
+    #[test]
+    fn parses_negated_literals() {
+        let (p, mut i) = parse_ok("only(X) :- a(X), !b(X).\n");
+        let b = i.intern("b");
+        let rule = &p.rules[0];
+        assert_eq!(rule.body_atoms().count(), 1);
+        let neg = rule.negated_atoms().next().unwrap();
+        assert_eq!(neg.pred, b);
+        // The negated atom's span points at the atom text (after the `!`).
+        let src = "only(X) :- a(X), !b(X).\n";
+        assert_eq!(&src[neg.span.start as usize..neg.span.end as usize], "b(X)");
+    }
+
+    #[test]
+    fn parses_sum_constraints() {
+        let (p, _) = parse_ok("d(Y, C) :- d(X, D), e(X, Y, W), C = D + W.\n");
+        let rule = &p.rules[0];
+        assert!(matches!(rule.body[2], Literal::Sum(Term::Var(_), Term::Var(_), Term::Var(_))));
+        // Constant operands also parse.
+        let (p2, _) = parse_ok("p(C) :- q(D), C = D + 1.\n");
+        assert!(matches!(p2.rules[0].body[1], Literal::Sum(_, _, Term::Const(_))));
+    }
+
+    #[test]
+    fn parses_aggregate_heads() {
+        let src = "shortest(Y, min<C>) :- shortest(X, D), edge(X, Y, W), C = D + W.\n\
+                   shortest(Y, min<C>) :- source(X), edge(X, Y, C).\n";
+        let (p, mut i) = parse_ok(src);
+        let c = i.intern("C");
+        for rule in &p.rules {
+            let agg = rule.agg.as_ref().expect("aggregate parsed");
+            assert_eq!(agg.func, AggFunc::Min);
+            assert_eq!(agg.pos, 1);
+            assert_eq!(rule.head.terms[1], Term::Var(c));
+            // The spec span covers the `min<C>` text.
+            assert_eq!(&src[agg.span.start as usize..agg.span.end as usize], "min<C>");
+        }
+    }
+
+    #[test]
+    fn aggregate_keywords_remain_usable_as_constants() {
+        let (p, mut i) = parse_ok("kind(tom, min).\np(X) :- q(X, count).\n");
+        let min = i.intern("min");
+        assert_eq!(p.rules[0].head.terms[1], Term::sym(min));
+        assert!(p.rules[0].agg.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_aggregate_syntax() {
+        let mut i = Interner::new();
+        for bad in [
+            "p(min<c>) :- q(c).",            // constant inside <>
+            "p(min<X, Y>) :- q(X, Y).",      // more than one variable
+            "p(min<X>, max<Y>) :- q(X, Y).", // two aggregates
+            "p(min<X) :- q(X).",             // unclosed
+        ] {
+            assert!(parse_program(bad, &mut i).is_err(), "should reject {bad:?}");
+        }
+        // Aggregates have no meaning in body atoms.
+        assert!(parse_program("p(X) :- q(min<X>).", &mut i).is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_aggregate_definitions() {
+        let mut i = Interner::new();
+        let err =
+            parse_program("s(X, min<C>) :- e(X, C).\ns(X, C) :- f(X, C).\n", &mut i).unwrap_err();
+        assert!(matches!(err, AstError::UnsupportedProgram { .. }), "{err}");
+        // Facts are exempt: they seed aggregate groups.
+        assert!(parse_program("s(a, 0).\ns(X, min<C>) :- e(X, C).\n", &mut i).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsafe_negation() {
+        let mut i = Interner::new();
+        let err = parse_program("p(X) :- q(X), !r(Y).\n", &mut i).unwrap_err();
+        assert!(matches!(err, AstError::UnsafeRule { .. }), "{err}");
+    }
+
+    #[test]
+    fn negated_atoms_join_arity_checking() {
+        let mut i = Interner::new();
+        let err = parse_program("r(a, b).\np(X) :- q(X), !r(X).\n", &mut i).unwrap_err();
+        assert!(matches!(err, AstError::ArityMismatch { .. }), "{err}");
     }
 }

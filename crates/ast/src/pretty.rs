@@ -41,15 +41,44 @@ pub fn atom_to_string(atom: &Atom, interner: &Interner) -> String {
 pub fn literal_to_string(literal: &Literal, interner: &Interner) -> String {
     match literal {
         Literal::Atom(a) => atom_to_string(a, interner),
+        Literal::Neg(a) => format!("!{}", atom_to_string(a, interner)),
         Literal::Eq(l, r) => {
             format!("{} = {}", term_to_string(l, interner), term_to_string(r, interner))
         }
+        Literal::Sum(d, a, b) => format!(
+            "{} = {} + {}",
+            term_to_string(d, interner),
+            term_to_string(a, interner),
+            term_to_string(b, interner)
+        ),
     }
+}
+
+/// Renders a rule head, including any aggregate annotation, e.g.
+/// `shortest(X, min<C>)`.
+pub fn head_to_string(rule: &Rule, interner: &Interner) -> String {
+    let Some(agg) = &rule.agg else {
+        return atom_to_string(&rule.head, interner);
+    };
+    let mut out = interner.resolve(rule.head.pred).to_string();
+    out.push('(');
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if i == agg.pos {
+            let _ = write!(out, "{}<{}>", agg.func.keyword(), term_to_string(t, interner));
+        } else {
+            out.push_str(&term_to_string(t, interner));
+        }
+    }
+    out.push(')');
+    out
 }
 
 /// Renders a rule, e.g. `buys(X, Y) :- friend(X, W), buys(W, Y).`
 pub fn rule_to_string(rule: &Rule, interner: &Interner) -> String {
-    let mut out = atom_to_string(&rule.head, interner);
+    let mut out = head_to_string(rule, interner);
     if !rule.body.is_empty() {
         out.push_str(" :- ");
         for (i, lit) in rule.body.iter().enumerate() {
@@ -130,6 +159,19 @@ mod tests {
         let q = parse_query("buys(tom, Y)?", &mut i).unwrap();
         assert_eq!(query_to_string(&q, &i), "buys(tom, Y)?");
         assert_eq!(format!("{}", Pretty(&q, &i)), "buys(tom, Y)?");
+    }
+
+    #[test]
+    fn roundtrips_negation_aggregates_and_sums() {
+        let src = "shortest(Y, min<C>) :- shortest(X, D), edge(X, Y, W), C = D + W.\n\
+                   shortest(Y, min<C>) :- source(X), edge(X, Y, C).\n\
+                   only(X) :- a(X), !b(X).\n";
+        let mut i = Interner::new();
+        let p = parse_program(src, &mut i).unwrap();
+        let rendered = program_to_string(&p, &i);
+        assert_eq!(rendered, src);
+        let p2 = parse_program(&rendered, &mut i).unwrap();
+        assert_eq!(p, p2);
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub fn rectify_rule(rule: &Rule, interner: &mut Interner) -> Rule {
     // positions, so the head keeps its span and per-term spans verbatim.
     let head =
         Atom::with_spans(rule.head.pred, new_terms, rule.head.span, rule.head.term_spans.clone());
-    Rule::with_span(head, body, rule.span)
+    let mut out = Rule::with_span(head, body, rule.span);
+    out.agg = rule.agg.clone();
+    out
 }
 
 /// Rectifies every rule of a program.

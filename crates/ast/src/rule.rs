@@ -4,52 +4,74 @@ use crate::atom::Atom;
 use crate::symbol::Sym;
 use crate::term::Term;
 
-/// A body literal: a positive atom or an equality constraint.
+/// A body literal: a positive atom, a negated atom, an equality constraint,
+/// or an arithmetic sum constraint.
 ///
 /// Equality literals arise from rectification (Section 3.3 of the paper
 /// assumes rectified rules; repeated head variables and head constants are
 /// compiled away into body equalities) and may also be written directly in
-/// source as `X = Y` or `X = tom`.
+/// source as `X = Y` or `X = tom`. Negated literals (`!p(X, Y)`) require the
+/// program to be stratifiable; sum literals (`C = D + W`) bind their target
+/// once both operands are bound.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Literal {
     /// A positive predicate instance.
     Atom(Atom),
+    /// A negated predicate instance (`!p(X, Y)`): holds when no matching
+    /// tuple exists in the (lower-stratum) relation.
+    Neg(Atom),
     /// An equality constraint between two terms.
     Eq(Term, Term),
+    /// An arithmetic constraint `Sum(dst, a, b)` written `dst = a + b`.
+    Sum(Term, Term, Term),
 }
 
 impl Literal {
-    /// The atom, if this literal is one.
+    /// The atom, if this literal is a *positive* atom.
     pub fn as_atom(&self) -> Option<&Atom> {
         match self {
             Literal::Atom(a) => Some(a),
-            Literal::Eq(..) => None,
+            _ => None,
+        }
+    }
+
+    /// The atom, if this literal is a *negated* atom.
+    pub fn as_negated_atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Neg(a) => Some(a),
+            _ => None,
         }
     }
 
     /// Distinct variables of this literal in first-occurrence order.
     pub fn vars(&self) -> Vec<Sym> {
         match self {
-            Literal::Atom(a) => a.vars(),
-            Literal::Eq(l, r) => {
-                let mut out = Vec::new();
-                for t in [l, r] {
-                    if let Term::Var(v) = t {
-                        if !out.contains(v) {
-                            out.push(*v);
-                        }
-                    }
+            Literal::Atom(a) | Literal::Neg(a) => a.vars(),
+            Literal::Eq(l, r) => Self::term_vars(&[l, r]),
+            Literal::Sum(d, a, b) => Self::term_vars(&[d, a, b]),
+        }
+    }
+
+    fn term_vars(terms: &[&Term]) -> Vec<Sym> {
+        let mut out = Vec::new();
+        for t in terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
                 }
-                out
             }
         }
+        out
     }
 
     /// Whether `var` occurs in this literal.
     pub fn contains_var(&self, var: Sym) -> bool {
         match self {
-            Literal::Atom(a) => a.contains_var(var),
+            Literal::Atom(a) | Literal::Neg(a) => a.contains_var(var),
             Literal::Eq(l, r) => l.as_var() == Some(var) || r.as_var() == Some(var),
+            Literal::Sum(d, a, b) => {
+                d.as_var() == Some(var) || a.as_var() == Some(var) || b.as_var() == Some(var)
+            }
         }
     }
 
@@ -57,8 +79,96 @@ impl Literal {
     pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Literal {
         match self {
             Literal::Atom(a) => Literal::Atom(a.substitute(subst)),
+            Literal::Neg(a) => Literal::Neg(a.substitute(subst)),
             Literal::Eq(l, r) => Literal::Eq(l.substitute(subst), r.substitute(subst)),
+            Literal::Sum(d, a, b) => {
+                Literal::Sum(d.substitute(subst), a.substitute(subst), b.substitute(subst))
+            }
         }
+    }
+}
+
+/// A monotonic aggregate function usable in a rule head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Minimum of the grouped values.
+    Min,
+    /// Maximum of the grouped values.
+    Max,
+    /// Count of distinct contributing tuples.
+    Count,
+    /// Sum over distinct contributing values.
+    Sum,
+}
+
+impl AggFunc {
+    /// The surface-syntax keyword (`min`, `max`, `count`, `sum`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+        }
+    }
+
+    /// Parses a surface keyword.
+    pub fn from_keyword(kw: &str) -> Option<AggFunc> {
+        match kw {
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            _ => None,
+        }
+    }
+
+    /// Whether the function preserves least-fixpoint semantics inside
+    /// recursion (Zaniolo et al.): improvements only shrink (min) or grow
+    /// (max) one retained value per group, so iteration still converges.
+    /// `count`/`sum` grow with every new contribution and are only allowed
+    /// in non-recursive strata.
+    pub fn monotonic_in_recursion(self) -> bool {
+        matches!(self, AggFunc::Min | AggFunc::Max)
+    }
+}
+
+/// An aggregate head annotation: `shortest(X, min<C>)` marks position
+/// `pos = 1` of the head as aggregated with [`AggFunc::Min`] over group key
+/// `X` (all other head positions). The head atom itself keeps a plain
+/// variable at the aggregated position.
+///
+/// The span covers the `func<Var>` source text and is ignored by equality
+/// and hashing, like atom spans.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Head argument position holding the aggregated value.
+    pub pos: usize,
+    /// Source span of the `func<Var>` annotation.
+    pub span: crate::span::Span,
+}
+
+impl PartialEq for AggSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.func == other.func && self.pos == other.pos
+    }
+}
+
+impl Eq for AggSpec {}
+
+impl std::hash::Hash for AggSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.func.hash(state);
+        self.pos.hash(state);
+    }
+}
+
+impl AggSpec {
+    /// Creates an aggregate spec (no source span).
+    pub fn new(func: AggFunc, pos: usize) -> Self {
+        AggSpec { func, pos, span: crate::span::Span::DUMMY }
     }
 }
 
@@ -73,6 +183,8 @@ pub struct Rule {
     /// The body literals, in source order (the paper's algorithms evaluate
     /// bodies left to right).
     pub body: Vec<Literal>,
+    /// Aggregate head annotation, if one head position is aggregated.
+    pub agg: Option<AggSpec>,
     /// Source span of the whole clause ([`Span::DUMMY`](crate::span::Span)
     /// when synthesized).
     pub span: crate::span::Span,
@@ -80,7 +192,7 @@ pub struct Rule {
 
 impl PartialEq for Rule {
     fn eq(&self, other: &Self) -> bool {
-        self.head == other.head && self.body == other.body
+        self.head == other.head && self.body == other.body && self.agg == other.agg
     }
 }
 
@@ -90,23 +202,30 @@ impl std::hash::Hash for Rule {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.head.hash(state);
         self.body.hash(state);
+        self.agg.hash(state);
     }
 }
 
 impl Rule {
     /// Creates a rule (no source span).
     pub fn new(head: Atom, body: Vec<Literal>) -> Self {
-        Rule { head, body, span: crate::span::Span::DUMMY }
+        Rule { head, body, agg: None, span: crate::span::Span::DUMMY }
     }
 
     /// Creates a rule with a source span covering the whole clause.
     pub fn with_span(head: Atom, body: Vec<Literal>, span: crate::span::Span) -> Self {
-        Rule { head, body, span }
+        Rule { head, body, agg: None, span }
     }
 
     /// Creates a fact (a rule with an empty body).
     pub fn fact(head: Atom) -> Self {
-        Rule { head, body: Vec::new(), span: crate::span::Span::DUMMY }
+        Rule { head, body: Vec::new(), agg: None, span: crate::span::Span::DUMMY }
+    }
+
+    /// Returns this rule with the given aggregate head annotation.
+    pub fn with_agg(mut self, agg: AggSpec) -> Self {
+        self.agg = Some(agg);
+        self
     }
 
     /// The rule span, falling back to the head atom's span.
@@ -119,9 +238,15 @@ impl Rule {
         self.body.is_empty()
     }
 
-    /// Iterates over the body atoms (skipping equality literals).
+    /// Iterates over the *positive* body atoms (skipping negated atoms and
+    /// equality/sum constraints).
     pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
         self.body.iter().filter_map(Literal::as_atom)
+    }
+
+    /// Iterates over the negated body atoms.
+    pub fn negated_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(Literal::as_negated_atom)
     }
 
     /// Positions in `body` holding atoms whose predicate is `pred`.
@@ -183,22 +308,31 @@ impl Rule {
         out
     }
 
-    /// Checks *safety*: every head variable must occur in some body literal
-    /// (facts must be ground). Equality literals count: `X = tom` grounds
-    /// `X`; safety of chained equalities is validated more precisely by the
-    /// evaluator's planner.
+    /// Checks *safety*: every head variable must occur in some *positive*
+    /// body literal (facts must be ground), and every variable of a negated
+    /// atom must also occur positively — a negated literal filters bound
+    /// rows, it never binds. Equality literals count as positive: `X = tom`
+    /// grounds `X`; safety of chained equalities (and of sum constraints,
+    /// which bind their target from bound operands) is validated more
+    /// precisely by the evaluator's planner. A fact cannot carry an
+    /// aggregate annotation.
     pub fn is_safe(&self) -> bool {
         if self.body.is_empty() {
-            return self.head.is_ground();
+            return self.head.is_ground() && self.agg.is_none();
         }
-        self.head.vars().into_iter().all(|v| self.body.iter().any(|l| l.contains_var(v)))
+        let positive =
+            |v: Sym| self.body.iter().any(|l| !matches!(l, Literal::Neg(_)) && l.contains_var(v));
+        self.head.vars().into_iter().all(positive)
+            && self.negated_atoms().all(|a| a.vars().into_iter().all(positive))
     }
 
-    /// Applies a variable substitution to head and body, preserving spans.
+    /// Applies a variable substitution to head and body, preserving spans
+    /// and the aggregate annotation.
     pub fn substitute(&self, subst: &impl Fn(Sym) -> Option<Term>) -> Rule {
         Rule {
             head: self.head.substitute(subst),
             body: self.body.iter().map(|l| l.substitute(subst)).collect(),
+            agg: self.agg.clone(),
             span: self.span,
         }
     }
@@ -296,5 +430,63 @@ mod tests {
         let (rule, _) = buys_rule(&mut i);
         let (x, y, w) = (i.intern("X"), i.intern("Y"), i.intern("W"));
         assert_eq!(rule.vars(), vec![x, y, w]);
+    }
+
+    #[test]
+    fn negated_vars_must_occur_positively() {
+        let mut i = Interner::new();
+        let (p, q, r) = (i.intern("p"), i.intern("q"), i.intern("r"));
+        let (x, y) = (i.intern("X"), i.intern("Y"));
+        // p(X) :- q(X), !r(X).  — safe.
+        let safe = Rule::new(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![
+                Literal::Atom(Atom::new(q, vec![Term::Var(x)])),
+                Literal::Neg(Atom::new(r, vec![Term::Var(x)])),
+            ],
+        );
+        assert!(safe.is_safe());
+        // p(X) :- q(X), !r(Y).  — Y occurs only under negation.
+        let unsafe_neg = Rule::new(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![
+                Literal::Atom(Atom::new(q, vec![Term::Var(x)])),
+                Literal::Neg(Atom::new(r, vec![Term::Var(y)])),
+            ],
+        );
+        assert!(!unsafe_neg.is_safe());
+        // p(X) :- !r(X).  — head var bound only by a negated literal.
+        let neg_only = Rule::new(
+            Atom::new(p, vec![Term::Var(x)]),
+            vec![Literal::Neg(Atom::new(r, vec![Term::Var(x)]))],
+        );
+        assert!(!neg_only.is_safe());
+    }
+
+    #[test]
+    fn aggregate_spec_equality_ignores_span() {
+        let mut spec = AggSpec::new(AggFunc::Min, 1);
+        let other = AggSpec::new(AggFunc::Min, 1);
+        spec.span = crate::span::Span::new(3, 9);
+        assert_eq!(spec, other);
+        assert_ne!(spec, AggSpec::new(AggFunc::Max, 1));
+        assert_ne!(spec, AggSpec::new(AggFunc::Min, 0));
+    }
+
+    #[test]
+    fn rule_equality_includes_aggregate() {
+        let mut i = Interner::new();
+        let (p, q) = (i.intern("p"), i.intern("q"));
+        let (x, c) = (i.intern("X"), i.intern("C"));
+        let mk = || {
+            Rule::new(
+                Atom::new(p, vec![Term::Var(x), Term::Var(c)]),
+                vec![Literal::Atom(Atom::new(q, vec![Term::Var(x), Term::Var(c)]))],
+            )
+        };
+        let plain = mk();
+        let agg = mk().with_agg(AggSpec::new(AggFunc::Min, 1));
+        assert_ne!(plain, agg);
+        assert_eq!(agg, mk().with_agg(AggSpec::new(AggFunc::Min, 1)));
     }
 }

@@ -1,0 +1,240 @@
+//! E16 — recursive min aggregate vs materialize-all-path-costs.
+//!
+//! Single-source shortest path on a layered weighted DAG, computed two
+//! ways that a stratification-aware engine must agree on:
+//!
+//! * `min_fixpoint` — the recursive `min` aggregate: `short` keeps one
+//!   cost per node and the fixpoint *prunes* dominated paths as it runs —
+//!   a longer route into a node whose group minimum is already lower
+//!   derives nothing downstream.
+//! * `materialize_paths` — the positive encoding available without
+//!   recursive aggregation: `dist` materializes *every* distinct path
+//!   cost per node (bounded here by the weight range × depth, so the
+//!   baseline terminates), and a final non-recursive `min` stratum
+//!   collapses the groups.
+//!
+//! Both sides are stratified programs on the same semi-naive engine, so
+//! the measured gap is the aggregate's in-fixpoint pruning, not an engine
+//! difference. Like E12–E15 the measurement loop is hand-rolled:
+//! `--bench` prints medians and writes `BENCH_stratified.json` at the
+//! repository root; `--smoke` runs a reduced matrix and exits non-zero if
+//! the aggregate side exceeds [`SMOKE_TOLERANCE`] times the baseline
+//! anywhere; with no flag each pair runs once as a silent smoke test.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sepra_ast::{parse_program, parse_query};
+use sepra_eval::{query_answers, seminaive_with_options, EvalOptions};
+use sepra_storage::{Database, Tuple, Value};
+
+const SAMPLES: usize = 7;
+const SMOKE_SAMPLES: usize = 3;
+
+/// Smoke-mode gate: the aggregate side may be at most this factor slower
+/// than the materializing baseline on any workload.
+const SMOKE_TOLERANCE: f64 = 1.5;
+
+const MIN_FIXPOINT: &str = "short(Y, min<C>) :- src(X), w(X, Y, C).\n\
+                            short(Y, min<C>) :- short(X, D), w(X, Y, W), C = D + W.\n";
+
+const MATERIALIZE: &str = "dist(Y, C) :- src(X), w(X, Y, C).\n\
+                           dist(Y, C) :- dist(X, D), w(X, Y, W), C = D + W.\n\
+                           short(Y, min<C>) :- dist(Y, C).\n";
+
+const QUERY: &str = "short(Y, C)?";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    MinFixpoint,
+    MaterializePaths,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::MinFixpoint => "min_fixpoint",
+            Variant::MaterializePaths => "materialize_paths",
+        }
+    }
+
+    fn program(self) -> &'static str {
+        match self {
+            Variant::MinFixpoint => MIN_FIXPOINT,
+            Variant::MaterializePaths => MATERIALIZE,
+        }
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    db: Database,
+}
+
+/// A layered DAG: `width` nodes per layer, `layers` layers, every node
+/// wired to every node of the next layer with a deterministic pseudo-random
+/// weight in `1..=9`. Path *count* grows as `width^layers`; distinct path
+/// *costs* per node stay below `9 * layers`, so the materializing baseline
+/// is polynomial — slow, not impossible.
+fn layered(name: &'static str, width: usize, layers: usize) -> Workload {
+    let mut db = Database::new();
+    let w = db.intern("w");
+    let node = |l: usize, i: usize| format!("n{l}_{i}");
+    db.insert_named("src", &[&node(0, 0)]).expect("fact");
+    // Reach the whole first layer from the source node.
+    let mut edges: Vec<(String, String, i64)> = Vec::new();
+    for i in 1..width {
+        edges.push((node(0, 0), node(0, i), 1 + (i as i64 * 5) % 9));
+    }
+    for l in 0..layers - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                let weight = 1 + ((a * 7 + b * 13 + l * 3) as i64) % 9;
+                edges.push((node(l, a), node(l + 1, b), weight));
+            }
+        }
+    }
+    for (from, to, weight) in edges {
+        let tuple = Tuple::from(vec![
+            Value::sym(db.interner_mut().intern(&from)),
+            Value::sym(db.interner_mut().intern(&to)),
+            Value::int(weight).expect("small weight"),
+        ]);
+        db.insert(w, tuple).expect("fact");
+    }
+    Workload { name, db }
+}
+
+/// One full stratified evaluation; returns the answer count so the
+/// optimizer cannot discard the run and the two sides can be cross-checked.
+fn run_once(workload: &Workload, variant: Variant) -> usize {
+    let mut db = workload.db.clone();
+    let program = parse_program(variant.program(), db.interner_mut()).expect("program parses");
+    let query = parse_query(QUERY, db.interner_mut()).expect("query parses");
+    let derived =
+        seminaive_with_options(&program, &db, &EvalOptions::default()).expect("evaluates");
+    query_answers(&query, &db, Some(&derived)).expect("answers").len()
+}
+
+fn median_ns(workload: &Workload, variant: Variant, samples: usize) -> u64 {
+    black_box(run_once(workload, variant));
+    let mut timed: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_once(workload, variant));
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    timed.sort_unstable();
+    timed[timed.len() / 2]
+}
+
+struct Cell {
+    workload: &'static str,
+    variant: &'static str,
+    median_ns: u64,
+}
+
+fn measure(workload: &Workload, samples: usize) -> Vec<Cell> {
+    let expect = run_once(workload, Variant::MaterializePaths);
+    let got = run_once(workload, Variant::MinFixpoint);
+    assert_eq!(got, expect, "{}: the two encodings disagree on the answers", workload.name);
+    [Variant::MaterializePaths, Variant::MinFixpoint]
+        .into_iter()
+        .map(|v| Cell {
+            workload: workload.name,
+            variant: v.name(),
+            median_ns: median_ns(workload, v, samples),
+        })
+        .collect()
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let measure_mode = args.iter().any(|a| a == "--bench");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    if !measure_mode && !smoke {
+        // Silent smoke for `cargo test`: one tiny run per side.
+        let workload = layered("tiny", 3, 4);
+        for variant in [Variant::MaterializePaths, Variant::MinFixpoint] {
+            black_box(run_once(&workload, variant));
+        }
+        return std::process::ExitCode::SUCCESS;
+    }
+
+    let (workloads, samples) = if smoke {
+        (vec![layered("layered_w4", 4, 8)], SMOKE_SAMPLES)
+    } else {
+        (vec![layered("layered_w4", 4, 16), layered("layered_w6", 6, 20)], SAMPLES)
+    };
+
+    let mut cells = Vec::new();
+    for workload in &workloads {
+        cells.extend(measure(workload, samples));
+    }
+    for c in &cells {
+        println!(
+            "e16_stratified/{:<12} {:<18} median {:>12} ns",
+            c.workload, c.variant, c.median_ns
+        );
+    }
+
+    let mut failures = Vec::new();
+    println!();
+    for workload in &workloads {
+        let base = cells
+            .iter()
+            .find(|c| c.workload == workload.name && c.variant == "materialize_paths")
+            .expect("baseline cell")
+            .median_ns;
+        let opt = cells
+            .iter()
+            .find(|c| c.workload == workload.name && c.variant == "min_fixpoint")
+            .expect("aggregate cell")
+            .median_ns;
+        let speedup = base as f64 / opt as f64;
+        println!(
+            "{:<12} min_fixpoint speedup over materialize_paths: {speedup:>5.2}x",
+            workload.name
+        );
+        if smoke && (opt as f64) > base as f64 * SMOKE_TOLERANCE {
+            failures.push(format!(
+                "{}: min_fixpoint {opt} ns vs materialize_paths {base} ns exceeds \
+                 tolerance {SMOKE_TOLERANCE}x",
+                workload.name
+            ));
+        }
+    }
+
+    if smoke {
+        if failures.is_empty() {
+            println!("\nsmoke ok: the aggregate side within {SMOKE_TOLERANCE}x of its baseline");
+            return std::process::ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("smoke FAIL: {f}");
+        }
+        return std::process::ExitCode::FAILURE;
+    }
+
+    // Machine-readable artifact at the repository root; single-threaded
+    // runs, so the medians compare encodings, not parallelism.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n  \"experiment\": \"e16_stratified\",\n");
+    json.push_str(&format!(
+        "  \"samples\": {samples},\n  \"available_parallelism\": {cores},\n  \"results\": [\n"
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"variant\": \"{}\", \"median_ns\": {} }}{comma}\n",
+            c.workload, c.variant, c.median_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stratified.json");
+    std::fs::write(path, &json).expect("write BENCH_stratified.json");
+    println!("\nwrote {path}");
+    std::process::ExitCode::SUCCESS
+}

@@ -506,6 +506,13 @@ fn binding_plan(
                 terms: a.terms.clone(),
             })),
             sepra_ast::Literal::Eq(l, r) => body.push(PlanLiteral::Eq(*l, *r)),
+            // Unreachable: separable recursions are pure positive
+            // (`RecursiveDef::extract`); arms preserve meaning regardless.
+            sepra_ast::Literal::Neg(a) => body.push(PlanLiteral::Neg(PlanAtom {
+                rel: RelKey::Pred(a.pred),
+                terms: a.terms.clone(),
+            })),
+            sepra_ast::Literal::Sum(d, x, y) => body.push(PlanLiteral::Sum(*d, *x, *y)),
         }
     }
     let mut output: Vec<Term> = cols.iter().map(|&c| rule.head.terms[c]).collect();

@@ -213,6 +213,14 @@ fn nonrecursive_literals(sep: &SeparableRecursion, rule: &sepra_ast::Rule) -> Ve
                 terms: a.terms.clone(),
             })),
             Literal::Eq(l, r) => Some(PlanLiteral::Eq(*l, *r)),
+            // Unreachable in practice: `RecursiveDef::extract` rejects
+            // negation/aggregation before separability detection runs, and
+            // sums keep their plan-level meaning if they ever pass through.
+            Literal::Neg(a) => Some(PlanLiteral::Neg(PlanAtom {
+                rel: RelKey::Pred(a.pred),
+                terms: a.terms.clone(),
+            })),
+            Literal::Sum(d, x, y) => Some(PlanLiteral::Sum(*d, *x, *y)),
         })
         .collect()
 }
@@ -285,12 +293,7 @@ fn seed_step(
     // Pin the prefix: the seed join is sharded over `seen_1`, and the
     // selection equalities of a persistent plan bind before anything else.
     let pinned = body.len();
-    body.extend(rule.body.iter().map(|lit| match lit {
-        Literal::Atom(a) => {
-            PlanLiteral::Atom(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
-        }
-        Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
-    }));
+    body.extend(rule.body.iter().map(exit_literal));
     let output = head_terms_at(sep, rule, rest_cols);
     ConjPlan::compile(&[], &planner.order(&[], &body, pinned), &output)
 }
@@ -359,14 +362,26 @@ fn seed_step_tracked(
             }
         }
     }
-    body.extend(rule.body.iter().map(|lit| match lit {
+    body.extend(rule.body.iter().map(exit_literal));
+    output.extend(head_terms_at(sep, rule, rest_cols));
+    ConjPlan::compile(&[], &body, &output)
+}
+
+/// Maps one exit-rule body literal to its plan form. Exit rules of a
+/// separable recursion are pure positive conjunctions (guaranteed by
+/// `RecursiveDef::extract`); the negation/sum arms only preserve meaning
+/// for completeness.
+fn exit_literal(lit: &Literal) -> PlanLiteral {
+    match lit {
         Literal::Atom(a) => {
             PlanLiteral::Atom(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
         }
         Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
-    }));
-    output.extend(head_terms_at(sep, rule, rest_cols));
-    ConjPlan::compile(&[], &body, &output)
+        Literal::Neg(a) => {
+            PlanLiteral::Neg(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
+        }
+        Literal::Sum(d, x, y) => PlanLiteral::Sum(*d, *x, *y),
+    }
 }
 
 fn value_to_term(value: Value) -> Term {

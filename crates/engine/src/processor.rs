@@ -663,6 +663,12 @@ impl QueryProcessor {
     }
 
     fn run_auto(&mut self, query: &Query) -> Result<QueryResult, ProcessorError> {
+        // Negation and aggregates are evaluated stratum by stratum on the
+        // general engine only — the specialized strategies (and the magic
+        // rewrites) assume pure positive programs.
+        if self.program.uses_stratified_constructs() {
+            return self.run_forced(query, Strategy::SemiNaive);
+        }
         let pred = query.atom.pred;
         let is_idb = self.program.rules.iter().any(|r| r.head.pred == pred);
         if is_idb {
@@ -686,6 +692,16 @@ impl QueryProcessor {
         query: &Query,
         strategy: Strategy,
     ) -> Result<QueryResult, ProcessorError> {
+        // Refuse, never silently mis-evaluate: only the stratum-aware
+        // engines may run a program with negation or aggregates.
+        if self.program.uses_stratified_constructs()
+            && !matches!(strategy, Strategy::SemiNaive | Strategy::Naive)
+        {
+            return Err(ProcessorError::StrategyUnavailable(format!(
+                "strategy `{strategy}` does not support negation or aggregates; \
+                 use `seminaive` or `naive`"
+            )));
+        }
         match strategy {
             Strategy::Bounded => match self.try_bounded(query)? {
                 Ok(r) => Ok(r),
@@ -877,6 +893,45 @@ impl QueryProcessor {
             report.strategy = "edb-scan".into();
             return Ok(report);
         }
+        // Stratified programs get their own report: one plan section per
+        // stratum, lowest first — the order evaluation runs them in.
+        if self.program.uses_stratified_constructs() {
+            match sepra_strata::stratify(&self.program) {
+                Err(e) => {
+                    let _ =
+                        writeln!(out, "unstratifiable program: {}", e.describe(self.db.interner()));
+                    let _ = writeln!(out, "strategy: refused (every engine rejects this program)");
+                    report.strategy = "unstratifiable".into();
+                    return Ok(report);
+                }
+                Ok(strat) if strat.len() > 1 => {
+                    let _ = writeln!(
+                        out,
+                        "stratified program: {} strata (negation/aggregation read only \
+                         completed lower strata)",
+                        strat.len()
+                    );
+                    for (level, preds) in strat.strata.iter().enumerate() {
+                        let idb: Vec<String> = preds
+                            .iter()
+                            .filter(|p| self.program.rules.iter().any(|r| r.head.pred == **p))
+                            .map(|&p| self.db.interner().resolve(p).to_string())
+                            .collect();
+                        if idb.is_empty() {
+                            continue;
+                        }
+                        let _ = writeln!(out, "  stratum {level}: {}", idb.join(", "));
+                    }
+                    let _ = writeln!(out, "strategy: semi-naive, stratum by stratum");
+                    report.strategy = "seminaive".into();
+                    report.conjunctions = self.stratified_conjunctions(&pstats, &strat);
+                    return Ok(report);
+                }
+                // A single stratum means the constructs are trivially
+                // satisfied; the ordinary report reads fine.
+                Ok(_) => {}
+            }
+        }
         let fallback = if query.has_selection() { "magic sets" } else { "semi-naive" };
         if let Ok(def) = RecursiveDef::extract(&self.program, pred, self.db.interner()) {
             if let Some(bounded) = analyze_bounded(&def, self.db.interner_mut()) {
@@ -1025,6 +1080,38 @@ impl QueryProcessor {
             };
             let label = format!("rule {i} ({})", self.db.interner().resolve(rule.head.pred));
             out.push(self.conjunction(label, &plan, pstats));
+        }
+        out
+    }
+
+    /// [`rule_body_conjunctions`](Self::rule_body_conjunctions) grouped by
+    /// stratum: sections appear lowest stratum first, each labelled with
+    /// the stratum evaluation computes it in.
+    fn stratified_conjunctions(
+        &self,
+        pstats: &PlannerStats,
+        strat: &sepra_strata::Stratification,
+    ) -> Vec<PlanConj> {
+        let planner = Planner::new(self.exec_options.plan_mode, Some(pstats));
+        let mut out = Vec::new();
+        for (level, preds) in strat.strata.iter().enumerate() {
+            for (i, rule) in self.program.rules.iter().enumerate() {
+                if rule.is_fact() || !preds.contains(&rule.head.pred) {
+                    continue;
+                }
+                let body: Vec<PlanLiteral> =
+                    rule.body.iter().map(|l| PlanLiteral::from_literal(l, &RelKey::Pred)).collect();
+                let Ok(plan) =
+                    ConjPlan::compile(&[], &planner.order(&[], &body, 0), &rule.head.terms)
+                else {
+                    continue;
+                };
+                let label = format!(
+                    "stratum {level}, rule {i} ({})",
+                    self.db.interner().resolve(rule.head.pred)
+                );
+                out.push(self.conjunction(label, &plan, pstats));
+            }
         }
         out
     }
@@ -1570,6 +1657,149 @@ mod tests {
         let out = qp.apply_mutation(&["perfectFor(sue, gift)."], &[]).unwrap();
         assert_eq!(out.inserted, 1);
         assert_eq!(qp.query("buys(tom, Y)?").unwrap().answers.len(), 3);
+    }
+
+    const STRATIFIED: &str = "t(X, Y) :- e(X, Y).\n\
+                              t(X, Y) :- e(X, W), t(W, Y).\n\
+                              unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n\
+                              shortest(Y, min<C>) :- source(X), w(X, Y, C).\n\
+                              shortest(Y, min<C>) :- shortest(X, D), w(X, Y, W2), C = D + W2.\n\
+                              e(a, b). e(b, c). node(a). node(b). node(c). source(a).\n\
+                              w(a, b, 1). w(b, c, 1). w(a, c, 5).\n";
+
+    #[test]
+    fn auto_routes_stratified_programs_to_seminaive() {
+        let mut qp = QueryProcessor::new();
+        qp.load(STRATIFIED).unwrap();
+        // 3 of the 9 node pairs are reachable, so 6 are not.
+        let r = qp.query("unreach(X, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::SemiNaive);
+        assert_eq!(r.answers.len(), 6);
+        // min-aggregate shortest paths: b via 1, c via 1+1 (beats direct 5).
+        let r = qp.query("shortest(X, C)?").unwrap();
+        assert_eq!(r.strategy, Strategy::SemiNaive);
+        assert_eq!(r.answers.len(), 2);
+        // Even a selection on the pure positive recursion stays on the
+        // general engine: the magic rewrite never sees stratified programs.
+        let r = qp.query("t(a, Y)?").unwrap();
+        assert_eq!(r.strategy, Strategy::SemiNaive);
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn forced_specialized_strategies_refuse_stratified_programs() {
+        for strategy in [
+            Strategy::Bounded,
+            Strategy::Separable,
+            Strategy::MagicSets,
+            Strategy::MagicSupplementary,
+            Strategy::MagicSubsumptive,
+            Strategy::Counting,
+            Strategy::HenschenNaqvi,
+        ] {
+            let mut qp = QueryProcessor::new();
+            qp.load(STRATIFIED).unwrap();
+            let err = qp.query_with("t(a, Y)?", StrategyChoice::Force(strategy)).unwrap_err();
+            let ProcessorError::StrategyUnavailable(msg) = err else {
+                panic!("{strategy}: expected StrategyUnavailable, got {err}");
+            };
+            assert!(msg.contains("negation or aggregates"), "{strategy}: {msg}");
+        }
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_stratified_programs() {
+        let mut qp = QueryProcessor::new();
+        qp.load(STRATIFIED).unwrap();
+        for query in ["unreach(X, Y)?", "shortest(X, C)?"] {
+            let s = qp.query_with(query, StrategyChoice::Force(Strategy::SemiNaive)).unwrap();
+            let n = qp.query_with(query, StrategyChoice::Force(Strategy::Naive)).unwrap();
+            assert_eq!(s.answers, n.answers, "{query}");
+        }
+    }
+
+    #[test]
+    fn unstratifiable_programs_are_refused_with_both_rules_named() {
+        let mut qp = QueryProcessor::new();
+        qp.load("p(X) :- a(X), !q(X).\nq(X) :- p(X).\na(m).\n").unwrap();
+        let err = qp.query("p(X)?").unwrap_err();
+        let ProcessorError::Eval(EvalError::Unstratifiable(msg)) = err else {
+            panic!("expected Unstratifiable, got {err}");
+        };
+        assert!(msg.contains("`p`") && msg.contains("`q`"), "{msg}");
+    }
+
+    #[test]
+    fn stratified_mutations_maintain_incrementally() {
+        let mut qp = QueryProcessor::new();
+        qp.load(STRATIFIED).unwrap();
+        qp.prepare().unwrap();
+        // Retracting the light edge relaxes the shortest path to c through
+        // the direct heavy edge, and b becomes unreachable entirely.
+        qp.apply_mutation(&[], &["e(a, b).", "w(a, b, 1)."]).unwrap();
+        let mut fresh = QueryProcessor::new();
+        fresh
+            .load(
+                "t(X, Y) :- e(X, Y).\n\
+                 t(X, Y) :- e(X, W), t(W, Y).\n\
+                 unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n\
+                 shortest(Y, min<C>) :- source(X), w(X, Y, C).\n\
+                 shortest(Y, min<C>) :- shortest(X, D), w(X, Y, W2), C = D + W2.\n\
+                 e(b, c). node(a). node(b). node(c). source(a).\n\
+                 w(b, c, 1). w(a, c, 5).\n",
+            )
+            .unwrap();
+        // The two processors have distinct interners, so compare rendered
+        // tuples rather than raw symbol ids.
+        for query in ["unreach(X, Y)?", "shortest(X, C)?", "t(X, Y)?"] {
+            let got = qp.query(query).unwrap();
+            let want = fresh.query(query).unwrap();
+            let render = |r: &QueryResult, i: &sepra_ast::Interner| -> Vec<String> {
+                let mut v: Vec<String> =
+                    r.answers.iter().map(|t| t.to_tuple().display(i).to_string()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(
+                render(&got, qp.db().interner()),
+                render(&want, fresh.db().interner()),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_report_shows_per_stratum_sections() {
+        let mut qp = QueryProcessor::new();
+        qp.load(STRATIFIED).unwrap();
+        let report = qp.plan_report("unreach(X, Y)?").unwrap();
+        assert_eq!(report.strategy, "seminaive");
+        assert!(report.text.contains("stratified program"), "{}", report.text);
+        assert!(report.text.contains("stratum 0: t"), "{}", report.text);
+        assert!(report.text.contains("unreach"), "{}", report.text);
+        assert!(
+            report.conjunctions.iter().any(|c| c.label.starts_with("stratum 0,")),
+            "{:?}",
+            report.conjunctions
+        );
+        assert!(
+            report.conjunctions.iter().any(|c| c.label.contains("(unreach)")),
+            "{:?}",
+            report.conjunctions
+        );
+        // The explain text embeds the same sections.
+        let text = qp.explain("unreach(X, Y)?").unwrap();
+        assert!(text.contains("stratum by stratum"), "{text}");
+    }
+
+    #[test]
+    fn plan_report_refuses_unstratifiable_programs() {
+        let mut qp = QueryProcessor::new();
+        qp.load("p(X) :- a(X), !q(X).\nq(X) :- p(X).\na(m).\n").unwrap();
+        let report = qp.plan_report("p(X)?").unwrap();
+        assert_eq!(report.strategy, "unstratifiable");
+        assert!(report.text.contains("unstratifiable program"), "{}", report.text);
+        assert!(report.conjunctions.is_empty());
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum EvalError {
     },
     /// The program shape is outside what this algorithm supports.
     Unsupported(String),
+    /// The program mixes negation or aggregation with recursion in a way
+    /// that has no stratified model (see `sepra_strata::stratify`); no
+    /// engine may evaluate it.
+    Unstratifiable(String),
 }
 
 impl fmt::Display for EvalError {
@@ -54,6 +58,7 @@ impl fmt::Display for EvalError {
                 write!(f, "budget exceeded in {what}: {why}")
             }
             EvalError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EvalError::Unstratifiable(msg) => write!(f, "unstratifiable program: {msg}"),
         }
     }
 }

@@ -29,16 +29,23 @@
 //! result is *identical* to re-running semi-naive on the mutated database —
 //! `tests` and `tests/incremental_parity.rs` at the workspace root assert
 //! this for every interleaving of inserts and retracts they generate.
+//!
+//! Programs with negation or aggregates take a third, coarser path
+//! ([`maintain_stratified`]): strata whose inputs are untouched keep their
+//! old relations; affected strata are recomputed from their seed with the
+//! same routine the from-scratch engine uses. `tests/stratified_parity.rs`
+//! asserts the same parity for those programs.
 
 use sepra_ast::{DependencyGraph, Literal, Program, Rule, Sym};
-use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, Relation, Tuple};
+use sepra_storage::{Database, EdbDelta, EvalStats, FxHashMap, FxHashSet, Relation, Tuple};
 
 use crate::error::EvalError;
 use crate::parallel::{sharded_delta_round, MIN_SHARD_TUPLES};
 use crate::plan::{ConjPlan, RelKey};
 use crate::planner::{Planner, PlannerStats};
 use crate::seminaive::{
-    build_store, compile_variant, merge_buffers, Derived, EvalOptions, Variant,
+    agg_specs, build_store, compile_variant, eval_stratum, merge_buffers, Derived, EvalOptions,
+    Variant,
 };
 use crate::store::IndexCache;
 
@@ -62,6 +69,14 @@ pub fn maintain(
     delta: &EdbDelta,
     options: &EvalOptions,
 ) -> Result<Derived, EvalError> {
+    // Negation and aggregation are not derivation-monotone, so the
+    // tuple-granular DRed/continuation machinery below (which assumes every
+    // derived tuple has a positive derivation tree) does not apply. Such
+    // programs take the stratum-granular path instead; pure positive
+    // programs keep the existing fine-grained phases untouched.
+    if program.uses_stratified_constructs() {
+        return maintain_stratified(program, db_after, old, delta, options);
+    }
     let mut stats = EvalStats::new();
     // Plan against the post-mutation EDB: that is what every join in both
     // phases (rederivation included) actually runs over.
@@ -96,6 +111,95 @@ pub fn maintain(
         stats.record_size(db_after.interner().resolve(pred), rel.len());
     }
     planner.record_into(&mut stats);
+    Ok(Derived { relations: derived, stats })
+}
+
+/// Stratum-granular maintenance for programs with negation or aggregates.
+///
+/// Honest about its granularity: it does not chase individual tuples.
+/// Instead it walks the SCC strata in dependency order, keeps every stratum
+/// whose inputs (positive, negated, and aggregated dependencies, plus the
+/// stratum's own EDB facts) are untouched by the mutation, and recomputes an
+/// affected stratum from its seed with the *same* [`eval_stratum`] routine
+/// the from-scratch engine runs — so maintenance cannot drift from
+/// from-scratch semantics by construction. A recomputed stratum that lands
+/// on its old value stops the cascade: downstream strata see no change and
+/// are kept as well.
+fn maintain_stratified(
+    program: &Program,
+    db_after: &Database,
+    old: &FxHashMap<Sym, Relation>,
+    delta: &EdbDelta,
+    options: &EvalOptions,
+) -> Result<Derived, EvalError> {
+    let mut stats = EvalStats::new();
+    sepra_strata::stratify(program)
+        .map_err(|e| EvalError::Unstratifiable(e.describe(db_after.interner())))?;
+    let mut planner_stats = PlannerStats::from_database(db_after);
+    let graph = DependencyGraph::build(program);
+    let aggs = agg_specs(program);
+
+    // Predicates whose contents differ from the pre-mutation state, seeded
+    // by the effective EDB delta.
+    let mut changed: FxHashSet<Sym> = FxHashSet::default();
+    for (&p, tuples) in delta.remove.iter().chain(delta.insert.iter()) {
+        if !tuples.is_empty() {
+            changed.insert(p);
+        }
+    }
+
+    let mut derived = seed_derived(program, db_after, old);
+    for stratum in graph.strata() {
+        let stratum_idb: Vec<Sym> =
+            stratum.iter().copied().filter(|p| derived.contains_key(p)).collect();
+        if stratum_idb.is_empty() {
+            continue;
+        }
+        let rules: Vec<&Rule> =
+            program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)).collect();
+        let affected = stratum_idb.iter().any(|p| changed.contains(p))
+            || rules.iter().any(|r| {
+                r.body_atoms().any(|a| changed.contains(&a.pred))
+                    || r.negated_atoms().any(|a| changed.contains(&a.pred))
+            });
+        if !affected {
+            for &p in &stratum_idb {
+                planner_stats.add_relation(p, &derived[&p]);
+            }
+            continue;
+        }
+        // Reset the stratum to its from-scratch seed and re-run it over the
+        // maintained lower strata.
+        for &p in &stratum_idb {
+            let arity = derived[&p].arity();
+            let seed = if aggs.contains_key(&p) {
+                Relation::new(arity)
+            } else {
+                db_after.relation(p).cloned().unwrap_or_else(|| Relation::new(arity))
+            };
+            derived.insert(p, seed);
+        }
+        eval_stratum(
+            &rules,
+            &stratum_idb,
+            db_after,
+            &mut derived,
+            &aggs,
+            options,
+            &mut stats,
+            &planner_stats,
+        )?;
+        for &p in &stratum_idb {
+            let now = &derived[&p];
+            if !old.get(&p).is_some_and(|before| before == now) {
+                changed.insert(p);
+            }
+            planner_stats.add_relation(p, now);
+        }
+    }
+    for (&pred, rel) in &derived {
+        stats.record_size(db_after.interner().resolve(pred), rel.len());
+    }
     Ok(Derived { relations: derived, stats })
 }
 
@@ -788,6 +892,77 @@ mod tests {
             let e = db.intern("e");
             let mut delta = EdbDelta::default();
             delta.remove.insert(e, vec![tup(db, &["c", "a"])]);
+            delta
+        });
+    }
+
+    const STRATIFIED: &str = "t(X, Y) :- e(X, Y).\n\
+                              t(X, Y) :- e(X, W), t(W, Y).\n\
+                              unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n\
+                              reach(X, count<Y>) :- t(X, Y).\n";
+
+    #[test]
+    fn negation_and_count_survive_inserts() {
+        assert_parity(STRATIFIED, "e(a, b). e(b, c). node(a). node(b). node(c).", |db| {
+            let e = db.intern("e");
+            let mut delta = EdbDelta::default();
+            delta.insert.insert(e, vec![tup(db, &["c", "a"])]);
+            delta
+        });
+    }
+
+    #[test]
+    fn negation_and_count_survive_retracts() {
+        // Retracting an edge makes pairs *unreachable*: the negation's
+        // result must grow, which tuple-granular DRed could never express.
+        assert_parity(STRATIFIED, "e(a, b). e(b, c). node(a). node(b). node(c).", |db| {
+            let e = db.intern("e");
+            let mut delta = EdbDelta::default();
+            delta.remove.insert(e, vec![tup(db, &["b", "c"])]);
+            delta
+        });
+    }
+
+    #[test]
+    fn min_aggregate_survives_mixed_mutation() {
+        let src = "shortest(Y, min<C>) :- source(X), w(X, Y, C).\n\
+                   shortest(Y, min<C>) :- shortest(X, D), w(X, Y, W2), C = D + W2.\n";
+        let facts = "source(a). w(a, b, 1). w(b, c, 1). w(a, c, 5).";
+        assert_parity(src, facts, |db| {
+            let w = db.intern("w");
+            let mut delta = EdbDelta::default();
+            // Remove the cheap route to c (its min must relax to 5), and
+            // add an edge extending the graph.
+            delta.remove.insert(
+                w,
+                vec![Tuple::from(vec![
+                    Value::sym(db.intern("b")),
+                    Value::sym(db.intern("c")),
+                    Value::int(1).unwrap(),
+                ])],
+            );
+            delta.insert.insert(
+                w,
+                vec![Tuple::from(vec![
+                    Value::sym(db.intern("c")),
+                    Value::sym(db.intern("d")),
+                    Value::int(2).unwrap(),
+                ])],
+            );
+            delta
+        });
+    }
+
+    #[test]
+    fn unaffected_strata_are_kept() {
+        // Mutating `node` only touches `unreach`'s stratum: `t` and `reach`
+        // must still be byte-identical to from-scratch (assert_parity), and
+        // the maintenance run must do strictly less derivation work than
+        // recomputing everything would.
+        assert_parity(STRATIFIED, "e(a, b). e(b, c). node(a). node(b). node(c).", |db| {
+            let node = db.intern("node");
+            let mut delta = EdbDelta::default();
+            delta.insert.insert(node, vec![tup(db, &["d"])]);
             delta
         });
     }

@@ -11,7 +11,7 @@ use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
 use crate::error::EvalError;
 use crate::plan::{ConjPlan, PlanAtom, PlanLiteral, RelKey};
 use crate::planner::{Planner, PlannerStats};
-use crate::seminaive::{Derived, EvalOptions};
+use crate::seminaive::{agg_specs, AggState, Derived, EvalOptions};
 use crate::store::{IndexCache, RelStore};
 
 /// Evaluates `program` over `db` naively.
@@ -28,16 +28,29 @@ pub fn naive_with_options(
     options: &EvalOptions,
 ) -> Result<Derived, EvalError> {
     let mut stats = EvalStats::new();
+    // Same up-front guard as the semi-naive engine: no fixpoint runs on a
+    // program without a stratified model.
+    if program.uses_stratified_constructs() {
+        sepra_strata::stratify(program)
+            .map_err(|e| EvalError::Unstratifiable(e.describe(db.interner())))?;
+    }
     // As in the semi-naive engine, statistics grow with completed strata so
     // derived predicates inform later strata's join orders.
     let mut planner_stats = PlannerStats::from_database(db);
     let graph = DependencyGraph::build(program);
 
+    let aggs = agg_specs(program);
     let mut derived: FxHashMap<Sym, Relation> = FxHashMap::default();
     for rule in &program.rules {
         let pred = rule.head.pred;
         derived.entry(pred).or_insert_with(|| {
-            db.relation(pred).cloned().unwrap_or_else(|| Relation::new(rule.head.arity()))
+            if aggs.contains_key(&pred) {
+                // Aggregate heads are *recomputed* from contributions each
+                // iteration (EDB facts included); start empty.
+                Relation::new(rule.head.arity())
+            } else {
+                db.relation(pred).cloned().unwrap_or_else(|| Relation::new(rule.head.arity()))
+            }
         });
     }
 
@@ -60,6 +73,11 @@ pub fn naive_with_options(
                             terms: a.terms.clone(),
                         }),
                         Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+                        Literal::Neg(a) => PlanLiteral::Neg(PlanAtom {
+                            rel: RelKey::Pred(a.pred),
+                            terms: a.terms.clone(),
+                        }),
+                        Literal::Sum(d, x, y) => PlanLiteral::Sum(*d, *x, *y),
                     })
                     .collect();
                 plans.push((
@@ -69,9 +87,24 @@ pub fn naive_with_options(
             }
             planner.record_into(&mut stats);
         }
+        // Sums and aggregates can mint fresh values; cap those fixpoints
+        // (mirrors the semi-naive engine's guard).
+        let capped = stratum_idb.iter().any(|p| aggs.contains_key(p))
+            || program.rules.iter().any(|r| {
+                stratum_idb.contains(&r.head.pred)
+                    && r.body.iter().any(|l| matches!(l, Literal::Sum(..)))
+            });
         let mut indexes = IndexCache::new();
+        let mut rounds = 0usize;
         loop {
             stats.record_iteration();
+            rounds += 1;
+            if capped && rounds > 100_000 {
+                return Err(EvalError::Diverged {
+                    what: "fixpoint over sums/aggregates".into(),
+                    bound: 100_000,
+                });
+            }
             options.budget.check("naive fixpoint", stats.iterations, stats.tuples_inserted)?;
             let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
             {
@@ -92,11 +125,33 @@ pub fn naive_with_options(
             }
             let mut any_new = false;
             for (pred, tuples) in buffers {
-                let rel = derived.get_mut(&pred).expect("derived exists");
-                for t in tuples {
-                    let was_new = rel.insert(t);
-                    stats.record_insert(was_new);
-                    any_new |= was_new;
+                if let Some(spec) = aggs.get(&pred) {
+                    // Naive evaluation of an aggregate head recomputes the
+                    // whole relation from this iteration's contributions
+                    // (EDB facts plus every rule output) — the simplest
+                    // possible reading, kept as ground truth.
+                    let mut state = AggState::new(spec);
+                    let mut fresh = Relation::new(derived[&pred].arity());
+                    if let Some(edb) = db.relation(pred) {
+                        for row in edb.iter() {
+                            state.absorb_into(&row.to_vec(), &mut fresh, &mut stats, None);
+                        }
+                    }
+                    for t in &tuples {
+                        state.absorb_into(t.values(), &mut fresh, &mut stats, None);
+                    }
+                    let rel = derived.get_mut(&pred).expect("derived exists");
+                    if fresh != *rel {
+                        any_new = true;
+                        *rel = fresh;
+                    }
+                } else {
+                    let rel = derived.get_mut(&pred).expect("derived exists");
+                    for t in tuples {
+                        let was_new = rel.insert(t);
+                        stats.record_insert(was_new);
+                        any_new |= was_new;
+                    }
                 }
             }
             if !any_new {
@@ -147,6 +202,33 @@ mod tests {
         );
         let sg = db.intern("sg");
         assert_eq!(n.relation(sg).unwrap(), s.relation(sg).unwrap());
+    }
+
+    #[test]
+    fn naive_matches_seminaive_on_stratified_constructs() {
+        let (n, s, mut db) = both(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n\
+             reach(X, count<Y>) :- t(X, Y).\n\
+             shortest(Y, min<C>) :- source(X), w(X, Y, C).\n\
+             shortest(Y, min<C>) :- shortest(X, D), w(X, Y, W2), C = D + W2.\n",
+            "e(a, b). e(b, c). node(a). node(b). node(c). source(a). \
+             w(a, b, 1). w(b, c, 1). w(a, c, 5).",
+        );
+        for name in ["unreach", "reach", "shortest"] {
+            let p = db.intern(name);
+            assert_eq!(n.relation(p).unwrap(), s.relation(p).unwrap(), "{name} diverged");
+        }
+    }
+
+    #[test]
+    fn naive_refuses_unstratifiable_programs() {
+        let mut db = Database::new();
+        db.load_fact_text("a(x).").unwrap();
+        let program =
+            parse_program("p(X) :- a(X), !q(X).\nq(X) :- p(X).\n", db.interner_mut()).unwrap();
+        assert!(matches!(naive(&program, &db), Err(EvalError::Unstratifiable(_))));
     }
 
     #[test]

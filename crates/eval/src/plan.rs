@@ -67,6 +67,36 @@ pub enum Step {
         /// Right operand.
         b: TermSpec,
     },
+    /// Negation-as-failure over a completed relation: succeed iff the row
+    /// formed by the (all-bound) column specs is absent. An absent relation
+    /// has no rows, so the check passes. Always probes [`RelKey::Pred`] —
+    /// negation reads a *completed lower stratum*, never a delta.
+    NegCheck {
+        /// Which relation to probe.
+        rel: RelKey,
+        /// Per-column specification (every slot bound before this step).
+        cols: Vec<TermSpec>,
+    },
+    /// Bind an unbound slot to the integer sum of two bound operands.
+    /// A non-integer operand or an out-of-range sum derives nothing (the
+    /// partial-function reading of `dst = a + b`).
+    SumBind {
+        /// Destination slot (unbound before this step).
+        slot: usize,
+        /// Left addend (bound).
+        a: TermSpec,
+        /// Right addend (bound).
+        b: TermSpec,
+    },
+    /// Check that a bound destination equals the sum of two bound operands.
+    SumCheck {
+        /// Expected sum (bound).
+        dst: TermSpec,
+        /// Left addend (bound).
+        a: TermSpec,
+        /// Right addend (bound).
+        b: TermSpec,
+    },
 }
 
 /// An atom to be compiled: an abstract relation key plus argument terms.
@@ -83,18 +113,29 @@ pub struct PlanAtom {
 pub enum PlanLiteral {
     /// A positive atom.
     Atom(PlanAtom),
+    /// A negated atom (compiled to a [`Step::NegCheck`] once its variables
+    /// are bound).
+    Neg(PlanAtom),
     /// An equality constraint.
     Eq(Term, Term),
+    /// A sum constraint `dst = a + b`.
+    Sum(Term, Term, Term),
 }
 
 impl PlanLiteral {
     /// Lifts an AST literal, mapping its predicate through `key_of`.
+    /// Negated atoms always resolve to [`RelKey::Pred`]: negation reads the
+    /// completed relation of a lower stratum, never a delta.
     pub fn from_literal(lit: &Literal, key_of: &impl Fn(Sym) -> RelKey) -> Self {
         match lit {
             Literal::Atom(a) => {
                 PlanLiteral::Atom(PlanAtom { rel: key_of(a.pred), terms: a.terms.clone() })
             }
+            Literal::Neg(a) => {
+                PlanLiteral::Neg(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
+            }
             Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+            Literal::Sum(d, a, b) => PlanLiteral::Sum(*d, *a, *b),
         }
     }
 }
@@ -132,23 +173,25 @@ impl ConjPlan {
         output: &[Term],
     ) -> Result<ConjPlan, EvalError> {
         let mut builder = Builder::new(inputs)?;
-        let mut pending: Vec<(Term, Term)> = Vec::new();
-        builder.flush_eqs(&mut pending)?;
+        let mut pending = Pending::default();
+        builder.flush_pending(&mut pending)?;
         for lit in body {
             match lit {
-                PlanLiteral::Atom(atom) => {
-                    builder.push_scan(atom)?;
-                    builder.flush_eqs(&mut pending)?;
-                }
-                PlanLiteral::Eq(l, r) => {
-                    pending.push((*l, *r));
-                    builder.flush_eqs(&mut pending)?;
-                }
+                PlanLiteral::Atom(atom) => builder.push_scan(atom)?,
+                PlanLiteral::Neg(atom) => pending.negs.push(atom.clone()),
+                PlanLiteral::Eq(l, r) => pending.eqs.push((*l, *r)),
+                PlanLiteral::Sum(d, a, b) => pending.sums.push((*d, *a, *b)),
             }
+            builder.flush_pending(&mut pending)?;
         }
-        if !pending.is_empty() {
+        if !pending.eqs.is_empty() || !pending.sums.is_empty() {
             return Err(EvalError::Planning(
-                "equality literal over variables that are never bound".into(),
+                "equality or sum literal over variables that are never bound".into(),
+            ));
+        }
+        if !pending.negs.is_empty() {
+            return Err(EvalError::Planning(
+                "negated literal over variables that are never bound positively".into(),
             ));
         }
         builder.finish(output)
@@ -257,6 +300,90 @@ impl ConjPlan {
                     TermSpec::Slot(s) => slots[*s],
                 };
                 if va == vb {
+                    self.run_step(
+                        step_idx + 1,
+                        store,
+                        indexes,
+                        slots,
+                        out_row,
+                        key_scratch,
+                        emit,
+                        scanned,
+                    );
+                }
+            }
+            Step::NegCheck { rel, cols } => {
+                let pass = match store.get(*rel) {
+                    None => true, // absent relation has no rows
+                    Some(relation) => {
+                        key_scratch.clear();
+                        for spec in cols {
+                            key_scratch.push(match spec {
+                                TermSpec::Const(v) => *v,
+                                TermSpec::Slot(s) => slots[*s],
+                            });
+                        }
+                        *scanned += 1;
+                        !relation.contains_values(key_scratch)
+                    }
+                };
+                if pass {
+                    self.run_step(
+                        step_idx + 1,
+                        store,
+                        indexes,
+                        slots,
+                        out_row,
+                        key_scratch,
+                        emit,
+                        scanned,
+                    );
+                }
+            }
+            Step::SumBind { slot, a, b } => {
+                let va = match a {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                let vb = match b {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                // Non-integer operands or an unrepresentable sum derive
+                // nothing: `dst = a + b` is a partial function.
+                let sum = va
+                    .as_int()
+                    .zip(vb.as_int())
+                    .and_then(|(x, y)| x.checked_add(y))
+                    .and_then(|n| Value::int(n).ok());
+                if let Some(v) = sum {
+                    slots[*slot] = v;
+                    self.run_step(
+                        step_idx + 1,
+                        store,
+                        indexes,
+                        slots,
+                        out_row,
+                        key_scratch,
+                        emit,
+                        scanned,
+                    );
+                }
+            }
+            Step::SumCheck { dst, a, b } => {
+                let value_of = |spec: &TermSpec, slots: &[Value]| match spec {
+                    TermSpec::Const(v) => *v,
+                    TermSpec::Slot(s) => slots[*s],
+                };
+                let vd = value_of(dst, slots);
+                let va = value_of(a, slots);
+                let vb = value_of(b, slots);
+                let sum = va
+                    .as_int()
+                    .zip(vb.as_int())
+                    .and_then(|(x, y)| x.checked_add(y))
+                    .and_then(|n| Value::int(n).ok());
+                if sum == Some(vd) {
                     self.run_step(
                         step_idx + 1,
                         store,
@@ -396,16 +523,33 @@ pub fn reorder_bound_first(inputs: &[Sym], body: &[PlanLiteral]) -> Vec<PlanLite
         // first (it is a filter or a free binding).
         let mut best: Option<(usize, i64)> = None;
         for (i, lit) in remaining.iter().enumerate() {
+            let is_bound = |t: &Term| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
+            };
             let score = match lit {
                 PlanLiteral::Eq(l, r) => {
-                    let is_bound = |t: &Term| match t {
-                        Term::Const(_) => true,
-                        Term::Var(v) => bound.contains(v),
-                    };
                     if is_bound(l) || is_bound(r) {
                         i64::MAX
                     } else {
                         i64::MIN // not yet executable
+                    }
+                }
+                // A fully-bound negation is a cheap filter: run it as soon
+                // as possible. Unbound, it cannot execute (it never binds).
+                PlanLiteral::Neg(atom) => {
+                    if atom.terms.iter().all(is_bound) {
+                        i64::MAX
+                    } else {
+                        i64::MIN
+                    }
+                }
+                // A sum is executable once both operands are bound.
+                PlanLiteral::Sum(_, a, b) => {
+                    if is_bound(a) && is_bound(b) {
+                        i64::MAX
+                    } else {
+                        i64::MIN
                     }
                 }
                 PlanLiteral::Atom(atom) => {
@@ -440,24 +584,34 @@ pub fn reorder_bound_first(inputs: &[Sym], body: &[PlanLiteral]) -> Vec<PlanLite
 
 impl PlanLiteral {
     pub(crate) fn vars_for_reorder(&self) -> Vec<Sym> {
+        let of_terms = |terms: &[&Term]| {
+            terms
+                .iter()
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(*v),
+                    Term::Const(_) => None,
+                })
+                .collect()
+        };
         match self {
-            PlanLiteral::Atom(a) => a
-                .terms
-                .iter()
-                .filter_map(|t| match t {
-                    Term::Var(v) => Some(*v),
-                    Term::Const(_) => None,
-                })
-                .collect(),
-            PlanLiteral::Eq(l, r) => [l, r]
-                .iter()
-                .filter_map(|t| match t {
-                    Term::Var(v) => Some(*v),
-                    Term::Const(_) => None,
-                })
-                .collect(),
+            // A negation binds nothing, but it is only ever picked once its
+            // variables are bound, so reporting them is harmless.
+            PlanLiteral::Atom(a) | PlanLiteral::Neg(a) => {
+                of_terms(&a.terms.iter().collect::<Vec<_>>())
+            }
+            PlanLiteral::Eq(l, r) => of_terms(&[l, r]),
+            PlanLiteral::Sum(d, a, b) => of_terms(&[d, a, b]),
         }
     }
+}
+
+/// Literals seen but not yet executable: equalities and sums wait for a
+/// bound side, negations wait for every variable to be bound.
+#[derive(Default)]
+struct Pending {
+    eqs: Vec<(Term, Term)>,
+    sums: Vec<(Term, Term, Term)>,
+    negs: Vec<PlanAtom>,
 }
 
 struct Builder {
@@ -529,22 +683,20 @@ impl Builder {
         Ok(())
     }
 
-    /// Emits every pending equality that has become executable; loops until
-    /// a fixpoint since one equality can enable another.
-    fn flush_eqs(&mut self, pending: &mut Vec<(Term, Term)>) -> Result<(), EvalError> {
+    /// Emits every pending equality, sum, and negation that has become
+    /// executable; loops until a fixpoint since one binding can enable
+    /// another (an equality can bind a sum operand, a sum can bind a
+    /// negation's variable, and so on).
+    fn flush_pending(&mut self, pending: &mut Pending) -> Result<(), EvalError> {
         loop {
             let mut progressed = false;
             let mut i = 0;
-            while i < pending.len() {
-                let (l, r) = pending[i];
+            while i < pending.eqs.len() {
+                let (l, r) = pending.eqs[i];
                 let l_spec = self.term_spec(&l)?;
                 let r_spec = self.term_spec(&r)?;
-                let is_bound = |spec: &TermSpec, b: &Builder| match spec {
-                    TermSpec::Const(_) => true,
-                    TermSpec::Slot(s) => b.bound[*s],
-                };
-                let lb = is_bound(&l_spec, self);
-                let rb = is_bound(&r_spec, self);
+                let lb = self.spec_bound(&l_spec);
+                let rb = self.spec_bound(&r_spec);
                 if lb && rb {
                     self.steps.push(Step::EqCheck { a: l_spec, b: r_spec });
                 } else if lb {
@@ -559,12 +711,52 @@ impl Builder {
                     i += 1;
                     continue;
                 }
-                pending.remove(i);
+                pending.eqs.remove(i);
+                progressed = true;
+            }
+            let mut i = 0;
+            while i < pending.sums.len() {
+                let (d, a, b) = pending.sums[i];
+                let d_spec = self.term_spec(&d)?;
+                let a_spec = self.term_spec(&a)?;
+                let b_spec = self.term_spec(&b)?;
+                if !(self.spec_bound(&a_spec) && self.spec_bound(&b_spec)) {
+                    i += 1;
+                    continue;
+                }
+                if self.spec_bound(&d_spec) {
+                    self.steps.push(Step::SumCheck { dst: d_spec, a: a_spec, b: b_spec });
+                } else {
+                    let TermSpec::Slot(s) = d_spec else { unreachable!("unbound const") };
+                    self.bound[s] = true;
+                    self.steps.push(Step::SumBind { slot: s, a: a_spec, b: b_spec });
+                }
+                pending.sums.remove(i);
+                progressed = true;
+            }
+            let mut i = 0;
+            while i < pending.negs.len() {
+                let atom = pending.negs[i].clone();
+                let cols: Vec<TermSpec> =
+                    atom.terms.iter().map(|t| self.term_spec(t)).collect::<Result<_, _>>()?;
+                if !cols.iter().all(|c| self.spec_bound(c)) {
+                    i += 1;
+                    continue;
+                }
+                self.steps.push(Step::NegCheck { rel: atom.rel, cols });
+                pending.negs.remove(i);
                 progressed = true;
             }
             if !progressed {
                 return Ok(());
             }
+        }
+    }
+
+    fn spec_bound(&self, spec: &TermSpec) -> bool {
+        match spec {
+            TermSpec::Const(_) => true,
+            TermSpec::Slot(s) => self.bound[*s],
         }
     }
 
@@ -838,6 +1030,88 @@ mod tests {
         assert_eq!(first.rel, RelKey::Pred(keyed), "doubly-constant probe beats the open scan");
         let PlanLiteral::Atom(last) = &ordered[2] else { panic!("third literal is an atom") };
         assert_eq!(last.rel, RelKey::Pred(wide));
+    }
+
+    /// Regression: a body with zero positive atoms (possible once negation
+    /// lands — e.g. `p(X) :- X = 3, !q(X).`) must neither panic nor
+    /// misorder in the zero-statistics fallback: the binding equality must
+    /// come out before the negation that consumes it.
+    #[test]
+    fn fallback_reorder_handles_zero_positive_literals() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let q = i.intern("q");
+        let body = vec![
+            PlanLiteral::Neg(PlanAtom { rel: RelKey::Pred(q), terms: vec![Term::Var(x)] }),
+            PlanLiteral::Eq(Term::Var(x), Term::int(3)),
+        ];
+        let ordered = reorder_bound_first(&[], &body);
+        assert!(matches!(ordered[0], PlanLiteral::Eq(..)), "binding equality first");
+        assert!(matches!(ordered[1], PlanLiteral::Neg(..)));
+        // And the reordered body compiles and runs.
+        let plan = ConjPlan::compile(&[], &ordered, &[Term::Var(x)]).unwrap();
+        let db = Database::new();
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows, vec![vec![Value::int(3).unwrap()]]);
+        // An empty body reorders to an empty body without panicking.
+        assert!(reorder_bound_first(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn neg_check_filters_bound_rows() {
+        let mut db = Database::new();
+        db.load_fact_text("a(x). a(y). b(y).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("only(X) :- a(X), !b(X).", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        let x = i.intern("x");
+        assert_eq!(rows, vec![vec![Value::sym(x)]]);
+    }
+
+    #[test]
+    fn neg_check_passes_on_absent_relation() {
+        let mut db = Database::new();
+        db.load_fact_text("a(x).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("only(X) :- a(X), !ghost(X).", &mut i);
+        assert_eq!(run_collect(&plan, &db, &[]).len(), 1);
+    }
+
+    #[test]
+    fn sum_binds_and_checks() {
+        let mut db = Database::new();
+        db.load_fact_text("q(4).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("p(C) :- q(D), C = D + 1.", &mut i);
+        let rows = run_collect(&plan, &db, &[]);
+        assert_eq!(rows, vec![vec![Value::int(5).unwrap()]]);
+        // All-bound: the sum becomes a check.
+        let mut db2 = Database::new();
+        db2.load_fact_text("q(4). q(7). r(5).").unwrap();
+        let mut i2 = db2.interner().clone();
+        let (plan2, _) = compile_first_rule("p(D) :- q(D), r(C), C = D + 1.", &mut i2);
+        let rows2 = run_collect(&plan2, &db2, &[]);
+        assert_eq!(rows2, vec![vec![Value::int(4).unwrap()]]);
+    }
+
+    #[test]
+    fn sum_over_symbols_derives_nothing() {
+        let mut db = Database::new();
+        db.load_fact_text("q(tom).").unwrap();
+        let mut i = db.interner().clone();
+        let (plan, _) = compile_first_rule("p(C) :- q(D), C = D + 1.", &mut i);
+        assert!(run_collect(&plan, &db, &[]).is_empty());
+    }
+
+    #[test]
+    fn unbound_negation_is_a_planning_error() {
+        let mut i = Interner::new();
+        let x = i.intern("X");
+        let q = i.intern("q");
+        let body =
+            vec![PlanLiteral::Neg(PlanAtom { rel: RelKey::Pred(q), terms: vec![Term::Var(x)] })];
+        let err = ConjPlan::compile(&[], &body, &[]).unwrap_err();
+        assert!(matches!(err, EvalError::Planning(_)));
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! static bound-first heuristic [`crate::plan::reorder_bound_first`] and
 //! counts the fallback, so servers can observe how often they plan blind.
 //!
-//! Ordering is semantics-preserving — conjunctions of positive atoms and
-//! equalities commute — so evaluators apply it freely; the only constraint
+//! Ordering is semantics-preserving — conjunctions of positive atoms,
+//! equalities, sums, and stratified negations commute (a negated literal
+//! reads only *completed* lower strata, so moving it never changes what it
+//! observes; the compiler still requires its variables to be bound
+//! positively first) — so evaluators apply it freely; the only constraint
 //! is structural: plans that are sharded over their first scan (parallel
 //! delta rounds, the carry loops of the Separable executor) *pin* a prefix
 //! that the planner must not move, which callers express with the `pinned`
@@ -279,15 +282,33 @@ impl<'a> Planner<'a> {
         while !remaining.is_empty() {
             let mut best: Option<(usize, f64)> = None;
             for (i, lit) in remaining.iter().enumerate() {
+                let is_bound = |t: &Term| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                };
                 let cost = match lit {
                     PlanLiteral::Eq(l, r) => {
-                        let is_bound = |t: &Term| match t {
-                            Term::Const(_) => true,
-                            Term::Var(v) => bound.contains(v),
-                        };
                         // An executable equality is a free filter/binding:
                         // always next. An inexecutable one must wait.
                         if is_bound(l) || is_bound(r) {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    // A fully bound negation is a free filter; one with
+                    // unbound variables cannot run yet (negation binds
+                    // nothing, so it must wait for positive literals).
+                    PlanLiteral::Neg(atom) => {
+                        if atom.terms.iter().all(is_bound) {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    // A sum is executable once both operands are bound.
+                    PlanLiteral::Sum(_, a, b) => {
+                        if is_bound(a) && is_bound(b) {
                             f64::NEG_INFINITY
                         } else {
                             f64::INFINITY
@@ -331,7 +352,7 @@ mod tests {
     fn pred_of(lit: &PlanLiteral) -> RelKey {
         match lit {
             PlanLiteral::Atom(a) => a.rel,
-            PlanLiteral::Eq(..) => panic!("expected atom"),
+            _ => panic!("expected atom"),
         }
     }
 

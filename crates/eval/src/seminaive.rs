@@ -6,9 +6,20 @@
 //! produced in the previous iteration. This engine evaluates ordinary
 //! programs, the Magic-Sets-rewritten programs, and serves as the ground
 //! truth against which the specialized Separable algorithm is validated.
+//!
+//! It is also the reference engine for *stratified* programs: negated
+//! literals read the completed relations of lower strata (the dependency
+//! graph includes negation edges, so SCC order already sequences them), and
+//! aggregate heads (`shortest(Y, min<C>) :- ...`) merge candidate rows
+//! through an [`AggState`] that keeps exactly one stored tuple per group.
+//! `min`/`max` improve monotonically under the sanctioned direct
+//! self-recursion; `count`/`sum` fold distinct contributions in their own
+//! (non-recursive) stratum. Programs with no stratified model are rejected
+//! up front with [`EvalError::Unstratifiable`] — never silently
+//! mis-evaluated.
 
-use sepra_ast::{DependencyGraph, Literal, Program, Rule, Sym};
-use sepra_storage::{Database, EvalStats, FxHashMap, Relation, Tuple};
+use sepra_ast::{AggFunc, AggSpec, DependencyGraph, Literal, Program, Rule, Sym};
+use sepra_storage::{Database, EvalStats, FxHashMap, FxHashSet, Relation, Tuple, Value};
 
 use crate::budget::Budget;
 use crate::error::EvalError;
@@ -108,13 +119,24 @@ pub(crate) struct Variant {
     pub(crate) par_plan: Option<ConjPlan>,
 }
 
+/// Iteration cap for fixpoints that can generate fresh values (sums and
+/// aggregates): a `min` over a negative-weight cycle, or a sum feeding its
+/// own input, would otherwise improve forever. Pure positive programs
+/// cannot diverge (finite Herbrand base) and are not capped.
+const VALUE_ITERATION_CAP: usize = 100_000;
+
 fn run(
     program: &Program,
     db: &Database,
     options: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<FxHashMap<Sym, Relation>, EvalError> {
-    let threads = options.threads.max(1);
+    // Negation/aggregation only have a meaning under a stratified model;
+    // reject programs without one up front, before any fixpoint runs.
+    if program.uses_stratified_constructs() {
+        sepra_strata::stratify(program)
+            .map_err(|e| EvalError::Unstratifiable(e.describe(db.interner())))?;
+    }
     // Statistics start from the EDB and grow as strata materialize: once a
     // stratum is complete, its relations' true sizes inform the join
     // orders of every later stratum — this is what lets a Magic-rewritten
@@ -128,17 +150,27 @@ fn run(
         for atom in rule.body_atoms() {
             arity.entry(atom.pred).or_insert_with(|| atom.arity());
         }
+        for atom in rule.negated_atoms() {
+            arity.entry(atom.pred).or_insert_with(|| atom.arity());
+        }
     }
 
+    let aggs = agg_specs(program);
     // IDB predicates: anything heading a rule (facts included — a ground
-    // fact seeds its predicate's derived relation).
+    // fact seeds its predicate's derived relation). Aggregate heads start
+    // empty: their EDB facts are *contributions* to fold through the merge
+    // state (eval_stratum does that), not rows to copy verbatim.
     let mut derived: FxHashMap<Sym, Relation> = FxHashMap::default();
     for rule in &program.rules {
         let pred = rule.head.pred;
         derived.entry(pred).or_insert_with(|| {
-            // If the program derives into a predicate that also has EDB
-            // facts, start from those facts.
-            db.relation(pred).cloned().unwrap_or_else(|| Relation::new(arity[&pred]))
+            if aggs.contains_key(&pred) {
+                Relation::new(arity[&pred])
+            } else {
+                // If the program derives into a predicate that also has EDB
+                // facts, start from those facts.
+                db.relation(pred).cloned().unwrap_or_else(|| Relation::new(arity[&pred]))
+            }
         });
     }
 
@@ -150,163 +182,228 @@ fn run(
         }
         let rules: Vec<&Rule> =
             program.rules.iter().filter(|r| stratum_idb.contains(&r.head.pred)).collect();
-
-        let mut base_plans: Vec<Variant> = Vec::new();
-        let mut rec_plans: Vec<Variant> = Vec::new();
-        {
-            let planner = Planner::new(options.plan_mode, Some(&planner_stats));
-            for rule in &rules {
-                let occurrences: Vec<usize> = rule
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, l)| match l {
-                        Literal::Atom(a) if stratum_idb.contains(&a.pred) => Some(i),
-                        _ => None,
-                    })
-                    .collect();
-                if occurrences.is_empty() {
-                    base_plans.push(compile_variant(rule, None, &planner)?);
-                } else {
-                    for &occ in &occurrences {
-                        rec_plans.push(compile_variant(rule, Some(occ), &planner)?);
-                    }
-                }
-            }
-            planner.record_into(stats);
-        }
-
-        let mut indexes = IndexCache::new();
-
-        // Evaluate base rules once.
-        let empty_delta = FxHashMap::default();
-        {
-            let store = build_store(db, &derived, &empty_delta);
-            let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
-            let mut scanned = 0u64;
-            for variant in &base_plans {
-                indexes.prepare(&variant.plan, &store);
-                let buf = buffers.entry(variant.head).or_default();
-                variant.plan.execute_counted(
-                    &store,
-                    &indexes,
-                    &[],
-                    &mut |row| {
-                        buf.push(Tuple::new(row.to_vec()));
-                    },
-                    &mut scanned,
-                );
-            }
-            stats.record_scanned(scanned as usize);
-            drop(store);
-            merge_buffers(&mut derived, buffers, stats, None);
-        }
-        options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
-
-        // Initial deltas = everything known so far for the stratum.
-        let mut delta: FxHashMap<Sym, Relation> =
-            stratum_idb.iter().map(|&p| (p, derived[&p].clone())).collect();
-
-        if rec_plans.is_empty() {
-            for &p in &stratum_idb {
-                planner_stats.add_relation(p, &derived[&p]);
-            }
-            continue;
-        }
-
-        loop {
-            stats.record_iteration();
-            options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
-            let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
-            {
-                let store = build_store(db, &derived, &delta);
-                let mut scanned = 0u64;
-                if threads == 1 {
-                    for variant in &rec_plans {
-                        indexes.prepare(&variant.plan, &store);
-                        let buf = buffers.entry(variant.head).or_default();
-                        variant.plan.execute_counted(
-                            &store,
-                            &indexes,
-                            &[],
-                            &mut |row| {
-                                buf.push(Tuple::new(row.to_vec()));
-                            },
-                            &mut scanned,
-                        );
-                    }
-                } else {
-                    // Shared cache: every keyed scan of the delta-first
-                    // plans except deltas themselves, which each worker
-                    // indexes over its own shard (usually not even that —
-                    // the rotated plans full-scan the delta keylessly).
-                    for variant in &rec_plans {
-                        let plan = variant.par_plan.as_ref().unwrap_or(&variant.plan);
-                        indexes.prepare_where(plan, &store, |k| !matches!(k, RelKey::Delta(_)));
-                    }
-                    // One sharded round per delta predicate, in stable
-                    // stratum order; variant and worker order fix the merge
-                    // order, so results are deterministic for a given
-                    // thread count.
-                    for &p in &stratum_idb {
-                        let group: Vec<usize> = rec_plans
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, v)| v.delta == Some(p))
-                            .map(|(i, _)| i)
-                            .collect();
-                        if group.is_empty() {
-                            continue;
-                        }
-                        let plans: Vec<&ConjPlan> = group
-                            .iter()
-                            .map(|&i| rec_plans[i].par_plan.as_ref().unwrap_or(&rec_plans[i].plan))
-                            .collect();
-                        let merged = sharded_delta_round(
-                            &plans,
-                            RelKey::Delta(p),
-                            &store,
-                            &indexes,
-                            threads,
-                            MIN_SHARD_TUPLES,
-                            &[],
-                            &options.budget,
-                            &mut scanned,
-                        );
-                        for (gi, worker_bufs) in merged.into_iter().enumerate() {
-                            let buf = buffers.entry(rec_plans[group[gi]].head).or_default();
-                            for wb in worker_bufs {
-                                buf.extend(wb);
-                            }
-                        }
-                    }
-                    // A worker that observed an exhausted budget stopped
-                    // expanding early; re-check here so a truncated delta
-                    // cannot masquerade as convergence.
-                    options.budget.check(
-                        "semi-naive fixpoint",
-                        stats.iterations,
-                        stats.tuples_inserted,
-                    )?;
-                }
-                stats.record_scanned(scanned as usize);
-            }
-            let mut new_delta: FxHashMap<Sym, Relation> = FxHashMap::default();
-            merge_buffers(&mut derived, buffers, stats, Some(&mut new_delta));
-            for &p in &stratum_idb {
-                indexes.invalidate(RelKey::Delta(p));
-            }
-            if new_delta.values().all(Relation::is_empty) {
-                break;
-            }
-            delta = new_delta;
-        }
+        eval_stratum(
+            &rules,
+            &stratum_idb,
+            db,
+            &mut derived,
+            &aggs,
+            options,
+            stats,
+            &planner_stats,
+        )?;
         // The stratum is final: record its true sizes for later strata.
         for &p in &stratum_idb {
             planner_stats.add_relation(p, &derived[&p]);
         }
     }
     Ok(derived)
+}
+
+/// The aggregate annotation of every aggregate head in `program`
+/// (parse-time validation guarantees all rules of a predicate agree).
+pub(crate) fn agg_specs(program: &Program) -> FxHashMap<Sym, AggSpec> {
+    program.rules.iter().filter_map(|r| r.agg.clone().map(|a| (r.head.pred, a))).collect()
+}
+
+/// Evaluates one stratum (one SCC of the dependency graph) to fixpoint.
+///
+/// `derived` must already hold the *completed* relations of every lower
+/// stratum — negated literals read them directly — and pre-seeded relations
+/// for `stratum_idb` itself: EDB rows for plain predicates, **empty** for
+/// aggregate heads (their EDB facts are folded as contributions here).
+/// Callers are responsible for ordering: the strata loop in [`run`], and
+/// stratum-granular recomputation in [`crate::incremental`], which re-runs
+/// this very function so maintenance cannot drift from from-scratch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_stratum(
+    rules: &[&Rule],
+    stratum_idb: &[Sym],
+    db: &Database,
+    derived: &mut FxHashMap<Sym, Relation>,
+    aggs: &FxHashMap<Sym, AggSpec>,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+    planner_stats: &PlannerStats,
+) -> Result<(), EvalError> {
+    let threads = options.threads.max(1);
+    let mut base_plans: Vec<Variant> = Vec::new();
+    let mut rec_plans: Vec<Variant> = Vec::new();
+    {
+        let planner = Planner::new(options.plan_mode, Some(planner_stats));
+        for rule in rules {
+            let occurrences: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| match l {
+                    // Only *positive* occurrences drive deltas: negation
+                    // reads completed strata, never a delta (stratification
+                    // guarantees no same-stratum negation anyway).
+                    Literal::Atom(a) if stratum_idb.contains(&a.pred) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            if occurrences.is_empty() {
+                base_plans.push(compile_variant(rule, None, &planner)?);
+            } else {
+                for &occ in &occurrences {
+                    rec_plans.push(compile_variant(rule, Some(occ), &planner)?);
+                }
+            }
+        }
+        planner.record_into(stats);
+    }
+
+    // Aggregate merge state for this stratum's aggregate heads, seeded by
+    // folding the predicate's own EDB facts as contributions.
+    let mut agg_states: FxHashMap<Sym, AggState> = FxHashMap::default();
+    for &p in stratum_idb {
+        let Some(spec) = aggs.get(&p) else { continue };
+        let mut state = AggState::new(spec);
+        if let Some(edb) = db.relation(p) {
+            let rel = derived.get_mut(&p).expect("derived relation exists");
+            for row in edb.iter() {
+                state.absorb_into(&row.to_vec(), rel, stats, None);
+            }
+        }
+        agg_states.insert(p, state);
+    }
+    // Sums and aggregates can mint fresh values; cap those fixpoints.
+    let capped = !agg_states.is_empty()
+        || rules.iter().any(|r| r.body.iter().any(|l| matches!(l, Literal::Sum(..))));
+
+    let mut indexes = IndexCache::new();
+
+    // Evaluate base rules once.
+    let empty_delta = FxHashMap::default();
+    {
+        let store = build_store(db, derived, &empty_delta);
+        let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
+        let mut scanned = 0u64;
+        for variant in &base_plans {
+            indexes.prepare(&variant.plan, &store);
+            let buf = buffers.entry(variant.head).or_default();
+            variant.plan.execute_counted(
+                &store,
+                &indexes,
+                &[],
+                &mut |row| {
+                    buf.push(Tuple::new(row.to_vec()));
+                },
+                &mut scanned,
+            );
+        }
+        stats.record_scanned(scanned as usize);
+        drop(store);
+        merge_buffers_agg(derived, buffers, stats, None, &mut agg_states);
+    }
+    options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
+
+    // Initial deltas = everything known so far for the stratum.
+    let mut delta: FxHashMap<Sym, Relation> =
+        stratum_idb.iter().map(|&p| (p, derived[&p].clone())).collect();
+
+    if rec_plans.is_empty() {
+        return Ok(());
+    }
+
+    let mut rounds = 0usize;
+    loop {
+        stats.record_iteration();
+        rounds += 1;
+        if capped && rounds > VALUE_ITERATION_CAP {
+            return Err(EvalError::Diverged {
+                what: "fixpoint over sums/aggregates".into(),
+                bound: VALUE_ITERATION_CAP,
+            });
+        }
+        options.budget.check("semi-naive fixpoint", stats.iterations, stats.tuples_inserted)?;
+        let mut buffers: FxHashMap<Sym, Vec<Tuple>> = FxHashMap::default();
+        {
+            let store = build_store(db, derived, &delta);
+            let mut scanned = 0u64;
+            if threads == 1 {
+                for variant in &rec_plans {
+                    indexes.prepare(&variant.plan, &store);
+                    let buf = buffers.entry(variant.head).or_default();
+                    variant.plan.execute_counted(
+                        &store,
+                        &indexes,
+                        &[],
+                        &mut |row| {
+                            buf.push(Tuple::new(row.to_vec()));
+                        },
+                        &mut scanned,
+                    );
+                }
+            } else {
+                // Shared cache: every keyed scan of the delta-first
+                // plans except deltas themselves, which each worker
+                // indexes over its own shard (usually not even that —
+                // the rotated plans full-scan the delta keylessly).
+                for variant in &rec_plans {
+                    let plan = variant.par_plan.as_ref().unwrap_or(&variant.plan);
+                    indexes.prepare_where(plan, &store, |k| !matches!(k, RelKey::Delta(_)));
+                }
+                // One sharded round per delta predicate, in stable
+                // stratum order; variant and worker order fix the merge
+                // order, so results are deterministic for a given
+                // thread count.
+                for &p in stratum_idb {
+                    let group: Vec<usize> = rec_plans
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.delta == Some(p))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let plans: Vec<&ConjPlan> = group
+                        .iter()
+                        .map(|&i| rec_plans[i].par_plan.as_ref().unwrap_or(&rec_plans[i].plan))
+                        .collect();
+                    let merged = sharded_delta_round(
+                        &plans,
+                        RelKey::Delta(p),
+                        &store,
+                        &indexes,
+                        threads,
+                        MIN_SHARD_TUPLES,
+                        &[],
+                        &options.budget,
+                        &mut scanned,
+                    );
+                    for (gi, worker_bufs) in merged.into_iter().enumerate() {
+                        let buf = buffers.entry(rec_plans[group[gi]].head).or_default();
+                        for wb in worker_bufs {
+                            buf.extend(wb);
+                        }
+                    }
+                }
+                // A worker that observed an exhausted budget stopped
+                // expanding early; re-check here so a truncated delta
+                // cannot masquerade as convergence.
+                options.budget.check(
+                    "semi-naive fixpoint",
+                    stats.iterations,
+                    stats.tuples_inserted,
+                )?;
+            }
+            stats.record_scanned(scanned as usize);
+        }
+        let mut new_delta: FxHashMap<Sym, Relation> = FxHashMap::default();
+        merge_buffers_agg(derived, buffers, stats, Some(&mut new_delta), &mut agg_states);
+        for &p in stratum_idb {
+            indexes.invalidate(RelKey::Delta(p));
+        }
+        if new_delta.values().all(Relation::is_empty) {
+            break;
+        }
+        delta = new_delta;
+    }
+    Ok(())
 }
 
 /// Compiles one rule with body-atom occurrence `delta_occ` (a body index)
@@ -333,6 +430,12 @@ pub(crate) fn compile_variant(
                 PlanLiteral::Atom(PlanAtom { rel: key, terms: a.terms.clone() })
             }
             Literal::Eq(l, r) => PlanLiteral::Eq(*l, *r),
+            // Negation always reads the full (completed, lower-stratum)
+            // relation — never a delta.
+            Literal::Neg(a) => {
+                PlanLiteral::Neg(PlanAtom { rel: RelKey::Pred(a.pred), terms: a.terms.clone() })
+            }
+            Literal::Sum(d, x, y) => PlanLiteral::Sum(*d, *x, *y),
         })
         .collect();
     let plan = ConjPlan::compile(&[], &planner.order(&[], &body, 0), &rule.head.terms)?;
@@ -387,6 +490,162 @@ pub(crate) fn merge_buffers(
                     nd.entry(pred).or_insert_with(|| Relation::new(arity)).insert(t);
                 }
             }
+        }
+    }
+}
+
+/// Merge state for one aggregate head: keeps the current aggregate value
+/// per group (the row minus the aggregate column) so the stored relation
+/// holds exactly one tuple per group at all times.
+///
+/// Aggregates fold over **distinct** contribution rows (set semantics, like
+/// everything else in the engine): `count`/`sum` count each distinct
+/// `(group, value)` row once, and a rule deriving the same row twice
+/// contributes once. Non-integer contributions to `min`/`max`/`sum` derive
+/// nothing, matching the partial-function reading of `C = A + B`.
+pub(crate) struct AggState {
+    func: AggFunc,
+    pos: usize,
+    /// Group key → current stored aggregate value.
+    groups: FxHashMap<Vec<Value>, Value>,
+    /// Distinct contribution rows already folded (`count`/`sum` only).
+    seen: FxHashSet<Vec<Value>>,
+}
+
+impl AggState {
+    pub(crate) fn new(spec: &AggSpec) -> Self {
+        AggState {
+            func: spec.func,
+            pos: spec.pos,
+            groups: FxHashMap::default(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        let mut key = row.to_vec();
+        key.remove(self.pos);
+        key
+    }
+
+    fn tuple_for(&self, key: &[Value], v: Value) -> Tuple {
+        let mut row = Vec::with_capacity(key.len() + 1);
+        row.extend_from_slice(&key[..self.pos]);
+        row.push(v);
+        row.extend_from_slice(&key[self.pos..]);
+        Tuple::new(row)
+    }
+
+    /// Folds one candidate row; when the group's stored tuple changes,
+    /// returns `(old stored tuple if any, new stored tuple)`.
+    fn absorb(&mut self, row: &[Value]) -> Option<(Option<Tuple>, Tuple)> {
+        match self.func {
+            AggFunc::Min | AggFunc::Max => {
+                let v = row[self.pos];
+                let n = v.as_int()?;
+                let key = self.key_of(row);
+                let cur = self.groups.get(&key).copied();
+                let improved = match cur {
+                    None => true,
+                    Some(c) => {
+                        let c = c.as_int().expect("stored aggregate is an integer");
+                        if self.func == AggFunc::Min {
+                            n < c
+                        } else {
+                            n > c
+                        }
+                    }
+                };
+                if !improved {
+                    return None;
+                }
+                self.groups.insert(key.clone(), v);
+                Some((cur.map(|c| self.tuple_for(&key, c)), self.tuple_for(&key, v)))
+            }
+            AggFunc::Count => {
+                if !self.seen.insert(row.to_vec()) {
+                    return None;
+                }
+                let key = self.key_of(row);
+                let cur = self.groups.get(&key).copied();
+                let n = cur.map_or(0, |c| c.as_int().expect("count is an integer")) + 1;
+                let v = Value::int(n).ok()?;
+                self.groups.insert(key.clone(), v);
+                Some((cur.map(|c| self.tuple_for(&key, c)), self.tuple_for(&key, v)))
+            }
+            AggFunc::Sum => {
+                let add = row[self.pos].as_int()?;
+                if !self.seen.insert(row.to_vec()) {
+                    return None;
+                }
+                let key = self.key_of(row);
+                let cur = self.groups.get(&key).copied();
+                let base = cur.map_or(0, |c| c.as_int().expect("sum is an integer"));
+                // Out-of-range sums drop the contribution rather than wrap.
+                let v = Value::int(base.checked_add(add)?).ok()?;
+                if cur == Some(v) {
+                    return None; // zero contribution: value unchanged
+                }
+                self.groups.insert(key.clone(), v);
+                Some((cur.map(|c| self.tuple_for(&key, c)), self.tuple_for(&key, v)))
+            }
+        }
+    }
+
+    /// Folds one candidate row into `rel`, replacing the group's stored
+    /// tuple when the aggregate changes. Returns whether the relation
+    /// changed; the new stored tuple joins `delta` when one is given.
+    pub(crate) fn absorb_into(
+        &mut self,
+        row: &[Value],
+        rel: &mut Relation,
+        stats: &mut EvalStats,
+        delta: Option<&mut Relation>,
+    ) -> bool {
+        match self.absorb(row) {
+            None => {
+                stats.record_insert(false);
+                false
+            }
+            Some((old, new)) => {
+                if let Some(old) = old {
+                    rel.remove(&old);
+                }
+                rel.insert(new.clone());
+                stats.record_insert(true);
+                if let Some(d) = delta {
+                    d.insert(new);
+                }
+                true
+            }
+        }
+    }
+}
+
+/// [`merge_buffers`] for strata that may contain aggregate heads: plain
+/// predicates merge as usual; rows for an aggregate head are folded through
+/// its [`AggState`].
+pub(crate) fn merge_buffers_agg(
+    derived: &mut FxHashMap<Sym, Relation>,
+    buffers: FxHashMap<Sym, Vec<Tuple>>,
+    stats: &mut EvalStats,
+    mut new_delta: Option<&mut FxHashMap<Sym, Relation>>,
+    agg_states: &mut FxHashMap<Sym, AggState>,
+) {
+    for (pred, tuples) in buffers {
+        let Some(state) = agg_states.get_mut(&pred) else {
+            let mut single = FxHashMap::default();
+            single.insert(pred, tuples);
+            merge_buffers(derived, single, stats, new_delta.as_deref_mut());
+            continue;
+        };
+        let rel = derived.get_mut(&pred).expect("derived relation exists");
+        let arity = rel.arity();
+        for t in tuples {
+            let delta_rel = new_delta
+                .as_deref_mut()
+                .map(|nd| nd.entry(pred).or_insert_with(|| Relation::new(arity)));
+            state.absorb_into(t.values(), rel, stats, delta_rel);
         }
     }
 }
@@ -556,6 +815,146 @@ mod tests {
         let t = db.intern("t");
         assert_eq!(par.relations[&t], serial.relations[&t]);
         assert_eq!(serial.relations[&t].len(), 6 + 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn stratified_negation_set_difference() {
+        let (d, mut db) = eval("only(X) :- a(X), !b(X).\n", "a(x). a(y). a(z). b(y).");
+        let only = db.intern("only");
+        assert_eq!(d.relation(only).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn negation_reads_completed_lower_stratum() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n",
+            "e(a, b). e(b, c). node(a). node(b). node(c).",
+        );
+        let unreach = db.intern("unreach");
+        // 9 pairs minus the 3 reachable ones (ab, bc, ac).
+        assert_eq!(d.relation(unreach).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn min_aggregate_shortest_path() {
+        let (d, mut db) = eval(
+            "shortest(Y, min<C>) :- source(X), edge(X, Y, C).\n\
+             shortest(Y, min<C>) :- shortest(X, D), edge(X, Y, W), C = D + W.\n",
+            "source(a). edge(a, b, 1). edge(b, c, 1). edge(a, c, 5). edge(c, d, 1).",
+        );
+        let shortest = db.intern("shortest");
+        let rel = d.relation(shortest).unwrap();
+        // One stored tuple per reachable node, holding the min distance:
+        // b=1, c=2 (not 5), d=3.
+        assert_eq!(rel.len(), 3);
+        for (node, dist) in [("b", 1), ("c", 2), ("d", 3)] {
+            let n = db.intern(node);
+            assert!(
+                rel.contains_values(&[Value::sym(n), Value::int(dist).unwrap()]),
+                "expected shortest({node}, {dist})"
+            );
+        }
+    }
+
+    #[test]
+    fn count_aggregate_over_closure() {
+        let (d, mut db) = eval(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, W), t(W, Y).\n\
+             reach(X, count<Y>) :- t(X, Y).\n",
+            "e(a, b). e(b, c).",
+        );
+        let reach = db.intern("reach");
+        let rel = d.relation(reach).unwrap();
+        assert_eq!(rel.len(), 2);
+        let a = db.intern("a");
+        let b = db.intern("b");
+        assert!(rel.contains_values(&[Value::sym(a), Value::int(2).unwrap()]));
+        assert!(rel.contains_values(&[Value::sym(b), Value::int(1).unwrap()]));
+    }
+
+    #[test]
+    fn sum_aggregate_folds_distinct_contributions() {
+        // Set semantics: sum<C> sums the *distinct* values of C per group —
+        // the two sales at price 3 project to the same (shop, 3) row, which
+        // contributes once. Group by item to sum per item.
+        let (d, mut db) = eval(
+            "total(X, sum<C>) :- sale(X, _, C).\n",
+            "sale(shop, i1, 3). sale(shop, i2, 4). sale(shop, i3, 3).",
+        );
+        let total = db.intern("total");
+        let shop = db.intern("shop");
+        let rel = d.relation(total).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains_values(&[Value::sym(shop), Value::int(7).unwrap()]));
+    }
+
+    #[test]
+    fn edb_facts_seed_aggregate_heads_as_contributions() {
+        // shortest also has EDB facts: they fold through the min, they are
+        // not copied verbatim alongside the derived tuple.
+        let (d, mut db) = eval(
+            "shortest(Y, min<C>) :- source(X), edge(X, Y, C).\n\
+             shortest(Y, min<C>) :- shortest(X, D), edge(X, Y, W), C = D + W.\n\
+             shortest(b, 7).\n",
+            "source(a). edge(a, b, 3). shortest(c, 9).",
+        );
+        let shortest = db.intern("shortest");
+        let rel = d.relation(shortest).unwrap();
+        let b = db.intern("b");
+        let c = db.intern("c");
+        assert_eq!(rel.len(), 2, "one tuple per group");
+        assert!(rel.contains_values(&[Value::sym(b), Value::int(3).unwrap()]));
+        assert!(rel.contains_values(&[Value::sym(c), Value::int(9).unwrap()]));
+    }
+
+    #[test]
+    fn unstratifiable_negation_is_refused() {
+        let mut db = Database::new();
+        db.load_fact_text("a(x).").unwrap();
+        let program =
+            parse_program("p(X) :- a(X), !q(X).\nq(X) :- p(X).\n", db.interner_mut()).unwrap();
+        let err = seminaive(&program, &db).unwrap_err();
+        assert!(matches!(err, EvalError::Unstratifiable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn count_in_recursion_is_refused() {
+        let mut db = Database::new();
+        db.load_fact_text("e(a, b).").unwrap();
+        let program =
+            parse_program("reach(X, count<C>) :- reach(Y, C), e(Y, X).\n", db.interner_mut())
+                .unwrap();
+        let err = seminaive(&program, &db).unwrap_err();
+        assert!(matches!(err, EvalError::Unstratifiable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn parallel_threads_match_serial_on_stratified_program() {
+        let src = "t(X, Y) :- e(X, Y).\n\
+                   t(X, Y) :- e(X, W), t(W, Y).\n\
+                   unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n\
+                   shortest(Y, min<C>) :- source(X), w(X, Y, C).\n\
+                   shortest(Y, min<C>) :- shortest(X, D), w(X, Y, W2), C = D + W2.\n";
+        let facts = "e(a, b). e(b, c). e(c, a). node(a). node(b). node(c). node(d). \
+                     source(a). w(a, b, 2). w(b, c, 2). w(a, c, 5). w(c, d, 1).";
+        let mut db = Database::new();
+        db.load_fact_text(facts).unwrap();
+        let program = parse_program(src, db.interner_mut()).unwrap();
+        let serial = seminaive(&program, &db).unwrap();
+        for threads in [2, 4] {
+            let par = seminaive_with_options(
+                &program,
+                &db,
+                &EvalOptions { threads, ..Default::default() },
+            )
+            .unwrap();
+            for (pred, rel) in &serial.relations {
+                assert_eq!(par.relations.get(pred), Some(rel), "threads={threads} diverged");
+            }
+        }
     }
 
     #[test]

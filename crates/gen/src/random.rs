@@ -185,6 +185,128 @@ fn random_scenario_inner(seed: u64, acyclic: bool) -> RandomScenario {
     RandomScenario { program, query, db, arity }
 }
 
+/// A generated random *stratified* scenario: a program (facts inline) that
+/// uses negation and/or aggregates but stratifies by construction, the
+/// queries worth asking of it, and a short mutation script over its EDB.
+///
+/// Unlike [`RandomScenario`] there is no separate [`Database`]: the facts
+/// ride in the program text and the mutation steps are fact strings, which
+/// is the shape `QueryProcessor::load` / `apply_mutation` consume.
+#[derive(Debug)]
+pub struct StratifiedScenario {
+    /// Program source, facts included.
+    pub program: String,
+    /// One query per derived predicate of interest.
+    pub queries: Vec<String>,
+    /// Mutation steps: `(inserts, retracts)`, retracts always name facts
+    /// live at that point in the script.
+    pub steps: Vec<(Vec<String>, Vec<String>)>,
+}
+
+/// Generates a random stratified scenario from `seed`.
+///
+/// The skeleton is fixed — a transitive closure `t` over random edges in
+/// the bottom stratum — and the upper strata are drawn from four families:
+/// set-difference negation over `t`, a `count` of reachable nodes, a
+/// `min`-aggregate shortest path (direct self-recursion, the sanctioned
+/// case), and a negation stacked on a derived predicate (three strata).
+/// At least one family is always present; cyclic edge data is common, so
+/// the aggregate fixpoints exercise termination, not just correctness.
+pub fn random_stratified_scenario(seed: u64) -> StratifiedScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57a7a);
+    let pool = rng.gen_range(4..=6usize);
+    let node = |i: usize| format!("n{i}");
+
+    let mut program = String::new();
+    let mut queries = Vec::new();
+
+    // Upper-stratum families; force at least one on.
+    let mut use_neg = rng.gen_bool(0.5);
+    let use_count = rng.gen_bool(0.5);
+    let use_min = rng.gen_bool(0.5);
+    let use_stacked = rng.gen_bool(0.35);
+    if !(use_neg || use_count || use_min || use_stacked) {
+        use_neg = true;
+    }
+
+    // Stratum 0: transitive closure over `e`.
+    program.push_str("t(X, Y) :- e(X, Y).\n");
+    program.push_str("t(X, Y) :- e(X, Z), t(Z, Y).\n");
+    if use_neg {
+        program.push_str("unreach(X, Y) :- node(X), node(Y), !t(X, Y).\n");
+        queries.push("unreach(X, Y)?".to_string());
+    }
+    if use_count {
+        program.push_str("reach(X, count<Y>) :- t(X, Y).\n");
+        queries.push("reach(X, C)?".to_string());
+    }
+    if use_min {
+        program.push_str("short(Y, min<C>) :- src(X), w(X, Y, C).\n");
+        program.push_str("short(Y, min<C>) :- short(X, D), w(X, Y, W), C = D + W.\n");
+        queries.push("short(Y, C)?".to_string());
+    }
+    if use_stacked {
+        program.push_str("haspath(X) :- t(X, Y).\n");
+        program.push_str("isolated(X) :- node(X), !haspath(X).\n");
+        queries.push("isolated(X)?".to_string());
+    }
+    queries.push("t(X, Y)?".to_string());
+
+    // Facts. `live` tracks what the mutation script may retract.
+    let mut live: Vec<String> = Vec::new();
+    let emit = |live: &mut Vec<String>, fact: String| {
+        if !live.contains(&fact) {
+            live.push(fact);
+        }
+    };
+    for i in 0..pool {
+        emit(&mut live, format!("node({}).", node(i)));
+    }
+    emit(&mut live, format!("src({}).", node(0)));
+    for _ in 0..rng.gen_range(4..=9usize) {
+        let (a, b) = (rng.gen_range(0..pool), rng.gen_range(0..pool));
+        emit(&mut live, format!("e({}, {}).", node(a), node(b)));
+    }
+    for _ in 0..rng.gen_range(4..=9usize) {
+        let (a, b) = (rng.gen_range(0..pool), rng.gen_range(0..pool));
+        let c = rng.gen_range(1..=9usize);
+        emit(&mut live, format!("w({}, {}, {c}).", node(a), node(b)));
+    }
+    for fact in &live {
+        program.push_str(fact);
+        program.push('\n');
+    }
+
+    // Mutation script: 4 steps of churn on the EDB. Retractions always
+    // target live facts (node/src retractions included — negation must
+    // shrink its domain correctly, and min must re-derive after losing a
+    // weighted edge).
+    let mut steps = Vec::new();
+    for _ in 0..4 {
+        let mut inserts = Vec::new();
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let (a, b) = (rng.gen_range(0..pool), rng.gen_range(0..pool));
+            let fact = if rng.gen_bool(0.5) {
+                format!("e({}, {}).", node(a), node(b))
+            } else {
+                format!("w({}, {}, {}).", node(a), node(b), rng.gen_range(1..=9usize))
+            };
+            if !live.contains(&fact) {
+                live.push(fact.clone());
+                inserts.push(fact);
+            }
+        }
+        let mut retracts = Vec::new();
+        if rng.gen_bool(0.7) && !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            retracts.push(live.swap_remove(idx));
+        }
+        steps.push((inserts, retracts));
+    }
+
+    StratifiedScenario { program, queries, steps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +331,47 @@ mod tests {
         let b = random_separable_scenario(42);
         assert_eq!(a.program, b.program);
         assert_eq!(a.query, b.query);
+    }
+
+    #[test]
+    fn stratified_scenarios_parse_stratify_and_retract_live_facts() {
+        for seed in 0..60 {
+            let scenario = random_stratified_scenario(seed);
+            let mut interner = sepra_ast::Interner::new();
+            let program = parse_program(&scenario.program, &mut interner)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", scenario.program));
+            assert!(
+                program.uses_stratified_constructs(),
+                "seed {seed}: no stratified construct\n{}",
+                scenario.program
+            );
+            sepra_strata::stratify(&program)
+                .unwrap_or_else(|e| panic!("seed {seed}: unstratifiable: {e:?}"));
+            assert!(!scenario.queries.is_empty(), "seed {seed}");
+            assert_eq!(scenario.steps.len(), 4, "seed {seed}");
+            // Every retraction names a fact inserted earlier (program text
+            // or a prior step) and not already retracted.
+            let mut live: Vec<&str> =
+                scenario.program.lines().filter(|l| !l.contains(":-")).collect();
+            for (inserts, retracts) in &scenario.steps {
+                live.extend(inserts.iter().map(String::as_str));
+                for r in retracts {
+                    let pos = live
+                        .iter()
+                        .position(|f| f == r)
+                        .unwrap_or_else(|| panic!("seed {seed}: retracting dead fact {r}"));
+                    live.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_scenarios_are_deterministic() {
+        let a = random_stratified_scenario(7);
+        let b = random_stratified_scenario(7);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.steps, b.steps);
     }
 }

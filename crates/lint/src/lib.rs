@@ -18,6 +18,9 @@
 //! * [`boundedness`] — `BND000`…`BND003`, reporting recursions provably
 //!   equivalent to a bounded unfolding (which the engine then evaluates
 //!   without a fixpoint), citing the condition and rule responsible;
+//! * [`stratification`] — `STR000`…`STR002`, validating negation and
+//!   aggregate use: a stratum summary when the program stratifies, and
+//!   errors citing both ends of the offending cycle when it does not;
 //! * [`render`] — the text renderer and the hand-rolled JSON emitter;
 //! * [`source`] — [`SourceFile`], mapping byte spans to lines/columns.
 //!
@@ -39,6 +42,7 @@ pub mod passes;
 pub mod render;
 pub mod separability;
 pub mod source;
+pub mod stratification;
 
 use sepra_ast::{parse_program_raw, parse_query, AstError, Interner, Program, Query, Span};
 

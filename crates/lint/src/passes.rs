@@ -21,7 +21,8 @@
 //! | LNT009 | warning  | duplicate fact                                      |
 //!
 //! Separability analysis (`SEP0xx`) lives in [`crate::separability`];
-//! boundedness analysis (`BND0xx`) in [`crate::boundedness`].
+//! boundedness analysis (`BND0xx`) in [`crate::boundedness`];
+//! stratification analysis (`STR0xx`) in [`crate::stratification`].
 
 use std::collections::BTreeMap;
 
@@ -31,6 +32,7 @@ use sepra_ast::{Atom, DependencyGraph, Interner, Literal, Program, Query, Span, 
 use crate::boundedness::Boundedness;
 use crate::diagnostic::Diagnostic;
 use crate::separability::Separability;
+use crate::stratification::StratificationPass;
 
 /// Everything a pass can look at.
 pub struct ProgramContext<'a> {
@@ -65,6 +67,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(DuplicateFacts),
         Box::new(Separability),
         Box::new(Boundedness),
+        Box::new(StratificationPass),
     ]
 }
 
@@ -83,9 +86,14 @@ impl Pass for UnsafeRules {
             if rule.is_safe() {
                 continue;
             }
+            // A negated literal filters bound rows; it never binds. Only
+            // positive literals (atoms, equalities, sums) count.
+            let positive = |v: sepra_ast::Sym| {
+                !rule.is_fact()
+                    && rule.body.iter().any(|l| !matches!(l, Literal::Neg(_)) && l.contains_var(v))
+            };
             for v in rule.head.vars() {
-                let bound = !rule.is_fact() && rule.body.iter().any(|l| l.contains_var(v));
-                if bound {
+                if positive(v) {
                     continue;
                 }
                 let pos = rule.head.positions_of(v)[0];
@@ -102,10 +110,35 @@ impl Pass for UnsafeRules {
                         "LNT001",
                         format!("unsafe rule: head variable `{name}` of `{pred}` is not bound by the body"),
                     )
-                    .with_label(rule.head.term_span(pos), "not bound by any body literal")
+                    .with_label(rule.head.term_span(pos), "not bound by any positive body literal")
                     .with_note("every head variable must occur in a positive body atom or equality")
                 };
                 out.push(diag);
+            }
+            // Variables of negated atoms must also occur positively.
+            for atom in rule.negated_atoms() {
+                for v in atom.vars() {
+                    // Head variables were already reported above.
+                    if positive(v) || rule.head.contains_var(v) {
+                        continue;
+                    }
+                    let pos = atom.positions_of(v)[0];
+                    let name = interner.resolve(v).to_string();
+                    let pred = interner.resolve(atom.pred).to_string();
+                    out.push(
+                        Diagnostic::error(
+                            "LNT001",
+                            format!(
+                                "unsafe rule: variable `{name}` of negated `{pred}` has no positive occurrence"
+                            ),
+                        )
+                        .with_label(atom.term_span(pos), "only occurs under negation")
+                        .with_note(
+                            "a negated literal filters bound rows; every variable in it \
+                             must be bound by a positive body literal",
+                        ),
+                    );
+                }
             }
         }
     }
@@ -143,8 +176,12 @@ impl Pass for ArityConsistency {
         };
         for rule in &ctx.program.rules {
             check(&rule.head, interner, out);
-            for atom in rule.body_atoms() {
-                check(atom, interner, out);
+            // Negated atoms participate in arity checking too, in source
+            // order alongside the positive ones.
+            for lit in &rule.body {
+                if let Literal::Atom(atom) | Literal::Neg(atom) = lit {
+                    check(atom, interner, out);
+                }
             }
         }
         if let Some(query) = ctx.query {
@@ -184,7 +221,10 @@ impl Pass for UndefinedPredicates {
         let mut first_use: BTreeMap<Sym, Span> = BTreeMap::new();
         let mut order: Vec<Sym> = Vec::new();
         for rule in &ctx.program.rules {
-            for atom in rule.body_atoms() {
+            for lit in &rule.body {
+                let (Literal::Atom(atom) | Literal::Neg(atom)) = lit else {
+                    continue;
+                };
                 if !defined.contains(&atom.pred) && !first_use.contains_key(&atom.pred) {
                     first_use.insert(atom.pred, atom.span);
                     order.push(atom.pred);
@@ -236,8 +276,12 @@ impl Pass for UnusedPredicates {
             return;
         }
         let heads_proper_rule = |p: Sym| ctx.program.proper_rules().any(|r| r.head.pred == p);
-        let used_in_body =
-            |p: Sym| ctx.program.rules.iter().any(|r| r.body_atoms().any(|a| a.pred == p));
+        let used_in_body = |p: Sym| {
+            ctx.program
+                .rules
+                .iter()
+                .any(|r| r.body_atoms().chain(r.negated_atoms()).any(|a| a.pred == p))
+        };
         let mut seen: Vec<Sym> = Vec::new();
         for rule in ctx.program.facts() {
             let pred = rule.head.pred;
@@ -392,8 +436,22 @@ impl Pass for SingletonVariables {
                             }
                         }
                     }
+                    Literal::Neg(a) => {
+                        for (i, t) in a.terms.iter().enumerate() {
+                            if let Term::Var(v) = t {
+                                occurrences.push((*v, a.term_span(i)));
+                            }
+                        }
+                    }
                     Literal::Eq(l, r) => {
                         for t in [l, r] {
+                            if let Term::Var(v) = t {
+                                occurrences.push((*v, rule.span()));
+                            }
+                        }
+                    }
+                    Literal::Sum(d, a, b) => {
+                        for t in [d, a, b] {
                             if let Term::Var(v) = t {
                                 occurrences.push((*v, rule.span()));
                             }

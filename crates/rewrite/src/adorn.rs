@@ -162,6 +162,26 @@ fn adorn_program_impl(
                             }
                         }
                     }
+                    // The engine routes stratified programs (negation,
+                    // aggregates) to direct stratum evaluation; the magic
+                    // rewrite never sees them. Kept meaning-preserving
+                    // regardless: a negated literal filters (binds nothing,
+                    // and only safe — hence already-bound — variables occur
+                    // in it), and a sum binds its target once the operands
+                    // are bound.
+                    Literal::Neg(_) => new_body.push(lit.clone()),
+                    Literal::Sum(d, a, b) => {
+                        new_body.push(lit.clone());
+                        let operand_bound = |t: &Term| {
+                            matches!(t, Term::Const(_))
+                                || t.as_var().is_some_and(|v| bound.contains(&v))
+                        };
+                        if operand_bound(a) && operand_bound(b) {
+                            if let Term::Var(v) = d {
+                                bound.insert(*v);
+                            }
+                        }
+                    }
                 }
             }
             let head_pred = adorned_name(pred, &adornment, interner);

@@ -378,10 +378,12 @@ Commands:
                    (insert-only, through incremental maintenance)
   :stats on|off    toggle statistics output
   :lint [QUERY]    diagnostic report, optionally relative to QUERY
+                   (includes STR00x stratification findings when the
+                   program uses `!p(...)` negation or aggregate heads)
   :check           alias for :lint without a query
   :program         list loaded rules
-  :help            this message
-  :quit            exit
+  :help (:h)       this message
+  :quit (:q)       exit
 ";
 
 /// Renders a load/parse failure. Frontend errors carry spans, so they get

@@ -27,6 +27,9 @@ const FIXTURES: &[&str] = &[
     "overlap",
     "sg",
     "shift",
+    "str_reach_count",
+    "str_setdiff",
+    "str_shortest",
 ];
 
 fn repo_root() -> PathBuf {

@@ -38,8 +38,7 @@ pub struct Index {
 impl Index {
     /// Builds an index of `relation` on `columns`.
     pub fn build(relation: &Relation, columns: Vec<usize>) -> Self {
-        let mut index =
-            Index { columns, map: FxHashMap::default(), covered: 0, epoch: 0 };
+        let mut index = Index { columns, map: FxHashMap::default(), covered: 0, epoch: 0 };
         index.extend_to(relation);
         index
     }
@@ -67,8 +66,7 @@ impl Index {
             self.covered = 0;
             self.epoch = relation.compaction_epoch();
         }
-        let key_cols: Vec<&[Value]> =
-            self.columns.iter().map(|&c| relation.column(c)).collect();
+        let key_cols: Vec<&[Value]> = self.columns.iter().map(|&c| relation.column(c)).collect();
         let mut scratch: Vec<Value> = Vec::with_capacity(self.columns.len());
         for pos in self.covered..relation.len() {
             let pos32 = u32::try_from(pos).expect("index overflow");
@@ -194,9 +192,10 @@ mod tests {
         // Every key resolves to the right rows under the new positions.
         let hits: Vec<Tuple> = idx.probe(&r, &[v(1)]).map(|row| row.to_tuple()).collect();
         assert_eq!(hits, vec![t2(1, 11)]);
-        assert_eq!(idx.probe(&r, &[v(2)]).map(|row| row.to_tuple()).collect::<Vec<_>>(), vec![
-            t2(2, 20)
-        ]);
+        assert_eq!(
+            idx.probe(&r, &[v(2)]).map(|row| row.to_tuple()).collect::<Vec<_>>(),
+            vec![t2(2, 20)]
+        );
         assert_eq!(idx.probe(&r, &[v(4)]).count(), 1);
 
         // Removing everything then re-extending also heals (covered would

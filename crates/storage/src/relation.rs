@@ -347,6 +347,30 @@ impl Relation {
         self.find(tuple).is_some()
     }
 
+    /// Whether the row given as a value slice is present (the
+    /// allocation-free twin of [`Relation::contains`] — negation checks
+    /// probe straight from the evaluator's slot buffers). A slice of the
+    /// wrong arity is simply absent.
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        if values.len() != self.arity {
+            return false;
+        }
+        let hash = hash_word_iter(values.len(), values.iter().map(|v| v.raw()));
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return false,
+                idx if self.hashes[idx as usize] == hash
+                    && self.row_eq_values(idx as usize, values) =>
+                {
+                    return true
+                }
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
     /// Whether the row viewed by `row` (possibly of another relation) is
     /// present, reusing the row's cached hash.
     pub fn contains_row(&self, row: Row<'_>) -> bool {
@@ -436,8 +460,8 @@ impl Relation {
         }
         for col in self.cols.iter_mut() {
             let mut write = 0;
-            for read in 0..doomed.len() {
-                if !doomed[read] {
+            for (read, &dead) in doomed.iter().enumerate() {
+                if !dead {
                     col[write] = col[read];
                     write += 1;
                 }
@@ -445,8 +469,8 @@ impl Relation {
             col.truncate(write);
         }
         let mut write = 0;
-        for read in 0..doomed.len() {
-            if !doomed[read] {
+        for (read, &dead) in doomed.iter().enumerate() {
+            if !dead {
                 self.hashes[write] = self.hashes[read];
                 write += 1;
             }
@@ -610,10 +634,7 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Relation")
-            .field("arity", &self.arity)
-            .field("len", &self.len())
-            .finish()
+        f.debug_struct("Relation").field("arity", &self.arity).field("len", &self.len()).finish()
     }
 }
 
@@ -1024,7 +1045,7 @@ mod tests {
         assert_eq!(order, expected);
         // Reinsertion lands at the end, as for any new tuple.
         assert!(r.insert(t2(50, 50)));
-        assert_eq!(r.iter().last().unwrap().to_tuple(), t2(50, 50));
+        assert_eq!(r.iter().next_back().unwrap().to_tuple(), t2(50, 50));
     }
 
     #[test]

@@ -653,8 +653,7 @@ pub fn decode_database_columnar_into(bytes: &[u8], db: &mut Database) -> Result<
         arities.insert(*pred, rel.arity());
     }
     for (pred, rel) in decoded {
-        db.install_relation(pred, rel)
-            .map_err(|_| truncated("consistent relation arities"))?;
+        db.install_relation(pred, rel).map_err(|_| truncated("consistent relation arities"))?;
     }
     Ok(generation)
 }

@@ -40,7 +40,9 @@ fn fingerprint(db: &Database) -> Vec<String> {
         .relations()
         .flat_map(|(p, rel)| {
             let name = db.interner().resolve(p).to_string();
-            rel.iter().map(move |t| format!("{name}{}", t.display(db.interner()))).collect::<Vec<_>>()
+            rel.iter()
+                .map(move |t| format!("{name}{}", t.display(db.interner())))
+                .collect::<Vec<_>>()
         })
         .collect();
     out.sort();

@@ -55,6 +55,7 @@ pub use sepra_gen as gen;
 pub use sepra_rewrite as rewrite;
 pub use sepra_server as server;
 pub use sepra_storage as storage;
+pub use sepra_strata as strata;
 
 pub use sepra_ast::{Interner, Program, Query};
 pub use sepra_core::{detect::SeparableRecursion, evaluate::SeparableEvaluator, ExecOptions};
